@@ -1,0 +1,265 @@
+//! Bootstrap-aggregated random forests.
+//!
+//! The paper's strongest baseline (Table IV): an ensemble of CART trees,
+//! each trained on a bootstrap resample with √d random candidate features
+//! per split, predictions aggregated by averaging (majority vote for the
+//! thresholded binary label).
+
+use crate::tree::{bootstrap_indices, DecisionTree, TreeConfig};
+use occusense_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters of a random forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration. `n_features: None` here means "use √d",
+    /// the classification default.
+    pub tree: TreeConfig,
+    /// Fraction of the training set drawn (with replacement) per tree.
+    pub bootstrap_fraction: f64,
+    /// Master seed (per-tree seeds derive from it).
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 30,
+            tree: TreeConfig::default(),
+            bootstrap_fraction: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest on `x` and real-valued targets `y` (0.0/1.0 for
+    /// binary classification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty, shapes mismatch, or
+    /// `n_trees == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_baselines::forest::{ForestConfig, RandomForest};
+    /// use occusense_tensor::Matrix;
+    ///
+    /// // A step function along one feature.
+    /// let x = Matrix::from_fn(40, 1, |r, _| r as f64);
+    /// let y: Vec<f64> = (0..40).map(|r| f64::from(r >= 20)).collect();
+    /// let rf = RandomForest::fit(&x, &y, &ForestConfig::default());
+    /// assert_eq!(rf.predict_labels(&Matrix::from_rows(&[&[5.0], &[35.0]])), vec![0, 1]);
+    /// ```
+    pub fn fit(x: &Matrix, y: &[f64], config: &ForestConfig) -> Self {
+        assert!(config.n_trees > 0, "forest: need at least one tree");
+        assert_eq!(x.rows(), y.len(), "forest: sample count mismatch");
+        assert!(!y.is_empty(), "forest: empty dataset");
+
+        let n = x.rows();
+        let n_boot = ((n as f64 * config.bootstrap_fraction).round() as usize).max(1);
+        let sqrt_d = (x.cols() as f64).sqrt().round() as usize;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let trees = (0..config.n_trees)
+            .map(|t| {
+                let indices = bootstrap_indices(n, n_boot, &mut rng);
+                let xb = x.select_rows(&indices);
+                let yb: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+                let tree_cfg = TreeConfig {
+                    n_features: config.tree.n_features.or(Some(sqrt_d.max(1))),
+                    seed: config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(t as u64),
+                    ..config.tree
+                };
+                DecisionTree::fit(&xb, &yb, &tree_cfg)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// The fitted trees.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Ensemble-averaged prediction per row (class probability for
+    /// binary labels, value for regression).
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let mut acc = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict(x)) {
+                *a += p;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        acc
+    }
+
+    /// Majority-vote binary labels (`mean > 0.5`).
+    pub fn predict_labels(&self, x: &Matrix) -> Vec<u8> {
+        self.predict(x).into_iter().map(|p| u8::from(p > 0.5)).collect()
+    }
+
+    /// Rough memory footprint of the fitted model in KiB (for the
+    /// embedded-deployment comparison of §V-B: "RF is computationally and
+    /// space-intensive"). Counts one feature index, one threshold and two
+    /// child indices per node.
+    pub fn size_kib(&self) -> f64 {
+        let per_node = std::mem::size_of::<usize>() * 3 + std::mem::size_of::<f64>();
+        let nodes: usize = self.trees.iter().map(DecisionTree::n_nodes).sum();
+        (nodes * per_node) as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_blobs(n: usize) -> (Matrix, Vec<f64>) {
+        // Two non-linearly separated rings-ish blobs.
+        let x = Matrix::from_fn(n, 2, |r, c| {
+            let angle = r as f64 * 0.7;
+            let radius = if r % 2 == 0 { 1.0 } else { 3.0 };
+            let noise = ((r * 31 + c * 17) % 13) as f64 / 13.0 * 0.4;
+            if c == 0 {
+                radius * angle.cos() + noise
+            } else {
+                radius * angle.sin() + noise
+            }
+        });
+        let y = (0..n).map(|r| (r % 2) as f64).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_chance_on_nonlinear_data() {
+        let (x, y) = noisy_blobs(200);
+        let rf = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let labels = rf.predict_labels(&x);
+        let correct = labels
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| **p as f64 == **t)
+            .count();
+        assert!(correct > 190, "train accuracy {correct}/200");
+    }
+
+    #[test]
+    fn probabilities_are_bounded_means() {
+        let (x, y) = noisy_blobs(100);
+        let rf = RandomForest::fit(&x, &y, &ForestConfig::default());
+        for p in rf.predict(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn more_trees_stabilise_predictions() {
+        let (x, y) = noisy_blobs(150);
+        let small = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 2,
+                seed: 1,
+                ..ForestConfig::default()
+            },
+        );
+        let big = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 40,
+                seed: 1,
+                ..ForestConfig::default()
+            },
+        );
+        // Bigger forests have smoother probabilities (fewer exact 0/1).
+        let extremes = |rf: &RandomForest| {
+            rf.predict(&x)
+                .iter()
+                .filter(|&&p| p == 0.0 || p == 1.0)
+                .count()
+        };
+        assert!(extremes(&big) <= extremes(&small));
+        assert_eq!(big.trees().len(), 40);
+    }
+
+    #[test]
+    fn regression_mode_averages_values() {
+        let x = Matrix::from_fn(60, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..60).map(|r| if r < 30 { 2.0 } else { 8.0 }).collect();
+        let rf = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let low = rf.predict(&Matrix::from_rows(&[&[5.0]]))[0];
+        let high = rf.predict(&Matrix::from_rows(&[&[55.0]]))[0];
+        assert!((low - 2.0).abs() < 0.8, "low {low}");
+        assert!((high - 8.0).abs() < 0.8, "high {high}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = noisy_blobs(80);
+        let cfg = ForestConfig {
+            n_trees: 5,
+            seed: 11,
+            ..ForestConfig::default()
+        };
+        assert_eq!(RandomForest::fit(&x, &y, &cfg), RandomForest::fit(&x, &y, &cfg));
+        let other = ForestConfig { seed: 12, ..cfg };
+        assert_ne!(
+            RandomForest::fit(&x, &y, &cfg),
+            RandomForest::fit(&x, &y, &other)
+        );
+    }
+
+    #[test]
+    fn size_accounting_grows_with_trees() {
+        let (x, y) = noisy_blobs(100);
+        let small = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 2,
+                ..ForestConfig::default()
+            },
+        );
+        let big = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+        );
+        assert!(big.size_kib() > small.size_kib());
+        assert!(small.size_kib() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_zero_trees() {
+        let (x, y) = noisy_blobs(10);
+        RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 0,
+                ..ForestConfig::default()
+            },
+        );
+    }
+}

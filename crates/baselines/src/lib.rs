@@ -1,0 +1,36 @@
+//! # occusense-baselines
+//!
+//! The comparison models of the paper's evaluation, implemented from
+//! scratch (the paper used scikit-learn; see the substitution table in
+//! DESIGN.md):
+//!
+//! * [`logreg`] — logistic regression trained by mini-batch SGD with L2
+//!   regularisation: the *linear* classifier whose Table IV results show
+//!   that CSI-based occupancy is not linearly separable.
+//! * [`tree`] — a CART decision tree (Gini impurity for classification,
+//!   variance reduction for regression).
+//! * [`forest`] — a bagged random forest with √d feature subsampling and
+//!   majority voting: the *non-linear* ensemble baseline.
+//! * [`linreg`] — ordinary least squares (optionally ridge-stabilised)
+//!   for the Table V humidity/temperature regression baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use occusense_baselines::logreg::{LogisticRegression, LogRegConfig};
+//! use occusense_tensor::Matrix;
+//!
+//! // A linearly separable toy problem.
+//! let x = Matrix::from_rows(&[&[-2.0], &[-1.0], &[1.0], &[2.0]]);
+//! let y = [0u8, 0, 1, 1];
+//! let model = LogisticRegression::fit(&x, &y, &LogRegConfig::default());
+//! assert_eq!(model.predict(&x), vec![0, 0, 1, 1]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod forest;
+pub mod linreg;
+pub mod logreg;
+pub mod tree;

@@ -1,0 +1,195 @@
+//! Ordinary least squares (with optional ridge stabilisation).
+//!
+//! The Table V baseline: "we fit a least-squares solution … using linear
+//! regression (ordinary least squares)". Real CSI feature matrices have
+//! near-constant columns (null subcarriers), so a small ridge penalty is
+//! supported to keep the normal equations well-posed; `l2 = 0` is exact
+//! OLS.
+
+use occusense_tensor::{linalg, Matrix};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration for [`LinearRegression::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinRegConfig {
+    /// Ridge penalty λ (0 = exact OLS). The intercept is never penalised.
+    pub l2: f64,
+}
+
+impl Default for LinRegConfig {
+    fn default() -> Self {
+        Self { l2: 1e-8 }
+    }
+}
+
+/// Error returned by [`LinearRegression::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitLinRegError {
+    inner: linalg::LeastSquaresError,
+}
+
+impl fmt::Display for FitLinRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear regression fit failed: {}", self.inner)
+    }
+}
+
+impl Error for FitLinRegError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.inner)
+    }
+}
+
+/// A fitted linear model `ŷ = x·w + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    coefficients: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fits the model by (ridge-stabilised) least squares via QR on the
+    /// augmented system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitLinRegError`] if the design matrix is rank deficient
+    /// even after regularisation, or shapes mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != y.len()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_baselines::linreg::{LinearRegression, LinRegConfig};
+    /// use occusense_tensor::Matrix;
+    ///
+    /// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+    /// let y = [1.0, 3.0, 5.0, 7.0]; // y = 2x + 1
+    /// let m = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 })?;
+    /// assert!((m.coefficients()[0] - 2.0).abs() < 1e-9);
+    /// assert!((m.intercept() - 1.0).abs() < 1e-9);
+    /// # Ok::<(), occusense_baselines::linreg::FitLinRegError>(())
+    /// ```
+    pub fn fit(x: &Matrix, y: &[f64], config: &LinRegConfig) -> Result<Self, FitLinRegError> {
+        assert_eq!(x.rows(), y.len(), "linreg: sample count mismatch");
+        let n = x.rows();
+        let d = x.cols();
+        let ridge_rows = if config.l2 > 0.0 { d } else { 0 };
+        // Augmented design: [1 | X] on top, sqrt(λ)·I (coefficients only,
+        // intercept column zero) below.
+        let mut a = Matrix::zeros(n + ridge_rows, d + 1);
+        for r in 0..n {
+            a[(r, 0)] = 1.0;
+            let src = x.row(r);
+            a.row_mut(r)[1..].copy_from_slice(src);
+        }
+        let sqrt_l2 = config.l2.sqrt();
+        for j in 0..ridge_rows {
+            a[(n + j, j + 1)] = sqrt_l2;
+        }
+        let mut b = y.to_vec();
+        b.extend(std::iter::repeat_n(0.0, ridge_rows));
+
+        let solution =
+            linalg::least_squares(&a, &b).map_err(|inner| FitLinRegError { inner })?;
+        Ok(Self {
+            intercept: solution[0],
+            coefficients: solution[1..].to_vec(),
+        })
+    }
+
+    /// The fitted coefficient vector (without the intercept).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts targets for a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the fitted dimension.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.coefficients.len(), "linreg: dimension mismatch");
+        x.rows_iter()
+            .map(|row| occusense_tensor::vecops::dot(&self.coefficients, row) + self.intercept)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_linear_data() {
+        // y = 3 x0 - 2 x1 + 5
+        let x = Matrix::from_fn(20, 2, |r, c| ((r + 3 * c) as f64 * 0.917).sin());
+        let y: Vec<f64> = (0..20).map(|r| 3.0 * x[(r, 0)] - 2.0 * x[(r, 1)] + 5.0).collect();
+        let m = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).unwrap();
+        assert!((m.coefficients()[0] - 3.0).abs() < 1e-9);
+        assert!((m.coefficients()[1] + 2.0).abs() < 1e-9);
+        assert!((m.intercept() - 5.0).abs() < 1e-9);
+        let pred = m.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ols_fails_on_collinear_ridge_succeeds() {
+        // Second column = 2 × first.
+        let x = Matrix::from_fn(10, 2, |r, c| (r as f64 + 1.0) * (c as f64 + 1.0));
+        let y: Vec<f64> = (0..10).map(|r| r as f64).collect();
+        assert!(LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).is_err());
+        let ridge = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 1e-6 }).unwrap();
+        // Ridge still predicts well.
+        let pred = ridge.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-2, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_column_is_handled_by_ridge() {
+        let x = Matrix::from_fn(8, 2, |r, c| if c == 0 { 0.5 } else { r as f64 });
+        let y: Vec<f64> = (0..8).map(|r| 2.0 * r as f64 + 1.0).collect();
+        // Constant column is collinear with the intercept: exact OLS fails.
+        assert!(LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).is_err());
+        let m = LinearRegression::fit(&x, &y, &LinRegConfig::default()).unwrap();
+        let pred = m.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let x = Matrix::from_fn(30, 1, |r, _| r as f64 / 30.0);
+        let y: Vec<f64> = (0..30).map(|r| 10.0 * (r as f64 / 30.0)).collect();
+        let ols = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).unwrap();
+        let ridge = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 10.0 }).unwrap();
+        assert!(ridge.coefficients()[0].abs() < ols.coefficients()[0].abs());
+    }
+
+    #[test]
+    fn noisy_fit_residuals_are_unbiased() {
+        let x = Matrix::from_fn(100, 1, |r, _| r as f64 / 50.0);
+        let y: Vec<f64> = (0..100)
+            .map(|r| 2.0 * (r as f64 / 50.0) + ((r * 13 % 7) as f64 - 3.0) * 0.1)
+            .collect();
+        let m = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).unwrap();
+        let pred = m.predict(&x);
+        let mean_resid: f64 =
+            y.iter().zip(&pred).map(|(t, p)| t - p).sum::<f64>() / y.len() as f64;
+        assert!(mean_resid.abs() < 1e-9, "bias {mean_resid}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Logistic regression trained by mini-batch SGD.
+
+use occusense_tensor::vecops::sigmoid;
+use occusense_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`LogisticRegression::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogRegConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            batch_size: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// A binary logistic-regression classifier `p = σ(w·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Fits the model on features `x` (`n × d`) and binary labels `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != y.len()`, the dataset is empty, or labels
+    /// exceed 1.
+    pub fn fit(x: &Matrix, y: &[u8], config: &LogRegConfig) -> Self {
+        assert_eq!(x.rows(), y.len(), "logreg: sample count mismatch");
+        assert!(!y.is_empty(), "logreg: empty dataset");
+        assert!(y.iter().all(|&l| l <= 1), "logreg: labels must be 0/1");
+
+        let d = x.cols();
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                let scale = 1.0 / chunk.len() as f64;
+                let mut grad_w = vec![0.0; d];
+                let mut grad_b = 0.0;
+                for &i in chunk {
+                    let row = x.row(i);
+                    let z = occusense_tensor::vecops::dot(&weights, row) + bias;
+                    let err = sigmoid(z) - y[i] as f64;
+                    for (gw, &xi) in grad_w.iter_mut().zip(row) {
+                        *gw += err * xi;
+                    }
+                    grad_b += err;
+                }
+                for (w, gw) in weights.iter_mut().zip(&grad_w) {
+                    *w -= config.learning_rate * (gw * scale + config.l2 * *w);
+                }
+                bias -= config.learning_rate * grad_b * scale;
+            }
+        }
+        Self { weights, bias }
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Per-sample probability of the positive class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the fitted dimension.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.weights.len(), "logreg: dimension mismatch");
+        x.rows_iter()
+            .map(|row| sigmoid(occusense_tensor::vecops::dot(&self.weights, row) + self.bias))
+            .collect()
+    }
+
+    /// Thresholded binary predictions (`p > 0.5`).
+    pub fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| u8::from(p > 0.5))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_2d(n: usize) -> (Matrix, Vec<u8>) {
+        // Class depends on x0 + x1.
+        let x = Matrix::from_fn(n, 2, |r, c| {
+            let v = ((r * 7 + c * 13) % 19) as f64 / 19.0 - 0.5;
+            if r % 2 == 0 {
+                v + 1.0
+            } else {
+                v - 1.0
+            }
+        });
+        let y = (0..n).map(|r| u8::from(r % 2 == 0)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let (x, y) = separable_2d(200);
+        let m = LogisticRegression::fit(&x, &y, &LogRegConfig::default());
+        assert_eq!(m.predict(&x), y);
+    }
+
+    #[test]
+    fn cannot_fit_xor() {
+        // The defining property of a linear model — and the premise of the
+        // paper's Table IV comparison.
+        let x = Matrix::from_rows(&[&[0., 0.], &[0., 1.], &[1., 0.], &[1., 1.]]);
+        let y = [0u8, 1, 1, 0];
+        let cfg = LogRegConfig {
+            epochs: 500,
+            ..LogRegConfig::default()
+        };
+        let m = LogisticRegression::fit(&x, &y, &cfg);
+        let correct = m
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(correct <= 3, "a linear model cannot solve XOR ({correct}/4)");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_ordering() {
+        let (x, y) = separable_2d(100);
+        let m = LogisticRegression::fit(&x, &y, &LogRegConfig::default());
+        let p = m.predict_proba(&x);
+        for (pi, &yi) in p.iter().zip(&y) {
+            assert!((0.0..=1.0).contains(pi));
+            if yi == 1 {
+                assert!(*pi > 0.5);
+            } else {
+                assert!(*pi < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = separable_2d(100);
+        let weak = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogRegConfig {
+                l2: 0.0,
+                ..LogRegConfig::default()
+            },
+        );
+        let strong = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogRegConfig {
+                l2: 1.0,
+                ..LogRegConfig::default()
+            },
+        );
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm(strong.weights()) < norm(weak.weights()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = separable_2d(60);
+        let a = LogisticRegression::fit(&x, &y, &LogRegConfig::default());
+        let b = LogisticRegression::fit(&x, &y, &LogRegConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0/1")]
+    fn rejects_multiclass_labels() {
+        LogisticRegression::fit(&Matrix::ones(2, 1), &[0, 2], &LogRegConfig::default());
+    }
+}

@@ -1,0 +1,389 @@
+//! CART decision trees.
+//!
+//! One implementation serves classification and regression: for binary
+//! 0/1 targets, minimising the weighted child *variance* is equivalent to
+//! minimising the Gini impurity (`gini = 2·p(1−p) = 2·var`), so the
+//! splitter always minimises `Σ n_child · var_child` via prefix sums over
+//! the per-feature sorted targets.
+
+use occusense_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes with fewer samples than this.
+    pub min_samples_split: usize,
+    /// Each child must keep at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Number of random candidate features per split; `None` = all.
+    pub n_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+            n_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART tree predicting a real value (class probability for
+/// binary classification).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `x` (`n × d`) and real-valued targets `y`
+    /// (use 0.0/1.0 for binary classification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or shapes mismatch.
+    pub fn fit(x: &Matrix, y: &[f64], config: &TreeConfig) -> Self {
+        assert_eq!(x.rows(), y.len(), "tree: sample count mismatch");
+        assert!(!y.is_empty(), "tree: empty dataset");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features: x.cols(),
+        };
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        tree.build(x, y, indices, 0, config, &mut rng);
+        tree
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        let is_pure = indices.iter().all(|&i| (y[i] - mean).abs() < 1e-12);
+        if depth >= config.max_depth || indices.len() < config.min_samples_split || is_pure {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        let Some((feature, threshold)) = best_split(x, y, &indices, config, rng) else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| x[(i, feature)] <= threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+
+        // Reserve the split node, then build children.
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let left = self.build(x, y, left_idx, depth + 1, config, rng);
+        let right = self.build(x, y, right_idx, depth + 1, config, rng);
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_id
+    }
+
+    /// Predicted value for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the fitted dimension.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "tree: dimension mismatch");
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { value } => return value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicted values for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.rows_iter().map(|row| self.predict_row(row)).collect()
+    }
+}
+
+/// Finds the `(feature, threshold)` minimising the weighted child
+/// variance, or `None` if no valid split exists.
+fn best_split(
+    x: &Matrix,
+    y: &[f64],
+    indices: &[usize],
+    config: &TreeConfig,
+    rng: &mut StdRng,
+) -> Option<(usize, f64)> {
+    let d = x.cols();
+    let features: Vec<usize> = match config.n_features {
+        Some(k) if k < d => {
+            let mut all: Vec<usize> = (0..d).collect();
+            all.shuffle(rng);
+            all.truncate(k.max(1));
+            all
+        }
+        _ => (0..d).collect(),
+    };
+
+    let n = indices.len();
+    let mut best: Option<(f64, usize, f64)> = None; // (cost, feature, threshold)
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+
+    for &f in &features {
+        pairs.clear();
+        pairs.extend(indices.iter().map(|&i| (x[(i, f)], y[i])));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+
+        // Prefix sums of y and y² over the sorted order.
+        let mut sum_l = 0.0;
+        let mut sumsq_l = 0.0;
+        let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
+        let total_sumsq: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+
+        for split_at in 1..n {
+            let (v_prev, y_prev) = pairs[split_at - 1];
+            sum_l += y_prev;
+            sumsq_l += y_prev * y_prev;
+            let v_here = pairs[split_at].0;
+            if v_here <= v_prev {
+                continue; // cannot split between equal feature values
+            }
+            let nl = split_at;
+            let nr = n - split_at;
+            if nl < config.min_samples_leaf || nr < config.min_samples_leaf {
+                continue;
+            }
+            let sum_r = total_sum - sum_l;
+            let sumsq_r = total_sumsq - sumsq_l;
+            // n·var = Σy² − (Σy)²/n for each side.
+            let cost = (sumsq_l - sum_l * sum_l / nl as f64)
+                + (sumsq_r - sum_r * sum_r / nr as f64);
+            if best.is_none_or(|(c, _, _)| cost < c - 1e-15) {
+                best = Some((cost, f, (v_prev + v_here) / 2.0));
+            }
+        }
+    }
+    // Zero-gain splits are allowed (as in scikit-learn's CART with
+    // min_impurity_decrease = 0): greedy gain is zero on XOR-like data at
+    // the first level, yet deeper splits resolve it. Recursion still
+    // terminates because both children are non-empty and purity stops it.
+    best.map(|(_, f, t)| (f, t))
+}
+
+/// Draws `n` bootstrap indices in `0..n_total` (public for the forest).
+pub(crate) fn bootstrap_indices(n_total: usize, n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n_total)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<f64>) {
+        (
+            Matrix::from_rows(&[&[0., 0.], &[0., 1.], &[1., 0.], &[1., 1.]]),
+            vec![0.0, 1.0, 1.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn solves_xor_unlike_linear_models() {
+        let (x, y) = xor_data();
+        let cfg = TreeConfig {
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&x, &y, &cfg);
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn single_threshold_split() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[10.0], &[11.0]]);
+        let y = [0.0, 0.0, 1.0, 1.0];
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                min_samples_split: 2,
+                ..TreeConfig::default()
+            },
+        );
+        // CART places the threshold at the midpoint between 2 and 10.
+        assert_eq!(t.predict_row(&[5.9]), 0.0);
+        assert_eq!(t.predict_row(&[6.1]), 1.0);
+        assert_eq!(t.predict_row(&[10.5]), 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        // Alternating labels along one feature force deep trees.
+        let x = Matrix::from_fn(64, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..64).map(|r| (r % 2) as f64).collect();
+        let shallow = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: 2,
+                min_samples_split: 2,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(shallow.depth() <= 2);
+        let deep = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: 10,
+                min_samples_split: 2,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(deep.depth() > 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = [5.0, 5.0, 5.0];
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict_row(&[99.0]), 5.0);
+    }
+
+    #[test]
+    fn regression_fits_step_function() {
+        let x = Matrix::from_fn(40, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..40).map(|r| if r < 20 { 1.5 } else { 7.5 }).collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(t.predict_row(&[5.0]), 1.5);
+        assert_eq!(t.predict_row(&[30.0]), 7.5);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = [0.0, 0.0, 0.0, 1.0];
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                min_samples_leaf: 2,
+                min_samples_split: 2,
+                ..TreeConfig::default()
+            },
+        );
+        // A 1-sample right leaf (only x=4) is forbidden: split at 2/3.
+        assert!((t.predict_row(&[3.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_subsampling_changes_tree_but_stays_valid() {
+        let x = Matrix::from_fn(50, 6, |r, c| ((r * (c + 2)) as f64 * 0.317).sin());
+        let y: Vec<f64> = (0..50).map(|r| f64::from(x[(r, 3)] > 0.0)).collect();
+        let full = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let sub = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                n_features: Some(2),
+                seed: 5,
+                ..TreeConfig::default()
+            },
+        );
+        // Full tree nails the single informative feature.
+        let acc = |t: &DecisionTree| {
+            t.predict(&x)
+                .iter()
+                .zip(&y)
+                .filter(|(p, t)| (**p > 0.5) == (**t > 0.5))
+                .count()
+        };
+        assert_eq!(acc(&full), 50);
+        assert!(acc(&sub) >= 40);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Matrix::from_fn(30, 4, |r, c| ((r + c * 7) as f64).cos());
+        let y: Vec<f64> = (0..30).map(|r| (r % 2) as f64).collect();
+        let cfg = TreeConfig {
+            n_features: Some(2),
+            seed: 3,
+            ..TreeConfig::default()
+        };
+        assert_eq!(DecisionTree::fit(&x, &y, &cfg), DecisionTree::fit(&x, &y, &cfg));
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::filled(10, 3, 1.0);
+        let y: Vec<f64> = (0..10).map(|r| (r % 2) as f64).collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(t.n_nodes(), 1);
+        assert!((t.predict_row(&[1.0, 1.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+}

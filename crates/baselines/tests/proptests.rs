@@ -1,0 +1,128 @@
+//! Property-based tests for the baseline models.
+
+use occusense_baselines::forest::{ForestConfig, RandomForest};
+use occusense_baselines::linreg::{LinRegConfig, LinearRegression};
+use occusense_baselines::logreg::{LogRegConfig, LogisticRegression};
+use occusense_baselines::tree::{DecisionTree, TreeConfig};
+use occusense_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A feature matrix plus real targets of matching length.
+fn regression_data() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (4usize..30, 1usize..5).prop_flat_map(|(n, d)| {
+        let x = prop::collection::vec(-10.0f64..10.0, n * d)
+            .prop_map(move |data| Matrix::from_vec(n, d, data));
+        let y = prop::collection::vec(-10.0f64..10.0, n);
+        (x, y)
+    })
+}
+
+proptest! {
+    #[test]
+    fn tree_predictions_within_target_hull((x, y) in regression_data()) {
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for p in t.predict(&x) {
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn tree_depth_bounded((x, y) in regression_data(), depth in 1usize..6) {
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: depth,
+                min_samples_split: 2,
+                ..TreeConfig::default()
+            },
+        );
+        prop_assert!(t.depth() <= depth);
+    }
+
+    #[test]
+    fn forest_predictions_within_target_hull((x, y) in regression_data()) {
+        let rf = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 5,
+                ..ForestConfig::default()
+            },
+        );
+        let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for p in rf.predict(&x) {
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn logreg_probabilities_bounded(
+        n in 4usize..40,
+        seed_vals in prop::collection::vec(-5.0f64..5.0, 4..40),
+    ) {
+        let n = n.min(seed_vals.len());
+        let x = Matrix::from_vec(n, 1, seed_vals[..n].to_vec());
+        let y: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let m = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogRegConfig {
+                epochs: 5,
+                ..LogRegConfig::default()
+            },
+        );
+        for p in m.predict_proba(&x) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn linreg_recovers_planted_model(
+        n in 6usize..40,
+        w in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+    ) {
+        // Exact linear data with a well-spread regressor.
+        let x = Matrix::from_fn(n, 1, |r, _| r as f64 * 0.7 - 3.0);
+        let y: Vec<f64> = (0..n).map(|r| w * x[(r, 0)] + b).collect();
+        let m = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).unwrap();
+        prop_assert!((m.coefficients()[0] - w).abs() < 1e-6);
+        prop_assert!((m.intercept() - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forest_majority_vote_is_thresholded_mean((x, y) in regression_data()) {
+        // Binarise targets first.
+        let yb: Vec<f64> = y.iter().map(|&v| f64::from(v > 0.0)).collect();
+        let rf = RandomForest::fit(
+            &x,
+            &yb,
+            &ForestConfig {
+                n_trees: 4,
+                ..ForestConfig::default()
+            },
+        );
+        let probs = rf.predict(&x);
+        let labels = rf.predict_labels(&x);
+        for (p, l) in probs.iter().zip(&labels) {
+            prop_assert_eq!(u8::from(*p > 0.5), *l);
+        }
+    }
+
+    #[test]
+    fn tree_is_deterministic((x, y) in regression_data(), seed in 0u64..20) {
+        let cfg = TreeConfig {
+            n_features: Some(1),
+            seed,
+            ..TreeConfig::default()
+        };
+        prop_assert_eq!(
+            DecisionTree::fit(&x, &y, &cfg),
+            DecisionTree::fit(&x, &y, &cfg)
+        );
+    }
+}

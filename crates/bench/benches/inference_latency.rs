@@ -1,0 +1,61 @@
+//! E8 — model efficiency: single-sample inference latency and model
+//! size, backing the paper's §IV-B claims (15.18 KiB model, 10.781 ms
+//! inference on the full feature set; RF "does not allow … deployment on
+//! embedded boards").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::{Dataset, FeatureView};
+use std::hint::black_box;
+
+fn train_small(model: ModelKind, features: FeatureView) -> (OccupancyDetector, Dataset) {
+    let ds = simulate(&ScenarioConfig::quick(1200.0, 99));
+    let cfg = DetectorConfig {
+        model,
+        features,
+        mlp_epochs: 3,
+        max_train_samples: Some(2_000),
+        ..DetectorConfig::default()
+    };
+    (OccupancyDetector::train(&ds, &cfg), ds)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_sample_inference");
+
+    for (name, model, features) in [
+        ("mlp_csi", ModelKind::Mlp, FeatureView::Csi),
+        ("mlp_csi_env", ModelKind::Mlp, FeatureView::CsiEnv),
+        ("logreg_csi_env", ModelKind::LogisticRegression, FeatureView::CsiEnv),
+        ("forest_csi_env", ModelKind::RandomForest, FeatureView::CsiEnv),
+    ] {
+        let (det, ds) = train_small(model, features);
+        if let Some(mlp) = det.mlp() {
+            eprintln!(
+                "{name}: {} parameters, {:.2} KiB at f32 (paper claims 15.18 KiB)",
+                mlp.n_parameters(),
+                mlp.size_kib(4)
+            );
+        }
+        let record = ds.records()[ds.len() / 2];
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(det.predict_record(black_box(&record))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_inference_1k");
+    group.sample_size(20);
+    let (det, ds) = train_small(ModelKind::Mlp, FeatureView::CsiEnv);
+    let batch: Dataset = ds.records()[..1000.min(ds.len())].iter().copied().collect();
+    group.bench_function("mlp_csi_env_1k_records", |b| {
+        b.iter(|| black_box(det.predict(black_box(&batch))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_batch_inference);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E9 — ablation: cost of the CSI simulator — the channel model's
+//! frequency response, the receiver chain, and a full simulator step —
+//! establishing that regenerating the paper's 20 Hz × 76 h campaign is
+//! tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occusense_core::channel::geometry::Point3;
+use occusense_core::channel::receiver::Receiver;
+use occusense_core::channel::scene::{Body, Scene};
+use occusense_core::sim::{OfficeSimulator, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_model");
+
+    let empty = Scene::office_default();
+    group.bench_function("frequency_response_empty", |b| {
+        b.iter(|| black_box(black_box(&empty).frequency_response()))
+    });
+
+    let mut crowded = Scene::office_default();
+    for i in 0..4 {
+        crowded.bodies.push(Body::standing(Point3::new(
+            2.0 + i as f64 * 2.5,
+            1.0 + i as f64,
+            0.0,
+        )));
+    }
+    group.bench_function("frequency_response_4_bodies", |b| {
+        b.iter(|| black_box(black_box(&crowded).frequency_response()))
+    });
+
+    // E9 fidelity knob: the 30 extra double-bounce paths of order 2.
+    let mut order2 = crowded.clone();
+    order2.max_reflection_order = 2;
+    group.bench_function("frequency_response_order2", |b| {
+        b.iter(|| black_box(black_box(&order2).frequency_response()))
+    });
+
+    let response = crowded.frequency_response();
+    let rx = Receiver::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("receiver_measure", |b| {
+        b.iter(|| black_box(rx.measure(black_box(&response), &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_simulator_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("step_20hz", |b| {
+        let mut cfg = ScenarioConfig::quick(1.0e7, 3);
+        cfg.sample_rate_hz = 20.0;
+        let mut sim = OfficeSimulator::new(cfg);
+        b.iter(|| black_box(sim.step()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel, bench_simulator_step);
+criterion_main!(benches);

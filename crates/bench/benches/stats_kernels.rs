@@ -1,0 +1,60 @@
+//! E11 — ablation: cost of the statistical kernels used by the §V-A
+//! profiling pipeline (Pearson over long series, ADF regressions,
+//! correlation matrices).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occusense_core::stats::adf::{adf_test, LagSelection, Regression};
+use occusense_core::stats::correlation::{correlation_matrix, pearson};
+use occusense_core::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0.0;
+    (0..n)
+        .map(|_| {
+            // Stationary AR(1).
+            acc = 0.6 * acc + rng.gen_range(-1.0..1.0);
+            acc
+        })
+        .collect()
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let x = series(100_000, 1);
+    let y = series(100_000, 2);
+    c.bench_function("pearson_100k", |b| {
+        b.iter(|| black_box(pearson(black_box(&x), black_box(&y))))
+    });
+}
+
+fn bench_adf(c: &mut Criterion) {
+    let x = series(5_000, 3);
+    let mut group = c.benchmark_group("adf_5k");
+    group.sample_size(20);
+    group.bench_function("fixed_lag_4", |b| {
+        b.iter(|| black_box(adf_test(black_box(&x), Regression::Constant, LagSelection::Fixed(4))))
+    });
+    group.bench_function("constant_trend_lag_4", |b| {
+        b.iter(|| {
+            black_box(adf_test(
+                black_box(&x),
+                Regression::ConstantTrend,
+                LagSelection::Fixed(4),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_correlation_matrix(c: &mut Criterion) {
+    let data = Matrix::from_fn(2_000, 20, |r, col| ((r * (col + 3)) as f64 * 0.013).sin());
+    c.bench_function("correlation_matrix_2000x20", |b| {
+        b.iter(|| black_box(correlation_matrix(black_box(&data))))
+    });
+}
+
+criterion_group!(benches, bench_pearson, bench_adf, bench_correlation_matrix);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E12 — ablation: why fold 4 is the hard fold.
+//!
+//! Runs the Table IV CSI column for the MLP and the random forest twice
+//! on the same seed: once with the scripted furniture rearrangement on
+//! the final morning (the default `turetta2022` scenario) and once with
+//! the furniture frozen. The fold-4 accuracy gap isolates the
+//! layout-change contribution to the fold's difficulty, which DESIGN.md
+//! calls out as a simulator design choice.
+
+use occusense_bench::{pct, rule, Cli};
+use occusense_core::detector::ModelKind;
+use occusense_core::experiments::{table4, ExperimentConfig, Table4};
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::FeatureView;
+
+fn run(cli: &Cli, with_layout_change: bool) -> Table4 {
+    let mut scenario = ScenarioConfig::turetta2022(cli.seed);
+    scenario.sample_rate_hz = cli.rate_hz;
+    if !with_layout_change {
+        scenario.layout_change_s = None;
+    }
+    let ds = simulate(&scenario);
+    let cfg = ExperimentConfig {
+        seed: cli.seed,
+        max_train_samples: cli.train_cap,
+        epochs: cli.epochs,
+        ..ExperimentConfig::default()
+    };
+    table4(&ds, &cfg)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    eprintln!("running scenario WITH the fold-4 furniture rearrangement…");
+    let with_change = run(&cli, true);
+    eprintln!("running scenario WITHOUT the rearrangement…");
+    let without_change = run(&cli, false);
+
+    println!("Ablation — furniture-layout change vs fold-4 difficulty (CSI features)\n");
+    rule(78);
+    println!(
+        "{:<22} {:<9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Model", "Layout", "fold1", "fold2", "fold3", "fold4", "fold5"
+    );
+    rule(78);
+    for model in [ModelKind::Mlp, ModelKind::RandomForest] {
+        for (label, t4) in [("changes", &with_change), ("frozen", &without_change)] {
+            let acc = t4
+                .cell(model, FeatureView::Csi)
+                .expect("CSI cell")
+                .fold_accuracy;
+            println!(
+                "{:<22} {:<9} {:>7}% {:>7}% {:>7}% {:>7}% {:>7}%",
+                model.name(),
+                label,
+                pct(acc[0]),
+                pct(acc[1]),
+                pct(acc[2]),
+                pct(acc[3]),
+                pct(acc[4])
+            );
+        }
+        let delta = 100.0
+            * (without_change.cell(model, FeatureView::Csi).expect("cell").fold_accuracy[3]
+                - with_change.cell(model, FeatureView::Csi).expect("cell").fold_accuracy[3]);
+        println!(
+            "{:<22} fold-4 delta attributable to rearrangement: {delta:+.1} pp",
+            ""
+        );
+        rule(78);
+    }
+    println!("(folds 1-3 predate the rearrangement and should be unaffected)");
+}

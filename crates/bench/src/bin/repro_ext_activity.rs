@@ -1,0 +1,81 @@
+//! E13 (extension) — the paper's §VI future work: simultaneous occupancy
+//! detection and activity recognition. Trains the four-way softmax MLP
+//! (empty / seated / standing / walking) on fold 0 of the full campaign
+//! and evaluates on the five test folds.
+
+use occusense_bench::{pct, rule, Cli};
+use occusense_core::activity::{ActivityConfig, ActivityRecognizer};
+use occusense_core::dataset::folds::turetta_folds;
+use occusense_core::sim::{simulate_annotated, ActivityClass, ScenarioConfig};
+use occusense_core::stats::metrics::accuracy;
+use occusense_core::Dataset;
+
+fn main() {
+    let cli = Cli::from_env();
+    let mut scenario = ScenarioConfig::turetta2022(cli.seed);
+    scenario.sample_rate_hz = cli.rate_hz;
+    eprintln!("simulating annotated campaign at {} Hz…", cli.rate_hz);
+    let (ds, labels) = simulate_annotated(&scenario);
+
+    let folds = turetta_folds();
+    let in_fold = |spec: &occusense_core::dataset::FoldSpec| -> (Dataset, Vec<ActivityClass>) {
+        let mut d = Dataset::new();
+        let mut l = Vec::new();
+        for (r, a) in ds.iter().zip(&labels) {
+            if (spec.start_s..spec.end_s).contains(&r.timestamp_s) {
+                d.push(*r);
+                l.push(*a);
+            }
+        }
+        (d, l)
+    };
+
+    let (train, train_labels) = in_fold(&folds[0]);
+    let model = ActivityRecognizer::train(
+        &train,
+        &train_labels,
+        &ActivityConfig {
+            seed: cli.seed,
+            max_train_samples: Some(cli.train_cap),
+            epochs: cli.epochs,
+            ..ActivityConfig::default()
+        },
+    );
+
+    println!("Extension E13 — activity recognition (empty/seated/standing/walking)\n");
+    rule(72);
+    println!(
+        "{:<6} {:>14} {:>14} {:>20}",
+        "Fold", "activity acc", "macro recall", "occupancy-from-act"
+    );
+    rule(72);
+    let mut pooled_truth: Vec<usize> = Vec::new();
+    let mut pooled_pred: Vec<usize> = Vec::new();
+    for spec in &folds[1..] {
+        let (fold, fold_labels) = in_fold(spec);
+        if fold.is_empty() {
+            continue;
+        }
+        let cm = model.evaluate(&fold, &fold_labels);
+        let occ_pred = model.predict_occupancy(&fold);
+        let occ_acc = accuracy(&fold.labels(), &occ_pred);
+        println!(
+            "{:<6} {:>13}% {:>13}% {:>19}%",
+            spec.index,
+            pct(cm.accuracy()),
+            pct(cm.macro_recall()),
+            pct(occ_acc)
+        );
+        pooled_truth.extend(fold_labels.iter().map(|c| c.label()));
+        pooled_pred.extend(model.predict(&fold).iter().map(|c| c.label()));
+    }
+    rule(72);
+    let pooled = occusense_core::stats::metrics::MultiConfusion::from_labels(
+        ActivityClass::COUNT,
+        &pooled_truth,
+        &pooled_pred,
+    );
+    println!("pooled test folds:\n{pooled}");
+    println!("\nclasses: 0 empty, 1 seated, 2 standing, 3 walking");
+    println!("(the paper proposes this as future work; no reference values exist)");
+}

@@ -1,0 +1,41 @@
+//! E2 — Table II: distribution of simultaneous subjects' presence in
+//! terms of data samples.
+
+use occusense_bench::{rule, Cli};
+use occusense_core::experiments::table2;
+
+/// Paper percentages for 0–4 occupants (Table II).
+const PAPER_PCT: [f64; 5] = [63.2, 18.4, 10.6, 6.2, 1.6];
+
+fn main() {
+    let cli = Cli::from_env();
+    let ds = cli.dataset();
+    let profile = table2(&ds);
+
+    println!("Table II — simultaneous subjects' presence distribution\n");
+    rule(64);
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "Occupants", "# samples", "measured %", "paper %", "Δ"
+    );
+    rule(64);
+    for (k, paper_pct) in PAPER_PCT.iter().enumerate() {
+        let measured = profile.percentage(k);
+        println!(
+            "{:<10} {:>12} {:>11.1}% {:>11.1}% {:>11.1}",
+            k,
+            profile.count(k),
+            measured,
+            paper_pct,
+            measured - paper_pct
+        );
+    }
+    rule(64);
+    let empty_pct = 100.0 * profile.empty_total() as f64 / profile.total() as f64;
+    println!(
+        "Empty {:>6.1}% (paper 63.2%) | Occupied {:>6.1}% (paper 36.8%) | total {}",
+        empty_pct,
+        100.0 - empty_pct,
+        profile.total()
+    );
+}

@@ -1,0 +1,50 @@
+//! E3 — Table III: start/end, sample counts and temperature/humidity
+//! ranges of the training fold (0) and the five test folds.
+
+use occusense_bench::{rule, Cli};
+use occusense_core::dataset::folds::paper_fold_stats;
+use occusense_core::experiments::table3;
+
+fn main() {
+    let cli = Cli::from_env();
+    let ds = cli.dataset();
+    let rows = table3(&ds);
+    let paper = paper_fold_stats();
+
+    println!("Table III — fold boundaries, sample counts, T/H ranges");
+    println!("(sample counts scale with --rate; the paper collected at 20 Hz)\n");
+    rule(110);
+    println!(
+        "{:<4} {:<12} {:<12} {:>9} {:>9} {:>13} {:>9} | paper: {:>9} {:>9} {:>13} {:>9}",
+        "Fold", "Start", "End", "Empty", "Occup.", "T (min/max)", "H", "Empty", "Occup.", "T", "H"
+    );
+    rule(110);
+    for (row, p) in rows.iter().zip(&paper) {
+        println!(
+            "{:<4} {:<12} {:<12} {:>9} {:>9} {:>6.2}/{:<6.2} {:>4.0}/{:<4.0} | {:>13} {:>9} {:>6.2}/{:<6.2} {:>4.0}/{:<4.0}",
+            row.spec.index,
+            row.spec.start_label,
+            row.spec.end_label,
+            row.empty,
+            row.occupied,
+            row.temperature.0,
+            row.temperature.1,
+            row.humidity.0,
+            row.humidity.1,
+            p.empty,
+            p.occupied,
+            p.temperature.0,
+            p.temperature.1,
+            p.humidity.0,
+            p.humidity.1,
+        );
+    }
+    rule(110);
+    let occupied_frac = |empty: usize, occ: usize| 100.0 * occ as f64 / (empty + occ).max(1) as f64;
+    let r4 = &rows[4];
+    println!(
+        "fold-4 occupied fraction: measured {:.1}% vs paper {:.1}%",
+        occupied_frac(r4.empty, r4.occupied),
+        100.0 * 265_519.0 / 321_742.0
+    );
+}

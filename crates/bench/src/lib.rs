@@ -1,0 +1,158 @@
+//! # occusense-bench
+//!
+//! The reproduction harness: one `repro_*` binary per table/figure of the
+//! paper plus Criterion micro-benchmarks (see `benches/`). Every binary
+//! prints measured values side by side with the paper's reported numbers
+//! so the *shape* comparison is immediate.
+//!
+//! Common CLI flags (all binaries):
+//!
+//! * `--rate <hz>` — CSI sampling rate of the simulated campaign
+//!   (default 2.0; the paper's hardware ran at 20 Hz).
+//! * `--seed <u64>` — master scenario seed (default 0).
+//! * `--train-cap <n>` — stratified cap on model training sets
+//!   (default 40 000).
+//! * `--epochs <n>` — MLP/NN training epochs (default 10).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use occusense_core::experiments::ExperimentConfig;
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::Dataset;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cli {
+    /// Simulated CSI sampling rate, Hz.
+    pub rate_hz: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Stratified training-set cap.
+    pub train_cap: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            rate_hz: 2.0,
+            seed: 0,
+            train_cap: 40_000,
+            epochs: 10,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args()`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut cli = Cli::default();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut value = |what: &str| -> String {
+                args.next()
+                    .unwrap_or_else(|| panic!("flag {what} needs a value"))
+            };
+            match flag.as_str() {
+                "--rate" => cli.rate_hz = value("--rate").parse().expect("bad --rate"),
+                "--seed" => cli.seed = value("--seed").parse().expect("bad --seed"),
+                "--train-cap" => {
+                    cli.train_cap = value("--train-cap").parse().expect("bad --train-cap")
+                }
+                "--epochs" => cli.epochs = value("--epochs").parse().expect("bad --epochs"),
+                other => panic!("unknown flag '{other}' (see crate docs for usage)"),
+            }
+        }
+        cli
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The experiment configuration implied by these options.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            seed: self.seed,
+            max_train_samples: self.train_cap,
+            epochs: self.epochs,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Simulates the `turetta2022` campaign at the requested rate.
+    pub fn dataset(&self) -> Dataset {
+        let mut cfg = ScenarioConfig::turetta2022(self.seed);
+        cfg.sample_rate_hz = self.rate_hz;
+        eprintln!(
+            "simulating turetta2022 campaign: {:.2} Hz, seed {} ({} samples)…",
+            self.rate_hz,
+            self.seed,
+            cfg.n_samples()
+        );
+        let ds = simulate(&cfg);
+        eprintln!("…done ({} records)", ds.len());
+        ds
+    }
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats an accuracy fraction as the paper's integer percent.
+pub fn pct(fraction: f64) -> String {
+    format!("{:3.0}", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Cli {
+        Cli::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let cli = parse(&[]);
+        assert_eq!(cli, Cli::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = parse(&["--rate", "0.5", "--seed", "9", "--train-cap", "1000", "--epochs", "3"]);
+        assert_eq!(cli.rate_hz, 0.5);
+        assert_eq!(cli.seed, 9);
+        assert_eq!(cli.train_cap, 1000);
+        assert_eq!(cli.epochs, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    fn experiment_config_propagates() {
+        let cli = parse(&["--train-cap", "123", "--epochs", "4"]);
+        let cfg = cli.experiment_config();
+        assert_eq!(cfg.max_train_samples, 123);
+        assert_eq!(cfg.epochs, 4);
+    }
+
+    #[test]
+    fn pct_formats_paper_style() {
+        assert_eq!(pct(0.97), " 97");
+        assert_eq!(pct(1.0), "100");
+    }
+}

@@ -1,0 +1,116 @@
+//! Air absorption as a function of temperature and humidity.
+//!
+//! At 2.4 GHz, atmospheric absorption over room-scale distances is small
+//! but not zero, and it is dominated by water vapour. What matters for the
+//! reproduction is its *shape*: the saturation vapour pressure is a
+//! strongly non-linear (exponential) function of temperature (Magnus
+//! formula), so the absolute humidity — and hence the attenuation — mixes
+//! temperature and relative humidity non-linearly. This is one of the two
+//! channels (with [`crate::materials`]) through which the environment
+//! imprints itself on CSI, enabling the paper's §V-D regression.
+//!
+//! The absorption magnitude is deliberately calibrated a factor above the
+//! true physical value (documented in DESIGN.md) so that a 74-hour indoor
+//! humidity swing produces a measurable, learnable CSI variation at 8-bit
+//! quantisation — mimicking the empirical sensitivity reported by
+//! WiHumidity \[19\].
+
+/// Saturation water-vapour pressure in hPa at `temperature_c` (Magnus
+/// formula, valid over roughly −45…60 °C).
+///
+/// # Example
+///
+/// ```
+/// use occusense_channel::air::saturation_vapor_pressure_hpa;
+/// let p20 = saturation_vapor_pressure_hpa(20.0);
+/// assert!((p20 - 23.4).abs() < 0.5); // ~23.4 hPa at 20 °C
+/// ```
+pub fn saturation_vapor_pressure_hpa(temperature_c: f64) -> f64 {
+    6.1094 * ((17.625 * temperature_c) / (temperature_c + 243.04)).exp()
+}
+
+/// Absolute humidity in g/m³ from temperature and relative humidity, via
+/// the ideal-gas law for water vapour.
+pub fn absolute_humidity_g_m3(temperature_c: f64, relative_humidity_pct: f64) -> f64 {
+    let p_sat = saturation_vapor_pressure_hpa(temperature_c);
+    let p_vap = p_sat * (relative_humidity_pct / 100.0).clamp(0.0, 1.0);
+    // ρ = p·M_w / (R·T); with p in hPa this collapses to 216.7 · p / T[K].
+    216.7 * p_vap / (temperature_c + 273.15)
+}
+
+/// Amplitude attenuation coefficient of air in nepers per metre at 2.4 GHz
+/// for the given environment.
+///
+/// Modelled as a dry-air floor plus a super-linear vapour term:
+/// `α = α_dry + k·ρ_v^1.3` with `ρ_v` the absolute humidity in g/m³.
+pub fn attenuation_np_per_m(temperature_c: f64, relative_humidity_pct: f64) -> f64 {
+    const ALPHA_DRY: f64 = 2.0e-4;
+    const K_VAPOR: f64 = 4.0e-4;
+    let rho = absolute_humidity_g_m3(temperature_c, relative_humidity_pct);
+    ALPHA_DRY + K_VAPOR * rho.powf(1.3)
+}
+
+/// Amplitude factor `e^{-α d}` over a path of `distance_m` metres.
+pub fn path_gain(temperature_c: f64, relative_humidity_pct: f64, distance_m: f64) -> f64 {
+    (-attenuation_np_per_m(temperature_c, relative_humidity_pct) * distance_m).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnus_reference_points() {
+        // Well-known saturation pressures.
+        assert!((saturation_vapor_pressure_hpa(0.0) - 6.11).abs() < 0.1);
+        assert!((saturation_vapor_pressure_hpa(20.0) - 23.4).abs() < 0.5);
+        assert!((saturation_vapor_pressure_hpa(30.0) - 42.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn absolute_humidity_reference_point() {
+        // ~17.3 g/m³ at 20 °C, 100 % RH.
+        let ah = absolute_humidity_g_m3(20.0, 100.0);
+        assert!((ah - 17.3).abs() < 0.5, "got {ah}");
+        // Halving RH halves absolute humidity.
+        assert!((absolute_humidity_g_m3(20.0, 50.0) - ah / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_humidity_is_nonlinear_in_temperature() {
+        // Same RH, rising temperature: each 10 °C step adds MORE vapour.
+        let a10 = absolute_humidity_g_m3(10.0, 50.0);
+        let a20 = absolute_humidity_g_m3(20.0, 50.0);
+        let a30 = absolute_humidity_g_m3(30.0, 50.0);
+        assert!(a30 - a20 > a20 - a10);
+    }
+
+    #[test]
+    fn attenuation_monotone_in_both_variables() {
+        assert!(attenuation_np_per_m(20.0, 60.0) > attenuation_np_per_m(20.0, 30.0));
+        assert!(attenuation_np_per_m(30.0, 40.0) > attenuation_np_per_m(15.0, 40.0));
+    }
+
+    #[test]
+    fn path_gain_in_unit_interval_and_decaying() {
+        let g2 = path_gain(22.0, 40.0, 2.0);
+        let g10 = path_gain(22.0, 40.0, 10.0);
+        assert!(g2 > 0.0 && g2 < 1.0);
+        assert!(g10 < g2);
+        // Multiplicativity over concatenated paths.
+        let g5 = path_gain(22.0, 40.0, 5.0);
+        assert!((g10 - g5 * g5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn room_scale_attenuation_is_modest() {
+        // Even at a humid 30 °C / 70 %, a 15 m path keeps > 70 % amplitude:
+        // the effect must perturb, not destroy, the channel.
+        let g = path_gain(30.0, 70.0, 15.0);
+        assert!(g > 0.7, "gain {g}");
+        // But the empty-vs-humid difference is resolvable at 8-bit scale.
+        let dry = path_gain(19.0, 20.0, 10.0);
+        let wet = path_gain(25.0, 45.0, 10.0);
+        assert!((dry - wet).abs() > 1.0 / 512.0, "delta {}", (dry - wet).abs());
+    }
+}

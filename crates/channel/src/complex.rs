@@ -1,0 +1,178 @@
+//! Minimal complex-number type for channel responses.
+//!
+//! The workspace avoids external numeric crates; this is the handful of
+//! operations a frequency-domain ray model needs.
+
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A complex number `re + j·im`.
+///
+/// # Example
+///
+/// ```
+/// use occusense_channel::Complex;
+/// let j = Complex::new(0.0, 1.0);
+/// assert!((j * j - Complex::new(-1.0, 0.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates `e^{jθ} = cos θ + j sin θ`.
+    pub fn from_angle(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self { re: c, im: s }
+    }
+
+    /// Creates a complex number from polar form `r·e^{jθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self {
+            re: r * c,
+            im: r * s,
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`, cheaper than [`abs`](Self::abs).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+
+    fn mul(self, k: f64) -> Complex {
+        self.scale(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        approx(z.abs(), 2.0);
+        approx(z.arg(), 0.7);
+    }
+
+    #[test]
+    fn from_angle_is_unit_magnitude() {
+        for k in 0..16 {
+            let z = Complex::from_angle(k as f64 * 0.5);
+            approx(z.abs(), 1.0);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a + Complex::ZERO, a);
+        // |ab| = |a||b|
+        approx((a * b).abs(), a.abs() * b.abs());
+        // conj multiplication gives |a|^2.
+        approx((a * a.conj()).re, a.norm_sqr());
+        approx((a * a.conj()).im, 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = Complex::ZERO;
+        for _ in 0..4 {
+            acc += Complex::new(0.25, -0.5);
+        }
+        approx(acc.re, 1.0);
+        approx(acc.im, -2.0);
+    }
+
+    #[test]
+    fn scale_matches_mul_f64() {
+        let a = Complex::new(3.0, -4.0);
+        assert_eq!(a.scale(2.0), a * 2.0);
+        approx((a * 2.0).abs(), 10.0);
+    }
+}

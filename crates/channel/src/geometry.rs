@@ -1,0 +1,245 @@
+//! 3-D geometry primitives: points, the office room box, segment distance
+//! tests used for Fresnel-zone shadowing.
+
+/// A point (or vector) in 3-D space, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// X coordinate (along the 12 m office wall).
+    pub x: f64,
+    /// Y coordinate (along the 6 m office wall).
+    pub y: f64,
+    /// Z coordinate (height, 0 = floor).
+    pub z: f64,
+}
+
+impl std::ops::Add for Point3 {
+    type Output = Point3;
+
+    fn add(self, other: Point3) -> Point3 {
+        Point3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+}
+
+impl std::ops::Sub for Point3 {
+    type Output = Point3;
+
+    fn sub(self, other: Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+}
+
+impl Point3 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_channel::geometry::Point3;
+    /// let a = Point3::new(0.0, 0.0, 0.0);
+    /// let b = Point3::new(3.0, 4.0, 0.0);
+    /// assert_eq!(a.distance(b), 5.0);
+    /// ```
+    pub fn distance(self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Scales the vector by `k`.
+    pub fn scale(self, k: f64) -> Point3 {
+        Point3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+}
+
+/// Shortest distance from point `p` to the segment `a`–`b`, together with
+/// the normalised position `t ∈ [0, 1]` of the closest point on the
+/// segment. Used to decide whether a human body intrudes into the Fresnel
+/// zone of a propagation path.
+pub fn point_segment_distance(p: Point3, a: Point3, b: Point3) -> (f64, f64) {
+    let ab = b - a;
+    let len2 = ab.dot(ab);
+    if len2 == 0.0 {
+        return (p.distance(a), 0.0);
+    }
+    let t = ((p - a).dot(ab) / len2).clamp(0.0, 1.0);
+    let closest = a + ab.scale(t);
+    (p.distance(closest), t)
+}
+
+/// The six boundary surfaces of the rectangular office.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Surface {
+    /// Floor, z = 0.
+    Floor,
+    /// Ceiling, z = height.
+    Ceiling,
+    /// Wall at y = 0 (internal plasterboard in the paper's office).
+    WallSouth,
+    /// Wall at y = depth.
+    WallNorth,
+    /// Wall at x = 0 (external reinforced concrete).
+    WallWest,
+    /// Wall at x = width.
+    WallEast,
+}
+
+impl Surface {
+    /// All six surfaces, in a fixed order.
+    pub const ALL: [Surface; 6] = [
+        Surface::Floor,
+        Surface::Ceiling,
+        Surface::WallSouth,
+        Surface::WallNorth,
+        Surface::WallWest,
+        Surface::WallEast,
+    ];
+}
+
+/// The rectangular office room, matching §IV-A: 12 × 6 × 3 metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Room {
+    /// Extent along x, metres.
+    pub width: f64,
+    /// Extent along y, metres.
+    pub depth: f64,
+    /// Extent along z, metres.
+    pub height: f64,
+}
+
+impl Room {
+    /// The paper's office: 12 × 6 × 3 m.
+    pub fn office() -> Self {
+        Self {
+            width: 12.0,
+            depth: 6.0,
+            height: 3.0,
+        }
+    }
+
+    /// Whether `p` lies inside (or on the boundary of) the room.
+    pub fn contains(&self, p: Point3) -> bool {
+        (0.0..=self.width).contains(&p.x)
+            && (0.0..=self.depth).contains(&p.y)
+            && (0.0..=self.height).contains(&p.z)
+    }
+
+    /// Mirror image of `p` across the given surface — the image-method
+    /// virtual source for a first-order reflection.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_channel::geometry::{Point3, Room, Surface};
+    /// let room = Room::office();
+    /// let p = Point3::new(2.0, 3.0, 1.0);
+    /// let img = room.mirror(p, Surface::Floor);
+    /// assert_eq!(img, Point3::new(2.0, 3.0, -1.0));
+    /// ```
+    pub fn mirror(&self, p: Point3, surface: Surface) -> Point3 {
+        match surface {
+            Surface::Floor => Point3::new(p.x, p.y, -p.z),
+            Surface::Ceiling => Point3::new(p.x, p.y, 2.0 * self.height - p.z),
+            Surface::WallSouth => Point3::new(p.x, -p.y, p.z),
+            Surface::WallNorth => Point3::new(p.x, 2.0 * self.depth - p.y, p.z),
+            Surface::WallWest => Point3::new(-p.x, p.y, p.z),
+            Surface::WallEast => Point3::new(2.0 * self.width - p.x, p.y, p.z),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_vector_ops() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 6.0, 3.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b - a, Point3::new(3.0, 4.0, 0.0));
+        assert_eq!(a + b, Point3::new(5.0, 8.0, 6.0));
+        assert_eq!(a.scale(2.0), Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 4.0 + 12.0 + 9.0);
+        assert!(((b - a).norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_segment_distance_cases() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(10.0, 0.0, 0.0);
+        // Perpendicular from the middle.
+        let (d, t) = point_segment_distance(Point3::new(5.0, 2.0, 0.0), a, b);
+        assert!((d - 2.0).abs() < 1e-12);
+        assert!((t - 0.5).abs() < 1e-12);
+        // Beyond the end: clamps to endpoint b.
+        let (d, t) = point_segment_distance(Point3::new(13.0, 4.0, 0.0), a, b);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert_eq!(t, 1.0);
+        // Degenerate zero-length segment.
+        let (d, t) = point_segment_distance(Point3::new(1.0, 0.0, 0.0), a, a);
+        assert_eq!(d, 1.0);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn room_contains() {
+        let room = Room::office();
+        assert!(room.contains(Point3::new(6.0, 3.0, 1.5)));
+        assert!(room.contains(Point3::new(0.0, 0.0, 0.0)));
+        assert!(!room.contains(Point3::new(-0.1, 3.0, 1.5)));
+        assert!(!room.contains(Point3::new(6.0, 6.1, 1.5)));
+        assert!(!room.contains(Point3::new(6.0, 3.0, 3.5)));
+    }
+
+    #[test]
+    fn mirror_across_each_surface() {
+        let room = Room::office();
+        let p = Point3::new(2.0, 3.0, 1.0);
+        assert_eq!(room.mirror(p, Surface::Floor), Point3::new(2.0, 3.0, -1.0));
+        assert_eq!(room.mirror(p, Surface::Ceiling), Point3::new(2.0, 3.0, 5.0));
+        assert_eq!(room.mirror(p, Surface::WallSouth), Point3::new(2.0, -3.0, 1.0));
+        assert_eq!(room.mirror(p, Surface::WallNorth), Point3::new(2.0, 9.0, 1.0));
+        assert_eq!(room.mirror(p, Surface::WallWest), Point3::new(-2.0, 3.0, 1.0));
+        assert_eq!(room.mirror(p, Surface::WallEast), Point3::new(22.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let room = Room::office();
+        let p = Point3::new(7.3, 2.1, 2.9);
+        for s in Surface::ALL {
+            let back = room.mirror(room.mirror(p, s), s);
+            assert!(back.distance(p) < 1e-12, "{s:?}: {back:?} vs {p:?}");
+        }
+    }
+
+    #[test]
+    fn mirror_preserves_reflected_path_length() {
+        // Image method invariant: |img(tx) - rx| equals the length of the
+        // reflected path tx -> surface -> rx.
+        let room = Room::office();
+        let tx = Point3::new(2.0, 3.0, 1.4);
+        let rx = Point3::new(4.0, 3.0, 1.4);
+        let img = room.mirror(tx, Surface::Floor);
+        // Reflected path touches the floor at the midpoint for symmetric heights.
+        let touch = Point3::new(3.0, 3.0, 0.0);
+        let via = tx.distance(touch) + touch.distance(rx);
+        assert!((img.distance(rx) - via).abs() < 1e-12);
+    }
+}

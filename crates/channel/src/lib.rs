@@ -1,0 +1,74 @@
+//! # occusense-channel
+//!
+//! RF substrate for the `occusense` workspace: a physics-based model of the
+//! 2.4 GHz / 20 MHz OFDM WiFi channel that the paper's Nexmon-patched
+//! Raspberry Pi sniffs. This crate replaces the physical hardware of the
+//! paper's data-collection setup (Fig. 1–2) per the substitution policy in
+//! `DESIGN.md`.
+//!
+//! The model is a deterministic, geometry-driven multipath ray model:
+//!
+//! * [`geometry`] — 3-D points, the office room box, segment geometry used
+//!   for Fresnel-zone shadowing tests.
+//! * [`materials`] — reflection coefficients of plasterboard, reinforced
+//!   concrete, glass and furniture surfaces, with a *non-linear* dependence
+//!   on moisture content and temperature (this is what lets the downstream
+//!   network recover humidity and temperature from CSI, §V-D).
+//! * [`air`] — water-vapour absorption of the air path, via the Magnus
+//!   saturation-pressure formula (non-linear in temperature).
+//! * [`ofdm`] — subcarrier frequency grid of an IEEE 802.11 20 MHz channel
+//!   (64 subcarriers, d_H = 3.2 · bandwidth as in §II-A of the paper).
+//! * [`multipath`] — path enumeration: line of sight, first-order image
+//!   reflections off the six room surfaces, static furniture scatterers and
+//!   dynamic human-body scatterers, plus body shadowing of paths whose
+//!   Fresnel zone a body intrudes into.
+//! * [`scene`] — a complete snapshot (room, radios, bodies, furniture,
+//!   temperature, humidity) and the frequency response computed from it.
+//! * [`receiver`] — receiver impairments: additive white Gaussian noise,
+//!   automatic gain control with quantised gain steps, and amplitude
+//!   quantisation, producing Nexmon-style CSI amplitude vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use occusense_channel::scene::{Scene, Body};
+//! use occusense_channel::geometry::Point3;
+//! use occusense_channel::receiver::Receiver;
+//! use rand::SeedableRng;
+//!
+//! let mut scene = Scene::office_default();
+//! let empty = scene.frequency_response();
+//!
+//! // A person standing in the room changes the subcarrier profile.
+//! scene.bodies.push(Body::standing(Point3::new(6.0, 3.0, 0.0)));
+//! let occupied = scene.frequency_response();
+//!
+//! let delta: f64 = empty
+//!     .iter()
+//!     .zip(&occupied)
+//!     .map(|(a, b)| (a.abs() - b.abs()).abs())
+//!     .sum();
+//! assert!(delta > 0.0);
+//!
+//! // And the receiver turns the response into a noisy CSI amplitude vector.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let rx = Receiver::default();
+//! let csi = rx.measure(&occupied, &mut rng);
+//! assert_eq!(csi.len(), 64);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod air;
+pub mod complex;
+pub mod geometry;
+pub mod materials;
+pub mod multipath;
+pub mod ofdm;
+pub mod phase;
+pub mod receiver;
+pub mod scene;
+
+pub use complex::Complex;
+pub use scene::{Body, Scatterer, Scene};

@@ -1,0 +1,170 @@
+//! Surface materials and their environment-dependent reflection behaviour.
+//!
+//! The paper's office has plasterboard internal walls, reinforced-concrete
+//! external walls, glass windows and assorted furniture. Reflection
+//! coefficients of building materials depend on their water content (and
+//! hence on relative humidity and temperature) — hygroscopic plasterboard
+//! in particular takes up moisture. The dependence is *non-linear*, which
+//! is exactly the property §V-D of the paper exploits: a non-linear model
+//! can recover temperature and humidity from CSI where a linear model
+//! cannot. The coefficients here are phenomenological (calibrated for
+//! plausible 2.4 GHz magnitudes), not measured.
+
+/// A reflecting material.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Short human-readable name.
+    pub name: &'static str,
+    /// Baseline amplitude reflection coefficient at 20 °C / 35 % RH.
+    pub base_reflectivity: f64,
+    /// Sensitivity of reflectivity to absolute moisture uptake
+    /// (dimensionless, multiplies a non-linear moisture term).
+    pub moisture_gain: f64,
+    /// Sensitivity to temperature deviation from 20 °C (per °C, small).
+    pub temperature_gain: f64,
+}
+
+impl Material {
+    /// Plasterboard (internal walls, 12 cm): hygroscopic, moisture-sensitive.
+    pub const PLASTERBOARD: Material = Material {
+        name: "plasterboard",
+        base_reflectivity: 0.35,
+        moisture_gain: 0.90,
+        temperature_gain: 0.015,
+    };
+
+    /// Reinforced concrete (external walls, 55 cm): strong reflector,
+    /// mildly moisture-sensitive.
+    pub const CONCRETE: Material = Material {
+        name: "concrete",
+        base_reflectivity: 0.62,
+        moisture_gain: 0.35,
+        temperature_gain: 0.006,
+    };
+
+    /// Window glass: strong specular reflector, essentially inert.
+    pub const GLASS: Material = Material {
+        name: "glass",
+        base_reflectivity: 0.55,
+        moisture_gain: 0.04,
+        temperature_gain: 0.002,
+    };
+
+    /// Generic wooden/laminate furniture surface.
+    pub const FURNITURE: Material = Material {
+        name: "furniture",
+        base_reflectivity: 0.25,
+        moisture_gain: 0.50,
+        temperature_gain: 0.010,
+    };
+
+    /// Acoustic ceiling tiles.
+    pub const CEILING_TILE: Material = Material {
+        name: "ceiling tile",
+        base_reflectivity: 0.30,
+        moisture_gain: 0.65,
+        temperature_gain: 0.008,
+    };
+
+    /// Amplitude reflection coefficient at the given environment.
+    ///
+    /// The moisture term uses the *relative* moisture uptake
+    /// `m = RH/100`, entering quadratically (hygroscopic uptake curves are
+    /// convex), cross-coupled with temperature:
+    ///
+    /// ```text
+    /// Γ(T, RH) = Γ₀ · (1 + g_m · (m² − m₀²) + g_T · (T − 20) · m)
+    /// ```
+    ///
+    /// clamped to `[0.02, 0.95]`. With `m₀ = 0.35` the baseline environment
+    /// reproduces `Γ₀` exactly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_channel::materials::Material;
+    /// let dry = Material::PLASTERBOARD.reflectivity(20.0, 20.0);
+    /// let humid = Material::PLASTERBOARD.reflectivity(20.0, 60.0);
+    /// assert!(humid > dry);
+    /// ```
+    pub fn reflectivity(&self, temperature_c: f64, humidity_pct: f64) -> f64 {
+        let m = (humidity_pct / 100.0).clamp(0.0, 1.0);
+        let m0 = 0.35;
+        let factor = 1.0
+            + self.moisture_gain * (m * m - m0 * m0)
+            + self.temperature_gain * (temperature_c - 20.0) * m;
+        (self.base_reflectivity * factor).clamp(0.02, 0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_environment_reproduces_base_reflectivity() {
+        for m in [
+            Material::PLASTERBOARD,
+            Material::CONCRETE,
+            Material::GLASS,
+            Material::FURNITURE,
+            Material::CEILING_TILE,
+        ] {
+            let r = m.reflectivity(20.0, 35.0);
+            assert!(
+                (r - m.base_reflectivity).abs() < 1e-12,
+                "{}: {r} vs {}",
+                m.name,
+                m.base_reflectivity
+            );
+        }
+    }
+
+    #[test]
+    fn humidity_increases_reflectivity_nonlinearly() {
+        let m = Material::PLASTERBOARD;
+        let r20 = m.reflectivity(20.0, 20.0);
+        let r40 = m.reflectivity(20.0, 40.0);
+        let r60 = m.reflectivity(20.0, 60.0);
+        assert!(r20 < r40 && r40 < r60);
+        // Convexity: the second 20-point step changes reflectivity more.
+        assert!((r60 - r40) > (r40 - r20));
+    }
+
+    #[test]
+    fn temperature_couples_through_moisture() {
+        let m = Material::PLASTERBOARD;
+        // At zero humidity the temperature term vanishes.
+        let cold_dry = m.reflectivity(10.0, 0.0);
+        let hot_dry = m.reflectivity(35.0, 0.0);
+        assert!((cold_dry - hot_dry).abs() < 1e-12);
+        // At high humidity it does not.
+        let cold_wet = m.reflectivity(10.0, 60.0);
+        let hot_wet = m.reflectivity(35.0, 60.0);
+        assert!(hot_wet > cold_wet);
+    }
+
+    #[test]
+    fn reflectivity_is_clamped() {
+        let extreme = Material {
+            name: "test",
+            base_reflectivity: 0.9,
+            moisture_gain: 50.0,
+            temperature_gain: 0.0,
+        };
+        assert!(extreme.reflectivity(20.0, 100.0) <= 0.95);
+        let anti = Material {
+            name: "test",
+            base_reflectivity: 0.9,
+            moisture_gain: -50.0,
+            temperature_gain: 0.0,
+        };
+        assert!(anti.reflectivity(20.0, 100.0) >= 0.02);
+    }
+
+    #[test]
+    fn glass_is_least_sensitive() {
+        let spread = |m: Material| m.reflectivity(25.0, 60.0) - m.reflectivity(15.0, 20.0);
+        assert!(spread(Material::GLASS).abs() < spread(Material::PLASTERBOARD).abs());
+    }
+}

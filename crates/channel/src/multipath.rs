@@ -1,0 +1,260 @@
+//! Multipath enumeration: line of sight, first-order image reflections,
+//! scatterer paths and human-body shadowing.
+//!
+//! The model is deliberately first-order (single-bounce): it is cheap
+//! enough to evaluate at 20 Hz over a 74-hour scenario, yet rich enough
+//! that the CSI amplitude profile across 64 subcarriers changes
+//! non-linearly with occupant position — the property every experiment of
+//! the paper rests on.
+
+use crate::geometry::{point_segment_distance, Point3, Room, Surface};
+
+/// Reference amplitude constant: a path of length `d` has free-space
+/// amplitude `GAIN_REF / d`. Chosen so that the 2 m line-of-sight path of
+/// the paper's setup has amplitude 0.5 before receiver scaling.
+pub const GAIN_REF: f64 = 1.0;
+
+/// One propagation path from transmitter to receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Path {
+    /// Geometric path length in metres (sets the per-subcarrier phase).
+    pub length_m: f64,
+    /// Real amplitude factor (free-space spreading × reflection
+    /// coefficients × shadowing). Negative values encode a π phase flip at
+    /// a reflection.
+    pub amplitude: f64,
+}
+
+impl Path {
+    /// The line-of-sight path between `tx` and `rx` with the given
+    /// multiplicative shadowing factor.
+    pub fn line_of_sight(tx: Point3, rx: Point3, shadowing: f64) -> Self {
+        let d = tx.distance(rx).max(1e-6);
+        Path {
+            length_m: d,
+            amplitude: shadowing * GAIN_REF / d,
+        }
+    }
+
+    /// A first-order specular reflection off `surface` with amplitude
+    /// reflection coefficient `gamma` (positive; the sign flip of the
+    /// reflection is applied internally) and shadowing factor.
+    pub fn reflection(
+        room: &Room,
+        tx: Point3,
+        rx: Point3,
+        surface: Surface,
+        gamma: f64,
+        shadowing: f64,
+    ) -> Self {
+        let img = room.mirror(tx, surface);
+        let d = img.distance(rx).max(1e-6);
+        Path {
+            length_m: d,
+            // Reflections off denser media flip phase: negative amplitude.
+            amplitude: -gamma * shadowing * GAIN_REF / d,
+        }
+    }
+
+    /// A single-bounce scatter path `tx → scatterer → rx` with bistatic
+    /// scattering amplitude `sigma` (dimensionless, of order 0.1–0.5).
+    pub fn scatter(tx: Point3, rx: Point3, at: Point3, sigma: f64) -> Self {
+        let d1 = tx.distance(at).max(1e-6);
+        let d2 = at.distance(rx).max(1e-6);
+        Path {
+            length_m: d1 + d2,
+            amplitude: sigma * GAIN_REF * GAIN_REF / (d1 * d2),
+        }
+    }
+}
+
+/// Specular touch point of the first-order reflection of `tx → rx` off
+/// `surface`, or `None` if the specular point falls outside the room face
+/// (no geometric reflection exists).
+pub fn reflection_touch_point(
+    room: &Room,
+    tx: Point3,
+    rx: Point3,
+    surface: Surface,
+) -> Option<Point3> {
+    let img = room.mirror(tx, surface);
+    // Parametrise img -> rx and intersect with the surface plane.
+    let (num, den) = match surface {
+        Surface::Floor => (0.0 - img.z, rx.z - img.z),
+        Surface::Ceiling => (room.height - img.z, rx.z - img.z),
+        Surface::WallSouth => (0.0 - img.y, rx.y - img.y),
+        Surface::WallNorth => (room.depth - img.y, rx.y - img.y),
+        Surface::WallWest => (0.0 - img.x, rx.x - img.x),
+        Surface::WallEast => (room.width - img.x, rx.x - img.x),
+    };
+    if den.abs() < 1e-12 {
+        return None;
+    }
+    let t = num / den;
+    if !(0.0..=1.0).contains(&t) {
+        return None;
+    }
+    let p = img + (rx - img).scale(t);
+    room.contains(p).then_some(p)
+}
+
+/// Smoothstep polynomial `3u² − 2u³` on the clamped unit interval.
+fn smoothstep(u: f64) -> f64 {
+    let u = u.clamp(0.0, 1.0);
+    u * u * (3.0 - 2.0 * u)
+}
+
+/// Multiplicative shadowing factor caused by a cylindrical obstacle of
+/// radius `obstacle_radius` centred at `obstacle` standing near the
+/// straight segment `a → b`.
+///
+/// The obstacle attenuates the path when it intrudes into the first
+/// Fresnel zone, whose radius at the closest-approach point is
+/// `R_f = sqrt(λ · d₁ · d₂ / (d₁ + d₂))`. Full clearance (≥ one Fresnel
+/// radius beyond the body surface) gives factor 1; a body centred on the
+/// path gives ≈ 0.1.
+///
+/// # Example
+///
+/// ```
+/// use occusense_channel::geometry::Point3;
+/// use occusense_channel::multipath::shadowing_factor;
+///
+/// let a = Point3::new(0.0, 0.0, 1.4);
+/// let b = Point3::new(4.0, 0.0, 1.4);
+/// let blocking = shadowing_factor(Point3::new(2.0, 0.0, 1.4), 0.25, a, b, 0.125);
+/// let clear = shadowing_factor(Point3::new(2.0, 3.0, 1.4), 0.25, a, b, 0.125);
+/// assert!(blocking < 0.2);
+/// assert!(clear == 1.0);
+/// ```
+pub fn shadowing_factor(
+    obstacle: Point3,
+    obstacle_radius: f64,
+    a: Point3,
+    b: Point3,
+    wavelength_m: f64,
+) -> f64 {
+    let (clearance, t) = point_segment_distance(obstacle, a, b);
+    let total = a.distance(b).max(1e-6);
+    let d1 = t * total;
+    let d2 = (1.0 - t) * total;
+    let fresnel = (wavelength_m * d1 * d2 / total).max(1e-9).sqrt();
+    // u = 1 at full clearance, 0 with the body centre on the path.
+    let u = (clearance - obstacle_radius) / fresnel;
+    0.1 + 0.9 * smoothstep((u + 1.0) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.1229; // ~2.44 GHz
+
+    #[test]
+    fn los_amplitude_decays_with_distance() {
+        let tx = Point3::new(0.0, 0.0, 1.4);
+        let near = Path::line_of_sight(tx, Point3::new(2.0, 0.0, 1.4), 1.0);
+        let far = Path::line_of_sight(tx, Point3::new(8.0, 0.0, 1.4), 1.0);
+        assert!((near.amplitude - 0.5).abs() < 1e-12);
+        assert!(far.amplitude < near.amplitude);
+        assert_eq!(near.length_m, 2.0);
+    }
+
+    #[test]
+    fn reflection_amplitude_sign_and_length() {
+        let room = Room::office();
+        let tx = Point3::new(5.0, 3.0, 1.4);
+        let rx = Point3::new(7.0, 3.0, 1.4);
+        let p = Path::reflection(&room, tx, rx, Surface::Floor, 0.3, 1.0);
+        // Longer than LoS, negative amplitude (phase flip).
+        assert!(p.length_m > tx.distance(rx));
+        assert!(p.amplitude < 0.0);
+        // Image length: sqrt(2^2 + 2.8^2).
+        let expected = (4.0f64 + 2.8 * 2.8).sqrt();
+        assert!((p.length_m - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_path_length_is_sum_of_legs() {
+        let tx = Point3::new(0.0, 0.0, 1.0);
+        let rx = Point3::new(4.0, 0.0, 1.0);
+        let at = Point3::new(2.0, 3.0, 1.0);
+        let p = Path::scatter(tx, rx, at, 0.3);
+        let expected = tx.distance(at) + at.distance(rx);
+        assert!((p.length_m - expected).abs() < 1e-12);
+        assert!(p.amplitude > 0.0);
+    }
+
+    #[test]
+    fn scatter_amplitude_decays_with_either_leg() {
+        let tx = Point3::new(0.0, 0.0, 1.0);
+        let rx = Point3::new(4.0, 0.0, 1.0);
+        let near = Path::scatter(tx, rx, Point3::new(2.0, 1.0, 1.0), 0.3);
+        let far = Path::scatter(tx, rx, Point3::new(2.0, 5.0, 1.0), 0.3);
+        assert!(far.amplitude < near.amplitude);
+    }
+
+    #[test]
+    fn touch_point_symmetric_case() {
+        let room = Room::office();
+        let tx = Point3::new(5.0, 3.0, 1.4);
+        let rx = Point3::new(7.0, 3.0, 1.4);
+        let tp = reflection_touch_point(&room, tx, rx, Surface::Floor).unwrap();
+        assert!((tp.x - 6.0).abs() < 1e-12);
+        assert!((tp.y - 3.0).abs() < 1e-12);
+        assert!(tp.z.abs() < 1e-12);
+    }
+
+    #[test]
+    fn touch_point_exists_for_all_surfaces_in_interior() {
+        let room = Room::office();
+        let tx = Point3::new(5.0, 2.0, 1.4);
+        let rx = Point3::new(7.0, 4.0, 1.6);
+        for s in Surface::ALL {
+            let tp = reflection_touch_point(&room, tx, rx, s);
+            assert!(tp.is_some(), "no touch point for {s:?}");
+            assert!(room.contains(tp.unwrap()));
+        }
+    }
+
+    #[test]
+    fn shadowing_factor_limits() {
+        let a = Point3::new(0.0, 0.0, 1.4);
+        let b = Point3::new(4.0, 0.0, 1.4);
+        // Dead centre on the path: close to the floor value.
+        let blocked = shadowing_factor(Point3::new(2.0, 0.0, 1.4), 0.25, a, b, LAMBDA);
+        assert!(blocked <= 0.2, "{blocked}");
+        // Far away: exactly 1.
+        let clear = shadowing_factor(Point3::new(2.0, 4.0, 1.4), 0.25, a, b, LAMBDA);
+        assert_eq!(clear, 1.0);
+        // Monotone in clearance.
+        let mut last = 0.0;
+        for i in 0..20 {
+            let y = i as f64 * 0.05;
+            let f = shadowing_factor(Point3::new(2.0, y, 1.4), 0.25, a, b, LAMBDA);
+            assert!(f >= last - 1e-12, "not monotone at y={y}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn shadowing_depends_on_fresnel_radius() {
+        // Same clearance is more harmful on a path with a larger Fresnel
+        // zone (longer wavelength).
+        let a = Point3::new(0.0, 0.0, 1.4);
+        let b = Point3::new(4.0, 0.0, 1.4);
+        let p = Point3::new(2.0, 0.35, 1.4);
+        let short_wave = shadowing_factor(p, 0.25, a, b, 0.05);
+        let long_wave = shadowing_factor(p, 0.25, a, b, 0.5);
+        assert!(long_wave < short_wave);
+    }
+
+    #[test]
+    fn smoothstep_endpoints() {
+        assert_eq!(smoothstep(-1.0), 0.0);
+        assert_eq!(smoothstep(0.0), 0.0);
+        assert_eq!(smoothstep(1.0), 1.0);
+        assert_eq!(smoothstep(2.0), 1.0);
+        assert!((smoothstep(0.5) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! OFDM subcarrier grid of the sensed WiFi channel.
+//!
+//! The paper's setup sniffs a 20 MHz channel in the 2.4 GHz band, yielding
+//! a CSI vector of dimension `d_H = 3.2 · bandwidth = 64` (§II-A). Nexmon
+//! reports all 64 FFT bins; in a real 802.11 20 MHz symbol only 52 bins
+//! carry energy (48 data + 4 pilots), the DC bin and the edge guard bins
+//! are nulled. We model the nulls as strongly attenuated ("leaky") rather
+//! than exactly zero, matching what a sniffer observes after filtering.
+
+/// Speed of light, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Configuration of the sensed OFDM channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Carrier centre frequency in Hz.
+    pub center_frequency_hz: f64,
+    /// Channel bandwidth in Hz.
+    pub bandwidth_hz: f64,
+    /// Number of FFT bins / subcarriers (d_H = 3.2 · bandwidth).
+    pub n_subcarriers: usize,
+    /// Amplitude leakage factor applied to null (guard/DC) subcarriers.
+    pub null_leakage: f64,
+}
+
+impl ChannelConfig {
+    /// The paper's configuration: 2.4 GHz band (channel 6, 2.437 GHz),
+    /// 20 MHz bandwidth, 64 subcarriers.
+    pub fn wifi_2g4_20mhz() -> Self {
+        Self {
+            center_frequency_hz: 2.437e9,
+            bandwidth_hz: 20.0e6,
+            n_subcarriers: 64,
+            null_leakage: 0.05,
+        }
+    }
+
+    /// Subcarrier spacing in Hz (`bandwidth / n_subcarriers`, 312.5 kHz for
+    /// the default config).
+    pub fn subcarrier_spacing_hz(&self) -> f64 {
+        self.bandwidth_hz / self.n_subcarriers as f64
+    }
+
+    /// Absolute RF frequency of subcarrier index `k ∈ 0..n_subcarriers`.
+    ///
+    /// Index `k` maps to FFT bin `k - n/2` relative to the carrier, so the
+    /// grid spans `[-B/2, +B/2)` around the centre frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_subcarriers`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_channel::ofdm::ChannelConfig;
+    /// let cfg = ChannelConfig::wifi_2g4_20mhz();
+    /// assert_eq!(cfg.subcarrier_frequency_hz(32), 2.437e9); // DC bin
+    /// ```
+    pub fn subcarrier_frequency_hz(&self, k: usize) -> f64 {
+        assert!(
+            k < self.n_subcarriers,
+            "subcarrier {k} out of range ({})",
+            self.n_subcarriers
+        );
+        let offset = k as f64 - self.n_subcarriers as f64 / 2.0;
+        self.center_frequency_hz + offset * self.subcarrier_spacing_hz()
+    }
+
+    /// Wavelength of subcarrier `k` in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_subcarriers`.
+    pub fn wavelength_m(&self, k: usize) -> f64 {
+        SPEED_OF_LIGHT / self.subcarrier_frequency_hz(k)
+    }
+
+    /// Whether subcarrier `k` is a null bin (DC or guard band) in a
+    /// standard 802.11 20 MHz symbol. With 64 bins indexed 0..63 around a
+    /// centre at 32, the used bins are 32±1..32±26.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_subcarriers`.
+    pub fn is_null_subcarrier(&self, k: usize) -> bool {
+        assert!(k < self.n_subcarriers, "subcarrier {k} out of range");
+        let half = self.n_subcarriers / 2;
+        let rel = k as i64 - half as i64;
+        rel == 0 || rel.unsigned_abs() as usize > (self.n_subcarriers * 26) / 64
+    }
+
+    /// Amplitude mask for subcarrier `k`: `1.0` for used bins,
+    /// [`null_leakage`](Self::null_leakage) for null bins.
+    pub fn subcarrier_mask(&self, k: usize) -> f64 {
+        if self.is_null_subcarrier(k) {
+            self.null_leakage
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self::wifi_2g4_20mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_80211() {
+        let cfg = ChannelConfig::wifi_2g4_20mhz();
+        assert_eq!(cfg.n_subcarriers, 64);
+        assert_eq!(cfg.subcarrier_spacing_hz(), 312_500.0);
+        // Edges of the grid.
+        assert_eq!(cfg.subcarrier_frequency_hz(0), 2.437e9 - 10.0e6);
+        assert_eq!(cfg.subcarrier_frequency_hz(63), 2.437e9 + 10.0e6 - 312_500.0);
+    }
+
+    #[test]
+    fn wavelength_is_about_12cm() {
+        let cfg = ChannelConfig::default();
+        let lambda = cfg.wavelength_m(32);
+        assert!((lambda - 0.123).abs() < 0.001, "{lambda}");
+        // Higher-frequency subcarriers have shorter wavelengths.
+        assert!(cfg.wavelength_m(63) < cfg.wavelength_m(0));
+    }
+
+    #[test]
+    fn null_subcarriers_match_80211_layout() {
+        let cfg = ChannelConfig::default();
+        // DC bin is null.
+        assert!(cfg.is_null_subcarrier(32));
+        // 32±1..32±26 are used.
+        assert!(!cfg.is_null_subcarrier(33));
+        assert!(!cfg.is_null_subcarrier(31));
+        assert!(!cfg.is_null_subcarrier(6));
+        assert!(!cfg.is_null_subcarrier(58));
+        // Guard bins are null.
+        assert!(cfg.is_null_subcarrier(0));
+        assert!(cfg.is_null_subcarrier(5));
+        assert!(cfg.is_null_subcarrier(59));
+        assert!(cfg.is_null_subcarrier(63));
+        // Exactly 52 used bins.
+        let used = (0..64).filter(|&k| !cfg.is_null_subcarrier(k)).count();
+        assert_eq!(used, 52);
+    }
+
+    #[test]
+    fn mask_values() {
+        let cfg = ChannelConfig::default();
+        assert_eq!(cfg.subcarrier_mask(33), 1.0);
+        assert_eq!(cfg.subcarrier_mask(32), cfg.null_leakage);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn frequency_index_bounds_checked() {
+        let cfg = ChannelConfig::default();
+        let _ = cfg.subcarrier_frequency_hz(64);
+    }
+}

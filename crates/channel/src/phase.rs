@@ -1,0 +1,261 @@
+//! CSI phase: hardware impairments and sanitisation.
+//!
+//! The paper uses "only the information contained in the CSI amplitude"
+//! (§II-A). The reason amplitude-only is the pragmatic choice on
+//! commodity hardware is that raw CSI *phase* is corrupted per frame by
+//! carrier-frequency offset (CFO — a common random rotation) and
+//! sampling-frequency offset (SFO — a random linear ramp across
+//! subcarriers), neither of which carries information about the room.
+//! This module models both impairments and implements the standard
+//! sanitisation (subtracting the best-fit linear phase across
+//! subcarriers), enabling the `repro_ablation_phase` experiment that
+//! quantifies what sanitised phase adds over amplitude.
+
+use crate::complex::Complex;
+use rand::Rng;
+
+/// Per-frame phase impairments of a commodity WiFi receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseImpairments {
+    /// Whether the common CFO rotation is uniformly random per frame
+    /// (true for unsynchronised sniffers like the Nexmon setup).
+    pub random_cfo: bool,
+    /// Standard deviation of the SFO-induced linear phase ramp, radians
+    /// per subcarrier step.
+    pub sfo_slope_std_rad: f64,
+    /// Per-bin additive phase noise, radians (std).
+    pub phase_noise_std_rad: f64,
+}
+
+impl PhaseImpairments {
+    /// Typical commodity-hardware impairments: fully random CFO, ~0.05
+    /// rad/subcarrier SFO jitter, 0.02 rad phase noise.
+    pub fn commodity() -> Self {
+        Self {
+            random_cfo: true,
+            sfo_slope_std_rad: 0.05,
+            phase_noise_std_rad: 0.02,
+        }
+    }
+
+    /// A perfectly synchronised (laboratory) receiver: no impairments.
+    pub fn ideal() -> Self {
+        Self {
+            random_cfo: false,
+            sfo_slope_std_rad: 0.0,
+            phase_noise_std_rad: 0.0,
+        }
+    }
+
+    /// Applies one frame's impairments in place.
+    pub fn apply(&self, response: &mut [Complex], rng: &mut impl Rng) {
+        let cfo = if self.random_cfo {
+            rng.gen_range(0.0..std::f64::consts::TAU)
+        } else {
+            0.0
+        };
+        let slope = if self.sfo_slope_std_rad > 0.0 {
+            self.sfo_slope_std_rad * gaussian(rng)
+        } else {
+            0.0
+        };
+        for (k, h) in response.iter_mut().enumerate() {
+            let mut theta = cfo + slope * k as f64;
+            if self.phase_noise_std_rad > 0.0 {
+                theta += self.phase_noise_std_rad * gaussian(rng);
+            }
+            *h = *h * Complex::from_angle(theta);
+        }
+    }
+}
+
+impl Default for PhaseImpairments {
+    fn default() -> Self {
+        Self::commodity()
+    }
+}
+
+/// Unwraps a phase sequence so consecutive samples never jump by more
+/// than π (adding ±2π as needed).
+pub fn unwrap(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    let mut offset = 0.0;
+    for (i, &p) in phases.iter().enumerate() {
+        if i > 0 {
+            let prev = out[i - 1];
+            let mut candidate = p + offset;
+            while candidate - prev > std::f64::consts::PI {
+                offset -= std::f64::consts::TAU;
+                candidate = p + offset;
+            }
+            while candidate - prev < -std::f64::consts::PI {
+                offset += std::f64::consts::TAU;
+                candidate = p + offset;
+            }
+            out.push(candidate);
+        } else {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Standard CSI phase sanitisation: unwrap across subcarriers, then
+/// subtract the least-squares linear fit (which absorbs the CFO offset
+/// and the SFO slope), leaving only the multipath-induced curvature.
+///
+/// # Example
+///
+/// ```
+/// use occusense_channel::phase::{sanitize, PhaseImpairments};
+/// use occusense_channel::Complex;
+/// use rand::SeedableRng;
+///
+/// // A frame with pure linear phase sanitises to ~zero.
+/// let frame: Vec<Complex> = (0..64)
+///     .map(|k| Complex::from_polar(1.0, 0.7 + 0.05 * k as f64))
+///     .collect();
+/// let clean = sanitize(&frame);
+/// assert!(clean.iter().all(|p| p.abs() < 1e-9));
+/// # let _ = PhaseImpairments::commodity();
+/// # let _ = rand::rngs::StdRng::seed_from_u64(0);
+/// ```
+pub fn sanitize(response: &[Complex]) -> Vec<f64> {
+    let raw: Vec<f64> = response.iter().map(|h| h.arg()).collect();
+    let unwrapped = unwrap(&raw);
+    // Least-squares line over k = 0..n-1.
+    let n = unwrapped.len() as f64;
+    if unwrapped.len() < 2 {
+        return vec![0.0; unwrapped.len()];
+    }
+    let mean_k = (n - 1.0) / 2.0;
+    let mean_p = unwrapped.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (k, &p) in unwrapped.iter().enumerate() {
+        let dk = k as f64 - mean_k;
+        num += dk * (p - mean_p);
+        den += dk * dk;
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    unwrapped
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| p - mean_p - slope * (k as f64 - mean_k))
+        .collect()
+}
+
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Body, Scene};
+    use crate::geometry::Point3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unwrap_repairs_wraparound() {
+        let wrapped = [3.0, -3.0, 3.0]; // jumps of ~6 rad: really +0.28 steps
+        let u = unwrap(&wrapped);
+        for w in u.windows(2) {
+            assert!((w[1] - w[0]).abs() <= std::f64::consts::PI + 1e-12);
+        }
+        assert_eq!(u[0], 3.0);
+    }
+
+    #[test]
+    fn unwrap_identity_for_smooth_sequences() {
+        let smooth: Vec<f64> = (0..20).map(|k| k as f64 * 0.1).collect();
+        assert_eq!(unwrap(&smooth), smooth);
+    }
+
+    #[test]
+    fn sanitize_removes_cfo_and_sfo_exactly() {
+        // Build a frame with known multipath curvature + impairments.
+        let curvature = |k: usize| 0.2 * ((k as f64) * 0.3).sin();
+        let clean_frame: Vec<Complex> = (0..64)
+            .map(|k| Complex::from_polar(1.0, curvature(k)))
+            .collect();
+        let reference = sanitize(&clean_frame);
+
+        let mut impaired = clean_frame.clone();
+        let imp = PhaseImpairments {
+            random_cfo: true,
+            sfo_slope_std_rad: 0.05,
+            phase_noise_std_rad: 0.0,
+        };
+        imp.apply(&mut impaired, &mut StdRng::seed_from_u64(5));
+        let recovered = sanitize(&impaired);
+        for (a, b) in reference.iter().zip(&recovered) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn raw_phase_is_useless_sanitized_phase_is_stable() {
+        // The justification for the paper's amplitude-only choice: two
+        // frames of the SAME room have uncorrelated raw phases but nearly
+        // identical sanitised phases.
+        let mut scene = Scene::office_default();
+        scene.bodies.push(Body::standing(Point3::new(6.0, 3.0, 0.0)));
+        let response = scene.frequency_response();
+        let imp = PhaseImpairments::commodity();
+
+        let mut frame_a = response.clone();
+        let mut frame_b = response.clone();
+        imp.apply(&mut frame_a, &mut StdRng::seed_from_u64(1));
+        imp.apply(&mut frame_b, &mut StdRng::seed_from_u64(2));
+
+        let raw_a: Vec<f64> = frame_a.iter().map(|h| h.arg()).collect();
+        let raw_b: Vec<f64> = frame_b.iter().map(|h| h.arg()).collect();
+        let raw_delta: f64 = raw_a
+            .iter()
+            .zip(&raw_b)
+            .map(|(a, b)| (a - b).abs().min(std::f64::consts::TAU - (a - b).abs()))
+            .sum::<f64>()
+            / 64.0;
+        assert!(raw_delta > 0.5, "raw phase unexpectedly stable: {raw_delta}");
+
+        let san_a = sanitize(&frame_a);
+        let san_b = sanitize(&frame_b);
+        let san_delta: f64 = san_a
+            .iter()
+            .zip(&san_b)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 64.0;
+        assert!(san_delta < 0.1, "sanitised phase unstable: {san_delta}");
+    }
+
+    #[test]
+    fn impairments_do_not_touch_amplitudes() {
+        let frame: Vec<Complex> = (0..16)
+            .map(|k| Complex::from_polar(0.1 + 0.01 * k as f64, 0.3 * k as f64))
+            .collect();
+        let mut impaired = frame.clone();
+        PhaseImpairments::commodity().apply(&mut impaired, &mut StdRng::seed_from_u64(3));
+        for (a, b) in frame.iter().zip(&impaired) {
+            assert!((a.abs() - b.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ideal_impairments_are_identity() {
+        let frame: Vec<Complex> = (0..8).map(|k| Complex::from_polar(1.0, k as f64)).collect();
+        let mut copy = frame.clone();
+        PhaseImpairments::ideal().apply(&mut copy, &mut StdRng::seed_from_u64(4));
+        assert_eq!(copy, frame);
+    }
+
+    #[test]
+    fn sanitize_degenerate_inputs() {
+        assert!(sanitize(&[]).is_empty());
+        assert_eq!(sanitize(&[Complex::ONE]), vec![0.0]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Receiver impairments: AWGN, quantised AGC and amplitude quantisation.
+//!
+//! A Nexmon-patched Raspberry Pi does not hand back the pristine channel:
+//! thermal noise perturbs each FFT bin, the radio's automatic gain control
+//! rescales each frame by a gain that moves in coarse steps, and the
+//! reported CSI values are fixed-point. [`Receiver::measure`] applies all
+//! three to a noise-free frequency response.
+
+use crate::complex::Complex;
+use rand::Rng;
+
+/// Receiver impairment model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Receiver {
+    /// Standard deviation of the complex AWGN added per subcarrier
+    /// (per real/imaginary component).
+    pub noise_std: f64,
+    /// AGC target: the strongest subcarrier amplitude is scaled towards
+    /// this value. Set to `None` to disable AGC.
+    pub agc_target: Option<f64>,
+    /// AGC gain quantisation step in dB (real AGCs move in coarse steps,
+    /// which leaks absolute signal level into the reported CSI).
+    pub agc_step_db: f64,
+    /// Number of quantisation levels for the reported amplitude over
+    /// `[0, full_scale]`; `0` disables quantisation.
+    pub quantization_levels: u32,
+    /// Full-scale amplitude of the fixed-point CSI report.
+    pub full_scale: f64,
+}
+
+impl Receiver {
+    /// The default Nexmon-like receiver: σ = 0.004 noise, AGC towards 0.5
+    /// in 1 dB steps, 10-bit amplitude quantisation with full scale 1.0.
+    pub fn new() -> Self {
+        Self {
+            noise_std: 0.004,
+            agc_target: Some(0.5),
+            agc_step_db: 1.0,
+            quantization_levels: 1024,
+            full_scale: 1.0,
+        }
+    }
+
+    /// An idealised receiver: no noise, no AGC, no quantisation. Useful in
+    /// tests that need to see the raw channel.
+    pub fn ideal() -> Self {
+        Self {
+            noise_std: 0.0,
+            agc_target: None,
+            agc_step_db: 1.0,
+            quantization_levels: 0,
+            full_scale: 1.0,
+        }
+    }
+
+    /// Measures a CSI amplitude vector from a complex frequency response.
+    ///
+    /// Applies, in order: complex AWGN per bin, quantised-step AGC and
+    /// fixed-point amplitude quantisation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_channel::receiver::Receiver;
+    /// use occusense_channel::Complex;
+    /// use rand::SeedableRng;
+    ///
+    /// let h = vec![Complex::new(0.3, 0.0); 64];
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// let csi = Receiver::new().measure(&h, &mut rng);
+    /// assert_eq!(csi.len(), 64);
+    /// assert!(csi.iter().all(|&a| a >= 0.0));
+    /// ```
+    pub fn measure(&self, response: &[Complex], rng: &mut impl Rng) -> Vec<f64> {
+        // 1. AWGN on I and Q.
+        let noisy: Vec<Complex> = response
+            .iter()
+            .map(|&h| {
+                if self.noise_std > 0.0 {
+                    h + Complex::new(
+                        self.noise_std * gaussian(rng),
+                        self.noise_std * gaussian(rng),
+                    )
+                } else {
+                    h
+                }
+            })
+            .collect();
+
+        // 2. Amplitudes.
+        let mut amps: Vec<f64> = noisy.iter().map(|h| h.abs()).collect();
+
+        // 3. Quantised AGC.
+        if let Some(target) = self.agc_target {
+            let peak = amps.iter().copied().fold(0.0f64, f64::max);
+            if peak > 0.0 {
+                let gain_db = 20.0 * (target / peak).log10();
+                let quantised_db = (gain_db / self.agc_step_db).round() * self.agc_step_db;
+                let gain = 10.0f64.powf(quantised_db / 20.0);
+                for a in &mut amps {
+                    *a *= gain;
+                }
+            }
+        }
+
+        // 4. Fixed-point quantisation.
+        if self.quantization_levels > 0 {
+            let step = self.full_scale / self.quantization_levels as f64;
+            for a in &mut amps {
+                *a = ((*a / step).round() * step).clamp(0.0, self.full_scale);
+            }
+        }
+
+        amps
+    }
+}
+
+impl Default for Receiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One standard-normal draw via Box–Muller (local to avoid a dependency on
+/// the tensor crate from the channel substrate).
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat_response(a: f64, n: usize) -> Vec<Complex> {
+        vec![Complex::new(a, 0.0); n]
+    }
+
+    #[test]
+    fn ideal_receiver_reports_exact_amplitudes() {
+        let h = vec![Complex::new(0.3, 0.4), Complex::new(0.0, 0.25)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let csi = Receiver::ideal().measure(&h, &mut rng);
+        assert!((csi[0] - 0.5).abs() < 1e-12);
+        assert!((csi[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let h = flat_response(0.3, 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rx = Receiver {
+            agc_target: None,
+            quantization_levels: 0,
+            ..Receiver::new()
+        };
+        let csi = rx.measure(&h, &mut rng);
+        let mean = csi.iter().sum::<f64>() / csi.len() as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+        // And it is actually noisy.
+        let var = csi.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / csi.len() as f64;
+        assert!(var > 0.0);
+    }
+
+    #[test]
+    fn agc_scales_peak_towards_target() {
+        let h = flat_response(0.05, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rx = Receiver {
+            noise_std: 0.0,
+            agc_target: Some(0.5),
+            agc_step_db: 1.0,
+            quantization_levels: 0,
+            full_scale: 1.0,
+        };
+        let csi = rx.measure(&h, &mut rng);
+        let peak = csi.iter().copied().fold(0.0f64, f64::max);
+        // Within one AGC step (1 dB ≈ 12 %) of the target.
+        assert!((peak / 0.5).log10().abs() * 20.0 <= 0.51, "peak {peak}");
+    }
+
+    #[test]
+    fn agc_step_quantisation_leaks_level() {
+        // Two inputs differing by less than one AGC step map to different
+        // outputs (the gain snaps, the residual differs).
+        let mut rng = StdRng::seed_from_u64(3);
+        let rx = Receiver {
+            noise_std: 0.0,
+            agc_target: Some(0.5),
+            agc_step_db: 2.0,
+            quantization_levels: 0,
+            full_scale: 1.0,
+        };
+        let a = rx.measure(&flat_response(0.100, 4), &mut rng);
+        let b = rx.measure(&flat_response(0.104, 4), &mut rng);
+        assert!((a[0] - b[0]).abs() > 1e-6, "AGC hides all level info");
+    }
+
+    #[test]
+    fn quantisation_snaps_to_grid() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rx = Receiver {
+            noise_std: 0.0,
+            agc_target: None,
+            agc_step_db: 1.0,
+            quantization_levels: 100,
+            full_scale: 1.0,
+        };
+        let csi = rx.measure(&[Complex::new(0.123456, 0.0)], &mut rng);
+        assert!((csi[0] - 0.12).abs() < 1e-12, "{}", csi[0]);
+    }
+
+    #[test]
+    fn quantisation_clamps_to_full_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rx = Receiver {
+            noise_std: 0.0,
+            agc_target: None,
+            agc_step_db: 1.0,
+            quantization_levels: 256,
+            full_scale: 1.0,
+        };
+        let csi = rx.measure(&[Complex::new(7.0, 0.0)], &mut rng);
+        assert_eq!(csi[0], 1.0);
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let h = flat_response(0.2, 64);
+        let rx = Receiver::new();
+        let a = rx.measure(&h, &mut StdRng::seed_from_u64(9));
+        let b = rx.measure(&h, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = rx.measure(&h, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_response_stays_zero_without_noise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let rx = Receiver {
+            noise_std: 0.0,
+            ..Receiver::new()
+        };
+        let csi = rx.measure(&flat_response(0.0, 4), &mut rng);
+        assert!(csi.iter().all(|&a| a == 0.0));
+    }
+}

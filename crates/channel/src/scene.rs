@@ -1,0 +1,520 @@
+//! A complete channel snapshot and its frequency response.
+//!
+//! [`Scene`] bundles everything the ray model needs for one instant: room,
+//! radio positions, furniture scatterers, human bodies and the environment
+//! state. [`Scene::frequency_response`] evaluates the 64-bin complex CSI.
+
+use crate::air;
+use crate::complex::Complex;
+use crate::geometry::{Point3, Room, Surface};
+use crate::materials::Material;
+use crate::multipath::{reflection_touch_point, shadowing_factor, Path};
+use crate::ofdm::{ChannelConfig, SPEED_OF_LIGHT};
+
+/// A static scattering object (furniture: desks, cabinets, monitors…).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scatterer {
+    /// Position of the scattering centre.
+    pub position: Point3,
+    /// Bistatic scattering amplitude (dimensionless, ~0.05–0.3).
+    pub sigma: f64,
+    /// Surface material (its reflectivity modulates `sigma` with the
+    /// environment).
+    pub material: Material,
+}
+
+impl Scatterer {
+    /// A desk-sized furniture scatterer at `position`.
+    pub fn furniture(position: Point3) -> Self {
+        Self {
+            position,
+            sigma: 0.12,
+            material: Material::FURNITURE,
+        }
+    }
+
+    /// Effective scattering amplitude at the given environment.
+    pub fn effective_sigma(&self, temperature_c: f64, humidity_pct: f64) -> f64 {
+        // Scale sigma by the material reflectivity relative to baseline.
+        self.sigma * self.material.reflectivity(temperature_c, humidity_pct)
+            / self.material.base_reflectivity
+    }
+}
+
+/// A human body: a vertical cylinder that both scatters and shadows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Torso centre position.
+    pub position: Point3,
+    /// Effective cylinder radius in metres.
+    pub radius: f64,
+    /// Bistatic scattering amplitude of the body (~0.2–0.5; the human body
+    /// is a strong scatterer at 2.4 GHz due to its water content).
+    pub sigma: f64,
+}
+
+impl Body {
+    /// A standing adult: torso centre at 1.3 m above the given floor
+    /// position (x, y taken from `at`, z ignored).
+    pub fn standing(at: Point3) -> Self {
+        Self {
+            position: Point3::new(at.x, at.y, 1.3),
+            radius: 0.22,
+            sigma: 0.35,
+        }
+    }
+
+    /// A seated adult: torso centre at 0.9 m.
+    pub fn sitting(at: Point3) -> Self {
+        Self {
+            position: Point3::new(at.x, at.y, 0.9),
+            radius: 0.26,
+            sigma: 0.32,
+        }
+    }
+}
+
+/// The materials assigned to the six room surfaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceMaterials {
+    /// Floor material.
+    pub floor: Material,
+    /// Ceiling material.
+    pub ceiling: Material,
+    /// Wall at y = 0.
+    pub south: Material,
+    /// Wall at y = depth.
+    pub north: Material,
+    /// Wall at x = 0.
+    pub west: Material,
+    /// Wall at x = width.
+    pub east: Material,
+}
+
+impl SurfaceMaterials {
+    /// The paper's office: plasterboard internal walls (south/north),
+    /// reinforced-concrete external walls (west/east — the window wall is
+    /// mixed glass/concrete, approximated as glass), concrete floor,
+    /// tiled ceiling.
+    pub fn office_default() -> Self {
+        Self {
+            floor: Material::CONCRETE,
+            ceiling: Material::CEILING_TILE,
+            south: Material::PLASTERBOARD,
+            north: Material::PLASTERBOARD,
+            west: Material::CONCRETE,
+            east: Material::GLASS,
+        }
+    }
+
+    /// Material of a given surface.
+    pub fn of(&self, surface: Surface) -> Material {
+        match surface {
+            Surface::Floor => self.floor,
+            Surface::Ceiling => self.ceiling,
+            Surface::WallSouth => self.south,
+            Surface::WallNorth => self.north,
+            Surface::WallWest => self.west,
+            Surface::WallEast => self.east,
+        }
+    }
+}
+
+/// Everything the channel model needs for one instant in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// OFDM grid configuration.
+    pub config: ChannelConfig,
+    /// Room geometry.
+    pub room: Room,
+    /// Surface materials.
+    pub surfaces: SurfaceMaterials,
+    /// Access-point (transmitter) antenna position.
+    pub tx: Point3,
+    /// Sniffer (receiver) antenna position.
+    pub rx: Point3,
+    /// Furniture scatterers (the layout the paper lets occupants change).
+    pub scatterers: Vec<Scatterer>,
+    /// Human bodies currently in the room.
+    pub bodies: Vec<Body>,
+    /// Air temperature, °C.
+    pub temperature_c: f64,
+    /// Relative humidity, %.
+    pub humidity_pct: f64,
+    /// Excess surface temperature of the south wall (where the radiator
+    /// sits, next to the radios and the environment sensor), °C. The hot
+    /// wall's reflectivity shifts with its own temperature, so the
+    /// radiator duty cycle leaves a CSI signature.
+    pub radiator_wall_boost_c: f64,
+    /// Maximum image-method reflection order (1 = single bounce, the
+    /// default; 2 adds the 30 double-bounce wall paths — a fidelity knob
+    /// whose cost/benefit the `simulation_throughput` bench measures).
+    pub max_reflection_order: u8,
+}
+
+impl Scene {
+    /// The paper's office scene (Fig. 2): 12 × 6 × 3 m room, AP and
+    /// receiver 2 m apart at 1.4 m height near the south wall where
+    /// occupants cannot walk between them, a default furniture layout,
+    /// no occupants, 21 °C / 40 % RH.
+    pub fn office_default() -> Self {
+        let room = Room::office();
+        Self {
+            config: ChannelConfig::wifi_2g4_20mhz(),
+            room,
+            surfaces: SurfaceMaterials::office_default(),
+            tx: Point3::new(5.0, 0.35, 1.4),
+            rx: Point3::new(7.0, 0.35, 1.4),
+            scatterers: default_furniture_layout(),
+            bodies: Vec::new(),
+            temperature_c: 21.0,
+            humidity_pct: 40.0,
+            radiator_wall_boost_c: 0.0,
+            max_reflection_order: 1,
+        }
+    }
+
+    /// Enumerates the propagation paths of the current snapshot:
+    /// line of sight, six first-order wall reflections, one path per
+    /// furniture scatterer and one per body, with body shadowing applied
+    /// to the LoS and wall-reflection paths.
+    pub fn paths(&self) -> Vec<Path> {
+        let lambda = self.config.wavelength_m(self.config.n_subcarriers / 2);
+        let mut paths = Vec::with_capacity(7 + self.scatterers.len() + self.bodies.len());
+
+        // Line of sight with shadowing from every body.
+        let mut los_shadow = 1.0;
+        for b in &self.bodies {
+            los_shadow *= shadowing_factor(b.position, b.radius, self.tx, self.rx, lambda);
+        }
+        paths.push(Path::line_of_sight(self.tx, self.rx, los_shadow));
+
+        // First-order reflections off the six surfaces. The south wall
+        // runs hotter than the bulk air when the radiator fires.
+        for s in Surface::ALL {
+            let surface_temperature = if s == Surface::WallSouth {
+                self.temperature_c + self.radiator_wall_boost_c
+            } else {
+                self.temperature_c
+            };
+            let gamma = self
+                .surfaces
+                .of(s)
+                .reflectivity(surface_temperature, self.humidity_pct);
+            let mut shadow = 1.0;
+            if let Some(tp) = reflection_touch_point(&self.room, self.tx, self.rx, s) {
+                for b in &self.bodies {
+                    shadow *= shadowing_factor(b.position, b.radius, self.tx, tp, lambda);
+                    shadow *= shadowing_factor(b.position, b.radius, tp, self.rx, lambda);
+                }
+            }
+            paths.push(Path::reflection(&self.room, self.tx, self.rx, s, gamma, shadow));
+        }
+
+        // Second-order (double-bounce) wall reflections: tx → s1 → s2 →
+        // rx via the double image. The two phase flips cancel, so the
+        // amplitude is positive; shadowing is neglected at this order
+        // (the paths are already ≥ 2× longer and doubly attenuated).
+        if self.max_reflection_order >= 2 {
+            for s1 in Surface::ALL {
+                let gamma1 = self
+                    .surfaces
+                    .of(s1)
+                    .reflectivity(self.temperature_c, self.humidity_pct);
+                let img1 = self.room.mirror(self.tx, s1);
+                for s2 in Surface::ALL {
+                    if s1 == s2 {
+                        continue;
+                    }
+                    let gamma2 = self
+                        .surfaces
+                        .of(s2)
+                        .reflectivity(self.temperature_c, self.humidity_pct);
+                    let img2 = self.room.mirror(img1, s2);
+                    let d = img2.distance(self.rx).max(1e-6);
+                    paths.push(Path {
+                        length_m: d,
+                        amplitude: gamma1 * gamma2 * crate::multipath::GAIN_REF / d,
+                    });
+                }
+            }
+        }
+
+        // Furniture scatter paths.
+        for sc in &self.scatterers {
+            let sigma = sc.effective_sigma(self.temperature_c, self.humidity_pct);
+            paths.push(Path::scatter(self.tx, self.rx, sc.position, sigma));
+        }
+
+        // Body scatter paths.
+        for b in &self.bodies {
+            paths.push(Path::scatter(self.tx, self.rx, b.position, b.sigma));
+        }
+
+        paths
+    }
+
+    /// Complex frequency response `H[k]` over all subcarriers, including
+    /// air absorption and the 802.11 null-subcarrier mask, but **without**
+    /// receiver impairments (see [`crate::receiver::Receiver::measure`]).
+    pub fn frequency_response(&self) -> Vec<Complex> {
+        let paths = self.paths();
+        let n = self.config.n_subcarriers;
+        let mut h = vec![Complex::ZERO; n];
+        // Precompute per-path amplitude including air absorption.
+        let attenuated: Vec<(f64, f64)> = paths
+            .iter()
+            .map(|p| {
+                let a = p.amplitude
+                    * air::path_gain(self.temperature_c, self.humidity_pct, p.length_m);
+                (a, p.length_m)
+            })
+            .collect();
+        for (k, h_k) in h.iter_mut().enumerate() {
+            let f = self.config.subcarrier_frequency_hz(k);
+            let mask = self.config.subcarrier_mask(k);
+            let mut acc = Complex::ZERO;
+            for &(a, len) in &attenuated {
+                let phase = -std::f64::consts::TAU * f * len / SPEED_OF_LIGHT;
+                acc += Complex::from_polar(a, phase);
+            }
+            *h_k = acc.scale(mask);
+        }
+        h
+    }
+
+    /// CSI amplitude vector `|H[k]|` (noise-free).
+    pub fn amplitudes(&self) -> Vec<f64> {
+        self.frequency_response().iter().map(|h| h.abs()).collect()
+    }
+}
+
+/// The default furniture layout: six desks and two cabinets spread through
+/// the office. The simulator swaps this for an alternative layout at a
+/// "furniture moved" epoch (§V-B's fold-4 hardness).
+pub fn default_furniture_layout() -> Vec<Scatterer> {
+    vec![
+        Scatterer::furniture(Point3::new(2.0, 1.5, 0.75)),
+        Scatterer::furniture(Point3::new(2.0, 4.5, 0.75)),
+        Scatterer::furniture(Point3::new(6.0, 4.8, 0.75)),
+        Scatterer::furniture(Point3::new(9.5, 1.5, 0.75)),
+        Scatterer::furniture(Point3::new(9.5, 4.5, 0.75)),
+        Scatterer::furniture(Point3::new(11.0, 3.0, 0.75)),
+        // Tall cabinets.
+        Scatterer {
+            position: Point3::new(0.4, 5.5, 1.2),
+            sigma: 0.18,
+            material: Material::FURNITURE,
+        },
+        Scatterer {
+            position: Point3::new(11.6, 0.4, 1.2),
+            sigma: 0.18,
+            material: Material::FURNITURE,
+        },
+    ]
+}
+
+/// An alternative furniture layout after occupants rearranged the room:
+/// three desks move by roughly a metre, one cabinet crosses the room,
+/// the rest stays put — a realistic partial rearrangement that shifts the
+/// empty-room CSI fingerprint without replacing it wholesale.
+pub fn moved_furniture_layout() -> Vec<Scatterer> {
+    vec![
+        Scatterer::furniture(Point3::new(2.9, 2.1, 0.75)), // desk moved
+        Scatterer::furniture(Point3::new(2.0, 4.5, 0.75)),
+        Scatterer::furniture(Point3::new(5.3, 5.1, 0.75)), // desk moved
+        Scatterer::furniture(Point3::new(9.5, 1.5, 0.75)),
+        Scatterer::furniture(Point3::new(10.3, 4.9, 0.75)), // desk moved
+        Scatterer::furniture(Point3::new(11.0, 3.0, 0.75)),
+        // One cabinet relocated across the room, one untouched.
+        Scatterer {
+            position: Point3::new(0.4, 0.6, 1.2),
+            sigma: 0.18,
+            material: Material::FURNITURE,
+        },
+        Scatterer {
+            position: Point3::new(11.6, 0.4, 1.2),
+            sigma: 0.18,
+            material: Material::FURNITURE,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scene_geometry_matches_paper() {
+        let s = Scene::office_default();
+        assert_eq!(s.room.width, 12.0);
+        assert_eq!(s.room.depth, 6.0);
+        assert_eq!(s.room.height, 3.0);
+        // AP and receiver 2 m apart at 1.4 m height (§IV-A).
+        assert!((s.tx.distance(s.rx) - 2.0).abs() < 1e-12);
+        assert_eq!(s.tx.z, 1.4);
+        assert!(s.bodies.is_empty());
+    }
+
+    #[test]
+    fn path_count_matches_scene_contents() {
+        let mut s = Scene::office_default();
+        let base = s.paths().len();
+        assert_eq!(base, 1 + 6 + s.scatterers.len());
+        s.bodies.push(Body::standing(Point3::new(6.0, 3.0, 0.0)));
+        assert_eq!(s.paths().len(), base + 1);
+    }
+
+    #[test]
+    fn response_has_64_bins_with_masked_nulls() {
+        let s = Scene::office_default();
+        let h = s.frequency_response();
+        assert_eq!(h.len(), 64);
+        let amps: Vec<f64> = h.iter().map(|c| c.abs()).collect();
+        // Null bins are strongly attenuated relative to the median used bin.
+        let mut used: Vec<f64> = (0..64)
+            .filter(|&k| !s.config.is_null_subcarrier(k))
+            .map(|k| amps[k])
+            .collect();
+        used.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_used = used[used.len() / 2];
+        assert!(amps[32] < 0.2 * median_used);
+        assert!(amps[0] < 0.2 * median_used);
+    }
+
+    #[test]
+    fn response_is_frequency_selective() {
+        // Multipath must make amplitudes differ across used subcarriers.
+        let s = Scene::office_default();
+        let amps = s.amplitudes();
+        let used: Vec<f64> = (0..64)
+            .filter(|&k| !s.config.is_null_subcarrier(k))
+            .map(|k| amps[k])
+            .collect();
+        let mean = used.iter().sum::<f64>() / used.len() as f64;
+        let var = used.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / used.len() as f64;
+        assert!(var > 1e-6, "channel is flat: var {var}");
+    }
+
+    #[test]
+    fn body_changes_subcarrier_profile() {
+        let mut s = Scene::office_default();
+        let empty = s.amplitudes();
+        s.bodies.push(Body::standing(Point3::new(6.0, 3.0, 0.0)));
+        let occupied = s.amplitudes();
+        let delta: f64 = empty
+            .iter()
+            .zip(&occupied)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(delta > 0.01, "body invisible: delta {delta}");
+    }
+
+    #[test]
+    fn body_effect_depends_on_position() {
+        let mut s = Scene::office_default();
+        s.bodies.push(Body::standing(Point3::new(3.0, 2.0, 0.0)));
+        let at_a = s.amplitudes();
+        s.bodies[0] = Body::standing(Point3::new(9.0, 4.0, 0.0));
+        let at_b = s.amplitudes();
+        let delta: f64 = at_a.iter().zip(&at_b).map(|(a, b)| (a - b).abs()).sum();
+        assert!(delta > 1e-3, "position-independent body: {delta}");
+    }
+
+    #[test]
+    fn environment_changes_response_subtly() {
+        let mut s = Scene::office_default();
+        let cool_dry = s.amplitudes();
+        s.temperature_c = 26.0;
+        s.humidity_pct = 48.0;
+        let warm_humid = s.amplitudes();
+        let delta: f64 = cool_dry
+            .iter()
+            .zip(&warm_humid)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        // Present but much smaller than a body's effect.
+        assert!(delta > 1e-4, "environment invisible: {delta}");
+        let mut s2 = Scene::office_default();
+        s2.bodies.push(Body::standing(Point3::new(6.0, 1.0, 0.0)));
+        let body_delta: f64 = cool_dry
+            .iter()
+            .zip(&s2.amplitudes())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(body_delta > delta, "env {delta} vs body {body_delta}");
+    }
+
+    #[test]
+    fn furniture_layout_change_shifts_fingerprint() {
+        let mut s = Scene::office_default();
+        let before = s.amplitudes();
+        s.scatterers = moved_furniture_layout();
+        let after = s.amplitudes();
+        let delta: f64 = before.iter().zip(&after).map(|(a, b)| (a - b).abs()).sum();
+        assert!(delta > 1e-3, "layout change invisible: {delta}");
+    }
+
+    #[test]
+    fn sitting_body_differs_from_standing() {
+        let spot = Point3::new(6.0, 3.0, 0.0);
+        let mut s1 = Scene::office_default();
+        s1.bodies.push(Body::standing(spot));
+        let mut s2 = Scene::office_default();
+        s2.bodies.push(Body::sitting(spot));
+        let d: f64 = s1
+            .amplitudes()
+            .iter()
+            .zip(&s2.amplitudes())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-4, "posture invisible: {d}");
+    }
+
+    #[test]
+    fn second_order_adds_thirty_paths() {
+        let mut s = Scene::office_default();
+        let first_order = s.paths().len();
+        s.max_reflection_order = 2;
+        assert_eq!(s.paths().len(), first_order + 30);
+    }
+
+    #[test]
+    fn second_order_perturbs_without_dominating() {
+        let mut s = Scene::office_default();
+        let order1 = s.amplitudes();
+        s.max_reflection_order = 2;
+        let order2 = s.amplitudes();
+        let delta: f64 = order1.iter().zip(&order2).map(|(a, b)| (a - b).abs()).sum();
+        let total: f64 = order1.iter().sum();
+        assert!(delta > 1e-4, "order-2 paths invisible: {delta}");
+        assert!(delta < total, "order-2 paths dominate: {delta} vs {total}");
+    }
+
+    #[test]
+    fn second_order_amplitudes_are_positive_and_long() {
+        let mut s = Scene::office_default();
+        s.max_reflection_order = 2;
+        let paths = s.paths();
+        let first_order_count = paths.len() - 30 - s.scatterers.len() - s.bodies.len();
+        let max_first_order_len = paths[..first_order_count]
+            .iter()
+            .map(|p| p.length_m)
+            .fold(0.0f64, f64::max);
+        for p in &paths[first_order_count..first_order_count + 30] {
+            assert!(p.amplitude > 0.0, "double bounce flipped sign");
+            assert!(p.length_m >= 2.0, "double bounce too short: {}", p.length_m);
+        }
+        assert!(max_first_order_len > 0.0);
+    }
+
+    #[test]
+    fn scatterer_sigma_tracks_environment() {
+        let sc = Scatterer::furniture(Point3::new(1.0, 1.0, 0.75));
+        let dry = sc.effective_sigma(20.0, 20.0);
+        let humid = sc.effective_sigma(20.0, 60.0);
+        assert!(humid > dry);
+        // Baseline environment gives the nominal sigma.
+        assert!((sc.effective_sigma(20.0, 35.0) - sc.sigma).abs() < 1e-12);
+    }
+}

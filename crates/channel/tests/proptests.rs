@@ -1,0 +1,120 @@
+//! Property-based tests for the channel model.
+
+use occusense_channel::geometry::{point_segment_distance, Point3, Room, Surface};
+use occusense_channel::materials::Material;
+use occusense_channel::multipath::shadowing_factor;
+use occusense_channel::receiver::Receiver;
+use occusense_channel::scene::{Body, Scene};
+use occusense_channel::Complex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn point_in_room() -> impl Strategy<Value = Point3> {
+    (0.0f64..12.0, 0.0f64..6.0, 0.0f64..3.0).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn mirror_involution(p in point_in_room()) {
+        let room = Room::office();
+        for s in Surface::ALL {
+            let back = room.mirror(room.mirror(p, s), s);
+            prop_assert!(back.distance(p) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mirror_preserves_distance_to_surface_plane(p in point_in_room()) {
+        let room = Room::office();
+        // The image is outside the room (or on the boundary).
+        for s in Surface::ALL {
+            let img = room.mirror(p, s);
+            let inside = room.contains(img);
+            // Only boundary points map to themselves.
+            if inside {
+                prop_assert!(img.distance(p) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_distance_nonnegative_t_in_unit(
+        p in point_in_room(), a in point_in_room(), b in point_in_room()
+    ) {
+        let (d, t) = point_segment_distance(p, a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&t));
+        // Distance to segment <= distance to either endpoint.
+        prop_assert!(d <= p.distance(a) + 1e-9);
+        prop_assert!(d <= p.distance(b) + 1e-9);
+    }
+
+    #[test]
+    fn shadowing_in_unit_interval(
+        obstacle in point_in_room(), a in point_in_room(), b in point_in_room(),
+        radius in 0.05f64..0.5,
+    ) {
+        let f = shadowing_factor(obstacle, radius, a, b, 0.125);
+        prop_assert!((0.0..=1.0).contains(&f), "factor {f}");
+        prop_assert!(f >= 0.1 - 1e-9);
+    }
+
+    #[test]
+    fn reflectivity_always_clamped(t in -10.0f64..50.0, h in 0.0f64..100.0) {
+        for m in [
+            Material::PLASTERBOARD,
+            Material::CONCRETE,
+            Material::GLASS,
+            Material::FURNITURE,
+            Material::CEILING_TILE,
+        ] {
+            let r = m.reflectivity(t, h);
+            prop_assert!((0.02..=0.95).contains(&r), "{}: {r}", m.name);
+        }
+    }
+
+    #[test]
+    fn air_gain_monotone_decreasing_in_distance(
+        t in 5.0f64..35.0, h in 5.0f64..95.0, d1 in 0.1f64..10.0, extra in 0.1f64..10.0
+    ) {
+        let g1 = occusense_channel::air::path_gain(t, h, d1);
+        let g2 = occusense_channel::air::path_gain(t, h, d1 + extra);
+        prop_assert!(g2 < g1);
+        prop_assert!(g1 <= 1.0 && g2 > 0.0);
+    }
+
+    #[test]
+    fn response_amplitudes_finite_and_nonnegative(
+        n_bodies in 0usize..5,
+        t in 15.0f64..35.0,
+        h in 15.0f64..60.0,
+        seed in 0u64..1000,
+    ) {
+        let mut scene = Scene::office_default();
+        scene.temperature_c = t;
+        scene.humidity_pct = h;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n_bodies {
+            let x = 1.0 + (seed as f64 * 0.37 + i as f64 * 2.3) % 10.0;
+            let y = 1.0 + (seed as f64 * 0.73 + i as f64 * 1.1) % 4.0;
+            scene.bodies.push(Body::standing(Point3::new(x, y, 0.0)));
+        }
+        let csi = Receiver::new().measure(&scene.frequency_response(), &mut rng);
+        prop_assert_eq!(csi.len(), 64);
+        for a in csi {
+            prop_assert!(a.is_finite() && (0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn complex_abs_triangle_inequality(
+        re1 in -10.0f64..10.0, im1 in -10.0f64..10.0,
+        re2 in -10.0f64..10.0, im2 in -10.0f64..10.0,
+    ) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        prop_assert!((a + b).abs() <= a.abs() + b.abs() + 1e-9);
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+}

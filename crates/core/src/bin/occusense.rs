@@ -1,0 +1,207 @@
+//! `occusense` — command-line interface to the WiFi-CSI occupancy
+//! pipeline: simulate a campaign, train a detector, evaluate it, explain
+//! it — each step persisted to plain files so the stages compose.
+//!
+//! ```text
+//! occusense simulate --out data.csv --quick 2400 --seed 42
+//! occusense train    --data data.csv --out model.txt --features csi
+//! occusense evaluate --data data.csv --model model.txt
+//! occusense explain  --data data.csv --model model.txt --top 10
+//! ```
+
+use occusense_core::dataset::csv;
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::explain::Explanation;
+use occusense_core::persist;
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::{Dataset, FeatureView};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+occusense — WiFi CSI occupancy detection (DATE 2023 reproduction)
+
+USAGE:
+  occusense simulate --out <file.csv> [--quick <secs> | --campaign] [--rate <hz>] [--seed <u64>]
+  occusense train    --data <file.csv> --out <model.txt> [--features csi|env|c+e] [--epochs <n>] [--seed <u64>] [--split <0..1>]
+  occusense evaluate --data <file.csv> --model <model.txt> [--split <0..1>]
+  occusense explain  --data <file.csv> --model <model.txt> [--top <n>]
+
+simulate writes a Table-I-format CSV; train fits the paper's MLP on the
+first --split fraction (default 0.7) and saves it; evaluate reports the
+confusion matrix on the remaining fraction; explain prints Grad-CAM
+feature importance.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing subcommand")?;
+    let flags = parse_flags(args)?;
+    match command.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "train" => cmd_train(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "explain" => cmd_explain(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{flag}'"))?;
+        // --campaign is a boolean flag; everything else takes a value.
+        if name == "campaign" {
+            flags.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_owned(), value);
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{name} '{v}': {e}")),
+    }
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    csv::read_csv(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn split_dataset(ds: &Dataset, fraction: f64) -> (Dataset, Dataset) {
+    let split = ((ds.len() as f64) * fraction).round() as usize;
+    let split = split.clamp(1, ds.len().saturating_sub(1).max(1));
+    (
+        ds.records()[..split].iter().copied().collect(),
+        ds.records()[split..].iter().copied().collect(),
+    )
+}
+
+fn feature_view(flags: &HashMap<String, String>) -> Result<FeatureView, String> {
+    match flags.get("features").map(String::as_str) {
+        None | Some("csi") => Ok(FeatureView::Csi),
+        Some("env") => Ok(FeatureView::Env),
+        Some("c+e") | Some("csi-env") => Ok(FeatureView::CsiEnv),
+        Some(other) => Err(format!("unknown --features '{other}' (csi|env|c+e)")),
+    }
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = get(flags, "out")?;
+    let seed = parse(flags, "seed", 0u64)?;
+    let rate = parse(flags, "rate", 2.0f64)?;
+    let config = if flags.contains_key("campaign") {
+        let mut cfg = ScenarioConfig::turetta2022(seed);
+        cfg.sample_rate_hz = rate;
+        cfg
+    } else {
+        let secs = parse(flags, "quick", 2400.0f64)?;
+        let mut cfg = ScenarioConfig::quick(secs, seed);
+        cfg.sample_rate_hz = rate;
+        cfg
+    };
+    eprintln!("simulating {} samples at {} Hz…", config.n_samples(), rate);
+    let ds = simulate(&config);
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    csv::write_csv(BufWriter::new(file), &ds).map_err(|e| e.to_string())?;
+    println!("wrote {} records to {out}", ds.len());
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(get(flags, "data")?)?;
+    let out = get(flags, "out")?;
+    let fraction = parse(flags, "split", 0.7f64)?;
+    let (train, holdout) = split_dataset(&ds, fraction);
+    let config = DetectorConfig {
+        model: ModelKind::Mlp,
+        features: feature_view(flags)?,
+        seed: parse(flags, "seed", 0u64)?,
+        mlp_epochs: parse(flags, "epochs", 10usize)?,
+        ..DetectorConfig::default()
+    };
+    eprintln!(
+        "training MLP on {} records ({} features)…",
+        train.len(),
+        config.features.dimension()
+    );
+    let detector = OccupancyDetector::train(&train, &config);
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    persist::save_detector(BufWriter::new(file), &detector).map_err(|e| e.to_string())?;
+    let cm = detector.evaluate(&holdout);
+    println!("saved detector to {out}");
+    println!("holdout ({} records): {cm}", holdout.len());
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(get(flags, "data")?)?;
+    let model_path = get(flags, "model")?;
+    let file = File::open(model_path).map_err(|e| format!("open {model_path}: {e}"))?;
+    let detector = persist::load_detector(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let fraction = parse(flags, "split", 0.7f64)?;
+    let (_, holdout) = split_dataset(&ds, fraction);
+    let cm = detector.evaluate(&holdout);
+    println!("evaluated {} records: {cm}", holdout.len());
+    println!(
+        "precision {:.3}  recall {:.3}  F1 {:.3}",
+        cm.precision(),
+        cm.recall(),
+        cm.f1()
+    );
+    Ok(())
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(get(flags, "data")?)?;
+    let model_path = get(flags, "model")?;
+    let file = File::open(model_path).map_err(|e| format!("open {model_path}: {e}"))?;
+    let detector = persist::load_detector(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let top = parse(flags, "top", 10usize)?;
+    let explanation =
+        Explanation::of(&detector, &ds).ok_or("detector is not explainable (not an MLP)")?;
+    println!("top {top} features by |Grad-CAM importance|:");
+    for idx in explanation.top_features(top) {
+        println!(
+            "  {:>4}  {:+.5}",
+            explanation.feature_names[idx], explanation.importance[idx]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Grad-CAM explanations over the detector's input features (Figure 3).
+
+use crate::detector::OccupancyDetector;
+use occusense_dataset::features::csi_env_feature_names;
+use occusense_dataset::{Dataset, FeatureView};
+use occusense_nn::gradcam;
+
+/// Per-input-feature importance of a trained MLP detector, as plotted in
+/// Figure 3 of the paper: one (signed) value per CSI subcarrier plus, for
+/// the C+E view, temperature (`e`) and humidity (`h`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Feature names in plot order.
+    pub feature_names: Vec<String>,
+    /// Signed importance per feature (gradient×input, batch-averaged).
+    pub importance: Vec<f64>,
+}
+
+impl Explanation {
+    /// Computes the explanation of an MLP detector over an evaluation
+    /// dataset. Returns `None` for non-MLP detectors (Grad-CAM needs
+    /// gradients).
+    pub fn of(detector: &OccupancyDetector, dataset: &Dataset) -> Option<Self> {
+        let mlp = detector.mlp()?;
+        let x = detector.features_of(dataset);
+        let importance = gradcam::input_attribution(mlp, &x, 1.0);
+        let feature_names = match detector.features() {
+            FeatureView::CsiEnv => csi_env_feature_names(),
+            FeatureView::Csi => (0..64).map(|i| format!("a{i}")).collect(),
+            FeatureView::Env => vec!["e".to_owned(), "h".to_owned()],
+            FeatureView::TimeOnly => vec!["sin(t)".to_owned(), "cos(t)".to_owned()],
+        };
+        Some(Self {
+            feature_names,
+            importance,
+        })
+    }
+
+    /// Indices of the `k` features with the largest |importance|, most
+    /// important first.
+    pub fn top_features(&self, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.importance.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.importance[b]
+                .abs()
+                .partial_cmp(&self.importance[a].abs())
+                .expect("finite importance")
+        });
+        order.truncate(k);
+        order
+    }
+
+    /// Mean |importance| of a span of features (used to compare the CSI
+    /// block against the environment block, the paper's headline
+    /// finding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn mean_abs_importance(&self, range: std::ops::Range<usize>) -> f64 {
+        assert!(!range.is_empty() && range.end <= self.importance.len());
+        let n = range.len();
+        self.importance[range].iter().map(|v| v.abs()).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorConfig, ModelKind};
+    use occusense_sim::{simulate, ScenarioConfig};
+
+    fn trained_mlp_detector() -> (OccupancyDetector, Dataset) {
+        let ds = simulate(&ScenarioConfig::quick(1600.0, 55));
+        let split = (ds.len() * 7) / 10;
+        let train: Dataset = ds.records()[..split].iter().copied().collect();
+        let test: Dataset = ds.records()[split..].iter().copied().collect();
+        let det = OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                features: FeatureView::CsiEnv,
+                mlp_epochs: 5,
+                ..DetectorConfig::default()
+            },
+        );
+        (det, test)
+    }
+
+    #[test]
+    fn explanation_has_66_named_features() {
+        let (det, test) = trained_mlp_detector();
+        let e = Explanation::of(&det, &test).expect("MLP detector");
+        assert_eq!(e.feature_names.len(), 66);
+        assert_eq!(e.importance.len(), 66);
+        assert_eq!(e.feature_names[0], "a0");
+        assert_eq!(e.feature_names[64], "e");
+        assert_eq!(e.feature_names[65], "h");
+        assert!(e.importance.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn non_mlp_detectors_have_no_explanation() {
+        let ds = simulate(&ScenarioConfig::quick(600.0, 56));
+        let det = OccupancyDetector::train(
+            &ds,
+            &DetectorConfig {
+                model: ModelKind::LogisticRegression,
+                ..DetectorConfig::default()
+            },
+        );
+        assert!(Explanation::of(&det, &ds).is_none());
+    }
+
+    #[test]
+    fn top_features_are_sorted_by_magnitude() {
+        let e = Explanation {
+            feature_names: vec!["a".into(), "b".into(), "c".into()],
+            importance: vec![0.1, -0.9, 0.5],
+        };
+        assert_eq!(e.top_features(2), vec![1, 2]);
+        assert_eq!(e.top_features(10), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn mean_abs_importance_blocks() {
+        let e = Explanation {
+            feature_names: (0..4).map(|i| format!("f{i}")).collect(),
+            importance: vec![1.0, -1.0, 0.0, 0.0],
+        };
+        assert_eq!(e.mean_abs_importance(0..2), 1.0);
+        assert_eq!(e.mean_abs_importance(2..4), 0.0);
+    }
+}

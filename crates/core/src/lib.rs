@@ -1,0 +1,75 @@
+//! # occusense-core
+//!
+//! The top-level library of the `occusense` workspace: a Rust
+//! reproduction of *Towards Deep Learning-based Occupancy Detection Via
+//! WiFi Sensing in Unconstrained Environments* (DATE 2023).
+//!
+//! It ties the substrates together into the paper's pipelines:
+//!
+//! * [`detector`] — [`OccupancyDetector`]: train an MLP (or a logistic
+//!   regression / random forest baseline) on any feature subset, predict
+//!   and evaluate per fold, never retraining (§V-B / Table IV).
+//! * [`regressor`] — [`EnvRegressor`]: estimate humidity and temperature
+//!   from CSI with OLS or the neural network (§V-D / Table V).
+//! * [`explain`] — [`Explanation`]: Grad-CAM feature importance over the
+//!   66 input features (§V-C / Figure 3).
+//! * [`sampling`] — stratified training-set subsampling (the simulator
+//!   generates hundreds of thousands of rows; models train on a seeded
+//!   stratified subsample, documented in EXPERIMENTS.md).
+//! * [`experiments`] — one driver per table/figure of the paper,
+//!   consumed by the `occusense-bench` repro binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+//! use occusense_core::FeatureView;
+//! use occusense_sim::{simulate, ScenarioConfig};
+//!
+//! // Simulate a short scenario, train on the first 70 %, test on the rest.
+//! let ds = simulate(&ScenarioConfig::quick(1200.0, 7));
+//! let split = (ds.len() * 7) / 10;
+//! let train: occusense_core::Dataset =
+//!     ds.records()[..split].iter().copied().collect();
+//! let test: occusense_core::Dataset =
+//!     ds.records()[split..].iter().copied().collect();
+//!
+//! let config = DetectorConfig {
+//!     model: ModelKind::Mlp,
+//!     features: FeatureView::Csi,
+//!     ..DetectorConfig::default()
+//! };
+//! let detector = OccupancyDetector::train(&train, &config);
+//! let accuracy = detector.evaluate(&test).accuracy();
+//! assert!(accuracy > 0.5);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod activity;
+pub mod counting;
+pub mod detector;
+pub mod experiments;
+pub mod explain;
+pub mod online;
+pub mod persist;
+pub mod regressor;
+pub mod sampling;
+
+pub use activity::{ActivityConfig, ActivityRecognizer};
+pub use counting::{CountingConfig, OccupancyCounter};
+pub use detector::{DetectorConfig, ModelKind, OccupancyDetector};
+pub use explain::Explanation;
+pub use regressor::{EnvRegressor, RegressorKind};
+
+// Re-export the substrate crates under one roof for downstream users.
+pub use occusense_baselines as baselines;
+pub use occusense_channel as channel;
+pub use occusense_dataset as dataset;
+pub use occusense_nn as nn;
+pub use occusense_sim as sim;
+pub use occusense_stats as stats;
+pub use occusense_tensor as tensor;
+
+pub use occusense_dataset::{CsiRecord, Dataset, FeatureView};

@@ -1,0 +1,208 @@
+//! Online (continual) training — §V-B's argument for preferring the MLP
+//! over the random forest: "an MLP model can be trained continuously.
+//! There is no need to use the whole dataset again but only new data,
+//! which can also arrive in real-time, thus doing online training."
+//!
+//! [`OnlineDetector`] wraps a trained MLP detector with a persistent
+//! AdamW state and a small replay buffer: each labelled record streams
+//! in, is first *predicted* (prequential evaluation — test-then-train)
+//! and then used for a gradient step once a mini-batch accumulates.
+
+use crate::detector::OccupancyDetector;
+use occusense_dataset::CsiRecord;
+use occusense_nn::loss::BceWithLogits;
+use occusense_nn::optim::AdamW;
+use occusense_nn::train::{TrainConfig, Trainer};
+use occusense_nn::Mlp;
+use occusense_tensor::Matrix;
+
+/// Configuration of the online learner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Gradient step size for the streaming updates (usually smaller
+    /// than the offline rate to avoid catastrophic drift).
+    pub learning_rate: f64,
+    /// Decoupled weight decay.
+    pub weight_decay: f64,
+    /// Records accumulated before each gradient step.
+    pub batch_size: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 1e-3,
+            weight_decay: 1e-4,
+            batch_size: 64,
+        }
+    }
+}
+
+/// An MLP occupancy detector that keeps learning from a labelled stream.
+#[derive(Debug, Clone)]
+pub struct OnlineDetector {
+    features: occusense_dataset::FeatureView,
+    standardizer: occusense_dataset::Standardizer,
+    mlp: Mlp,
+    optimizer: AdamW,
+    trainer: Trainer,
+    buffer_x: Vec<f64>,
+    buffer_y: Vec<f64>,
+    config: OnlineConfig,
+    updates: u64,
+}
+
+impl OnlineDetector {
+    /// Wraps an offline-trained MLP detector for streaming updates.
+    ///
+    /// The feature standardiser is frozen at its offline statistics —
+    /// online re-estimation would silently shift every input.
+    ///
+    /// Returns `None` if the detector is not MLP-backed.
+    pub fn from_detector(detector: &OccupancyDetector, config: OnlineConfig) -> Option<Self> {
+        let mlp = detector.mlp()?.clone();
+        Some(Self {
+            features: detector.features(),
+            standardizer: detector.standardizer().clone(),
+            mlp,
+            optimizer: AdamW::new(config.learning_rate, config.weight_decay),
+            trainer: Trainer::new(TrainConfig {
+                epochs: 1,
+                batch_size: config.batch_size,
+                shuffle_seed: 0,
+            }),
+            buffer_x: Vec::new(),
+            buffer_y: Vec::new(),
+            config,
+            updates: 0,
+        })
+    }
+
+    /// Number of gradient steps taken so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Predicts the occupancy of one record `(label, confidence)`.
+    pub fn predict_record(&self, record: &CsiRecord) -> (u8, f64) {
+        let raw = self.features.extract(record);
+        let z = self.standardizer.transform_row(&raw);
+        let p = self.mlp.predict_proba(&Matrix::row_vector(&z))[0];
+        (u8::from(p > 0.5), p)
+    }
+
+    /// Prequential step: predicts the record, then absorbs its ground-
+    /// truth label into the replay buffer (taking a gradient step once
+    /// the buffer holds a full batch). Returns the prediction made
+    /// *before* learning from the record.
+    pub fn observe(&mut self, record: &CsiRecord, label: u8) -> (u8, f64) {
+        let prediction = self.predict_record(record);
+        let raw = self.features.extract(record);
+        let z = self.standardizer.transform_row(&raw);
+        self.buffer_x.extend_from_slice(&z);
+        self.buffer_y.push(label as f64);
+        if self.buffer_y.len() >= self.config.batch_size {
+            let d = self.features.dimension();
+            let xb = Matrix::from_vec(self.buffer_y.len(), d, std::mem::take(&mut self.buffer_x));
+            let yb = Matrix::col_vector(&std::mem::take(&mut self.buffer_y));
+            self.trainer
+                .train_batch(&mut self.mlp, &xb, &yb, &BceWithLogits, &mut self.optimizer);
+            self.updates += 1;
+        }
+        prediction
+    }
+
+    /// The current (continually trained) network.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorConfig, ModelKind};
+    use occusense_dataset::Dataset;
+    use occusense_sim::{simulate, ScenarioConfig};
+
+    fn quick_split(duration_s: f64, seed: u64) -> (Dataset, Dataset) {
+        let ds = simulate(&ScenarioConfig::quick(duration_s, seed));
+        let split = (ds.len() * 7) / 10;
+        (
+            ds.records()[..split].iter().copied().collect(),
+            ds.records()[split..].iter().copied().collect(),
+        )
+    }
+
+    fn trained_online() -> (OnlineDetector, occusense_dataset::Dataset) {
+        let (train, test) = quick_split(1600.0, 91);
+        let det = OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 3,
+                ..DetectorConfig::default()
+            },
+        );
+        (
+            OnlineDetector::from_detector(&det, OnlineConfig::default()).expect("MLP"),
+            test,
+        )
+    }
+
+    #[test]
+    fn wraps_only_mlp_detectors() {
+        let (train, _) = quick_split(600.0, 92);
+        let rf = OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model: ModelKind::RandomForest,
+                ..DetectorConfig::default()
+            },
+        );
+        assert!(OnlineDetector::from_detector(&rf, OnlineConfig::default()).is_none());
+    }
+
+    #[test]
+    fn observe_predicts_before_learning() {
+        let (mut online, test) = trained_online();
+        let frozen_pred = online.predict_record(&test.records()[0]);
+        let observed = online.observe(&test.records()[0], test.records()[0].occupancy());
+        assert_eq!(frozen_pred, observed);
+    }
+
+    #[test]
+    fn gradient_steps_fire_per_batch() {
+        let (mut online, test) = trained_online();
+        let batch = OnlineConfig::default().batch_size;
+        for r in test.records().iter().take(batch - 1) {
+            online.observe(r, r.occupancy());
+        }
+        assert_eq!(online.updates(), 0);
+        online.observe(&test.records()[batch - 1], test.records()[batch - 1].occupancy());
+        assert_eq!(online.updates(), 1);
+    }
+
+    #[test]
+    fn online_updates_change_the_network() {
+        let (mut online, test) = trained_online();
+        let before = online.mlp().clone();
+        for r in test.records().iter().take(200) {
+            online.observe(r, r.occupancy());
+        }
+        assert!(online.updates() > 0);
+        assert_ne!(*online.mlp(), before);
+    }
+
+    #[test]
+    fn prequential_accuracy_stays_high_on_stream() {
+        let (mut online, test) = trained_online();
+        let mut correct = 0usize;
+        for r in test.records() {
+            let (pred, _) = online.observe(r, r.occupancy());
+            correct += usize::from(pred == r.occupancy());
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.85, "prequential accuracy {acc}");
+    }
+}

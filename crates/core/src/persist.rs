@@ -1,0 +1,228 @@
+//! Persistence of trained detectors (model + standardiser + feature
+//! view), so a detector trained once can be deployed by the `occusense`
+//! CLI or an embedded gateway without retraining.
+//!
+//! Format (line-oriented, on top of the `occusense-nn` model format):
+//!
+//! ```text
+//! occusense-detector v1
+//! features <CSI|Env|C+E|Time>
+//! means <d floats>
+//! stds <d floats>
+//! <embedded occusense-mlp v1 payload>
+//! ```
+
+use crate::detector::OccupancyDetector;
+use occusense_dataset::{FeatureView, Standardizer};
+use occusense_nn::serialize as nn_serialize;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Error returned by [`load_detector`].
+#[derive(Debug)]
+pub enum LoadDetectorError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed detector file.
+    Parse(String),
+    /// The embedded model failed to load.
+    Model(nn_serialize::LoadModelError),
+}
+
+impl fmt::Display for LoadDetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadDetectorError::Io(e) => write!(f, "detector load: {e}"),
+            LoadDetectorError::Parse(msg) => write!(f, "detector parse error: {msg}"),
+            LoadDetectorError::Model(e) => write!(f, "detector model: {e}"),
+        }
+    }
+}
+
+impl Error for LoadDetectorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadDetectorError::Io(e) => Some(e),
+            LoadDetectorError::Parse(_) => None,
+            LoadDetectorError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for LoadDetectorError {
+    fn from(e: io::Error) -> Self {
+        LoadDetectorError::Io(e)
+    }
+}
+
+/// Error returned by [`save_detector`] when the detector is not
+/// MLP-backed (only the MLP has a serialisation format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedModelError;
+
+impl fmt::Display for UnsupportedModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "only MLP-backed detectors can be saved")
+    }
+}
+
+impl Error for UnsupportedModelError {}
+
+/// Saves an MLP-backed detector.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedModelError`] for non-MLP detectors (boxed with
+/// the I/O error into one error type via `Box<dyn Error>` would hide the
+/// distinction, so the two cases are kept separate: the unsupported case
+/// is reported as `io::ErrorKind::Unsupported`).
+pub fn save_detector<W: Write>(mut w: W, detector: &OccupancyDetector) -> io::Result<()> {
+    let Some(mlp) = detector.mlp() else {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            UnsupportedModelError,
+        ));
+    };
+    writeln!(w, "occusense-detector v1")?;
+    writeln!(w, "features {}", detector.features().name())?;
+    let standardizer = detector.standardizer();
+    write_floats(&mut w, "means", standardizer.means())?;
+    write_floats(&mut w, "stds", standardizer.stds())?;
+    nn_serialize::save(w, mlp)
+}
+
+fn write_floats<W: Write>(w: &mut W, tag: &str, values: &[f64]) -> io::Result<()> {
+    write!(w, "{tag}")?;
+    for v in values {
+        write!(w, " {v:e}")?;
+    }
+    writeln!(w)
+}
+
+/// Loads a detector saved by [`save_detector`].
+///
+/// # Errors
+///
+/// Returns [`LoadDetectorError`] on I/O failure or malformed content.
+pub fn load_detector<R: Read>(r: R) -> Result<OccupancyDetector, LoadDetectorError> {
+    let mut reader = BufReader::new(r);
+    let mut line = String::new();
+    let mut next_line = |reader: &mut BufReader<R>| -> Result<String, LoadDetectorError> {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(LoadDetectorError::Parse("unexpected end of file".into()));
+        }
+        Ok(line.trim_end().to_owned())
+    };
+
+    let header = next_line(&mut reader)?;
+    if header != "occusense-detector v1" {
+        return Err(LoadDetectorError::Parse(format!("bad header '{header}'")));
+    }
+    let features_line = next_line(&mut reader)?;
+    let features = match features_line.strip_prefix("features ") {
+        Some("CSI") => FeatureView::Csi,
+        Some("Env") => FeatureView::Env,
+        Some("C+E") => FeatureView::CsiEnv,
+        Some("Time") => FeatureView::TimeOnly,
+        _ => {
+            return Err(LoadDetectorError::Parse(format!(
+                "bad features line '{features_line}'"
+            )))
+        }
+    };
+    let means = parse_floats(&next_line(&mut reader)?, "means")?;
+    let stds = parse_floats(&next_line(&mut reader)?, "stds")?;
+    if means.len() != features.dimension() || stds.len() != features.dimension() {
+        return Err(LoadDetectorError::Parse(format!(
+            "standardizer dimension {} does not match feature view {}",
+            means.len(),
+            features.dimension()
+        )));
+    }
+    let standardizer = Standardizer::from_parts(means, stds);
+    let mlp = nn_serialize::load(reader).map_err(LoadDetectorError::Model)?;
+    if mlp.input_dim() != features.dimension() {
+        return Err(LoadDetectorError::Parse(format!(
+            "model input dimension {} does not match feature view {}",
+            mlp.input_dim(),
+            features.dimension()
+        )));
+    }
+    Ok(OccupancyDetector::from_parts(features, standardizer, mlp))
+}
+
+fn parse_floats(line: &str, tag: &str) -> Result<Vec<f64>, LoadDetectorError> {
+    let rest = line
+        .strip_prefix(tag)
+        .ok_or_else(|| LoadDetectorError::Parse(format!("expected '{tag} …', got '{line}'")))?;
+    rest.split_whitespace()
+        .map(|s| {
+            s.parse()
+                .map_err(|e| LoadDetectorError::Parse(format!("bad {tag} value '{s}': {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorConfig, ModelKind};
+    use occusense_sim::{simulate, ScenarioConfig};
+
+    fn trained(model: ModelKind) -> (OccupancyDetector, occusense_dataset::Dataset) {
+        let ds = simulate(&ScenarioConfig::quick(900.0, 81));
+        let det = OccupancyDetector::train(
+            &ds,
+            &DetectorConfig {
+                model,
+                mlp_epochs: 2,
+                ..DetectorConfig::default()
+            },
+        );
+        (det, ds)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (det, ds) = trained(ModelKind::Mlp);
+        let mut buf = Vec::new();
+        save_detector(&mut buf, &det).unwrap();
+        let loaded = load_detector(&buf[..]).unwrap();
+        assert_eq!(loaded.predict_proba(&ds), det.predict_proba(&ds));
+        assert_eq!(loaded.features(), det.features());
+    }
+
+    #[test]
+    fn non_mlp_detectors_are_rejected() {
+        let (det, _) = trained(ModelKind::RandomForest);
+        let err = save_detector(Vec::new(), &det).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn load_rejects_bad_header() {
+        let err = load_detector(&b"nope\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn load_rejects_dimension_mismatch() {
+        let (det, _) = trained(ModelKind::Mlp);
+        let mut buf = Vec::new();
+        save_detector(&mut buf, &det).unwrap();
+        // Corrupt the feature view to Env (dimension 2 vs 64).
+        let text = String::from_utf8(buf).unwrap().replace("features CSI", "features Env");
+        let err = load_detector(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("dimension"));
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let (det, _) = trained(ModelKind::Mlp);
+        let mut buf = Vec::new();
+        save_detector(&mut buf, &det).unwrap();
+        assert!(load_detector(&buf[..buf.len() / 3]).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Stratified subsampling of training data.
+//!
+//! The simulator produces one record per sampling interval over a 76-hour
+//! window — far more rows than gradient or tree training needs. Models
+//! train on a seeded, label-stratified subsample so both classes keep
+//! their proportions; evaluation always uses the *full* test folds.
+
+use occusense_dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns at most `max` record indices, stratified by the binary
+/// occupancy label (class proportions preserved to ±1 sample), in
+/// ascending order. If `max >= len`, all indices are returned.
+///
+/// # Example
+///
+/// ```
+/// use occusense_core::sampling::stratified_indices;
+/// use occusense_core::{CsiRecord, Dataset};
+///
+/// let ds: Dataset = (0..100)
+///     .map(|i| CsiRecord::new(i as f64, [0.1; 64], 20.0, 40.0, u8::from(i % 4 == 0)))
+///     .collect();
+/// let idx = stratified_indices(&ds, 40, 1);
+/// assert_eq!(idx.len(), 40);
+/// let pos = idx.iter().filter(|&&i| ds.records()[i].occupancy() == 1).count();
+/// assert!((9..=11).contains(&pos)); // 25 % of 40, ±1
+/// ```
+pub fn stratified_indices(dataset: &Dataset, max: usize, seed: u64) -> Vec<usize> {
+    let n = dataset.len();
+    if max >= n {
+        return (0..n).collect();
+    }
+    let mut by_class: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    for (i, r) in dataset.iter().enumerate() {
+        by_class[r.occupancy() as usize].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(max);
+    for class in &mut by_class {
+        let quota = ((class.len() as f64 / n as f64) * max as f64).round() as usize;
+        class.shuffle(&mut rng);
+        picked.extend(class.iter().take(quota.min(class.len())));
+    }
+    // Rounding may leave us one short or one over.
+    picked.truncate(max);
+    picked.sort_unstable();
+    picked
+}
+
+/// Builds the subsampled dataset directly.
+pub fn stratified_subsample(dataset: &Dataset, max: usize, seed: u64) -> Dataset {
+    let idx = stratified_indices(dataset, max, seed);
+    idx.into_iter()
+        .map(|i| dataset.records()[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occusense_dataset::CsiRecord;
+
+    fn dataset(n: usize, positive_every: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                CsiRecord::new(
+                    i as f64,
+                    [0.1; 64],
+                    20.0,
+                    40.0,
+                    u8::from(i % positive_every == 0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn returns_all_when_max_exceeds_len() {
+        let ds = dataset(10, 2);
+        assert_eq!(stratified_indices(&ds, 100, 0), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn preserves_class_proportions() {
+        let ds = dataset(1000, 5); // 20 % positive
+        let idx = stratified_indices(&ds, 200, 3);
+        assert_eq!(idx.len(), 200);
+        let pos = idx
+            .iter()
+            .filter(|&&i| ds.records()[i].occupancy() == 1)
+            .count();
+        assert!((38..=42).contains(&pos), "positives {pos}");
+    }
+
+    #[test]
+    fn indices_are_sorted_and_unique() {
+        let ds = dataset(500, 3);
+        let idx = stratified_indices(&ds, 100, 1);
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = dataset(300, 4);
+        assert_eq!(stratified_indices(&ds, 50, 7), stratified_indices(&ds, 50, 7));
+        assert_ne!(stratified_indices(&ds, 50, 7), stratified_indices(&ds, 50, 8));
+    }
+
+    #[test]
+    fn subsample_builds_valid_dataset() {
+        let ds = dataset(100, 2);
+        let sub = stratified_subsample(&ds, 30, 2);
+        assert_eq!(sub.len(), 30);
+        // Timestamps remain sorted (indices were sorted).
+        let ts: Vec<f64> = sub.iter().map(|r| r.timestamp_s).collect();
+        for w in ts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn single_class_dataset_works() {
+        let ds: Dataset = (0..50)
+            .map(|i| CsiRecord::new(i as f64, [0.1; 64], 20.0, 40.0, 0))
+            .collect();
+        let idx = stratified_indices(&ds, 20, 0);
+        assert_eq!(idx.len(), 20);
+    }
+}

@@ -1,0 +1,242 @@
+//! Plain-text persistence in the Table I column layout.
+//!
+//! The format is one header line followed by one record per line:
+//!
+//! ```text
+//! timestamp_s,a0,...,a63,temperature,humidity,occupant_count
+//! ```
+//!
+//! A fixed schema with 68 numeric columns does not warrant a CSV-crate
+//! dependency (see DESIGN.md §6).
+
+use crate::dataset::Dataset;
+use crate::record::{CsiRecord, N_SUBCARRIERS};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Error returned when parsing a CSV dataset fails.
+#[derive(Debug)]
+pub enum ReadCsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReadCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadCsvError::Io(e) => write!(f, "csv read: {e}"),
+            ReadCsvError::Parse { line, reason } => {
+                write!(f, "csv parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ReadCsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadCsvError::Io(e) => Some(e),
+            ReadCsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadCsvError {
+    fn from(e: io::Error) -> Self {
+        ReadCsvError::Io(e)
+    }
+}
+
+/// Writes `dataset` in the Table I layout. A `&mut` writer can be passed
+/// as well as an owned one.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use occusense_dataset::{csv, CsiRecord, Dataset};
+///
+/// let mut ds = Dataset::new();
+/// ds.push(CsiRecord::new(0.0, [0.027; 64], 21.97, 43.0, 1));
+/// let mut buf = Vec::new();
+/// csv::write_csv(&mut buf, &ds)?;
+/// let round_trip = csv::read_csv(&buf[..])?;
+/// assert_eq!(round_trip.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_csv<W: Write>(mut w: W, dataset: &Dataset) -> io::Result<()> {
+    write!(w, "timestamp_s")?;
+    for i in 0..N_SUBCARRIERS {
+        write!(w, ",a{i}")?;
+    }
+    writeln!(w, ",temperature,humidity,occupant_count")?;
+    for r in dataset {
+        write!(w, "{}", r.timestamp_s)?;
+        for a in &r.csi {
+            write!(w, ",{a}")?;
+        }
+        writeln!(w, ",{},{},{}", r.temperature_c, r.humidity_pct, r.occupant_count)?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_csv`]. A `&mut` reader can be
+/// passed as well as an owned one.
+///
+/// # Errors
+///
+/// Returns [`ReadCsvError`] on I/O failure, a bad header, a wrong column
+/// count or an unparsable field.
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset, ReadCsvError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ReadCsvError::Parse {
+            line: 1,
+            reason: "empty input".into(),
+        })??;
+    let expected_cols = 1 + N_SUBCARRIERS + 3;
+    if header.split(',').count() != expected_cols {
+        return Err(ReadCsvError::Parse {
+            line: 1,
+            reason: format!(
+                "expected {expected_cols} header columns, got {}",
+                header.split(',').count()
+            ),
+        });
+    }
+
+    let mut ds = Dataset::new();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected_cols {
+            return Err(ReadCsvError::Parse {
+                line: line_no,
+                reason: format!("expected {expected_cols} columns, got {}", fields.len()),
+            });
+        }
+        let parse_f64 = |s: &str, what: &str| -> Result<f64, ReadCsvError> {
+            s.parse::<f64>().map_err(|e| ReadCsvError::Parse {
+                line: line_no,
+                reason: format!("bad {what} '{s}': {e}"),
+            })
+        };
+        let timestamp_s = parse_f64(fields[0], "timestamp")?;
+        let mut csi = [0.0; N_SUBCARRIERS];
+        for (i, a) in csi.iter_mut().enumerate() {
+            *a = parse_f64(fields[1 + i], "csi amplitude")?;
+        }
+        let temperature_c = parse_f64(fields[1 + N_SUBCARRIERS], "temperature")?;
+        let humidity_pct = parse_f64(fields[2 + N_SUBCARRIERS], "humidity")?;
+        let occupant_count: u8 =
+            fields[3 + N_SUBCARRIERS]
+                .parse()
+                .map_err(|e| ReadCsvError::Parse {
+                    line: line_no,
+                    reason: format!("bad occupant count: {e}"),
+                })?;
+        ds.push(CsiRecord::new(
+            timestamp_s,
+            csi,
+            temperature_c,
+            humidity_pct,
+            occupant_count,
+        ));
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let mut csi = [0.0; 64];
+        for (i, a) in csi.iter_mut().enumerate() {
+            *a = 0.01 * i as f64;
+        }
+        ds.push(CsiRecord::new(0.05, csi, 21.97, 43.0, 1));
+        ds.push(CsiRecord::new(0.10, csi, 21.82, 43.0, 0));
+        ds
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn header_matches_table1_layout() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &Dataset::new()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(header.starts_with("timestamp_s,a0,a1,"));
+        assert!(header.ends_with("a63,temperature,humidity,occupant_count"));
+        assert_eq!(header.split(',').count(), 68);
+    }
+
+    #[test]
+    fn read_rejects_empty_input() {
+        let err = read_csv(&b""[..]).unwrap_err();
+        assert!(err.to_string().contains("empty input"));
+    }
+
+    #[test]
+    fn read_rejects_bad_header() {
+        let err = read_csv(&b"a,b,c\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn read_rejects_short_row() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &Dataset::new()).unwrap();
+        buf.extend_from_slice(b"1.0,2.0\n");
+        let err = read_csv(&buf[..]).unwrap_err();
+        match err {
+            ReadCsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn read_rejects_non_numeric_field() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample_dataset()).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("21.97", "oops");
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample_dataset()).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+}

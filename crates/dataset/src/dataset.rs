@@ -1,0 +1,253 @@
+//! The in-memory dataset container.
+
+use crate::record::CsiRecord;
+
+/// An ordered (by timestamp) collection of [`CsiRecord`]s.
+///
+/// # Example
+///
+/// ```
+/// use occusense_dataset::{CsiRecord, Dataset};
+///
+/// let mut ds = Dataset::new();
+/// ds.push(CsiRecord::new(0.0, [0.1; 64], 20.0, 40.0, 0));
+/// ds.push(CsiRecord::new(1.0, [0.1; 64], 20.0, 40.0, 2));
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.labels(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    records: Vec<CsiRecord>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from records, verifying timestamp order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the records are not sorted by timestamp.
+    pub fn from_records(records: Vec<CsiRecord>) -> Self {
+        for w in records.windows(2) {
+            assert!(
+                w[0].timestamp_s <= w[1].timestamp_s,
+                "records must be sorted by timestamp"
+            );
+        }
+        Self { records }
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's timestamp precedes the last record's.
+    pub fn push(&mut self, record: CsiRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                record.timestamp_s >= last.timestamp_s,
+                "records must be pushed in timestamp order ({} < {})",
+                record.timestamp_s,
+                last.timestamp_s
+            );
+        }
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrow the records.
+    pub fn records(&self) -> &[CsiRecord] {
+        &self.records
+    }
+
+    /// Iterator over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, CsiRecord> {
+        self.records.iter()
+    }
+
+    /// Binary occupancy labels in record order.
+    pub fn labels(&self) -> Vec<u8> {
+        self.records.iter().map(|r| r.occupancy()).collect()
+    }
+
+    /// Temperature series in record order.
+    pub fn temperatures(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.temperature_c).collect()
+    }
+
+    /// Humidity series in record order.
+    pub fn humidities(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.humidity_pct).collect()
+    }
+
+    /// Time series of a single CSI subcarrier — the paper's `S(x, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subcarrier >= 64`.
+    pub fn subcarrier_series(&self, subcarrier: usize) -> Vec<f64> {
+        assert!(
+            subcarrier < crate::record::N_SUBCARRIERS,
+            "subcarrier {subcarrier} out of range"
+        );
+        self.records.iter().map(|r| r.csi[subcarrier]).collect()
+    }
+
+    /// `(first, last)` timestamps, or `None` when empty.
+    pub fn time_range(&self) -> Option<(f64, f64)> {
+        Some((
+            self.records.first()?.timestamp_s,
+            self.records.last()?.timestamp_s,
+        ))
+    }
+
+    /// The contiguous sub-dataset with `start_s <= t < end_s` (copying).
+    pub fn slice_time(&self, start_s: f64, end_s: f64) -> Dataset {
+        let lo = self.records.partition_point(|r| r.timestamp_s < start_s);
+        let hi = self.records.partition_point(|r| r.timestamp_s < end_s);
+        Dataset {
+            records: self.records[lo..hi].to_vec(),
+        }
+    }
+
+    /// Drops duplicate-timestamp records (keeping the first of each run)
+    /// and records containing non-finite values — the paper's first
+    /// profiling step ("we control for null values or duplicates present
+    /// at the same t"). Returns the number of records removed.
+    pub fn dedup_and_clean(&mut self) -> usize {
+        let before = self.records.len();
+        let mut last_t = f64::NEG_INFINITY;
+        self.records.retain(|r| {
+            let finite = r.timestamp_s.is_finite()
+                && r.temperature_c.is_finite()
+                && r.humidity_pct.is_finite()
+                && r.csi.iter().all(|a| a.is_finite());
+            if !finite {
+                return false;
+            }
+            if r.timestamp_s == last_t {
+                return false;
+            }
+            last_t = r.timestamp_s;
+            true
+        });
+        before - self.records.len()
+    }
+}
+
+impl FromIterator<CsiRecord> for Dataset {
+    fn from_iter<T: IntoIterator<Item = CsiRecord>>(iter: T) -> Self {
+        Self::from_records(iter.into_iter().collect())
+    }
+}
+
+impl Extend<CsiRecord> for Dataset {
+    fn extend<T: IntoIterator<Item = CsiRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a CsiRecord;
+    type IntoIter = std::slice::Iter<'a, CsiRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, occ: u8) -> CsiRecord {
+        CsiRecord::new(t, [0.1; 64], 20.0 + t, 40.0, occ)
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let mut ds = Dataset::new();
+        ds.push(rec(0.0, 0));
+        ds.push(rec(1.0, 2));
+        ds.push(rec(2.0, 0));
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.labels(), vec![0, 1, 0]);
+        assert_eq!(ds.temperatures(), vec![20.0, 21.0, 22.0]);
+        assert_eq!(ds.time_range(), Some((0.0, 2.0)));
+        assert_eq!(ds.iter().count(), 3);
+        assert_eq!((&ds).into_iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp order")]
+    fn push_rejects_out_of_order() {
+        let mut ds = Dataset::new();
+        ds.push(rec(5.0, 0));
+        ds.push(rec(1.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn from_records_rejects_unsorted() {
+        Dataset::from_records(vec![rec(5.0, 0), rec(1.0, 0)]);
+    }
+
+    #[test]
+    fn slice_time_half_open() {
+        let ds: Dataset = (0..10).map(|i| rec(i as f64, 0)).collect();
+        let mid = ds.slice_time(3.0, 7.0);
+        assert_eq!(mid.len(), 4);
+        assert_eq!(mid.time_range(), Some((3.0, 6.0)));
+        assert!(ds.slice_time(100.0, 200.0).is_empty());
+        assert_eq!(ds.slice_time(f64::NEG_INFINITY, f64::INFINITY).len(), 10);
+    }
+
+    #[test]
+    fn subcarrier_series_extracts_column() {
+        let mut r0 = rec(0.0, 0);
+        r0.csi[5] = 0.7;
+        let mut r1 = rec(1.0, 0);
+        r1.csi[5] = 0.9;
+        let ds = Dataset::from_records(vec![r0, r1]);
+        assert_eq!(ds.subcarrier_series(5), vec![0.7, 0.9]);
+        assert_eq!(ds.subcarrier_series(0), vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn dedup_and_clean_removes_bad_rows() {
+        let mut ds = Dataset::new();
+        ds.push(rec(0.0, 0));
+        ds.push(rec(0.0, 1)); // duplicate timestamp
+        ds.push(rec(1.0, 0));
+        let mut bad = rec(2.0, 0);
+        bad.temperature_c = f64::NAN;
+        ds.push(bad);
+        let removed = ds.dedup_and_clean();
+        assert_eq!(removed, 2);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.time_range(), Some((0.0, 1.0)));
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut ds: Dataset = (0..3).map(|i| rec(i as f64, 0)).collect();
+        ds.extend((3..5).map(|i| rec(i as f64, 1)));
+        assert_eq!(ds.len(), 5);
+    }
+}

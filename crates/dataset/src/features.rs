@@ -1,0 +1,182 @@
+//! Feature-subset extraction: which columns a model sees.
+//!
+//! §V-B of the paper trains every model on three subsets of the collected
+//! data: *i)* only CSI, *ii)* only environment (humidity and temperature),
+//! *iii)* CSI + environment. A fourth, time-of-day-only view backs the
+//! paper's side note that time alone reaches only 89.3 % accuracy.
+
+use crate::dataset::Dataset;
+use crate::record::{CsiRecord, N_SUBCARRIERS};
+use occusense_tensor::Matrix;
+
+/// Seconds per day, used by the time-of-day feature.
+const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Which feature columns a model is given.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FeatureView {
+    /// The 64 CSI subcarrier amplitudes — the paper's headline setting.
+    #[default]
+    Csi,
+    /// Temperature and humidity only.
+    Env,
+    /// CSI plus temperature and humidity (66 features).
+    CsiEnv,
+    /// Time of day encoded as `(sin, cos)` of the daily phase — the
+    /// paper's "only time as a feature" ablation.
+    TimeOnly,
+}
+
+impl FeatureView {
+    /// Number of feature columns this view produces.
+    pub fn dimension(&self) -> usize {
+        match self {
+            FeatureView::Csi => N_SUBCARRIERS,
+            FeatureView::Env => 2,
+            FeatureView::CsiEnv => N_SUBCARRIERS + 2,
+            FeatureView::TimeOnly => 2,
+        }
+    }
+
+    /// Human-readable name matching the paper's table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureView::Csi => "CSI",
+            FeatureView::Env => "Env",
+            FeatureView::CsiEnv => "C+E",
+            FeatureView::TimeOnly => "Time",
+        }
+    }
+
+    /// Extracts this view's feature vector from one record.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_dataset::{CsiRecord, FeatureView};
+    /// let r = CsiRecord::new(0.0, [0.2; 64], 21.0, 45.0, 1);
+    /// assert_eq!(FeatureView::Env.extract(&r), vec![21.0, 45.0]);
+    /// assert_eq!(FeatureView::CsiEnv.extract(&r).len(), 66);
+    /// ```
+    pub fn extract(&self, record: &CsiRecord) -> Vec<f64> {
+        match self {
+            FeatureView::Csi => record.csi.to_vec(),
+            FeatureView::Env => vec![record.temperature_c, record.humidity_pct],
+            FeatureView::CsiEnv => {
+                let mut v = record.csi.to_vec();
+                v.push(record.temperature_c);
+                v.push(record.humidity_pct);
+                v
+            }
+            FeatureView::TimeOnly => {
+                let phase =
+                    std::f64::consts::TAU * (record.timestamp_s % SECONDS_PER_DAY) / SECONDS_PER_DAY;
+                vec![phase.sin(), phase.cos()]
+            }
+        }
+    }
+
+    /// Builds the `n × d` design matrix of this view over a dataset.
+    pub fn design_matrix(&self, dataset: &Dataset) -> Matrix {
+        let d = self.dimension();
+        let mut data = Vec::with_capacity(dataset.len() * d);
+        for r in dataset {
+            data.extend(self.extract(r));
+        }
+        Matrix::from_vec(dataset.len(), d, data)
+    }
+
+    /// All views evaluated in Table IV, in paper order.
+    pub const TABLE4: [FeatureView; 3] = [FeatureView::Csi, FeatureView::Env, FeatureView::CsiEnv];
+}
+
+/// Names of the `CsiEnv` feature columns, for the Grad-CAM plot of Fig. 3:
+/// `a0..a63`, then `e` (temperature) and `h` (humidity), following the
+/// figure's axis labels.
+pub fn csi_env_feature_names() -> Vec<String> {
+    let mut names: Vec<String> = (0..N_SUBCARRIERS).map(|i| format!("a{i}")).collect();
+    names.push("e".to_owned());
+    names.push("h".to_owned());
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64) -> CsiRecord {
+        let mut csi = [0.0; 64];
+        for (i, a) in csi.iter_mut().enumerate() {
+            *a = i as f64 * 0.01;
+        }
+        CsiRecord::new(t, csi, 22.5, 38.0, 3)
+    }
+
+    #[test]
+    fn dimensions_match_extraction() {
+        let r = rec(0.0);
+        for view in [
+            FeatureView::Csi,
+            FeatureView::Env,
+            FeatureView::CsiEnv,
+            FeatureView::TimeOnly,
+        ] {
+            assert_eq!(view.extract(&r).len(), view.dimension(), "{view:?}");
+        }
+    }
+
+    #[test]
+    fn csi_view_is_subcarriers_in_order() {
+        let v = FeatureView::Csi.extract(&rec(0.0));
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[63], 0.63);
+    }
+
+    #[test]
+    fn csienv_appends_env_in_table1_order() {
+        let v = FeatureView::CsiEnv.extract(&rec(0.0));
+        assert_eq!(v[64], 22.5); // temperature
+        assert_eq!(v[65], 38.0); // humidity
+    }
+
+    #[test]
+    fn time_view_is_periodic_and_unit_norm() {
+        let morning = FeatureView::TimeOnly.extract(&rec(8.0 * 3600.0));
+        let next_day = FeatureView::TimeOnly.extract(&rec(8.0 * 3600.0 + SECONDS_PER_DAY));
+        assert!((morning[0] - next_day[0]).abs() < 1e-9);
+        assert!((morning[1] - next_day[1]).abs() < 1e-9);
+        let norm = (morning[0].powi(2) + morning[1].powi(2)).sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // Different times of day get different encodings.
+        let evening = FeatureView::TimeOnly.extract(&rec(20.0 * 3600.0));
+        assert!((morning[0] - evening[0]).abs() > 0.1);
+    }
+
+    #[test]
+    fn design_matrix_shape_and_content() {
+        let ds = Dataset::from_records(vec![rec(0.0), rec(1.0), rec(2.0)]);
+        let x = FeatureView::Env.design_matrix(&ds);
+        assert_eq!(x.shape(), (3, 2));
+        assert_eq!(x.row(1), &[22.5, 38.0]);
+        let x = FeatureView::CsiEnv.design_matrix(&ds);
+        assert_eq!(x.shape(), (3, 66));
+    }
+
+    #[test]
+    fn feature_names_match_fig3_axis() {
+        let names = csi_env_feature_names();
+        assert_eq!(names.len(), 66);
+        assert_eq!(names[0], "a0");
+        assert_eq!(names[63], "a63");
+        assert_eq!(names[64], "e");
+        assert_eq!(names[65], "h");
+    }
+
+    #[test]
+    fn view_names_match_paper_headers() {
+        assert_eq!(FeatureView::Csi.name(), "CSI");
+        assert_eq!(FeatureView::Env.name(), "Env");
+        assert_eq!(FeatureView::CsiEnv.name(), "C+E");
+        assert_eq!(FeatureView::TABLE4.len(), 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! # occusense-dataset
+//!
+//! Dataset containers and pipeline utilities for the `occusense` workspace:
+//! the in-memory representation of the paper's Table I records, the fold
+//! split of Table III, the occupancy profiling of Table II, feature-subset
+//! extraction (CSI / Env / CSI+Env, §V-B), train-set standardisation and a
+//! hand-rolled CSV reader/writer.
+//!
+//! * [`record`] — [`CsiRecord`]: one timestamped row of 64 CSI amplitudes,
+//!   temperature, humidity, occupancy label and ground-truth head count.
+//! * [`dataset`] — [`Dataset`]: an ordered collection of records with
+//!   time-range queries.
+//! * [`features`] — [`FeatureView`]: which columns a model sees.
+//! * [`folds`] — [`FoldSpec`] and the paper's Table III timeline.
+//! * [`profile`] — Table II-style occupancy distribution profiling.
+//! * [`standardize`] — z-score [`Standardizer`] fit on training data only.
+//! * [`csv`] — plain-text persistence in the Table I column layout.
+//!
+//! # Example
+//!
+//! ```
+//! use occusense_dataset::record::CsiRecord;
+//! use occusense_dataset::dataset::Dataset;
+//! use occusense_dataset::features::FeatureView;
+//!
+//! let mut ds = Dataset::new();
+//! ds.push(CsiRecord::new(0.0, [0.1; 64], 21.5, 40.0, 1));
+//! let x = FeatureView::CsiEnv.design_matrix(&ds);
+//! assert_eq!(x.shape(), (1, 66));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod csv;
+pub mod dataset;
+pub mod features;
+pub mod folds;
+pub mod profile;
+pub mod record;
+pub mod standardize;
+pub mod windowed;
+
+pub use dataset::Dataset;
+pub use features::FeatureView;
+pub use folds::FoldSpec;
+pub use record::{CsiRecord, N_SUBCARRIERS};
+pub use standardize::Standardizer;

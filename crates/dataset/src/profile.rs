@@ -1,0 +1,128 @@
+//! Table II-style occupancy-distribution profiling.
+
+use crate::dataset::Dataset;
+
+/// Distribution of simultaneous occupant counts over a dataset, mirroring
+/// Table II of the paper ("simultaneous subject's presence distribution in
+/// terms of data samples").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OccupancyProfile {
+    /// `counts[k]` = number of samples with exactly `k` occupants;
+    /// the last bucket aggregates `max_tracked` **or more**.
+    counts: Vec<usize>,
+}
+
+impl OccupancyProfile {
+    /// Profiles a dataset, tracking occupant counts `0..=max_tracked`
+    /// (the paper's Table II tracks 0..=4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_tracked == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_dataset::{CsiRecord, Dataset};
+    /// use occusense_dataset::profile::OccupancyProfile;
+    ///
+    /// let ds: Dataset = (0..4)
+    ///     .map(|i| CsiRecord::new(i as f64, [0.1; 64], 20.0, 40.0, i as u8))
+    ///     .collect();
+    /// let p = OccupancyProfile::of(&ds, 4);
+    /// assert_eq!(p.count(0), 1);
+    /// assert_eq!(p.occupied_total(), 3);
+    /// ```
+    pub fn of(dataset: &Dataset, max_tracked: usize) -> Self {
+        assert!(max_tracked > 0, "max_tracked must be positive");
+        let mut counts = vec![0usize; max_tracked + 1];
+        for r in dataset {
+            let k = (r.occupant_count as usize).min(max_tracked);
+            counts[k] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of samples with exactly `k` occupants (the last tracked
+    /// bucket aggregates higher counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the tracked range.
+    pub fn count(&self, k: usize) -> usize {
+        self.counts[k]
+    }
+
+    /// Samples with zero occupants (the paper's "Empty = 0" column).
+    pub fn empty_total(&self) -> usize {
+        self.counts[0]
+    }
+
+    /// Samples with at least one occupant ("Occupied = 1").
+    pub fn occupied_total(&self) -> usize {
+        self.counts[1..].iter().sum()
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage of samples with exactly `k` occupants.
+    pub fn percentage(&self, k: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.count(k) as f64 / self.total() as f64
+        }
+    }
+
+    /// Per-bucket counts, index = occupant count.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CsiRecord;
+
+    fn ds_with_counts(counts: &[u8]) -> Dataset {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| CsiRecord::new(i as f64, [0.1; 64], 20.0, 40.0, c))
+            .collect()
+    }
+
+    #[test]
+    fn profile_buckets_and_totals() {
+        let ds = ds_with_counts(&[0, 0, 0, 1, 1, 2, 3, 4]);
+        let p = OccupancyProfile::of(&ds, 4);
+        assert_eq!(p.count(0), 3);
+        assert_eq!(p.count(1), 2);
+        assert_eq!(p.count(2), 1);
+        assert_eq!(p.count(3), 1);
+        assert_eq!(p.count(4), 1);
+        assert_eq!(p.empty_total(), 3);
+        assert_eq!(p.occupied_total(), 5);
+        assert_eq!(p.total(), 8);
+        assert!((p.percentage(0) - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bucket_aggregates() {
+        let ds = ds_with_counts(&[5, 6, 4]);
+        let p = OccupancyProfile::of(&ds, 4);
+        assert_eq!(p.count(4), 3);
+    }
+
+    #[test]
+    fn empty_dataset_profile() {
+        let p = OccupancyProfile::of(&Dataset::new(), 4);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.percentage(0), 0.0);
+        assert_eq!(p.counts(), &[0, 0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The Table I record schema.
+
+/// Number of CSI subcarriers of the sensed 20 MHz channel
+/// (`d_H = 3.2 · bandwidth`, §II-A).
+pub const N_SUBCARRIERS: usize = 64;
+
+/// One row of the collected dataset, mirroring Table I of the paper:
+/// timestamp, CSI amplitude of the 64 subcarriers, temperature (°C),
+/// humidity (%) and the occupancy label — plus the simultaneous occupant
+/// head count, which the paper's annotators recorded to build Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsiRecord {
+    /// Seconds since the start of the collection window.
+    pub timestamp_s: f64,
+    /// CSI amplitudes `a0..a63`.
+    pub csi: [f64; N_SUBCARRIERS],
+    /// Temperature in °C as reported by the environment sensor.
+    pub temperature_c: f64,
+    /// Relative humidity in % as reported by the environment sensor
+    /// (integer-valued in the paper's Table I; we keep `f64` and let the
+    /// sensor model quantise).
+    pub humidity_pct: f64,
+    /// Number of people in the room at this instant (ground truth).
+    pub occupant_count: u8,
+}
+
+impl CsiRecord {
+    /// Creates a record.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_dataset::record::CsiRecord;
+    /// let r = CsiRecord::new(12.5, [0.03; 64], 21.97, 43.0, 2);
+    /// assert_eq!(r.occupancy(), 1);
+    /// ```
+    pub fn new(
+        timestamp_s: f64,
+        csi: [f64; N_SUBCARRIERS],
+        temperature_c: f64,
+        humidity_pct: f64,
+        occupant_count: u8,
+    ) -> Self {
+        Self {
+            timestamp_s,
+            csi,
+            temperature_c,
+            humidity_pct,
+            occupant_count,
+        }
+    }
+
+    /// The binary occupancy label of the paper: `0` if the environment is
+    /// empty, `1` if at least one person is present.
+    pub fn occupancy(&self) -> u8 {
+        u8::from(self.occupant_count > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_label_thresholds_head_count() {
+        let mut r = CsiRecord::new(0.0, [0.0; 64], 20.0, 40.0, 0);
+        assert_eq!(r.occupancy(), 0);
+        r.occupant_count = 1;
+        assert_eq!(r.occupancy(), 1);
+        r.occupant_count = 4;
+        assert_eq!(r.occupancy(), 1);
+    }
+
+    #[test]
+    fn record_is_copy_and_comparable() {
+        let r = CsiRecord::new(1.0, [0.5; 64], 21.0, 35.0, 2);
+        let s = r;
+        assert_eq!(r, s);
+    }
+}

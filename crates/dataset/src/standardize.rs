@@ -1,0 +1,179 @@
+//! Z-score standardisation fit on training data only.
+//!
+//! Gradient-trained models (the MLP and the logistic-regression baseline)
+//! need commensurate feature scales — raw CSI amplitudes are ~0.01–1 while
+//! temperature is ~20 and humidity ~40. The standardiser is always fit on
+//! the training fold and then applied unchanged to every test fold,
+//! mirroring the paper's never-retrain protocol.
+
+use occusense_tensor::Matrix;
+
+/// Per-column z-score transform `x ↦ (x − μ) / σ`.
+///
+/// Constant columns (σ = 0) are mapped to zero rather than dividing by
+/// zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits column means and standard deviations on `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_dataset::Standardizer;
+    /// use occusense_tensor::Matrix;
+    ///
+    /// let x = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 10.0]]);
+    /// let s = Standardizer::fit(&x);
+    /// let z = s.transform(&x);
+    /// assert_eq!(z.row(0), &[-1.0, 0.0]); // constant column -> 0
+    /// assert_eq!(z.row(1), &[1.0, 0.0]);
+    /// ```
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit a standardizer on an empty matrix");
+        let n = x.rows() as f64;
+        let means = x.col_means();
+        let mut stds = vec![0.0; x.cols()];
+        for row in x.rows_iter() {
+            for ((s, &v), &m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+        Self { means, stds }
+    }
+
+    /// Reassembles a standardizer from stored statistics (used when
+    /// loading persisted models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds length mismatch");
+        Self { means, stds }
+    }
+
+    /// Column means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Column standard deviations learned at fit time.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Applies the transform to a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.means.len(),
+            "standardizer fitted on {} columns, got {}",
+            self.means.len(),
+            x.cols()
+        );
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = if s > 0.0 { (*v - m) / s } else { 0.0 };
+            }
+        }
+        out
+    }
+
+    /// Applies the transform to a single feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the fitted data.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&v, &m), &s)| if s > 0.0 { (v - m) / s } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_zero_mean_unit_variance() {
+        let x = Matrix::from_rows(&[&[1.0, 4.0], &[2.0, 8.0], &[3.0, 12.0], &[4.0, 16.0]]);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        for c in 0..2 {
+            let col = z.col(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let x = Matrix::from_rows(&[&[7.0], &[7.0], &[7.0]]);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transform_uses_training_statistics_on_new_data() {
+        let train = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let s = Standardizer::fit(&train);
+        // Test data far outside the training range keeps the same affine map.
+        let test = Matrix::from_rows(&[&[20.0]]);
+        let z = s.transform(&test);
+        assert!((z[(0, 0)] - 3.0).abs() < 1e-12); // (20-5)/5
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 6.0]]);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        assert_eq!(s.transform_row(&[1.0, 2.0]), z.row(0).to_vec());
+    }
+
+    #[test]
+    fn accessors_expose_fit_state() {
+        let x = Matrix::from_rows(&[&[2.0], &[4.0]]);
+        let s = Standardizer::fit(&x);
+        assert_eq!(s.means(), &[3.0]);
+        assert_eq!(s.stds(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_rejects_empty() {
+        Standardizer::fit(&Matrix::zeros(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn transform_rejects_dimension_mismatch() {
+        let s = Standardizer::fit(&Matrix::ones(2, 2));
+        s.transform(&Matrix::ones(2, 3));
+    }
+}

@@ -1,0 +1,177 @@
+//! Trailing-window CSI features — an extension beyond the paper.
+//!
+//! The paper classifies each 50 ms sample from its *instantaneous* CSI
+//! amplitudes. Classic CSI sensing instead aggregates short windows,
+//! because motion shows up as temporal variance. This module provides
+//! the windowed view used by the `repro_ablation_window` experiment: per
+//! subcarrier, the current amplitude plus the standard deviation over the
+//! trailing window (128 features for the 64-subcarrier channel).
+
+use crate::dataset::Dataset;
+use crate::record::N_SUBCARRIERS;
+use occusense_tensor::Matrix;
+
+/// Trailing-window feature extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowedView {
+    /// Window length in samples (including the current one).
+    pub window: usize,
+}
+
+impl WindowedView {
+    /// Creates the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self { window }
+    }
+
+    /// Number of feature columns (`2 × 64`: amplitude + windowed std per
+    /// subcarrier).
+    pub fn dimension(&self) -> usize {
+        2 * N_SUBCARRIERS
+    }
+
+    /// Feature vector for record `i` of the dataset (earlier records use
+    /// the shorter available prefix as their window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dataset.len()`.
+    pub fn extract_at(&self, dataset: &Dataset, i: usize) -> Vec<f64> {
+        let records = dataset.records();
+        assert!(i < records.len(), "record index {i} out of range");
+        let lo = (i + 1).saturating_sub(self.window);
+        let slice = &records[lo..=i];
+        let n = slice.len() as f64;
+        let mut out = Vec::with_capacity(self.dimension());
+        out.extend_from_slice(&records[i].csi);
+        for k in 0..N_SUBCARRIERS {
+            let mean: f64 = slice.iter().map(|r| r.csi[k]).sum::<f64>() / n;
+            let var: f64 = slice
+                .iter()
+                .map(|r| (r.csi[k] - mean) * (r.csi[k] - mean))
+                .sum::<f64>()
+                / n;
+            out.push(var.sqrt());
+        }
+        out
+    }
+
+    /// Builds the `n × 128` design matrix over the whole dataset with an
+    /// O(n · 64) sliding-window pass.
+    pub fn design_matrix(&self, dataset: &Dataset) -> Matrix {
+        let n = dataset.len();
+        let d = self.dimension();
+        let mut out = Matrix::zeros(n, d);
+        // Sliding sums per subcarrier.
+        let mut sum = [0.0f64; N_SUBCARRIERS];
+        let mut sumsq = [0.0f64; N_SUBCARRIERS];
+        let records = dataset.records();
+        for i in 0..n {
+            for k in 0..N_SUBCARRIERS {
+                let a = records[i].csi[k];
+                sum[k] += a;
+                sumsq[k] += a * a;
+            }
+            if i >= self.window {
+                for k in 0..N_SUBCARRIERS {
+                    let a = records[i - self.window].csi[k];
+                    sum[k] -= a;
+                    sumsq[k] -= a * a;
+                }
+            }
+            let count = (i + 1).min(self.window) as f64;
+            let row = out.row_mut(i);
+            row[..N_SUBCARRIERS].copy_from_slice(&records[i].csi);
+            for k in 0..N_SUBCARRIERS {
+                let mean = sum[k] / count;
+                // Guard tiny negative values from floating cancellation.
+                let var = (sumsq[k] / count - mean * mean).max(0.0);
+                row[N_SUBCARRIERS + k] = var.sqrt();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CsiRecord;
+
+    fn dataset_with_wave(n: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                let mut csi = [0.2; 64];
+                csi[0] = 0.2 + 0.1 * (i as f64 * 0.9).sin();
+                CsiRecord::new(i as f64, csi, 20.0, 40.0, 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dimension_is_128() {
+        assert_eq!(WindowedView::new(8).dimension(), 128);
+    }
+
+    #[test]
+    fn constant_subcarriers_have_zero_std() {
+        let ds = dataset_with_wave(20);
+        let v = WindowedView::new(8);
+        let x = v.design_matrix(&ds);
+        // Subcarrier 1 is constant: std ≈ 0 for all rows (up to sliding-
+        // sum cancellation error).
+        for r in 0..20 {
+            assert!(x[(r, 64 + 1)] < 1e-7, "row {r}: {}", x[(r, 64 + 1)]);
+        }
+        // Subcarrier 0 varies: positive std once the window fills.
+        assert!(x[(10, 64)] > 0.01);
+    }
+
+    #[test]
+    fn design_matrix_agrees_with_extract_at() {
+        let ds = dataset_with_wave(30);
+        let v = WindowedView::new(5);
+        let x = v.design_matrix(&ds);
+        for i in [0, 1, 4, 5, 17, 29] {
+            let row = v.extract_at(&ds, i);
+            for (a, b) in row.iter().zip(x.row(i)) {
+                assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_windows_use_available_history() {
+        let ds = dataset_with_wave(10);
+        let v = WindowedView::new(100);
+        // First record: window of one sample, std exactly zero.
+        let first = v.extract_at(&ds, 0);
+        assert!(first[64..].iter().all(|&s| s == 0.0));
+        // Later records use all history so far.
+        let later = v.extract_at(&ds, 9);
+        assert!(later[64] > 0.0);
+    }
+
+    #[test]
+    fn current_amplitudes_pass_through() {
+        let ds = dataset_with_wave(12);
+        let v = WindowedView::new(4);
+        let x = v.design_matrix(&ds);
+        for i in 0..12 {
+            for k in 0..64 {
+                assert_eq!(x[(i, k)], ds.records()[i].csi[k]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        WindowedView::new(0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the dataset crate.
+
+use occusense_dataset::csv;
+use occusense_dataset::profile::OccupancyProfile;
+use occusense_dataset::{CsiRecord, Dataset, FeatureView, Standardizer};
+use occusense_tensor::Matrix;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn record_strategy()(
+        t in 0.0f64..1e6,
+        amp in 0.0f64..1.0,
+        temp in -5.0f64..45.0,
+        hum in 0.0f64..100.0,
+        occ in 0u8..7,
+    ) -> CsiRecord {
+        let mut csi = [0.0; 64];
+        for (i, a) in csi.iter_mut().enumerate() {
+            *a = (amp + i as f64 * 0.001).min(1.0);
+        }
+        CsiRecord::new(t, csi, temp, hum.round(), occ)
+    }
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(record_strategy(), 0..40).prop_map(|mut records| {
+        records.sort_by(|a, b| a.timestamp_s.partial_cmp(&b.timestamp_s).unwrap());
+        Dataset::from_records(records)
+    })
+}
+
+proptest! {
+    #[test]
+    fn slice_time_is_subset_and_ordered(ds in dataset_strategy(), a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let sliced = ds.slice_time(lo, hi);
+        prop_assert!(sliced.len() <= ds.len());
+        for r in &sliced {
+            prop_assert!(r.timestamp_s >= lo && r.timestamp_s < hi);
+        }
+        for w in sliced.records().windows(2) {
+            prop_assert!(w[0].timestamp_s <= w[1].timestamp_s);
+        }
+    }
+
+    #[test]
+    fn full_slice_is_identity(ds in dataset_strategy()) {
+        let all = ds.slice_time(f64::NEG_INFINITY, f64::INFINITY);
+        prop_assert_eq!(all, ds);
+    }
+
+    #[test]
+    fn profile_conserves_totals(ds in dataset_strategy()) {
+        let p = OccupancyProfile::of(&ds, 4);
+        prop_assert_eq!(p.total(), ds.len());
+        prop_assert_eq!(p.empty_total() + p.occupied_total(), ds.len());
+        let label_occupied = ds.labels().iter().filter(|&&l| l == 1).count();
+        prop_assert_eq!(p.occupied_total(), label_occupied);
+    }
+
+    #[test]
+    fn csv_round_trip(ds in dataset_strategy()) {
+        let mut buf = Vec::new();
+        csv::write_csv(&mut buf, &ds).unwrap();
+        let back = csv::read_csv(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for (a, b) in back.iter().zip(&ds) {
+            prop_assert!((a.timestamp_s - b.timestamp_s).abs() < 1e-12);
+            prop_assert!((a.temperature_c - b.temperature_c).abs() < 1e-12);
+            prop_assert_eq!(a.occupant_count, b.occupant_count);
+        }
+    }
+
+    #[test]
+    fn feature_views_have_declared_dimensions(r in record_strategy()) {
+        for view in [FeatureView::Csi, FeatureView::Env, FeatureView::CsiEnv, FeatureView::TimeOnly] {
+            prop_assert_eq!(view.extract(&r).len(), view.dimension());
+        }
+    }
+
+    #[test]
+    fn standardizer_output_is_zero_mean_unit_var(
+        data in prop::collection::vec(-100.0f64..100.0, 8..60),
+    ) {
+        let rows = data.len() / 2;
+        let x = Matrix::from_vec(rows, 2, data[..rows * 2].to_vec());
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        for c in 0..2 {
+            let col = z.col(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-8, "col {c} mean {mean}");
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            // Either unit variance or an exactly-constant column.
+            prop_assert!((var - 1.0).abs() < 1e-6 || var.abs() < 1e-12, "col {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn standardizer_row_matches_matrix(data in prop::collection::vec(-50.0f64..50.0, 6..40)) {
+        let rows = data.len() / 3;
+        let x = Matrix::from_vec(rows, 3, data[..rows * 3].to_vec());
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        for r in 0..rows {
+            let row = s.transform_row(x.row(r));
+            for (a, b) in row.iter().zip(z.row(r)) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_dataset_sorted_and_unique(ds in dataset_strategy()) {
+        let mut copy = ds.clone();
+        copy.dedup_and_clean();
+        for w in copy.records().windows(2) {
+            prop_assert!(w[0].timestamp_s < w[1].timestamp_s);
+        }
+    }
+}

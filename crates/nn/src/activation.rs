@@ -1,0 +1,115 @@
+//! Pointwise activation functions.
+
+use occusense_tensor::vecops::sigmoid;
+use occusense_tensor::Matrix;
+
+/// Pointwise activation applied by a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit `max(0, x)` — the paper's hidden activation.
+    #[default]
+    Relu,
+    /// Logistic sigmoid `1/(1+e^{-x})`.
+    Sigmoid,
+    /// Identity (used on the output layer; the loss applies the sigmoid).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation elementwise.
+    pub fn apply(&self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => z.map(|x| x.max(0.0)),
+            Activation::Sigmoid => z.map(sigmoid),
+            Activation::Identity => z.clone(),
+        }
+    }
+
+    /// Elementwise derivative evaluated at pre-activation `z`.
+    pub fn derivative(&self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => z.map(|x| if x > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Sigmoid => z.map(|x| {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }),
+            Activation::Identity => Matrix::ones(z.rows(), z.cols()),
+        }
+    }
+
+    /// Short name used by the serialisation format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Identity => "identity",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back to an activation.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "relu" => Some(Activation::Relu),
+            "sigmoid" => Some(Activation::Sigmoid),
+            "identity" => Some(Activation::Identity),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let z = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(Activation::Relu.apply(&z).row(0), &[0.0, 0.0, 2.0]);
+        assert_eq!(Activation::Relu.derivative(&z).row(0), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_derivative_peak() {
+        let z = Matrix::from_rows(&[&[-100.0, 0.0, 100.0]]);
+        let a = Activation::Sigmoid.apply(&z);
+        assert!(a[(0, 0)] < 1e-6);
+        assert!((a[(0, 1)] - 0.5).abs() < 1e-12);
+        assert!(a[(0, 2)] > 1.0 - 1e-6);
+        let d = Activation::Sigmoid.derivative(&z);
+        assert!((d[(0, 1)] - 0.25).abs() < 1e-12);
+        assert!(d[(0, 0)] < 1e-6);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let z = Matrix::from_rows(&[&[-3.0, 5.0]]);
+        assert_eq!(Activation::Identity.apply(&z), z);
+        assert_eq!(Activation::Identity.derivative(&z).row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn derivative_matches_finite_differences() {
+        let eps = 1e-6;
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+            for x in [-2.0, -0.5, 0.3, 1.7] {
+                let z = Matrix::from_rows(&[&[x]]);
+                let zp = Matrix::from_rows(&[&[x + eps]]);
+                let zm = Matrix::from_rows(&[&[x - eps]]);
+                let numeric = (act.apply(&zp)[(0, 0)] - act.apply(&zm)[(0, 0)]) / (2.0 * eps);
+                let analytic = act.derivative(&z)[(0, 0)];
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+            assert_eq!(Activation::from_name(act.name()), Some(act));
+        }
+        assert_eq!(Activation::from_name("tanh"), None);
+    }
+}

@@ -1,0 +1,301 @@
+//! Loss functions: binary cross-entropy with logits (Eq. 4) and MSE.
+
+use occusense_tensor::vecops::sigmoid;
+use occusense_tensor::Matrix;
+
+/// A differentiable loss over a batch of network outputs.
+pub trait Loss {
+    /// Mean loss over the batch.
+    ///
+    /// `output` is the raw network output (`n × k`), `targets` the same
+    /// shape.
+    fn loss(&self, output: &Matrix, targets: &Matrix) -> f64;
+
+    /// Gradient `∂L/∂output`, same shape as `output`.
+    fn grad(&self, output: &Matrix, targets: &Matrix) -> Matrix;
+}
+
+/// Binary cross-entropy computed from *logits* (Eq. 4 with the sigmoid
+/// folded in for numerical stability):
+///
+/// ```text
+/// BCE = −(1/T) Σ yₜ log σ(zₜ) + (1 − yₜ) log(1 − σ(zₜ))
+///     = (1/T) Σ max(z,0) − z·y + ln(1 + e^{−|z|})
+/// ```
+///
+/// The gradient is the classic `（σ(z) − y)/T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BceWithLogits;
+
+impl Loss for BceWithLogits {
+    fn loss(&self, output: &Matrix, targets: &Matrix) -> f64 {
+        assert_eq!(output.shape(), targets.shape(), "bce: shape mismatch");
+        let n = output.len().max(1) as f64;
+        output
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&z, &y)| z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln())
+            .sum::<f64>()
+            / n
+    }
+
+    fn grad(&self, output: &Matrix, targets: &Matrix) -> Matrix {
+        assert_eq!(output.shape(), targets.shape(), "bce: shape mismatch");
+        let n = output.len().max(1) as f64;
+        output
+            .try_zip_map(targets, "bce_grad", |z, y| (sigmoid(z) - y) / n)
+            .expect("shapes checked")
+    }
+}
+
+/// Mean squared error, used for the humidity/temperature regression
+/// (§V-D "minimization of a squared error objective").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn loss(&self, output: &Matrix, targets: &Matrix) -> f64 {
+        assert_eq!(output.shape(), targets.shape(), "mse: shape mismatch");
+        let n = output.len().max(1) as f64;
+        output
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&o, &t)| (o - t) * (o - t))
+            .sum::<f64>()
+            / n
+    }
+
+    fn grad(&self, output: &Matrix, targets: &Matrix) -> Matrix {
+        assert_eq!(output.shape(), targets.shape(), "mse: shape mismatch");
+        let n = output.len().max(1) as f64;
+        output
+            .try_zip_map(targets, "mse_grad", |o, t| 2.0 * (o - t) / n)
+            .expect("shapes checked")
+    }
+}
+
+/// Softmax cross-entropy over one-hot targets, used by the multi-class
+/// extensions (occupant counting, activity recognition — the paper's
+/// §VI future work).
+///
+/// `output` holds raw logits (`n × k`); `targets` is one-hot (`n × k`).
+/// The loss is the mean negative log-likelihood; the gradient is the
+/// classic `(softmax(z) − y)/n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Row-wise softmax with the max-subtraction trick.
+    pub fn softmax(logits: &Matrix) -> Matrix {
+        let mut out = logits.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum.max(f64::MIN_POSITIVE);
+            }
+        }
+        out
+    }
+
+    /// One-hot encodes class labels into an `n × k` target matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `>= n_classes`.
+    pub fn one_hot(labels: &[usize], n_classes: usize) -> Matrix {
+        let mut y = Matrix::zeros(labels.len(), n_classes);
+        for (r, &l) in labels.iter().enumerate() {
+            assert!(l < n_classes, "label {l} out of range ({n_classes} classes)");
+            y[(r, l)] = 1.0;
+        }
+        y
+    }
+
+    /// Row-wise argmax — the predicted class per sample.
+    pub fn argmax(logits: &Matrix) -> Vec<usize> {
+        logits
+            .rows_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+}
+
+impl Loss for SoftmaxCrossEntropy {
+    fn loss(&self, output: &Matrix, targets: &Matrix) -> f64 {
+        assert_eq!(output.shape(), targets.shape(), "softmax ce: shape mismatch");
+        let n = output.rows().max(1) as f64;
+        let mut total = 0.0;
+        for r in 0..output.rows() {
+            let row = output.row(r);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let log_sum: f64 = row.iter().map(|v| (v - max).exp()).sum::<f64>().ln() + max;
+            for (v, y) in row.iter().zip(targets.row(r)) {
+                total -= y * (v - log_sum);
+            }
+        }
+        total / n
+    }
+
+    fn grad(&self, output: &Matrix, targets: &Matrix) -> Matrix {
+        assert_eq!(output.shape(), targets.shape(), "softmax ce: shape mismatch");
+        let n = output.rows().max(1) as f64;
+        let p = Self::softmax(output);
+        p.try_zip_map(targets, "softmax_ce_grad", |pi, yi| (pi - yi) / n)
+            .expect("shapes checked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_grad(loss: &dyn Loss, output: &Matrix, targets: &Matrix) {
+        let g = loss.grad(output, targets);
+        let eps = 1e-6;
+        for r in 0..output.rows() {
+            for c in 0..output.cols() {
+                let mut p = output.clone();
+                p[(r, c)] += eps;
+                let mut m = output.clone();
+                m[(r, c)] -= eps;
+                let numeric = (loss.loss(&p, targets) - loss.loss(&m, targets)) / (2.0 * eps);
+                assert!(
+                    (numeric - g[(r, c)]).abs() < 1e-5,
+                    "grad[{r},{c}]: {numeric} vs {}",
+                    g[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_at_confident_correct_predictions_is_small() {
+        let logits = Matrix::col_vector(&[10.0, -10.0]);
+        let targets = Matrix::col_vector(&[1.0, 0.0]);
+        assert!(BceWithLogits.loss(&logits, &targets) < 1e-4);
+    }
+
+    #[test]
+    fn bce_at_confident_wrong_predictions_is_large() {
+        let logits = Matrix::col_vector(&[10.0, -10.0]);
+        let targets = Matrix::col_vector(&[0.0, 1.0]);
+        assert!(BceWithLogits.loss(&logits, &targets) > 5.0);
+    }
+
+    #[test]
+    fn bce_at_zero_logit_is_ln2() {
+        let logits = Matrix::col_vector(&[0.0]);
+        let targets = Matrix::col_vector(&[1.0]);
+        assert!((BceWithLogits.loss(&logits, &targets) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_is_stable_at_extreme_logits() {
+        let logits = Matrix::col_vector(&[1e6, -1e6]);
+        let targets = Matrix::col_vector(&[0.0, 1.0]);
+        let l = BceWithLogits.loss(&logits, &targets);
+        assert!(l.is_finite());
+        let g = BceWithLogits.grad(&logits, &targets);
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.3], &[-1.2], &[2.0]]);
+        let targets = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
+        check_grad(&BceWithLogits, &logits, &targets);
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let out = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let tgt = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 6.0]]);
+        // Squared errors: 1, 0, 0, 4 -> mean 1.25.
+        assert!((Mse.loss(&out, &tgt) - 1.25).abs() < 1e-12);
+        check_grad(&Mse, &out, &tgt);
+    }
+
+    #[test]
+    fn mse_zero_iff_equal() {
+        let out = Matrix::from_rows(&[&[1.5, -2.0]]);
+        assert_eq!(Mse.loss(&out, &out), 0.0);
+        assert!(Mse.grad(&out, &out).max_abs() == 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-100.0, 0.0, 100.0]]);
+        let p = SoftmaxCrossEntropy::softmax(&logits);
+        for r in 0..2 {
+            let row = p.row(r);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // Extreme logits saturate without NaN.
+        assert!(p[(1, 2)] > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let y = SoftmaxCrossEntropy::one_hot(&[2, 0], 3);
+        assert_eq!(y.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(y.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_validates_labels() {
+        SoftmaxCrossEntropy::one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let logits = Matrix::from_rows(&[&[0.1, 0.9, 0.2], &[5.0, -1.0, 3.0]]);
+        assert_eq!(SoftmaxCrossEntropy::argmax(&logits), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_ce_known_values() {
+        // Uniform logits over k classes: loss = ln k.
+        let logits = Matrix::zeros(1, 4);
+        let y = SoftmaxCrossEntropy::one_hot(&[1], 4);
+        assert!((SoftmaxCrossEntropy.loss(&logits, &y) - 4.0f64.ln()).abs() < 1e-12);
+        // Confident correct prediction: near zero.
+        let confident = Matrix::from_rows(&[&[0.0, 50.0, 0.0, 0.0]]);
+        assert!(SoftmaxCrossEntropy.loss(&confident, &y) < 1e-12);
+        // Confident wrong prediction: large.
+        let wrong = Matrix::from_rows(&[&[50.0, 0.0, 0.0, 0.0]]);
+        assert!(SoftmaxCrossEntropy.loss(&wrong, &y) > 10.0);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.3, -1.2, 0.8], &[2.0, 0.1, -0.4]]);
+        let y = SoftmaxCrossEntropy::one_hot(&[2, 0], 3);
+        check_grad(&SoftmaxCrossEntropy, &logits, &y);
+    }
+
+    #[test]
+    fn softmax_ce_stable_at_extreme_logits() {
+        let logits = Matrix::from_rows(&[&[1e6, -1e6, 0.0]]);
+        let y = SoftmaxCrossEntropy::one_hot(&[1], 3);
+        let l = SoftmaxCrossEntropy.loss(&logits, &y);
+        assert!(l.is_finite());
+        let g = SoftmaxCrossEntropy.grad(&logits, &y);
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

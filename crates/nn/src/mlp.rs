@@ -1,0 +1,314 @@
+//! The multilayer perceptron.
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use occusense_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A feed-forward network of [`Dense`] layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// The cached tensors of one forward pass, needed for backpropagation and
+/// by Grad-CAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardPass {
+    /// `activations[0]` is the input batch; `activations[i+1]` is the
+    /// output of layer `i`. Length = layers + 1.
+    pub activations: Vec<Matrix>,
+    /// `preacts[i]` is the pre-activation of layer `i`.
+    pub preacts: Vec<Matrix>,
+}
+
+impl ForwardPass {
+    /// The network output (last activation).
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("non-empty network")
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes (`sizes[0]` = input
+    /// dimension), ReLU on all hidden layers and identity on the output —
+    /// the paper's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_nn::Mlp;
+    /// let mlp = Mlp::new(&[64, 128, 256, 128, 1], 42);
+    /// assert_eq!(mlp.n_parameters(), 8320 + 33024 + 32896 + 129);
+    /// ```
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for (i, w) in sizes.windows(2).enumerate() {
+            let activation = if i + 2 == sizes.len() {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
+            layers.push(Dense::new(w[0], w[1], activation, &mut rng));
+        }
+        Self { layers }
+    }
+
+    /// The paper's occupancy-detection network for a given input width:
+    /// `input → 128 → 256 → 128 → 1` (§IV-B; per-layer parameter counts
+    /// 8 320 / 33 024 / 32 896 / 129 at `input = 64` — see DESIGN.md for
+    /// the reading of the paper's slightly inconsistent figures).
+    pub fn paper_classifier(input_dim: usize, seed: u64) -> Self {
+        Self::new(&[input_dim, 128, 256, 128, 1], seed)
+    }
+
+    /// The same backbone with `n_outputs` regression heads, used for the
+    /// §V-D humidity/temperature estimation.
+    pub fn paper_regressor(input_dim: usize, n_outputs: usize, seed: u64) -> Self {
+        Self::new(&[input_dim, 128, 256, 128, n_outputs], seed)
+    }
+
+    /// Creates an MLP from explicit layers (used by deserialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions mismatch.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim(),
+                w[1].in_dim(),
+                "layer dimension mismatch: {} vs {}",
+                w[0].out_dim(),
+                w[1].in_dim()
+            );
+        }
+        Self { layers }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the trainer and optimiser).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn n_parameters(&self) -> usize {
+        self.layers.iter().map(Dense::n_parameters).sum()
+    }
+
+    /// Model size in KiB at the given bytes-per-parameter (4 for the f32
+    /// deployment format the paper quotes, 8 for this crate's f64).
+    pub fn size_kib(&self, bytes_per_parameter: usize) -> f64 {
+        (self.n_parameters() * bytes_per_parameter) as f64 / 1024.0
+    }
+
+    /// Full forward pass with cached intermediates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward(&self, x: &Matrix) -> ForwardPass {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut preacts = Vec::with_capacity(self.layers.len());
+        activations.push(x.clone());
+        for layer in &self.layers {
+            let (z, a) = layer.forward(activations.last().expect("seeded"));
+            preacts.push(z);
+            activations.push(a);
+        }
+        ForwardPass {
+            activations,
+            preacts,
+        }
+    }
+
+    /// Network output for a batch (no cached intermediates).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for layer in &self.layers {
+            a = layer.forward(&a).1;
+        }
+        a
+    }
+
+    /// Sigmoid of the first output column — the occupancy confidence
+    /// `p_t ∈ (0, 1)` of Eq. 4.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.predict(x)
+            .col(0)
+            .into_iter()
+            .map(occusense_tensor::vecops::sigmoid)
+            .collect()
+    }
+
+    /// Thresholded binary labels (`p > 0.5`).
+    pub fn predict_labels(&self, x: &Matrix) -> Vec<u8> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| u8::from(p > 0.5))
+            .collect()
+    }
+
+    /// Backpropagates `grad_output` (`∂L/∂output`) through the network.
+    ///
+    /// Returns per-layer `(∂L/∂W, ∂L/∂b)` plus the gradient with respect
+    /// to the input batch (used by Grad-CAM's input attribution).
+    pub fn backward(
+        &self,
+        pass: &ForwardPass,
+        grad_output: &Matrix,
+    ) -> (Vec<(Matrix, Vec<f64>)>, Matrix) {
+        let mut grads = vec![None; self.layers.len()];
+        let mut upstream = grad_output.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let g = layer.backward(&pass.activations[i], &pass.preacts[i], &upstream);
+            upstream = g.input.clone();
+            grads[i] = Some((g.weights, g.bias));
+        }
+        (
+            grads.into_iter().map(|g| g.expect("filled")).collect(),
+            upstream,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_classifier_parameter_count() {
+        // 64-wide input (CSI only): 8320 + 33024 + 32896 + 129 = 74369,
+        // the consistent reading of the paper's per-layer counts.
+        let mlp = Mlp::paper_classifier(64, 1);
+        assert_eq!(mlp.n_parameters(), 74_369);
+        assert_eq!(mlp.input_dim(), 64);
+        assert_eq!(mlp.output_dim(), 1);
+        // 66-wide (CSI + env).
+        let mlp = Mlp::paper_classifier(66, 1);
+        assert_eq!(mlp.n_parameters(), 66 * 128 + 128 + 33_024 + 32_896 + 129);
+    }
+
+    #[test]
+    fn paper_regressor_has_two_heads() {
+        let mlp = Mlp::paper_regressor(64, 2, 1);
+        assert_eq!(mlp.output_dim(), 2);
+    }
+
+    #[test]
+    fn forward_pass_caches_all_intermediates() {
+        let mlp = Mlp::new(&[4, 8, 3], 1);
+        let x = Matrix::ones(5, 4);
+        let pass = mlp.forward(&x);
+        assert_eq!(pass.activations.len(), 3);
+        assert_eq!(pass.preacts.len(), 2);
+        assert_eq!(pass.output().shape(), (5, 3));
+        assert_eq!(pass.activations[0], x);
+        // predict agrees with forward.
+        assert_eq!(mlp.predict(&x), *pass.output());
+    }
+
+    #[test]
+    fn hidden_layers_relu_output_identity() {
+        let mlp = Mlp::new(&[2, 4, 4, 1], 2);
+        assert_eq!(mlp.layers()[0].activation, Activation::Relu);
+        assert_eq!(mlp.layers()[1].activation, Activation::Relu);
+        assert_eq!(mlp.layers()[2].activation, Activation::Identity);
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let mlp = Mlp::new(&[3, 8, 1], 3);
+        let x = Matrix::from_fn(10, 3, |r, c| (r as f64 - 5.0) * (c as f64 + 1.0));
+        for p in mlp.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        for l in mlp.predict_labels(&x) {
+            assert!(l <= 1);
+        }
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_differences() {
+        // End-to-end gradient check on L = sum(output).
+        let mlp = Mlp::new(&[3, 5, 2], 4);
+        let x = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f64 * 0.7).sin());
+        let pass = mlp.forward(&x);
+        let ones = Matrix::ones(4, 2);
+        let (grads, grad_x) = mlp.backward(&pass, &ones);
+        let eps = 1e-6;
+
+        // Check one weight per layer.
+        for (li, (gw, _)) in grads.iter().enumerate() {
+            let mut plus = mlp.clone();
+            plus.layers_mut()[li].weights[(0, 0)] += eps;
+            let mut minus = mlp.clone();
+            minus.layers_mut()[li].weights[(0, 0)] -= eps;
+            let numeric = (plus.predict(&x).sum() - minus.predict(&x).sum()) / (2.0 * eps);
+            assert!(
+                (numeric - gw[(0, 0)]).abs() < 1e-5,
+                "layer {li}: {numeric} vs {}",
+                gw[(0, 0)]
+            );
+        }
+        // Check an input gradient.
+        let mut xp = x.clone();
+        xp[(1, 1)] += eps;
+        let mut xm = x.clone();
+        xm[(1, 1)] -= eps;
+        let numeric = (mlp.predict(&xp).sum() - mlp.predict(&xm).sum()) / (2.0 * eps);
+        assert!((numeric - grad_x[(1, 1)]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_initialisation_per_seed() {
+        assert_eq!(Mlp::new(&[4, 8, 1], 9), Mlp::new(&[4, 8, 1], 9));
+        assert_ne!(Mlp::new(&[4, 8, 1], 9), Mlp::new(&[4, 8, 1], 10));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mlp = Mlp::new(&[2, 3, 1], 1);
+        // (2*3+3) + (3*1+1) = 13 params.
+        assert_eq!(mlp.n_parameters(), 13);
+        assert!((mlp.size_kib(4) - 13.0 * 4.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_degenerate_architecture() {
+        Mlp::new(&[5], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn from_layers_validates_dimensions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l1 = Dense::new(2, 3, Activation::Relu, &mut rng);
+        let l2 = Dense::new(4, 1, Activation::Identity, &mut rng);
+        Mlp::from_layers(vec![l1, l2]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain-text model persistence.
+//!
+//! Format (line-oriented, whitespace-separated):
+//!
+//! ```text
+//! occusense-mlp v1
+//! layers <L>
+//! layer <in> <out> <activation>
+//! <out floats>            # bias
+//! <out floats> × in lines # weight rows
+//! ...
+//! ```
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::mlp::Mlp;
+use occusense_tensor::Matrix;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Error returned by [`load`].
+#[derive(Debug)]
+pub enum LoadModelError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed model file.
+    Parse(String),
+}
+
+impl fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadModelError::Io(e) => write!(f, "model load: {e}"),
+            LoadModelError::Parse(msg) => write!(f, "model parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for LoadModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadModelError::Io(e) => Some(e),
+            LoadModelError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadModelError {
+    fn from(e: io::Error) -> Self {
+        LoadModelError::Io(e)
+    }
+}
+
+/// Saves a model. A `&mut` writer can be passed as well as an owned one.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use occusense_nn::Mlp;
+/// use occusense_nn::serialize::{save, load};
+///
+/// let mlp = Mlp::new(&[4, 8, 1], 3);
+/// let mut buf = Vec::new();
+/// save(&mut buf, &mlp)?;
+/// let back = load(&buf[..])?;
+/// assert_eq!(back, mlp);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn save<W: Write>(mut w: W, mlp: &Mlp) -> io::Result<()> {
+    writeln!(w, "occusense-mlp v1")?;
+    writeln!(w, "layers {}", mlp.layers().len())?;
+    for layer in mlp.layers() {
+        writeln!(
+            w,
+            "layer {} {} {}",
+            layer.in_dim(),
+            layer.out_dim(),
+            layer.activation.name()
+        )?;
+        write_floats(&mut w, &layer.bias)?;
+        for r in 0..layer.in_dim() {
+            write_floats(&mut w, layer.weights.row(r))?;
+        }
+    }
+    Ok(())
+}
+
+fn write_floats<W: Write>(w: &mut W, values: &[f64]) -> io::Result<()> {
+    let mut first = true;
+    for v in values {
+        if !first {
+            write!(w, " ")?;
+        }
+        // {:e} keeps full f64 precision in a compact, locale-free form.
+        write!(w, "{v:e}")?;
+        first = false;
+    }
+    writeln!(w)
+}
+
+/// Loads a model saved by [`save`].
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] for I/O failures or malformed content.
+pub fn load<R: Read>(r: R) -> Result<Mlp, LoadModelError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let mut next_line = |what: &str| -> Result<String, LoadModelError> {
+        lines
+            .next()
+            .ok_or_else(|| LoadModelError::Parse(format!("unexpected end of file, expected {what}")))?
+            .map_err(LoadModelError::from)
+    };
+
+    let magic = next_line("header")?;
+    if magic.trim() != "occusense-mlp v1" {
+        return Err(LoadModelError::Parse(format!("bad header '{magic}'")));
+    }
+    let layers_line = next_line("layer count")?;
+    let n_layers: usize = layers_line
+        .strip_prefix("layers ")
+        .ok_or_else(|| LoadModelError::Parse(format!("bad layer-count line '{layers_line}'")))?
+        .trim()
+        .parse()
+        .map_err(|e| LoadModelError::Parse(format!("bad layer count: {e}")))?;
+
+    let mut layers = Vec::with_capacity(n_layers);
+    for li in 0..n_layers {
+        let header = next_line("layer header")?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "layer" {
+            return Err(LoadModelError::Parse(format!(
+                "bad layer header '{header}' (layer {li})"
+            )));
+        }
+        let in_dim: usize = parts[1]
+            .parse()
+            .map_err(|e| LoadModelError::Parse(format!("bad in_dim: {e}")))?;
+        let out_dim: usize = parts[2]
+            .parse()
+            .map_err(|e| LoadModelError::Parse(format!("bad out_dim: {e}")))?;
+        let activation = Activation::from_name(parts[3])
+            .ok_or_else(|| LoadModelError::Parse(format!("unknown activation '{}'", parts[3])))?;
+
+        let bias = parse_floats(&next_line("bias")?, out_dim, li, "bias")?;
+        let mut weights = Matrix::zeros(in_dim, out_dim);
+        for r in 0..in_dim {
+            let row = parse_floats(&next_line("weight row")?, out_dim, li, "weights")?;
+            weights.row_mut(r).copy_from_slice(&row);
+        }
+        layers.push(Dense {
+            weights,
+            bias,
+            activation,
+        });
+    }
+    if layers.is_empty() {
+        return Err(LoadModelError::Parse("model has no layers".into()));
+    }
+    Ok(Mlp::from_layers(layers))
+}
+
+fn parse_floats(
+    line: &str,
+    expected: usize,
+    layer: usize,
+    what: &str,
+) -> Result<Vec<f64>, LoadModelError> {
+    let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+    let values =
+        values.map_err(|e| LoadModelError::Parse(format!("layer {layer} {what}: {e}")))?;
+    if values.len() != expected {
+        return Err(LoadModelError::Parse(format!(
+            "layer {layer} {what}: expected {expected} values, got {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_model_exactly() {
+        let mlp = Mlp::new(&[5, 16, 8, 2], 42);
+        let mut buf = Vec::new();
+        save(&mut buf, &mlp).unwrap();
+        let back = load(&buf[..]).unwrap();
+        assert_eq!(back, mlp);
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions_bitwise() {
+        let mlp = Mlp::new(&[3, 8, 1], 7);
+        let mut buf = Vec::new();
+        save(&mut buf, &mlp).unwrap();
+        let back = load(&buf[..]).unwrap();
+        let x = Matrix::from_fn(10, 3, |r, c| ((r * 3 + c) as f64).sin());
+        assert_eq!(mlp.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn load_rejects_bad_header() {
+        let err = load(&b"not a model\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let mlp = Mlp::new(&[2, 3, 1], 1);
+        let mut buf = Vec::new();
+        save(&mut buf, &mlp).unwrap();
+        let cut = buf.len() / 2;
+        let err = load(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, LoadModelError::Parse(_)));
+    }
+
+    #[test]
+    fn load_rejects_wrong_value_count() {
+        let text = "occusense-mlp v1\nlayers 1\nlayer 2 1 relu\n0.0\n1.0 2.0\n1.0\n";
+        // Weight row has 2 values for out_dim 1? First row parses 2 values
+        // where 1 is expected.
+        let err = load(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 1 values"));
+    }
+
+    #[test]
+    fn load_rejects_unknown_activation() {
+        let text = "occusense-mlp v1\nlayers 1\nlayer 1 1 swish\n0.0\n1.0\n";
+        let err = load(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown activation"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the neural-network crate.
+
+use occusense_nn::activation::Activation;
+use occusense_nn::loss::{BceWithLogits, Loss, Mse};
+use occusense_nn::mlp::Mlp;
+use occusense_nn::serialize;
+use occusense_tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_architecture() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..12, 2..5)
+}
+
+fn batch(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn forward_shapes_are_consistent(sizes in small_architecture(), seed in 0u64..100) {
+        let mlp = Mlp::new(&sizes, seed);
+        let x = Matrix::ones(3, sizes[0]);
+        let pass = mlp.forward(&x);
+        prop_assert_eq!(pass.activations.len(), sizes.len());
+        prop_assert_eq!(pass.output().shape(), (3, *sizes.last().unwrap()));
+        for (i, z) in pass.preacts.iter().enumerate() {
+            prop_assert_eq!(z.shape(), (3, sizes[i + 1]));
+        }
+    }
+
+    #[test]
+    fn predictions_are_finite(sizes in small_architecture(), seed in 0u64..100) {
+        let mlp = Mlp::new(&sizes, seed);
+        let x = Matrix::from_fn(4, sizes[0], |r, c| ((r * 7 + c * 3) as f64 * 0.21).sin() * 3.0);
+        let out = mlp.predict(&x);
+        prop_assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        for p in mlp.predict_proba(&x) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn serialization_round_trip(sizes in small_architecture(), seed in 0u64..100) {
+        let mlp = Mlp::new(&sizes, seed);
+        let mut buf = Vec::new();
+        serialize::save(&mut buf, &mlp).unwrap();
+        let back = serialize::load(&buf[..]).unwrap();
+        prop_assert_eq!(back, mlp);
+    }
+
+    #[test]
+    fn bce_loss_nonnegative(
+        logits in prop::collection::vec(-20.0f64..20.0, 1..20),
+        flips in prop::collection::vec(0u8..2, 1..20),
+    ) {
+        let n = logits.len().min(flips.len());
+        let z = Matrix::col_vector(&logits[..n]);
+        let y = Matrix::col_vector(&flips[..n].iter().map(|&f| f as f64).collect::<Vec<_>>());
+        let l = BceWithLogits.loss(&z, &y);
+        prop_assert!(l >= 0.0 && l.is_finite());
+    }
+
+    #[test]
+    fn mse_loss_nonnegative_and_zero_on_match(v in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+        let m = Matrix::col_vector(&v);
+        prop_assert_eq!(Mse.loss(&m, &m), 0.0);
+        let shifted = m.map(|x| x + 1.0);
+        let l = Mse.loss(&shifted, &m);
+        prop_assert!((l - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_gradients_finite(seed in 0u64..50, x in batch(3, 4)) {
+        let mlp = Mlp::new(&[4, 6, 2], seed);
+        let pass = mlp.forward(&x);
+        let grad_out = Matrix::ones(3, 2);
+        let (grads, grad_x) = mlp.backward(&pass, &grad_out);
+        prop_assert!(grad_x.as_slice().iter().all(|v| v.is_finite()));
+        for (gw, gb) in grads {
+            prop_assert!(gw.as_slice().iter().all(|v| v.is_finite()));
+            prop_assert!(gb.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative(x in batch(2, 5)) {
+        let a = Activation::Relu.apply(&x);
+        prop_assert!(a.as_slice().iter().all(|&v| v >= 0.0));
+        // Derivative is 0/1.
+        let d = Activation::Relu.derivative(&x);
+        prop_assert!(d.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn gradcam_attribution_length_matches_input(seed in 0u64..50) {
+        let mlp = Mlp::new(&[5, 8, 1], seed);
+        let x = Matrix::from_fn(6, 5, |r, c| (r as f64 - c as f64) * 0.3);
+        let attr = occusense_nn::gradcam::input_attribution(&mlp, &x, 1.0);
+        prop_assert_eq!(attr.len(), 5);
+        prop_assert!(attr.iter().all(|v| v.is_finite()));
+        // Class flip negates the attribution.
+        let neg = occusense_nn::gradcam::input_attribution(&mlp, &x, -1.0);
+        for (a, b) in attr.iter().zip(&neg) {
+            prop_assert!((a + b).abs() < 1e-9);
+        }
+    }
+}

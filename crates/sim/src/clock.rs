@@ -1,0 +1,92 @@
+//! Wall-clock bookkeeping for the scenario timeline.
+//!
+//! Scenario time `t` is seconds since the collection start (Jan 04 2022,
+//! 15:08:40 — §V-A). Schedules and the thermostat need wall-clock time of
+//! day and the day index, so the clock carries the start-of-day offset.
+
+/// Seconds per day.
+pub const DAY_S: f64 = 86_400.0;
+
+/// Offset from midnight of day 0 to the collection start (15:08:40).
+pub const COLLECTION_START_OFFSET_S: f64 = 15.0 * 3600.0 + 8.0 * 60.0 + 40.0;
+
+/// Converts scenario time to wall-clock components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallClock {
+    /// Seconds between midnight of day 0 and scenario `t = 0`.
+    pub start_offset_s: f64,
+}
+
+impl WallClock {
+    /// The paper's clock: scenario starts Jan 04, 15:08:40.
+    pub fn turetta2022() -> Self {
+        Self {
+            start_offset_s: COLLECTION_START_OFFSET_S,
+        }
+    }
+
+    /// A clock whose scenario starts at midnight (useful in tests).
+    pub fn midnight() -> Self {
+        Self { start_offset_s: 0.0 }
+    }
+
+    /// Day index (0 = Jan 04) of scenario time `t`.
+    pub fn day(&self, t: f64) -> usize {
+        ((t + self.start_offset_s) / DAY_S).floor() as usize
+    }
+
+    /// Seconds since midnight at scenario time `t`.
+    pub fn time_of_day(&self, t: f64) -> f64 {
+        (t + self.start_offset_s).rem_euclid(DAY_S)
+    }
+
+    /// Fractional hour of day (0.0–24.0) at scenario time `t`.
+    pub fn hour_of_day(&self, t: f64) -> f64 {
+        self.time_of_day(t) / 3600.0
+    }
+
+    /// Scenario time of `hour` (fractional, 0–24) on `day`.
+    ///
+    /// May be negative if the moment precedes the collection start.
+    pub fn at(&self, day: usize, hour: f64) -> f64 {
+        day as f64 * DAY_S + hour * 3600.0 - self.start_offset_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_starts_at_15_08_40() {
+        let c = WallClock::turetta2022();
+        assert_eq!(c.day(0.0), 0);
+        assert!((c.hour_of_day(0.0) - (15.0 + 8.0 / 60.0 + 40.0 / 3600.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn day_rolls_over_at_midnight() {
+        let c = WallClock::turetta2022();
+        // Jan 5 00:00 is 8 h 51 m 20 s into the scenario.
+        let to_midnight = DAY_S - COLLECTION_START_OFFSET_S;
+        assert_eq!(c.day(to_midnight - 1.0), 0);
+        assert_eq!(c.day(to_midnight + 1.0), 1);
+        assert!(c.time_of_day(to_midnight) < 1e-9);
+    }
+
+    #[test]
+    fn at_is_inverse_of_decomposition() {
+        let c = WallClock::turetta2022();
+        let t = c.at(2, 9.5);
+        assert_eq!(c.day(t), 2);
+        assert!((c.hour_of_day(t) - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midnight_clock_is_identity() {
+        let c = WallClock::midnight();
+        assert_eq!(c.day(3.5 * DAY_S), 3);
+        assert!((c.hour_of_day(DAY_S / 2.0) - 12.0).abs() < 1e-9);
+        assert_eq!(c.at(0, 0.0), 0.0);
+    }
+}

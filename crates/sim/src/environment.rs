@@ -1,0 +1,368 @@
+//! Coupled temperature and humidity dynamics of the office.
+//!
+//! §V-A of the paper observes that "temperature and humidity strictly
+//! depend on the heating system and on human presence": the office heater
+//! activates automatically on a schedule with thermostat hysteresis,
+//! occupants add body heat and respiration moisture, windows get opened,
+//! and the outdoors imposes a diurnal cycle. This module integrates those
+//! dynamics with a simple forward-Euler scheme.
+//!
+//! Humidity is tracked as *absolute* humidity (g/m³) and converted to
+//! relative humidity through the Magnus formula of
+//! [`occusense_channel::air`]; heating therefore *lowers* relative
+//! humidity, reproducing the winter-office RH range (16–49 %) of
+//! Table III.
+
+use occusense_channel::air;
+
+/// Static parameters of the environment model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvironmentConfig {
+    /// Temperature the room relaxes to with the heater off (the building
+    /// envelope stays warm overnight), °C.
+    pub envelope_temperature_c: f64,
+    /// Relaxation time constant towards the envelope, hours.
+    pub thermal_time_constant_h: f64,
+    /// Additional relaxation towards *outdoor* temperature when a window
+    /// is open (much faster), hours.
+    pub window_time_constant_h: f64,
+    /// Heater output when on, °C/h of room temperature rise.
+    pub heater_power_c_per_h: f64,
+    /// Body-heat contribution per occupant, °C/h.
+    pub occupant_heat_c_per_h: f64,
+    /// Thermostat switch-on threshold, °C.
+    pub thermostat_on_c: f64,
+    /// Thermostat switch-off threshold, °C (must exceed `thermostat_on_c`).
+    pub thermostat_off_c: f64,
+    /// Daily heating window start hour (the building's automatic system).
+    pub heating_start_h: f64,
+    /// Daily heating window end hour.
+    pub heating_end_h: f64,
+    /// Excess temperature the sensor reads when the radiator duty cycle is
+    /// high (the Thingy sits near a radiator; reproduces the 30–40 °C
+    /// spikes Table III reports during heating), °C at full duty.
+    pub radiator_coupling_c: f64,
+    /// Mean outdoor temperature, °C (January in northern Italy).
+    pub outdoor_mean_c: f64,
+    /// Amplitude of the outdoor diurnal cycle, °C.
+    pub outdoor_amplitude_c: f64,
+    /// Baseline outdoor relative humidity, %.
+    pub outdoor_rh_pct: f64,
+    /// Amplitude of the multi-day weather wave on outdoor temperature,
+    /// °C. Weather makes the indoor environment drift independently of
+    /// occupancy — the "variations in humidity and temperature" the
+    /// paper's approach must be resilient to.
+    pub weather_temperature_amp_c: f64,
+    /// Amplitude of the weather wave on outdoor relative humidity, %
+    /// (in phase with the temperature wave: winter warm fronts are
+    /// humid).
+    pub weather_rh_amp_pct: f64,
+    /// Period of the weather wave, seconds (non-commensurate with the
+    /// day so folds see different weather).
+    pub weather_period_s: f64,
+    /// Baseline air-exchange rate, room volumes per hour.
+    pub air_changes_per_h: f64,
+    /// Extra air-exchange rate while a window is open, volumes per hour.
+    pub window_air_changes_per_h: f64,
+    /// Respiration moisture per occupant, g/h.
+    pub occupant_vapor_g_per_h: f64,
+    /// Room volume, m³.
+    pub room_volume_m3: f64,
+}
+
+impl EnvironmentConfig {
+    /// Parameters tuned for the paper's office in January.
+    pub fn office_winter() -> Self {
+        Self {
+            envelope_temperature_c: 17.8,
+            thermal_time_constant_h: 9.0,
+            window_time_constant_h: 0.6,
+            heater_power_c_per_h: 2.2,
+            occupant_heat_c_per_h: 0.08,
+            thermostat_on_c: 20.2,
+            thermostat_off_c: 22.4,
+            heating_start_h: 6.0,
+            heating_end_h: 19.0,
+            radiator_coupling_c: 4.5,
+            outdoor_mean_c: 4.0,
+            outdoor_amplitude_c: 4.0,
+            outdoor_rh_pct: 78.0,
+            weather_temperature_amp_c: 1.5,
+            weather_rh_amp_pct: 10.0,
+            weather_period_s: 53.0 * 3600.0,
+            air_changes_per_h: 0.30,
+            window_air_changes_per_h: 3.0,
+            occupant_vapor_g_per_h: 95.0,
+            room_volume_m3: 12.0 * 6.0 * 3.0,
+        }
+    }
+
+    /// Phase of the multi-day weather wave at scenario time `t_s`.
+    fn weather_wave(&self, t_s: f64) -> f64 {
+        (std::f64::consts::TAU * t_s / self.weather_period_s + 0.9).sin()
+    }
+
+    /// Outdoor temperature at scenario time `t_s` / hour-of-day `h`
+    /// (diurnal trough ~05:00, peak ~14:00, plus the weather wave).
+    pub fn outdoor_temperature_c(&self, t_s: f64, hour_of_day: f64) -> f64 {
+        let phase = std::f64::consts::TAU * (hour_of_day - 9.5) / 24.0;
+        self.outdoor_mean_c
+            + self.outdoor_amplitude_c * phase.sin()
+            + self.weather_temperature_amp_c * self.weather_wave(t_s)
+    }
+
+    /// Outdoor relative humidity at scenario time `t_s`, %.
+    pub fn outdoor_relative_humidity_pct(&self, t_s: f64) -> f64 {
+        (self.outdoor_rh_pct + self.weather_rh_amp_pct * self.weather_wave(t_s)).clamp(35.0, 98.0)
+    }
+
+    /// Outdoor absolute humidity, g/m³.
+    pub fn outdoor_absolute_humidity(&self, t_s: f64, hour_of_day: f64) -> f64 {
+        air::absolute_humidity_g_m3(
+            self.outdoor_temperature_c(t_s, hour_of_day),
+            self.outdoor_relative_humidity_pct(t_s),
+        )
+    }
+}
+
+impl Default for EnvironmentConfig {
+    fn default() -> Self {
+        Self::office_winter()
+    }
+}
+
+/// Evolving environment state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvironmentState {
+    /// Bulk room air temperature, °C.
+    pub temperature_c: f64,
+    /// Absolute humidity of the room air, g/m³.
+    pub absolute_humidity_g_m3: f64,
+    /// Whether the heater is currently firing.
+    pub heater_on: bool,
+    /// Smoothed heater duty cycle in `[0, 1]` (drives the radiator-
+    /// proximity term of the sensed temperature).
+    pub heater_duty: f64,
+    /// Whether a window is currently open.
+    pub window_open: bool,
+}
+
+impl EnvironmentState {
+    /// A typical early-winter-afternoon initial state (the collection
+    /// started mid-afternoon with the office occupied and heated).
+    pub fn initial() -> Self {
+        Self {
+            temperature_c: 21.5,
+            absolute_humidity_g_m3: 7.2,
+            heater_on: false,
+            heater_duty: 0.3,
+            window_open: false,
+        }
+    }
+
+    /// Relative humidity implied by the current temperature and absolute
+    /// humidity, %.
+    pub fn relative_humidity_pct(&self) -> f64 {
+        let sat = air::absolute_humidity_g_m3(self.temperature_c, 100.0);
+        (100.0 * self.absolute_humidity_g_m3 / sat).clamp(0.0, 100.0)
+    }
+
+    /// Temperature at the sensor location, which sits near a radiator and
+    /// overshoots the bulk air temperature when the heater duty is high.
+    pub fn sensed_temperature_c(&self, config: &EnvironmentConfig) -> f64 {
+        self.temperature_c + config.radiator_coupling_c * self.heater_duty
+    }
+
+    /// Advances the state by `dt_s` seconds.
+    ///
+    /// `t_s` is scenario time (for the weather wave), `hour_of_day` is
+    /// wall-clock time (for the heating schedule and the diurnal cycle),
+    /// `n_occupants` the current head count.
+    pub fn step(
+        &mut self,
+        config: &EnvironmentConfig,
+        dt_s: f64,
+        t_s: f64,
+        hour_of_day: f64,
+        n_occupants: usize,
+    ) {
+        let dt_h = dt_s / 3600.0;
+        let t_out = config.outdoor_temperature_c(t_s, hour_of_day);
+
+        // Thermostat with hysteresis, gated by the daily heating window.
+        let window_active =
+            hour_of_day >= config.heating_start_h && hour_of_day < config.heating_end_h;
+        if !window_active {
+            self.heater_on = false;
+        } else if self.temperature_c <= config.thermostat_on_c {
+            self.heater_on = true;
+        } else if self.temperature_c >= config.thermostat_off_c {
+            self.heater_on = false;
+        }
+
+        // Smoothed duty cycle (15-minute time constant).
+        let duty_target = if self.heater_on { 1.0 } else { 0.0 };
+        let duty_rate = dt_h / 0.25;
+        self.heater_duty += (duty_target - self.heater_duty) * duty_rate.min(1.0);
+
+        // Temperature dynamics.
+        let mut dtemp = 0.0;
+        dtemp += (config.envelope_temperature_c - self.temperature_c) / config.thermal_time_constant_h;
+        if self.window_open {
+            dtemp += (t_out - self.temperature_c) / config.window_time_constant_h;
+        }
+        if self.heater_on {
+            dtemp += config.heater_power_c_per_h;
+        }
+        dtemp += config.occupant_heat_c_per_h * n_occupants as f64;
+        self.temperature_c += dtemp * dt_h;
+
+        // Moisture balance (absolute humidity).
+        let ah_out = config.outdoor_absolute_humidity(t_s, hour_of_day);
+        let ach = config.air_changes_per_h
+            + if self.window_open {
+                config.window_air_changes_per_h
+            } else {
+                0.0
+            };
+        let mut dah = (ah_out - self.absolute_humidity_g_m3) * ach;
+        dah += config.occupant_vapor_g_per_h * n_occupants as f64 / config.room_volume_m3;
+        self.absolute_humidity_g_m3 = (self.absolute_humidity_g_m3 + dah * dt_h).max(0.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        state: &mut EnvironmentState,
+        config: &EnvironmentConfig,
+        hours: f64,
+        start_hour: f64,
+        occupants: usize,
+    ) {
+        let dt = 10.0;
+        let steps = (hours * 3600.0 / dt) as usize;
+        for i in 0..steps {
+            let t_s = i as f64 * dt;
+            let h = (start_hour + i as f64 * dt / 3600.0) % 24.0;
+            state.step(config, dt, t_s, h, occupants);
+        }
+    }
+
+    #[test]
+    fn overnight_cooldown_stays_in_table3_band() {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut s = EnvironmentState::initial();
+        // 19:00 -> 05:00, empty office, heater off outside the window.
+        run(&mut s, &cfg, 10.0, 19.0, 0);
+        assert!(s.temperature_c > 17.5, "too cold: {}", s.temperature_c);
+        assert!(s.temperature_c < 21.0, "too warm: {}", s.temperature_c);
+        assert!(!s.heater_on);
+    }
+
+    #[test]
+    fn thermostat_keeps_daytime_band() {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut s = EnvironmentState::initial();
+        s.temperature_c = 18.5;
+        run(&mut s, &cfg, 6.0, 8.0, 3);
+        assert!(
+            s.temperature_c > cfg.thermostat_on_c - 0.5
+                && s.temperature_c < cfg.thermostat_off_c + 1.5,
+            "temperature {} outside thermostat band",
+            s.temperature_c
+        );
+    }
+
+    #[test]
+    fn occupants_raise_humidity() {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut empty = EnvironmentState::initial();
+        let mut crowded = EnvironmentState::initial();
+        run(&mut empty, &cfg, 8.0, 9.0, 0);
+        run(&mut crowded, &cfg, 8.0, 9.0, 4);
+        assert!(
+            crowded.absolute_humidity_g_m3 > empty.absolute_humidity_g_m3 + 0.5,
+            "crowded {} vs empty {}",
+            crowded.absolute_humidity_g_m3,
+            empty.absolute_humidity_g_m3
+        );
+    }
+
+    #[test]
+    fn occupants_raise_temperature() {
+        let cfg = EnvironmentConfig::office_winter();
+        // Outside heating hours so only bodies differ.
+        let mut empty = EnvironmentState::initial();
+        let mut crowded = EnvironmentState::initial();
+        run(&mut empty, &cfg, 3.0, 20.0, 0);
+        run(&mut crowded, &cfg, 3.0, 20.0, 4);
+        assert!(crowded.temperature_c > empty.temperature_c + 0.2);
+    }
+
+    #[test]
+    fn window_airing_cools_and_dries() {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut s = EnvironmentState::initial();
+        s.absolute_humidity_g_m3 = 9.0;
+        s.window_open = true;
+        run(&mut s, &cfg, 0.5, 10.0, 0);
+        assert!(s.temperature_c < 21.0, "window did not cool: {}", s.temperature_c);
+        assert!(s.absolute_humidity_g_m3 < 9.0);
+    }
+
+    #[test]
+    fn relative_humidity_falls_when_heated() {
+        let mut s = EnvironmentState::initial();
+        let rh_cool = s.relative_humidity_pct();
+        s.temperature_c += 5.0;
+        let rh_warm = s.relative_humidity_pct();
+        assert!(rh_warm < rh_cool);
+    }
+
+    #[test]
+    fn relative_humidity_within_percent_range() {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut s = EnvironmentState::initial();
+        for start in [0.0, 6.0, 12.0, 18.0] {
+            run(&mut s, &cfg, 6.0, start, 2);
+            let rh = s.relative_humidity_pct();
+            assert!((5.0..=70.0).contains(&rh), "RH {rh} out of plausible band");
+        }
+    }
+
+    #[test]
+    fn sensed_temperature_overshoots_during_heating() {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut s = EnvironmentState::initial();
+        s.temperature_c = 18.0; // cold morning: heater fires at full duty
+        run(&mut s, &cfg, 1.5, 7.0, 0);
+        let sensed = s.sensed_temperature_c(&cfg);
+        assert!(s.heater_duty > 0.8, "duty {}", s.heater_duty);
+        assert!(sensed > s.temperature_c + 3.0, "sensed {sensed} vs bulk {}", s.temperature_c);
+        assert!(sensed < 41.0);
+    }
+
+    #[test]
+    fn heater_respects_schedule_window() {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut s = EnvironmentState::initial();
+        s.temperature_c = 15.0; // below the on-threshold…
+        s.step(&cfg, 10.0, 0.0, 3.0, 0); // …but 03:00 is outside the window
+        assert!(!s.heater_on);
+        s.step(&cfg, 10.0, 0.0, 8.0, 0);
+        assert!(s.heater_on);
+    }
+
+    #[test]
+    fn outdoor_cycle_extremes() {
+        let cfg = EnvironmentConfig::office_winter();
+        let coldest = cfg.outdoor_temperature_c(0.0, 3.5); // ~05:00 trough
+        let warmest = cfg.outdoor_temperature_c(0.0, 15.5); // ~14:00 peak
+        assert!(coldest < cfg.outdoor_mean_c);
+        assert!(warmest > cfg.outdoor_mean_c);
+        assert!((warmest - coldest) > cfg.outdoor_amplitude_c);
+    }
+}

@@ -1,0 +1,307 @@
+//! In-room activity model: sitting, standing, walking.
+//!
+//! Occupants "carry out their office activities without any constraints"
+//! (§IV-A): they sit at desks for long stretches, stand up, walk to other
+//! spots and return. The one physical constraint of the paper's setup is
+//! preserved: occupants cannot move *between* the AP and the receiver
+//! (the strip in front of the radios is excluded from waypoints).
+//!
+//! While seated or standing the body still exhibits micro-motion
+//! (breathing, typing, posture shifts) as small positional jitter, which
+//! keeps occupied-room CSI "alive" compared to the static empty room.
+
+use occusense_channel::geometry::Point3;
+use occusense_channel::scene::Body;
+use rand::Rng;
+
+/// Parameters of the activity state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityConfig {
+    /// Walking speed, m/s.
+    pub walk_speed_mps: f64,
+    /// Seated dwell time range, seconds.
+    pub seat_dwell_s: (f64, f64),
+    /// Standing dwell time range, seconds.
+    pub stand_dwell_s: (f64, f64),
+    /// Positional micro-motion while seated, metres (std).
+    pub seated_jitter_m: f64,
+    /// Positional micro-motion while standing, metres (std).
+    pub standing_jitter_m: f64,
+    /// Exclusion strip in front of the radios: occupants never enter
+    /// `x ∈ [x0, x1], y < y_max`.
+    pub exclusion_x: (f64, f64),
+    /// Y extent of the exclusion strip.
+    pub exclusion_y_max: f64,
+    /// Room bounds the subject may roam, metres (with a wall margin).
+    pub roam_x: (f64, f64),
+    /// Y roam bounds.
+    pub roam_y: (f64, f64),
+}
+
+impl MobilityConfig {
+    /// Defaults matching the paper's office and radio placement.
+    pub fn office_default() -> Self {
+        Self {
+            walk_speed_mps: 1.0,
+            seat_dwell_s: (240.0, 1800.0),
+            stand_dwell_s: (20.0, 120.0),
+            seated_jitter_m: 0.02,
+            standing_jitter_m: 0.04,
+            exclusion_x: (4.6, 7.4),
+            exclusion_y_max: 0.9,
+            roam_x: (0.4, 11.6),
+            roam_y: (0.4, 5.6),
+        }
+    }
+
+    /// Whether `(x, y)` lies in the forbidden strip between the radios.
+    pub fn is_excluded(&self, x: f64, y: f64) -> bool {
+        (self.exclusion_x.0..=self.exclusion_x.1).contains(&x) && y < self.exclusion_y_max
+    }
+
+    fn random_waypoint(&self, rng: &mut impl Rng) -> (f64, f64) {
+        loop {
+            let x = rng.gen_range(self.roam_x.0..self.roam_x.1);
+            let y = rng.gen_range(self.roam_y.0..self.roam_y.1);
+            if !self.is_excluded(x, y) {
+                return (x, y);
+            }
+        }
+    }
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        Self::office_default()
+    }
+}
+
+/// What a subject is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activity {
+    /// Seated (at the desk or wherever they stopped).
+    Seated,
+    /// Standing still.
+    Standing,
+    /// Walking towards a waypoint.
+    Walking {
+        /// Walk target, `(x, y)`.
+        target: (f64, f64),
+    },
+}
+
+/// The mobility state of one present subject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectMobility {
+    /// The subject's own desk.
+    pub desk: (f64, f64),
+    /// Current floor position.
+    pub position: (f64, f64),
+    /// Current activity.
+    pub activity: Activity,
+    /// Seconds until the next state decision (for stationary activities).
+    dwell_remaining_s: f64,
+}
+
+impl SubjectMobility {
+    /// A subject entering the room at `entry` and heading for `desk`.
+    pub fn entering(entry: (f64, f64), desk: (f64, f64)) -> Self {
+        Self {
+            desk,
+            position: entry,
+            activity: Activity::Walking { target: desk },
+            dwell_remaining_s: 0.0,
+        }
+    }
+
+    /// Advances the state machine by `dt_s`.
+    pub fn step(&mut self, config: &MobilityConfig, dt_s: f64, rng: &mut impl Rng) {
+        match self.activity {
+            Activity::Walking { target } => {
+                let dx = target.0 - self.position.0;
+                let dy = target.1 - self.position.1;
+                let dist = (dx * dx + dy * dy).sqrt();
+                let step = config.walk_speed_mps * dt_s;
+                if dist <= step {
+                    self.position = target;
+                    let at_desk = (target.0 - self.desk.0).abs() < 1e-9
+                        && (target.1 - self.desk.1).abs() < 1e-9;
+                    if at_desk {
+                        self.activity = Activity::Seated;
+                        self.dwell_remaining_s =
+                            rng.gen_range(config.seat_dwell_s.0..config.seat_dwell_s.1);
+                    } else {
+                        self.activity = Activity::Standing;
+                        self.dwell_remaining_s =
+                            rng.gen_range(config.stand_dwell_s.0..config.stand_dwell_s.1);
+                    }
+                } else {
+                    self.position.0 += dx / dist * step;
+                    self.position.1 += dy / dist * step;
+                }
+            }
+            Activity::Seated | Activity::Standing => {
+                self.dwell_remaining_s -= dt_s;
+                if self.dwell_remaining_s <= 0.0 {
+                    self.decide_next(config, rng);
+                }
+            }
+        }
+    }
+
+    fn decide_next(&mut self, config: &MobilityConfig, rng: &mut impl Rng) {
+        match self.activity {
+            Activity::Seated => {
+                let roll: f64 = rng.gen();
+                if roll < 0.60 {
+                    // Keep sitting.
+                    self.dwell_remaining_s =
+                        rng.gen_range(config.seat_dwell_s.0..config.seat_dwell_s.1);
+                } else if roll < 0.75 {
+                    self.activity = Activity::Standing;
+                    self.dwell_remaining_s =
+                        rng.gen_range(config.stand_dwell_s.0..config.stand_dwell_s.1);
+                } else {
+                    self.activity = Activity::Walking {
+                        target: config.random_waypoint(rng),
+                    };
+                }
+            }
+            Activity::Standing => {
+                if rng.gen_bool(0.6) {
+                    // Head back to the desk.
+                    self.activity = Activity::Walking { target: self.desk };
+                } else {
+                    self.activity = Activity::Walking {
+                        target: config.random_waypoint(rng),
+                    };
+                }
+            }
+            Activity::Walking { .. } => {}
+        }
+    }
+
+    /// The channel-model body for the current state, including
+    /// micro-motion jitter.
+    pub fn body(&self, config: &MobilityConfig, rng: &mut impl Rng) -> Body {
+        let (jitter, make): (f64, fn(Point3) -> Body) = match self.activity {
+            Activity::Seated => (config.seated_jitter_m, Body::sitting),
+            Activity::Standing => (config.standing_jitter_m, Body::standing),
+            Activity::Walking { .. } => (0.0, Body::standing),
+        };
+        let jx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+        let jy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+        make(Point3::new(self.position.0 + jx, self.position.1 + jy, 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> MobilityConfig {
+        MobilityConfig::office_default()
+    }
+
+    #[test]
+    fn entering_subject_walks_to_desk_and_sits() {
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(1);
+        let desk = (2.0, 1.2);
+        let mut m = SubjectMobility::entering((0.4, 5.6), desk);
+        // Door-to-desk is < 6 m: 10 seconds at 1 m/s is plenty.
+        for _ in 0..100 {
+            m.step(&cfg, 0.5, &mut rng);
+        }
+        assert_eq!(m.activity, Activity::Seated);
+        assert_eq!(m.position, desk);
+    }
+
+    #[test]
+    fn positions_stay_in_roam_bounds_and_out_of_exclusion() {
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = SubjectMobility::entering((0.4, 5.6), (6.0, 4.5));
+        for _ in 0..20_000 {
+            m.step(&cfg, 1.0, &mut rng);
+            let (x, y) = m.position;
+            assert!((cfg.roam_x.0 - 1e-9..=cfg.roam_x.1 + 1e-9).contains(&x), "x={x}");
+            assert!((cfg.roam_y.0 - 1e-9..=cfg.roam_y.1 + 1e-9).contains(&y), "y={y}");
+            // Waypoints never target the exclusion zone; transit across it
+            // cannot happen for straight lines from valid points only if
+            // geometry allows — assert endpoints only.
+            if matches!(m.activity, Activity::Seated | Activity::Standing) {
+                assert!(!cfg.is_excluded(x, y), "stationary in exclusion zone at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn subject_eventually_walks_and_returns() {
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = SubjectMobility::entering((0.4, 5.6), (9.5, 4.2));
+        let mut walked = false;
+        let mut seated_after_walk = false;
+        for _ in 0..100_000 {
+            m.step(&cfg, 1.0, &mut rng);
+            match m.activity {
+                Activity::Walking { .. } if seated_after_walk || !walked => walked = true,
+                Activity::Seated if walked => seated_after_walk = true,
+                _ => {}
+            }
+            if walked && seated_after_walk {
+                break;
+            }
+        }
+        assert!(walked, "subject never walked");
+        assert!(seated_after_walk, "subject never sat back down");
+    }
+
+    #[test]
+    fn seated_body_is_sitting_posture_with_jitter() {
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = SubjectMobility::entering((2.0, 1.2), (2.0, 1.2));
+        m.step(&cfg, 0.1, &mut rng); // arrives instantly (already at desk)
+        assert_eq!(m.activity, Activity::Seated);
+        let b1 = m.body(&cfg, &mut rng);
+        let b2 = m.body(&cfg, &mut rng);
+        // Sitting torso height from the channel model.
+        assert_eq!(b1.position.z, 0.9);
+        // Micro-motion: two consecutive bodies differ slightly.
+        assert!(b1.position.distance(b2.position) > 0.0);
+        assert!(b1.position.distance(b2.position) < 0.1);
+    }
+
+    #[test]
+    fn walking_body_is_standing_posture() {
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = SubjectMobility::entering((0.4, 5.6), (9.5, 4.2));
+        let b = m.body(&cfg, &mut rng);
+        assert_eq!(b.position.z, 1.3);
+    }
+
+    #[test]
+    fn exclusion_zone_matches_radio_strip() {
+        let cfg = config();
+        // Between AP (5.0, 0.35) and RX (7.0, 0.35).
+        assert!(cfg.is_excluded(6.0, 0.35));
+        assert!(cfg.is_excluded(5.0, 0.8));
+        assert!(!cfg.is_excluded(6.0, 1.5));
+        assert!(!cfg.is_excluded(2.0, 0.35));
+    }
+
+    #[test]
+    fn dwell_times_drawn_from_configured_ranges() {
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = SubjectMobility::entering((2.0, 1.2), (2.0, 1.2));
+        m.step(&cfg, 0.1, &mut rng);
+        assert!(m.dwell_remaining_s >= cfg.seat_dwell_s.0 - 0.1);
+        assert!(m.dwell_remaining_s <= cfg.seat_dwell_s.1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Glue between schedules and mobility: who is in the room, where, doing
+//! what — expressed as channel-model bodies.
+
+use crate::mobility::{Activity, MobilityConfig, SubjectMobility};
+use crate::schedule::Schedule;
+use occusense_channel::scene::Body;
+use rand::Rng;
+
+/// Room-level activity class, the label set of the paper's §VI future
+/// work ("an ML model that simultaneously performs occupancy detection
+/// and activity recognition").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActivityClass {
+    /// Nobody in the room.
+    #[default]
+    Empty,
+    /// Everyone present is seated (quasi-static micro-motion only).
+    Seated,
+    /// At least one person is standing but nobody walks.
+    Standing,
+    /// At least one person is walking (strong Doppler / shadowing
+    /// dynamics).
+    Walking,
+}
+
+impl ActivityClass {
+    /// Number of classes.
+    pub const COUNT: usize = 4;
+
+    /// All classes in label order.
+    pub const ALL: [ActivityClass; 4] = [
+        ActivityClass::Empty,
+        ActivityClass::Seated,
+        ActivityClass::Standing,
+        ActivityClass::Walking,
+    ];
+
+    /// Integer label (0–3).
+    pub fn label(&self) -> usize {
+        match self {
+            ActivityClass::Empty => 0,
+            ActivityClass::Seated => 1,
+            ActivityClass::Standing => 2,
+            ActivityClass::Walking => 3,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActivityClass::Empty => "empty",
+            ActivityClass::Seated => "seated",
+            ActivityClass::Standing => "standing",
+            ActivityClass::Walking => "walking",
+        }
+    }
+}
+
+/// Door position on the floor (the office has one entrance door, Fig. 2).
+pub const DOOR_XY: (f64, f64) = (0.4, 5.5);
+
+/// Desk assignments for up to six subjects, matching the default
+/// furniture layout of the channel scene.
+pub const DESKS: [(f64, f64); 6] = [
+    (2.0, 1.2),
+    (2.0, 4.2),
+    (6.0, 4.5),
+    (9.5, 1.2),
+    (9.5, 4.2),
+    (11.0, 2.7),
+];
+
+/// Tracks the mobility state of every currently present subject.
+#[derive(Debug, Clone)]
+pub struct OccupantModel {
+    schedule: Schedule,
+    mobility_config: MobilityConfig,
+    states: Vec<Option<SubjectMobility>>,
+}
+
+impl OccupantModel {
+    /// Creates the model for a schedule.
+    pub fn new(schedule: Schedule, mobility_config: MobilityConfig) -> Self {
+        let n = schedule.subjects.len();
+        Self {
+            schedule,
+            mobility_config,
+            states: vec![None; n],
+        }
+    }
+
+    /// Advances all subjects to time `t` (entering / leaving / moving).
+    pub fn step(&mut self, t: f64, dt_s: f64, rng: &mut impl Rng) {
+        let presence = self.schedule.presence(t);
+        for (i, (state, &present)) in self.states.iter_mut().zip(&presence).enumerate() {
+            match (state.as_mut(), present) {
+                (None, true) => {
+                    let desk = DESKS[i % DESKS.len()];
+                    *state = Some(SubjectMobility::entering(DOOR_XY, desk));
+                }
+                (Some(m), true) => m.step(&self.mobility_config, dt_s, rng),
+                (Some(_), false) => *state = None,
+                (None, false) => {}
+            }
+        }
+    }
+
+    /// Number of subjects currently in the room.
+    pub fn count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Channel bodies for everyone present (with micro-motion jitter).
+    pub fn bodies(&self, rng: &mut impl Rng) -> Vec<Body> {
+        self.states
+            .iter()
+            .flatten()
+            .map(|m| m.body(&self.mobility_config, rng))
+            .collect()
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The room-level activity class right now: the most dynamic activity
+    /// of anyone present dominates (walking > standing > seated).
+    pub fn dominant_activity(&self) -> ActivityClass {
+        let mut class = ActivityClass::Empty;
+        for m in self.states.iter().flatten() {
+            let c = match m.activity {
+                Activity::Walking { .. } => ActivityClass::Walking,
+                Activity::Standing => ActivityClass::Standing,
+                Activity::Seated => ActivityClass::Seated,
+            };
+            if c.label() > class.label() {
+                class = c;
+            }
+        }
+        class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{PresenceInterval, SubjectSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_subject_schedule() -> Schedule {
+        Schedule {
+            subjects: vec![
+                SubjectSchedule {
+                    intervals: vec![PresenceInterval {
+                        enter_s: 10.0,
+                        leave_s: 100.0,
+                    }],
+                },
+                SubjectSchedule {
+                    intervals: vec![PresenceInterval {
+                        enter_s: 50.0,
+                        leave_s: 200.0,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn subjects_enter_and_leave_on_schedule() {
+        let mut model = OccupantModel::new(two_subject_schedule(), MobilityConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        model.step(0.0, 1.0, &mut rng);
+        assert_eq!(model.count(), 0);
+        model.step(20.0, 1.0, &mut rng);
+        assert_eq!(model.count(), 1);
+        model.step(60.0, 1.0, &mut rng);
+        assert_eq!(model.count(), 2);
+        model.step(150.0, 1.0, &mut rng);
+        assert_eq!(model.count(), 1);
+        model.step(300.0, 1.0, &mut rng);
+        assert_eq!(model.count(), 0);
+    }
+
+    #[test]
+    fn bodies_match_count_and_enter_at_door() {
+        let mut model = OccupantModel::new(two_subject_schedule(), MobilityConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        model.step(10.0, 0.01, &mut rng);
+        let bodies = model.bodies(&mut rng);
+        assert_eq!(bodies.len(), 1);
+        // Just entered: still near the door.
+        let b = bodies[0];
+        assert!((b.position.x - DOOR_XY.0).abs() < 0.5);
+        assert!((b.position.y - DOOR_XY.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn desks_are_distinct_and_inside_the_room() {
+        for (i, &(x, y)) in DESKS.iter().enumerate() {
+            assert!((0.0..12.0).contains(&x) && (0.0..6.0).contains(&y));
+            for &(x2, y2) in &DESKS[i + 1..] {
+                assert!((x - x2).abs() + (y - y2).abs() > 0.5, "desks too close");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut model = OccupantModel::new(two_subject_schedule(), MobilityConfig::default());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            for i in 0..100 {
+                model.step(i as f64, 1.0, &mut rng);
+                out.push(model.bodies(&mut rng));
+            }
+            out
+        };
+        assert_eq!(run(3).len(), run(3).len());
+        let a = run(3);
+        let b = run(3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+}

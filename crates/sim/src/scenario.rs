@@ -1,0 +1,180 @@
+//! Scenario configuration and presets.
+
+use crate::clock::WallClock;
+use crate::environment::EnvironmentConfig;
+use crate::mobility::MobilityConfig;
+use crate::schedule::{PresenceInterval, Schedule, SubjectSchedule};
+use crate::sensor::SensorConfig;
+use occusense_channel::receiver::Receiver;
+use occusense_dataset::folds::turetta_folds;
+
+/// Full configuration of a simulated collection campaign.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// CSI sampling rate, Hz. The paper's hardware ran at 20 Hz; the
+    /// repro harness defaults to 2 Hz, which preserves every fold
+    /// proportion while keeping experiments laptop-sized (DESIGN.md).
+    pub sample_rate_hz: f64,
+    /// Scenario length, seconds.
+    pub duration_s: f64,
+    /// Number of subjects using the office.
+    pub n_subjects: usize,
+    /// Wall clock mapping scenario time to time of day.
+    pub clock: WallClock,
+    /// Environment (thermal/humidity) parameters.
+    pub env: EnvironmentConfig,
+    /// Environment sensor parameters.
+    pub sensor: SensorConfig,
+    /// Occupant mobility parameters.
+    pub mobility: MobilityConfig,
+    /// Receiver impairment model.
+    pub receiver: Receiver,
+    /// If set, the furniture layout switches from the default to the
+    /// "moved" layout at this scenario time (the paper's occupants moved
+    /// chairs and furniture freely).
+    pub layout_change_s: Option<f64>,
+    /// Window airing events as `(open_s, close_s)` intervals.
+    pub window_events: Vec<(f64, f64)>,
+    /// Explicit schedule override; when `None` the `turetta2022`
+    /// generator is used.
+    pub schedule_override: Option<Schedule>,
+}
+
+impl ScenarioConfig {
+    /// The paper's campaign: Jan 04 15:08:40 → Jan 07 19:16, six
+    /// subjects, the Table III occupancy anchors, a furniture
+    /// rearrangement on the final morning (right when fold 4's occupants
+    /// arrive) and a handful of window airings.
+    pub fn turetta2022(seed: u64) -> Self {
+        let clock = WallClock::turetta2022();
+        let duration_s = turetta_folds().last().expect("folds defined").end_s;
+        Self {
+            seed,
+            sample_rate_hz: 2.0,
+            duration_s,
+            n_subjects: 6,
+            clock,
+            env: EnvironmentConfig::office_winter(),
+            sensor: SensorConfig::thingy52(),
+            mobility: MobilityConfig::office_default(),
+            receiver: Receiver::new(),
+            // The anchor subject arrives 09:28 on Jan 07 and rearranges
+            // furniture shortly after (fold 4 becomes the hard fold).
+            layout_change_s: Some(clock.at(3, 9.0 + 40.0 / 60.0)),
+            window_events: vec![
+                (clock.at(1, 10.4), clock.at(1, 10.65)),
+                (clock.at(2, 14.0), clock.at(2, 14.2)),
+                (clock.at(3, 15.5), clock.at(3, 15.67)),
+            ],
+            schedule_override: None,
+        }
+    }
+
+    /// A miniature scenario for tests and examples: `duration_s` seconds
+    /// starting at 09:00, two subjects — the room is empty for the first
+    /// half, subject 0 present in the second half, subject 1 in the last
+    /// quarter.
+    pub fn quick(duration_s: f64, seed: u64) -> Self {
+        let schedule = Schedule {
+            subjects: vec![
+                SubjectSchedule {
+                    intervals: vec![PresenceInterval {
+                        enter_s: duration_s * 0.5,
+                        leave_s: duration_s,
+                    }],
+                },
+                SubjectSchedule {
+                    intervals: vec![PresenceInterval {
+                        enter_s: duration_s * 0.75,
+                        leave_s: duration_s,
+                    }],
+                },
+            ],
+        };
+        Self {
+            seed,
+            sample_rate_hz: 2.0,
+            duration_s,
+            n_subjects: 2,
+            clock: WallClock {
+                start_offset_s: 9.0 * 3600.0,
+            },
+            env: EnvironmentConfig::office_winter(),
+            sensor: SensorConfig::thingy52(),
+            mobility: MobilityConfig::office_default(),
+            receiver: Receiver::new(),
+            layout_change_s: None,
+            window_events: Vec::new(),
+            schedule_override: Some(schedule),
+        }
+    }
+
+    /// The schedule this scenario will run (the override, or the
+    /// generated `turetta2022` schedule).
+    pub fn schedule(&self) -> Schedule {
+        self.schedule_override
+            .clone()
+            .unwrap_or_else(|| Schedule::turetta2022(self.n_subjects, self.seed))
+    }
+
+    /// Number of samples the scenario will produce.
+    pub fn n_samples(&self) -> usize {
+        (self.duration_s * self.sample_rate_hz) as usize
+    }
+
+    /// Whether a window is open at scenario time `t`.
+    pub fn window_open(&self, t: f64) -> bool {
+        self.window_events
+            .iter()
+            .any(|&(open, close)| (open..close).contains(&t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turetta_duration_matches_folds() {
+        let cfg = ScenarioConfig::turetta2022(1);
+        assert!((cfg.duration_s - 274_040.0).abs() < 1.0);
+        assert_eq!(cfg.n_subjects, 6);
+        assert_eq!(cfg.n_samples(), (cfg.duration_s * 2.0) as usize);
+    }
+
+    #[test]
+    fn layout_change_falls_inside_fold4() {
+        let cfg = ScenarioConfig::turetta2022(1);
+        let folds = turetta_folds();
+        let t = cfg.layout_change_s.expect("layout change scheduled");
+        assert!(t > folds[4].start_s && t < folds[4].end_s);
+    }
+
+    #[test]
+    fn window_events_resolve() {
+        let cfg = ScenarioConfig::turetta2022(1);
+        let (open, close) = cfg.window_events[0];
+        assert!(cfg.window_open(open + 1.0));
+        assert!(!cfg.window_open(close + 1.0));
+        assert!(!cfg.window_open(0.0));
+    }
+
+    #[test]
+    fn quick_scenario_has_both_classes() {
+        let cfg = ScenarioConfig::quick(1000.0, 3);
+        let schedule = cfg.schedule();
+        assert_eq!(schedule.count(100.0), 0);
+        assert_eq!(schedule.count(600.0), 1);
+        assert_eq!(schedule.count(900.0), 2);
+    }
+
+    #[test]
+    fn schedule_override_takes_precedence() {
+        let cfg = ScenarioConfig::quick(100.0, 1);
+        assert!(cfg.schedule_override.is_some());
+        let s = cfg.schedule();
+        assert_eq!(s.subjects.len(), 2);
+    }
+}

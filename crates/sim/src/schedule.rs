@@ -1,0 +1,278 @@
+//! Per-subject presence schedules over the collection window.
+//!
+//! Six subjects (§V-A) use the office freely. The `turetta2022` schedule
+//! reproduces the occupancy *structure* of Table III with scripted
+//! anchors — the three empty night folds, the hard fold 4 (empty until
+//! 09:28, then occupied) and the never-empty fold 5 — while every other
+//! arrival, break and departure is drawn from seeded distributions.
+
+use crate::clock::WallClock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A half-open interval `[enter_s, leave_s)` during which a subject is in
+/// the room, in scenario seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PresenceInterval {
+    /// Entry time, scenario seconds.
+    pub enter_s: f64,
+    /// Exit time, scenario seconds.
+    pub leave_s: f64,
+}
+
+impl PresenceInterval {
+    /// Whether the subject is present at `t`.
+    pub fn contains(&self, t: f64) -> bool {
+        (self.enter_s..self.leave_s).contains(&t)
+    }
+}
+
+/// All presence intervals of one subject, sorted and non-overlapping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SubjectSchedule {
+    /// Sorted, non-overlapping presence intervals.
+    pub intervals: Vec<PresenceInterval>,
+}
+
+impl SubjectSchedule {
+    /// Whether the subject is present at scenario time `t`.
+    pub fn present(&self, t: f64) -> bool {
+        self.intervals.iter().any(|i| i.contains(t))
+    }
+}
+
+/// The complete schedule of all subjects.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    /// One schedule per subject.
+    pub subjects: Vec<SubjectSchedule>,
+}
+
+impl Schedule {
+    /// Presence flags at time `t`, one per subject.
+    pub fn presence(&self, t: f64) -> Vec<bool> {
+        self.subjects.iter().map(|s| s.present(t)).collect()
+    }
+
+    /// Number of subjects present at time `t`.
+    pub fn count(&self, t: f64) -> usize {
+        self.subjects.iter().filter(|s| s.present(t)).count()
+    }
+
+    /// Generates the `turetta2022` schedule: `n_subjects` subjects over
+    /// the four collection days, with the Table III anchors scripted:
+    ///
+    /// * Jan 04: several subjects already in at the 15:08 start, all gone
+    ///   by ~19:00.
+    /// * Jan 05–06: ordinary office shifts; everyone out before the
+    ///   fold-1 boundary (Jan 06, 19:16), so folds 1–3 are empty.
+    /// * Jan 07: first arrival scripted at **09:28** (fold 4's empty head
+    ///   is 17.5 % of the fold, as in Table III), an anchor subject stays
+    ///   through 19:20 so fold 5 (13:09–19:16) is never empty.
+    pub fn turetta2022(n_subjects: usize, seed: u64) -> Schedule {
+        let clock = WallClock::turetta2022();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5c4e_d01e_u64);
+        let mut subjects = Vec::with_capacity(n_subjects);
+
+        for subject in 0..n_subjects {
+            let mut intervals: Vec<PresenceInterval> = Vec::new();
+
+            // Day 0 (Jan 04): collection starts mid-afternoon; a few
+            // subjects are already in and leave towards the evening,
+            // staggered so head counts thin out quickly.
+            if subject < 2 || rng.gen_bool(0.4) {
+                let leave = clock.at(0, 15.7 + rng.gen_range(0.0..3.1)); // 15:42–18:48
+                intervals.push(PresenceInterval {
+                    enter_s: 0.0,
+                    leave_s: leave,
+                });
+            }
+
+            // Days 1–2 (Jan 05–06): staggered part-day shifts. Shift
+            // lengths are kept short-ish so that simultaneous head counts
+            // skew low, as in Table II.
+            for day in 1..=2usize {
+                if !rng.gen_bool(0.7) {
+                    continue;
+                }
+                let arrive_h = 7.2 + rng.gen_range(0.0..8.0);
+                let duration_h = 1.0 + rng.gen_range(0.0..3.5);
+                // Everyone must be out before 19:16 on Jan 06 (fold 1).
+                let leave_h = f64::min(arrive_h + duration_h, 19.0);
+                let mut enter_s = clock.at(day, arrive_h);
+                let leave_s = clock.at(day, leave_h);
+                // Optional lunch excursion splitting the shift.
+                if rng.gen_bool(0.5) && arrive_h < 12.0 && leave_h > 13.5 {
+                    let out = clock.at(day, 12.1 + rng.gen_range(0.0..0.5));
+                    let back = clock.at(day, 12.9 + rng.gen_range(0.0..0.6));
+                    intervals.push(PresenceInterval {
+                        enter_s,
+                        leave_s: out,
+                    });
+                    enter_s = back;
+                }
+                intervals.push(PresenceInterval { enter_s, leave_s });
+            }
+
+            // Day 3 (Jan 07): scripted anchors for folds 4 and 5, set up
+            // as a relay so fold 5 is continuously covered without long
+            // multi-occupancy stretches (Table II skews to singles).
+            if subject == 0 {
+                // Morning anchor: arrives 09:28 sharp (fold 4's empty
+                // head ends), hands over mid-afternoon.
+                intervals.push(PresenceInterval {
+                    enter_s: clock.at(3, 9.0 + 28.0 / 60.0),
+                    leave_s: clock.at(3, 15.5 + rng.gen_range(0.0..0.3)),
+                });
+            } else if subject == 1 {
+                // Afternoon anchor: overlaps the handover, stays past the
+                // fold-5 boundary (19:16).
+                intervals.push(PresenceInterval {
+                    enter_s: clock.at(3, 15.2 + rng.gen_range(0.0..0.2)),
+                    leave_s: clock.at(3, 19.0 + 20.0 / 60.0),
+                });
+            } else if rng.gen_bool(0.6) {
+                // Others drop in for shorter stints.
+                let arrive_h = 10.0 + rng.gen_range(0.0..6.0);
+                let duration_h = 0.7 + rng.gen_range(0.0..2.8);
+                let leave_h = f64::min(arrive_h + duration_h, 18.8);
+                intervals.push(PresenceInterval {
+                    enter_s: clock.at(3, arrive_h),
+                    leave_s: clock.at(3, leave_h),
+                });
+            }
+
+            intervals.retain(|i| i.leave_s > i.enter_s);
+            intervals.sort_by(|a, b| a.enter_s.partial_cmp(&b.enter_s).expect("finite times"));
+            subjects.push(SubjectSchedule { intervals });
+        }
+
+        Schedule { subjects }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occusense_dataset::folds::turetta_folds;
+
+    fn schedule() -> Schedule {
+        Schedule::turetta2022(6, 7)
+    }
+
+    #[test]
+    fn night_folds_are_empty() {
+        let s = schedule();
+        let folds = turetta_folds();
+        for f in &folds[1..4] {
+            let mut t = f.start_s;
+            while t < f.end_s {
+                assert_eq!(s.count(t), 0, "fold {} occupied at t={t}", f.index);
+                t += 300.0;
+            }
+        }
+    }
+
+    #[test]
+    fn fold4_empty_head_then_occupied() {
+        let s = schedule();
+        let folds = turetta_folds();
+        let f4 = &folds[4];
+        // Head: empty.
+        assert_eq!(s.count(f4.start_s + 60.0), 0);
+        // After 09:28 (2820 s into the fold + margin): occupied.
+        let clock = WallClock::turetta2022();
+        let arrival = clock.at(3, 9.0 + 28.0 / 60.0);
+        assert!(arrival > f4.start_s && arrival < f4.end_s);
+        assert!(s.count(arrival + 60.0) >= 1);
+        // Empty fraction of fold 4 is ~17.5 % as in Table III.
+        let mut empty = 0usize;
+        let mut total = 0usize;
+        let mut t = f4.start_s;
+        while t < f4.end_s {
+            if s.count(t) == 0 {
+                empty += 1;
+            }
+            total += 1;
+            t += 60.0;
+        }
+        let frac = empty as f64 / total as f64;
+        assert!((0.14..0.21).contains(&frac), "fold-4 empty fraction {frac}");
+    }
+
+    #[test]
+    fn fold5_is_never_empty() {
+        let s = schedule();
+        let folds = turetta_folds();
+        let f5 = &folds[5];
+        let mut t = f5.start_s;
+        while t < f5.end_s {
+            assert!(s.count(t) >= 1, "fold 5 empty at t={t}");
+            t += 120.0;
+        }
+    }
+
+    #[test]
+    fn collection_start_is_occupied() {
+        // The paper's window starts with subjects already in the office.
+        let s = schedule();
+        assert!(s.count(60.0) >= 1);
+    }
+
+    #[test]
+    fn head_count_never_exceeds_subject_count() {
+        let s = schedule();
+        let end = turetta_folds().last().unwrap().end_s;
+        let mut t = 0.0;
+        while t < end {
+            assert!(s.count(t) <= 6);
+            t += 600.0;
+        }
+    }
+
+    #[test]
+    fn occupancy_skews_to_low_head_counts() {
+        // Table II: single occupancy is the most common occupied state.
+        let s = schedule();
+        let end = turetta_folds().last().unwrap().end_s;
+        let mut histogram = [0usize; 7];
+        let mut t = 0.0;
+        while t < end {
+            histogram[s.count(t)] += 1;
+            t += 60.0;
+        }
+        let empty = histogram[0];
+        let occupied: usize = histogram[1..].iter().sum();
+        let empty_frac = empty as f64 / (empty + occupied) as f64;
+        assert!((0.5..0.75).contains(&empty_frac), "empty fraction {empty_frac}");
+        assert!(histogram[1] >= histogram[3], "1-occ {} < 3-occ {}", histogram[1], histogram[3]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(Schedule::turetta2022(6, 1), Schedule::turetta2022(6, 1));
+        assert_ne!(Schedule::turetta2022(6, 1), Schedule::turetta2022(6, 2));
+    }
+
+    #[test]
+    fn intervals_are_sorted_and_positive() {
+        let s = schedule();
+        for subj in &s.subjects {
+            for w in subj.intervals.windows(2) {
+                assert!(w[0].enter_s <= w[1].enter_s);
+            }
+            for i in &subj.intervals {
+                assert!(i.leave_s > i.enter_s);
+            }
+        }
+    }
+
+    #[test]
+    fn presence_flags_match_count() {
+        let s = schedule();
+        for t in [0.0, 1000.0, 100_000.0, 250_000.0] {
+            let flags = s.presence(t);
+            assert_eq!(flags.iter().filter(|&&b| b).count(), s.count(t));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The environment sensor model (Nordic Thingy 52 stand-in).
+//!
+//! The real sensor reports temperature with two decimals and humidity as
+//! an integer percentage (Table I), reacts with a thermal lag, and adds a
+//! little measurement noise. The sensor also samples slower than the
+//! 20 Hz CSI stream; values are held between samples.
+
+use rand::Rng;
+
+/// Configuration of the environment sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorConfig {
+    /// First-order lag time constant, seconds.
+    pub lag_s: f64,
+    /// Temperature noise, °C (std of white Gaussian noise).
+    pub temperature_noise_c: f64,
+    /// Humidity noise, % RH.
+    pub humidity_noise_pct: f64,
+    /// Temperature quantisation step, °C (Table I shows 0.01).
+    pub temperature_step_c: f64,
+    /// Humidity quantisation step, % (Table I shows integers).
+    pub humidity_step_pct: f64,
+    /// Sampling interval, seconds (values are held in between).
+    pub sample_interval_s: f64,
+}
+
+impl SensorConfig {
+    /// A Thingy-52-like sensor placed in still air: 5-minute effective
+    /// lag (sensor + enclosure + local air pocket), 0.08 °C / 1 % noise,
+    /// 0.01 °C and 1 % quantisation, 1 Hz sampling.
+    pub fn thingy52() -> Self {
+        Self {
+            lag_s: 300.0,
+            temperature_noise_c: 0.08,
+            humidity_noise_pct: 1.0,
+            temperature_step_c: 0.01,
+            humidity_step_pct: 1.0,
+            sample_interval_s: 1.0,
+        }
+    }
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        Self::thingy52()
+    }
+}
+
+/// Stateful environment sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvSensor {
+    config: SensorConfig,
+    lagged_temperature_c: f64,
+    lagged_humidity_pct: f64,
+    reported_temperature_c: f64,
+    reported_humidity_pct: f64,
+    next_sample_s: f64,
+}
+
+impl EnvSensor {
+    /// Creates a sensor pre-settled at the given initial environment.
+    pub fn new(config: SensorConfig, temperature_c: f64, humidity_pct: f64) -> Self {
+        Self {
+            config,
+            lagged_temperature_c: temperature_c,
+            lagged_humidity_pct: humidity_pct,
+            reported_temperature_c: quantize(temperature_c, config.temperature_step_c),
+            reported_humidity_pct: quantize(humidity_pct, config.humidity_step_pct),
+            next_sample_s: 0.0,
+        }
+    }
+
+    /// Advances the sensor to scenario time `t_s` given the true
+    /// environment, and returns `(temperature, humidity)` as reported.
+    pub fn read(
+        &mut self,
+        t_s: f64,
+        dt_s: f64,
+        true_temperature_c: f64,
+        true_humidity_pct: f64,
+        rng: &mut impl Rng,
+    ) -> (f64, f64) {
+        // First-order lag towards the true values.
+        let alpha = (dt_s / self.config.lag_s).min(1.0);
+        self.lagged_temperature_c += (true_temperature_c - self.lagged_temperature_c) * alpha;
+        self.lagged_humidity_pct += (true_humidity_pct - self.lagged_humidity_pct) * alpha;
+
+        // Sample-and-hold with noise + quantisation at the sensor rate.
+        if t_s >= self.next_sample_s {
+            let t_noisy = self.lagged_temperature_c
+                + self.config.temperature_noise_c * gaussian(rng);
+            let h_noisy =
+                self.lagged_humidity_pct + self.config.humidity_noise_pct * gaussian(rng);
+            self.reported_temperature_c = quantize(t_noisy, self.config.temperature_step_c);
+            self.reported_humidity_pct =
+                quantize(h_noisy.clamp(0.0, 100.0), self.config.humidity_step_pct);
+            self.next_sample_s = t_s + self.config.sample_interval_s;
+        }
+        (self.reported_temperature_c, self.reported_humidity_pct)
+    }
+}
+
+fn quantize(x: f64, step: f64) -> f64 {
+    if step > 0.0 {
+        (x / step).round() * step
+    } else {
+        x
+    }
+}
+
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn humidity_is_integer_valued() {
+        let mut s = EnvSensor::new(SensorConfig::thingy52(), 21.0, 40.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..100 {
+            let (_, h) = s.read(i as f64, 1.0, 21.0, 40.3, &mut rng);
+            assert_eq!(h, h.round(), "humidity {h} not integer");
+        }
+    }
+
+    #[test]
+    fn temperature_has_centidegree_grid() {
+        let mut s = EnvSensor::new(SensorConfig::thingy52(), 21.0, 40.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (t, _) = s.read(0.0, 1.0, 21.1234, 40.0, &mut rng);
+        let scaled = t * 100.0;
+        assert!((scaled - scaled.round()).abs() < 1e-9, "temperature {t}");
+    }
+
+    #[test]
+    fn lag_smooths_step_change() {
+        let cfg = SensorConfig {
+            temperature_noise_c: 0.0,
+            humidity_noise_pct: 0.0,
+            ..SensorConfig::thingy52()
+        };
+        let mut s = EnvSensor::new(cfg, 20.0, 40.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        // True temperature jumps to 25; after one time constant (300 s)
+        // the sensor reads ~63 % of the step.
+        let mut t_read = 0.0;
+        for i in 0..300 {
+            let (t, _) = s.read(i as f64, 1.0, 25.0, 40.0, &mut rng);
+            t_read = t;
+        }
+        assert!(t_read > 22.5 && t_read < 24.5, "lagged read {t_read}");
+    }
+
+    #[test]
+    fn sample_and_hold_between_samples() {
+        let cfg = SensorConfig {
+            sample_interval_s: 10.0,
+            ..SensorConfig::thingy52()
+        };
+        let mut s = EnvSensor::new(cfg, 21.0, 40.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (t0, h0) = s.read(0.0, 0.05, 22.0, 45.0, &mut rng);
+        // Sub-interval reads return the held values.
+        let (t1, h1) = s.read(0.05, 0.05, 22.0, 45.0, &mut rng);
+        let (t2, h2) = s.read(5.0, 0.05, 22.0, 45.0, &mut rng);
+        assert_eq!((t0, h0), (t1, h1));
+        assert_eq!((t0, h0), (t2, h2));
+    }
+
+    #[test]
+    fn humidity_clamped_to_valid_range() {
+        let cfg = SensorConfig {
+            humidity_noise_pct: 50.0,
+            ..SensorConfig::thingy52()
+        };
+        let mut s = EnvSensor::new(cfg, 21.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..200 {
+            let (_, h) = s.read(i as f64, 1.0, 21.0, 1.0, &mut rng);
+            assert!((0.0..=100.0).contains(&h), "humidity {h}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut s = EnvSensor::new(SensorConfig::thingy52(), 21.0, 40.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50)
+                .map(|i| s.read(i as f64, 1.0, 21.0 + i as f64 * 0.01, 40.0, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

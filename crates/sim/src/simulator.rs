@@ -1,0 +1,305 @@
+//! The main simulation loop: occupants + environment + channel → dataset.
+
+use crate::environment::EnvironmentState;
+use crate::occupants::{ActivityClass, OccupantModel};
+use crate::scenario::ScenarioConfig;
+use crate::sensor::EnvSensor;
+use occusense_channel::scene::{moved_furniture_layout, Scene};
+use occusense_dataset::record::{CsiRecord, N_SUBCARRIERS};
+use occusense_dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stateful simulator; call [`step`](Self::step) per sample or
+/// [`run`](Self::run) for the whole scenario.
+#[derive(Debug, Clone)]
+pub struct OfficeSimulator {
+    config: ScenarioConfig,
+    scene: Scene,
+    occupants: OccupantModel,
+    env: EnvironmentState,
+    sensor: EnvSensor,
+    rng: StdRng,
+    t: f64,
+    layout_changed: bool,
+}
+
+impl OfficeSimulator {
+    /// Builds the simulator for a scenario.
+    pub fn new(config: ScenarioConfig) -> Self {
+        let schedule = config.schedule();
+        let occupants = OccupantModel::new(schedule, config.mobility);
+        let env = EnvironmentState::initial();
+        let sensor = EnvSensor::new(
+            config.sensor,
+            env.sensed_temperature_c(&config.env),
+            env.relative_humidity_pct(),
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            scene: Scene::office_default(),
+            occupants,
+            env,
+            sensor,
+            rng,
+            t: 0.0,
+            layout_changed: false,
+            config,
+        }
+    }
+
+    /// Current scenario time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.t
+    }
+
+    /// Immutable view of the channel scene (for inspection in tests).
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Advances one sampling interval and returns the produced record.
+    pub fn step(&mut self) -> CsiRecord {
+        let dt = 1.0 / self.config.sample_rate_hz;
+        let hour = self.config.clock.hour_of_day(self.t);
+
+        // 1. People move / enter / leave.
+        self.occupants.step(self.t, dt, &mut self.rng);
+        let count = self.occupants.count();
+
+        // 2. Environment dynamics.
+        self.env.window_open = self.config.window_open(self.t);
+        self.env.step(&self.config.env, dt, self.t, hour, count);
+
+        // 3. Furniture rearrangement epoch.
+        if !self.layout_changed {
+            if let Some(change_s) = self.config.layout_change_s {
+                if self.t >= change_s {
+                    self.scene.scatterers = moved_furniture_layout();
+                    self.layout_changed = true;
+                }
+            }
+        }
+
+        // 4. Sensor readout (lagged, quantised, radiator-biased).
+        let (sensed_t, sensed_h) = self.sensor.read(
+            self.t,
+            dt,
+            self.env.sensed_temperature_c(&self.config.env),
+            self.env.relative_humidity_pct(),
+            &mut self.rng,
+        );
+
+        // 5. Channel snapshot: bulk air drives propagation; the radiator
+        //    wall runs hotter than the bulk by twice the sensor's
+        //    proximity bias (the wall is closer to the radiator than the
+        //    sensor is).
+        self.scene.bodies = self.occupants.bodies(&mut self.rng);
+        self.scene.temperature_c = self.env.temperature_c;
+        self.scene.humidity_pct = self.env.relative_humidity_pct();
+        self.scene.radiator_wall_boost_c =
+            2.0 * self.config.env.radiator_coupling_c * self.env.heater_duty;
+        let response = self.scene.frequency_response();
+        let amps = self.config.receiver.measure(&response, &mut self.rng);
+
+        let mut csi = [0.0; N_SUBCARRIERS];
+        csi.copy_from_slice(&amps);
+
+        let record = CsiRecord::new(self.t, csi, sensed_t, sensed_h, count as u8);
+        self.t += dt;
+        record
+    }
+
+    /// Advances one sampling interval and additionally reports the
+    /// room-level [`ActivityClass`] at that instant — the label stream
+    /// of the activity-recognition extension (the paper's §VI future
+    /// work).
+    pub fn step_annotated(&mut self) -> (CsiRecord, ActivityClass) {
+        let record = self.step();
+        (record, self.occupants.dominant_activity())
+    }
+
+    /// Runs the whole scenario and returns the dataset.
+    pub fn run(mut self) -> Dataset {
+        let n = self.config.n_samples();
+        let mut ds = Dataset::new();
+        for _ in 0..n {
+            ds.push(self.step());
+        }
+        ds
+    }
+
+    /// Runs the whole scenario with per-sample activity labels.
+    pub fn run_annotated(mut self) -> (Dataset, Vec<ActivityClass>) {
+        let n = self.config.n_samples();
+        let mut ds = Dataset::new();
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (record, activity) = self.step_annotated();
+            ds.push(record);
+            labels.push(activity);
+        }
+        (ds, labels)
+    }
+}
+
+/// Simulates a scenario end-to-end.
+///
+/// # Example
+///
+/// ```
+/// use occusense_sim::{simulate, ScenarioConfig};
+///
+/// let ds = simulate(&ScenarioConfig::quick(300.0, 1));
+/// assert_eq!(ds.len(), 600); // 2 Hz × 300 s
+/// // First half empty, second half occupied.
+/// assert_eq!(ds.records()[0].occupancy(), 0);
+/// assert_eq!(ds.records()[599].occupancy(), 1);
+/// ```
+pub fn simulate(config: &ScenarioConfig) -> Dataset {
+    OfficeSimulator::new(config.clone()).run()
+}
+
+/// Simulates a scenario with per-sample room-activity labels.
+///
+/// The CSI records are identical to [`simulate`] with the same
+/// configuration; the second return value labels each record with the
+/// dominant activity (walking > standing > seated > empty).
+pub fn simulate_annotated(config: &ScenarioConfig) -> (Dataset, Vec<ActivityClass>) {
+    OfficeSimulator::new(config.clone()).run_annotated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_produces_expected_labels() {
+        let ds = simulate(&ScenarioConfig::quick(600.0, 1));
+        assert_eq!(ds.len(), 1200);
+        // First half empty.
+        let first = &ds.records()[..590];
+        assert!(first.iter().all(|r| r.occupancy() == 0));
+        // Second half occupied (allow a couple of samples of entry lag).
+        let occupied = ds.records()[610..]
+            .iter()
+            .filter(|r| r.occupancy() == 1)
+            .count();
+        assert!(occupied > 550, "only {occupied} occupied samples");
+        // Last quarter has two occupants.
+        let two = ds.records()[920..]
+            .iter()
+            .filter(|r| r.occupant_count == 2)
+            .count();
+        assert!(two > 250, "only {two} two-occupant samples");
+    }
+
+    #[test]
+    fn csi_amplitudes_are_valid() {
+        let ds = simulate(&ScenarioConfig::quick(120.0, 2));
+        for r in &ds {
+            for &a in &r.csi {
+                assert!(a.is_finite() && (0.0..=1.0).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_csi_differs_from_empty_csi() {
+        let ds = simulate(&ScenarioConfig::quick(600.0, 3));
+        let empty_mean: Vec<f64> = mean_profile(&ds, 0);
+        let occ_mean: Vec<f64> = mean_profile(&ds, 1);
+        let delta: f64 = empty_mean
+            .iter()
+            .zip(&occ_mean)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(delta > 0.005, "occupancy leaves no CSI trace: {delta}");
+    }
+
+    fn mean_profile(ds: &Dataset, label: u8) -> Vec<f64> {
+        let mut sums = vec![0.0; 64];
+        let mut n = 0usize;
+        for r in ds {
+            if r.occupancy() == label {
+                for (s, &a) in sums.iter_mut().zip(&r.csi) {
+                    *s += a;
+                }
+                n += 1;
+            }
+        }
+        assert!(n > 0, "no samples with label {label}");
+        sums.iter().map(|s| s / n as f64).collect()
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let a = simulate(&ScenarioConfig::quick(60.0, 42));
+        let b = simulate(&ScenarioConfig::quick(60.0, 42));
+        assert_eq!(a, b);
+        let c = simulate(&ScenarioConfig::quick(60.0, 43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn layout_change_fires_once() {
+        let mut cfg = ScenarioConfig::quick(100.0, 4);
+        cfg.layout_change_s = Some(50.0);
+        let mut sim = OfficeSimulator::new(cfg);
+        let before = sim.scene().scatterers.clone();
+        for _ in 0..150 {
+            sim.step();
+        }
+        let after = sim.scene().scatterers.clone();
+        assert_ne!(before, after);
+        assert_eq!(after, moved_furniture_layout());
+    }
+
+    #[test]
+    fn sensor_values_are_plausible() {
+        let ds = simulate(&ScenarioConfig::quick(300.0, 5));
+        for r in &ds {
+            assert!((10.0..45.0).contains(&r.temperature_c), "T {}", r.temperature_c);
+            assert!((0.0..=100.0).contains(&r.humidity_pct), "H {}", r.humidity_pct);
+            assert_eq!(r.humidity_pct, r.humidity_pct.round());
+        }
+    }
+
+    #[test]
+    fn annotated_run_matches_plain_run() {
+        let cfg = ScenarioConfig::quick(120.0, 8);
+        let plain = simulate(&cfg);
+        let (annotated, labels) = simulate_annotated(&cfg);
+        assert_eq!(plain, annotated);
+        assert_eq!(labels.len(), plain.len());
+        // Labels agree with the occupancy ground truth.
+        for (r, l) in annotated.iter().zip(&labels) {
+            if r.occupancy() == 0 {
+                assert_eq!(*l, ActivityClass::Empty);
+            } else {
+                assert_ne!(*l, ActivityClass::Empty);
+            }
+        }
+    }
+
+    #[test]
+    fn annotated_run_covers_multiple_activities() {
+        let (_, labels) = simulate_annotated(&ScenarioConfig::quick(2400.0, 9));
+        let mut seen = [false; 4];
+        for l in labels {
+            seen[l.label()] = true;
+        }
+        assert!(seen[ActivityClass::Empty.label()]);
+        assert!(seen[ActivityClass::Seated.label()]);
+        assert!(seen[ActivityClass::Walking.label()], "nobody ever walked");
+    }
+
+    #[test]
+    fn timestamps_advance_uniformly() {
+        let ds = simulate(&ScenarioConfig::quick(30.0, 6));
+        let records = ds.records();
+        for w in records.windows(2) {
+            assert!((w[1].timestamp_s - w[0].timestamp_s - 0.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the simulator.
+
+use occusense_sim::environment::{EnvironmentConfig, EnvironmentState};
+use occusense_sim::mobility::{MobilityConfig, SubjectMobility};
+use occusense_sim::schedule::Schedule;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn environment_stays_physical(
+        seed_hours in 0.0f64..24.0,
+        occupants in 0usize..7,
+        steps in 10usize..400,
+    ) {
+        let cfg = EnvironmentConfig::office_winter();
+        let mut s = EnvironmentState::initial();
+        for i in 0..steps {
+            let t = i as f64 * 30.0;
+            let h = (seed_hours + t / 3600.0) % 24.0;
+            s.step(&cfg, 30.0, t, h, occupants);
+            prop_assert!((5.0..45.0).contains(&s.temperature_c), "T {}", s.temperature_c);
+            prop_assert!(s.absolute_humidity_g_m3 > 0.0);
+            let rh = s.relative_humidity_pct();
+            prop_assert!((0.0..=100.0).contains(&rh));
+            prop_assert!((0.0..=1.0).contains(&s.heater_duty));
+        }
+    }
+
+    #[test]
+    fn schedules_respect_subject_count(n in 1usize..8, seed in 0u64..50) {
+        let s = Schedule::turetta2022(n, seed);
+        prop_assert_eq!(s.subjects.len(), n);
+        for t in [0.0, 50_000.0, 150_000.0, 250_000.0] {
+            prop_assert!(s.count(t) <= n);
+        }
+    }
+
+    #[test]
+    fn night_folds_empty_for_all_seeds(seed in 0u64..30) {
+        let s = Schedule::turetta2022(6, seed);
+        // Spot-check the three night folds (Table III anchors are
+        // scripted, so this must hold for every seed).
+        let folds = occusense_dataset::folds::turetta_folds();
+        for f in &folds[1..4] {
+            for k in 0..10 {
+                let t = f.start_s + (f.end_s - f.start_s) * k as f64 / 10.0;
+                prop_assert_eq!(s.count(t), 0, "seed {}, fold {}, t {}", seed, f.index, t);
+            }
+        }
+    }
+
+    #[test]
+    fn fold5_never_empty_for_all_seeds(seed in 0u64..30) {
+        let s = Schedule::turetta2022(6, seed);
+        let folds = occusense_dataset::folds::turetta_folds();
+        let f5 = &folds[5];
+        for k in 0..40 {
+            let t = f5.start_s + (f5.end_s - f5.start_s) * (k as f64 + 0.5) / 40.0;
+            prop_assert!(s.count(t) >= 1, "seed {seed}, t {t}");
+        }
+    }
+
+    #[test]
+    fn mobility_never_escapes_the_room(seed in 0u64..50, steps in 100usize..3000) {
+        let cfg = MobilityConfig::office_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = SubjectMobility::entering((0.4, 5.5), (6.0, 4.5));
+        for _ in 0..steps {
+            m.step(&cfg, 1.0, &mut rng);
+            let (x, y) = m.position;
+            prop_assert!((0.0..=12.0).contains(&x) && (0.0..=6.0).contains(&y));
+        }
+    }
+}

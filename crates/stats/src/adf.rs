@@ -1,0 +1,442 @@
+//! Augmented Dickey–Fuller (ADF) unit-root test.
+//!
+//! The paper (§V-A) tests every CSI subcarrier series plus the humidity and
+//! temperature series for stationarity before running the correlation
+//! analysis, citing Cheung & Lai \[26\] for lag order and critical values.
+//!
+//! The regression estimated here is the standard augmented form
+//!
+//! ```text
+//! Δy_t = c (+ δ·t) + γ·y_{t-1} + Σ_{i=1..p} φ_i Δy_{t-i} + ε_t
+//! ```
+//!
+//! with the null hypothesis `γ = 0` (unit root, non-stationary) rejected
+//! when the t-statistic on `γ` falls below the MacKinnon critical value.
+
+use occusense_tensor::{linalg, vecops, Matrix};
+use std::error::Error;
+use std::fmt;
+
+/// Deterministic terms included in the ADF regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Regression {
+    /// No deterministic terms (pure random walk null).
+    None,
+    /// Constant only — the paper's setting for level series.
+    #[default]
+    Constant,
+    /// Constant and linear trend.
+    ConstantTrend,
+}
+
+/// How the number of lagged difference terms is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LagSelection {
+    /// Use exactly this many lags.
+    Fixed(usize),
+    /// Search `0..=p_max` (Schwert rule `p_max = 12 (T/100)^{1/4}`) and
+    /// pick the lag order minimising the Akaike information criterion.
+    #[default]
+    Aic,
+}
+
+/// Significance levels for which MacKinnon critical values are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Significance {
+    /// 1 % level.
+    One,
+    /// 5 % level.
+    Five,
+    /// 10 % level.
+    Ten,
+}
+
+/// Outcome of an ADF test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdfResult {
+    /// The t-statistic on `γ` (the coefficient of `y_{t-1}`).
+    pub statistic: f64,
+    /// Number of lagged difference terms used.
+    pub lags: usize,
+    /// Effective number of observations in the regression.
+    pub n_obs: usize,
+    /// Regression specification that was used.
+    pub regression: Regression,
+    /// Critical values at the 1 %, 5 % and 10 % levels.
+    pub critical_values: [f64; 3],
+}
+
+impl AdfResult {
+    /// Critical value at the given significance level.
+    pub fn critical_value(&self, level: Significance) -> f64 {
+        match level {
+            Significance::One => self.critical_values[0],
+            Significance::Five => self.critical_values[1],
+            Significance::Ten => self.critical_values[2],
+        }
+    }
+
+    /// Whether the unit-root null is rejected at the given level, i.e.
+    /// whether the series is judged **stationary**.
+    pub fn is_stationary(&self, level: Significance) -> bool {
+        self.statistic < self.critical_value(level)
+    }
+}
+
+impl fmt::Display for AdfResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ADF t={:.4} (lags={}, n={}, cv1%={:.3}, cv5%={:.3}, cv10%={:.3})",
+            self.statistic,
+            self.lags,
+            self.n_obs,
+            self.critical_values[0],
+            self.critical_values[1],
+            self.critical_values[2]
+        )
+    }
+}
+
+/// Error returned by [`adf_test`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdfError {
+    /// The series is too short for the requested lag order.
+    TooShort {
+        /// Observations provided.
+        n: usize,
+        /// Observations required.
+        required: usize,
+    },
+    /// The regression design matrix was rank deficient (e.g. a constant
+    /// series).
+    Degenerate,
+}
+
+impl fmt::Display for AdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdfError::TooShort { n, required } => {
+                write!(f, "series too short for ADF: {n} observations, need {required}")
+            }
+            AdfError::Degenerate => write!(f, "degenerate ADF regression (constant series?)"),
+        }
+    }
+}
+
+impl Error for AdfError {}
+
+/// Runs the ADF test on `y`.
+///
+/// # Errors
+///
+/// Returns [`AdfError::TooShort`] if the series cannot support the
+/// requested lag order, and [`AdfError::Degenerate`] for constant series.
+///
+/// # Example
+///
+/// ```
+/// use occusense_stats::adf::{adf_test, LagSelection, Regression, Significance};
+///
+/// // White noise is stationary.
+/// let noise: Vec<f64> = (0..400).map(|i| ((i * 2654435761u64 as usize) % 97) as f64).collect();
+/// let res = adf_test(&noise, Regression::Constant, LagSelection::Fixed(2))?;
+/// assert!(res.is_stationary(Significance::Five));
+/// # Ok::<(), occusense_stats::adf::AdfError>(())
+/// ```
+pub fn adf_test(
+    y: &[f64],
+    regression: Regression,
+    lag_selection: LagSelection,
+) -> Result<AdfResult, AdfError> {
+    match lag_selection {
+        LagSelection::Fixed(p) => adf_fixed(y, regression, p),
+        LagSelection::Aic => {
+            let p_max = schwert_max_lag(y.len());
+            let mut best: Option<(f64, AdfResult)> = None;
+            for p in 0..=p_max {
+                let Ok((res, aic)) = adf_fixed_with_aic(y, regression, p) else {
+                    continue;
+                };
+                match &best {
+                    Some((best_aic, _)) if aic >= *best_aic => {}
+                    _ => best = Some((aic, res)),
+                }
+            }
+            best.map(|(_, r)| r).ok_or(AdfError::Degenerate)
+        }
+    }
+}
+
+/// Schwert (1989) rule of thumb for the maximum lag order:
+/// `floor(12 * (T/100)^{1/4})`.
+pub fn schwert_max_lag(n: usize) -> usize {
+    (12.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize
+}
+
+fn adf_fixed(y: &[f64], regression: Regression, p: usize) -> Result<AdfResult, AdfError> {
+    adf_fixed_with_aic(y, regression, p).map(|(r, _)| r)
+}
+
+fn adf_fixed_with_aic(
+    y: &[f64],
+    regression: Regression,
+    p: usize,
+) -> Result<(AdfResult, f64), AdfError> {
+    let det_terms = match regression {
+        Regression::None => 0,
+        Regression::Constant => 1,
+        Regression::ConstantTrend => 2,
+    };
+    let k = det_terms + 1 + p; // deterministic + y_{t-1} + p lagged diffs
+    let dy = vecops::diff(y);
+    // Usable observations: t runs from p+1 .. dy.len() (0-based into dy).
+    if dy.len() < p + k + 2 {
+        return Err(AdfError::TooShort {
+            n: y.len(),
+            required: p + k + 4,
+        });
+    }
+    let n = dy.len() - p;
+    let mut x = Matrix::zeros(n, k);
+    let mut b = vec![0.0; n];
+    for row in 0..n {
+        let t = row + p; // index into dy
+        b[row] = dy[t];
+        let mut c = 0;
+        if det_terms >= 1 {
+            x[(row, c)] = 1.0;
+            c += 1;
+        }
+        if det_terms == 2 {
+            x[(row, c)] = (row + 1) as f64;
+            c += 1;
+        }
+        // y_{t-1} in original series: y[t] because dy[t] = y[t+1] - y[t].
+        x[(row, c)] = y[t];
+        c += 1;
+        for lag in 1..=p {
+            x[(row, c)] = dy[t - lag];
+            c += 1;
+        }
+    }
+
+    let qr = linalg::qr(&x).map_err(|_| AdfError::Degenerate)?;
+    let qtb = qr.q.transpose().matvec(&b);
+    let beta = linalg::solve_upper_triangular(&qr.r, &qtb).map_err(|_| AdfError::Degenerate)?;
+
+    // Residual variance.
+    let pred = x.matvec(&beta);
+    let ssr: f64 = b.iter().zip(&pred).map(|(y, p)| (y - p) * (y - p)).sum();
+    let dof = n.saturating_sub(k);
+    if dof == 0 {
+        return Err(AdfError::TooShort { n: y.len(), required: y.len() + k });
+    }
+    let sigma2 = ssr / dof as f64;
+
+    // Standard error of the gamma coefficient: sqrt(sigma2 * (X'X)^{-1}_gg)
+    // with (X'X)^{-1} = R^{-1} R^{-T}; the gg diagonal entry equals
+    // ||R^{-T} e_g||^2, obtained by forward-solving R^T v = e_g.
+    let g = det_terms; // column index of y_{t-1}
+    let v = solve_lower_from_upper_transposed(&qr.r, g).ok_or(AdfError::Degenerate)?;
+    let var_gg = vecops::dot(&v, &v);
+    let se = (sigma2 * var_gg).sqrt();
+    if !se.is_finite() || se == 0.0 {
+        return Err(AdfError::Degenerate);
+    }
+    let statistic = beta[g] / se;
+
+    // AIC with Gaussian likelihood: n ln(ssr/n) + 2k.
+    let aic = n as f64 * (ssr / n as f64).max(f64::MIN_POSITIVE).ln() + 2.0 * k as f64;
+
+    let critical_values = mackinnon_critical_values(regression, n);
+    Ok((
+        AdfResult {
+            statistic,
+            lags: p,
+            n_obs: n,
+            regression,
+            critical_values,
+        },
+        aic,
+    ))
+}
+
+/// Solves `R^T v = e_col` where `R` is upper triangular (so `R^T` is lower
+/// triangular), by forward substitution. Returns `None` on zero pivot.
+fn solve_lower_from_upper_transposed(r: &Matrix, col: usize) -> Option<Vec<f64>> {
+    let n = r.rows();
+    let mut v = vec![0.0; n];
+    for i in 0..n {
+        let mut s = if i == col { 1.0 } else { 0.0 };
+        for j in 0..i {
+            // (R^T)[i][j] = R[j][i]
+            s -= r[(j, i)] * v[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        v[i] = s / d;
+    }
+    Some(v)
+}
+
+/// MacKinnon (2010) response-surface critical values at the 1 %, 5 % and
+/// 10 % levels for the given regression specification and sample size.
+pub fn mackinnon_critical_values(regression: Regression, n: usize) -> [f64; 3] {
+    let t = n as f64;
+    let poly = |b0: f64, b1: f64, b2: f64, b3: f64| b0 + b1 / t + b2 / (t * t) + b3 / (t * t * t);
+    match regression {
+        Regression::None => [
+            poly(-2.56574, -2.2358, -3.627, 0.0),
+            poly(-1.94100, -0.2686, -3.365, 31.223),
+            poly(-1.61682, 0.2656, -2.714, 25.364),
+        ],
+        Regression::Constant => [
+            poly(-3.43035, -6.5393, -16.786, -79.433),
+            poly(-2.86154, -2.8903, -4.234, -40.040),
+            poly(-2.56677, -1.5384, -2.809, 0.0),
+        ],
+        Regression::ConstantTrend => [
+            poly(-3.95877, -9.0531, -28.428, -134.155),
+            poly(-3.41049, -4.3904, -9.036, -45.374),
+            poly(-3.12705, -2.5856, -3.925, -22.380),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn random_walk(n: usize, seed: u64) -> Vec<f64> {
+        let noise = white_noise(n, seed);
+        let mut y = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for e in noise {
+            acc += e;
+            y.push(acc);
+        }
+        y
+    }
+
+    #[test]
+    fn white_noise_is_stationary() {
+        let y = white_noise(500, 1);
+        let res = adf_test(&y, Regression::Constant, LagSelection::Fixed(3)).unwrap();
+        assert!(res.is_stationary(Significance::One), "{res}");
+    }
+
+    #[test]
+    fn random_walk_is_not_stationary() {
+        let y = random_walk(500, 2);
+        let res = adf_test(&y, Regression::Constant, LagSelection::Fixed(3)).unwrap();
+        assert!(!res.is_stationary(Significance::Ten), "{res}");
+    }
+
+    #[test]
+    fn ar1_with_small_phi_is_stationary() {
+        // y_t = 0.5 y_{t-1} + e_t is strongly stationary.
+        let e = white_noise(600, 3);
+        let mut y = vec![0.0];
+        for t in 1..600 {
+            y.push(0.5 * y[t - 1] + e[t]);
+        }
+        let res = adf_test(&y, Regression::Constant, LagSelection::Aic).unwrap();
+        assert!(res.is_stationary(Significance::One), "{res}");
+    }
+
+    #[test]
+    fn near_unit_root_is_borderline_but_walk_more_extreme() {
+        let e = white_noise(400, 4);
+        let mut near = vec![0.0];
+        for t in 1..400 {
+            near.push(0.99 * near[t - 1] + e[t]);
+        }
+        let res_near = adf_test(&near, Regression::Constant, LagSelection::Fixed(2)).unwrap();
+        let res_walk =
+            adf_test(&random_walk(400, 4), Regression::Constant, LagSelection::Fixed(2)).unwrap();
+        // Both should look much less stationary than white noise.
+        let res_noise =
+            adf_test(&white_noise(400, 4), Regression::Constant, LagSelection::Fixed(2)).unwrap();
+        assert!(res_noise.statistic < res_near.statistic);
+        assert!(res_noise.statistic < res_walk.statistic);
+    }
+
+    #[test]
+    fn trend_stationary_series_needs_trend_term() {
+        // y_t = 0.05 t + stationary noise: with a trend term the noise is
+        // detected as stationary around the trend.
+        let e = white_noise(500, 5);
+        let y: Vec<f64> = e.iter().enumerate().map(|(t, v)| 0.05 * t as f64 + v).collect();
+        let with_trend = adf_test(&y, Regression::ConstantTrend, LagSelection::Fixed(2)).unwrap();
+        assert!(with_trend.is_stationary(Significance::Five), "{with_trend}");
+    }
+
+    #[test]
+    fn aic_selection_returns_reasonable_lags() {
+        let y = white_noise(300, 6);
+        let res = adf_test(&y, Regression::Constant, LagSelection::Aic).unwrap();
+        assert!(res.lags <= schwert_max_lag(300));
+    }
+
+    #[test]
+    fn constant_series_is_degenerate() {
+        let y = vec![5.0; 100];
+        let err = adf_test(&y, Regression::Constant, LagSelection::Fixed(1)).unwrap_err();
+        assert_eq!(err, AdfError::Degenerate);
+    }
+
+    #[test]
+    fn short_series_errors() {
+        let y = [1.0, 2.0, 3.0];
+        let err = adf_test(&y, Regression::Constant, LagSelection::Fixed(5)).unwrap_err();
+        assert!(matches!(err, AdfError::TooShort { .. }));
+    }
+
+    #[test]
+    fn critical_values_are_ordered_and_near_asymptotic() {
+        let cv = mackinnon_critical_values(Regression::Constant, 1_000_000);
+        assert!((cv[0] + 3.430).abs() < 0.01);
+        assert!((cv[1] + 2.862).abs() < 0.01);
+        assert!((cv[2] + 2.567).abs() < 0.01);
+        assert!(cv[0] < cv[1] && cv[1] < cv[2]);
+        let cv_small = mackinnon_critical_values(Regression::Constant, 50);
+        // Small samples are more conservative (more negative).
+        assert!(cv_small[0] < cv[0]);
+    }
+
+    #[test]
+    fn schwert_rule_examples() {
+        assert_eq!(schwert_max_lag(100), 12);
+        assert_eq!(schwert_max_lag(25), 8);
+        assert_eq!(schwert_max_lag(1600), 24);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let y = white_noise(200, 9);
+        let res = adf_test(&y, Regression::Constant, LagSelection::Fixed(1)).unwrap();
+        let s = res.to_string();
+        assert!(s.contains("ADF t="));
+        assert!(s.contains("lags=1"));
+    }
+
+    #[test]
+    fn result_accessors() {
+        let y = white_noise(200, 10);
+        let res = adf_test(&y, Regression::Constant, LagSelection::Fixed(0)).unwrap();
+        assert_eq!(res.critical_value(Significance::One), res.critical_values[0]);
+        assert_eq!(res.critical_value(Significance::Five), res.critical_values[1]);
+        assert_eq!(res.critical_value(Significance::Ten), res.critical_values[2]);
+        assert_eq!(res.regression, Regression::Constant);
+    }
+}

@@ -1,0 +1,178 @@
+//! Pearson correlation (Eq. 7 of the paper), correlation matrices and
+//! autocorrelation.
+
+use occusense_tensor::vecops;
+use occusense_tensor::Matrix;
+
+/// Pearson's ρ between two equal-length samples (Eq. 7):
+/// `ρ = cov(X, Y) / (σ_x σ_y)`.
+///
+/// Returns `None` when either sample is constant (zero standard deviation)
+/// or shorter than two observations — ρ is undefined in those cases.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use occusense_stats::correlation::pearson;
+/// let rho = pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]).unwrap();
+/// assert!((rho + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "pearson: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
+    if x.len() < 2 {
+        return None;
+    }
+    let sx = vecops::std_dev(x);
+    let sy = vecops::std_dev(y);
+    if sx == 0.0 || sy == 0.0 {
+        return None;
+    }
+    Some(vecops::covariance(x, y) / (sx * sy))
+}
+
+/// Full Pearson correlation matrix over the columns of `data`
+/// (observations in rows, variables in columns).
+///
+/// Undefined entries (constant columns) are reported as `f64::NAN`; the
+/// diagonal is `1.0` for non-constant columns.
+pub fn correlation_matrix(data: &Matrix) -> Matrix {
+    let d = data.cols();
+    let cols: Vec<Vec<f64>> = (0..d).map(|c| data.col(c)).collect();
+    let mut out = Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in i..d {
+            let rho = pearson(&cols[i], &cols[j]).unwrap_or(f64::NAN);
+            out[(i, j)] = rho;
+            out[(j, i)] = rho;
+        }
+    }
+    out
+}
+
+/// Sample autocorrelation of `x` at integer `lag`.
+///
+/// Uses the standard biased estimator (normalising by the lag-0
+/// autocovariance). Returns `None` if the series is constant or if
+/// `lag >= x.len()`.
+pub fn autocorrelation(x: &[f64], lag: usize) -> Option<f64> {
+    if lag >= x.len() {
+        return None;
+    }
+    let m = vecops::mean(x);
+    let denom: f64 = x.iter().map(|v| (v - m) * (v - m)).sum();
+    if denom == 0.0 {
+        return None;
+    }
+    let num: f64 = x[lag..]
+        .iter()
+        .zip(&x[..x.len() - lag])
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum();
+    Some(num / denom)
+}
+
+/// Pearson ρ between `x` shifted forward by `lag` and `y`, i.e.
+/// `corr(x[t-lag], y[t])`. A positive result at positive lag means `x`
+/// leads `y`. Returns `None` when undefined.
+pub fn lagged_correlation(x: &[f64], y: &[f64], lag: usize) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "lagged_correlation: length mismatch");
+    if lag >= x.len() {
+        return None;
+    }
+    pearson(&x[..x.len() - lag], &y[lag..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let down: Vec<f64> = x.iter().map(|v| -2.0 * v + 7.0).collect();
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_for_orthogonal() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_for_constant_or_tiny() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn pearson_is_within_unit_interval() {
+        // Not a formal property test, but a sanity sweep.
+        let x: Vec<f64> = (0..50).map(|i| ((i * 13 % 17) as f64).sin()).collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 7 % 23) as f64).cos()).collect();
+        let rho = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&rho));
+    }
+
+    #[test]
+    fn correlation_matrix_structure() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 2.0, 5.0],
+            &[2.0, 4.0, 5.0],
+            &[3.0, 6.0, 5.0],
+            &[4.0, 8.0, 5.0],
+        ]);
+        let c = correlation_matrix(&data);
+        assert_eq!(c.shape(), (3, 3));
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 1.0).abs() < 1e-12);
+        assert_eq!(c[(0, 1)], c[(1, 0)]);
+        // Column 2 is constant: undefined everywhere it appears.
+        assert!(c[(0, 2)].is_nan());
+        assert!(c[(2, 2)].is_nan());
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series() {
+        let x = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!((autocorrelation(&x, 0).unwrap() - 1.0).abs() < 1e-12);
+        let r1 = autocorrelation(&x, 1).unwrap();
+        assert!(r1 < -0.8, "lag-1 autocorr of alternating series: {r1}");
+        let r2 = autocorrelation(&x, 2).unwrap();
+        assert!(r2 > 0.6, "lag-2 autocorr of alternating series: {r2}");
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_none());
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_none());
+    }
+
+    #[test]
+    fn lagged_correlation_detects_lead() {
+        // y is x delayed by 2 samples.
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut y = vec![0.0; 40];
+        for i in 2..40 {
+            y[i] = x[i - 2];
+        }
+        let at_lag2 = lagged_correlation(&x, &y, 2).unwrap();
+        let at_lag0 = lagged_correlation(&x, &y, 0).unwrap();
+        assert!(at_lag2 > 0.99, "lag-2 correlation {at_lag2}");
+        assert!(at_lag2 > at_lag0);
+    }
+}

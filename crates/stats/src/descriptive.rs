@@ -1,0 +1,207 @@
+//! Descriptive statistics: five-number summaries and histograms.
+
+use occusense_tensor::vecops;
+
+/// Summary statistics of a sample, as reported when profiling the dataset
+/// (Table III reports per-fold min/max temperature and humidity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Lower quartile (linear interpolation).
+    pub q25: f64,
+    /// Median (linear interpolation).
+    pub median: f64,
+    /// Upper quartile (linear interpolation).
+    pub q75: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `data`.
+    ///
+    /// Returns `None` for an empty slice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_stats::descriptive::Summary;
+    /// let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// assert_eq!(s.median, 2.5);
+    /// ```
+    pub fn of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN data"));
+        Some(Self {
+            count: data.len(),
+            mean: vecops::mean(data),
+            std: vecops::std_dev(data),
+            min: sorted[0],
+            q25: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q75: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// Linear-interpolation quantile of an already sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A fixed-width histogram over a closed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with `bins` equal-width bins spanning
+    /// `[lo, hi]`. Values outside the range are clamped into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(data: &[f64], bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range is empty: {lo}..{hi}");
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f64;
+        for &x in data {
+            let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Self {
+            lo,
+            hi,
+            counts,
+            total: data.len(),
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Fraction of observations in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin {i} out of bounds");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_single_value() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q25, 3.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 1.0, 2.0, 3.0];
+        assert!((quantile_sorted(&sorted, 0.5) - 1.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 3.0);
+        assert!((quantile_sorted(&sorted, 1.0 / 3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        quantile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let h = Histogram::new(&[-1.0, 0.1, 0.5, 0.9, 2.0], 2, 0.0, 1.0);
+        // -1.0 clamps into bin 0; 2.0 clamps into bin 1; 0.5 opens bin 1.
+        assert_eq!(h.counts(), &[2, 3]);
+        assert_eq!(h.total(), 5);
+        assert!((h.fraction(0) - 0.4).abs() < 1e-12);
+        assert_eq!(h.bin_edges(1), (0.5, 1.0));
+    }
+
+    #[test]
+    fn histogram_empty_data() {
+        let h = Histogram::new(&[], 4, 0.0, 1.0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(0), 0.0);
+    }
+}

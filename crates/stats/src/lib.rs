@@ -1,0 +1,34 @@
+//! # occusense-stats
+//!
+//! Statistical substrate for the `occusense` workspace: everything §V-A of
+//! the paper ("data profiling") and §II-B ("performance measurement
+//! metrics") needs.
+//!
+//! * [`descriptive`] — five-number summaries and histograms used when
+//!   profiling the simulated CSI / temperature / humidity series.
+//! * [`correlation`] — Pearson's ρ (Eq. 7 of the paper), correlation
+//!   matrices over datasets, and autocorrelation.
+//! * [`adf`] — the Augmented Dickey–Fuller unit-root test \[26\] with
+//!   automatic lag selection and MacKinnon critical-value response
+//!   surfaces, used to establish stationarity before correlating raw data.
+//! * [`metrics`] — classification metrics (accuracy for Table IV,
+//!   precision/recall/F1, confusion matrices) and regression metrics
+//!   (MAE/MAPE of Eq. 2–3 for Table V, plus RMSE and R²).
+//!
+//! # Example
+//!
+//! ```
+//! use occusense_stats::correlation::pearson;
+//!
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let y = [2.0, 4.0, 6.0, 8.0];
+//! assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adf;
+pub mod correlation;
+pub mod descriptive;
+pub mod metrics;

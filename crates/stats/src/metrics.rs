@@ -1,0 +1,498 @@
+//! Classification and regression metrics.
+//!
+//! * Accuracy / precision / recall / F1 and confusion matrices back the
+//!   occupancy-detection evaluation (Table IV).
+//! * MAE (Eq. 2) and MAPE (Eq. 3) back the humidity/temperature regression
+//!   evaluation (Table V); RMSE and R² are provided for completeness.
+
+use std::fmt;
+
+/// The ε of Eq. 3, guarding MAPE against division by zero.
+pub const MAPE_EPSILON: f64 = 1e-9;
+
+/// Binary confusion matrix for the occupancy labels
+/// (`0` = empty, `1` = occupied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Occupied predicted occupied.
+    pub tp: usize,
+    /// Empty predicted occupied.
+    pub fp: usize,
+    /// Empty predicted empty.
+    pub tn: usize,
+    /// Occupied predicted empty.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or contain labels other
+    /// than `0` and `1`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_stats::metrics::ConfusionMatrix;
+    /// let cm = ConfusionMatrix::from_labels(&[1, 1, 0, 0], &[1, 0, 0, 1]);
+    /// assert_eq!(cm.tp, 1);
+    /// assert_eq!(cm.fn_, 1);
+    /// assert_eq!(cm.tn, 1);
+    /// assert_eq!(cm.fp, 1);
+    /// assert_eq!(cm.accuracy(), 0.5);
+    /// ```
+    pub fn from_labels(y_true: &[u8], y_pred: &[u8]) -> Self {
+        assert_eq!(
+            y_true.len(),
+            y_pred.len(),
+            "confusion matrix: length mismatch {} vs {}",
+            y_true.len(),
+            y_pred.len()
+        );
+        let mut cm = Self::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            assert!(t <= 1 && p <= 1, "labels must be 0 or 1, got ({t}, {p})");
+            match (t, p) {
+                (1, 1) => cm.tp += 1,
+                (0, 1) => cm.fp += 1,
+                (0, 0) => cm.tn += 1,
+                (1, 0) => cm.fn_ += 1,
+                _ => unreachable!(),
+            }
+        }
+        cm
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions; `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / n as f64
+        }
+    }
+
+    /// Positive-class precision `tp / (tp + fp)`; `0.0` when no positive
+    /// predictions were made.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Positive-class recall `tp / (tp + fn)`; `0.0` when no positives
+    /// exist.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; `0.0` when both are zero.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} (acc {:.2}%)",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            100.0 * self.accuracy()
+        )
+    }
+}
+
+/// Multi-class confusion matrix, used by the occupant-counting and
+/// activity-recognition extensions (the paper's §VI future work).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiConfusion {
+    n_classes: usize,
+    /// Row-major counts: `counts[true * n_classes + predicted]`.
+    counts: Vec<usize>,
+}
+
+impl MultiConfusion {
+    /// Builds a `k × k` confusion matrix from parallel label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths, `n_classes == 0`, or
+    /// any label is `>= n_classes`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use occusense_stats::metrics::MultiConfusion;
+    /// let cm = MultiConfusion::from_labels(3, &[0, 1, 2, 1], &[0, 1, 1, 1]);
+    /// assert_eq!(cm.accuracy(), 0.75);
+    /// assert_eq!(cm.count(2, 1), 1);
+    /// ```
+    pub fn from_labels(n_classes: usize, y_true: &[usize], y_pred: &[usize]) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        assert_eq!(y_true.len(), y_pred.len(), "multi confusion: length mismatch");
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            assert!(t < n_classes && p < n_classes, "label out of range: ({t}, {p})");
+            counts[t * n_classes + p] += 1;
+        }
+        Self { n_classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        assert!(t < self.n_classes && p < self.n_classes, "index out of range");
+        self.counts[t * self.n_classes + p]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / n as f64
+    }
+
+    /// Recall of class `c` (`None` if the class has no true samples).
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let row: usize = (0..self.n_classes).map(|p| self.count(c, p)).sum();
+        (row > 0).then(|| self.count(c, c) as f64 / row as f64)
+    }
+
+    /// Precision of class `c` (`None` if the class was never predicted).
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let col: usize = (0..self.n_classes).map(|t| self.count(t, c)).sum();
+        (col > 0).then(|| self.count(c, c) as f64 / col as f64)
+    }
+
+    /// Unweighted mean of the defined per-class recalls (macro recall).
+    pub fn macro_recall(&self) -> f64 {
+        let recalls: Vec<f64> = (0..self.n_classes).filter_map(|c| self.recall(c)).collect();
+        if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for MultiConfusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion ({} classes, rows = truth):", self.n_classes)?;
+        for t in 0..self.n_classes {
+            write!(f, "  {t}:")?;
+            for p in 0..self.n_classes {
+                write!(f, " {:>7}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "accuracy {:.2}%", 100.0 * self.accuracy())
+    }
+}
+
+/// Classification accuracy over parallel label slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "accuracy: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Mean Absolute Error (Eq. 2): `MAE = (1/N) Σ |y - ŷ|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mae: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Mean Absolute Percentage Error (Eq. 3), reported in percent:
+/// `MAPE = (100/N) Σ |y - ŷ| / max(ε, |y|)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mape: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    100.0
+        * y_true
+            .iter()
+            .zip(y_pred)
+            .map(|(y, p)| (y - p).abs() / y.abs().max(MAPE_EPSILON))
+            .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root Mean Squared Error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "rmse: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    (y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum::<f64>()
+        / y_true.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R². Returns `f64::NEG_INFINITY`-style
+/// negative values for models worse than predicting the mean; `None` if the
+/// true values are constant (undefined).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> Option<f64> {
+    assert_eq!(y_true.len(), y_pred.len(), "r2: length mismatch");
+    if y_true.is_empty() {
+        return None;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|y| (y - mean) * (y - mean)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn confusion_counts_and_derived_metrics() {
+        let y_true = [1, 1, 1, 1, 0, 0, 0, 0, 0, 0];
+        let y_pred = [1, 1, 1, 0, 0, 0, 0, 0, 1, 1];
+        let cm = ConfusionMatrix::from_labels(&y_true, &y_pred);
+        assert_eq!(cm.tp, 3);
+        assert_eq!(cm.fn_, 1);
+        assert_eq!(cm.tn, 4);
+        assert_eq!(cm.fp, 2);
+        approx(cm.accuracy(), 0.7);
+        approx(cm.precision(), 3.0 / 5.0);
+        approx(cm.recall(), 3.0 / 4.0);
+        let p = 0.6;
+        let r = 0.75;
+        approx(cm.f1(), 2.0 * p * r / (p + r));
+        assert_eq!(cm.total(), 10);
+    }
+
+    #[test]
+    fn confusion_degenerate_cases() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+
+        // All negative, all predicted negative: precision/recall undefined->0.
+        let cm = ConfusionMatrix::from_labels(&[0, 0], &[0, 0]);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0 or 1")]
+    fn confusion_rejects_multiclass() {
+        ConfusionMatrix::from_labels(&[2], &[0]);
+    }
+
+    #[test]
+    fn accuracy_function_matches_confusion() {
+        let y_true = [1, 0, 1, 0];
+        let y_pred = [1, 1, 1, 0];
+        approx(
+            accuracy(&y_true, &y_pred),
+            ConfusionMatrix::from_labels(&y_true, &y_pred).accuracy(),
+        );
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_known_values() {
+        approx(mae(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        approx(mae(&[1.0, 2.0], &[2.0, 4.0]), 1.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mape_known_values() {
+        // 50% error on each of two samples.
+        approx(mape(&[2.0, 4.0], &[1.0, 2.0]), 50.0);
+        // Zero target guarded by epsilon: huge but finite.
+        let m = mape(&[0.0], &[1.0]);
+        assert!(m.is_finite() && m > 1e9);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mape_scale_invariance() {
+        // Eq. 3 is invariant to global scaling of both vectors.
+        let y = [2.0, 4.0, 8.0];
+        let p = [1.0, 5.0, 6.0];
+        let y10: Vec<f64> = y.iter().map(|v| v * 10.0).collect();
+        let p10: Vec<f64> = p.iter().map(|v| v * 10.0).collect();
+        approx(mape(&y, &p), mape(&y10, &p10));
+    }
+
+    #[test]
+    fn rmse_known_values() {
+        approx(rmse(&[0.0, 0.0], &[3.0, 4.0]), (12.5f64).sqrt());
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_dominates_mae() {
+        let y = [0.0, 0.0, 0.0, 0.0];
+        let p = [0.0, 0.0, 0.0, 4.0];
+        assert!(rmse(&y, &p) >= mae(&y, &p));
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_predictors() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        approx(r2(&y, &y).unwrap(), 1.0);
+        let mean_pred = [2.5; 4];
+        approx(r2(&y, &mean_pred).unwrap(), 0.0);
+        // Worse than the mean: negative.
+        assert!(r2(&y, &[4.0, 3.0, 2.0, 1.0]).unwrap() < 0.0);
+        // Constant target: undefined.
+        assert!(r2(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(r2(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn display_includes_accuracy() {
+        let cm = ConfusionMatrix::from_labels(&[1, 0], &[1, 0]);
+        assert!(cm.to_string().contains("100.00%"));
+    }
+
+    #[test]
+    fn multi_confusion_counts_and_accuracy() {
+        let cm = MultiConfusion::from_labels(3, &[0, 0, 1, 2, 2, 2], &[0, 1, 1, 2, 2, 0]);
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(2, 0), 1);
+        approx(cm.accuracy(), 4.0 / 6.0);
+        approx(cm.recall(2).unwrap(), 2.0 / 3.0);
+        approx(cm.precision(1).unwrap(), 0.5);
+        assert_eq!(cm.n_classes(), 3);
+    }
+
+    #[test]
+    fn multi_confusion_undefined_classes() {
+        // Class 2 never appears in truth; class 1 never predicted.
+        let cm = MultiConfusion::from_labels(3, &[0, 0, 1], &[0, 0, 0]);
+        assert!(cm.recall(2).is_none());
+        assert!(cm.precision(1).is_none());
+        // Macro recall averages only the defined ones: 1.0 and 0.0.
+        approx(cm.macro_recall(), 0.5);
+    }
+
+    #[test]
+    fn multi_confusion_agrees_with_binary() {
+        let yt = [1u8, 1, 0, 0, 1];
+        let yp = [1u8, 0, 0, 1, 1];
+        let b = ConfusionMatrix::from_labels(&yt, &yp);
+        let m = MultiConfusion::from_labels(
+            2,
+            &yt.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+            &yp.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+        );
+        approx(b.accuracy(), m.accuracy());
+        assert_eq!(b.tp, m.count(1, 1));
+        assert_eq!(b.fn_, m.count(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn multi_confusion_validates_labels() {
+        MultiConfusion::from_labels(2, &[2], &[0]);
+    }
+
+    #[test]
+    fn multi_confusion_display() {
+        let cm = MultiConfusion::from_labels(2, &[0, 1], &[0, 1]);
+        let s = cm.to_string();
+        assert!(s.contains("accuracy 100.00%"));
+        assert!(s.contains("rows = truth"));
+    }
+}

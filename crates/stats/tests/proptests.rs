@@ -1,0 +1,142 @@
+//! Property-based tests for the statistics crate.
+
+use occusense_stats::correlation::{autocorrelation, pearson};
+use occusense_stats::descriptive::{quantile_sorted, Histogram, Summary};
+use occusense_stats::metrics::{accuracy, mae, mape, r2, rmse, ConfusionMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pearson_bounded(
+        x in prop::collection::vec(-1e3f64..1e3, 3..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 3..100),
+    ) {
+        let n = x.len().min(ys.len());
+        if let Some(rho) = pearson(&x[..n], &ys[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho = {rho}");
+        }
+    }
+
+    #[test]
+    fn pearson_symmetric(
+        x in prop::collection::vec(-100.0f64..100.0, 3..50),
+        y in prop::collection::vec(-100.0f64..100.0, 3..50),
+    ) {
+        let n = x.len().min(y.len());
+        let a = pearson(&x[..n], &y[..n]);
+        let b = pearson(&y[..n], &x[..n]);
+        match (a, b) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "asymmetric definedness"),
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariant(
+        x in prop::collection::vec(-100.0f64..100.0, 3..50),
+        scale in 0.1f64..10.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+        let x2: Vec<f64> = x.iter().map(|v| v * scale + shift).collect();
+        if let (Some(a), Some(b)) = (pearson(&x, &y), pearson(&x2, &y)) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_lag0_is_one(x in prop::collection::vec(-100.0f64..100.0, 2..100)) {
+        if let Some(r0) = autocorrelation(&x, 0) {
+            prop_assert!((r0 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_ordering(x in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s = Summary::of(&x).unwrap();
+        prop_assert!(s.min <= s.q25 + 1e-9);
+        prop_assert!(s.q25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q75 + 1e-9);
+        prop_assert!(s.q75 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.count, x.len());
+    }
+
+    #[test]
+    fn quantile_monotone(x in prop::collection::vec(-1e3f64..1e3, 1..100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let mut sorted = x.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile_sorted(&sorted, lo) <= quantile_sorted(&sorted, hi) + 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(x in prop::collection::vec(-10.0f64..10.0, 0..200), bins in 1usize..20) {
+        let h = Histogram::new(&x, bins, -10.0, 10.0);
+        prop_assert_eq!(h.counts().iter().sum::<usize>(), x.len());
+        prop_assert_eq!(h.total(), x.len());
+    }
+
+    #[test]
+    fn accuracy_bounded_and_consistent(
+        labels in prop::collection::vec(0u8..2, 1..100),
+        preds in prop::collection::vec(0u8..2, 1..100),
+    ) {
+        let n = labels.len().min(preds.len());
+        let acc = accuracy(&labels[..n], &preds[..n]);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let cm = ConfusionMatrix::from_labels(&labels[..n], &preds[..n]);
+        prop_assert!((cm.accuracy() - acc).abs() < 1e-12);
+        prop_assert_eq!(cm.total(), n);
+    }
+
+    #[test]
+    fn confusion_metrics_bounded(
+        labels in prop::collection::vec(0u8..2, 1..100),
+        preds in prop::collection::vec(0u8..2, 1..100),
+    ) {
+        let n = labels.len().min(preds.len());
+        let cm = ConfusionMatrix::from_labels(&labels[..n], &preds[..n]);
+        for m in [cm.precision(), cm.recall(), cm.f1()] {
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn mae_rmse_nonnegative_and_ordered(
+        y in prop::collection::vec(-100.0f64..100.0, 1..100),
+        p in prop::collection::vec(-100.0f64..100.0, 1..100),
+    ) {
+        let n = y.len().min(p.len());
+        let a = mae(&y[..n], &p[..n]);
+        let r = rmse(&y[..n], &p[..n]);
+        prop_assert!(a >= 0.0);
+        prop_assert!(r >= a - 1e-9, "rmse {r} < mae {a}");
+    }
+
+    #[test]
+    fn mae_zero_iff_equal(y in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        prop_assert!(mae(&y, &y).abs() < 1e-12);
+        prop_assert!(mape(&y, &y).abs() < 1e-9);
+        prop_assert!(rmse(&y, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_truth_is_one(y in prop::collection::vec(-100.0f64..100.0, 2..50)) {
+        if let Some(v) = r2(&y, &y) {
+            prop_assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mae_triangle_with_offset(
+        y in prop::collection::vec(-100.0f64..100.0, 1..50),
+        offset in -10.0f64..10.0,
+    ) {
+        // Shifting predictions by a constant changes MAE by at most |offset|.
+        let p: Vec<f64> = y.iter().map(|v| v + offset).collect();
+        prop_assert!((mae(&y, &p) - offset.abs()).abs() < 1e-9);
+    }
+}

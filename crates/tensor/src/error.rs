@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when two operands have incompatible shapes, or when a
+/// decomposition receives a matrix it cannot handle.
+///
+/// # Example
+///
+/// ```
+/// use occusense_tensor::{Matrix, ShapeError};
+///
+/// let tall = Matrix::zeros(3, 2);
+/// let wide = Matrix::zeros(2, 5);
+/// let err: ShapeError = tall.try_add(&wide).unwrap_err();
+/// assert!(err.to_string().contains("3x2"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    pub(crate) fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The operation that failed (e.g. `"add"`, `"matmul"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Shape of the left-hand operand as `(rows, cols)`.
+    pub fn lhs(&self) -> (usize, usize) {
+        self.lhs
+    }
+
+    /// Shape of the right-hand operand as `(rows, cols)`.
+    pub fn rhs(&self) -> (usize, usize) {
+        self.rhs
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_shapes() {
+        let e = ShapeError::new("matmul", (2, 3), (4, 5));
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ShapeError::new("add", (1, 2), (3, 4));
+        assert_eq!(e.op(), "add");
+        assert_eq!(e.lhs(), (1, 2));
+        assert_eq!(e.rhs(), (3, 4));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

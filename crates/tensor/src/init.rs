@@ -1,0 +1,144 @@
+//! Seeded random matrix initialisers.
+//!
+//! Every stochastic component in the workspace takes an explicit seed so
+//! that experiments are bit-for-bit reproducible; these helpers are the
+//! single place where random matrices are created (network weights, random
+//! projections in tests).
+
+use crate::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Draws every element from `U(lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+///
+/// # Example
+///
+/// ```
+/// use occusense_tensor::init;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let m = init::uniform(2, 3, -1.0, 1.0, &mut rng);
+/// assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+/// ```
+pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Matrix {
+    assert!(lo < hi, "uniform: lo {lo} must be < hi {hi}");
+    let dist = Uniform::new(lo, hi);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+    )
+}
+
+/// Draws every element from `N(mean, std^2)` using the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `std < 0`.
+pub fn gaussian(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Matrix {
+    assert!(std >= 0.0, "gaussian: std must be non-negative, got {std}");
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| mean + std * standard_normal(rng))
+            .collect(),
+    )
+}
+
+/// Draws a single standard-normal sample using the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid u1 == 0 which would give ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suits sigmoid/tanh output layers.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// Kaiming/He Gaussian initialisation: `N(0, 2 / fan_in)`. Suits ReLU
+/// hidden layers, which is what the paper's MLP uses.
+pub fn kaiming_gaussian(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    gaussian(fan_in, fan_out, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(20, 20, -0.5, 0.5, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = uniform(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = uniform(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let c = uniform(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = gaussian(100, 100, 3.0, 2.0, &mut rng);
+        let mean = m.mean();
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / m.len() as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = gaussian(3, 3, 5.0, 0.0, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x == 5.0));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = xavier_uniform(4, 4, &mut rng);
+        let big = xavier_uniform(1000, 1000, &mut rng);
+        assert!(small.max_abs() > big.max_abs());
+        assert!(big.max_abs() <= (6.0f64 / 2000.0).sqrt());
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = kaiming_gaussian(200, 50, &mut rng);
+        let std = (m.as_slice().iter().map(|x| x * x).sum::<f64>() / m.len() as f64).sqrt();
+        let expected = (2.0f64 / 200.0).sqrt();
+        assert!((std - expected).abs() / expected < 0.15, "std {std} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn uniform_rejects_inverted_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = uniform(1, 1, 1.0, 0.0, &mut rng);
+    }
+}

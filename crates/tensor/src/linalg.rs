@@ -1,0 +1,336 @@
+//! Dense decompositions: Householder QR and least squares.
+//!
+//! Used by the OLS baseline (`occusense-baselines`) and by the ADF test
+//! regressions (`occusense-stats`), both of which solve overdetermined
+//! systems `min ||A x - b||` with potentially ill-conditioned design
+//! matrices, so we use QR rather than normal equations.
+
+use crate::{Matrix, ShapeError};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`least_squares`] when the design matrix is rank
+/// deficient (some diagonal element of `R` is numerically zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDeficientError {
+    col: usize,
+}
+
+impl RankDeficientError {
+    /// Index of the first column at which the factorisation lost rank.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+}
+
+impl fmt::Display for RankDeficientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is rank deficient at column {}", self.col)
+    }
+}
+
+impl Error for RankDeficientError {}
+
+/// Result of a thin Householder QR factorisation `A = Q R` with
+/// `A: m x n (m >= n)`, `Q: m x n` orthonormal, `R: n x n` upper triangular.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qr {
+    /// Orthonormal factor (thin, `m x n`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`n x n`).
+    pub r: Matrix,
+}
+
+/// Computes the thin QR decomposition of `a` using Householder reflections.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a` has fewer rows than columns.
+///
+/// # Example
+///
+/// ```
+/// use occusense_tensor::{Matrix, linalg};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let qr = linalg::qr(&a)?;
+/// let back = qr.q.matmul(&qr.r);
+/// assert!((&back - &a).max_abs() < 1e-12);
+/// # Ok::<(), occusense_tensor::ShapeError>(())
+/// ```
+pub fn qr(a: &Matrix) -> Result<Qr, ShapeError> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(ShapeError::new("qr", a.shape(), a.shape()));
+    }
+    // Work on a copy of A; accumulate the reflectors into an m x m Q lazily
+    // by applying them to the identity restricted to the first n columns.
+    let mut r = a.clone();
+    // Store reflector vectors to build Q afterwards.
+    let mut reflectors: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k, rows k..m.
+        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        let alpha = -v[0].signum() * crate::vecops::norm(&v);
+        if alpha.abs() > 0.0 {
+            v[0] -= alpha;
+        }
+        let vnorm = crate::vecops::norm(&v);
+        if vnorm > 0.0 {
+            for x in &mut v {
+                *x /= vnorm;
+            }
+            // Apply H = I - 2 v v^T to R[k.., k..].
+            for j in k..n {
+                let mut s = 0.0;
+                for (i, vi) in v.iter().enumerate() {
+                    s += vi * r[(k + i, j)];
+                }
+                s *= 2.0;
+                for (i, vi) in v.iter().enumerate() {
+                    r[(k + i, j)] -= s * vi;
+                }
+            }
+        }
+        reflectors.push(v);
+    }
+
+    // Build thin Q by applying the reflectors in reverse order to the first
+    // n columns of the identity.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &reflectors[k];
+        if crate::vecops::norm(v) == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut s = 0.0;
+            for (i, vi) in v.iter().enumerate() {
+                s += vi * q[(k + i, j)];
+            }
+            s *= 2.0;
+            for (i, vi) in v.iter().enumerate() {
+                q[(k + i, j)] -= s * vi;
+            }
+        }
+    }
+
+    // Zero the strictly-lower part of the top n x n block of R for a clean
+    // upper-triangular factor.
+    let mut r_out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_out[(i, j)] = r[(i, j)];
+        }
+    }
+
+    Ok(Qr { q, r: r_out })
+}
+
+/// Solves the upper-triangular system `R x = b` by back substitution.
+///
+/// # Errors
+///
+/// Returns [`RankDeficientError`] if a diagonal entry is numerically zero
+/// relative to the largest diagonal entry.
+///
+/// # Panics
+///
+/// Panics if `r` is not square or `b.len() != r.rows()`.
+pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>, RankDeficientError> {
+    let n = r.rows();
+    assert_eq!(r.cols(), n, "solve_upper_triangular: R must be square");
+    assert_eq!(b.len(), n, "solve_upper_triangular: dimension mismatch");
+    let diag_max = (0..n).map(|i| r[(i, i)].abs()).fold(0.0f64, f64::max);
+    let tol = diag_max * 1e-12;
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in i + 1..n {
+            s -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() <= tol {
+            return Err(RankDeficientError { col: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min_x ||A x - b||_2` via QR.
+///
+/// # Errors
+///
+/// Returns [`LeastSquaresError`] if `A` has fewer rows than columns, if
+/// `b.len() != A.rows()`, or if `A` is rank deficient.
+///
+/// # Example
+///
+/// ```
+/// use occusense_tensor::{Matrix, linalg};
+///
+/// // Fit y = 2x + 1 exactly through three points.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let x = linalg::least_squares(&a, &[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-10);
+/// assert!((x[1] - 2.0).abs() < 1e-10);
+/// # Ok::<(), occusense_tensor::linalg::LeastSquaresError>(())
+/// ```
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LeastSquaresError> {
+    if b.len() != a.rows() {
+        return Err(LeastSquaresError::Shape(ShapeError::new(
+            "least_squares",
+            a.shape(),
+            (b.len(), 1),
+        )));
+    }
+    let qr = qr(a).map_err(LeastSquaresError::Shape)?;
+    // x solves R x = Q^T b.
+    let qtb = qr.q.transpose().matvec(b);
+    solve_upper_triangular(&qr.r, &qtb).map_err(LeastSquaresError::RankDeficient)
+}
+
+/// Error returned by [`least_squares`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeastSquaresError {
+    /// The system shape is invalid (underdetermined or mismatched lengths).
+    Shape(ShapeError),
+    /// The design matrix is rank deficient.
+    RankDeficient(RankDeficientError),
+}
+
+impl fmt::Display for LeastSquaresError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeastSquaresError::Shape(e) => write!(f, "least squares: {e}"),
+            LeastSquaresError::RankDeficient(e) => write!(f, "least squares: {e}"),
+        }
+    }
+}
+
+impl Error for LeastSquaresError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LeastSquaresError::Shape(e) => Some(e),
+            LeastSquaresError::RankDeficient(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.5, 1.0],
+            &[-1.0, 0.2, 2.0],
+            &[4.0, 1.0, -0.5],
+        ]);
+        let f = qr(&a).expect("m >= n");
+        let back = f.q.matmul(&f.r);
+        assert!((&back - &a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_q_is_orthonormal() {
+        let a = Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f64).sin() + 2.0 * (r == c) as u8 as f64);
+        let f = qr(&a).expect("m >= n");
+        let qtq = f.q.transpose().matmul(&f.q);
+        let diff = &qtq - &Matrix::identity(3);
+        assert!(diff.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 4, |r, c| ((r + 2 * c) as f64).cos());
+        let f = qr(&a).expect("m >= n");
+        for i in 1..4 {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_underdetermined() {
+        assert!(qr(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // y = 3 - 2x
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [3.0, 1.0, -1.0, -3.0];
+        let x = least_squares(&a, &b).expect("full rank");
+        approx(x[0], 3.0, 1e-10);
+        approx(x[1], -2.0, 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // Residual must be orthogonal to the column space: check normal eqs.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.1],
+            &[1.0, 1.2],
+            &[1.0, 1.9],
+            &[1.0, 3.1],
+            &[1.0, 4.0],
+        ]);
+        let b = [0.9, 3.2, 4.9, 7.1, 9.2];
+        let x = least_squares(&a, &b).expect("full rank");
+        let pred = a.matvec(&x);
+        let resid: Vec<f64> = b.iter().zip(&pred).map(|(y, p)| y - p).collect();
+        let at_r = a.transpose().matvec(&resid);
+        assert!(crate::vecops::norm(&at_r) < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_detects_rank_deficiency() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let err = least_squares(&a, &[1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, LeastSquaresError::RankDeficient(_)));
+    }
+
+    #[test]
+    fn least_squares_rejects_bad_rhs_length() {
+        let a = Matrix::zeros(3, 2);
+        let err = least_squares(&a, &[1.0]).unwrap_err();
+        assert!(matches!(err, LeastSquaresError::Shape(_)));
+    }
+
+    #[test]
+    fn solve_upper_triangular_known_system() {
+        let r = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 4.0]]);
+        let x = solve_upper_triangular(&r, &[5.0, 8.0]).expect("full rank");
+        approx(x[1], 2.0, 1e-12);
+        approx(x[0], 1.5, 1e-12);
+    }
+
+    #[test]
+    fn solve_upper_triangular_zero_diag_errors() {
+        let r = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        let err = solve_upper_triangular(&r, &[1.0, 1.0]).unwrap_err();
+        assert_eq!(err.col(), 1);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = RankDeficientError { col: 3 };
+        assert!(e.to_string().contains("column 3"));
+        let ls = LeastSquaresError::RankDeficient(e);
+        assert!(ls.to_string().contains("rank deficient"));
+    }
+}

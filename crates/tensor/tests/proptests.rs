@@ -1,0 +1,144 @@
+//! Property-based tests for the tensor kernel.
+
+use occusense_tensor::{linalg, vecops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with bounded shape and bounded finite values.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: two matrices of identical shape.
+fn matrix_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        let a = prop::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data));
+        let b = prop::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data));
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn addition_commutes((a, b) in matrix_pair(10)) {
+        let ab = a.try_add(&b).unwrap();
+        let ba = b.try_add(&a).unwrap();
+        prop_assert!((&ab - &ba).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn subtraction_is_inverse_of_addition((a, b) in matrix_pair(10)) {
+        let back = a.try_add(&b).unwrap().try_sub(&b).unwrap();
+        prop_assert!((&back - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in matrix_pair(8), k in -10.0f64..10.0) {
+        let lhs = a.try_add(&b).unwrap().scale(k);
+        let rhs = a.scale(k).try_add(&b.scale(k)).unwrap();
+        prop_assert!((&lhs - &rhs).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in matrix_strategy(8)) {
+        // (A^T A) is symmetric.
+        let ata = m.transpose().matmul(&m);
+        let diff = &ata - &ata.transpose();
+        prop_assert!(diff.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul(m in matrix_strategy(8)) {
+        let v: Vec<f64> = (0..m.cols()).map(|i| i as f64 - 2.0).collect();
+        let got = m.matvec(&v);
+        let want = m.matmul(&Matrix::col_vector(&v)).col(0);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hadamard_commutes((a, b) in matrix_pair(10)) {
+        let ab = a.try_hadamard(&b).unwrap();
+        let ba = b.try_hadamard(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn qr_reconstruction(m in matrix_strategy(8)) {
+        // Only tall/square matrices are factorisable.
+        prop_assume!(m.rows() >= m.cols());
+        let f = linalg::qr(&m).unwrap();
+        let back = f.q.matmul(&f.r);
+        prop_assert!((&back - &m).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn qr_q_orthonormal(m in matrix_strategy(8)) {
+        prop_assume!(m.rows() >= m.cols());
+        let f = linalg::qr(&m).unwrap();
+        let qtq = f.q.transpose().matmul(&f.q);
+        let diff = &qtq - &Matrix::identity(m.cols());
+        prop_assert!(diff.max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn dot_is_symmetric(v in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let w: Vec<f64> = v.iter().rev().copied().collect();
+        prop_assert!((vecops::dot(&v, &w) - vecops::dot(&w, &v)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_nonnegative(v in prop::collection::vec(-1e3f64..1e3, 0..100)) {
+        prop_assert!(vecops::variance(&v) >= 0.0);
+        prop_assert!(vecops::sample_variance(&v) >= 0.0);
+    }
+
+    #[test]
+    fn variance_shift_invariant(v in prop::collection::vec(-100.0f64..100.0, 2..50), shift in -50.0f64..50.0) {
+        let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+        prop_assert!((vecops::variance(&v) - vecops::variance(&shifted)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_within_unit_interval(x in -1e6f64..1e6) {
+        let s = vecops::sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn diff_length(v in prop::collection::vec(-10.0f64..10.0, 0..50)) {
+        let d = vecops::diff(&v);
+        prop_assert_eq!(d.len(), v.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonality(
+        rows in 4usize..12,
+        seedish in 0u64..1000,
+    ) {
+        // Build a well-conditioned design: intercept + ramp + alternation.
+        let a = Matrix::from_fn(rows, 3, |r, c| match c {
+            0 => 1.0,
+            1 => r as f64,
+            _ => if r % 2 == 0 { 1.0 } else { -1.0 },
+        });
+        let b: Vec<f64> = (0..rows)
+            .map(|r| ((r as f64) * 0.7 + (seedish as f64) * 0.01).sin() * 5.0)
+            .collect();
+        let x = linalg::least_squares(&a, &b).unwrap();
+        let pred = a.matvec(&x);
+        let resid: Vec<f64> = b.iter().zip(&pred).map(|(y, p)| y - p).collect();
+        let at_r = a.transpose().matvec(&resid);
+        prop_assert!(vecops::norm(&at_r) < 1e-7);
+    }
+}

@@ -1,0 +1,63 @@
+//! Environment sensing from WiFi alone — the paper's third contribution
+//! (§V-D): estimate temperature and humidity from CSI amplitudes,
+//! comparing ordinary least squares against the neural network, exactly
+//! as Table V does but on a small scenario.
+//!
+//! ```text
+//! cargo run --release -p occusense-core --example environment_sensing
+//! ```
+
+use occusense_core::regressor::{EnvRegressor, RegressorConfig, RegressorKind};
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::Dataset;
+
+fn main() {
+    // A longer quick scenario gives the environment time to move.
+    let ds = simulate(&ScenarioConfig::quick(4800.0, 11));
+    let split = (ds.len() * 7) / 10;
+    let train: Dataset = ds.records()[..split].iter().copied().collect();
+    let test: Dataset = ds.records()[split..].iter().copied().collect();
+
+    println!("CSI → (temperature, humidity) regression, {} test records\n", test.len());
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "Model", "MAE T", "MAE H", "MAPE T", "MAPE H"
+    );
+    for kind in [RegressorKind::Linear, RegressorKind::NeuralNetwork] {
+        let model = EnvRegressor::train(
+            &train,
+            &RegressorConfig {
+                kind,
+                ..RegressorConfig::default()
+            },
+        )
+        .expect("regressor fit");
+        let scores = model.evaluate(&test);
+        println!(
+            "{:<18} {:>9.2}° {:>9.2}% {:>9.1}% {:>9.1}%",
+            kind.name(),
+            scores.mae_temperature,
+            scores.mae_humidity,
+            scores.mape_temperature,
+            scores.mape_humidity
+        );
+    }
+
+    // Show a few sample predictions from the NN model.
+    let nn = EnvRegressor::train(&train, &RegressorConfig::default()).expect("fit");
+    let pred = nn.predict(&test);
+    println!("\nsample predictions (every ~10 min):");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "t (s)", "T true", "T pred", "H true", "H pred"
+    );
+    for i in (0..test.len()).step_by(test.len() / 5 + 1) {
+        let r = &test.records()[i];
+        println!(
+            "{:>10.0} {:>11.2}° {:>11.2}° {:>11.0}% {:>11.1}%",
+            r.timestamp_s, r.temperature_c, pred.temperature_c[i], r.humidity_pct, pred.humidity_pct[i]
+        );
+    }
+    println!("\nThe paper's conclusion: the CSI signal embeds the environmental state");
+    println!("non-linearly — the NN recovers it where the linear model cannot (§V-D).");
+}

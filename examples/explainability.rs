@@ -1,0 +1,75 @@
+//! Explainability — the paper's second contribution (§V-C / Figure 3):
+//! train the MLP on CSI + environment features, then ask Grad-CAM which
+//! inputs the network actually uses. The finding to reproduce: the CSI
+//! subcarriers carry the decision; temperature and humidity importance
+//! is ≈ 0.
+//!
+//! ```text
+//! cargo run --release -p occusense-core --example explainability
+//! ```
+
+use occusense_core::dataset::folds::split_by_folds;
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::explain::Explanation;
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::{Dataset, FeatureView};
+
+fn main() {
+    // The Figure 3 finding needs the full multi-day campaign: over one
+    // short session temperature tracks occupancy almost perfectly and
+    // *would* be informative; only across days does the environment
+    // become the unreliable cue the paper describes. A low sampling rate
+    // keeps this example fast.
+    let mut scenario = ScenarioConfig::turetta2022(5);
+    scenario.sample_rate_hz = 0.1;
+    println!("simulating the 76-hour campaign at 0.1 Hz…");
+    let ds = simulate(&scenario);
+    let (train, tests) = split_by_folds(&ds);
+    let mut test = Dataset::new();
+    for fold in tests {
+        test.extend(fold.records().iter().copied());
+    }
+
+    let detector = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            model: ModelKind::Mlp,
+            features: FeatureView::CsiEnv,
+            ..DetectorConfig::default()
+        },
+    );
+    let explanation = Explanation::of(&detector, &test).expect("MLP detector");
+
+    let max_abs = explanation
+        .importance
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(1e-12);
+    println!("Grad-CAM input attribution (positive class = occupied):\n");
+    for (name, &imp) in explanation
+        .feature_names
+        .iter()
+        .zip(&explanation.importance)
+    {
+        let bar_len = ((imp.abs() / max_abs) * 32.0).round() as usize;
+        let bar: String = std::iter::repeat(if imp >= 0.0 { '+' } else { '-' })
+            .take(bar_len)
+            .collect();
+        println!("{name:>4} {imp:>9.4} {bar}");
+    }
+
+    let csi = explanation.mean_abs_importance(0..64);
+    let env = explanation.mean_abs_importance(64..66);
+    println!("\nmean |importance| per feature: CSI {csi:.4} vs temperature+humidity {env:.4}");
+    println!(
+        "total block importance: CSI {:.2} vs env {:.2}",
+        csi * 64.0,
+        env * 2.0
+    );
+    println!("\nPaper's Figure 3 shows per-feature env importance ≈ 0. In this");
+    println!("simulation the environment is a genuinely reliable in-fold cue, so");
+    println!("the network does assign it weight — see EXPERIMENTS.md (E6) for the");
+    println!("full discussion of this deviation. The CSI *block* still carries the");
+    println!("bulk of the attribution mass, and Grad-CAM faithfully exposes");
+    println!("whichever features the trained network actually uses.");
+}

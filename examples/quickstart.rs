@@ -1,0 +1,63 @@
+//! Quickstart: simulate a short office scenario, train the paper's MLP
+//! on CSI amplitudes, and evaluate occupancy detection on held-out time.
+//!
+//! ```text
+//! cargo run --release -p occusense-core --example quickstart
+//! ```
+
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::{Dataset, FeatureView};
+
+fn main() {
+    // 1. Simulate 40 minutes of office life: empty for the first half,
+    //    then one person enters, then a second (ScenarioConfig::quick).
+    let scenario = ScenarioConfig::quick(2400.0, 42);
+    println!(
+        "simulating {} samples at {} Hz…",
+        scenario.n_samples(),
+        scenario.sample_rate_hz
+    );
+    let ds = simulate(&scenario);
+
+    // 2. Temporal 70/30 split — the paper never shuffles across time.
+    let split = (ds.len() * 7) / 10;
+    let train: Dataset = ds.records()[..split].iter().copied().collect();
+    let test: Dataset = ds.records()[split..].iter().copied().collect();
+    println!("train: {} records, test: {} records", train.len(), test.len());
+
+    // 3. Train the paper's 4-layer MLP on the 64 CSI amplitudes.
+    let config = DetectorConfig {
+        model: ModelKind::Mlp,
+        features: FeatureView::Csi,
+        ..DetectorConfig::default()
+    };
+    let detector = OccupancyDetector::train(&train, &config);
+    if let Some(mlp) = detector.mlp() {
+        println!(
+            "model: {} parameters, {:.2} KiB at f32 deployment precision",
+            mlp.n_parameters(),
+            mlp.size_kib(4)
+        );
+    }
+
+    // 4. Evaluate.
+    let cm = detector.evaluate(&test);
+    println!("test confusion matrix: {cm}");
+    println!(
+        "accuracy {:.1}%  precision {:.2}  recall {:.2}  F1 {:.2}",
+        100.0 * cm.accuracy(),
+        cm.precision(),
+        cm.recall(),
+        cm.f1()
+    );
+
+    // 5. Online use: classify one fresh record.
+    let last = ds.records()[ds.len() - 1];
+    let (label, confidence) = detector.predict_record(&last);
+    println!(
+        "last sample → {} (p = {confidence:.3}, ground truth: {} occupants)",
+        if label == 1 { "OCCUPIED" } else { "EMPTY" },
+        last.occupant_count
+    );
+}

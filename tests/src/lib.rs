@@ -1,0 +1,27 @@
+//! Integration-test crate for the `occusense` workspace.
+//!
+//! The library target holds shared test helpers; the cross-crate tests
+//! live in `tests/`.
+
+#![deny(unsafe_code)]
+
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::Dataset;
+
+/// Simulates the full `turetta2022` campaign at a low sampling rate —
+/// small enough for CI, large enough for every fold to be populated.
+pub fn small_campaign(seed: u64) -> Dataset {
+    let mut cfg = ScenarioConfig::turetta2022(seed);
+    cfg.sample_rate_hz = 0.05; // one sample / 20 s → ~13.7 k records
+    simulate(&cfg)
+}
+
+/// Simulates a quick two-subject scenario and splits it 70/30 in time.
+pub fn quick_split(duration_s: f64, seed: u64) -> (Dataset, Dataset) {
+    let ds = simulate(&ScenarioConfig::quick(duration_s, seed));
+    let split = (ds.len() * 7) / 10;
+    (
+        ds.records()[..split].iter().copied().collect(),
+        ds.records()[split..].iter().copied().collect(),
+    )
+}

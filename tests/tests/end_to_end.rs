@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests: simulate → split → train → evaluate →
+//! explain, across all model families.
+
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::explain::Explanation;
+use occusense_core::regressor::{EnvRegressor, RegressorConfig, RegressorKind};
+use occusense_core::FeatureView;
+use occusense_integration::quick_split;
+
+#[test]
+fn all_models_learn_occupancy_from_csi() {
+    let (train, test) = quick_split(1600.0, 101);
+    for model in ModelKind::TABLE4 {
+        let det = OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model,
+                features: FeatureView::Csi,
+                mlp_epochs: 5,
+                ..DetectorConfig::default()
+            },
+        );
+        let acc = det.evaluate(&test).accuracy();
+        assert!(acc > 0.6, "{model:?} accuracy {acc}");
+    }
+}
+
+#[test]
+fn nonlinear_models_beat_linear_on_csi() {
+    // The paper's central comparison (Table IV): CSI-based occupancy is
+    // not linearly separable; RF and the MLP must beat logistic
+    // regression on a scenario with varied occupant positions.
+    let (train, test) = quick_split(2400.0, 103);
+    let acc = |model: ModelKind| {
+        OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model,
+                features: FeatureView::Csi,
+                ..DetectorConfig::default()
+            },
+        )
+        .evaluate(&test)
+        .accuracy()
+    };
+    let logreg = acc(ModelKind::LogisticRegression);
+    let forest = acc(ModelKind::RandomForest);
+    let mlp = acc(ModelKind::Mlp);
+    assert!(
+        mlp >= logreg - 0.02 && forest >= logreg - 0.02,
+        "logreg {logreg}, forest {forest}, mlp {mlp}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let (train, test) = quick_split(900.0, 7);
+        let det = OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                mlp_epochs: 2,
+                ..DetectorConfig::default()
+            },
+        );
+        det.predict_proba(&test)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn explanation_covers_every_feature() {
+    let (train, test) = quick_split(1200.0, 9);
+    let det = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            features: FeatureView::CsiEnv,
+            mlp_epochs: 3,
+            ..DetectorConfig::default()
+        },
+    );
+    let explanation = Explanation::of(&det, &test).expect("MLP detector");
+    assert_eq!(explanation.importance.len(), 66);
+    assert_eq!(explanation.feature_names.len(), 66);
+    assert!(explanation.importance.iter().all(|v| v.is_finite()));
+    // Some feature must matter.
+    assert!(explanation.importance.iter().any(|v| v.abs() > 1e-6));
+}
+
+#[test]
+fn regression_pipeline_runs_both_families() {
+    let (train, test) = quick_split(1600.0, 11);
+    for kind in [RegressorKind::Linear, RegressorKind::NeuralNetwork] {
+        let model = EnvRegressor::train(
+            &train,
+            &RegressorConfig {
+                kind,
+                epochs: 4,
+                ..RegressorConfig::default()
+            },
+        )
+        .expect("fit");
+        let scores = model.evaluate(&test);
+        assert!(scores.mae_temperature.is_finite());
+        assert!(scores.mae_temperature < 10.0, "{kind:?}: MAE T {}", scores.mae_temperature);
+        assert!(scores.mae_humidity < 30.0, "{kind:?}: MAE H {}", scores.mae_humidity);
+    }
+}
+
+#[test]
+fn online_prediction_agrees_with_batch() {
+    let (train, test) = quick_split(900.0, 13);
+    let det = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            model: ModelKind::RandomForest,
+            ..DetectorConfig::default()
+        },
+    );
+    let batch = det.predict_proba(&test);
+    for (i, r) in test.iter().enumerate().step_by(37) {
+        let (_, p) = det.predict_record(r);
+        assert!((p - batch[i]).abs() < 1e-12, "record {i}: {p} vs {}", batch[i]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the extension pipelines: activity recognition,
+//! occupant counting, windowed features, quantisation and the detector
+//! persistence behind the CLI.
+
+use occusense_core::activity::{ActivityConfig, ActivityRecognizer};
+use occusense_core::counting::{CountingConfig, OccupancyCounter};
+use occusense_core::dataset::windowed::WindowedView;
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::nn::quantize::QuantizedMlp;
+use occusense_core::persist;
+use occusense_core::sim::{simulate_annotated, ScenarioConfig};
+use occusense_core::{Dataset, FeatureView};
+use occusense_integration::quick_split;
+
+#[test]
+fn activity_recognizer_end_to_end() {
+    let (ds, labels) = simulate_annotated(&ScenarioConfig::quick(2000.0, 201));
+    let split = (ds.len() * 7) / 10;
+    let train: Dataset = ds.records()[..split].iter().copied().collect();
+    let test: Dataset = ds.records()[split..].iter().copied().collect();
+    let model = ActivityRecognizer::train(
+        &train,
+        &labels[..split],
+        &ActivityConfig {
+            epochs: 4,
+            ..ActivityConfig::default()
+        },
+    );
+    let cm = model.evaluate(&test, &labels[split..]);
+    assert!(cm.accuracy() > 0.5, "{cm}");
+    // The occupancy view is consistent with the activity view.
+    let occ = model.predict_occupancy(&test);
+    let act = model.predict(&test);
+    for (o, a) in occ.iter().zip(&act) {
+        assert_eq!(*o == 0, *a == occusense_core::sim::ActivityClass::Empty);
+    }
+}
+
+#[test]
+fn counter_end_to_end() {
+    let (train, test) = quick_split(2000.0, 202);
+    let counter = OccupancyCounter::train(
+        &train,
+        &CountingConfig {
+            epochs: 4,
+            ..CountingConfig::default()
+        },
+    );
+    let scores = counter.evaluate(&test);
+    assert!(scores.occupancy_accuracy > 0.7, "{}", scores.occupancy_accuracy);
+    assert!(scores.count_mae.is_finite());
+}
+
+#[test]
+fn windowed_features_are_consistent_over_simulated_data() {
+    let (train, _) = quick_split(600.0, 203);
+    let view = WindowedView::new(8);
+    let x = view.design_matrix(&train);
+    assert_eq!(x.shape(), (train.len(), 128));
+    // Occupied motion produces larger windowed stds than the empty room.
+    let labels = train.labels();
+    let mean_std = |label: u8| -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for (i, &l) in labels.iter().enumerate() {
+            if l == label && i >= 8 {
+                total += x.row(i)[64..].iter().sum::<f64>();
+                n += 1;
+            }
+        }
+        total / n.max(1) as f64
+    };
+    assert!(
+        mean_std(1) > mean_std(0),
+        "occupied window-std {} vs empty {}",
+        mean_std(1),
+        mean_std(0)
+    );
+}
+
+#[test]
+fn quantized_detector_stays_accurate() {
+    let (train, test) = quick_split(1600.0, 204);
+    let det = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            model: ModelKind::Mlp,
+            features: FeatureView::Csi,
+            mlp_epochs: 4,
+            ..DetectorConfig::default()
+        },
+    );
+    let mlp = det.mlp().expect("MLP");
+    let q = QuantizedMlp::from_mlp(mlp);
+    let x = det.features_of(&test);
+    let full = mlp.predict_labels(&x);
+    let quant = q.predict_labels(&x);
+    let agree = full.iter().zip(&quant).filter(|(a, b)| a == b).count();
+    let agreement = agree as f64 / full.len() as f64;
+    assert!(agreement > 0.97, "int8 agreement {agreement}");
+    assert!(q.size_kib() < mlp.size_kib(4) / 3.0);
+}
+
+#[test]
+fn persisted_detector_round_trips_through_files() {
+    let (train, test) = quick_split(1200.0, 205);
+    let det = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            mlp_epochs: 3,
+            ..DetectorConfig::default()
+        },
+    );
+    let mut buf = Vec::new();
+    persist::save_detector(&mut buf, &det).expect("save");
+    let loaded = persist::load_detector(&buf[..]).expect("load");
+    assert_eq!(loaded.predict_proba(&test), det.predict_proba(&test));
+}

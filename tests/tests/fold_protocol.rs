@@ -1,0 +1,74 @@
+//! The Table III fold protocol over a full simulated campaign: folds
+//! tile the window, the scripted occupancy anchors hold, and models are
+//! evaluated without retraining.
+
+use occusense_core::dataset::folds::{split_by_folds, turetta_folds};
+use occusense_core::dataset::profile::OccupancyProfile;
+use occusense_integration::small_campaign;
+
+#[test]
+fn folds_partition_the_campaign() {
+    let ds = small_campaign(31);
+    let (train, tests) = split_by_folds(&ds);
+    let total = train.len() + tests.iter().map(|f| f.len()).sum::<usize>();
+    assert_eq!(total, ds.len());
+    assert_eq!(tests.len(), 5);
+    // Train is ~70 % of samples.
+    let frac = train.len() as f64 / ds.len() as f64;
+    assert!((0.65..0.72).contains(&frac), "train fraction {frac}");
+}
+
+#[test]
+fn scripted_occupancy_structure_holds() {
+    let ds = small_campaign(32);
+    let (_, tests) = split_by_folds(&ds);
+    // Folds 1-3 (night): entirely empty.
+    for (i, fold) in tests[..3].iter().enumerate() {
+        assert!(
+            fold.labels().iter().all(|&l| l == 0),
+            "night fold {} contains occupied samples",
+            i + 1
+        );
+    }
+    // Fold 4: mixed, mostly occupied (paper: 82.5 % occupied).
+    let f4 = &tests[3];
+    let occ4 = f4.labels().iter().filter(|&&l| l == 1).count() as f64 / f4.len() as f64;
+    assert!((0.70..0.95).contains(&occ4), "fold-4 occupied fraction {occ4}");
+    // Fold 5: fully occupied.
+    assert!(tests[4].labels().iter().all(|&l| l == 1), "fold 5 has empty samples");
+}
+
+#[test]
+fn occupancy_distribution_matches_table2_shape() {
+    let ds = small_campaign(33);
+    let p = OccupancyProfile::of(&ds, 4);
+    // Empty dominates (paper 63.2 %), singles are the most common
+    // occupied state, higher head counts are rarer.
+    let empty_frac = p.empty_total() as f64 / p.total() as f64;
+    assert!((0.5..0.75).contains(&empty_frac), "empty fraction {empty_frac}");
+    assert!(p.count(1) > p.count(3), "1-occ {} vs 3-occ {}", p.count(1), p.count(3));
+    assert!(p.count(2) > p.count(4), "2-occ {} vs 4-occ {}", p.count(2), p.count(4));
+}
+
+#[test]
+fn fold_temperature_ranges_are_winter_office_like() {
+    let ds = small_campaign(34);
+    let folds = turetta_folds();
+    for spec in &folds {
+        let fold = spec.slice(&ds);
+        let temps = fold.temperatures();
+        let min = temps.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min > 14.0, "fold {} min temperature {min}", spec.index);
+        assert!(max < 41.0, "fold {} max temperature {max}", spec.index);
+        let hums = fold.humidities();
+        for h in hums {
+            assert!((5.0..=75.0).contains(&h), "fold {} humidity {h}", spec.index);
+        }
+    }
+}
+
+#[test]
+fn campaign_is_deterministic_per_seed() {
+    assert_eq!(small_campaign(40), small_campaign(40));
+}

@@ -1,0 +1,54 @@
+//! Persistence round trips: CSV datasets and serialised models survive a
+//! save/load cycle bit-for-bit.
+
+use occusense_core::dataset::csv;
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::nn::serialize;
+use occusense_core::FeatureView;
+use occusense_integration::quick_split;
+
+#[test]
+fn csv_round_trip_preserves_simulated_data() {
+    let (train, _) = quick_split(600.0, 21);
+    let mut buf = Vec::new();
+    csv::write_csv(&mut buf, &train).expect("write");
+    let back = csv::read_csv(&buf[..]).expect("read");
+    assert_eq!(back, train);
+}
+
+#[test]
+fn model_round_trip_preserves_predictions() {
+    let (train, test) = quick_split(900.0, 23);
+    let det = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            model: ModelKind::Mlp,
+            features: FeatureView::Csi,
+            mlp_epochs: 3,
+            ..DetectorConfig::default()
+        },
+    );
+    let mlp = det.mlp().expect("MLP detector");
+    let mut buf = Vec::new();
+    serialize::save(&mut buf, mlp).expect("save");
+    let loaded = serialize::load(&buf[..]).expect("load");
+    assert_eq!(&loaded, mlp);
+    let x = det.features_of(&test);
+    assert_eq!(loaded.predict(&x), mlp.predict(&x));
+}
+
+#[test]
+fn csv_written_dataset_trains_identically() {
+    // A dataset that went through CSV produces the same trained model.
+    let (train, test) = quick_split(900.0, 25);
+    let mut buf = Vec::new();
+    csv::write_csv(&mut buf, &train).expect("write");
+    let reloaded = csv::read_csv(&buf[..]).expect("read");
+    let cfg = DetectorConfig {
+        model: ModelKind::LogisticRegression,
+        ..DetectorConfig::default()
+    };
+    let a = OccupancyDetector::train(&train, &cfg);
+    let b = OccupancyDetector::train(&reloaded, &cfg);
+    assert_eq!(a.predict_proba(&test), b.predict_proba(&test));
+}
