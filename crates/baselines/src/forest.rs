@@ -111,7 +111,10 @@ impl RandomForest {
 
     /// Majority-vote binary labels (`mean > 0.5`).
     pub fn predict_labels(&self, x: &Matrix) -> Vec<u8> {
-        self.predict(x).into_iter().map(|p| u8::from(p > 0.5)).collect()
+        self.predict(x)
+            .into_iter()
+            .map(|p| u8::from(p > 0.5))
+            .collect()
     }
 
     /// Rough memory footprint of the fitted model in KiB (for the
@@ -218,7 +221,10 @@ mod tests {
             seed: 11,
             ..ForestConfig::default()
         };
-        assert_eq!(RandomForest::fit(&x, &y, &cfg), RandomForest::fit(&x, &y, &cfg));
+        assert_eq!(
+            RandomForest::fit(&x, &y, &cfg),
+            RandomForest::fit(&x, &y, &cfg)
+        );
         let other = ForestConfig { seed: 12, ..cfg };
         assert_ne!(
             RandomForest::fit(&x, &y, &cfg),

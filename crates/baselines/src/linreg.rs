@@ -94,8 +94,7 @@ impl LinearRegression {
         let mut b = y.to_vec();
         b.extend(std::iter::repeat_n(0.0, ridge_rows));
 
-        let solution =
-            linalg::least_squares(&a, &b).map_err(|inner| FitLinRegError { inner })?;
+        let solution = linalg::least_squares(&a, &b).map_err(|inner| FitLinRegError { inner })?;
         Ok(Self {
             intercept: solution[0],
             coefficients: solution[1..].to_vec(),
@@ -118,7 +117,11 @@ impl LinearRegression {
     ///
     /// Panics if `x.cols()` differs from the fitted dimension.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        assert_eq!(x.cols(), self.coefficients.len(), "linreg: dimension mismatch");
+        assert_eq!(
+            x.cols(),
+            self.coefficients.len(),
+            "linreg: dimension mismatch"
+        );
         x.rows_iter()
             .map(|row| occusense_tensor::vecops::dot(&self.coefficients, row) + self.intercept)
             .collect()
@@ -133,7 +136,9 @@ mod tests {
     fn exact_fit_on_linear_data() {
         // y = 3 x0 - 2 x1 + 5
         let x = Matrix::from_fn(20, 2, |r, c| ((r + 3 * c) as f64 * 0.917).sin());
-        let y: Vec<f64> = (0..20).map(|r| 3.0 * x[(r, 0)] - 2.0 * x[(r, 1)] + 5.0).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|r| 3.0 * x[(r, 0)] - 2.0 * x[(r, 1)] + 5.0)
+            .collect();
         let m = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).unwrap();
         assert!((m.coefficients()[0] - 3.0).abs() < 1e-9);
         assert!((m.coefficients()[1] + 2.0).abs() < 1e-9);
@@ -188,8 +193,7 @@ mod tests {
             .collect();
         let m = LinearRegression::fit(&x, &y, &LinRegConfig { l2: 0.0 }).unwrap();
         let pred = m.predict(&x);
-        let mean_resid: f64 =
-            y.iter().zip(&pred).map(|(t, p)| t - p).sum::<f64>() / y.len() as f64;
+        let mean_resid: f64 = y.iter().zip(&pred).map(|(t, p)| t - p).sum::<f64>() / y.len() as f64;
         assert!(mean_resid.abs() < 1e-9, "bias {mean_resid}");
     }
 }

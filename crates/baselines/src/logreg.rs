@@ -149,13 +149,11 @@ mod tests {
             ..LogRegConfig::default()
         };
         let m = LogisticRegression::fit(&x, &y, &cfg);
-        let correct = m
-            .predict(&x)
-            .iter()
-            .zip(&y)
-            .filter(|(a, b)| a == b)
-            .count();
-        assert!(correct <= 3, "a linear model cannot solve XOR ({correct}/4)");
+        let correct = m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(
+            correct <= 3,
+            "a linear model cannot solve XOR ({correct}/4)"
+        );
     }
 
     #[test]

@@ -156,7 +156,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    i = if row[feature] <= threshold { left } else { right };
+                    i = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -219,8 +223,8 @@ fn best_split(
             let sum_r = total_sum - sum_l;
             let sumsq_r = total_sumsq - sumsq_l;
             // n·var = Σy² − (Σy)²/n for each side.
-            let cost = (sumsq_l - sum_l * sum_l / nl as f64)
-                + (sumsq_r - sum_r * sum_r / nr as f64);
+            let cost =
+                (sumsq_l - sum_l * sum_l / nl as f64) + (sumsq_r - sum_r * sum_r / nr as f64);
             if best.is_none_or(|(c, _, _)| cost < c - 1e-15) {
                 best = Some((cost, f, (v_prev + v_here) / 2.0));
             }
@@ -375,7 +379,10 @@ mod tests {
             seed: 3,
             ..TreeConfig::default()
         };
-        assert_eq!(DecisionTree::fit(&x, &y, &cfg), DecisionTree::fit(&x, &y, &cfg));
+        assert_eq!(
+            DecisionTree::fit(&x, &y, &cfg),
+            DecisionTree::fit(&x, &y, &cfg)
+        );
     }
 
     #[test]

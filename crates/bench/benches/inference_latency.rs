@@ -27,8 +27,16 @@ fn bench_inference(c: &mut Criterion) {
     for (name, model, features) in [
         ("mlp_csi", ModelKind::Mlp, FeatureView::Csi),
         ("mlp_csi_env", ModelKind::Mlp, FeatureView::CsiEnv),
-        ("logreg_csi_env", ModelKind::LogisticRegression, FeatureView::CsiEnv),
-        ("forest_csi_env", ModelKind::RandomForest, FeatureView::CsiEnv),
+        (
+            "logreg_csi_env",
+            ModelKind::LogisticRegression,
+            FeatureView::CsiEnv,
+        ),
+        (
+            "forest_csi_env",
+            ModelKind::RandomForest,
+            FeatureView::CsiEnv,
+        ),
     ] {
         let (det, ds) = train_small(model, features);
         if let Some(mlp) = det.mlp() {

@@ -35,7 +35,13 @@ fn bench_adf(c: &mut Criterion) {
     let mut group = c.benchmark_group("adf_5k");
     group.sample_size(20);
     group.bench_function("fixed_lag_4", |b| {
-        b.iter(|| black_box(adf_test(black_box(&x), Regression::Constant, LagSelection::Fixed(4))))
+        b.iter(|| {
+            black_box(adf_test(
+                black_box(&x),
+                Regression::Constant,
+                LagSelection::Fixed(4),
+            ))
+        })
     });
     group.bench_function("constant_trend_lag_4", |b| {
         b.iter(|| {

@@ -36,7 +36,13 @@ fn bench_optimisers(c: &mut Criterion) {
             b.iter(|| {
                 let mut mlp = Mlp::paper_classifier(66, 1);
                 let mut optim = make();
-                trainer.fit(&mut mlp, black_box(&x), black_box(&y), &BceWithLogits, &mut *optim);
+                trainer.fit(
+                    &mut mlp,
+                    black_box(&x),
+                    black_box(&y),
+                    &BceWithLogits,
+                    &mut *optim,
+                );
                 black_box(mlp)
             })
         });

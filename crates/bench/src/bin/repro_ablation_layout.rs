@@ -61,8 +61,14 @@ fn main() {
             );
         }
         let delta = 100.0
-            * (without_change.cell(model, FeatureView::Csi).expect("cell").fold_accuracy[3]
-                - with_change.cell(model, FeatureView::Csi).expect("cell").fold_accuracy[3]);
+            * (without_change
+                .cell(model, FeatureView::Csi)
+                .expect("cell")
+                .fold_accuracy[3]
+                - with_change
+                    .cell(model, FeatureView::Csi)
+                    .expect("cell")
+                    .fold_accuracy[3]);
         println!(
             "{:<22} fold-4 delta attributable to rearrangement: {delta:+.1} pp",
             ""

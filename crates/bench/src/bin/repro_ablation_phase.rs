@@ -104,10 +104,7 @@ fn main() {
             "amplitude only (paper)",
             Box::new(|s: &Sample| s.amplitude.clone()) as Box<dyn Fn(&Sample) -> Vec<f64>>,
         ),
-        (
-            "raw phase only",
-            Box::new(|s: &Sample| s.raw_phase.clone()),
-        ),
+        ("raw phase only", Box::new(|s: &Sample| s.raw_phase.clone())),
         (
             "sanitised phase only",
             Box::new(|s: &Sample| s.sanitized_phase.clone()),

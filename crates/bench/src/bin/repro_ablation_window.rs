@@ -30,9 +30,7 @@ fn run(
     let x_raw = features(&sub);
     let standardizer = Standardizer::fit(&x_raw);
     let x = standardizer.transform(&x_raw);
-    let y = Matrix::col_vector(
-        &sub.labels().iter().map(|&l| l as f64).collect::<Vec<_>>(),
-    );
+    let y = Matrix::col_vector(&sub.labels().iter().map(|&l| l as f64).collect::<Vec<_>>());
     let mut mlp = Mlp::paper_classifier(x.cols(), cli.seed);
     let mut optim = AdamW::new(5e-3, 1e-4);
     Trainer::new(TrainConfig {

@@ -45,6 +45,10 @@ fn main() {
     }
     let scores = counter.evaluate(&pooled);
     println!("pooled test folds:\n{}", scores.confusion);
-    println!("pooled count MAE {:.3}, occupancy accuracy {}%", scores.count_mae, pct(scores.occupancy_accuracy));
+    println!(
+        "pooled count MAE {:.3}, occupancy accuracy {}%",
+        scores.count_mae,
+        pct(scores.occupancy_accuracy)
+    );
     println!("\n(extension beyond the paper; its refs [3,12] report counting on other datasets)");
 }

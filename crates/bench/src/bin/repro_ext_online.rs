@@ -30,7 +30,10 @@ fn main() {
 
     println!("Extension E18 — frozen vs online (prequential) MLP on the test stream\n");
     rule(64);
-    println!("{:<6} {:>14} {:>16} {:>12}", "Fold", "frozen acc", "prequential acc", "Δ (pp)");
+    println!(
+        "{:<6} {:>14} {:>16} {:>12}",
+        "Fold", "frozen acc", "prequential acc", "Δ (pp)"
+    );
     rule(64);
     for (i, fold) in tests.iter().enumerate() {
         let frozen = det.evaluate(fold).accuracy();
@@ -49,7 +52,10 @@ fn main() {
         );
     }
     rule(64);
-    println!("online learner took {} gradient steps over the stream", online.updates());
+    println!(
+        "online learner took {} gradient steps over the stream",
+        online.updates()
+    );
     println!("(labels are the simulator's ground truth — in deployment they would come");
     println!(" from occasional annotation, a door sensor, or self-training)");
 }

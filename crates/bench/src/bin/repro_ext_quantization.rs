@@ -39,7 +39,10 @@ fn main() {
     println!("paper's claim:      15.18 KiB (see EXPERIMENTS.md §E8)\n");
 
     rule(64);
-    println!("{:<6} {:>14} {:>14} {:>10}", "Fold", "f64 accuracy", "int8 accuracy", "Δ (pp)");
+    println!(
+        "{:<6} {:>14} {:>14} {:>10}",
+        "Fold", "f64 accuracy", "int8 accuracy", "Δ (pp)"
+    );
     rule(64);
     for (i, fold) in tests.iter().enumerate() {
         let x = det.features_of(fold);

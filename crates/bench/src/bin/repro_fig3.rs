@@ -24,8 +24,8 @@ fn main() {
         .zip(&explanation.importance)
     {
         let bar_len = ((imp.abs() / max_abs) * 40.0).round() as usize;
-        let bar: String = std::iter::repeat_n(if imp >= 0.0 { '█' } else { '▒' }, bar_len)
-            .collect();
+        let bar: String =
+            std::iter::repeat_n(if imp >= 0.0 { '█' } else { '▒' }, bar_len).collect();
         println!("{name:>4} {imp:>10.5} |{bar}");
     }
     rule(76);

@@ -8,8 +8,7 @@ use occusense_core::sim::clock::COLLECTION_START_OFFSET_S;
 fn main() {
     let cli = Cli::from_env();
     let ds = cli.dataset();
-    let report =
-        profiling(&ds, 8_000, COLLECTION_START_OFFSET_S).expect("profiling pipeline");
+    let report = profiling(&ds, 8_000, COLLECTION_START_OFFSET_S).expect("profiling pipeline");
 
     println!("§V-A data profiling — measured vs paper\n");
     rule(78);

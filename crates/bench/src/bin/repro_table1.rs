@@ -12,7 +12,10 @@ fn main() {
     scenario.duration_s = 5.0;
     let ds = occusense_core::sim::simulate(&scenario);
 
-    println!("Table I — format of the collected data (first {} records)", ds.len());
+    println!(
+        "Table I — format of the collected data (first {} records)",
+        ds.len()
+    );
     println!(
         "{:<12} {:>8} {:>8} … {:>8} {:>11} {:>8} {:>9}",
         "Timestamp", "a0", "a1", "a63", "Temperature", "Humidity", "Occupancy"

@@ -42,10 +42,7 @@ fn main() {
         "{:<20} {:<5} | {:>17} {:>17} {:>17} {:>17} {:>17}",
         "Model", "Feat", "fold1", "fold2", "fold3", "fold4", "fold5"
     );
-    println!(
-        "{:<20} {:<5} | {:>17}",
-        "", "", "measured (paper)"
-    );
+    println!("{:<20} {:<5} | {:>17}", "", "", "measured (paper)");
     rule(96);
     for (mi, model) in ModelKind::TABLE4.iter().enumerate() {
         for (vi, view) in FeatureView::TABLE4.iter().enumerate() {
@@ -61,7 +58,10 @@ fn main() {
             let cell = result.cell(*model, *view).expect("cell computed");
             println!(
                 "{:<20} {:<5} |  avg measured {} vs paper {}",
-                "", view.name(), pct(cell.average()), PAPER[mi][vi][5]
+                "",
+                view.name(),
+                pct(cell.average()),
+                PAPER[mi][vi][5]
             );
         }
         rule(96);

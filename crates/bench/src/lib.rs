@@ -129,7 +129,16 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let cli = parse(&["--rate", "0.5", "--seed", "9", "--train-cap", "1000", "--epochs", "3"]);
+        let cli = parse(&[
+            "--rate",
+            "0.5",
+            "--seed",
+            "9",
+            "--train-cap",
+            "1000",
+            "--epochs",
+            "3",
+        ]);
         assert_eq!(cli.rate_hz, 0.5);
         assert_eq!(cli.seed, 9);
         assert_eq!(cli.train_cap, 1000);

@@ -111,6 +111,10 @@ mod tests {
         // But the empty-vs-humid difference is resolvable at 8-bit scale.
         let dry = path_gain(19.0, 20.0, 10.0);
         let wet = path_gain(25.0, 45.0, 10.0);
-        assert!((dry - wet).abs() > 1.0 / 512.0, "delta {}", (dry - wet).abs());
+        assert!(
+            (dry - wet).abs() > 1.0 / 512.0,
+            "delta {}",
+            (dry - wet).abs()
+        );
     }
 }

@@ -213,10 +213,22 @@ mod tests {
         let p = Point3::new(2.0, 3.0, 1.0);
         assert_eq!(room.mirror(p, Surface::Floor), Point3::new(2.0, 3.0, -1.0));
         assert_eq!(room.mirror(p, Surface::Ceiling), Point3::new(2.0, 3.0, 5.0));
-        assert_eq!(room.mirror(p, Surface::WallSouth), Point3::new(2.0, -3.0, 1.0));
-        assert_eq!(room.mirror(p, Surface::WallNorth), Point3::new(2.0, 9.0, 1.0));
-        assert_eq!(room.mirror(p, Surface::WallWest), Point3::new(-2.0, 3.0, 1.0));
-        assert_eq!(room.mirror(p, Surface::WallEast), Point3::new(22.0, 3.0, 1.0));
+        assert_eq!(
+            room.mirror(p, Surface::WallSouth),
+            Point3::new(2.0, -3.0, 1.0)
+        );
+        assert_eq!(
+            room.mirror(p, Surface::WallNorth),
+            Point3::new(2.0, 9.0, 1.0)
+        );
+        assert_eq!(
+            room.mirror(p, Surface::WallWest),
+            Point3::new(-2.0, 3.0, 1.0)
+        );
+        assert_eq!(
+            room.mirror(p, Surface::WallEast),
+            Point3::new(22.0, 3.0, 1.0)
+        );
     }
 
     #[test]

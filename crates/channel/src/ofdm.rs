@@ -118,7 +118,10 @@ mod tests {
         assert_eq!(cfg.subcarrier_spacing_hz(), 312_500.0);
         // Edges of the grid.
         assert_eq!(cfg.subcarrier_frequency_hz(0), 2.437e9 - 10.0e6);
-        assert_eq!(cfg.subcarrier_frequency_hz(63), 2.437e9 + 10.0e6 - 312_500.0);
+        assert_eq!(
+            cfg.subcarrier_frequency_hz(63),
+            2.437e9 + 10.0e6 - 312_500.0
+        );
     }
 
     #[test]

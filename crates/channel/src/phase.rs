@@ -154,8 +154,8 @@ fn gaussian(rng: &mut impl Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scene::{Body, Scene};
     use crate::geometry::Point3;
+    use crate::scene::{Body, Scene};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -203,7 +203,9 @@ mod tests {
         // frames of the SAME room have uncorrelated raw phases but nearly
         // identical sanitised phases.
         let mut scene = Scene::office_default();
-        scene.bodies.push(Body::standing(Point3::new(6.0, 3.0, 0.0)));
+        scene
+            .bodies
+            .push(Body::standing(Point3::new(6.0, 3.0, 0.0)));
         let response = scene.frequency_response();
         let imp = PhaseImpairments::commodity();
 
@@ -220,7 +222,10 @@ mod tests {
             .map(|(a, b)| (a - b).abs().min(std::f64::consts::TAU - (a - b).abs()))
             .sum::<f64>()
             / 64.0;
-        assert!(raw_delta > 0.5, "raw phase unexpectedly stable: {raw_delta}");
+        assert!(
+            raw_delta > 0.5,
+            "raw phase unexpectedly stable: {raw_delta}"
+        );
 
         let san_a = sanitize(&frame_a);
         let san_b = sanitize(&frame_b);

@@ -208,7 +208,9 @@ impl Scene {
                     shadow *= shadowing_factor(b.position, b.radius, tp, self.rx, lambda);
                 }
             }
-            paths.push(Path::reflection(&self.room, self.tx, self.rx, s, gamma, shadow));
+            paths.push(Path::reflection(
+                &self.room, self.tx, self.rx, s, gamma, shadow,
+            ));
         }
 
         // Second-order (double-bounce) wall reflections: tx → s1 → s2 →
@@ -265,8 +267,8 @@ impl Scene {
         let attenuated: Vec<(f64, f64)> = paths
             .iter()
             .map(|p| {
-                let a = p.amplitude
-                    * air::path_gain(self.temperature_c, self.humidity_pct, p.length_m);
+                let a =
+                    p.amplitude * air::path_gain(self.temperature_c, self.humidity_pct, p.length_m);
                 (a, p.length_m)
             })
             .collect();

@@ -119,7 +119,11 @@ impl ActivityRecognizer {
     ///
     /// Panics if `labels.len() != dataset.len()`.
     pub fn evaluate(&self, dataset: &Dataset, labels: &[ActivityClass]) -> MultiConfusion {
-        assert_eq!(dataset.len(), labels.len(), "activity: label count mismatch");
+        assert_eq!(
+            dataset.len(),
+            labels.len(),
+            "activity: label count mismatch"
+        );
         let pred: Vec<usize> = self.predict(dataset).iter().map(|c| c.label()).collect();
         let truth: Vec<usize> = labels.iter().map(|c| c.label()).collect();
         MultiConfusion::from_labels(ActivityClass::COUNT, &truth, &pred)

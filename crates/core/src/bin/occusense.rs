@@ -89,7 +89,11 @@ fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, St
         .ok_or_else(|| format!("missing required flag --{name}"))
 }
 
-fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, String>
+fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
 {

@@ -190,7 +190,11 @@ mod tests {
         );
         // In-sample: all three regimes must be separable.
         let in_sample = counter.evaluate(&train);
-        assert!(in_sample.confusion.accuracy() > 0.7, "{}", in_sample.confusion);
+        assert!(
+            in_sample.confusion.accuracy() > 0.7,
+            "{}",
+            in_sample.confusion
+        );
         // Held-out tail (two occupants): the exact count generalises.
         let scores = counter.evaluate(&test);
         assert!(scores.count_mae < 1.0, "count MAE {}", scores.count_mae);

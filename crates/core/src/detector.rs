@@ -149,9 +149,7 @@ impl OccupancyDetector {
                     batch_size: config.mlp_batch_size,
                     shuffle_seed: config.seed,
                 });
-                let y = Matrix::col_vector(
-                    &labels.iter().map(|&l| l as f64).collect::<Vec<_>>(),
-                );
+                let y = Matrix::col_vector(&labels.iter().map(|&l| l as f64).collect::<Vec<_>>());
                 trainer.fit(&mut mlp, &x, &y, &BceWithLogits, &mut optim);
                 FittedModel::Mlp(mlp)
             }
@@ -260,6 +258,14 @@ mod tests {
                 model,
                 features: FeatureView::Csi,
                 mlp_epochs: 5,
+                // The quick scenario is ~100× smaller than the full
+                // campaign, so SGD gets far fewer updates per epoch;
+                // give logreg a proportionally longer schedule.
+                logreg: LogRegConfig {
+                    epochs: 300,
+                    learning_rate: 1.0,
+                    ..LogRegConfig::default()
+                },
                 forest: ForestConfig {
                     n_trees: 10,
                     ..ForestConfig::default()

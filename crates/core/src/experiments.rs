@@ -209,8 +209,7 @@ pub fn profiling(
     }
 
     Ok(ProfilingReport {
-        stationary_subcarrier_fraction: stationary as f64
-            / occusense_dataset::N_SUBCARRIERS as f64,
+        stationary_subcarrier_fraction: stationary as f64 / occusense_dataset::N_SUBCARRIERS as f64,
         env_stationary: (
             adf_ok(&thin_env(temps.clone()))?,
             adf_ok(&thin_env(hums.clone()))?,
@@ -445,12 +444,8 @@ mod tests {
     #[test]
     fn profiling_reports_paper_shaped_correlations() {
         let ds = small_turetta();
-        let report = profiling(
-            &ds,
-            4_000,
-            occusense_sim::clock::COLLECTION_START_OFFSET_S,
-        )
-        .expect("profiling");
+        let report = profiling(&ds, 4_000, occusense_sim::clock::COLLECTION_START_OFFSET_S)
+            .expect("profiling");
         // Stationarity: the paper finds all series stationary; at minimum
         // a solid majority of subcarriers must be.
         assert!(

@@ -116,6 +116,19 @@ impl OnlineDetector {
     pub fn mlp(&self) -> &Mlp {
         &self.mlp
     }
+
+    /// The feature view inherited from the offline detector.
+    pub fn features(&self) -> occusense_dataset::FeatureView {
+        self.features
+    }
+
+    /// Freezes the current weights into a standalone detector — the
+    /// hot-swap publication path of the serving runtime: the trainer
+    /// thread keeps learning on `self` while workers score against
+    /// immutable snapshots taken here.
+    pub fn snapshot_detector(&self) -> OccupancyDetector {
+        OccupancyDetector::from_parts(self.features, self.standardizer.clone(), self.mlp.clone())
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +192,10 @@ mod tests {
             online.observe(r, r.occupancy());
         }
         assert_eq!(online.updates(), 0);
-        online.observe(&test.records()[batch - 1], test.records()[batch - 1].occupancy());
+        online.observe(
+            &test.records()[batch - 1],
+            test.records()[batch - 1].occupancy(),
+        );
         assert_eq!(online.updates(), 1);
     }
 
@@ -192,6 +208,29 @@ mod tests {
         }
         assert!(online.updates() > 0);
         assert_ne!(*online.mlp(), before);
+    }
+
+    #[test]
+    fn snapshot_detector_freezes_current_weights() {
+        let (mut online, test) = trained_online();
+        let snap = online.snapshot_detector();
+        // The snapshot agrees with the live detector at capture time…
+        for r in test.records().iter().take(10) {
+            assert_eq!(snap.predict_record(r), online.predict_record(r));
+        }
+        // …and stays frozen while the live detector keeps learning.
+        for r in test.records() {
+            online.observe(r, r.occupancy());
+        }
+        assert!(online.updates() > 0);
+        let fresh = online.snapshot_detector();
+        assert_ne!(snap.mlp(), fresh.mlp(), "snapshot tracked live weights");
+        let drifted = test
+            .records()
+            .iter()
+            .take(50)
+            .any(|r| snap.predict_record(r).1 != online.predict_record(r).1);
+        assert!(drifted, "online updates left the snapshot identical");
     }
 
     #[test]

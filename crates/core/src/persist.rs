@@ -213,7 +213,9 @@ mod tests {
         let mut buf = Vec::new();
         save_detector(&mut buf, &det).unwrap();
         // Corrupt the feature view to Env (dimension 2 vs 64).
-        let text = String::from_utf8(buf).unwrap().replace("features CSI", "features Env");
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("features CSI", "features Env");
         let err = load_detector(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("dimension"));
     }

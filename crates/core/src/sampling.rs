@@ -53,9 +53,7 @@ pub fn stratified_indices(dataset: &Dataset, max: usize, seed: u64) -> Vec<usize
 /// Builds the subsampled dataset directly.
 pub fn stratified_subsample(dataset: &Dataset, max: usize, seed: u64) -> Dataset {
     let idx = stratified_indices(dataset, max, seed);
-    idx.into_iter()
-        .map(|i| dataset.records()[i])
-        .collect()
+    idx.into_iter().map(|i| dataset.records()[i]).collect()
 }
 
 #[cfg(test)]
@@ -107,8 +105,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let ds = dataset(300, 4);
-        assert_eq!(stratified_indices(&ds, 50, 7), stratified_indices(&ds, 50, 7));
-        assert_ne!(stratified_indices(&ds, 50, 7), stratified_indices(&ds, 50, 8));
+        assert_eq!(
+            stratified_indices(&ds, 50, 7),
+            stratified_indices(&ds, 50, 7)
+        );
+        assert_ne!(
+            stratified_indices(&ds, 50, 7),
+            stratified_indices(&ds, 50, 8)
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ pub fn write_csv<W: Write>(mut w: W, dataset: &Dataset) -> io::Result<()> {
         for a in &r.csi {
             write!(w, ",{a}")?;
         }
-        writeln!(w, ",{},{},{}", r.temperature_c, r.humidity_pct, r.occupant_count)?;
+        writeln!(
+            w,
+            ",{},{},{}",
+            r.temperature_c, r.humidity_pct, r.occupant_count
+        )?;
     }
     Ok(())
 }
@@ -101,12 +105,10 @@ pub fn write_csv<W: Write>(mut w: W, dataset: &Dataset) -> io::Result<()> {
 pub fn read_csv<R: Read>(r: R) -> Result<Dataset, ReadCsvError> {
     let reader = BufReader::new(r);
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| ReadCsvError::Parse {
-            line: 1,
-            reason: "empty input".into(),
-        })??;
+    let header = lines.next().ok_or_else(|| ReadCsvError::Parse {
+        line: 1,
+        reason: "empty input".into(),
+    })??;
     let expected_cols = 1 + N_SUBCARRIERS + 3;
     if header.split(',').count() != expected_cols {
         return Err(ReadCsvError::Parse {

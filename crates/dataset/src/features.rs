@@ -69,8 +69,8 @@ impl FeatureView {
                 v
             }
             FeatureView::TimeOnly => {
-                let phase =
-                    std::f64::consts::TAU * (record.timestamp_s % SECONDS_PER_DAY) / SECONDS_PER_DAY;
+                let phase = std::f64::consts::TAU * (record.timestamp_s % SECONDS_PER_DAY)
+                    / SECONDS_PER_DAY;
                 vec![phase.sin(), phase.cos()]
             }
         }

@@ -225,15 +225,7 @@ mod tests {
         let total_s = turetta_folds().last().unwrap().end_s;
         let n = 1000;
         let ds: Dataset = (0..n)
-            .map(|i| {
-                CsiRecord::new(
-                    i as f64 * total_s / n as f64,
-                    [0.1; 64],
-                    20.0,
-                    40.0,
-                    0,
-                )
-            })
+            .map(|i| CsiRecord::new(i as f64 * total_s / n as f64, [0.1; 64], 20.0, 40.0, 0))
             .collect();
         let (train, tests) = split_by_folds(&ds);
         let total: usize = train.len() + tests.iter().map(Dataset::len).sum::<usize>();
@@ -249,7 +241,10 @@ mod tests {
         // fold table sums to a slightly different figure; both are the
         // paper's own numbers. Check internal consistency of what we store.
         let sum: u64 = stats.iter().map(|s| s.empty + s.occupied).sum();
-        assert_eq!(sum, 2_348_151 + 1_405_500 + 3 * 321_742 + 56_223 + 265_519 + 321_741);
+        assert_eq!(
+            sum,
+            2_348_151 + 1_405_500 + 3 * 321_742 + 56_223 + 265_519 + 321_741
+        );
         // Fold 1-3 are entirely empty; fold 5 entirely occupied.
         assert_eq!(stats[1].occupied, 0);
         assert_eq!(stats[2].occupied, 0);

@@ -113,7 +113,10 @@ impl SoftmaxCrossEntropy {
     pub fn one_hot(labels: &[usize], n_classes: usize) -> Matrix {
         let mut y = Matrix::zeros(labels.len(), n_classes);
         for (r, &l) in labels.iter().enumerate() {
-            assert!(l < n_classes, "label {l} out of range ({n_classes} classes)");
+            assert!(
+                l < n_classes,
+                "label {l} out of range ({n_classes} classes)"
+            );
             y[(r, l)] = 1.0;
         }
         y
@@ -136,7 +139,11 @@ impl SoftmaxCrossEntropy {
 
 impl Loss for SoftmaxCrossEntropy {
     fn loss(&self, output: &Matrix, targets: &Matrix) -> f64 {
-        assert_eq!(output.shape(), targets.shape(), "softmax ce: shape mismatch");
+        assert_eq!(
+            output.shape(),
+            targets.shape(),
+            "softmax ce: shape mismatch"
+        );
         let n = output.rows().max(1) as f64;
         let mut total = 0.0;
         for r in 0..output.rows() {
@@ -151,7 +158,11 @@ impl Loss for SoftmaxCrossEntropy {
     }
 
     fn grad(&self, output: &Matrix, targets: &Matrix) -> Matrix {
-        assert_eq!(output.shape(), targets.shape(), "softmax ce: shape mismatch");
+        assert_eq!(
+            output.shape(),
+            targets.shape(),
+            "softmax ce: shape mismatch"
+        );
         let n = output.rows().max(1) as f64;
         let p = Self::softmax(output);
         p.try_zip_map(targets, "softmax_ce_grad", |pi, yi| (pi - yi) / n)

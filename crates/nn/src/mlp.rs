@@ -47,7 +47,10 @@ impl Mlp {
     /// assert_eq!(mlp.n_parameters(), 8320 + 33024 + 32896 + 129);
     /// ```
     pub fn new(sizes: &[usize], seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for (i, w) in sizes.windows(2).enumerate() {

@@ -114,7 +114,9 @@ pub fn load<R: Read>(r: R) -> Result<Mlp, LoadModelError> {
     let mut next_line = |what: &str| -> Result<String, LoadModelError> {
         lines
             .next()
-            .ok_or_else(|| LoadModelError::Parse(format!("unexpected end of file, expected {what}")))?
+            .ok_or_else(|| {
+                LoadModelError::Parse(format!("unexpected end of file, expected {what}"))
+            })?
             .map_err(LoadModelError::from)
     };
 
@@ -173,8 +175,7 @@ fn parse_floats(
     what: &str,
 ) -> Result<Vec<f64>, LoadModelError> {
     let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
-    let values =
-        values.map_err(|e| LoadModelError::Parse(format!("layer {layer} {what}: {e}")))?;
+    let values = values.map_err(|e| LoadModelError::Parse(format!("layer {layer} {what}: {e}")))?;
     if values.len() != expected {
         return Err(LoadModelError::Parse(format!(
             "layer {layer} {what}: expected {expected} values, got {}",

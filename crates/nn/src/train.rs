@@ -74,8 +74,16 @@ impl Trainer {
         optimizer: &mut dyn Optimizer,
     ) -> Vec<EpochStats> {
         assert_eq!(x.rows(), y.rows(), "trainer: sample count mismatch");
-        assert_eq!(x.cols(), mlp.input_dim(), "trainer: feature dimension mismatch");
-        assert_eq!(y.cols(), mlp.output_dim(), "trainer: target dimension mismatch");
+        assert_eq!(
+            x.cols(),
+            mlp.input_dim(),
+            "trainer: feature dimension mismatch"
+        );
+        assert_eq!(
+            y.cols(),
+            mlp.output_dim(),
+            "trainer: target dimension mismatch"
+        );
         assert!(x.rows() > 0, "trainer: empty dataset");
 
         let mut rng = StdRng::seed_from_u64(self.config.shuffle_seed);
@@ -155,9 +163,7 @@ mod tests {
     fn learns_linear_regression_with_sgd() {
         // y = 2 x1 - x2 + 0.5
         let x = Matrix::from_fn(64, 2, |r, c| ((r * 2 + c) as f64 * 0.37).sin());
-        let targets: Vec<f64> = (0..64)
-            .map(|r| 2.0 * x[(r, 0)] - x[(r, 1)] + 0.5)
-            .collect();
+        let targets: Vec<f64> = (0..64).map(|r| 2.0 * x[(r, 0)] - x[(r, 1)] + 0.5).collect();
         let y = Matrix::col_vector(&targets);
         let mut mlp = Mlp::new(&[2, 8, 1], 3);
         let mut optim = Sgd::with_momentum(0.05, 0.9);

@@ -1,0 +1,26 @@
+//! Runner configuration.
+
+/// How many generated cases each `proptest!` test runs.
+///
+/// Upstream defaults to 256 with shrinking; this shim defaults lower
+/// because several of the workspace's properties train networks or run
+/// the channel model per case, and there is no shrinking phase to
+/// amortise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}

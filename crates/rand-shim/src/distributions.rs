@@ -1,0 +1,60 @@
+//! Parameterised distributions (mirroring `rand::distributions`).
+
+use crate::Rng;
+
+/// A distribution samplable with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a half-open `[lo, hi)` interval of `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform::new: lo {lo} must be < hi {hi}");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = self.lo + rng.next_f64() * (self.hi - self.lo);
+        if x >= self.hi {
+            self.lo
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_bounds_and_centres() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let dist = Uniform::new(-2.0, 6.0);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let x = dist.sample(&mut rng);
+            assert!((-2.0..6.0).contains(&x), "{x}");
+            sum += x;
+        }
+        let mean = sum / 20_000.0;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-worker micro-batching.
+//!
+//! Each worker accumulates dequeued jobs until either `max_batch`
+//! records are waiting or the *oldest* waiting record has been held for
+//! `max_delay` — the standard latency/throughput trade of serving
+//! systems: one batched forward pass amortises the per-call overhead
+//! of the network, while the deadline bounds the latency cost a record
+//! can pay for the privilege.
+//!
+//! The batcher is a pure state machine (no threads, no clock of its
+//! own); the worker drives it with explicit `Instant`s, which is what
+//! makes the deadline semantics unit-testable.
+
+use std::time::{Duration, Instant};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many records are waiting.
+    pub max_batch: usize,
+    /// Flush once the oldest waiting record is this old.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Accumulates items until a size or deadline trigger fires.
+#[derive(Debug)]
+pub struct MicroBatcher<T> {
+    config: BatchConfig,
+    items: Vec<T>,
+    oldest: Option<Instant>,
+}
+
+impl<T> MicroBatcher<T> {
+    /// Creates an empty batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(config: BatchConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        Self {
+            config,
+            items: Vec::with_capacity(config.max_batch),
+            oldest: None,
+        }
+    }
+
+    /// Number of items waiting.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Adds an item arriving at `now`; returns the full batch if this
+    /// arrival completes one.
+    pub fn push(&mut self, item: T, now: Instant) -> Option<Vec<T>> {
+        if self.items.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.items.push(item);
+        if self.items.len() >= self.config.max_batch {
+            Some(self.take())
+        } else {
+            None
+        }
+    }
+
+    /// The instant by which the current batch must flush, if any items
+    /// are waiting — what the worker turns into a bounded queue wait.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.oldest.map(|t| t + self.config.max_delay)
+    }
+
+    /// Returns the batch if its deadline has passed at `now`.
+    pub fn flush_due(&mut self, now: Instant) -> Option<Vec<T>> {
+        match self.deadline() {
+            Some(d) if now >= d => Some(self.take()),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally takes whatever is waiting (used on shutdown).
+    pub fn take(&mut self) -> Vec<T> {
+        self.oldest = None;
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_batch: usize, max_delay_ms: u64) -> BatchConfig {
+        BatchConfig {
+            max_batch,
+            max_delay: Duration::from_millis(max_delay_ms),
+        }
+    }
+
+    #[test]
+    fn size_trigger_flushes_exactly_at_max_batch() {
+        let mut b = MicroBatcher::new(cfg(3, 1000));
+        let t = Instant::now();
+        assert_eq!(b.push(1, t), None);
+        assert_eq!(b.push(2, t), None);
+        assert_eq!(b.push(3, t), Some(vec![1, 2, 3]));
+        assert!(b.is_empty());
+        assert_eq!(b.deadline(), None);
+    }
+
+    #[test]
+    fn deadline_counts_from_oldest_item() {
+        let mut b = MicroBatcher::new(cfg(100, 10));
+        let t0 = Instant::now();
+        b.push('a', t0);
+        // A later arrival must NOT extend the deadline.
+        b.push('b', t0 + Duration::from_millis(8));
+        assert_eq!(b.deadline(), Some(t0 + Duration::from_millis(10)));
+        assert_eq!(b.flush_due(t0 + Duration::from_millis(9)), None);
+        assert_eq!(
+            b.flush_due(t0 + Duration::from_millis(10)),
+            Some(vec!['a', 'b'])
+        );
+        // Deadline re-arms from the next first arrival.
+        let t1 = t0 + Duration::from_millis(50);
+        b.push('c', t1);
+        assert_eq!(b.deadline(), Some(t1 + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn take_drains_partial_batches_for_shutdown() {
+        let mut b = MicroBatcher::new(cfg(10, 1000));
+        let t = Instant::now();
+        b.push(1, t);
+        b.push(2, t);
+        assert_eq!(b.take(), vec![1, 2]);
+        assert!(b.is_empty());
+        assert_eq!(b.take(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn empty_batcher_has_no_deadline_and_never_flushes() {
+        let mut b: MicroBatcher<u8> = MicroBatcher::new(cfg(4, 1));
+        assert_eq!(b.deadline(), None);
+        assert_eq!(b.flush_due(Instant::now()), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end serving driver: replays `OfficeSimulator` scenarios as
+//! concurrent live sensor streams through the `occusense-serve`
+//! runtime and prints throughput, tail latency, per-queue drop
+//! counters and the full metrics registry.
+//!
+//! ```text
+//! cargo run --release -p occusense-serve --bin serve_sim -- \
+//!     --sensors 6 --shards 4 --batch 32 --delay-ms 5 \
+//!     --policy drop-oldest --duration 600
+//! ```
+
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_serve::{
+    BackpressurePolicy, BatchConfig, OnlineTrainingConfig, ServeConfig, ServeRuntime, SubmitError,
+};
+use occusense_sim::{simulate, OfficeSimulator, ScenarioConfig};
+use std::time::Duration;
+
+struct Args {
+    sensors: usize,
+    shards: usize,
+    max_batch: usize,
+    max_delay_ms: u64,
+    policy: BackpressurePolicy,
+    duration_s: f64,
+    queue_capacity: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            sensors: 6,
+            shards: 4,
+            max_batch: 32,
+            max_delay_ms: 5,
+            policy: BackpressurePolicy::DropOldest,
+            duration_s: 600.0,
+            queue_capacity: 256,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--sensors" => args.sensors = value("--sensors").parse().expect("--sensors"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards"),
+            "--batch" => args.max_batch = value("--batch").parse().expect("--batch"),
+            "--delay-ms" => args.max_delay_ms = value("--delay-ms").parse().expect("--delay-ms"),
+            "--policy" => {
+                let raw = value("--policy");
+                args.policy = BackpressurePolicy::parse(&raw).unwrap_or_else(|| {
+                    panic!("unknown policy {raw:?} (block | drop-oldest | reject-newest)")
+                });
+            }
+            "--duration" => args.duration_s = value("--duration").parse().expect("--duration"),
+            "--capacity" => args.queue_capacity = value("--capacity").parse().expect("--capacity"),
+            "--help" | "-h" => {
+                println!(
+                    "serve_sim — replay simulated office sensors through the serving runtime\n\
+                     \n\
+                     --sensors N     concurrent simulated sensors (default 6)\n\
+                     --shards N      worker shards (default 4)\n\
+                     --batch N       micro-batch size trigger (default 32)\n\
+                     --delay-ms N    micro-batch deadline trigger (default 5)\n\
+                     --policy P      block | drop-oldest | reject-newest (default drop-oldest)\n\
+                     --duration S    simulated seconds replayed per sensor (default 600)\n\
+                     --capacity N    per-shard queue capacity (default 256)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+    }
+    assert!(args.sensors >= 1, "--sensors must be >= 1");
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Offline bootstrap: train the paper's MLP on a quick scenario, the
+    // same way EXPERIMENTS.md trains the Table IV models.
+    eprintln!("training bootstrap detector…");
+    let train = simulate(&ScenarioConfig::quick(1200.0, 7));
+    let detector = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            model: ModelKind::Mlp,
+            mlp_epochs: 4,
+            seed: 7,
+            ..DetectorConfig::default()
+        },
+    );
+
+    let config = ServeConfig {
+        n_shards: args.shards,
+        queue_capacity: args.queue_capacity,
+        policy: args.policy,
+        batch: BatchConfig {
+            max_batch: args.max_batch,
+            max_delay: Duration::from_millis(args.max_delay_ms),
+        },
+        online: Some(OnlineTrainingConfig::default()),
+    };
+    eprintln!(
+        "serving: {} sensors → {} shards, batch ≤{} / {}ms, policy {:?}, queue capacity {}",
+        args.sensors,
+        args.shards,
+        args.max_batch,
+        args.max_delay_ms,
+        args.policy,
+        args.queue_capacity
+    );
+    let (runtime, predictions) = ServeRuntime::start(detector, config);
+
+    // One thread per sensor, each flood-replaying its own simulated
+    // scenario (distinct seed ⇒ distinct occupancy schedule) as fast as
+    // the runtime will take it. Labels ride along so the continual
+    // trainer keeps publishing hot swaps while we serve.
+    let sensors: Vec<_> = (0..args.sensors)
+        .map(|i| {
+            let mut client = runtime.client(&format!("sensor-{i}"));
+            let scenario = ScenarioConfig::quick(args.duration_s, 100 + i as u64);
+            std::thread::Builder::new()
+                .name(format!("sensor-{i}"))
+                .spawn(move || {
+                    let mut sent = 0u64;
+                    let mut shed = 0u64;
+                    for record in OfficeSimulator::new(scenario).stream() {
+                        let label = record.occupancy();
+                        match client.submit_labelled(record, label) {
+                            Ok(()) => sent += 1,
+                            Err(SubmitError::Rejected) => shed += 1,
+                            Err(SubmitError::Shutdown) => break,
+                        }
+                    }
+                    (client.shard(), sent, shed)
+                })
+                .expect("spawn sensor")
+        })
+        .collect();
+
+    // Drain predictions concurrently so the output channel never backs
+    // up; keep a light running tally for the final print.
+    let drain = std::thread::spawn(move || {
+        let (mut n, mut occupied, mut max_version) = (0u64, 0u64, 0u64);
+        for p in predictions {
+            n += 1;
+            occupied += u64::from(p.occupied);
+            max_version = max_version.max(p.model_version);
+        }
+        (n, occupied, max_version)
+    });
+
+    for (i, s) in sensors.into_iter().enumerate() {
+        let (shard, sent, shed) = s.join().expect("sensor thread panicked");
+        eprintln!("sensor-{i}: shard {shard}, submitted {sent}, shed at ingress {shed}");
+    }
+
+    let report = runtime.shutdown();
+    let (predicted, occupied, max_version) = drain.join().expect("drain thread panicked");
+
+    println!("\n=== serve_sim report ===");
+    print!("{report}");
+    println!(
+        "predictions delivered: {predicted} ({occupied} occupied) · newest model seen v{max_version}"
+    );
+    println!("\n=== metrics ===\n{}", report.metrics_text);
+}

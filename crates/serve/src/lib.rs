@@ -1,0 +1,56 @@
+//! # occusense-serve — streaming inference runtime
+//!
+//! Turns the offline detector pipeline into a live service, entirely on
+//! std threads (no async runtime):
+//!
+//! ```text
+//!  sensors ──▶ bounded shard queues ──▶ worker threads ──▶ predictions
+//!  (clients)   (Block / DropOldest /    (micro-batch +
+//!               RejectNewest, exact      one batched MLP
+//!               drop counters)           forward each)
+//!                                           │ labelled records
+//!                                           ▼
+//!                                      trainer thread ──▶ hot model
+//!                                      (OnlineDetector)    swap (v2, v3…)
+//! ```
+//!
+//! * **Backpressure** — every ingestion queue is bounded with a
+//!   configurable full-queue policy and exact per-queue counters
+//!   ([`queue`]).
+//! * **Sharding** — sensors are FNV-1a hash-routed to a fixed worker
+//!   shard ([`routing`]), so per-sensor ordering is preserved and the
+//!   hot path shares no locks across shards.
+//! * **Micro-batching** — each worker flushes on a size or oldest-item
+//!   deadline trigger ([`batcher`]) and scores the whole batch with a
+//!   single batched forward pass, bitwise identical to per-record
+//!   scoring.
+//! * **Hot swap** — a trainer thread learns continually from labelled
+//!   records and publishes versioned snapshots workers pick up between
+//!   batches ([`model`]).
+//! * **Observability** — counters, gauges and log-bucketed latency
+//!   histograms with p50/p95/p99, rendered as plain text ([`metrics`]).
+//!
+//! [`ServeRuntime::start`] boots the whole topology;
+//! [`ServeRuntime::shutdown`] drains it gracefully and returns a
+//! [`ServeReport`]. See `src/bin/serve_sim.rs` for an end-to-end driver
+//! replaying simulated office scenarios as concurrent sensor streams.
+
+pub mod batcher;
+pub mod metrics;
+pub mod model;
+pub mod queue;
+pub mod routing;
+pub mod runtime;
+pub mod trainer;
+pub mod worker;
+
+pub use batcher::{BatchConfig, MicroBatcher};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use model::{ModelHandle, ModelSnapshot};
+pub use queue::{BackpressurePolicy, BoundedQueue, PopResult, PushError, QueueCounters};
+pub use routing::shard_for;
+pub use runtime::{
+    OnlineTrainingConfig, SensorClient, ServeConfig, ServeReport, ServeRuntime, SubmitError,
+};
+pub use trainer::LabelledRecord;
+pub use worker::Prediction;

@@ -1,0 +1,276 @@
+//! Live metrics: counters, gauges and log-bucketed latency histograms
+//! with a plain-text snapshot renderer.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//! `Arc`-shared atomics — hot paths update them lock-free; the
+//! registry's only lock guards name registration and rendering.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets (covers 1 ns … ~584 years).
+const N_BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of non-negative integer samples
+/// (typically nanoseconds).
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)` (bucket 0 holds the
+/// value 0), so relative quantile error is bounded by 2× at any scale —
+/// the usual trade for fixed memory and lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(N_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`), linearly interpolated
+    /// inside the matched power-of-two bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let in_bucket = b.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if cumulative + in_bucket >= rank {
+                let (lo, hi) = if i == 0 {
+                    (0u64, 1u64)
+                } else {
+                    (1u64 << (i - 1), 1u64 << i.min(63))
+                };
+                let frac = (rank - cumulative) as f64 / in_bucket as f64;
+                let interpolated = lo as f64 + frac * (hi - lo) as f64;
+                return (interpolated as u64).min(self.max());
+            }
+            cumulative += in_bucket;
+        }
+        self.max()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile — the tail-latency figure the serving runtime
+    /// reports.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Families {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Named metric handles plus a text renderer.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Families>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut f = self.families.lock().expect("metrics poisoned");
+        Arc::clone(f.counters.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut f = self.families.lock().expect("metrics poisoned");
+        Arc::clone(f.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut f = self.families.lock().expect("metrics poisoned");
+        Arc::clone(f.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// Renders every metric as one aligned text line per metric,
+    /// sorted by kind then name — the runtime's `/metrics` equivalent.
+    pub fn render(&self) -> String {
+        let f = self.families.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        for (name, c) in &f.counters {
+            out.push_str(&format!("counter   {name:<40} {}\n", c.get()));
+        }
+        for (name, g) in &f.gauges {
+            out.push_str(&format!("gauge     {name:<40} {}\n", g.get()));
+        }
+        for (name, h) in &f.histograms {
+            out.push_str(&format!(
+                "histogram {name:<40} count={} mean={:.0} p50={} p95={} p99={} max={}\n",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("ingest.records");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("ingest.records").get(), 5);
+        let g = reg.gauge("queue.depth");
+        g.set(-3);
+        assert_eq!(reg.gauge("queue.depth").get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1.0);
+        assert_eq!(h.max(), 1000);
+        // Log-bucketed: quantiles are within a factor of two.
+        let p50 = h.p50();
+        assert!((250..=1000).contains(&p50), "p50 {p50}");
+        let p99 = h.p99();
+        assert!((500..=1000).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn render_lists_all_kinds_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").inc();
+        reg.counter("a.count").add(2);
+        reg.gauge("depth").set(7);
+        reg.histogram("lat").record(100);
+        let text = reg.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("counter   a.count"));
+        assert!(lines[1].starts_with("counter   b.count"));
+        assert!(lines[2].starts_with("gauge     depth"));
+        assert!(lines[3].starts_with("histogram lat"));
+        assert!(lines[3].contains("count=1"));
+    }
+}

@@ -1,0 +1,377 @@
+//! Bounded ingestion queues with selectable backpressure.
+//!
+//! Every sensor's records enter the runtime through a
+//! [`BoundedQueue`]; what happens when a queue is full is the
+//! [`BackpressurePolicy`] — the knob that decides whether a slow shard
+//! stalls its producers ([`Block`](BackpressurePolicy::Block)), sheds
+//! its oldest samples ([`DropOldest`](BackpressurePolicy::DropOldest),
+//! the right default for live sensing where fresh CSI supersedes
+//! stale), or pushes the loss back to the caller
+//! ([`RejectNewest`](BackpressurePolicy::RejectNewest)).
+//!
+//! Every queue keeps exact drop/occupancy counters; the runtime mirrors
+//! them into the metrics registry.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// What [`BoundedQueue::push`] does when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Wait until a consumer makes room (lossless, producers stall).
+    Block,
+    /// Evict the oldest queued item to admit the new one (bounded
+    /// staleness, producers never stall).
+    #[default]
+    DropOldest,
+    /// Refuse the new item and hand it back to the producer.
+    RejectNewest,
+}
+
+impl BackpressurePolicy {
+    /// Parses the kebab-case CLI spelling (`block`, `drop-oldest`,
+    /// `reject-newest`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(Self::Block),
+            "drop-oldest" => Some(Self::DropOldest),
+            "reject-newest" => Some(Self::RejectNewest),
+            _ => None,
+        }
+    }
+}
+
+/// Why a push did not enqueue its item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was full under [`BackpressurePolicy::RejectNewest`];
+    /// the item is returned.
+    Rejected(T),
+    /// The queue was closed; the item is returned.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the item that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Rejected(item) | Self::Closed(item) => item,
+        }
+    }
+}
+
+/// Outcome of a deadline-bounded pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopResult<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The deadline passed with the queue empty.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+/// Exact traffic counters of one queue (all monotone except `depth`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueCounters {
+    /// Items accepted into the queue.
+    pub pushed: u64,
+    /// Items handed to consumers.
+    pub popped: u64,
+    /// Items evicted by [`BackpressurePolicy::DropOldest`].
+    pub dropped: u64,
+    /// Items refused by [`BackpressurePolicy::RejectNewest`].
+    pub rejected: u64,
+    /// Current occupancy.
+    pub depth: u64,
+    /// Highest occupancy ever observed.
+    pub high_watermark: u64,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with a configurable full-queue policy.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    policy: BackpressurePolicy,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    dropped: AtomicU64,
+    rejected: AtomicU64,
+    high_watermark: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            policy,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            high_watermark: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured backpressure policy.
+    pub fn policy(&self) -> BackpressurePolicy {
+        self.policy
+    }
+
+    /// Enqueues an item, applying the backpressure policy when full.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Rejected`] under `RejectNewest` with a full queue;
+    /// [`PushError::Closed`] after [`close`](Self::close). Both return
+    /// the item.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        while state.items.len() >= self.capacity {
+            match self.policy {
+                BackpressurePolicy::Block => {
+                    state = self.not_full.wait(state).expect("queue poisoned");
+                    if state.closed {
+                        return Err(PushError::Closed(item));
+                    }
+                }
+                BackpressurePolicy::DropOldest => {
+                    state.items.pop_front();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                BackpressurePolicy::RejectNewest => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(PushError::Rejected(item));
+                }
+            }
+        }
+        state.items.push_back(item);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.high_watermark
+            .fetch_max(state.items.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking until an item arrives or the queue is both
+    /// closed and drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.popped.fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues, giving up at `deadline` — the wait primitive of the
+    /// micro-batcher's flush timer.
+    pub fn pop_deadline(&self, deadline: Instant) -> PopResult<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.popped.fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                self.not_full.notify_one();
+                return PopResult::Item(item);
+            }
+            if state.closed {
+                return PopResult::Closed;
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return PopResult::TimedOut;
+            };
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(state, wait)
+                .expect("queue poisoned");
+            state = guard;
+            if timeout.timed_out() && state.items.is_empty() && !state.closed {
+                return PopResult::TimedOut;
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain the
+    /// remaining items and then observe end-of-stream.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the traffic counters.
+    pub fn counters(&self) -> QueueCounters {
+        let depth = self.len() as u64;
+        QueueCounters {
+            pushed: self.pushed.load(Ordering::Relaxed),
+            popped: self.popped.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            depth,
+            high_watermark: self.high_watermark.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = BoundedQueue::new(8, BackpressurePolicy::Block);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        let c = q.counters();
+        assert_eq!((c.pushed, c.popped, c.depth), (5, 5, 0));
+        assert_eq!(c.high_watermark, 5);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_and_counts_exactly() {
+        let q = BoundedQueue::new(4, BackpressurePolicy::DropOldest);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let c = q.counters();
+        assert_eq!(c.dropped, 6);
+        assert_eq!(c.pushed, 10);
+        assert_eq!(c.depth, 4);
+        for i in 6..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn reject_newest_returns_item_and_counts_exactly() {
+        let q = BoundedQueue::new(4, BackpressurePolicy::RejectNewest);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for i in 4..10 {
+            assert_eq!(q.push(i), Err(PushError::Rejected(i)));
+        }
+        let c = q.counters();
+        assert_eq!(c.rejected, 6);
+        assert_eq!(c.pushed, 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn block_policy_waits_for_consumer() {
+        let q = Arc::new(BoundedQueue::new(2, BackpressurePolicy::Block));
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 2, "producer should still be blocked");
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.counters().dropped, 0);
+    }
+
+    #[test]
+    fn close_drains_then_signals_end() {
+        let q = BoundedQueue::new(4, BackpressurePolicy::Block);
+        q.push('a').unwrap();
+        q.close();
+        assert_eq!(q.push('b'), Err(PushError::Closed('b')));
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_deadline_times_out_and_recovers() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(4, BackpressurePolicy::Block);
+        let t = Instant::now();
+        assert_eq!(
+            q.pop_deadline(t + Duration::from_millis(20)),
+            PopResult::TimedOut
+        );
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        q.push(9).unwrap();
+        assert_eq!(
+            q.pop_deadline(Instant::now() + Duration::from_millis(20)),
+            PopResult::Item(9)
+        );
+        q.close();
+        assert_eq!(
+            q.pop_deadline(Instant::now() + Duration::from_millis(5)),
+            PopResult::Closed
+        );
+    }
+}

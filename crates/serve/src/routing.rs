@@ -1,0 +1,74 @@
+//! Deterministic sensor → shard routing.
+//!
+//! Each worker shard owns its model snapshot and queue outright, so no
+//! lock is shared on the inference path; the only coordination point is
+//! this pure hash. Routing by stable sensor id (rather than round-robin)
+//! keeps each sensor's records in order on a single shard, which
+//! preserves per-sensor timestamp monotonicity end to end.
+
+/// FNV-1a, 64-bit — tiny, stable across platforms and runs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard a sensor's records are routed to.
+///
+/// # Panics
+///
+/// Panics if `n_shards` is zero.
+///
+/// # Example
+///
+/// ```
+/// use occusense_serve::routing::shard_for;
+///
+/// let s = shard_for("room-3/esp32-a", 4);
+/// assert!(s < 4);
+/// // Stable: the same id always lands on the same shard.
+/// assert_eq!(s, shard_for("room-3/esp32-a", 4));
+/// ```
+pub fn shard_for(sensor_id: &str, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard_for: n_shards must be positive");
+    (fnv1a64(sensor_id.as_bytes()) % n_shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for n in 1..=16 {
+            for i in 0..100 {
+                let id = format!("sensor-{i}");
+                let s = shard_for(&id, n);
+                assert!(s < n);
+                assert_eq!(s, shard_for(&id, n));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_uses_every_shard() {
+        let n = 8;
+        let mut hit = vec![false; n];
+        for i in 0..200 {
+            hit[shard_for(&format!("sensor-{i}"), n)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "{hit:?}");
+    }
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Published FNV-1a test vectors pin the routing for all time:
+        // renaming shards or changing the hash is a breaking change.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

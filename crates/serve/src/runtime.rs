@@ -1,0 +1,410 @@
+//! Assembly of the serving pipeline:
+//! `SensorClient → shard queue → worker (micro-batch → batched
+//! forward) → prediction channel`, with a side path
+//! `labelled records → trainer queue → OnlineDetector → hot swap`.
+
+use crate::batcher::BatchConfig;
+use crate::metrics::MetricsRegistry;
+use crate::model::ModelHandle;
+use crate::queue::{BackpressurePolicy, BoundedQueue, PushError, QueueCounters};
+use crate::routing::shard_for;
+use crate::trainer::{self, LabelledRecord, TrainerContext};
+use crate::worker::{self, Job, Prediction, WorkerContext, WorkerMetrics};
+use occusense_core::detector::OccupancyDetector;
+use occusense_core::online::{OnlineConfig, OnlineDetector};
+use occusense_dataset::CsiRecord;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Continual-training settings (enables the trainer thread).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineTrainingConfig {
+    /// Hyper-parameters of the streaming learner.
+    pub online: OnlineConfig,
+    /// Gradient steps between snapshot publications.
+    pub publish_every_updates: u64,
+    /// Capacity of the labelled-record queue (always `DropOldest`: the
+    /// trainer must never backpressure the inference path).
+    pub queue_capacity: usize,
+}
+
+impl Default for OnlineTrainingConfig {
+    fn default() -> Self {
+        Self {
+            online: OnlineConfig::default(),
+            publish_every_updates: 2,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// Runtime topology and policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker shards (threads); sensors are hash-routed across them.
+    pub n_shards: usize,
+    /// Capacity of each shard's ingestion queue.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour of the ingestion queues.
+    pub policy: BackpressurePolicy,
+    /// Per-worker micro-batching knobs.
+    pub batch: BatchConfig,
+    /// `Some` enables continual training + hot model swap.
+    pub online: Option<OnlineTrainingConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 4,
+            queue_capacity: 1024,
+            policy: BackpressurePolicy::DropOldest,
+            batch: BatchConfig::default(),
+            online: Some(OnlineTrainingConfig::default()),
+        }
+    }
+}
+
+/// Why a submission did not enter the runtime. (`CsiRecord` is `Copy`,
+/// so the caller still holds the record and can retry or shed it
+/// knowingly.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The shard queue was full under `RejectNewest`.
+    Rejected,
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+/// A per-sensor ingestion handle (cheap, movable into the sensor's
+/// thread; sequence numbers are per-handle).
+#[derive(Debug)]
+pub struct SensorClient {
+    sensor_id: Arc<str>,
+    shard: usize,
+    queue: Arc<BoundedQueue<Job>>,
+    seq: u64,
+}
+
+impl SensorClient {
+    /// The shard this sensor's records are routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Submits an unlabelled record for scoring.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit(&mut self, record: CsiRecord) -> Result<(), SubmitError> {
+        self.submit_inner(record, None)
+    }
+
+    /// Submits a record whose ground-truth label is known; after being
+    /// scored it also feeds the continual trainer (when enabled).
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit_labelled(&mut self, record: CsiRecord, label: u8) -> Result<(), SubmitError> {
+        self.submit_inner(record, Some(label))
+    }
+
+    fn submit_inner(&mut self, record: CsiRecord, label: Option<u8>) -> Result<(), SubmitError> {
+        let job = Job {
+            sensor_id: Arc::clone(&self.sensor_id),
+            seq: self.seq,
+            record,
+            label,
+            enqueued_at: Instant::now(),
+        };
+        match self.queue.push(job) {
+            Ok(()) => {
+                self.seq += 1;
+                Ok(())
+            }
+            Err(PushError::Rejected(_)) => Err(SubmitError::Rejected),
+            Err(PushError::Closed(_)) => Err(SubmitError::Shutdown),
+        }
+    }
+}
+
+/// End-of-run summary (also carries the full metrics text).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Wall time from runtime start to shutdown completion.
+    pub elapsed: Duration,
+    /// Records scored across all shards.
+    pub records_served: u64,
+    /// Records per second of wall time.
+    pub throughput_rps: f64,
+    /// Median ingest→scored latency, nanoseconds.
+    pub latency_p50_ns: u64,
+    /// 95th-percentile latency, nanoseconds.
+    pub latency_p95_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Final counters of each shard's ingestion queue.
+    pub shard_queues: Vec<QueueCounters>,
+    /// Final counters of the trainer queue, when online training ran.
+    pub trainer_queue: Option<QueueCounters>,
+    /// Version of the model serving at shutdown (1 = never swapped).
+    pub model_version: u64,
+    /// Snapshot publications performed by the trainer.
+    pub model_publishes: u64,
+    /// The rendered metrics registry at shutdown.
+    pub metrics_text: String,
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} records in {:.2?} — {:.0} records/s",
+            self.records_served, self.elapsed, self.throughput_rps
+        )?;
+        writeln!(
+            f,
+            "latency p50 {:.1} µs · p95 {:.1} µs · p99 {:.1} µs",
+            self.latency_p50_ns as f64 / 1e3,
+            self.latency_p95_ns as f64 / 1e3,
+            self.latency_p99_ns as f64 / 1e3
+        )?;
+        for (i, q) in self.shard_queues.iter().enumerate() {
+            writeln!(
+                f,
+                "shard {i}: pushed {} dropped {} rejected {} high-watermark {}",
+                q.pushed, q.dropped, q.rejected, q.high_watermark
+            )?;
+        }
+        if let Some(t) = &self.trainer_queue {
+            writeln!(
+                f,
+                "trainer: consumed {} dropped {} · {} snapshot publishes · serving v{}",
+                t.popped, t.dropped, self.model_publishes, self.model_version
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The running service: worker shards, optional trainer, live metrics.
+///
+/// Dropping the runtime without calling [`shutdown`](Self::shutdown)
+/// also drains and joins every thread (so tests and panics never leak
+/// threads), but `shutdown` is the intended path since it returns the
+/// [`ServeReport`].
+#[derive(Debug)]
+pub struct ServeRuntime {
+    shards: Vec<Arc<BoundedQueue<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    trainer_queue: Option<Arc<BoundedQueue<LabelledRecord>>>,
+    trainer: Option<JoinHandle<()>>,
+    model: Arc<ModelHandle>,
+    metrics: Arc<MetricsRegistry>,
+    started_at: Instant,
+    stopped: AtomicBool,
+}
+
+impl ServeRuntime {
+    /// Boots the runtime around an offline-trained detector and
+    /// returns it together with the channel scored records arrive on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero, or if online training is requested
+    /// for a detector that is not MLP-backed (only the MLP supports the
+    /// paper's continual-training path).
+    pub fn start(
+        detector: OccupancyDetector,
+        config: ServeConfig,
+    ) -> (Self, mpsc::Receiver<Prediction>) {
+        assert!(config.n_shards > 0, "serve: n_shards must be positive");
+        let metrics = Arc::new(MetricsRegistry::new());
+        let model = Arc::new(ModelHandle::new(detector.clone()));
+        let (out_tx, out_rx) = mpsc::channel();
+
+        let trainer_queue = config.online.map(|online_cfg| {
+            Arc::new(BoundedQueue::new(
+                online_cfg.queue_capacity,
+                BackpressurePolicy::DropOldest,
+            ))
+        });
+
+        let worker_metrics = WorkerMetrics {
+            records: metrics.counter("serve.records"),
+            batches: metrics.counter("serve.batches"),
+            deadline_flushes: metrics.counter("serve.deadline_flushes"),
+            latency_ns: metrics.histogram("serve.latency_ns"),
+            batch_size: metrics.histogram("serve.batch_size"),
+            inference_ns: metrics.histogram("serve.inference_ns"),
+        };
+
+        let mut shards = Vec::with_capacity(config.n_shards);
+        let mut workers = Vec::with_capacity(config.n_shards);
+        for shard in 0..config.n_shards {
+            let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.policy));
+            shards.push(Arc::clone(&queue));
+            let ctx = WorkerContext {
+                queue,
+                model: Arc::clone(&model),
+                batch: config.batch,
+                out: out_tx.clone(),
+                trainer_queue: trainer_queue.clone(),
+                metrics: worker_metrics.clone(),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{shard}"))
+                    .spawn(move || worker::run(ctx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let trainer = config.online.map(|online_cfg| {
+            let online = OnlineDetector::from_detector(&detector, online_cfg.online)
+                .expect("serve: online training requires an MLP-backed detector");
+            let ctx = TrainerContext {
+                queue: Arc::clone(trainer_queue.as_ref().expect("trainer queue")),
+                model: Arc::clone(&model),
+                online,
+                publish_every_updates: online_cfg.publish_every_updates.max(1),
+                observed: metrics.counter("trainer.observed"),
+                publishes: metrics.counter("trainer.publishes"),
+            };
+            std::thread::Builder::new()
+                .name("serve-trainer".into())
+                .spawn(move || trainer::run(ctx))
+                .expect("spawn trainer")
+        });
+
+        (
+            Self {
+                shards,
+                workers,
+                trainer_queue,
+                trainer,
+                model,
+                metrics,
+                started_at: Instant::now(),
+                stopped: AtomicBool::new(false),
+            },
+            out_rx,
+        )
+    }
+
+    /// An ingestion handle for one sensor; records submitted through it
+    /// are hash-routed to a fixed shard.
+    pub fn client(&self, sensor_id: &str) -> SensorClient {
+        let shard = shard_for(sensor_id, self.shards.len());
+        SensorClient {
+            sensor_id: Arc::from(sensor_id),
+            shard,
+            queue: Arc::clone(&self.shards[shard]),
+            seq: 0,
+        }
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The version of the currently serving model.
+    pub fn model_version(&self) -> u64 {
+        self.model.version()
+    }
+
+    /// Live counters of every shard queue, in shard order.
+    pub fn shard_counters(&self) -> Vec<QueueCounters> {
+        self.shards.iter().map(|q| q.counters()).collect()
+    }
+
+    /// Renders the metrics registry after refreshing the queue-depth
+    /// gauges — the runtime's live observability surface.
+    pub fn metrics_snapshot(&self) -> String {
+        for (i, q) in self.shards.iter().enumerate() {
+            let c = q.counters();
+            self.metrics
+                .gauge(&format!("shard.{i}.depth"))
+                .set(c.depth as i64);
+            self.metrics
+                .gauge(&format!("shard.{i}.dropped"))
+                .set(c.dropped as i64);
+            self.metrics
+                .gauge(&format!("shard.{i}.rejected"))
+                .set(c.rejected as i64);
+            self.metrics
+                .gauge(&format!("shard.{i}.high_watermark"))
+                .set(c.high_watermark as i64);
+        }
+        if let Some(t) = &self.trainer_queue {
+            let c = t.counters();
+            self.metrics
+                .gauge("trainer.queue_depth")
+                .set(c.depth as i64);
+            self.metrics
+                .gauge("trainer.queue_dropped")
+                .set(c.dropped as i64);
+        }
+        self.metrics
+            .gauge("model.version")
+            .set(self.model.version() as i64);
+        self.metrics.render()
+    }
+
+    /// Graceful drain: closes ingestion, lets every worker flush its
+    /// remaining batch, stops the trainer after it has consumed what
+    /// the workers teed off, joins all threads, and reports.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.stop_threads();
+        let elapsed = self.started_at.elapsed();
+        let latency = self.metrics.histogram("serve.latency_ns");
+        let records_served = self.metrics.counter("serve.records").get();
+        ServeReport {
+            elapsed,
+            records_served,
+            throughput_rps: records_served as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency_p50_ns: latency.p50(),
+            latency_p95_ns: latency.p95(),
+            latency_p99_ns: latency.p99(),
+            shard_queues: self.shard_counters(),
+            trainer_queue: self.trainer_queue.as_ref().map(|q| q.counters()),
+            model_version: self.model.version(),
+            model_publishes: self.metrics.counter("trainer.publishes").get(),
+            metrics_text: self.metrics_snapshot(),
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // 1. Stop ingestion; workers drain their queues, flush partial
+        //    batches and exit.
+        for q in &self.shards {
+            q.close();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // 2. Only then stop the trainer, so every labelled record the
+        //    workers teed off is still consumed before the final
+        //    snapshot publication.
+        if let Some(q) = &self.trainer_queue {
+            q.close();
+        }
+        if let Some(t) = self.trainer.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}

@@ -1,0 +1,54 @@
+//! The trainer thread: continual learning feeding hot swaps.
+//!
+//! Labelled records teed off the inference path land in a bounded
+//! `DropOldest` queue consumed here by an
+//! [`OnlineDetector`](occusense_core::online::OnlineDetector) — the
+//! paper's §V-B continual-training argument made operational. Every
+//! `publish_every_updates` gradient steps the current weights are
+//! frozen into a snapshot and published to the workers' model handle.
+
+use crate::metrics::Counter;
+use crate::model::ModelHandle;
+use crate::queue::BoundedQueue;
+use occusense_core::online::OnlineDetector;
+use occusense_dataset::CsiRecord;
+use std::sync::Arc;
+
+/// A ground-truth-labelled record for continual training.
+#[derive(Debug, Clone)]
+pub struct LabelledRecord {
+    /// The record.
+    pub record: CsiRecord,
+    /// Its binary occupancy label.
+    pub label: u8,
+}
+
+/// Everything the trainer thread needs.
+pub(crate) struct TrainerContext {
+    pub queue: Arc<BoundedQueue<LabelledRecord>>,
+    pub model: Arc<ModelHandle>,
+    pub online: OnlineDetector,
+    pub publish_every_updates: u64,
+    pub observed: Arc<Counter>,
+    pub publishes: Arc<Counter>,
+}
+
+/// The trainer loop: drains until the queue is closed and empty, then
+/// publishes a final snapshot if any unpublished updates remain.
+pub(crate) fn run(mut ctx: TrainerContext) {
+    let mut published_at_update = 0u64;
+    while let Some(labelled) = ctx.queue.pop() {
+        ctx.online.observe(&labelled.record, labelled.label);
+        ctx.observed.inc();
+        let updates = ctx.online.updates();
+        if updates >= published_at_update + ctx.publish_every_updates {
+            ctx.model.publish(ctx.online.snapshot_detector());
+            ctx.publishes.inc();
+            published_at_update = updates;
+        }
+    }
+    if ctx.online.updates() > published_at_update {
+        ctx.model.publish(ctx.online.snapshot_detector());
+        ctx.publishes.inc();
+    }
+}

@@ -1,0 +1,159 @@
+//! The worker shard: dequeue → micro-batch → one batched forward.
+//!
+//! Each worker owns its queue end and scores against an immutable
+//! model snapshot re-read *between* batches (never mid-batch), so the
+//! inference path shares no locks with other shards and a hot swap is
+//! a single `Arc` re-read away.
+
+use crate::batcher::{BatchConfig, MicroBatcher};
+use crate::metrics::{Counter, Histogram};
+use crate::model::ModelHandle;
+use crate::queue::{BoundedQueue, PopResult};
+use crate::trainer::LabelledRecord;
+use occusense_dataset::{CsiRecord, Dataset};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One record travelling through the runtime.
+#[derive(Debug, Clone)]
+pub(crate) struct Job {
+    pub sensor_id: Arc<str>,
+    pub seq: u64,
+    pub record: CsiRecord,
+    pub label: Option<u8>,
+    pub enqueued_at: Instant,
+}
+
+/// The scored output for one ingested record.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The sensor the record came from.
+    pub sensor_id: Arc<str>,
+    /// Per-sensor ingestion sequence number (0-based).
+    pub seq: u64,
+    /// The record's scenario timestamp.
+    pub timestamp_s: f64,
+    /// Predicted binary occupancy.
+    pub occupied: u8,
+    /// Positive-class probability.
+    pub proba: f64,
+    /// Version of the model snapshot that scored the record.
+    pub model_version: u64,
+    /// Queue + batching + inference time, ingest to scored.
+    pub latency: Duration,
+}
+
+/// Shared instruments every worker updates lock-free.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerMetrics {
+    pub records: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub deadline_flushes: Arc<Counter>,
+    pub latency_ns: Arc<Histogram>,
+    pub batch_size: Arc<Histogram>,
+    pub inference_ns: Arc<Histogram>,
+}
+
+/// Everything one worker thread needs.
+pub(crate) struct WorkerContext {
+    pub queue: Arc<BoundedQueue<Job>>,
+    pub model: Arc<ModelHandle>,
+    pub batch: BatchConfig,
+    pub out: mpsc::Sender<Prediction>,
+    pub trainer_queue: Option<Arc<BoundedQueue<LabelledRecord>>>,
+    pub metrics: WorkerMetrics,
+}
+
+/// The worker loop: runs until its queue is closed and drained, then
+/// flushes any partial batch so no accepted record is ever lost.
+pub(crate) fn run(ctx: WorkerContext) {
+    let mut batcher = MicroBatcher::new(ctx.batch);
+    loop {
+        let next = match batcher.deadline() {
+            Some(deadline) => ctx.queue.pop_deadline(deadline),
+            None => match ctx.queue.pop() {
+                Some(job) => PopResult::Item(job),
+                None => PopResult::Closed,
+            },
+        };
+        match next {
+            PopResult::Item(job) => {
+                if let Some(batch) = batcher.push(job, Instant::now()) {
+                    flush(&ctx, batch, false);
+                }
+            }
+            PopResult::TimedOut => {
+                if let Some(batch) = batcher.flush_due(Instant::now()) {
+                    flush(&ctx, batch, true);
+                }
+            }
+            PopResult::Closed => {
+                let rest = batcher.take();
+                if !rest.is_empty() {
+                    flush(&ctx, rest, false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Scores one micro-batch with a single batched forward pass and fans
+/// the results out to the prediction channel and (labelled records
+/// only) the trainer queue.
+fn flush(ctx: &WorkerContext, batch: Vec<Job>, deadline_triggered: bool) {
+    let snapshot = ctx.model.current();
+    // A shard can host several sensors whose scenario clocks interleave,
+    // but `Dataset` requires timestamp order — score through a sorted
+    // permutation and un-permute. Each output row depends only on its
+    // own input row, so the probabilities are unaffected by the order.
+    let mut order: Vec<usize> = (0..batch.len()).collect();
+    order.sort_by(|&a, &b| {
+        batch[a]
+            .record
+            .timestamp_s
+            .total_cmp(&batch[b].record.timestamp_s)
+    });
+    let ds: Dataset = order.iter().map(|&i| batch[i].record).collect();
+    let infer_start = Instant::now();
+    let sorted_probas = snapshot.detector.predict_proba(&ds);
+    let mut probas = vec![0.0; batch.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        probas[i] = sorted_probas[rank];
+    }
+    ctx.metrics
+        .inference_ns
+        .record(infer_start.elapsed().as_nanos() as u64);
+    ctx.metrics.batches.inc();
+    ctx.metrics.batch_size.record(batch.len() as u64);
+    if deadline_triggered {
+        ctx.metrics.deadline_flushes.inc();
+    }
+
+    let scored_at = Instant::now();
+    for (job, proba) in batch.into_iter().zip(probas) {
+        let latency = scored_at.duration_since(job.enqueued_at);
+        ctx.metrics.records.inc();
+        ctx.metrics.latency_ns.record(latency.as_nanos() as u64);
+        if let (Some(trainer), Some(label)) = (&ctx.trainer_queue, job.label) {
+            // The trainer queue sheds (DropOldest) rather than ever
+            // stalling the inference path; losses show in its counters.
+            let _ = trainer.push(LabelledRecord {
+                record: job.record,
+                label,
+            });
+        }
+        // A dropped receiver means the caller does not want
+        // predictions; serving (and metrics) continue regardless.
+        let _ = ctx.out.send(Prediction {
+            sensor_id: job.sensor_id,
+            seq: job.seq,
+            timestamp_s: job.record.timestamp_s,
+            occupied: u8::from(proba > 0.5),
+            proba,
+            model_version: snapshot.version,
+            latency,
+        });
+    }
+}

@@ -27,7 +27,9 @@ impl WallClock {
 
     /// A clock whose scenario starts at midnight (useful in tests).
     pub fn midnight() -> Self {
-        Self { start_offset_s: 0.0 }
+        Self {
+            start_offset_s: 0.0,
+        }
     }
 
     /// Day index (0 = Jan 04) of scenario time `t`.

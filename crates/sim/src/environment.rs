@@ -207,7 +207,8 @@ impl EnvironmentState {
 
         // Temperature dynamics.
         let mut dtemp = 0.0;
-        dtemp += (config.envelope_temperature_c - self.temperature_c) / config.thermal_time_constant_h;
+        dtemp +=
+            (config.envelope_temperature_c - self.temperature_c) / config.thermal_time_constant_h;
         if self.window_open {
             dtemp += (t_out - self.temperature_c) / config.window_time_constant_h;
         }
@@ -309,7 +310,11 @@ mod tests {
         s.absolute_humidity_g_m3 = 9.0;
         s.window_open = true;
         run(&mut s, &cfg, 0.5, 10.0, 0);
-        assert!(s.temperature_c < 21.0, "window did not cool: {}", s.temperature_c);
+        assert!(
+            s.temperature_c < 21.0,
+            "window did not cool: {}",
+            s.temperature_c
+        );
         assert!(s.absolute_humidity_g_m3 < 9.0);
     }
 
@@ -341,7 +346,11 @@ mod tests {
         run(&mut s, &cfg, 1.5, 7.0, 0);
         let sensed = s.sensed_temperature_c(&cfg);
         assert!(s.heater_duty > 0.8, "duty {}", s.heater_duty);
-        assert!(sensed > s.temperature_c + 3.0, "sensed {sensed} vs bulk {}", s.temperature_c);
+        assert!(
+            sensed > s.temperature_c + 3.0,
+            "sensed {sensed} vs bulk {}",
+            s.temperature_c
+        );
         assert!(sensed < 41.0);
     }
 

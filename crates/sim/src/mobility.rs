@@ -189,8 +189,16 @@ impl SubjectMobility {
             Activity::Standing => (config.standing_jitter_m, Body::standing),
             Activity::Walking { .. } => (0.0, Body::standing),
         };
-        let jx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
-        let jy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+        let jx = if jitter > 0.0 {
+            rng.gen_range(-jitter..jitter)
+        } else {
+            0.0
+        };
+        let jy = if jitter > 0.0 {
+            rng.gen_range(-jitter..jitter)
+        } else {
+            0.0
+        };
         make(Point3::new(self.position.0 + jx, self.position.1 + jy, 0.0))
     }
 }
@@ -227,13 +235,22 @@ mod tests {
         for _ in 0..20_000 {
             m.step(&cfg, 1.0, &mut rng);
             let (x, y) = m.position;
-            assert!((cfg.roam_x.0 - 1e-9..=cfg.roam_x.1 + 1e-9).contains(&x), "x={x}");
-            assert!((cfg.roam_y.0 - 1e-9..=cfg.roam_y.1 + 1e-9).contains(&y), "y={y}");
+            assert!(
+                (cfg.roam_x.0 - 1e-9..=cfg.roam_x.1 + 1e-9).contains(&x),
+                "x={x}"
+            );
+            assert!(
+                (cfg.roam_y.0 - 1e-9..=cfg.roam_y.1 + 1e-9).contains(&y),
+                "y={y}"
+            );
             // Waypoints never target the exclusion zone; transit across it
             // cannot happen for straight lines from valid points only if
             // geometry allows — assert endpoints only.
             if matches!(m.activity, Activity::Seated | Activity::Standing) {
-                assert!(!cfg.is_excluded(x, y), "stationary in exclusion zone at ({x},{y})");
+                assert!(
+                    !cfg.is_excluded(x, y),
+                    "stationary in exclusion zone at ({x},{y})"
+                );
             }
         }
     }

@@ -244,8 +244,16 @@ mod tests {
         let empty = histogram[0];
         let occupied: usize = histogram[1..].iter().sum();
         let empty_frac = empty as f64 / (empty + occupied) as f64;
-        assert!((0.5..0.75).contains(&empty_frac), "empty fraction {empty_frac}");
-        assert!(histogram[1] >= histogram[3], "1-occ {} < 3-occ {}", histogram[1], histogram[3]);
+        assert!(
+            (0.5..0.75).contains(&empty_frac),
+            "empty fraction {empty_frac}"
+        );
+        assert!(
+            histogram[1] >= histogram[3],
+            "1-occ {} < 3-occ {}",
+            histogram[1],
+            histogram[3]
+        );
     }
 
     #[test]

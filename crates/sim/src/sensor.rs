@@ -87,10 +87,9 @@ impl EnvSensor {
 
         // Sample-and-hold with noise + quantisation at the sensor rate.
         if t_s >= self.next_sample_s {
-            let t_noisy = self.lagged_temperature_c
-                + self.config.temperature_noise_c * gaussian(rng);
-            let h_noisy =
-                self.lagged_humidity_pct + self.config.humidity_noise_pct * gaussian(rng);
+            let t_noisy =
+                self.lagged_temperature_c + self.config.temperature_noise_c * gaussian(rng);
+            let h_noisy = self.lagged_humidity_pct + self.config.humidity_noise_pct * gaussian(rng);
             self.reported_temperature_c = quantize(t_noisy, self.config.temperature_step_c);
             self.reported_humidity_pct =
                 quantize(h_noisy.clamp(0.0, 100.0), self.config.humidity_step_pct);

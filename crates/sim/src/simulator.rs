@@ -4,6 +4,7 @@ use crate::environment::EnvironmentState;
 use crate::occupants::{ActivityClass, OccupantModel};
 use crate::scenario::ScenarioConfig;
 use crate::sensor::EnvSensor;
+use crate::stream::RecordStream;
 use occusense_channel::scene::{moved_furniture_layout, Scene};
 use occusense_dataset::record::{CsiRecord, N_SUBCARRIERS};
 use occusense_dataset::Dataset;
@@ -119,27 +120,22 @@ impl OfficeSimulator {
         (record, self.occupants.dominant_activity())
     }
 
-    /// Runs the whole scenario and returns the dataset.
-    pub fn run(mut self) -> Dataset {
+    /// Turns the simulator into an iterator over the scenario's
+    /// records — the streaming entry point live-replay consumers (the
+    /// serving runtime, dashboards) share with the batch path below.
+    pub fn stream(self) -> RecordStream {
         let n = self.config.n_samples();
-        let mut ds = Dataset::new();
-        for _ in 0..n {
-            ds.push(self.step());
-        }
-        ds
+        RecordStream::new(self, n)
+    }
+
+    /// Runs the whole scenario and returns the dataset.
+    pub fn run(self) -> Dataset {
+        self.stream().collect()
     }
 
     /// Runs the whole scenario with per-sample activity labels.
-    pub fn run_annotated(mut self) -> (Dataset, Vec<ActivityClass>) {
-        let n = self.config.n_samples();
-        let mut ds = Dataset::new();
-        let mut labels = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (record, activity) = self.step_annotated();
-            ds.push(record);
-            labels.push(activity);
-        }
-        (ds, labels)
+    pub fn run_annotated(self) -> (Dataset, Vec<ActivityClass>) {
+        self.stream().annotated().unzip()
     }
 }
 
@@ -259,8 +255,16 @@ mod tests {
     fn sensor_values_are_plausible() {
         let ds = simulate(&ScenarioConfig::quick(300.0, 5));
         for r in &ds {
-            assert!((10.0..45.0).contains(&r.temperature_c), "T {}", r.temperature_c);
-            assert!((0.0..=100.0).contains(&r.humidity_pct), "H {}", r.humidity_pct);
+            assert!(
+                (10.0..45.0).contains(&r.temperature_c),
+                "T {}",
+                r.temperature_c
+            );
+            assert!(
+                (0.0..=100.0).contains(&r.humidity_pct),
+                "H {}",
+                r.humidity_pct
+            );
             assert_eq!(r.humidity_pct, r.humidity_pct.round());
         }
     }

@@ -1,0 +1,145 @@
+//! Streaming view of a simulation — the adapter the serving runtime
+//! ([`occusense-serve`]) replays scenarios through.
+//!
+//! [`RecordStream`] turns an [`OfficeSimulator`] into an iterator of
+//! timestamped [`CsiRecord`]s, so live-replay consumers and the batch
+//! [`simulate`](crate::simulate) path share the exact same stepping
+//! logic: a stream collected into a dataset is bit-identical to
+//! [`OfficeSimulator::run`] with the same configuration.
+//!
+//! [`occusense-serve`]: https://example.com/occusense
+
+use crate::occupants::ActivityClass;
+use crate::simulator::OfficeSimulator;
+use occusense_dataset::CsiRecord;
+
+/// Iterator over the records of one scenario, in timestamp order.
+///
+/// The stream owns its simulator and ends after the scenario's
+/// configured number of samples.
+///
+/// # Example
+///
+/// ```
+/// use occusense_sim::{OfficeSimulator, ScenarioConfig};
+///
+/// let cfg = ScenarioConfig::quick(30.0, 7);
+/// let mut stream = OfficeSimulator::new(cfg).stream();
+/// let first = stream.next().unwrap();
+/// let second = stream.next().unwrap();
+/// assert!(second.timestamp_s > first.timestamp_s);
+/// assert_eq!(stream.count(), 58); // 2 Hz × 30 s, 2 consumed
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordStream {
+    sim: OfficeSimulator,
+    remaining: usize,
+}
+
+impl RecordStream {
+    pub(crate) fn new(sim: OfficeSimulator, n_samples: usize) -> Self {
+        Self {
+            sim,
+            remaining: n_samples,
+        }
+    }
+
+    /// The underlying simulator (e.g. to inspect the scene mid-stream).
+    pub fn simulator(&self) -> &OfficeSimulator {
+        &self.sim
+    }
+
+    /// Upgrades to a stream that also yields the room-level activity
+    /// label per record.
+    pub fn annotated(self) -> AnnotatedStream {
+        AnnotatedStream(self)
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = CsiRecord;
+
+    fn next(&mut self) -> Option<CsiRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.sim.step())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RecordStream {}
+
+/// [`RecordStream`] with per-record [`ActivityClass`] ground truth.
+#[derive(Debug, Clone)]
+pub struct AnnotatedStream(RecordStream);
+
+impl Iterator for AnnotatedStream {
+    type Item = (CsiRecord, ActivityClass);
+
+    fn next(&mut self) -> Option<(CsiRecord, ActivityClass)> {
+        if self.0.remaining == 0 {
+            return None;
+        }
+        self.0.remaining -= 1;
+        Some(self.0.sim.step_annotated())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl ExactSizeIterator for AnnotatedStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use crate::simulator::simulate;
+    use occusense_dataset::Dataset;
+
+    #[test]
+    fn stream_matches_batch_run_exactly() {
+        let cfg = ScenarioConfig::quick(120.0, 31);
+        let streamed: Dataset = OfficeSimulator::new(cfg.clone()).stream().collect();
+        let batch = simulate(&cfg);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn stream_is_exact_size() {
+        let cfg = ScenarioConfig::quick(60.0, 32);
+        let n = cfg.n_samples();
+        let mut stream = OfficeSimulator::new(cfg).stream();
+        assert_eq!(stream.len(), n);
+        stream.next().unwrap();
+        assert_eq!(stream.len(), n - 1);
+        assert_eq!(stream.count(), n - 1);
+    }
+
+    #[test]
+    fn annotated_stream_matches_annotated_run() {
+        let cfg = ScenarioConfig::quick(90.0, 33);
+        let (batch_ds, batch_labels) = crate::simulator::simulate_annotated(&cfg);
+        let pairs: Vec<_> = OfficeSimulator::new(cfg).stream().annotated().collect();
+        assert_eq!(pairs.len(), batch_ds.len());
+        for ((r, l), (br, bl)) in pairs.iter().zip(batch_ds.iter().zip(&batch_labels)) {
+            assert_eq!(r, br);
+            assert_eq!(l, bl);
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let cfg = ScenarioConfig::quick(45.0, 34);
+        let records: Vec<_> = OfficeSimulator::new(cfg).stream().collect();
+        for w in records.windows(2) {
+            assert!(w[1].timestamp_s > w[0].timestamp_s);
+        }
+    }
+}

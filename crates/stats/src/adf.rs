@@ -117,7 +117,10 @@ impl fmt::Display for AdfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdfError::TooShort { n, required } => {
-                write!(f, "series too short for ADF: {n} observations, need {required}")
+                write!(
+                    f,
+                    "series too short for ADF: {n} observations, need {required}"
+                )
             }
             AdfError::Degenerate => write!(f, "degenerate ADF regression (constant series?)"),
         }
@@ -230,7 +233,10 @@ fn adf_fixed_with_aic(
     let ssr: f64 = b.iter().zip(&pred).map(|(y, p)| (y - p) * (y - p)).sum();
     let dof = n.saturating_sub(k);
     if dof == 0 {
-        return Err(AdfError::TooShort { n: y.len(), required: y.len() + k });
+        return Err(AdfError::TooShort {
+            n: y.len(),
+            required: y.len() + k,
+        });
     }
     let sigma2 = ssr / dof as f64;
 
@@ -362,11 +368,19 @@ mod tests {
             near.push(0.99 * near[t - 1] + e[t]);
         }
         let res_near = adf_test(&near, Regression::Constant, LagSelection::Fixed(2)).unwrap();
-        let res_walk =
-            adf_test(&random_walk(400, 4), Regression::Constant, LagSelection::Fixed(2)).unwrap();
+        let res_walk = adf_test(
+            &random_walk(400, 4),
+            Regression::Constant,
+            LagSelection::Fixed(2),
+        )
+        .unwrap();
         // Both should look much less stationary than white noise.
-        let res_noise =
-            adf_test(&white_noise(400, 4), Regression::Constant, LagSelection::Fixed(2)).unwrap();
+        let res_noise = adf_test(
+            &white_noise(400, 4),
+            Regression::Constant,
+            LagSelection::Fixed(2),
+        )
+        .unwrap();
         assert!(res_noise.statistic < res_near.statistic);
         assert!(res_noise.statistic < res_walk.statistic);
     }
@@ -376,7 +390,11 @@ mod tests {
         // y_t = 0.05 t + stationary noise: with a trend term the noise is
         // detected as stationary around the trend.
         let e = white_noise(500, 5);
-        let y: Vec<f64> = e.iter().enumerate().map(|(t, v)| 0.05 * t as f64 + v).collect();
+        let y: Vec<f64> = e
+            .iter()
+            .enumerate()
+            .map(|(t, v)| 0.05 * t as f64 + v)
+            .collect();
         let with_trend = adf_test(&y, Regression::ConstantTrend, LagSelection::Fixed(2)).unwrap();
         assert!(with_trend.is_stationary(Significance::Five), "{with_trend}");
     }
@@ -434,9 +452,18 @@ mod tests {
     fn result_accessors() {
         let y = white_noise(200, 10);
         let res = adf_test(&y, Regression::Constant, LagSelection::Fixed(0)).unwrap();
-        assert_eq!(res.critical_value(Significance::One), res.critical_values[0]);
-        assert_eq!(res.critical_value(Significance::Five), res.critical_values[1]);
-        assert_eq!(res.critical_value(Significance::Ten), res.critical_values[2]);
+        assert_eq!(
+            res.critical_value(Significance::One),
+            res.critical_values[0]
+        );
+        assert_eq!(
+            res.critical_value(Significance::Five),
+            res.critical_values[1]
+        );
+        assert_eq!(
+            res.critical_value(Significance::Ten),
+            res.critical_values[2]
+        );
         assert_eq!(res.regression, Regression::Constant);
     }
 }

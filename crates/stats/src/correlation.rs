@@ -167,9 +167,7 @@ mod tests {
         // y is x delayed by 2 samples.
         let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut y = vec![0.0; 40];
-        for i in 2..40 {
-            y[i] = x[i - 2];
-        }
+        y[2..40].copy_from_slice(&x[..38]);
         let at_lag2 = lagged_correlation(&x, &y, 2).unwrap();
         let at_lag0 = lagged_correlation(&x, &y, 0).unwrap();
         assert!(at_lag2 > 0.99, "lag-2 correlation {at_lag2}");

@@ -155,10 +155,17 @@ impl MultiConfusion {
     /// ```
     pub fn from_labels(n_classes: usize, y_true: &[usize], y_pred: &[usize]) -> Self {
         assert!(n_classes > 0, "need at least one class");
-        assert_eq!(y_true.len(), y_pred.len(), "multi confusion: length mismatch");
+        assert_eq!(
+            y_true.len(),
+            y_pred.len(),
+            "multi confusion: length mismatch"
+        );
         let mut counts = vec![0usize; n_classes * n_classes];
         for (&t, &p) in y_true.iter().zip(y_pred) {
-            assert!(t < n_classes && p < n_classes, "label out of range: ({t}, {p})");
+            assert!(
+                t < n_classes && p < n_classes,
+                "label out of range: ({t}, {p})"
+            );
             counts[t * n_classes + p] += 1;
         }
         Self { n_classes, counts }
@@ -175,7 +182,10 @@ impl MultiConfusion {
     ///
     /// Panics if either index is out of range.
     pub fn count(&self, t: usize, p: usize) -> usize {
-        assert!(t < self.n_classes && p < self.n_classes, "index out of range");
+        assert!(
+            t < self.n_classes && p < self.n_classes,
+            "index out of range"
+        );
         self.counts[t * self.n_classes + p]
     }
 

@@ -132,7 +132,10 @@ mod tests {
         let m = kaiming_gaussian(200, 50, &mut rng);
         let std = (m.as_slice().iter().map(|x| x * x).sum::<f64>() / m.len() as f64).sqrt();
         let expected = (2.0f64 / 200.0).sqrt();
-        assert!((std - expected).abs() / expected < 0.15, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.15,
+            "std {std} vs {expected}"
+        );
     }
 
     #[test]

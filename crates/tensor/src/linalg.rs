@@ -245,7 +245,9 @@ mod tests {
 
     #[test]
     fn qr_q_is_orthonormal() {
-        let a = Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f64).sin() + 2.0 * (r == c) as u8 as f64);
+        let a = Matrix::from_fn(6, 3, |r, c| {
+            ((r * 3 + c) as f64).sin() + 2.0 * (r == c) as u8 as f64
+        });
         let f = qr(&a).expect("m >= n");
         let qtq = f.q.transpose().matmul(&f.q);
         let diff = &qtq - &Matrix::identity(3);

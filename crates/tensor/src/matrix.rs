@@ -219,7 +219,9 @@ impl Matrix {
     /// Panics if `c >= cols`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterator over rows as slices.

@@ -17,7 +17,13 @@
 /// assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -99,7 +105,13 @@ pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(a: &mut [f64], k: f64, b: &[f64]) {
-    assert_eq!(a.len(), b.len(), "axpy: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "axpy: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (x, &y) in a.iter_mut().zip(b) {
         *x += k * y;
     }

@@ -18,7 +18,10 @@ fn main() {
     let train: Dataset = ds.records()[..split].iter().copied().collect();
     let test: Dataset = ds.records()[split..].iter().copied().collect();
 
-    println!("CSI → (temperature, humidity) regression, {} test records\n", test.len());
+    println!(
+        "CSI → (temperature, humidity) regression, {} test records\n",
+        test.len()
+    );
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10}",
         "Model", "MAE T", "MAE H", "MAPE T", "MAPE H"
@@ -55,7 +58,11 @@ fn main() {
         let r = &test.records()[i];
         println!(
             "{:>10.0} {:>11.2}° {:>11.2}° {:>11.0}% {:>11.1}%",
-            r.timestamp_s, r.temperature_c, pred.temperature_c[i], r.humidity_pct, pred.humidity_pct[i]
+            r.timestamp_s,
+            r.temperature_c,
+            pred.temperature_c[i],
+            r.humidity_pct,
+            pred.humidity_pct[i]
         );
     }
     println!("\nThe paper's conclusion: the CSI signal embeds the environmental state");

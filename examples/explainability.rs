@@ -52,9 +52,8 @@ fn main() {
         .zip(&explanation.importance)
     {
         let bar_len = ((imp.abs() / max_abs) * 32.0).round() as usize;
-        let bar: String = std::iter::repeat(if imp >= 0.0 { '+' } else { '-' })
-            .take(bar_len)
-            .collect();
+        let bar: String =
+            std::iter::repeat_n(if imp >= 0.0 { '+' } else { '-' }, bar_len).collect();
         println!("{name:>4} {imp:>9.4} {bar}");
     }
 

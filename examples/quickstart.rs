@@ -24,7 +24,11 @@ fn main() {
     let split = (ds.len() * 7) / 10;
     let train: Dataset = ds.records()[..split].iter().copied().collect();
     let test: Dataset = ds.records()[split..].iter().copied().collect();
-    println!("train: {} records, test: {} records", train.len(), test.len());
+    println!(
+        "train: {} records, test: {} records",
+        train.len(),
+        test.len()
+    );
 
     // 3. Train the paper's 4-layer MLP on the 64 CSI amplitudes.
     let config = DetectorConfig {

@@ -49,7 +49,10 @@ fn main() {
             if !lights_on {
                 lights_on = true;
                 switch_events += 1;
-                println!("[{:7.1} s] presence detected → systems ON", record.timestamp_s);
+                println!(
+                    "[{:7.1} s] presence detected → systems ON",
+                    record.timestamp_s
+                );
             }
         } else {
             on_since_detection_min += dt_min;

@@ -102,8 +102,16 @@ fn regression_pipeline_runs_both_families() {
         .expect("fit");
         let scores = model.evaluate(&test);
         assert!(scores.mae_temperature.is_finite());
-        assert!(scores.mae_temperature < 10.0, "{kind:?}: MAE T {}", scores.mae_temperature);
-        assert!(scores.mae_humidity < 30.0, "{kind:?}: MAE H {}", scores.mae_humidity);
+        assert!(
+            scores.mae_temperature < 10.0,
+            "{kind:?}: MAE T {}",
+            scores.mae_temperature
+        );
+        assert!(
+            scores.mae_humidity < 30.0,
+            "{kind:?}: MAE H {}",
+            scores.mae_humidity
+        );
     }
 }
 
@@ -120,6 +128,10 @@ fn online_prediction_agrees_with_batch() {
     let batch = det.predict_proba(&test);
     for (i, r) in test.iter().enumerate().step_by(37) {
         let (_, p) = det.predict_record(r);
-        assert!((p - batch[i]).abs() < 1e-12, "record {i}: {p} vs {}", batch[i]);
+        assert!(
+            (p - batch[i]).abs() < 1e-12,
+            "record {i}: {p} vs {}",
+            batch[i]
+        );
     }
 }

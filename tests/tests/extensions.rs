@@ -47,7 +47,11 @@ fn counter_end_to_end() {
         },
     );
     let scores = counter.evaluate(&test);
-    assert!(scores.occupancy_accuracy > 0.7, "{}", scores.occupancy_accuracy);
+    assert!(
+        scores.occupancy_accuracy > 0.7,
+        "{}",
+        scores.occupancy_accuracy
+    );
     assert!(scores.count_mae.is_finite());
 }
 

@@ -33,9 +33,15 @@ fn scripted_occupancy_structure_holds() {
     // Fold 4: mixed, mostly occupied (paper: 82.5 % occupied).
     let f4 = &tests[3];
     let occ4 = f4.labels().iter().filter(|&&l| l == 1).count() as f64 / f4.len() as f64;
-    assert!((0.70..0.95).contains(&occ4), "fold-4 occupied fraction {occ4}");
+    assert!(
+        (0.70..0.95).contains(&occ4),
+        "fold-4 occupied fraction {occ4}"
+    );
     // Fold 5: fully occupied.
-    assert!(tests[4].labels().iter().all(|&l| l == 1), "fold 5 has empty samples");
+    assert!(
+        tests[4].labels().iter().all(|&l| l == 1),
+        "fold 5 has empty samples"
+    );
 }
 
 #[test]
@@ -45,9 +51,22 @@ fn occupancy_distribution_matches_table2_shape() {
     // Empty dominates (paper 63.2 %), singles are the most common
     // occupied state, higher head counts are rarer.
     let empty_frac = p.empty_total() as f64 / p.total() as f64;
-    assert!((0.5..0.75).contains(&empty_frac), "empty fraction {empty_frac}");
-    assert!(p.count(1) > p.count(3), "1-occ {} vs 3-occ {}", p.count(1), p.count(3));
-    assert!(p.count(2) > p.count(4), "2-occ {} vs 4-occ {}", p.count(2), p.count(4));
+    assert!(
+        (0.5..0.75).contains(&empty_frac),
+        "empty fraction {empty_frac}"
+    );
+    assert!(
+        p.count(1) > p.count(3),
+        "1-occ {} vs 3-occ {}",
+        p.count(1),
+        p.count(3)
+    );
+    assert!(
+        p.count(2) > p.count(4),
+        "2-occ {} vs 4-occ {}",
+        p.count(2),
+        p.count(4)
+    );
 }
 
 #[test]
@@ -63,7 +82,11 @@ fn fold_temperature_ranges_are_winter_office_like() {
         assert!(max < 41.0, "fold {} max temperature {max}", spec.index);
         let hums = fold.humidities();
         for h in hums {
-            assert!((5.0..=75.0).contains(&h), "fold {} humidity {h}", spec.index);
+            assert!(
+                (5.0..=75.0).contains(&h),
+                "fold {} humidity {h}",
+                spec.index
+            );
         }
     }
 }

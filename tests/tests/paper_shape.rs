@@ -2,8 +2,8 @@
 //! downscaled full campaign. These assert the *qualitative* results —
 //! who wins, where the hard fold is — not absolute numbers.
 
-use occusense_core::experiments::{table4, table5, ExperimentConfig};
 use occusense_core::detector::ModelKind;
+use occusense_core::experiments::{table4, table5, ExperimentConfig};
 use occusense_core::regressor::RegressorKind;
 use occusense_core::FeatureView;
 use occusense_integration::small_campaign;
