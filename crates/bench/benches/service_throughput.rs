@@ -52,8 +52,10 @@ fn serve_once(detector: &OccupancyDetector, traces: &[Vec<CsiRecord>], max_batch
                 max_delay: Duration::from_millis(5),
             },
             online: None,
+            ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start runtime");
     let handles: Vec<_> = traces
         .iter()
         .enumerate()

@@ -11,13 +11,27 @@
 //! stds <d floats>
 //! <embedded occusense-mlp v1 payload>
 //! ```
+//!
+//! ## Crash-safe checkpoints
+//!
+//! The serving runtime persists its live model through the *checked*
+//! variants: [`save_detector_checked`] appends an FNV-1a-64 checksum
+//! footer over the payload bytes, [`save_detector_atomic`] additionally
+//! writes to a temporary file, fsyncs and atomically renames into
+//! place (a crash mid-write can therefore never clobber the previous
+//! checkpoint), and [`load_latest`] walks a checkpoint directory from
+//! the newest version down, skipping any file whose checksum no longer
+//! matches — so recovery always resumes from the newest *valid*
+//! checkpoint.
 
 use crate::detector::OccupancyDetector;
 use occusense_dataset::{FeatureView, Standardizer};
 use occusense_nn::serialize as nn_serialize;
 use std::error::Error;
 use std::fmt;
+use std::fs;
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 
 /// Error returned by [`load_detector`].
 #[derive(Debug)]
@@ -134,6 +148,11 @@ pub fn load_detector<R: Read>(r: R) -> Result<OccupancyDetector, LoadDetectorErr
     };
     let means = parse_floats(&next_line(&mut reader)?, "means")?;
     let stds = parse_floats(&next_line(&mut reader)?, "stds")?;
+    if means.iter().chain(&stds).any(|v| !v.is_finite()) {
+        return Err(LoadDetectorError::Parse(
+            "non-finite standardizer value (corrupt checkpoint?)".into(),
+        ));
+    }
     if means.len() != features.dimension() || stds.len() != features.dimension() {
         return Err(LoadDetectorError::Parse(format!(
             "standardizer dimension {} does not match feature view {}",
@@ -163,6 +182,204 @@ fn parse_floats(line: &str, tag: &str) -> Result<Vec<f64>, LoadDetectorError> {
                 .map_err(|e| LoadDetectorError::Parse(format!("bad {tag} value '{s}': {e}")))
         })
         .collect()
+}
+
+/// Tag of the checksum footer line appended by the checked writers.
+pub const CHECKSUM_TAG: &str = "checksum fnv1a";
+
+/// File extension of versioned checkpoints.
+pub const CHECKPOINT_EXT: &str = "ckpt";
+
+const CHECKPOINT_PREFIX: &str = "detector-v";
+
+/// FNV-1a 64-bit over `bytes` — the same cheap, dependency-free hash
+/// the serving runtime uses for shard routing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Whether every parameter of the detector is finite — a detector with
+/// NaN/inf weights or standardiser statistics would poison every
+/// prediction after a reload, so checkpoint writers refuse to persist
+/// one (keeping the last *good* checkpoint on disk instead).
+pub fn detector_is_finite(detector: &OccupancyDetector) -> bool {
+    let standardizer = detector.standardizer();
+    let stats_finite = standardizer
+        .means()
+        .iter()
+        .chain(standardizer.stds())
+        .all(|v| v.is_finite());
+    let Some(mlp) = detector.mlp() else {
+        return stats_finite;
+    };
+    stats_finite
+        && mlp.layers().iter().all(|layer| {
+            layer.bias.iter().all(|v| v.is_finite())
+                && (0..layer.in_dim()).all(|r| layer.weights.row(r).iter().all(|v| v.is_finite()))
+        })
+}
+
+/// Saves a detector followed by a checksum footer line
+/// (`checksum fnv1a <16-hex>`) over the payload bytes.
+///
+/// # Errors
+///
+/// Same as [`save_detector`].
+pub fn save_detector_checked<W: Write>(mut w: W, detector: &OccupancyDetector) -> io::Result<()> {
+    let mut payload = Vec::new();
+    save_detector(&mut payload, detector)?;
+    let sum = fnv1a(&payload);
+    w.write_all(&payload)?;
+    writeln!(w, "{CHECKSUM_TAG} {sum:016x}")
+}
+
+/// Loads a detector saved by [`save_detector_checked`], verifying the
+/// checksum footer first.
+///
+/// # Errors
+///
+/// [`LoadDetectorError::Parse`] when the footer is missing, malformed
+/// or does not match the payload (e.g. a bit-flipped checkpoint), plus
+/// everything [`load_detector`] can return.
+pub fn load_detector_checked<R: Read>(mut r: R) -> Result<OccupancyDetector, LoadDetectorError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let without_trailing_newline = match bytes.last() {
+        Some(b'\n') => &bytes[..bytes.len() - 1],
+        _ => return Err(LoadDetectorError::Parse("missing checksum footer".into())),
+    };
+    let footer_start = without_trailing_newline
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let footer = std::str::from_utf8(&without_trailing_newline[footer_start..])
+        .map_err(|_| LoadDetectorError::Parse("non-UTF-8 checksum footer".into()))?;
+    let expected = footer
+        .strip_prefix(CHECKSUM_TAG)
+        .map(str::trim)
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| LoadDetectorError::Parse(format!("bad checksum footer '{footer}'")))?;
+    let payload = &bytes[..footer_start];
+    let actual = fnv1a(payload);
+    if actual != expected {
+        return Err(LoadDetectorError::Parse(format!(
+            "checksum mismatch: footer {expected:016x}, payload {actual:016x} \
+             (corrupt checkpoint)"
+        )));
+    }
+    load_detector(payload)
+}
+
+/// Crash-safe save: refuses non-finite detectors, writes the checked
+/// format to `<path>.tmp`, fsyncs, atomically renames onto `path` and
+/// fsyncs the directory — so `path` always holds either the previous
+/// complete checkpoint or the new one, never a torn write.
+///
+/// # Errors
+///
+/// `io::ErrorKind::InvalidData` for non-finite detectors; otherwise the
+/// underlying I/O error.
+pub fn save_detector_atomic(path: &Path, detector: &OccupancyDetector) -> io::Result<()> {
+    if !detector_is_finite(detector) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "detector has non-finite parameters; refusing to checkpoint",
+        ));
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        save_detector_checked(&mut file, detector)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Directory fsync makes the rename itself durable; best-effort
+        // because not every filesystem supports opening a directory.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The canonical path of the checkpoint holding model `version` inside
+/// `dir` (zero-padded so lexicographic order equals version order).
+pub fn checkpoint_path(dir: &Path, version: u64) -> PathBuf {
+    dir.join(format!("{CHECKPOINT_PREFIX}{version:09}.{CHECKPOINT_EXT}"))
+}
+
+/// Lists the checkpoints in `dir`, sorted ascending by version.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; files that do not match the
+/// checkpoint naming scheme are ignored.
+pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(version) = name
+            .strip_prefix(CHECKPOINT_PREFIX)
+            .and_then(|rest| rest.strip_suffix(&format!(".{CHECKPOINT_EXT}")))
+            .and_then(|v| v.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((version, path));
+    }
+    found.sort_unstable_by_key(|(v, _)| *v);
+    Ok(found)
+}
+
+/// Recovery path: loads the newest checkpoint in `dir` whose checksum
+/// still verifies, skipping corrupt or truncated files. Returns `None`
+/// when the directory holds no loadable checkpoint.
+///
+/// # Errors
+///
+/// Propagates directory-read failures only; unreadable *checkpoints*
+/// are skipped, not fatal — that is the point of the recovery path.
+pub fn load_latest(dir: &Path) -> io::Result<Option<(u64, PathBuf, OccupancyDetector)>> {
+    for (version, path) in list_checkpoints(dir)?.into_iter().rev() {
+        let Ok(file) = fs::File::open(&path) else {
+            continue;
+        };
+        if let Ok(detector) = load_detector_checked(file) {
+            return Ok(Some((version, path, detector)));
+        }
+    }
+    Ok(None)
+}
+
+/// Removes the oldest checkpoints in `dir`, keeping the `keep` newest;
+/// returns how many were deleted.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; individual deletions are
+/// best-effort (a checkpoint that vanished concurrently is not fatal).
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> io::Result<usize> {
+    let checkpoints = list_checkpoints(dir)?;
+    let excess = checkpoints.len().saturating_sub(keep.max(1));
+    let mut removed = 0;
+    for (_, path) in &checkpoints[..excess] {
+        if fs::remove_file(path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 #[cfg(test)]
@@ -226,5 +443,126 @@ mod tests {
         let mut buf = Vec::new();
         save_detector(&mut buf, &det).unwrap();
         assert!(load_detector(&buf[..buf.len() / 3]).is_err());
+    }
+
+    /// Rewrites one whitespace-separated line of a saved detector.
+    fn rewrite_line(buf: &[u8], prefix: &str, new_line: &str) -> Vec<u8> {
+        let text = String::from_utf8(buf.to_vec()).unwrap();
+        let out: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.starts_with(prefix) {
+                    new_line.to_owned()
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect();
+        (out.join("\n") + "\n").into_bytes()
+    }
+
+    #[test]
+    fn load_rejects_non_finite_standardizer_values() {
+        let (det, _) = trained(ModelKind::Mlp);
+        let mut buf = Vec::new();
+        save_detector(&mut buf, &det).unwrap();
+        let n = det.standardizer().stds().len();
+        for bad in ["NaN", "inf", "-inf"] {
+            let stds = format!("stds {}", vec![bad; n].join(" "));
+            let corrupted = rewrite_line(&buf, "stds ", &stds);
+            let err = load_detector(&corrupted[..]).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "stds={bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn load_rejects_zero_length_feature_lines() {
+        let (det, _) = trained(ModelKind::Mlp);
+        let mut buf = Vec::new();
+        save_detector(&mut buf, &det).unwrap();
+        for line in ["means", "stds"] {
+            let corrupted = rewrite_line(&buf, &format!("{line} "), line);
+            let err = load_detector(&corrupted[..]).unwrap_err();
+            assert!(err.to_string().contains("dimension"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn checked_round_trip_preserves_predictions() {
+        let (det, ds) = trained(ModelKind::Mlp);
+        let mut buf = Vec::new();
+        save_detector_checked(&mut buf, &det).unwrap();
+        let loaded = load_detector_checked(&buf[..]).unwrap();
+        assert_eq!(loaded.predict_proba(&ds), det.predict_proba(&ds));
+        // The plain loader still reads a checked file (the footer sits
+        // after the payload it already consumes).
+        assert!(load_detector(&buf[..]).is_ok());
+    }
+
+    #[test]
+    fn checksum_rejects_every_single_bit_flip_probe() {
+        let (det, _) = trained(ModelKind::Mlp);
+        let mut buf = Vec::new();
+        save_detector_checked(&mut buf, &det).unwrap();
+        // Flip one bit at a handful of positions spread over the file.
+        for pos in [10, buf.len() / 3, buf.len() / 2, buf.len() - 30] {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x04;
+            let err = load_detector_checked(&corrupt[..]).unwrap_err();
+            assert!(
+                err.to_string().contains("checksum") || err.to_string().contains("footer"),
+                "bit flip at {pos} not caught: {err}"
+            );
+        }
+        assert!(load_detector_checked(&buf[..buf.len() / 2]).is_err());
+        assert!(load_detector_checked(&b""[..]).is_err());
+    }
+
+    fn temp_checkpoint_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("occusense-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_save_load_latest_and_prune() {
+        let (det, ds) = trained(ModelKind::Mlp);
+        let dir = temp_checkpoint_dir("atomic");
+        for version in 1..=4u64 {
+            save_detector_atomic(&checkpoint_path(&dir, version), &det).unwrap();
+        }
+        let listed = list_checkpoints(&dir).unwrap();
+        assert_eq!(
+            listed.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            [1, 2, 3, 4]
+        );
+        // Corrupt the newest checkpoint: recovery falls back to v3.
+        let newest = checkpoint_path(&dir, 4);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&newest, &bytes).unwrap();
+        let (version, path, loaded) = load_latest(&dir).unwrap().expect("a valid checkpoint");
+        assert_eq!(version, 3);
+        assert_eq!(path, checkpoint_path(&dir, 3));
+        assert_eq!(loaded.predict_proba(&ds), det.predict_proba(&ds));
+        // Prune keeps the newest two files (valid or not).
+        assert_eq!(prune_checkpoints(&dir, 2).unwrap(), 2);
+        let kept = list_checkpoints(&dir).unwrap();
+        assert_eq!(kept.iter().map(|(v, _)| *v).collect::<Vec<_>>(), [3, 4]);
+        // No .tmp residue from the atomic writes.
+        assert!(fs::read_dir(&dir)
+            .unwrap()
+            .all(|e| e.unwrap().path().extension().unwrap() == CHECKPOINT_EXT));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_has_no_latest_checkpoint() {
+        let dir = temp_checkpoint_dir("empty");
+        assert!(load_latest(&dir).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

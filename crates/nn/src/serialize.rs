@@ -176,6 +176,13 @@ fn parse_floats(
 ) -> Result<Vec<f64>, LoadModelError> {
     let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
     let values = values.map_err(|e| LoadModelError::Parse(format!("layer {layer} {what}: {e}")))?;
+    if values.iter().any(|v: &f64| !v.is_finite()) {
+        // A NaN/inf weight silently poisons every forward pass; a
+        // corrupt or diverged checkpoint must fail loudly at load time.
+        return Err(LoadModelError::Parse(format!(
+            "layer {layer} {what}: non-finite value"
+        )));
+    }
     if values.len() != expected {
         return Err(LoadModelError::Parse(format!(
             "layer {layer} {what}: expected {expected} values, got {}",
@@ -231,6 +238,15 @@ mod tests {
         // where 1 is expected.
         let err = load(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("expected 1 values"));
+    }
+
+    #[test]
+    fn load_rejects_non_finite_weights() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!("occusense-mlp v1\nlayers 1\nlayer 1 1 relu\n0.0\n{bad}\n");
+            let err = load(text.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{bad}: {err}");
+        }
     }
 
     #[test]

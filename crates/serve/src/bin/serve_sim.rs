@@ -8,13 +8,37 @@
 //!     --sensors 6 --shards 4 --batch 32 --delay-ms 5 \
 //!     --policy drop-oldest --duration 600
 //! ```
+//!
+//! With `--faults SPEC` the sensor streams are corrupted on the way in
+//! (NaN bursts, amplitude spikes, dropouts, scripted worker/trainer
+//! panics) and the run doubles as a fault-injection smoke test: it
+//! exits non-zero unless every record is accounted for and every
+//! scripted panic produced a supervised restart.
 
 use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
 use occusense_serve::{
-    BackpressurePolicy, BatchConfig, OnlineTrainingConfig, ServeConfig, ServeRuntime, SubmitError,
+    BackpressurePolicy, BatchConfig, CheckpointConfig, OnlineTrainingConfig, ServeConfig,
+    ServeRuntime, SubmitError,
 };
-use occusense_sim::{simulate, OfficeSimulator, ScenarioConfig};
+use occusense_sim::{simulate, FaultPlan, OfficeSimulator, ScenarioConfig};
+use std::path::PathBuf;
 use std::time::Duration;
+
+const USAGE: &str = "serve_sim — replay simulated office sensors through the serving runtime
+
+  --sensors N         concurrent simulated sensors (default 6)
+  --shards N          worker shards (default 4)
+  --batch N           micro-batch size trigger (default 32)
+  --delay-ms N        micro-batch deadline trigger (default 5)
+  --policy P          block | drop-oldest | reject-newest (default drop-oldest)
+  --duration S        simulated seconds replayed per sensor (default 600)
+  --capacity N        per-shard queue capacity (default 256)
+  --faults SPEC       inject faults into every sensor stream and verify
+                      recovery. SPEC is comma-separated kind@start[xlen]
+                      with kinds nan | spike | drop | panic | trainer-panic,
+                      e.g. \"nan@50x5,drop@100x20,panic@300\"
+  --checkpoint-dir D  write crash-safe model checkpoints into D
+  -h, --help          print this help";
 
 struct Args {
     sensors: usize,
@@ -24,6 +48,8 @@ struct Args {
     policy: BackpressurePolicy,
     duration_s: f64,
     queue_capacity: usize,
+    faults: FaultPlan,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -36,54 +62,84 @@ impl Default for Args {
             policy: BackpressurePolicy::DropOldest,
             duration_s: 600.0,
             queue_capacity: 256,
+            faults: FaultPlan::new(),
+            checkpoint_dir: None,
         }
     }
 }
 
-fn parse_args() -> Args {
+fn parse_value<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad value {raw:?} for {what}: {e}"))
+}
+
+/// Parses the command line. `Err` carries a user-facing message — the
+/// caller prints it with the usage text and exits non-zero; malformed
+/// flags must never panic.
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
-        };
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        const KNOWN: &[&str] = &[
+            "--sensors",
+            "--shards",
+            "--batch",
+            "--delay-ms",
+            "--policy",
+            "--duration",
+            "--capacity",
+            "--faults",
+            "--checkpoint-dir",
+        ];
+        if !KNOWN.contains(&flag.as_str()) {
+            return Err(format!("unknown flag {flag:?}"));
+        }
+        let raw = it
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
         match flag.as_str() {
-            "--sensors" => args.sensors = value("--sensors").parse().expect("--sensors"),
-            "--shards" => args.shards = value("--shards").parse().expect("--shards"),
-            "--batch" => args.max_batch = value("--batch").parse().expect("--batch"),
-            "--delay-ms" => args.max_delay_ms = value("--delay-ms").parse().expect("--delay-ms"),
+            "--sensors" => args.sensors = parse_value(&raw, "--sensors")?,
+            "--shards" => args.shards = parse_value(&raw, "--shards")?,
+            "--batch" => args.max_batch = parse_value(&raw, "--batch")?,
+            "--delay-ms" => args.max_delay_ms = parse_value(&raw, "--delay-ms")?,
             "--policy" => {
-                let raw = value("--policy");
-                args.policy = BackpressurePolicy::parse(&raw).unwrap_or_else(|| {
-                    panic!("unknown policy {raw:?} (block | drop-oldest | reject-newest)")
-                });
+                args.policy = BackpressurePolicy::parse(&raw).ok_or_else(|| {
+                    format!("unknown policy {raw:?} (block | drop-oldest | reject-newest)")
+                })?;
             }
-            "--duration" => args.duration_s = value("--duration").parse().expect("--duration"),
-            "--capacity" => args.queue_capacity = value("--capacity").parse().expect("--capacity"),
-            "--help" | "-h" => {
-                println!(
-                    "serve_sim — replay simulated office sensors through the serving runtime\n\
-                     \n\
-                     --sensors N     concurrent simulated sensors (default 6)\n\
-                     --shards N      worker shards (default 4)\n\
-                     --batch N       micro-batch size trigger (default 32)\n\
-                     --delay-ms N    micro-batch deadline trigger (default 5)\n\
-                     --policy P      block | drop-oldest | reject-newest (default drop-oldest)\n\
-                     --duration S    simulated seconds replayed per sensor (default 600)\n\
-                     --capacity N    per-shard queue capacity (default 256)"
-                );
-                std::process::exit(0);
+            "--duration" => args.duration_s = parse_value(&raw, "--duration")?,
+            "--capacity" => args.queue_capacity = parse_value(&raw, "--capacity")?,
+            "--faults" => {
+                args.faults = FaultPlan::parse(&raw).map_err(|e| format!("bad --faults: {e}"))?;
             }
-            other => panic!("unknown flag {other:?} (try --help)"),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(raw)),
+            _ => unreachable!("flag was vetted against KNOWN"),
         }
     }
-    assert!(args.sensors >= 1, "--sensors must be >= 1");
-    args
+    if args.sensors == 0 {
+        return Err("--sensors must be >= 1".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    Ok(args)
 }
 
 fn main() {
-    let args = parse_args();
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("serve_sim: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
     // Offline bootstrap: train the paper's MLP on a quick scenario, the
     // same way EXPERIMENTS.md trains the Table IV models.
@@ -99,7 +155,7 @@ fn main() {
         },
     );
 
-    let config = ServeConfig {
+    let mut config = ServeConfig {
         n_shards: args.shards,
         queue_capacity: args.queue_capacity,
         policy: args.policy,
@@ -108,7 +164,14 @@ fn main() {
             max_delay: Duration::from_millis(args.max_delay_ms),
         },
         online: Some(OnlineTrainingConfig::default()),
+        ..ServeConfig::default()
     };
+    // Scripted panic sentinels only fire when supervision is armed for
+    // them, so a plain run can never be crashed by record contents.
+    config.supervisor.panic_on_trigger =
+        args.faults.has_worker_panics() || args.faults.has_trainer_panics();
+    config.checkpoint = args.checkpoint_dir.clone().map(CheckpointConfig::new);
+
     eprintln!(
         "serving: {} sensors → {} shards, batch ≤{} / {}ms, policy {:?}, queue capacity {}",
         args.sensors,
@@ -118,7 +181,19 @@ fn main() {
         args.policy,
         args.queue_capacity
     );
-    let (runtime, predictions) = ServeRuntime::start(detector, config);
+    if !args.faults.is_empty() {
+        eprintln!(
+            "fault injection: {} scripted faults per sensor stream",
+            args.faults.faults().len()
+        );
+    }
+    let (runtime, predictions) = match ServeRuntime::start(detector, config) {
+        Ok(started) => started,
+        Err(e) => {
+            eprintln!("serve_sim: {e}");
+            std::process::exit(2);
+        }
+    };
 
     // One thread per sensor, each flood-replaying its own simulated
     // scenario (distinct seed ⇒ distinct occupancy schedule) as fast as
@@ -128,12 +203,14 @@ fn main() {
         .map(|i| {
             let mut client = runtime.client(&format!("sensor-{i}"));
             let scenario = ScenarioConfig::quick(args.duration_s, 100 + i as u64);
+            let plan = args.faults.clone();
             std::thread::Builder::new()
                 .name(format!("sensor-{i}"))
                 .spawn(move || {
                     let mut sent = 0u64;
                     let mut shed = 0u64;
-                    for record in OfficeSimulator::new(scenario).stream() {
+                    let stream = OfficeSimulator::new(scenario).stream().with_faults(plan);
+                    for record in stream {
                         let label = record.occupancy();
                         match client.submit_labelled(record, label) {
                             Ok(()) => sent += 1,
@@ -173,4 +250,35 @@ fn main() {
         "predictions delivered: {predicted} ({occupied} occupied) · newest model seen v{max_version}"
     );
     println!("\n=== metrics ===\n{}", report.metrics_text);
+
+    // In faults mode the run is a verdict, not just a demo: recovery
+    // must be provable from the report or the process fails.
+    if !args.faults.is_empty() {
+        let mut failures = Vec::new();
+        let unaccounted = report.unaccounted_records();
+        if unaccounted != 0 {
+            failures.push(format!("{unaccounted} records unaccounted for"));
+        }
+        if args.faults.has_worker_panics() && report.faults.shard_restarts.iter().sum::<u64>() == 0
+        {
+            failures.push("scripted worker panics produced no supervised restarts".into());
+        }
+        if args.faults.has_trainer_panics() && report.faults.trainer_restarts == 0 {
+            failures.push("scripted trainer panics produced no supervised restarts".into());
+        }
+        if report.faults.uncontained_panics > 0 {
+            failures.push(format!(
+                "{} panics escaped supervision",
+                report.faults.uncontained_panics
+            ));
+        }
+        if failures.is_empty() {
+            println!("fault-injection verdict: PASS (all records accounted, restarts observed)");
+        } else {
+            for f in &failures {
+                eprintln!("fault-injection verdict: FAIL — {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

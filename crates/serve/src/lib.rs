@@ -29,11 +29,26 @@
 //!   batches ([`model`]).
 //! * **Observability** — counters, gauges and log-bucketed latency
 //!   histograms with p50/p95/p99, rendered as plain text ([`metrics`]).
+//! * **Fault tolerance** — workers and the trainer run under panic
+//!   supervision ([`supervisor`]): a panicking shard quarantines the
+//!   in-flight batch into a bounded dead-letter buffer and restarts on
+//!   the same queue, the trainer falls back to the last published
+//!   snapshot, and the run-level accounting identity
+//!   `pushed = scored + quarantined + dropped` is checked by
+//!   [`ServeReport::unaccounted_records`].
+//! * **Crash-safe checkpoints** — published models are persisted
+//!   atomically with a checksum footer (`occusense_core::persist`), so
+//!   a restarted runtime resumes from the newest valid checkpoint with
+//!   bitwise-identical predictions.
 //!
 //! [`ServeRuntime::start`] boots the whole topology;
 //! [`ServeRuntime::shutdown`] drains it gracefully and returns a
 //! [`ServeReport`]. See `src/bin/serve_sim.rs` for an end-to-end driver
-//! replaying simulated office scenarios as concurrent sensor streams.
+//! replaying simulated office scenarios as concurrent sensor streams,
+//! including a `--faults` mode that injects NaN bursts, spikes,
+//! dropouts and scripted panics.
+//!
+//! [`ServeReport::unaccounted_records`]: runtime::ServeReport::unaccounted_records
 
 pub mod batcher;
 pub mod metrics;
@@ -41,6 +56,7 @@ pub mod model;
 pub mod queue;
 pub mod routing;
 pub mod runtime;
+pub mod supervisor;
 pub mod trainer;
 pub mod worker;
 
@@ -50,7 +66,9 @@ pub use model::{ModelHandle, ModelSnapshot};
 pub use queue::{BackpressurePolicy, BoundedQueue, PopResult, PushError, QueueCounters};
 pub use routing::shard_for;
 pub use runtime::{
-    OnlineTrainingConfig, SensorClient, ServeConfig, ServeReport, ServeRuntime, SubmitError,
+    OnlineTrainingConfig, SensorClient, ServeConfig, ServeError, ServeReport, ServeRuntime,
+    SubmitError,
 };
+pub use supervisor::{CheckpointConfig, DeadLetter, FaultReport, SupervisorConfig};
 pub use trainer::LabelledRecord;
 pub use worker::Prediction;

@@ -83,7 +83,14 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        // Saturate instead of wrapping: a long run of large samples
+        // (or one stuck clock) must pin the mean high, never roll the
+        // running sum over into a plausible-looking small number.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -256,6 +263,19 @@ mod tests {
         let p99 = h.p99();
         assert!((500..=1000).contains(&p99), "p99 {p99}");
         assert!(h.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        // A wrapping sum would be ~1 here and the mean near zero; the
+        // saturated sum pins the mean at the top of the range instead.
+        assert!(h.mean() >= (u64::MAX / 3) as f64);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
     }
 
     #[test]

@@ -1,20 +1,28 @@
 //! Assembly of the serving pipeline:
-//! `SensorClient → shard queue → worker (micro-batch → batched
-//! forward) → prediction channel`, with a side path
-//! `labelled records → trainer queue → OnlineDetector → hot swap`.
+//! `SensorClient → shard queue → supervised worker (micro-batch →
+//! batched forward) → prediction channel`, with a side path
+//! `labelled records → trainer queue → OnlineDetector → hot swap`
+//! and a fault-tolerance layer (supervised restarts, dead-letter
+//! quarantine, crash-safe checkpoints) around all of it.
 
 use crate::batcher::BatchConfig;
 use crate::metrics::MetricsRegistry;
 use crate::model::ModelHandle;
 use crate::queue::{BackpressurePolicy, BoundedQueue, PushError, QueueCounters};
 use crate::routing::shard_for;
+use crate::supervisor::{
+    panic_message, CheckpointConfig, FaultReport, SupervisorConfig, SupervisorState,
+};
 use crate::trainer::{self, LabelledRecord, TrainerContext};
 use crate::worker::{self, Job, Prediction, WorkerContext, WorkerMetrics};
 use occusense_core::detector::OccupancyDetector;
 use occusense_core::online::{OnlineConfig, OnlineDetector};
+use occusense_core::persist;
 use occusense_dataset::CsiRecord;
+use std::error::Error;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,7 +49,7 @@ impl Default for OnlineTrainingConfig {
 }
 
 /// Runtime topology and policies.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Worker shards (threads); sensors are hash-routed across them.
     pub n_shards: usize,
@@ -53,6 +61,10 @@ pub struct ServeConfig {
     pub batch: BatchConfig,
     /// `Some` enables continual training + hot model swap.
     pub online: Option<OnlineTrainingConfig>,
+    /// Panic supervision and quarantine knobs.
+    pub supervisor: SupervisorConfig,
+    /// `Some` enables periodic + on-shutdown crash-safe checkpoints.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for ServeConfig {
@@ -63,9 +75,40 @@ impl Default for ServeConfig {
             policy: BackpressurePolicy::DropOldest,
             batch: BatchConfig::default(),
             online: Some(OnlineTrainingConfig::default()),
+            supervisor: SupervisorConfig::default(),
+            checkpoint: None,
         }
     }
 }
+
+/// Why [`ServeRuntime::start`] refused a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `n_shards` was zero.
+    ZeroShards,
+    /// Online training was requested for a detector that is not
+    /// MLP-backed (only the MLP supports the paper's continual-
+    /// training path).
+    OnlineRequiresMlp,
+    /// The checkpoint directory could not be created.
+    CheckpointDir(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ZeroShards => write!(f, "serve: n_shards must be positive"),
+            ServeError::OnlineRequiresMlp => {
+                write!(f, "serve: online training requires an MLP-backed detector")
+            }
+            ServeError::CheckpointDir(e) => {
+                write!(f, "serve: cannot create checkpoint directory: {e}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {}
 
 /// Why a submission did not enter the runtime. (`CsiRecord` is `Copy`,
 /// so the caller still holds the record and can retry or shed it
@@ -74,7 +117,8 @@ impl Default for ServeConfig {
 pub enum SubmitError {
     /// The shard queue was full under `RejectNewest`.
     Rejected,
-    /// The runtime is shutting down.
+    /// The runtime is shutting down (or this record's shard failed
+    /// permanently and closed its queue).
     Shutdown,
 }
 
@@ -155,12 +199,31 @@ pub struct ServeReport {
     pub model_version: u64,
     /// Snapshot publications performed by the trainer.
     pub model_publishes: u64,
+    /// The fault-tolerance outcome: restarts, quarantine, checkpoints.
+    pub faults: FaultReport,
     /// The rendered metrics registry at shutdown.
     pub metrics_text: String,
 }
 
-impl std::fmt::Display for ServeReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl ServeReport {
+    /// The accounting residue of the run. Zero means every record the
+    /// queues accepted is explained: scored, quarantined to the
+    /// dead-letter buffer, or shed by the backpressure policy
+    /// (`pushed = scored + quarantined + dropped`). Non-zero means the
+    /// runtime *lost* records — the failure mode this PR exists to
+    /// make impossible, so tests and the `serve_sim --faults` smoke
+    /// assert on it.
+    pub fn unaccounted_records(&self) -> i64 {
+        let pushed: u64 = self.shard_queues.iter().map(|q| q.pushed).sum();
+        let dropped: u64 = self.shard_queues.iter().map(|q| q.dropped).sum();
+        let depth: u64 = self.shard_queues.iter().map(|q| q.depth).sum();
+        pushed as i64
+            - (self.records_served + self.faults.poisoned_records + dropped + depth) as i64
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
             "served {} records in {:.2?} — {:.0} records/s",
@@ -176,22 +239,51 @@ impl std::fmt::Display for ServeReport {
         for (i, q) in self.shard_queues.iter().enumerate() {
             writeln!(
                 f,
-                "shard {i}: pushed {} dropped {} rejected {} high-watermark {}",
-                q.pushed, q.dropped, q.rejected, q.high_watermark
+                "shard {i}: pushed {} dropped {} rejected {} high-watermark {} restarts {}",
+                q.pushed,
+                q.dropped,
+                q.rejected,
+                q.high_watermark,
+                self.faults.shard_restarts.get(i).copied().unwrap_or(0)
             )?;
         }
         if let Some(t) = &self.trainer_queue {
             writeln!(
                 f,
-                "trainer: consumed {} dropped {} · {} snapshot publishes · serving v{}",
-                t.popped, t.dropped, self.model_publishes, self.model_version
+                "trainer: consumed {} dropped {} · {} snapshot publishes · serving v{} · restarts {}",
+                t.popped,
+                t.dropped,
+                self.model_publishes,
+                self.model_version,
+                self.faults.trainer_restarts
             )?;
         }
+        let fr = &self.faults;
+        if fr.poisoned_records > 0 || fr.uncontained_panics > 0 || !fr.panics.is_empty() {
+            writeln!(
+                f,
+                "faults: {} poisoned records (dead-letter {} held, {} evicted) · {} supervised panics · {} uncontained",
+                fr.poisoned_records,
+                fr.dead_letters.len(),
+                fr.dead_letters_evicted,
+                fr.panics.len(),
+                fr.uncontained_panics
+            )?;
+        }
+        if fr.checkpoints_written > 0 || fr.checkpoint_failures > 0 {
+            writeln!(
+                f,
+                "checkpoints: {} written, {} failed",
+                fr.checkpoints_written, fr.checkpoint_failures
+            )?;
+        }
+        writeln!(f, "unaccounted records: {}", self.unaccounted_records())?;
         Ok(())
     }
 }
 
-/// The running service: worker shards, optional trainer, live metrics.
+/// The running service: supervised worker shards, optional trainer,
+/// live metrics, dead-letter quarantine and crash-safe checkpoints.
 ///
 /// Dropping the runtime without calling [`shutdown`](Self::shutdown)
 /// also drains and joins every thread (so tests and panics never leak
@@ -205,6 +297,9 @@ pub struct ServeRuntime {
     trainer: Option<JoinHandle<()>>,
     model: Arc<ModelHandle>,
     metrics: Arc<MetricsRegistry>,
+    supervision: Arc<SupervisorState>,
+    checkpoint: Option<CheckpointConfig>,
+    uncontained_panics: Mutex<Vec<String>>,
     started_at: Instant,
     stopped: AtomicBool,
 }
@@ -213,18 +308,38 @@ impl ServeRuntime {
     /// Boots the runtime around an offline-trained detector and
     /// returns it together with the channel scored records arrive on.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_shards` is zero, or if online training is requested
-    /// for a detector that is not MLP-backed (only the MLP supports the
-    /// paper's continual-training path).
+    /// [`ServeError::ZeroShards`] for an empty topology,
+    /// [`ServeError::OnlineRequiresMlp`] when online training is
+    /// requested for a non-MLP detector, and
+    /// [`ServeError::CheckpointDir`] when the checkpoint directory
+    /// cannot be created.
     pub fn start(
         detector: OccupancyDetector,
         config: ServeConfig,
-    ) -> (Self, mpsc::Receiver<Prediction>) {
-        assert!(config.n_shards > 0, "serve: n_shards must be positive");
+    ) -> Result<(Self, mpsc::Receiver<Prediction>), ServeError> {
+        if config.n_shards == 0 {
+            return Err(ServeError::ZeroShards);
+        }
+        // Validate the whole configuration before spawning anything,
+        // so a refused start never leaks threads.
+        let online = match config.online {
+            Some(online_cfg) => Some((
+                online_cfg,
+                OnlineDetector::from_detector(&detector, online_cfg.online)
+                    .ok_or(ServeError::OnlineRequiresMlp)?,
+            )),
+            None => None,
+        };
+        if let Some(ckpt) = &config.checkpoint {
+            std::fs::create_dir_all(&ckpt.dir)
+                .map_err(|e| ServeError::CheckpointDir(e.to_string()))?;
+        }
+
         let metrics = Arc::new(MetricsRegistry::new());
-        let model = Arc::new(ModelHandle::new(detector.clone()));
+        let supervision = Arc::new(SupervisorState::new(config.n_shards, &config.supervisor));
+        let model = Arc::new(ModelHandle::new(detector));
         let (out_tx, out_rx) = mpsc::channel();
 
         let trainer_queue = config.online.map(|online_cfg| {
@@ -238,6 +353,8 @@ impl ServeRuntime {
             records: metrics.counter("serve.records"),
             batches: metrics.counter("serve.batches"),
             deadline_flushes: metrics.counter("serve.deadline_flushes"),
+            restarts: metrics.counter("serve.restarts"),
+            poisoned: metrics.counter("serve.poisoned_records"),
             latency_ns: metrics.histogram("serve.latency_ns"),
             batch_size: metrics.histogram("serve.batch_size"),
             inference_ns: metrics.histogram("serve.inference_ns"),
@@ -249,12 +366,16 @@ impl ServeRuntime {
             let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.policy));
             shards.push(Arc::clone(&queue));
             let ctx = WorkerContext {
+                shard,
                 queue,
                 model: Arc::clone(&model),
                 batch: config.batch,
                 out: out_tx.clone(),
                 trainer_queue: trainer_queue.clone(),
                 metrics: worker_metrics.clone(),
+                supervision: Arc::clone(&supervision),
+                max_restarts: config.supervisor.max_restarts_per_shard,
+                panic_on_trigger: config.supervisor.panic_on_trigger,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -264,16 +385,22 @@ impl ServeRuntime {
             );
         }
 
-        let trainer = config.online.map(|online_cfg| {
-            let online = OnlineDetector::from_detector(&detector, online_cfg.online)
-                .expect("serve: online training requires an MLP-backed detector");
+        let trainer = online.map(|(online_cfg, online)| {
             let ctx = TrainerContext {
                 queue: Arc::clone(trainer_queue.as_ref().expect("trainer queue")),
                 model: Arc::clone(&model),
                 online,
+                online_config: online_cfg.online,
                 publish_every_updates: online_cfg.publish_every_updates.max(1),
+                checkpoint: config.checkpoint.clone(),
                 observed: metrics.counter("trainer.observed"),
                 publishes: metrics.counter("trainer.publishes"),
+                restarts: metrics.counter("trainer.restarts"),
+                checkpoints: metrics.counter("serve.checkpoints"),
+                checkpoint_failures: metrics.counter("serve.checkpoint_failures"),
+                supervision: Arc::clone(&supervision),
+                max_restarts: config.supervisor.max_trainer_restarts,
+                panic_on_trigger: config.supervisor.panic_on_trigger,
             };
             std::thread::Builder::new()
                 .name("serve-trainer".into())
@@ -281,7 +408,7 @@ impl ServeRuntime {
                 .expect("spawn trainer")
         });
 
-        (
+        Ok((
             Self {
                 shards,
                 workers,
@@ -289,11 +416,14 @@ impl ServeRuntime {
                 trainer,
                 model,
                 metrics,
+                supervision,
+                checkpoint: config.checkpoint,
+                uncontained_panics: Mutex::new(Vec::new()),
                 started_at: Instant::now(),
                 stopped: AtomicBool::new(false),
             },
             out_rx,
-        )
+        ))
     }
 
     /// An ingestion handle for one sensor; records submitted through it
@@ -318,9 +448,20 @@ impl ServeRuntime {
         self.model.version()
     }
 
+    /// A clone of the currently serving detector — what a checkpoint
+    /// written this instant would contain.
+    pub fn current_detector(&self) -> OccupancyDetector {
+        self.model.current().detector.clone()
+    }
+
     /// Live counters of every shard queue, in shard order.
     pub fn shard_counters(&self) -> Vec<QueueCounters> {
         self.shards.iter().map(|q| q.counters()).collect()
+    }
+
+    /// Live supervised-restart count of every shard, in shard order.
+    pub fn shard_restarts(&self) -> Vec<u64> {
+        self.supervision.shard_restarts()
     }
 
     /// Renders the metrics registry after refreshing the queue-depth
@@ -341,6 +482,17 @@ impl ServeRuntime {
                 .gauge(&format!("shard.{i}.high_watermark"))
                 .set(c.high_watermark as i64);
         }
+        for (i, restarts) in self.supervision.shard_restarts().iter().enumerate() {
+            self.metrics
+                .gauge(&format!("shard.{i}.restarts"))
+                .set(*restarts as i64);
+        }
+        self.metrics
+            .gauge("supervisor.dead_letter_depth")
+            .set(self.supervision.dead_letter.depth() as i64);
+        self.metrics
+            .gauge("supervisor.dead_letter_total")
+            .set(self.supervision.dead_letter.total() as i64);
         if let Some(t) = &self.trainer_queue {
             let c = t.counters();
             self.metrics
@@ -358,12 +510,34 @@ impl ServeRuntime {
 
     /// Graceful drain: closes ingestion, lets every worker flush its
     /// remaining batch, stops the trainer after it has consumed what
-    /// the workers teed off, joins all threads, and reports.
+    /// the workers teed off, joins all threads (inspecting every join
+    /// for escaped panics), writes the final checkpoint, and reports.
     pub fn shutdown(mut self) -> ServeReport {
         self.stop_threads();
         let elapsed = self.started_at.elapsed();
         let latency = self.metrics.histogram("serve.latency_ns");
         let records_served = self.metrics.counter("serve.records").get();
+        let uncontained = self
+            .uncontained_panics
+            .lock()
+            .expect("join log poisoned")
+            .clone();
+        let faults = FaultReport {
+            shard_restarts: self.supervision.shard_restarts(),
+            trainer_restarts: self.supervision.trainer_restarts(),
+            poisoned_records: self.metrics.counter("serve.poisoned_records").get(),
+            trainer_poisoned: self.supervision.trainer_poisoned(),
+            dead_letters_evicted: self.supervision.dead_letter.evicted(),
+            dead_letters: self.supervision.dead_letter.snapshot(),
+            panics: {
+                let mut all = self.supervision.panic_log();
+                all.extend(uncontained.iter().cloned());
+                all
+            },
+            uncontained_panics: uncontained.len() as u64,
+            checkpoints_written: self.metrics.counter("serve.checkpoints").get(),
+            checkpoint_failures: self.metrics.counter("serve.checkpoint_failures").get(),
+        };
         ServeReport {
             elapsed,
             records_served,
@@ -375,6 +549,7 @@ impl ServeRuntime {
             trainer_queue: self.trainer_queue.as_ref().map(|q| q.counters()),
             model_version: self.model.version(),
             model_publishes: self.metrics.counter("trainer.publishes").get(),
+            faults,
             metrics_text: self.metrics_snapshot(),
         }
     }
@@ -384,12 +559,19 @@ impl ServeRuntime {
             return;
         }
         // 1. Stop ingestion; workers drain their queues, flush partial
-        //    batches and exit.
+        //    batches and exit. Join results are inspected: a panic that
+        //    escaped supervision must surface, never be discarded.
         for q in &self.shards {
             q.close();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        let workers = std::mem::take(&mut self.workers);
+        for (shard, w) in workers.into_iter().enumerate() {
+            if let Err(payload) = w.join() {
+                self.record_uncontained(format!(
+                    "worker {shard} died uncontained: {}",
+                    panic_message(payload.as_ref())
+                ));
+            }
         }
         // 2. Only then stop the trainer, so every labelled record the
         //    workers teed off is still consumed before the final
@@ -398,8 +580,40 @@ impl ServeRuntime {
             q.close();
         }
         if let Some(t) = self.trainer.take() {
-            let _ = t.join();
+            if let Err(payload) = t.join() {
+                self.record_uncontained(format!(
+                    "trainer died uncontained: {}",
+                    panic_message(payload.as_ref())
+                ));
+            }
         }
+        // 3. Final on-shutdown checkpoint of whatever is serving now —
+        //    after the trainer's last publish, so a restarted runtime
+        //    resumes from exactly this model.
+        if let Some(cfg) = &self.checkpoint {
+            let snapshot = self.model.current();
+            let path = persist::checkpoint_path(&cfg.dir, snapshot.version);
+            match persist::save_detector_atomic(&path, &snapshot.detector) {
+                Ok(()) => {
+                    self.metrics.counter("serve.checkpoints").inc();
+                    let _ = persist::prune_checkpoints(&cfg.dir, cfg.keep);
+                }
+                Err(e) => {
+                    self.metrics.counter("serve.checkpoint_failures").inc();
+                    self.supervision.log_panic(format!(
+                        "final checkpoint v{} failed: {e}",
+                        snapshot.version
+                    ));
+                }
+            }
+        }
+    }
+
+    fn record_uncontained(&self, message: String) {
+        self.uncontained_panics
+            .lock()
+            .expect("join log poisoned")
+            .push(message);
     }
 }
 

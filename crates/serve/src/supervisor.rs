@@ -1,0 +1,361 @@
+//! Fault containment for the serving runtime: panic supervision,
+//! record quarantine and crash-safe checkpoint plumbing.
+//!
+//! PR 1's runtime joined its threads with `let _ = join()` — a
+//! panicking shard died silently while its sensors kept feeding a
+//! queue nobody drained. This module is the opposite stance: every
+//! worker and the trainer run their loops under `catch_unwind`; a
+//! panic quarantines the offending batch into a bounded dead-letter
+//! buffer, bumps a per-shard restart counter, and respawns the loop
+//! against the *same* queue, so per-sensor ordering and the exact
+//! backpressure counters survive the fault. The invariant the whole
+//! module defends, checked by [`ServeReport::unaccounted_records`]:
+//!
+//! ```text
+//! pushed = scored + quarantined + dropped-by-policy   (per run)
+//! ```
+//!
+//! [`ServeReport::unaccounted_records`]: crate::runtime::ServeReport::unaccounted_records
+
+use crate::worker::Job;
+use occusense_dataset::CsiRecord;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Supervision knobs (part of [`ServeConfig`](crate::runtime::ServeConfig)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Panics a shard survives before it is declared failed; a failed
+    /// shard closes its queue (producers see `SubmitError::Shutdown`)
+    /// and quarantines whatever was still queued, so accounting stays
+    /// exact even past the limit.
+    pub max_restarts_per_shard: u64,
+    /// Panics the trainer survives before continual training is given
+    /// up for the run (the last published snapshot keeps serving).
+    pub max_trainer_restarts: u64,
+    /// Entries retained in the dead-letter buffer; older entries are
+    /// evicted but stay counted in `poisoned_records`.
+    pub dead_letter_capacity: usize,
+    /// Fault-injection mode: panic on records carrying the scripted
+    /// sentinels of `occusense_sim::stream` (never enable in
+    /// production — it turns crafted input into a crash).
+    pub panic_on_trigger: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts_per_shard: 8,
+            max_trainer_restarts: 8,
+            dead_letter_capacity: 256,
+            panic_on_trigger: false,
+        }
+    }
+}
+
+/// Periodic + on-shutdown model persistence (see
+/// [`occusense_core::persist`] for the on-disk guarantees).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory the versioned `detector-v*.ckpt` files live in
+    /// (created by `ServeRuntime::start`).
+    pub dir: PathBuf,
+    /// Snapshot publications between periodic checkpoints.
+    pub every_publishes: u64,
+    /// Checkpoints retained on disk (older ones are pruned).
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing into `dir` with the default cadence (every 4th
+    /// publish, keep the 4 newest).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_publishes: 4,
+            keep: 4,
+        }
+    }
+}
+
+/// One quarantined record: what it was, where it was headed and why it
+/// never produced a prediction.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Shard that quarantined the record.
+    pub shard: usize,
+    /// Originating sensor.
+    pub sensor_id: Arc<str>,
+    /// The sensor's per-handle sequence number.
+    pub seq: u64,
+    /// The record itself (kept for offline triage / replay).
+    pub record: CsiRecord,
+    /// Why it was quarantined (panic message or validation failure).
+    pub reason: Arc<str>,
+}
+
+/// Bounded ring of quarantined records. Eviction never loses *count*:
+/// `total` is exact even when entries age out of the buffer.
+#[derive(Debug)]
+pub(crate) struct DeadLetterBuffer {
+    capacity: usize,
+    entries: Mutex<VecDeque<DeadLetter>>,
+    total: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl DeadLetterBuffer {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            total: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, letter: DeadLetter) {
+        let mut entries = self.entries.lock().expect("dead-letter poisoned");
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(letter);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.entries.lock().expect("dead-letter poisoned").len()
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<DeadLetter> {
+        self.entries
+            .lock()
+            .expect("dead-letter poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// Supervised panic messages kept for the report (bounded so a
+/// crash-looping shard cannot grow memory without bound).
+const PANIC_LOG_CAP: usize = 32;
+
+/// Shared supervision state: restart counters, the dead-letter buffer
+/// and the panic log. One instance per runtime, `Arc`-shared into
+/// every worker and the trainer.
+#[derive(Debug)]
+pub(crate) struct SupervisorState {
+    shard_restarts: Vec<AtomicU64>,
+    trainer_restarts: AtomicU64,
+    trainer_poisoned: AtomicU64,
+    panics: Mutex<Vec<String>>,
+    pub(crate) dead_letter: DeadLetterBuffer,
+}
+
+impl SupervisorState {
+    pub(crate) fn new(n_shards: usize, config: &SupervisorConfig) -> Self {
+        Self {
+            shard_restarts: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            trainer_restarts: AtomicU64::new(0),
+            trainer_poisoned: AtomicU64::new(0),
+            panics: Mutex::new(Vec::new()),
+            dead_letter: DeadLetterBuffer::new(config.dead_letter_capacity),
+        }
+    }
+
+    /// Records a supervised panic and returns the shard's new count.
+    pub(crate) fn record_shard_panic(&self, shard: usize, message: &str) -> u64 {
+        self.log_panic(format!("shard {shard}: {message}"));
+        self.shard_restarts[shard].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records a supervised trainer panic and returns the new count.
+    pub(crate) fn record_trainer_panic(&self, message: &str) -> u64 {
+        self.log_panic(format!("trainer: {message}"));
+        // Exactly the record being observed at panic time is lost.
+        self.trainer_poisoned.fetch_add(1, Ordering::Relaxed);
+        self.trainer_restarts.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn log_panic(&self, message: String) {
+        let mut panics = self.panics.lock().expect("panic log poisoned");
+        if panics.len() < PANIC_LOG_CAP {
+            panics.push(message);
+        }
+    }
+
+    /// Quarantines a batch of jobs with a shared reason.
+    pub(crate) fn quarantine(&self, shard: usize, jobs: Vec<Job>, reason: &str) -> u64 {
+        let reason: Arc<str> = Arc::from(reason);
+        let n = jobs.len() as u64;
+        for job in jobs {
+            self.dead_letter.push(DeadLetter {
+                shard,
+                sensor_id: job.sensor_id,
+                seq: job.seq,
+                record: job.record,
+                reason: Arc::clone(&reason),
+            });
+        }
+        n
+    }
+
+    pub(crate) fn shard_restarts(&self) -> Vec<u64> {
+        self.shard_restarts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub(crate) fn trainer_restarts(&self) -> u64 {
+        self.trainer_restarts.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn trainer_poisoned(&self) -> u64 {
+        self.trainer_poisoned.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn panic_log(&self) -> Vec<String> {
+        self.panics.lock().expect("panic log poisoned").clone()
+    }
+}
+
+/// Fault-tolerance section of the [`ServeReport`](crate::runtime::ServeReport).
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Supervised panics per shard (a shard respawns after each panic
+    /// up to `max_restarts_per_shard`, then fails closed).
+    pub shard_restarts: Vec<u64>,
+    /// Supervised trainer panics (each falls back to the last
+    /// published snapshot).
+    pub trainer_restarts: u64,
+    /// Records quarantined by the workers: non-finite inputs, batches
+    /// in flight during a panic, and queue remnants of a failed shard.
+    pub poisoned_records: u64,
+    /// Labelled records the trainer lost to panics (inference for
+    /// those records was unaffected).
+    pub trainer_poisoned: u64,
+    /// Dead-letter entries evicted by the capacity bound (still part
+    /// of `poisoned_records`).
+    pub dead_letters_evicted: u64,
+    /// Surviving dead-letter entries at shutdown.
+    pub dead_letters: Vec<DeadLetter>,
+    /// Messages of supervised panics and checkpoint failures
+    /// (bounded log).
+    pub panics: Vec<String>,
+    /// Thread-join failures at shutdown — panics that escaped
+    /// supervision entirely. Always 0 unless the supervisor itself is
+    /// broken; surfaced precisely so that bug cannot hide.
+    pub uncontained_panics: u64,
+    /// Checkpoints written (periodic + final).
+    pub checkpoints_written: u64,
+    /// Checkpoint attempts that failed (I/O error or a non-finite
+    /// model refused by `save_detector_atomic`).
+    pub checkpoint_failures: u64,
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Whether a record can be scored at all: any non-finite field would
+/// propagate NaN through standardisation and the forward pass and come
+/// out as a garbage "prediction". Such records are quarantined instead.
+pub(crate) fn is_scorable(record: &CsiRecord) -> bool {
+    record.timestamp_s.is_finite()
+        && record.temperature_c.is_finite()
+        && record.humidity_pct.is_finite()
+        && record.csi.iter().all(|a| a.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seq: u64) -> Job {
+        Job {
+            sensor_id: Arc::from("s"),
+            seq,
+            record: CsiRecord::new(seq as f64, [0.01; 64], 21.0, 40.0, 0),
+            label: None,
+            enqueued_at: std::time::Instant::now(),
+        }
+    }
+
+    #[test]
+    fn dead_letter_buffer_evicts_but_never_miscounts() {
+        let state = SupervisorState::new(
+            1,
+            &SupervisorConfig {
+                dead_letter_capacity: 3,
+                ..SupervisorConfig::default()
+            },
+        );
+        assert_eq!(state.quarantine(0, (0..5).map(job).collect(), "test"), 5);
+        assert_eq!(state.dead_letter.total(), 5);
+        assert_eq!(state.dead_letter.evicted(), 2);
+        assert_eq!(state.dead_letter.depth(), 3);
+        let kept: Vec<u64> = state.dead_letter.snapshot().iter().map(|d| d.seq).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert!(state
+            .dead_letter
+            .snapshot()
+            .iter()
+            .all(|d| d.reason.as_ref() == "test"));
+    }
+
+    #[test]
+    fn restart_counters_are_per_shard() {
+        let state = SupervisorState::new(3, &SupervisorConfig::default());
+        assert_eq!(state.record_shard_panic(1, "boom"), 1);
+        assert_eq!(state.record_shard_panic(1, "boom again"), 2);
+        assert_eq!(state.record_shard_panic(2, "other"), 1);
+        assert_eq!(state.shard_restarts(), vec![0, 2, 1]);
+        assert_eq!(state.panic_log().len(), 3);
+        assert!(state.panic_log()[0].contains("shard 1"));
+    }
+
+    #[test]
+    fn non_finite_records_are_not_scorable() {
+        let good = CsiRecord::new(1.0, [0.5; 64], 20.0, 45.0, 1);
+        assert!(is_scorable(&good));
+        let mut nan_csi = good;
+        nan_csi.csi[7] = f64::NAN;
+        assert!(!is_scorable(&nan_csi));
+        let mut inf_temp = good;
+        inf_temp.temperature_c = f64::INFINITY;
+        assert!(!is_scorable(&inf_temp));
+        let mut nan_ts = good;
+        nan_ts.timestamp_s = f64::NAN;
+        assert!(!is_scorable(&nan_ts));
+    }
+
+    #[test]
+    fn panic_messages_extract_both_payload_kinds() {
+        let caught = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "static str");
+        let n = 7;
+        let caught = std::panic::catch_unwind(move || panic!("formatted {n}")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+    }
+}

@@ -1,16 +1,29 @@
-//! The worker shard: dequeue → micro-batch → one batched forward.
+//! The worker shard: dequeue → micro-batch → one batched forward,
+//! supervised against panics.
 //!
 //! Each worker owns its queue end and scores against an immutable
 //! model snapshot re-read *between* batches (never mid-batch), so the
 //! inference path shares no locks with other shards and a hot swap is
 //! a single `Arc` re-read away.
+//!
+//! The batch loop runs under `catch_unwind`: a panic while scoring
+//! quarantines the in-flight batch into the dead-letter buffer, bumps
+//! the shard's restart counter and resumes the loop on the *same*
+//! queue — per-sensor ordering and the queue's exact counters survive
+//! the fault. Past `max_restarts_per_shard` the shard fails closed:
+//! it closes its queue (producers see `SubmitError::Shutdown`) and
+//! quarantines the remnant so every accepted record stays accounted.
 
 use crate::batcher::{BatchConfig, MicroBatcher};
 use crate::metrics::{Counter, Histogram};
 use crate::model::ModelHandle;
 use crate::queue::{BoundedQueue, PopResult};
+use crate::supervisor::{is_scorable, panic_message, SupervisorState};
 use crate::trainer::LabelledRecord;
 use occusense_dataset::{CsiRecord, Dataset};
+use occusense_sim::stream::is_worker_panic_trigger;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,6 +63,8 @@ pub(crate) struct WorkerMetrics {
     pub records: Arc<Counter>,
     pub batches: Arc<Counter>,
     pub deadline_flushes: Arc<Counter>,
+    pub restarts: Arc<Counter>,
+    pub poisoned: Arc<Counter>,
     pub latency_ns: Arc<Histogram>,
     pub batch_size: Arc<Histogram>,
     pub inference_ns: Arc<Histogram>,
@@ -57,20 +72,77 @@ pub(crate) struct WorkerMetrics {
 
 /// Everything one worker thread needs.
 pub(crate) struct WorkerContext {
+    pub shard: usize,
     pub queue: Arc<BoundedQueue<Job>>,
     pub model: Arc<ModelHandle>,
     pub batch: BatchConfig,
     pub out: mpsc::Sender<Prediction>,
     pub trainer_queue: Option<Arc<BoundedQueue<LabelledRecord>>>,
     pub metrics: WorkerMetrics,
+    pub supervision: Arc<SupervisorState>,
+    pub max_restarts: u64,
+    pub panic_on_trigger: bool,
 }
 
-/// The worker loop: runs until its queue is closed and drained, then
-/// flushes any partial batch so no accepted record is ever lost.
+impl WorkerContext {
+    fn quarantine(&self, jobs: Vec<Job>, reason: &str) {
+        let n = self.supervision.quarantine(self.shard, jobs, reason);
+        self.metrics.poisoned.add(n);
+    }
+}
+
+/// The supervision loop around the batch-scoring loop. Runs until the
+/// queue is closed and drained, surviving up to `max_restarts` panics.
 pub(crate) fn run(ctx: WorkerContext) {
-    let mut batcher = MicroBatcher::new(ctx.batch);
+    // Both cells live *outside* the unwind boundary so a panic while
+    // scoring cannot lose records: `in_flight` holds the batch being
+    // scored, the batcher holds the not-yet-flushed remainder.
+    let in_flight: RefCell<Option<Vec<Job>>> = RefCell::new(None);
+    let batcher = RefCell::new(MicroBatcher::new(ctx.batch));
     loop {
-        let next = match batcher.deadline() {
+        match catch_unwind(AssertUnwindSafe(|| batch_loop(&ctx, &batcher, &in_flight))) {
+            Ok(()) => return, // queue closed and fully drained
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if let Some(batch) = in_flight.borrow_mut().take() {
+                    ctx.quarantine(batch, &format!("worker panic: {message}"));
+                }
+                let restarts = ctx.supervision.record_shard_panic(ctx.shard, &message);
+                ctx.metrics.restarts.inc();
+                if restarts > ctx.max_restarts {
+                    fail_shard(&ctx, &batcher);
+                    return;
+                }
+                // Respawn: next iteration re-enters the batch loop on
+                // the same queue with the surviving batcher state.
+            }
+        }
+    }
+}
+
+/// Permanent failure past the restart limit: stop ingestion and
+/// quarantine everything still held, so the accounting identity
+/// `pushed = scored + quarantined + dropped` holds even here.
+fn fail_shard(ctx: &WorkerContext, batcher: &RefCell<MicroBatcher<Job>>) {
+    ctx.queue.close();
+    let mut remnant = batcher.borrow_mut().take();
+    while let Some(job) = ctx.queue.pop() {
+        remnant.push(job);
+    }
+    if !remnant.is_empty() {
+        ctx.quarantine(remnant, "shard failed: restart limit exceeded");
+    }
+}
+
+/// The batch-scoring loop (the unwind-protected region).
+fn batch_loop(
+    ctx: &WorkerContext,
+    batcher: &RefCell<MicroBatcher<Job>>,
+    in_flight: &RefCell<Option<Vec<Job>>>,
+) {
+    loop {
+        let deadline = batcher.borrow().deadline();
+        let next = match deadline {
             Some(deadline) => ctx.queue.pop_deadline(deadline),
             None => match ctx.queue.pop() {
                 Some(job) => PopResult::Item(job),
@@ -79,19 +151,21 @@ pub(crate) fn run(ctx: WorkerContext) {
         };
         match next {
             PopResult::Item(job) => {
-                if let Some(batch) = batcher.push(job, Instant::now()) {
-                    flush(&ctx, batch, false);
+                let full = batcher.borrow_mut().push(job, Instant::now());
+                if let Some(batch) = full {
+                    flush(ctx, in_flight, batch, false);
                 }
             }
             PopResult::TimedOut => {
-                if let Some(batch) = batcher.flush_due(Instant::now()) {
-                    flush(&ctx, batch, true);
+                let due = batcher.borrow_mut().flush_due(Instant::now());
+                if let Some(batch) = due {
+                    flush(ctx, in_flight, batch, true);
                 }
             }
             PopResult::Closed => {
-                let rest = batcher.take();
+                let rest = batcher.borrow_mut().take();
                 if !rest.is_empty() {
-                    flush(&ctx, rest, false);
+                    flush(ctx, in_flight, rest, false);
                 }
                 return;
             }
@@ -101,27 +175,59 @@ pub(crate) fn run(ctx: WorkerContext) {
 
 /// Scores one micro-batch with a single batched forward pass and fans
 /// the results out to the prediction channel and (labelled records
-/// only) the trainer queue.
-fn flush(ctx: &WorkerContext, batch: Vec<Job>, deadline_triggered: bool) {
-    let snapshot = ctx.model.current();
-    // A shard can host several sensors whose scenario clocks interleave,
-    // but `Dataset` requires timestamp order — score through a sorted
-    // permutation and un-permute. Each output row depends only on its
-    // own input row, so the probabilities are unaffected by the order.
-    let mut order: Vec<usize> = (0..batch.len()).collect();
-    order.sort_by(|&a, &b| {
-        batch[a]
-            .record
-            .timestamp_s
-            .total_cmp(&batch[b].record.timestamp_s)
-    });
-    let ds: Dataset = order.iter().map(|&i| batch[i].record).collect();
-    let infer_start = Instant::now();
-    let sorted_probas = snapshot.detector.predict_proba(&ds);
-    let mut probas = vec![0.0; batch.len()];
-    for (rank, &i) in order.iter().enumerate() {
-        probas[i] = sorted_probas[rank];
+/// only) the trainer queue. Non-finite records are quarantined before
+/// scoring; the scorable remainder is parked in `in_flight` so the
+/// supervisor can quarantine it if the forward pass panics.
+fn flush(
+    ctx: &WorkerContext,
+    in_flight: &RefCell<Option<Vec<Job>>>,
+    batch: Vec<Job>,
+    deadline_triggered: bool,
+) {
+    let (scorable, poisoned): (Vec<Job>, Vec<Job>) =
+        batch.into_iter().partition(|job| is_scorable(&job.record));
+    if !poisoned.is_empty() {
+        ctx.quarantine(poisoned, "non-finite input record");
     }
+    if scorable.is_empty() {
+        return;
+    }
+    *in_flight.borrow_mut() = Some(scorable);
+
+    let snapshot = ctx.model.current();
+    let infer_start = Instant::now();
+    let probas = {
+        let guard = in_flight.borrow();
+        let batch = guard.as_deref().expect("in-flight batch just parked");
+        if ctx.panic_on_trigger && batch.iter().any(|j| is_worker_panic_trigger(&j.record)) {
+            panic!("fault injection: scripted worker panic trigger");
+        }
+        // A shard can host several sensors whose scenario clocks
+        // interleave, but `Dataset` requires timestamp order — score
+        // through a sorted permutation and un-permute. Each output row
+        // depends only on its own input row, so the probabilities are
+        // unaffected by the order.
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        order.sort_by(|&a, &b| {
+            batch[a]
+                .record
+                .timestamp_s
+                .total_cmp(&batch[b].record.timestamp_s)
+        });
+        let ds: Dataset = order.iter().map(|&i| batch[i].record).collect();
+        let sorted_probas = snapshot.detector.predict_proba(&ds);
+        let mut probas = vec![0.0; batch.len()];
+        for (rank, &i) in order.iter().enumerate() {
+            probas[i] = sorted_probas[rank];
+        }
+        probas
+    };
+    // The forward pass succeeded: the batch is no longer at risk.
+    let batch = in_flight
+        .borrow_mut()
+        .take()
+        .expect("in-flight batch still parked");
+
     ctx.metrics
         .inference_ns
         .record(infer_start.elapsed().as_nanos() as u64);

@@ -54,6 +54,17 @@ impl RecordStream {
     pub fn annotated(self) -> AnnotatedStream {
         AnnotatedStream(self)
     }
+
+    /// Wraps the stream in a deterministic fault-injection layer: the
+    /// [`FaultPlan`] corrupts, drops or poison-tags records by their
+    /// position in the pristine stream.
+    pub fn with_faults(self, plan: FaultPlan) -> FaultyStream {
+        FaultyStream {
+            inner: self,
+            plan,
+            index: 0,
+        }
+    }
 }
 
 impl Iterator for RecordStream {
@@ -95,6 +106,233 @@ impl Iterator for AnnotatedStream {
 }
 
 impl ExactSizeIterator for AnnotatedStream {}
+
+/// Humidity sentinel a [`FaultKind::WorkerPanic`] fault stamps onto a
+/// record. Real humidity is a percentage, so the value is far outside
+/// any data the simulator or a physical sensor can produce; the serving
+/// runtime's fault-injection mode recognises the exact bit pattern (see
+/// [`is_worker_panic_trigger`]) and panics the worker that scores it.
+pub const WORKER_PANIC_HUMIDITY: f64 = -9999.25;
+
+/// Humidity sentinel of [`FaultKind::TrainerPanic`]: the record scores
+/// normally but panics the continual trainer that observes it.
+pub const TRAINER_PANIC_HUMIDITY: f64 = -7777.25;
+
+/// Whether `record` carries the scripted worker-panic sentinel
+/// (exact bit comparison, so no legitimate value can alias it).
+pub fn is_worker_panic_trigger(record: &CsiRecord) -> bool {
+    record.humidity_pct.to_bits() == WORKER_PANIC_HUMIDITY.to_bits()
+}
+
+/// Whether `record` carries the scripted trainer-panic sentinel.
+pub fn is_trainer_panic_trigger(record: &CsiRecord) -> bool {
+    record.humidity_pct.to_bits() == TRAINER_PANIC_HUMIDITY.to_bits()
+}
+
+/// One kind of scripted fault a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Overwrites every fourth CSI subcarrier amplitude with NaN —
+    /// the classic corrupt-frame failure of a flaky sniffer.
+    NanCsi,
+    /// Multiplies every CSI amplitude by `factor` (an RF interference
+    /// burst; the record stays finite and scorable).
+    Spike {
+        /// Amplitude multiplier applied to all subcarriers.
+        factor: f64,
+    },
+    /// Suppresses the record entirely (sensor dropout / radio silence).
+    Dropout,
+    /// Stamps [`WORKER_PANIC_HUMIDITY`] so a serving worker running in
+    /// fault-injection mode panics while scoring the batch holding it.
+    WorkerPanic,
+    /// Stamps [`TRAINER_PANIC_HUMIDITY`] so the continual trainer
+    /// running in fault-injection mode panics while observing it.
+    TrainerPanic,
+}
+
+/// A fault applied to the half-open index range `[start, start + len)`
+/// of the pristine stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// First affected record index (0-based, pre-dropout numbering).
+    pub start: usize,
+    /// Number of consecutive affected records.
+    pub len: usize,
+    /// What happens to the affected records.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    fn covers(&self, index: usize) -> bool {
+        index >= self.start && index - self.start < self.len
+    }
+}
+
+/// A deterministic script of stream faults.
+///
+/// Faults are indexed by the record's position in the *pristine*
+/// stream, so the same plan over the same scenario always corrupts the
+/// same records — which is what makes end-to-end recovery testable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: adds a fault over `[start, start + len)`.
+    pub fn with(mut self, kind: FaultKind, start: usize, len: usize) -> Self {
+        self.faults.push(Fault { start, len, kind });
+        self
+    }
+
+    /// The scripted faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether any fault requires the serving runtime's panic-trigger
+    /// mode to be armed.
+    pub fn has_worker_panics(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::WorkerPanic))
+    }
+
+    /// Whether any fault targets the continual trainer.
+    pub fn has_trainer_panics(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::TrainerPanic))
+    }
+
+    /// Applies every fault covering `index` to `record`; `None` means
+    /// the record is dropped.
+    pub fn apply(&self, index: usize, mut record: CsiRecord) -> Option<CsiRecord> {
+        for fault in &self.faults {
+            if !fault.covers(index) {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::NanCsi => {
+                    for (i, a) in record.csi.iter_mut().enumerate() {
+                        if i % 4 == 0 {
+                            *a = f64::NAN;
+                        }
+                    }
+                }
+                FaultKind::Spike { factor } => {
+                    for a in &mut record.csi {
+                        *a *= factor;
+                    }
+                }
+                FaultKind::Dropout => return None,
+                FaultKind::WorkerPanic => record.humidity_pct = WORKER_PANIC_HUMIDITY,
+                FaultKind::TrainerPanic => record.humidity_pct = TRAINER_PANIC_HUMIDITY,
+            }
+        }
+        Some(record)
+    }
+
+    /// Parses the CLI spelling: comma-separated `kind@start` or
+    /// `kind@startxlen` terms, where `kind` is `nan`, `spike` (×1e6),
+    /// `drop`, `panic` or `trainer-panic`.
+    ///
+    /// ```
+    /// use occusense_sim::stream::FaultPlan;
+    /// let plan = FaultPlan::parse("nan@50x5,drop@100x20,panic@300").unwrap();
+    /// assert_eq!(plan.faults().len(), 3);
+    /// assert!(plan.has_worker_panics());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed terms.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::new();
+        for term in spec.split(',').filter(|t| !t.trim().is_empty()) {
+            let term = term.trim();
+            let (kind_s, where_s) = term
+                .split_once('@')
+                .ok_or_else(|| format!("fault term '{term}' is missing '@start'"))?;
+            let kind = match kind_s {
+                "nan" => FaultKind::NanCsi,
+                "spike" => FaultKind::Spike { factor: 1e6 },
+                "drop" => FaultKind::Dropout,
+                "panic" => FaultKind::WorkerPanic,
+                "trainer-panic" => FaultKind::TrainerPanic,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind '{other}' \
+                         (nan | spike | drop | panic | trainer-panic)"
+                    ))
+                }
+            };
+            let (start_s, len_s) = match where_s.split_once('x') {
+                Some((s, l)) => (s, l),
+                None => (where_s, "1"),
+            };
+            let start: usize = start_s
+                .parse()
+                .map_err(|e| format!("bad fault start '{start_s}': {e}"))?;
+            let len: usize = len_s
+                .parse()
+                .map_err(|e| format!("bad fault span '{len_s}': {e}"))?;
+            if len == 0 {
+                return Err(format!("fault term '{term}' has a zero span"));
+            }
+            plan = plan.with(kind, start, len);
+        }
+        Ok(plan)
+    }
+}
+
+/// [`RecordStream`] filtered through a [`FaultPlan`].
+///
+/// Not an [`ExactSizeIterator`]: dropout faults shorten the stream.
+#[derive(Debug, Clone)]
+pub struct FaultyStream {
+    inner: RecordStream,
+    plan: FaultPlan,
+    index: usize,
+}
+
+impl FaultyStream {
+    /// Index (in pristine-stream numbering) of the next record.
+    pub fn position(&self) -> usize {
+        self.index
+    }
+}
+
+impl Iterator for FaultyStream {
+    type Item = CsiRecord;
+
+    fn next(&mut self) -> Option<CsiRecord> {
+        loop {
+            let record = self.inner.next()?;
+            let index = self.index;
+            self.index += 1;
+            if let Some(faulted) = self.plan.apply(index, record) {
+                return Some(faulted);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Dropouts can only shrink the stream.
+        (0, self.inner.size_hint().1)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -140,6 +378,94 @@ mod tests {
         let records: Vec<_> = OfficeSimulator::new(cfg).stream().collect();
         for w in records.windows(2) {
             assert!(w[1].timestamp_s > w[0].timestamp_s);
+        }
+    }
+
+    #[test]
+    fn fault_plan_corrupts_exactly_the_scripted_records() {
+        let cfg = ScenarioConfig::quick(60.0, 35);
+        let pristine: Vec<_> = OfficeSimulator::new(cfg.clone()).stream().collect();
+        let plan = FaultPlan::new()
+            .with(FaultKind::NanCsi, 3, 2)
+            .with(FaultKind::Spike { factor: 1e6 }, 10, 1)
+            .with(FaultKind::WorkerPanic, 20, 1)
+            .with(FaultKind::TrainerPanic, 25, 1);
+        let faulted: Vec<_> = OfficeSimulator::new(cfg)
+            .stream()
+            .with_faults(plan)
+            .collect();
+        assert_eq!(faulted.len(), pristine.len());
+        for (i, (f, p)) in faulted.iter().zip(&pristine).enumerate() {
+            match i {
+                3 | 4 => {
+                    assert!(f.csi[0].is_nan());
+                    assert!(f.csi[1].is_finite());
+                }
+                10 => assert_eq!(f.csi[1], p.csi[1] * 1e6),
+                20 => assert!(is_worker_panic_trigger(f)),
+                25 => assert!(is_trainer_panic_trigger(f)),
+                _ => assert_eq!(f, p),
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_faults_shorten_the_stream_deterministically() {
+        let cfg = ScenarioConfig::quick(60.0, 36);
+        let pristine: Vec<_> = OfficeSimulator::new(cfg.clone()).stream().collect();
+        let plan = FaultPlan::new().with(FaultKind::Dropout, 5, 10);
+        let faulted: Vec<_> = OfficeSimulator::new(cfg)
+            .stream()
+            .with_faults(plan)
+            .collect();
+        assert_eq!(faulted.len(), pristine.len() - 10);
+        assert_eq!(faulted[4], pristine[4]);
+        assert_eq!(faulted[5], pristine[15]);
+    }
+
+    #[test]
+    fn fault_spec_parser_round_trips_and_rejects_garbage() {
+        let plan = FaultPlan::parse("nan@50x5, drop@100x20,spike@200,panic@300").unwrap();
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault {
+                    start: 50,
+                    len: 5,
+                    kind: FaultKind::NanCsi
+                },
+                Fault {
+                    start: 100,
+                    len: 20,
+                    kind: FaultKind::Dropout
+                },
+                Fault {
+                    start: 200,
+                    len: 1,
+                    kind: FaultKind::Spike { factor: 1e6 }
+                },
+                Fault {
+                    start: 300,
+                    len: 1,
+                    kind: FaultKind::WorkerPanic
+                },
+            ]
+        );
+        assert!(plan.has_worker_panics());
+        assert!(!plan.has_trainer_panics());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("meteor@3").is_err());
+        assert!(FaultPlan::parse("nan@x5").is_err());
+        assert!(FaultPlan::parse("nan@5x0").is_err());
+    }
+
+    #[test]
+    fn panic_sentinels_never_occur_in_clean_simulation() {
+        let cfg = ScenarioConfig::quick(120.0, 37);
+        for r in OfficeSimulator::new(cfg).stream() {
+            assert!(!is_worker_panic_trigger(&r));
+            assert!(!is_trainer_panic_trigger(&r));
         }
     }
 }

@@ -66,8 +66,8 @@ fn routing_is_deterministic_and_stable_across_runtimes() {
         online: None,
         ..ServeConfig::default()
     };
-    let (rt_a, _rx_a) = ServeRuntime::start(detector.clone(), config);
-    let (rt_b, _rx_b) = ServeRuntime::start(detector, config);
+    let (rt_a, _rx_a) = ServeRuntime::start(detector.clone(), config.clone()).expect("start");
+    let (rt_b, _rx_b) = ServeRuntime::start(detector, config).expect("start");
     let mut seen = [false; 5];
     for i in 0..64 {
         let id = format!("office-{i}/esp32");
@@ -98,7 +98,8 @@ fn deadline_flushes_partial_batches() {
             online: None,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start");
     let mut client = runtime.client("lone-sensor");
     let records = simulate(&ScenarioConfig::quick(400.0, 12));
     for r in records.records().iter().take(3) {
@@ -126,7 +127,8 @@ fn batched_inference_is_bitwise_identical_to_per_record() {
             online: None,                      // model stays v1 for the whole run
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start");
 
     // Several sensors per shard so batches interleave scenario clocks.
     let mut submitted: HashMap<String, Vec<_>> = HashMap::new();
@@ -182,8 +184,10 @@ fn end_to_end_smoke_with_online_training() {
             policy: BackpressurePolicy::Block,
             batch: BatchConfig::default(),
             online: Some(OnlineTrainingConfig::default()),
+            ..ServeConfig::default()
         },
-    );
+    )
+    .expect("start");
 
     let mut handles = Vec::new();
     for i in 0..SENSORS {
