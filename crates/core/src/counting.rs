@@ -106,6 +106,7 @@ impl OccupancyCounter {
             epochs: config.epochs,
             batch_size: config.batch_size,
             shuffle_seed: config.seed,
+            ..TrainConfig::default()
         })
         .fit(&mut mlp, &x, &y, &SoftmaxCrossEntropy, &mut optim);
 

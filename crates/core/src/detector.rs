@@ -8,8 +8,9 @@ use occusense_dataset::{CsiRecord, Dataset, FeatureView, Standardizer};
 use occusense_nn::loss::BceWithLogits;
 use occusense_nn::optim::AdamW;
 use occusense_nn::train::{TrainConfig, Trainer};
-use occusense_nn::Mlp;
+use occusense_nn::{Mlp, MlpWorkspace};
 use occusense_stats::metrics::ConfusionMatrix;
+use occusense_tensor::kernels::Parallelism;
 use occusense_tensor::Matrix;
 
 /// Which model family the detector trains (the three columns groups of
@@ -103,6 +104,49 @@ pub struct OccupancyDetector {
     model: FittedModel,
 }
 
+/// Reusable buffers for repeated batch scoring — the serve worker's hot
+/// path. Holds the design matrix and the MLP forward workspace so a
+/// steady stream of batches is scored without heap allocations (assert
+/// via [`ScoreWorkspace::reallocs`]).
+#[derive(Debug, Clone, Default)]
+pub struct ScoreWorkspace {
+    x: Matrix,
+    mlp_ws: MlpWorkspace,
+}
+
+impl ScoreWorkspace {
+    /// An empty workspace running the kernels single-threaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty workspace with the given kernel parallelism. The
+    /// parallel kernels are bitwise-identical to single-threaded ones,
+    /// so scores do not depend on this setting.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        Self {
+            mlp_ws: MlpWorkspace::with_parallelism(parallelism),
+            ..Self::default()
+        }
+    }
+
+    /// Number of buffer-growth events since creation; flat across
+    /// batches ⇒ steady-state scoring is allocation-free.
+    pub fn reallocs(&self) -> u64 {
+        self.mlp_ws.reallocs()
+    }
+}
+
+thread_local! {
+    /// Per-thread workspace (plus a score buffer) behind the
+    /// convenience scoring APIs [`OccupancyDetector::predict_proba`]
+    /// and [`OccupancyDetector::predict_record`], so callers that
+    /// don't manage a [`ScoreWorkspace`] themselves still score
+    /// allocation-free in the steady state.
+    static LOCAL_SCORE_WS: std::cell::RefCell<(ScoreWorkspace, Vec<f64>)> =
+        std::cell::RefCell::new((ScoreWorkspace::new(), Vec::new()));
+}
+
 impl OccupancyDetector {
     /// Trains a detector on the training dataset.
     ///
@@ -148,6 +192,7 @@ impl OccupancyDetector {
                     epochs: config.mlp_epochs,
                     batch_size: config.mlp_batch_size,
                     shuffle_seed: config.seed,
+                    ..TrainConfig::default()
                 });
                 let y = Matrix::col_vector(&labels.iter().map(|&l| l as f64).collect::<Vec<_>>());
                 trainer.fit(&mut mlp, &x, &y, &BceWithLogits, &mut optim);
@@ -198,12 +243,48 @@ impl OccupancyDetector {
     }
 
     /// Positive-class probabilities for every record of a dataset.
+    ///
+    /// Runs on a thread-local [`ScoreWorkspace`], so repeated calls on
+    /// the same thread are allocation-free in the steady state apart
+    /// from the returned vector.
     pub fn predict_proba(&self, dataset: &Dataset) -> Vec<f64> {
-        let x = self.features_of(dataset);
+        let mut out = Vec::with_capacity(dataset.len());
+        LOCAL_SCORE_WS.with(|ws| {
+            let (ws, _) = &mut *ws.borrow_mut();
+            self.predict_proba_slice_into(dataset.records(), ws, &mut out);
+        });
+        out
+    }
+
+    /// Positive-class probabilities for a slice of records, written
+    /// into `out` through a caller-owned [`ScoreWorkspace`] — the
+    /// allocation-free batch-scoring path the serve workers run on.
+    ///
+    /// Probabilities are bitwise identical to
+    /// [`predict_proba`](Self::predict_proba) over a dataset of the
+    /// same records, and (element for element) to
+    /// [`predict_record`](Self::predict_record) — batching and
+    /// parallelism never change a score.
+    pub fn predict_proba_slice_into(
+        &self,
+        records: &[CsiRecord],
+        ws: &mut ScoreWorkspace,
+        out: &mut Vec<f64>,
+    ) {
+        if self.features.design_matrix_rows_into(records, &mut ws.x) {
+            ws.mlp_ws.scratch_mut().note_grow();
+        }
+        self.standardizer.transform_inplace(&mut ws.x);
         match &self.model {
-            FittedModel::Mlp(m) => m.predict_proba(&x),
-            FittedModel::LogReg(m) => m.predict_proba(&x),
-            FittedModel::Forest(m) => m.predict(&x),
+            FittedModel::Mlp(m) => m.predict_proba_into(&ws.x, &mut ws.mlp_ws, out),
+            FittedModel::LogReg(m) => {
+                out.clear();
+                out.extend(m.predict_proba(&ws.x));
+            }
+            FittedModel::Forest(m) => {
+                out.clear();
+                out.extend(m.predict(&ws.x));
+            }
         }
     }
 
@@ -217,17 +298,17 @@ impl OccupancyDetector {
 
     /// Online single-record prediction `(label, confidence)` — the
     /// real-time deployment path the paper targets (Nucleo-class
-    /// devices).
+    /// devices). Scores through the thread-local [`ScoreWorkspace`]
+    /// (allocation-free in the steady state); by the kernels' batch
+    /// invariance the confidence is bitwise identical to the same
+    /// record scored inside any batch.
     pub fn predict_record(&self, record: &CsiRecord) -> (u8, f64) {
-        let raw = self.features.extract(record);
-        let z = self.standardizer.transform_row(&raw);
-        let x = Matrix::row_vector(&z);
-        let p = match &self.model {
-            FittedModel::Mlp(m) => m.predict_proba(&x)[0],
-            FittedModel::LogReg(m) => m.predict_proba(&x)[0],
-            FittedModel::Forest(m) => m.predict(&x)[0],
-        };
-        (u8::from(p > 0.5), p)
+        LOCAL_SCORE_WS.with(|ws| {
+            let (ws, out) = &mut *ws.borrow_mut();
+            self.predict_proba_slice_into(std::slice::from_ref(record), ws, out);
+            let p = out[0];
+            (u8::from(p > 0.5), p)
+        })
     }
 
     /// Confusion matrix of the detector over a labelled dataset.
@@ -343,6 +424,33 @@ mod tests {
             );
             assert_eq!(det.features_of(&train).cols(), view.dimension());
         }
+    }
+
+    #[test]
+    fn slice_scoring_matches_dataset_path_and_is_allocation_free() {
+        let (train, test) = quick_split();
+        let det = OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let want = det.predict_proba(&test);
+        let mut ws = ScoreWorkspace::new();
+        let mut got = Vec::new();
+        det.predict_proba_slice_into(test.records(), &mut ws, &mut got);
+        assert_eq!(got, want, "slice path diverged from dataset path");
+        // Steady state: re-scoring batches no larger than the warm-up
+        // batch never grows a buffer — the serve worker's hot loop.
+        let warm = ws.reallocs();
+        for chunk in test.records().chunks(64).take(10) {
+            det.predict_proba_slice_into(chunk, &mut ws, &mut got);
+        }
+        det.predict_proba_slice_into(test.records(), &mut ws, &mut got);
+        assert_eq!(got, want);
+        assert_eq!(ws.reallocs(), warm, "steady-state scoring grew a buffer");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::detector::OccupancyDetector;
 use occusense_dataset::CsiRecord;
 use occusense_nn::loss::BceWithLogits;
 use occusense_nn::optim::AdamW;
-use occusense_nn::train::{TrainConfig, Trainer};
+use occusense_nn::train::{TrainConfig, TrainWorkspace, Trainer};
 use occusense_nn::Mlp;
 use occusense_tensor::Matrix;
 
@@ -48,6 +48,11 @@ pub struct OnlineDetector {
     trainer: Trainer,
     buffer_x: Vec<f64>,
     buffer_y: Vec<f64>,
+    /// Reused gradient-step buffers: once warm, a streaming update
+    /// performs no heap allocations.
+    ws: TrainWorkspace,
+    xb: Matrix,
+    yb: Matrix,
     config: OnlineConfig,
     updates: u64,
 }
@@ -70,9 +75,13 @@ impl OnlineDetector {
                 epochs: 1,
                 batch_size: config.batch_size,
                 shuffle_seed: 0,
+                ..TrainConfig::default()
             }),
             buffer_x: Vec::new(),
             buffer_y: Vec::new(),
+            ws: TrainWorkspace::new(),
+            xb: Matrix::default(),
+            yb: Matrix::default(),
             config,
             updates: 0,
         })
@@ -103,10 +112,21 @@ impl OnlineDetector {
         self.buffer_y.push(label as f64);
         if self.buffer_y.len() >= self.config.batch_size {
             let d = self.features.dimension();
-            let xb = Matrix::from_vec(self.buffer_y.len(), d, std::mem::take(&mut self.buffer_x));
-            let yb = Matrix::col_vector(&std::mem::take(&mut self.buffer_y));
-            self.trainer
-                .train_batch(&mut self.mlp, &xb, &yb, &BceWithLogits, &mut self.optimizer);
+            let n = self.buffer_y.len();
+            self.xb.ensure_shape(n, d);
+            self.xb.as_mut_slice().copy_from_slice(&self.buffer_x);
+            self.yb.ensure_shape(n, 1);
+            self.yb.as_mut_slice().copy_from_slice(&self.buffer_y);
+            self.buffer_x.clear();
+            self.buffer_y.clear();
+            self.trainer.train_batch_with(
+                &mut self.mlp,
+                &self.xb,
+                &self.yb,
+                &BceWithLogits,
+                &mut self.optimizer,
+                &mut self.ws,
+            );
             self.updates += 1;
         }
         prediction

@@ -16,11 +16,55 @@
 //!
 //! There are no statistical comparisons against saved baselines — the
 //! numbers are for reading, not for regression gating.
+//!
+//! When the environment variable `OCCUSENSE_BENCH_JSON` names a file,
+//! measurement runs additionally write every result there as a JSON
+//! document (`{"results": [{"name": …, "ns_per_iter": …}, …]}`),
+//! rewritten after each benchmark so a partial run still leaves a
+//! valid file. This is how `BENCH_kernels.json` baselines are produced.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated for the optional JSON sink, process-wide (one
+/// bench binary may run several `criterion_group!`s, each with its own
+/// [`Criterion`]).
+static JSON_RESULTS: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+
+/// Appends one measurement to the JSON sink (when enabled) and
+/// rewrites the whole document, so the file is complete and valid
+/// after every benchmark.
+fn record_json(name: &str, ns: u64) {
+    let Ok(path) = std::env::var("OCCUSENSE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut results = JSON_RESULTS.lock().expect("bench json results poisoned");
+    results.push((name.to_string(), ns));
+    let mut doc = String::from("{\n  \"results\": [\n");
+    for (i, (n, v)) in results.iter().enumerate() {
+        let escaped: String = n
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        doc.push_str(&format!(
+            "    {{\"name\": \"{escaped}\", \"ns_per_iter\": {v}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("criterion-shim: cannot write {path}: {e}");
+    }
+}
 
 /// Wall-clock budget per benchmark in measurement mode.
 const MEASURE_BUDGET: Duration = Duration::from_millis(600);
@@ -86,6 +130,7 @@ impl Criterion {
             println!("test {name} ... ok");
         } else if let Some(ns) = bencher.median_ns() {
             println!("{name:<50} {:>14} ns/iter", format_thousands(ns));
+            record_json(name, ns);
         }
     }
 }

@@ -76,6 +76,41 @@ impl FeatureView {
         }
     }
 
+    /// Writes this view's feature vector into a caller-owned slice of
+    /// length [`FeatureView::dimension`] — the allocation-free analogue
+    /// of [`FeatureView::extract`], used by the serving hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dimension()`.
+    pub fn extract_into(&self, record: &CsiRecord, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.dimension(),
+            "extract_into: output length {} vs dimension {}",
+            out.len(),
+            self.dimension()
+        );
+        match self {
+            FeatureView::Csi => out.copy_from_slice(&record.csi),
+            FeatureView::Env => {
+                out[0] = record.temperature_c;
+                out[1] = record.humidity_pct;
+            }
+            FeatureView::CsiEnv => {
+                out[..N_SUBCARRIERS].copy_from_slice(&record.csi);
+                out[N_SUBCARRIERS] = record.temperature_c;
+                out[N_SUBCARRIERS + 1] = record.humidity_pct;
+            }
+            FeatureView::TimeOnly => {
+                let phase = std::f64::consts::TAU * (record.timestamp_s % SECONDS_PER_DAY)
+                    / SECONDS_PER_DAY;
+                out[0] = phase.sin();
+                out[1] = phase.cos();
+            }
+        }
+    }
+
     /// Builds the `n × d` design matrix of this view over a dataset.
     pub fn design_matrix(&self, dataset: &Dataset) -> Matrix {
         let d = self.dimension();
@@ -84,6 +119,19 @@ impl FeatureView {
             data.extend(self.extract(r));
         }
         Matrix::from_vec(dataset.len(), d, data)
+    }
+
+    /// Writes the design matrix of a record slice into `out` (reshaped
+    /// as needed; allocation-free once `out` has capacity). Returns
+    /// `true` if `out` had to grow. Row values are identical to
+    /// [`FeatureView::design_matrix`] over the same records.
+    pub fn design_matrix_rows_into(&self, records: &[CsiRecord], out: &mut Matrix) -> bool {
+        let d = self.dimension();
+        let grew = out.ensure_shape(records.len(), d);
+        for (r, record) in records.iter().enumerate() {
+            self.extract_into(record, out.row_mut(r));
+        }
+        grew
     }
 
     /// All views evaluated in Table IV, in paper order.

@@ -97,6 +97,25 @@ impl Standardizer {
         out
     }
 
+    /// Applies the transform to a matrix in place — the allocation-free
+    /// analogue of [`Standardizer::transform`], identical arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform_inplace(&self, x: &mut Matrix) {
+        assert_eq!(
+            x.cols(),
+            self.means.len(),
+            "standardizer fitted on {} columns, got {}",
+            self.means.len(),
+            x.cols()
+        );
+        for r in 0..x.rows() {
+            self.transform_row_inplace(x.row_mut(r));
+        }
+    }
+
     /// Applies the transform to a single feature vector.
     ///
     /// # Panics
@@ -109,6 +128,18 @@ impl Standardizer {
             .zip(&self.stds)
             .map(|((&v, &m), &s)| if s > 0.0 { (v - m) / s } else { 0.0 })
             .collect()
+    }
+
+    /// Applies the transform to a feature vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the fitted data.
+    pub fn transform_row_inplace(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = if s > 0.0 { (*v - m) / s } else { 0.0 };
+        }
     }
 }
 

@@ -37,6 +37,32 @@ impl Activation {
         }
     }
 
+    /// The activation as a plain scalar function pointer — the form the
+    /// fused GEMM kernel ([`occusense_tensor::kernels::gemm_bias_act`])
+    /// consumes. Applying this to each element of a matrix is exactly
+    /// [`Activation::apply`].
+    pub fn scalar_fn(&self) -> fn(f64) -> f64 {
+        match self {
+            Activation::Relu => |x| x.max(0.0),
+            Activation::Sigmoid => sigmoid,
+            Activation::Identity => |x| x,
+        }
+    }
+
+    /// The derivative as a plain scalar function pointer, evaluated at
+    /// the pre-activation; elementwise this is exactly
+    /// [`Activation::derivative`].
+    pub fn scalar_derivative(&self) -> fn(f64) -> f64 {
+        match self {
+            Activation::Relu => |x| if x > 0.0 { 1.0 } else { 0.0 },
+            Activation::Sigmoid => |x| {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            },
+            Activation::Identity => |_| 1.0,
+        }
+    }
+
     /// Short name used by the serialisation format.
     pub fn name(&self) -> &'static str {
         match self {

@@ -1,6 +1,7 @@
 //! Fully connected layers with explicit forward/backward passes.
 
 use crate::activation::Activation;
+use occusense_tensor::kernels::{self, Scratch};
 use occusense_tensor::{init, Matrix};
 use rand::Rng;
 
@@ -67,17 +68,104 @@ impl Dense {
         (z, a)
     }
 
+    /// Fused forward pass into caller-owned buffers: `z = x W + b` and
+    /// `a = σ(z)` written in a single output pass through
+    /// [`kernels::gemm_bias_act`]. Bitwise identical to
+    /// [`forward`](Self::forward) and allocation-free once `z`/`a` and
+    /// the scratch have capacity (growth is counted on `scratch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &Matrix, z: &mut Matrix, a: &mut Matrix, scratch: &mut Scratch) {
+        assert_eq!(
+            x.cols(),
+            self.in_dim(),
+            "dense forward: input width {} vs in_dim {}",
+            x.cols(),
+            self.in_dim()
+        );
+        let (m, k, n) = (x.rows(), self.in_dim(), self.out_dim());
+        if z.ensure_shape(m, n) {
+            scratch.note_grow();
+        }
+        if a.ensure_shape(m, n) {
+            scratch.note_grow();
+        }
+        kernels::gemm_bias_act(
+            m,
+            k,
+            n,
+            x.as_slice(),
+            self.weights.as_slice(),
+            &self.bias,
+            z.as_mut_slice(),
+            a.as_mut_slice(),
+            self.activation.scalar_fn(),
+            scratch,
+        );
+    }
+
     /// Backward pass.
     ///
     /// `x` is the layer input, `z` the pre-activation from
     /// [`forward`](Self::forward), and `grad_output` is `∂L/∂a`.
+    ///
+    /// Both matrix products run on the implicit-transpose kernels
+    /// (`x^T · δ` via [`Matrix::matmul_tn`], `δ · W^T` via
+    /// [`Matrix::matmul_nt`]) — no transposed copy of `x` or of the
+    /// weights is ever materialised.
     pub fn backward(&self, x: &Matrix, z: &Matrix, grad_output: &Matrix) -> DenseGradients {
         // δ = ∂L/∂z = ∂L/∂a ⊙ σ'(z)
         let delta = grad_output.hadamard(&self.activation.derivative(z));
         DenseGradients {
-            weights: x.transpose().matmul(&delta),
+            weights: x.matmul_tn(&delta),
             bias: delta.col_sums(),
-            input: delta.matmul(&self.weights.transpose()),
+            input: delta.matmul_nt(&self.weights),
+        }
+    }
+
+    /// Backward pass into caller-owned buffers; the workspace analogue
+    /// of [`backward`](Self::backward), allocation-free once every
+    /// buffer has capacity (growth is counted on `scratch`).
+    ///
+    /// `delta` is pure scratch (the masked gradient `∂L/∂z`); `grad_w`
+    /// and `grad_b` receive the parameter gradients. `grad_input`, when
+    /// provided, receives `∂L/∂x` — pass `None` for the first layer of
+    /// a network during training, where nothing consumes it and the
+    /// `δ · W^T` product can be skipped outright.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        z: &Matrix,
+        grad_output: &Matrix,
+        delta: &mut Matrix,
+        grad_w: &mut Matrix,
+        grad_b: &mut Vec<f64>,
+        grad_input: Option<&mut Matrix>,
+        scratch: &mut Scratch,
+    ) {
+        assert_eq!(z.shape(), grad_output.shape(), "dense backward: shapes");
+        if delta.ensure_shape(z.rows(), z.cols()) {
+            scratch.note_grow();
+        }
+        let dact = self.activation.scalar_derivative();
+        for ((d, &g), &zz) in delta
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice())
+            .zip(z.as_slice())
+        {
+            *d = g * dact(zz);
+        }
+        x.matmul_tn_into(delta, grad_w, scratch);
+        if grad_b.capacity() < delta.cols() {
+            scratch.note_grow();
+        }
+        delta.col_sums_into(grad_b);
+        if let Some(gi) = grad_input {
+            delta.matmul_nt_into(&self.weights, gi, scratch);
         }
     }
 }

@@ -14,6 +14,9 @@
 //! * [`optim`] — SGD (with momentum), Adam, and AdamW with *decoupled*
 //!   weight decay \[23\], the paper's training strategy.
 //! * [`train`] — shuffled mini-batch training loop with loss history.
+//! * [`workspace`] — reusable forward/backward buffers so the training
+//!   and serving hot paths run allocation-free on the blocked GEMM
+//!   kernels (see `occusense_tensor::kernels`).
 //! * [`gradcam`] — Grad-CAM \[17\] importance weights (Eq. 5–6) plus the
 //!   input-feature attribution used for Figure 3.
 //! * [`serialize`] — a small text format for saving and loading trained
@@ -37,7 +40,12 @@
 //! let y = Matrix::col_vector(&[0., 1., 1., 0.]);
 //! let mut mlp = Mlp::new(&[2, 16, 1], 7);
 //! let mut optim = AdamW::new(0.02, 0.0);
-//! let trainer = Trainer::new(TrainConfig { epochs: 400, batch_size: 4, shuffle_seed: 1 });
+//! let trainer = Trainer::new(TrainConfig {
+//!     epochs: 400,
+//!     batch_size: 4,
+//!     shuffle_seed: 1,
+//!     ..TrainConfig::default()
+//! });
 //! trainer.fit(&mut mlp, &x, &y, &BceWithLogits, &mut optim);
 //! let preds = mlp.predict_labels(&x);
 //! assert_eq!(preds, vec![0, 1, 1, 0]);
@@ -55,6 +63,8 @@ pub mod optim;
 pub mod quantize;
 pub mod serialize;
 pub mod train;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use mlp::Mlp;
+pub use workspace::MlpWorkspace;

@@ -13,6 +13,16 @@ pub trait Loss {
 
     /// Gradient `∂L/∂output`, same shape as `output`.
     fn grad(&self, output: &Matrix, targets: &Matrix) -> Matrix;
+
+    /// Writes the gradient into `out` (reshaped as needed). The default
+    /// delegates to [`Loss::grad`] and copies; the losses used on the
+    /// training hot path ([`BceWithLogits`], [`Mse`]) override it to be
+    /// allocation-free once `out` has capacity.
+    fn grad_into(&self, output: &Matrix, targets: &Matrix, out: &mut Matrix) {
+        let g = self.grad(output, targets);
+        out.ensure_shape(g.rows(), g.cols());
+        out.as_mut_slice().copy_from_slice(g.as_slice());
+    }
 }
 
 /// Binary cross-entropy computed from *logits* (Eq. 4 with the sigmoid
@@ -47,6 +57,20 @@ impl Loss for BceWithLogits {
             .try_zip_map(targets, "bce_grad", |z, y| (sigmoid(z) - y) / n)
             .expect("shapes checked")
     }
+
+    fn grad_into(&self, output: &Matrix, targets: &Matrix, out: &mut Matrix) {
+        assert_eq!(output.shape(), targets.shape(), "bce: shape mismatch");
+        let n = output.len().max(1) as f64;
+        out.ensure_shape(output.rows(), output.cols());
+        for ((o, &z), &y) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(output.as_slice())
+            .zip(targets.as_slice())
+        {
+            *o = (sigmoid(z) - y) / n;
+        }
+    }
 }
 
 /// Mean squared error, used for the humidity/temperature regression
@@ -73,6 +97,20 @@ impl Loss for Mse {
         output
             .try_zip_map(targets, "mse_grad", |o, t| 2.0 * (o - t) / n)
             .expect("shapes checked")
+    }
+
+    fn grad_into(&self, output: &Matrix, targets: &Matrix, out: &mut Matrix) {
+        assert_eq!(output.shape(), targets.shape(), "mse: shape mismatch");
+        let n = output.len().max(1) as f64;
+        out.ensure_shape(output.rows(), output.cols());
+        for ((g, &o), &t) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(output.as_slice())
+            .zip(targets.as_slice())
+        {
+            *g = 2.0 * (o - t) / n;
+        }
     }
 }
 

@@ -3,6 +3,8 @@
 use crate::loss::Loss;
 use crate::mlp::Mlp;
 use crate::optim::Optimizer;
+use crate::workspace::MlpWorkspace;
+use occusense_tensor::kernels::Parallelism;
 use occusense_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -19,6 +21,10 @@ pub struct TrainConfig {
     pub batch_size: usize,
     /// Seed for the per-epoch shuffles.
     pub shuffle_seed: u64,
+    /// Kernel parallelism for the forward/backward GEMMs. The parallel
+    /// kernel is bitwise-identical to the single-threaded one, so any
+    /// setting trains the exact same model bit for bit.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -27,7 +33,46 @@ impl Default for TrainConfig {
             epochs: 10,
             batch_size: 256,
             shuffle_seed: 0,
+            parallelism: Parallelism::Single,
         }
+    }
+}
+
+/// Reusable buffers for the training loop: the per-batch gathers, the
+/// loss gradient, and the full [`MlpWorkspace`]. After the first epoch
+/// warm-up, [`Trainer::fit_with`] performs no per-iteration heap
+/// allocations (assert via [`TrainWorkspace::reallocs`]).
+#[derive(Debug, Clone, Default)]
+pub struct TrainWorkspace {
+    mlp: MlpWorkspace,
+    xb: Matrix,
+    yb: Matrix,
+    grad_out: Matrix,
+}
+
+impl TrainWorkspace {
+    /// An empty workspace running the kernels single-threaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty workspace with the given kernel parallelism.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        Self {
+            mlp: MlpWorkspace::with_parallelism(parallelism),
+            ..Self::default()
+        }
+    }
+
+    /// Number of buffer-growth events since creation; flat across steps
+    /// ⇒ the steady-state training step is allocation-free.
+    pub fn reallocs(&self) -> u64 {
+        self.mlp.reallocs()
+    }
+
+    /// The inner forward/backward workspace.
+    pub fn mlp_workspace_mut(&mut self) -> &mut MlpWorkspace {
+        &mut self.mlp
     }
 }
 
@@ -73,6 +118,26 @@ impl Trainer {
         loss: &dyn Loss,
         optimizer: &mut dyn Optimizer,
     ) -> Vec<EpochStats> {
+        let mut ws = TrainWorkspace::with_parallelism(self.config.parallelism);
+        self.fit_with(mlp, x, y, loss, optimizer, &mut ws)
+    }
+
+    /// [`Trainer::fit`] through a caller-owned [`TrainWorkspace`]: the
+    /// step loop performs no heap allocations once the workspace is
+    /// warm. Identical results to [`Trainer::fit`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent or the dataset is empty.
+    pub fn fit_with(
+        &self,
+        mlp: &mut Mlp,
+        x: &Matrix,
+        y: &Matrix,
+        loss: &dyn Loss,
+        optimizer: &mut dyn Optimizer,
+        ws: &mut TrainWorkspace,
+    ) -> Vec<EpochStats> {
         assert_eq!(x.rows(), y.rows(), "trainer: sample count mismatch");
         assert_eq!(
             x.cols(),
@@ -95,9 +160,19 @@ impl Trainer {
             let mut total_loss = 0.0;
             let mut n_batches = 0usize;
             for chunk in order.chunks(self.config.batch_size.max(1)) {
-                let xb = x.select_rows(chunk);
-                let yb = y.select_rows(chunk);
-                total_loss += self.train_batch(mlp, &xb, &yb, loss, optimizer);
+                // Move the gather buffers out so they can be borrowed
+                // alongside the rest of the workspace (capacity is kept).
+                let mut xb = std::mem::take(&mut ws.xb);
+                let mut yb = std::mem::take(&mut ws.yb);
+                if x.select_rows_into(chunk, &mut xb) {
+                    ws.mlp.scratch_mut().note_grow();
+                }
+                if y.select_rows_into(chunk, &mut yb) {
+                    ws.mlp.scratch_mut().note_grow();
+                }
+                total_loss += self.train_batch_with(mlp, &xb, &yb, loss, optimizer, ws);
+                ws.xb = xb;
+                ws.yb = yb;
                 n_batches += 1;
             }
             history.push(EpochStats {
@@ -117,14 +192,42 @@ impl Trainer {
         loss: &dyn Loss,
         optimizer: &mut dyn Optimizer,
     ) -> f64 {
-        let pass = mlp.forward(xb);
-        let batch_loss = loss.loss(pass.output(), yb);
-        let grad_out = loss.grad(pass.output(), yb);
-        let (grads, _) = mlp.backward(&pass, &grad_out);
-        for (i, (gw, gb)) in grads.iter().enumerate() {
-            let layer = &mut mlp.layers_mut()[i];
-            optimizer.update(2 * i, layer.weights.as_mut_slice(), gw.as_slice());
-            optimizer.update(2 * i + 1, &mut layer.bias, gb);
+        let mut ws = TrainWorkspace::with_parallelism(self.config.parallelism);
+        self.train_batch_with(mlp, xb, yb, loss, optimizer, &mut ws)
+    }
+
+    /// [`Trainer::train_batch`] through a caller-owned workspace —
+    /// allocation-free once the workspace is warm, identical results
+    /// bit for bit.
+    pub fn train_batch_with(
+        &self,
+        mlp: &mut Mlp,
+        xb: &Matrix,
+        yb: &Matrix,
+        loss: &dyn Loss,
+        optimizer: &mut dyn Optimizer,
+        ws: &mut TrainWorkspace,
+    ) -> f64 {
+        mlp.forward_ws(xb, &mut ws.mlp);
+        let batch_loss = loss.loss(ws.mlp.output(), yb);
+        let mut grad_out = std::mem::take(&mut ws.grad_out);
+        if grad_out.ensure_shape(yb.rows(), yb.cols()) {
+            ws.mlp.scratch_mut().note_grow();
+        }
+        loss.grad_into(ws.mlp.output(), yb, &mut grad_out);
+        mlp.backward_ws(&grad_out, &mut ws.mlp);
+        ws.grad_out = grad_out;
+        for i in 0..mlp.layers().len() {
+            optimizer.update(
+                2 * i,
+                mlp.layers_mut()[i].weights.as_mut_slice(),
+                ws.mlp.grad_w()[i].as_slice(),
+            );
+            optimizer.update(
+                2 * i + 1,
+                &mut mlp.layers_mut()[i].bias,
+                &ws.mlp.grad_b()[i],
+            );
         }
         batch_loss
     }
@@ -152,6 +255,7 @@ mod tests {
             epochs: 400,
             batch_size: 4,
             shuffle_seed: 1,
+            ..TrainConfig::default()
         });
         let history = trainer.fit(&mut mlp, &x, &y, &BceWithLogits, &mut optim);
         assert_eq!(mlp.predict_labels(&x), vec![0, 1, 1, 0]);
@@ -171,6 +275,7 @@ mod tests {
             epochs: 300,
             batch_size: 16,
             shuffle_seed: 2,
+            ..TrainConfig::default()
         });
         trainer.fit(&mut mlp, &x, &y, &Mse, &mut optim);
         let out = mlp.predict(&x);
@@ -196,6 +301,7 @@ mod tests {
             epochs: 300,
             batch_size: 8,
             shuffle_seed: 3,
+            ..TrainConfig::default()
         });
         trainer.fit(&mut mlp, &x, &y, &Mse, &mut optim);
         let out = mlp.predict(&x);
@@ -212,6 +318,7 @@ mod tests {
                 epochs: 20,
                 batch_size: 2,
                 shuffle_seed: seed,
+                ..TrainConfig::default()
             });
             trainer.fit(&mut mlp, &x, &y, &BceWithLogits, &mut optim);
             mlp
@@ -229,6 +336,7 @@ mod tests {
             epochs: 7,
             batch_size: 2,
             shuffle_seed: 1,
+            ..TrainConfig::default()
         });
         let history = trainer.fit(&mut mlp, &x, &y, &BceWithLogits, &mut optim);
         assert_eq!(history.len(), 7);
@@ -236,6 +344,58 @@ mod tests {
             assert_eq!(h.epoch, i);
             assert!(h.mean_loss.is_finite());
         }
+    }
+
+    #[test]
+    fn threaded_training_reproduces_single_threaded_bitwise() {
+        // The parallel GEMM only splits output rows across threads —
+        // every element keeps its summation order, so the whole
+        // training trajectory must be reproduced bit for bit.
+        let x = Matrix::from_fn(48, 6, |r, c| ((r * 7 + c * 3) as f64 * 0.29).sin());
+        let targets: Vec<f64> = (0..48).map(|r| f64::from(r % 3 == 0)).collect();
+        let y = Matrix::col_vector(&targets);
+        let run = |parallelism: Parallelism| {
+            let mut mlp = Mlp::new(&[6, 16, 8, 1], 11);
+            let mut optim = AdamW::adam(0.01);
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 5,
+                batch_size: 16,
+                shuffle_seed: 4,
+                parallelism,
+            });
+            let history = trainer.fit(&mut mlp, &x, &y, &BceWithLogits, &mut optim);
+            (mlp, history)
+        };
+        let (mlp_single, hist_single) = run(Parallelism::Single);
+        for threads in [2usize, 4] {
+            let (mlp_t, hist_t) = run(Parallelism::Threads(threads));
+            assert_eq!(mlp_t, mlp_single, "{threads} threads diverged");
+            for (a, b) in hist_t.iter().zip(&hist_single) {
+                assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_steady_state_is_allocation_free() {
+        let (x, y) = xor_data();
+        let mut mlp = Mlp::new(&[2, 8, 1], 7);
+        let mut optim = AdamW::adam(0.02);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 2,
+            shuffle_seed: 1,
+            ..TrainConfig::default()
+        });
+        let mut ws = TrainWorkspace::new();
+        // First fit warms every buffer (growth is expected and counted).
+        trainer.fit_with(&mut mlp, &x, &y, &BceWithLogits, &mut optim, &mut ws);
+        let warm = ws.reallocs();
+        assert!(warm > 0, "warm-up should have grown the workspace");
+        // Re-running the whole step loop on warmed buffers must not
+        // grow anything: the trainer's steady state is allocation-free.
+        trainer.fit_with(&mut mlp, &x, &y, &BceWithLogits, &mut optim, &mut ws);
+        assert_eq!(ws.reallocs(), warm, "steady-state fit grew a buffer");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::worker::{self, Job, Prediction, WorkerContext, WorkerMetrics};
 use occusense_core::detector::OccupancyDetector;
 use occusense_core::online::{OnlineConfig, OnlineDetector};
 use occusense_core::persist;
+use occusense_core::tensor::Parallelism;
 use occusense_dataset::CsiRecord;
 use std::error::Error;
 use std::fmt;
@@ -65,6 +66,10 @@ pub struct ServeConfig {
     pub supervisor: SupervisorConfig,
     /// `Some` enables periodic + on-shutdown crash-safe checkpoints.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Kernel parallelism of each worker's batched forward pass. The
+    /// parallel GEMM is bitwise-identical to single-threaded, so this
+    /// knob changes throughput, never scores.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +82,7 @@ impl Default for ServeConfig {
             online: Some(OnlineTrainingConfig::default()),
             supervisor: SupervisorConfig::default(),
             checkpoint: None,
+            parallelism: Parallelism::Single,
         }
     }
 }
@@ -376,6 +382,7 @@ impl ServeRuntime {
                 supervision: Arc::clone(&supervision),
                 max_restarts: config.supervisor.max_restarts_per_shard,
                 panic_on_trigger: config.supervisor.panic_on_trigger,
+                parallelism: config.parallelism,
             };
             workers.push(
                 std::thread::Builder::new()

@@ -20,7 +20,9 @@ use crate::model::ModelHandle;
 use crate::queue::{BoundedQueue, PopResult};
 use crate::supervisor::{is_scorable, panic_message, SupervisorState};
 use crate::trainer::LabelledRecord;
-use occusense_dataset::{CsiRecord, Dataset};
+use occusense_core::detector::ScoreWorkspace;
+use occusense_core::tensor::Parallelism;
+use occusense_dataset::CsiRecord;
 use occusense_sim::stream::is_worker_panic_trigger;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -82,6 +84,17 @@ pub(crate) struct WorkerContext {
     pub supervision: Arc<SupervisorState>,
     pub max_restarts: u64,
     pub panic_on_trigger: bool,
+    pub parallelism: Parallelism,
+}
+
+/// Per-worker reusable scoring buffers: the record gather, the design
+/// matrix, the MLP forward workspace and the probability vector all
+/// keep their capacity across flushes, so a steady stream of batches
+/// is scored without heap allocations.
+struct ScoreBuffers {
+    records: Vec<CsiRecord>,
+    probas: Vec<f64>,
+    ws: ScoreWorkspace,
 }
 
 impl WorkerContext {
@@ -99,8 +112,18 @@ pub(crate) fn run(ctx: WorkerContext) {
     // scored, the batcher holds the not-yet-flushed remainder.
     let in_flight: RefCell<Option<Vec<Job>>> = RefCell::new(None);
     let batcher = RefCell::new(MicroBatcher::new(ctx.batch));
+    // Scoring buffers also live outside the unwind boundary: a restart
+    // keeps the warmed capacity (every flush overwrites them whole, so
+    // no stale state can leak across a panic).
+    let buffers = RefCell::new(ScoreBuffers {
+        records: Vec::new(),
+        probas: Vec::new(),
+        ws: ScoreWorkspace::with_parallelism(ctx.parallelism),
+    });
     loop {
-        match catch_unwind(AssertUnwindSafe(|| batch_loop(&ctx, &batcher, &in_flight))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            batch_loop(&ctx, &batcher, &in_flight, &buffers)
+        })) {
             Ok(()) => return, // queue closed and fully drained
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
@@ -139,6 +162,7 @@ fn batch_loop(
     ctx: &WorkerContext,
     batcher: &RefCell<MicroBatcher<Job>>,
     in_flight: &RefCell<Option<Vec<Job>>>,
+    buffers: &RefCell<ScoreBuffers>,
 ) {
     loop {
         let deadline = batcher.borrow().deadline();
@@ -153,19 +177,19 @@ fn batch_loop(
             PopResult::Item(job) => {
                 let full = batcher.borrow_mut().push(job, Instant::now());
                 if let Some(batch) = full {
-                    flush(ctx, in_flight, batch, false);
+                    flush(ctx, in_flight, buffers, batch, false);
                 }
             }
             PopResult::TimedOut => {
                 let due = batcher.borrow_mut().flush_due(Instant::now());
                 if let Some(batch) = due {
-                    flush(ctx, in_flight, batch, true);
+                    flush(ctx, in_flight, buffers, batch, true);
                 }
             }
             PopResult::Closed => {
                 let rest = batcher.borrow_mut().take();
                 if !rest.is_empty() {
-                    flush(ctx, in_flight, rest, false);
+                    flush(ctx, in_flight, buffers, rest, false);
                 }
                 return;
             }
@@ -181,6 +205,7 @@ fn batch_loop(
 fn flush(
     ctx: &WorkerContext,
     in_flight: &RefCell<Option<Vec<Job>>>,
+    buffers: &RefCell<ScoreBuffers>,
     batch: Vec<Job>,
     deadline_triggered: bool,
 ) {
@@ -196,32 +221,27 @@ fn flush(
 
     let snapshot = ctx.model.current();
     let infer_start = Instant::now();
-    let probas = {
+    {
         let guard = in_flight.borrow();
         let batch = guard.as_deref().expect("in-flight batch just parked");
         if ctx.panic_on_trigger && batch.iter().any(|j| is_worker_panic_trigger(&j.record)) {
             panic!("fault injection: scripted worker panic trigger");
         }
-        // A shard can host several sensors whose scenario clocks
-        // interleave, but `Dataset` requires timestamp order — score
-        // through a sorted permutation and un-permute. Each output row
-        // depends only on its own input row, so the probabilities are
-        // unaffected by the order.
-        let mut order: Vec<usize> = (0..batch.len()).collect();
-        order.sort_by(|&a, &b| {
-            batch[a]
-                .record
-                .timestamp_s
-                .total_cmp(&batch[b].record.timestamp_s)
-        });
-        let ds: Dataset = order.iter().map(|&i| batch[i].record).collect();
-        let sorted_probas = snapshot.detector.predict_proba(&ds);
-        let mut probas = vec![0.0; batch.len()];
-        for (rank, &i) in order.iter().enumerate() {
-            probas[i] = sorted_probas[rank];
-        }
-        probas
-    };
+        // One batched forward through the worker's reusable buffers:
+        // records are scored in arrival order (each output row depends
+        // only on its own input row, so ordering cannot change scores)
+        // and steady-state flushes allocate nothing.
+        let ScoreBuffers {
+            records,
+            probas,
+            ws,
+        } = &mut *buffers.borrow_mut();
+        records.clear();
+        records.extend(batch.iter().map(|job| job.record));
+        snapshot
+            .detector
+            .predict_proba_slice_into(records, ws, probas);
+    }
     // The forward pass succeeded: the batch is no longer at risk.
     let batch = in_flight
         .borrow_mut()
@@ -238,7 +258,8 @@ fn flush(
     }
 
     let scored_at = Instant::now();
-    for (job, proba) in batch.into_iter().zip(probas) {
+    let buffers = buffers.borrow();
+    for (job, &proba) in batch.into_iter().zip(&buffers.probas) {
         let latency = scored_at.duration_since(job.enqueued_at);
         ctx.metrics.records.inc();
         ctx.metrics.latency_ns.record(latency.as_nanos() as u64);

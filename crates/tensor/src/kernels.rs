@@ -1,0 +1,931 @@
+//! High-performance GEMM kernels: register-tiled, fused, and
+//! optionally parallel — the hot-path engine behind [`Matrix`] matmul,
+//! the dense-layer forward/backward passes, and the serving runtime's
+//! batched forwards.
+//!
+//! # Design
+//!
+//! * **Register-tiled rank-1 micro-kernel.** The output is walked in
+//!   `IT × JT` tiles whose accumulators live entirely in SIMD
+//!   registers. Each step along the shared dimension broadcasts one
+//!   element of `A` per tile row and performs a rank-1 update against a
+//!   contiguous [`JT`]-wide slice of a `B` row. The inner loop is pure
+//!   broadcast-FMA with **no reduction dependency**, so it
+//!   auto-vectorises to the machine's FMA throughput instead of being
+//!   serialised on a loop-carried accumulator chain.
+//! * **Fused multiply-add, fixed order.** The accumulators update via
+//!   [`f64::mul_add`] — the IEEE-754 `fusedMultiplyAdd`, a single
+//!   correctly-rounded operation the optimiser maps to the hardware
+//!   FMA instruction. Rust never contracts separate `a * b + c` into
+//!   FMA on its own, so spelling it out roughly doubles multiply-add
+//!   throughput. Every output element still owns a single accumulator
+//!   filled in ascending order of the shared dimension, so results are
+//!   **exactly reproducible** (bitwise across runs, shapes, batch
+//!   sizes and thread counts); they differ from the naive mul-then-add
+//!   triple loop only by the per-step rounding, which the property
+//!   tests bound to tight tolerance. The naive loop survives as the
+//!   reference oracle.
+//! * **Unrolled dot kernel.** [`dot_unrolled`] carries sixteen
+//!   positional accumulators (independent SIMD chains) combined
+//!   through a fixed reduction tree. It serves [`gemv`], where the
+//!   reduction dimension is contiguous on both operands and there is
+//!   only one output column to amortise loads over.
+//! * **Determinism contract.** Every output element is a *pure
+//!   function of its own row of `A` and column of `B`* with a fixed
+//!   summation order. Results are therefore bitwise identical across
+//!   batch sizes, tile shapes, fused/unfused paths, and any thread
+//!   count — the parallel kernels split output rows across scoped
+//!   threads without changing any summation order. Parallelism is a
+//!   pure throughput knob, never a numerics knob.
+//! * **Scratch reuse.** All `*_into` entry points write into
+//!   caller-owned buffers and carry their policy/accounting in a
+//!   [`Scratch`], so steady-state callers (the trainer step loop, the
+//!   serve worker's batched forward) perform zero heap allocations.
+//!
+//! [`Matrix`]: crate::Matrix
+//! [`Matrix::matmul_naive`]: crate::Matrix::matmul_naive
+
+use std::thread;
+
+/// Output columns per register tile. With [`IT`] rows the `8 × 8` tile
+/// keeps 8 accumulator vectors + 1 `B`-row vector + 1 broadcast in
+/// registers on both 256-bit (16 ymm) and 512-bit (32 zmm) files —
+/// measured fastest on this generation of hardware; wider or taller
+/// tiles spill accumulators to the stack and collapse throughput.
+const JT: usize = 8;
+/// Output rows per register tile (see [`JT`]).
+const IT: usize = 8;
+/// Column width of the single-row micro-kernel used for the final
+/// `rows mod IT` tail rows and for tiny batches (the `m = 1`
+/// per-record inference path): eight independent vector accumulators
+/// hide FMA latency where a narrow single-row tile would serialise on
+/// its own dependency chain. The `m = 1` path is bound by streaming
+/// the weight matrix from cache, so wider or memory-resident strips
+/// measure no better.
+const JW: usize = 64;
+/// Minimum `m · k · n` product before threads are spawned; below this
+/// the spawn cost dominates. Correctness never depends on this value.
+const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// How much std-thread parallelism the kernels may use.
+///
+/// The parallel GEMM splits the *output rows* across threads; each
+/// element is computed by exactly the same fixed-order accumulation as
+/// the single-threaded kernel, so results are **bitwise identical for
+/// every thread count** — parallelism is a pure throughput knob, never
+/// a numerics knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Everything on the calling thread.
+    #[default]
+    Single,
+    /// Up to `n` worker threads per kernel call (scoped std threads,
+    /// spawned only when the matrix is large enough to amortise them).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The thread budget (`Single` ⇒ 1).
+    pub fn threads(&self) -> usize {
+        match self {
+            Parallelism::Single => 1,
+            Parallelism::Threads(n) => (*n).max(1),
+        }
+    }
+}
+
+/// Reusable workspace for the packed kernels.
+///
+/// Owns the pack buffer (and the parallelism policy) so that repeated
+/// kernel calls — a training step loop, a serve worker's batch loop —
+/// allocate nothing once the buffer has grown to the largest shape in
+/// play. [`Scratch::reallocs`] counts the growth events, which is what
+/// the zero-allocation steady-state tests assert on.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    packed: Vec<f64>,
+    parallelism: Parallelism,
+    reallocs: u64,
+}
+
+impl Scratch {
+    /// An empty scratch running single-threaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty scratch with the given parallelism policy.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        Self {
+            parallelism,
+            ..Self::default()
+        }
+    }
+
+    /// The parallelism policy kernel calls through this scratch use.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Replaces the parallelism policy.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Number of times any tracked buffer had to grow. Constant across
+    /// iterations ⇒ the steady state performs no heap allocations here.
+    pub fn reallocs(&self) -> u64 {
+        self.reallocs
+    }
+
+    /// Records a buffer growth that happened outside the scratch itself
+    /// (e.g. an output [`Matrix`](crate::Matrix) handed to a `*_into`
+    /// kernel had to grow), so a single counter covers a whole
+    /// workspace: pass the `true` returns of
+    /// [`Matrix::ensure_shape`](crate::Matrix::ensure_shape) here and
+    /// assert [`Scratch::reallocs`] is flat in the steady state.
+    pub fn note_grow(&mut self) {
+        self.reallocs += 1;
+    }
+
+    /// Borrows a `len`-sized pack buffer, growing (and counting the
+    /// growth) only when the current capacity is insufficient.
+    fn pack_space(&mut self, len: usize) -> &mut [f64] {
+        if len > self.packed.capacity() {
+            self.reallocs += 1;
+        }
+        self.packed.resize(len, 0.0);
+        &mut self.packed[..len]
+    }
+}
+
+/// Scalar lanes per unrolled dot-product step. Sixteen positional
+/// accumulators auto-vectorise into four independent 4-lane SIMD
+/// chains, hiding FMA latency (a single vector accumulator would stall
+/// on its own loop-carried dependency).
+const DOT_LANES: usize = 16;
+
+/// Fixed reduction tree over the sixteen lane accumulators — part of
+/// the determinism contract: the combine order never varies.
+#[inline]
+fn reduce_lanes(acc: &[f64; DOT_LANES]) -> f64 {
+    let q0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let q1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+    let q2 = (acc[8] + acc[9]) + (acc[10] + acc[11]);
+    let q3 = (acc[12] + acc[13]) + (acc[14] + acc[15]);
+    (q0 + q1) + (q2 + q3)
+}
+
+/// Dot product over sixteen positional accumulators (lane `l` sums the
+/// elements at positions `≡ l (mod 16)`), combined through a fixed
+/// reduction tree, plus an in-order scalar tail. The arithmetic order
+/// depends only on the slice length, never on layout or blocking,
+/// which is what makes the kernels built on it bitwise-reproducible.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slices have different lengths.
+#[inline]
+pub fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot_unrolled: length mismatch");
+    let blocks = a.len() / DOT_LANES;
+    let (ab, a_tail) = a.split_at(blocks * DOT_LANES);
+    let (bb, b_tail) = b.split_at(blocks * DOT_LANES);
+    let mut acc = [0.0f64; DOT_LANES];
+    for (ca, cb) in ab.chunks_exact(DOT_LANES).zip(bb.chunks_exact(DOT_LANES)) {
+        for l in 0..DOT_LANES {
+            acc[l] = ca[l].mul_add(cb[l], acc[l]);
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail = x.mul_add(*y, tail);
+    }
+    reduce_lanes(&acc) + tail
+}
+
+/// Packs the left operand of a rank-1-update product into panels: full
+/// panels of [`IT`] rows are stored *step-major* (`panel[s·IT + r] =
+/// lhs(p0 + r, s)`, so one contiguous [`IT`]-chunk per step feeds the
+/// micro-kernel's broadcasts), and the final `rows mod IT` tail rows
+/// are stored row-major for the single-row wide kernel. `lhs(r, s) =
+/// lhs[r·lrs + s·lss]` — `(lrs, lss) = (k, 1)` packs the rows of a
+/// row-major `A`, `(1, ca)` its columns (the implicit transpose of
+/// [`gemm_tn`]). Packing is pure data movement: it never touches the
+/// per-element accumulation order.
+fn pack_panels(rows: usize, steps: usize, lhs: &[f64], lrs: usize, lss: usize, packed: &mut [f64]) {
+    debug_assert_eq!(packed.len(), rows * steps);
+    let full = rows - rows % IT;
+    for p0 in (0..full).step_by(IT) {
+        let dst = &mut packed[p0 * steps..(p0 + IT) * steps];
+        for (s, chunk) in dst.chunks_exact_mut(IT).enumerate() {
+            for (r, d) in chunk.iter_mut().enumerate() {
+                *d = lhs[(p0 + r) * lrs + s * lss];
+            }
+        }
+    }
+    for i in full..rows {
+        let dst = &mut packed[i * steps..(i + 1) * steps];
+        for (s, d) in dst.iter_mut().enumerate() {
+            *d = lhs[i * lrs + s * lss];
+        }
+    }
+}
+
+/// `IT × JT` register-tile micro-kernel: `acc[r][l] =
+/// fma(panel(s, r), rhs[s·rss + j0 + l], acc[r][l])` over all `steps`,
+/// with `panel` step-major as laid out by [`pack_panels`]. Every output
+/// element owns a single accumulator filled in ascending `s` — the
+/// determinism contract every caller relies on. The fixed-size
+/// `try_into` reborrows give the optimiser check-free, fixed-width
+/// inner loops, and returning the tile by value keeps the accumulators
+/// in registers.
+#[inline]
+fn micro_panel(steps: usize, panel: &[f64], rhs: &[f64], rss: usize, j0: usize) -> [[f64; JT]; IT] {
+    let mut acc = [[0.0f64; JT]; IT];
+    for s in 0..steps {
+        let rv: &[f64; JT] = rhs[s * rss + j0..s * rss + j0 + JT]
+            .try_into()
+            .expect("micro_panel: tile");
+        let avs: &[f64; IT] = panel[s * IT..s * IT + IT]
+            .try_into()
+            .expect("micro_panel: panel");
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = avs[r];
+            for l in 0..JT {
+                acc_row[l] = av.mul_add(rv[l], acc_row[l]);
+            }
+        }
+    }
+    acc
+}
+
+/// Edge variant of [`micro_panel`] for a tile narrower than [`JT`]
+/// (`jw` columns). The per-element accumulation order is identical —
+/// only the lane count differs — so edge tiles keep the bitwise
+/// contract.
+#[inline]
+fn micro_panel_edge(
+    steps: usize,
+    panel: &[f64],
+    rhs: &[f64],
+    rss: usize,
+    j0: usize,
+    jw: usize,
+) -> [[f64; JT]; IT] {
+    let mut acc = [[0.0f64; JT]; IT];
+    for s in 0..steps {
+        let rv = &rhs[s * rss + j0..s * rss + j0 + jw];
+        let avs: &[f64; IT] = panel[s * IT..s * IT + IT]
+            .try_into()
+            .expect("micro_panel_edge: panel");
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = avs[r];
+            for (lane, &x) in acc_row.iter_mut().zip(rv) {
+                *lane = av.mul_add(x, *lane);
+            }
+        }
+    }
+    acc
+}
+
+/// `1 × JW` single-row micro-kernel for tail rows and tiny batches:
+/// eight independent vector accumulators across [`JW`] columns hide
+/// the FMA latency that a single narrow tile would serialise on. Same
+/// per-element order as [`micro_panel`]: single accumulator, ascending
+/// `s`.
+#[inline]
+fn micro_row(arow: &[f64], rhs: &[f64], rss: usize, j0: usize) -> [f64; JW] {
+    let mut acc = [0.0f64; JW];
+    for (&av, brow) in arow.iter().zip(rhs.chunks_exact(rss)) {
+        let rv: &[f64; JW] = brow[j0..j0 + JW].try_into().expect("micro_row: tile");
+        for l in 0..JW {
+            acc[l] = av.mul_add(rv[l], acc[l]);
+        }
+    }
+    acc
+}
+
+/// Edge variant of [`micro_row`] for fewer than [`JW`] remaining
+/// columns; identical per-element accumulation order.
+#[inline]
+fn micro_row_edge(arow: &[f64], rhs: &[f64], rss: usize, j0: usize, jw: usize) -> [f64; JW] {
+    let mut acc = [0.0f64; JW];
+    for (&av, brow) in arow.iter().zip(rhs.chunks_exact(rss)) {
+        let rv = &brow[j0..j0 + jw];
+        for (lane, &x) in acc.iter_mut().zip(rv) {
+            *lane = av.mul_add(x, *lane);
+        }
+    }
+    acc
+}
+
+/// Walks a `rows × cols` output in register tiles over a packed left
+/// operand (see [`pack_panels`]): full [`IT`]-row panels through the
+/// `IT × JT` tile kernel (panel outermost, so the packed panel stays
+/// L1-resident while `rhs` streams), tail rows through the `1 × JW`
+/// wide kernel. Every finished row segment is handed to
+/// `store(row, j0, values)`. `rhs` is the full right operand
+/// (`steps × rss` row-major); `packed` holds exactly `rows · steps`
+/// elements.
+fn rank1_tiles<F: FnMut(usize, usize, &[f64])>(
+    steps: usize,
+    rows: usize,
+    cols: usize,
+    packed: &[f64],
+    rhs: &[f64],
+    rss: usize,
+    mut store: F,
+) {
+    debug_assert_eq!(packed.len(), rows * steps);
+    debug_assert_eq!(rhs.len(), steps * rss);
+    let full = rows - rows % IT;
+    for p0 in (0..full).step_by(IT) {
+        let panel = &packed[p0 * steps..(p0 + IT) * steps];
+        let mut j0 = 0;
+        while j0 < cols {
+            let jw = JT.min(cols - j0);
+            let acc = if jw == JT {
+                micro_panel(steps, panel, rhs, rss, j0)
+            } else {
+                micro_panel_edge(steps, panel, rhs, rss, j0, jw)
+            };
+            for (r, row_acc) in acc.iter().enumerate() {
+                store(p0 + r, j0, &row_acc[..jw]);
+            }
+            j0 += jw;
+        }
+    }
+    for i in full..rows {
+        let arow = &packed[i * steps..(i + 1) * steps];
+        let mut j0 = 0;
+        while j0 < cols {
+            let jw = JW.min(cols - j0);
+            let acc = if jw == JW {
+                micro_row(arow, rhs, rss, j0)
+            } else {
+                micro_row_edge(arow, rhs, rss, j0, jw)
+            };
+            store(i, j0, &acc[..jw]);
+            j0 += jw;
+        }
+    }
+}
+
+/// Splits `out` into row blocks and runs `body(first_row, rows_chunk)`
+/// on each, across up to `threads` scoped threads. With one thread (or
+/// one block) everything runs inline on the caller. Block boundaries
+/// are aligned to [`IT`] rows so they coincide with the packed-panel
+/// boundaries of [`pack_panels`]; the split never affects numerics,
+/// only which thread computes which rows.
+fn for_row_blocks<F>(out: &mut [f64], n_rows: usize, row_len: usize, threads: usize, body: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if n_rows == 0 || row_len == 0 {
+        return;
+    }
+    let threads = threads.min(n_rows);
+    if threads <= 1 {
+        body(0, out);
+        return;
+    }
+    let rows_per = n_rows.div_ceil(threads).next_multiple_of(IT);
+    thread::scope(|s| {
+        for (t, chunk) in out.chunks_mut(rows_per * row_len).enumerate() {
+            let body = &body;
+            s.spawn(move || body(t * rows_per, chunk));
+        }
+    });
+}
+
+/// Like [`for_row_blocks`] for two equally-shaped outputs that must be
+/// split identically (the fused forward's pre-activation + activation).
+fn for_row_blocks2<F>(
+    z: &mut [f64],
+    a: &mut [f64],
+    n_rows: usize,
+    row_len: usize,
+    threads: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
+{
+    if n_rows == 0 || row_len == 0 {
+        return;
+    }
+    let threads = threads.min(n_rows);
+    if threads <= 1 {
+        body(0, z, a);
+        return;
+    }
+    let rows_per = n_rows.div_ceil(threads).next_multiple_of(IT);
+    thread::scope(|s| {
+        for (t, (zc, ac)) in z
+            .chunks_mut(rows_per * row_len)
+            .zip(a.chunks_mut(rows_per * row_len))
+            .enumerate()
+        {
+            let body = &body;
+            s.spawn(move || body(t * rows_per, zc, ac));
+        }
+    });
+}
+
+/// Effective thread count for a kernel of `flops` multiply-adds.
+fn thread_budget(parallelism: Parallelism, flops: usize) -> usize {
+    if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        parallelism.threads()
+    }
+}
+
+/// `out = A · B` — the register-tiled, optionally parallel GEMM. `a` is
+/// `m × k`, `b` is `k × n`, `out` is `m × n` (fully overwritten).
+/// Exactly reproducible: bitwise identical for every thread count and
+/// batch size; matches
+/// [`Matrix::matmul_naive`](crate::Matrix::matmul_naive) to tight
+/// tolerance (the kernel accumulates with fused multiply-adds in the
+/// naive loop's order; only the per-step rounding differs).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    scratch: &mut Scratch,
+) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length");
+    assert_eq!(b.len(), k * n, "gemm: rhs length");
+    assert_eq!(out.len(), m * n, "gemm: out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let threads = thread_budget(scratch.parallelism, m * k * n);
+    let packed = scratch.pack_space(m * k);
+    pack_panels(m, k, a, k, 1, packed);
+    let packed: &[f64] = packed;
+    for_row_blocks(out, m, n, threads, |first_row, chunk| {
+        let rows = chunk.len() / n;
+        let panel = &packed[first_row * k..(first_row + rows) * k];
+        rank1_tiles(k, rows, n, panel, b, n, |r, j0, vals| {
+            chunk[r * n + j0..r * n + j0 + vals.len()].copy_from_slice(vals);
+        });
+    });
+}
+
+/// `out = A · B^T` without materialising the transpose: `a` is `m × k`,
+/// `b` is `n × k` (row-major, so row `j` of `b` *is* column `j` of
+/// `B^T` — the transposed panel a packing step would otherwise build),
+/// `out` is `m × n`. This is `δ · W^T` in the dense backward pass — `W`
+/// is stored `in × out`. The kernel transposes `b` into the reusable
+/// [`Scratch`] (pure data movement, zero steady-state allocations) and
+/// runs the same register-tiled rank-1 micro-kernel as [`gemm`], so
+/// every element accumulates in ascending-`k` FMA order: exactly
+/// reproducible for every thread count, and matching
+/// `a.matmul_naive(&b.transpose())` to tight tolerance.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn gemm_nt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    scratch: &mut Scratch,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs length");
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs length");
+    assert_eq!(out.len(), m * n, "gemm_nt: out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let threads = thread_budget(scratch.parallelism, m * k * n);
+    let space = scratch.pack_space(m * k + k * n);
+    let (packed, bt) = space.split_at_mut(m * k);
+    pack_panels(m, k, a, k, 1, packed);
+    // Transpose `b` (n × k) into `bt` (k × n): sequential writes,
+    // strided reads. Data movement only — no arithmetic order changes.
+    for (s, btrow) in bt.chunks_exact_mut(n).enumerate() {
+        for (j, d) in btrow.iter_mut().enumerate() {
+            *d = b[j * k + s];
+        }
+    }
+    let packed: &[f64] = packed;
+    let bt: &[f64] = bt;
+    for_row_blocks(out, m, n, threads, |first_row, chunk| {
+        let rows = chunk.len() / n;
+        let panel = &packed[first_row * k..(first_row + rows) * k];
+        rank1_tiles(k, rows, n, panel, bt, n, |r, j0, vals| {
+            chunk[r * n + j0..r * n + j0 + vals.len()].copy_from_slice(vals);
+        });
+    });
+}
+
+/// `out = A^T · B` without materialising the transpose: `a` is
+/// `m × ca`, `b` is `m × cb`, `out` is `ca × cb`. This is `x^T · δ` in
+/// the dense backward pass. Runs on the same register-tiled rank-1
+/// micro-kernel as [`gemm`] with the shared dimension being the rows of
+/// both operands; every element accumulates in ascending row order with
+/// fused multiply-adds, so the result is exactly reproducible and
+/// matches `a.transpose().matmul_naive(&b)` to tight tolerance.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn gemm_tn(
+    m: usize,
+    ca: usize,
+    cb: usize,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    scratch: &mut Scratch,
+) {
+    assert_eq!(a.len(), m * ca, "gemm_tn: lhs length");
+    assert_eq!(b.len(), m * cb, "gemm_tn: rhs length");
+    assert_eq!(out.len(), ca * cb, "gemm_tn: out length");
+    if ca == 0 || cb == 0 {
+        return;
+    }
+    if m == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let threads = thread_budget(scratch.parallelism, m * ca * cb);
+    let packed = scratch.pack_space(ca * m);
+    pack_panels(ca, m, a, 1, ca, packed);
+    let packed: &[f64] = packed;
+    for_row_blocks(out, ca, cb, threads, |first_row, chunk| {
+        let rows = chunk.len() / cb;
+        let panel = &packed[first_row * m..(first_row + rows) * m];
+        rank1_tiles(m, rows, cb, panel, b, cb, |r, j0, vals| {
+            chunk[r * cb + j0..r * cb + j0 + vals.len()].copy_from_slice(vals);
+        });
+    });
+}
+
+/// Fused dense forward: `z = x · W + bias` (bias broadcast over rows)
+/// and `act_out = act(z)`, both written in a single output pass. `x` is
+/// `m × k`, `w` is `k × n` (the layer's `in × out` weights), `bias` has
+/// length `n`, `z` and `act_out` are `m × n`.
+///
+/// The matmul term runs on the same micro-kernel as [`gemm`] and the
+/// bias is added once after the full accumulation, so `z` is bitwise
+/// identical to the unfused `gemm` + row-broadcast sequence — across
+/// batch sizes and thread counts.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_act(
+    m: usize,
+    k: usize,
+    n: usize,
+    x: &[f64],
+    w: &[f64],
+    bias: &[f64],
+    z: &mut [f64],
+    act_out: &mut [f64],
+    act: fn(f64) -> f64,
+    scratch: &mut Scratch,
+) {
+    assert_eq!(x.len(), m * k, "gemm_bias_act: input length");
+    assert_eq!(w.len(), k * n, "gemm_bias_act: weight length");
+    assert_eq!(bias.len(), n, "gemm_bias_act: bias length");
+    assert_eq!(z.len(), m * n, "gemm_bias_act: z length");
+    assert_eq!(act_out.len(), m * n, "gemm_bias_act: act length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for (zrow, arow) in z.chunks_exact_mut(n).zip(act_out.chunks_exact_mut(n)) {
+            for (j, (zv, av)) in zrow.iter_mut().zip(arow.iter_mut()).enumerate() {
+                *zv = bias[j];
+                *av = act(bias[j]);
+            }
+        }
+        return;
+    }
+    let threads = thread_budget(scratch.parallelism, m * k * n);
+    let packed = scratch.pack_space(m * k);
+    pack_panels(m, k, x, k, 1, packed);
+    let packed: &[f64] = packed;
+    for_row_blocks2(z, act_out, m, n, threads, |first_row, zc, ac| {
+        let rows = zc.len() / n;
+        let panel = &packed[first_row * k..(first_row + rows) * k];
+        rank1_tiles(k, rows, n, panel, w, n, |r, j0, vals| {
+            let zrow = &mut zc[r * n + j0..r * n + j0 + vals.len()];
+            let arow = &mut ac[r * n + j0..r * n + j0 + vals.len()];
+            for (l, &v) in vals.iter().enumerate() {
+                let vb = v + bias[j0 + l];
+                zrow[l] = vb;
+                arow[l] = act(vb);
+            }
+        });
+    });
+}
+
+/// Matrix–vector product through the unrolled dot kernel: `out[i] =
+/// dot(row_i(a), v)`. `a` is `m × k`, `v` has length `k`, `out` length
+/// `m` (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn gemv(m: usize, k: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemv: matrix length");
+    assert_eq!(v.len(), k, "gemv: vector length");
+    assert_eq!(out.len(), m, "gemv: out length");
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (o, arow) in out.iter_mut().zip(a.chunks_exact(k)) {
+        *o = dot_unrolled(arow, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn mat(r: usize, c: usize, seed: u64) -> Matrix {
+        // Small deterministic pseudo-random fill (no RNG dependency).
+        Matrix::from_fn(r, c, |i, j| {
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i * 131 + j * 7) as u64);
+            ((h % 2000) as f64 - 1000.0) / 250.0
+        })
+    }
+
+    #[test]
+    fn dot_unrolled_matches_plain_sum_loosely_and_is_deterministic() {
+        let a: Vec<f64> = (0..37).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64 * 0.11).cos()).collect();
+        let plain: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let got = dot_unrolled(&a, &b);
+        assert!((got - plain).abs() < 1e-12);
+        assert_eq!(got.to_bits(), dot_unrolled(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn gemm_matches_naive_reference_tightly() {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (1, 66, 128),
+            (2, 3, 4),
+            (3, 17, 16),
+            (5, 8, 1),
+            (9, 5, 7),
+            (33, 17, 65),
+            (64, 66, 128),
+        ] {
+            let a = mat(m, k, 1);
+            let b = mat(k, n, 2);
+            let mut out = Matrix::zeros(m, n);
+            let mut scratch = Scratch::new();
+            gemm(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                &mut scratch,
+            );
+            // FMA accumulation differs from the naive mul-then-add only
+            // by per-step rounding: tight tolerance, and a repeat call
+            // must reproduce the result bit-for-bit.
+            let want = a.matmul_naive(&b);
+            let tol = 1e-13 * (1.0 + k as f64 * 16.0);
+            assert!((&out - &want).max_abs() <= tol, "({m},{k},{n})");
+            let mut again = Matrix::zeros(m, n);
+            gemm(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                again.as_mut_slice(),
+                &mut scratch,
+            );
+            assert_eq!(out, again, "({m},{k},{n}) not reproducible");
+        }
+    }
+
+    #[test]
+    fn gemm_is_bitwise_identical_across_thread_counts() {
+        let (m, k, n) = (65, 33, 47);
+        let a = mat(m, k, 3);
+        let b = mat(k, n, 4);
+        let run = |par: Parallelism| {
+            let mut out = Matrix::zeros(m, n);
+            let mut scratch = Scratch::with_parallelism(par);
+            gemm(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                &mut scratch,
+            );
+            out
+        };
+        let single = run(Parallelism::Single);
+        for t in [1, 2, 3, 4, 7] {
+            assert_eq!(single, run(Parallelism::Threads(t)), "{t} threads");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive_transpose_product_tightly() {
+        for (m, ca, cb) in [(1, 1, 1), (5, 3, 2), (31, 9, 13), (70, 40, 3), (16, 20, 33)] {
+            let a = mat(m, ca, 5);
+            let b = mat(m, cb, 6);
+            let mut out = Matrix::zeros(ca, cb);
+            let mut scratch = Scratch::new();
+            gemm_tn(
+                m,
+                ca,
+                cb,
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                &mut scratch,
+            );
+            let want = a.transpose().matmul_naive(&b);
+            let tol = 1e-13 * (1.0 + m as f64 * 16.0);
+            assert!((&out - &want).max_abs() <= tol, "({m},{ca},{cb})");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive_transpose_product() {
+        for (m, k, n) in [(1, 1, 1), (4, 6, 3), (20, 11, 9)] {
+            let a = mat(m, k, 7);
+            let b = mat(n, k, 8);
+            let mut out = Matrix::zeros(m, n);
+            let mut scratch = Scratch::new();
+            gemm_nt(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                &mut scratch,
+            );
+            let want = a.matmul_naive(&b.transpose());
+            assert!((&out - &want).max_abs() < 1e-10, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused() {
+        let (m, k, n) = (19, 13, 11);
+        let x = mat(m, k, 9);
+        let w = mat(k, n, 10);
+        let bias: Vec<f64> = (0..n).map(|j| j as f64 * 0.25 - 1.0).collect();
+        let mut z = Matrix::zeros(m, n);
+        let mut a = Matrix::zeros(m, n);
+        let mut scratch = Scratch::new();
+        gemm_bias_act(
+            m,
+            k,
+            n,
+            x.as_slice(),
+            w.as_slice(),
+            &bias,
+            z.as_mut_slice(),
+            a.as_mut_slice(),
+            |v| v.max(0.0),
+            &mut scratch,
+        );
+        let mut want_z = Matrix::zeros(m, n);
+        gemm(
+            m,
+            k,
+            n,
+            x.as_slice(),
+            w.as_slice(),
+            want_z.as_mut_slice(),
+            &mut scratch,
+        );
+        let want_z = want_z.add_row_broadcast(&bias);
+        assert_eq!(z, want_z);
+        assert_eq!(a, want_z.map(|v| v.max(0.0)));
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let mut scratch = Scratch::new();
+        // k = 0: product is the zero matrix.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut out = Matrix::filled(3, 2, 7.0);
+        gemm(
+            3,
+            0,
+            2,
+            a.as_slice(),
+            b.as_slice(),
+            out.as_mut_slice(),
+            &mut scratch,
+        );
+        assert_eq!(out, Matrix::zeros(3, 2));
+        // m = 0: nothing to write.
+        let mut empty: [f64; 0] = [];
+        gemm(
+            0,
+            4,
+            5,
+            &[],
+            &mat(4, 5, 1).into_vec(),
+            &mut empty,
+            &mut scratch,
+        );
+        // k = 0 in the fused kernel: z is the broadcast bias.
+        let bias = [1.5, -0.5];
+        let mut z = Matrix::filled(3, 2, 9.0);
+        let mut act = Matrix::filled(3, 2, 9.0);
+        gemm_bias_act(
+            3,
+            0,
+            2,
+            &[],
+            &[],
+            &bias,
+            z.as_mut_slice(),
+            act.as_mut_slice(),
+            |v| v.max(0.0),
+            &mut scratch,
+        );
+        assert_eq!(z, Matrix::from_fn(3, 2, |_, j| bias[j]));
+        assert_eq!(act, Matrix::from_fn(3, 2, |_, j| bias[j].max(0.0)));
+    }
+
+    #[test]
+    fn scratch_reuse_allocates_once() {
+        let (m, k, n) = (32, 20, 24);
+        let a = mat(m, k, 11);
+        let b = mat(k, n, 12);
+        let mut out = Matrix::zeros(m, n);
+        let mut scratch = Scratch::new();
+        gemm(
+            m,
+            k,
+            n,
+            a.as_slice(),
+            b.as_slice(),
+            out.as_mut_slice(),
+            &mut scratch,
+        );
+        let after_warmup = scratch.reallocs();
+        for _ in 0..10 {
+            gemm(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                &mut scratch,
+            );
+        }
+        assert_eq!(scratch.reallocs(), after_warmup, "steady state reallocated");
+    }
+
+    #[test]
+    fn gemv_matches_matvec_semantics() {
+        let a = mat(6, 9, 13);
+        let v: Vec<f64> = (0..9).map(|i| i as f64 - 4.0).collect();
+        let mut out = vec![0.0; 6];
+        gemv(6, 9, a.as_slice(), &v, &mut out);
+        for (i, o) in out.iter().enumerate() {
+            let want = dot_unrolled(a.row(i), &v);
+            assert_eq!(o.to_bits(), want.to_bits());
+        }
+    }
+}

@@ -16,6 +16,10 @@
 //!   Xavier/Glorot and Kaiming/He), used for reproducible network weights.
 //! * [`vecops`] — slice-level numeric helpers (dot products, norms, means,
 //!   variances) shared by the statistics crate.
+//! * [`kernels`] — cache-blocked, packed, optionally std-thread-parallel
+//!   GEMM kernels with a reusable [`kernels::Scratch`] workspace; the
+//!   engine behind [`Matrix::matmul`] and the zero-allocation `*_into`
+//!   entry points used by the training and serving hot paths.
 //!
 //! # Example
 //!
@@ -35,8 +39,10 @@ mod error;
 mod matrix;
 
 pub mod init;
+pub mod kernels;
 pub mod linalg;
 pub mod vecops;
 
 pub use error::ShapeError;
+pub use kernels::{Parallelism, Scratch};
 pub use matrix::Matrix;

@@ -1,7 +1,17 @@
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
+use crate::kernels::{self, Scratch};
 use crate::ShapeError;
+
+thread_local! {
+    /// Pack buffer reused by the convenience (allocating-output) matmul
+    /// entry points so repeated calls don't re-allocate panel space.
+    /// Always single-threaded; callers wanting parallel kernels go
+    /// through the `*_into` APIs with their own [`Scratch`].
+    static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
 
 /// Dense, row-major `f64` matrix.
 ///
@@ -232,15 +242,44 @@ impl Matrix {
     /// Returns the transposed matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out`, reshaping it as
+    /// needed (allocation-free once `out` has enough capacity).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.ensure_shape(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
+    }
+
+    /// Reshapes the matrix to `rows x cols`, reusing the existing
+    /// allocation when the capacity suffices. Element values after the
+    /// call are unspecified — callers are expected to overwrite them.
+    ///
+    /// Returns `true` if the underlying buffer had to grow (i.e. the
+    /// call heap-allocated); steady-state workspace code asserts this
+    /// stays `false` after warm-up.
+    pub fn ensure_shape(&mut self, rows: usize, cols: usize) -> bool {
+        let needed = rows * cols;
+        let grew = needed > self.data.capacity();
+        self.data.resize(needed, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+        grew
     }
 
     /// Matrix product `self * rhs`.
+    ///
+    /// Runs on the register-tiled FMA kernel in [`crate::kernels`]:
+    /// exactly reproducible (bitwise across batch sizes and thread
+    /// counts) and verified to tight tolerance against
+    /// [`Matrix::matmul_naive`] — the original triple loop, kept as the
+    /// reference oracle the kernels are property-tested against.
     ///
     /// # Panics
     ///
@@ -260,13 +299,41 @@ impl Matrix {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        LOCAL_SCRATCH.with(|s| {
+            kernels::gemm(
+                self.rows,
+                self.cols,
+                rhs.cols,
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                &mut s.borrow_mut(),
+            );
+        });
+        Ok(out)
+    }
+
+    /// Reference matrix product: the original i-k-j triple loop with a
+    /// strictly ascending `k` accumulation per element. Kept as the
+    /// oracle that every tiled/fused/parallel kernel is verified
+    /// against to tight tolerance (the kernels accumulate in the same
+    /// order but with fused multiply-adds, so only the per-step
+    /// rounding differs). Not used on any hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_naive: inner dimensions {} vs {}",
+            self.cols, rhs.rows
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order keeps the inner accesses sequential for row-major data.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
@@ -274,15 +341,138 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        out
+    }
+
+    /// `self * rhs` written into `out` (reshaped as needed) through
+    /// `scratch` — the zero-allocation steady-state entry point.
+    /// Bitwise identical to [`Matrix::matmul`] for every batch size and
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_into: inner dimensions {} vs {}",
+            self.cols, rhs.rows
+        );
+        if out.ensure_shape(self.rows, rhs.cols) {
+            scratch.note_grow();
+        }
+        kernels::gemm(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            scratch,
+        );
+    }
+
+    /// `self * rhs^T` without the caller materialising the transpose
+    /// (the kernel transposes `rhs` into its reusable scratch and runs
+    /// the register-tiled FMA micro-kernel). This is the `δ · W^T`
+    /// step of the dense backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        LOCAL_SCRATCH.with(|s| self.matmul_nt_into(rhs, &mut out, &mut s.borrow_mut()));
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-owned output via `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: inner dimensions {} vs {}",
+            self.cols, rhs.cols
+        );
+        if out.ensure_shape(self.rows, rhs.rows) {
+            scratch.note_grow();
+        }
+        kernels::gemm_nt(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            scratch,
+        );
+    }
+
+    /// `self^T * rhs` without materialising the transpose. This is the
+    /// `x^T · δ` weight-gradient step of the dense backward pass;
+    /// matches `self.transpose().matmul_naive(rhs)` to tight tolerance
+    /// (same summation order, FMA rounding) and is exactly
+    /// reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        LOCAL_SCRATCH.with(|s| self.matmul_tn_into(rhs, &mut out, &mut s.borrow_mut()));
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-owned output via `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: shared dimensions {} vs {}",
+            self.rows, rhs.rows
+        );
+        if out.ensure_shape(self.cols, rhs.cols) {
+            scratch.note_grow();
+        }
+        kernels::gemm_tn(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            scratch,
+        );
     }
 
     /// Matrix-vector product `self * v`.
+    ///
+    /// Runs on the unrolled dot kernel ([`kernels::gemv`]); see
+    /// [`Matrix::matvec_into`] for the allocation-free variant used by
+    /// the per-record serving path.
     ///
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix-vector product written into `out` (resized as needed;
+    /// allocation-free once its capacity suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(
             v.len(),
             self.cols,
@@ -290,9 +480,8 @@ impl Matrix {
             v.len(),
             self.cols
         );
-        self.rows_iter()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        out.resize(self.rows, 0.0);
+        kernels::gemv(self.rows, self.cols, &self.data, v, out);
     }
 
     /// Elementwise sum, fallible.
@@ -418,12 +607,20 @@ impl Matrix {
     /// Column-wise sums as a vector of length `cols`.
     pub fn col_sums(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.cols];
+        self.col_sums_into(&mut sums);
+        sums
+    }
+
+    /// Column-wise sums written into `out` (resized as needed;
+    /// allocation-free once its capacity suffices).
+    pub fn col_sums_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for row in self.rows_iter() {
-            for (s, &x) in sums.iter_mut().zip(row) {
+            for (s, &x) in out.iter_mut().zip(row) {
                 *s += x;
             }
         }
-        sums
     }
 
     /// Column-wise means as a vector of length `cols`.
@@ -462,6 +659,23 @@ impl Matrix {
             cols: self.cols,
             data,
         }
+    }
+
+    /// Copies the given rows into `out` (reshaped as needed;
+    /// allocation-free once its capacity suffices). Used by the
+    /// trainer's mini-batch gather so the step loop stops allocating.
+    /// Returns `true` if `out` had to grow, like
+    /// [`Matrix::ensure_shape`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) -> bool {
+        let grew = out.ensure_shape(indices.len(), self.cols);
+        for (dst, &i) in out.data.chunks_exact_mut(self.cols.max(1)).zip(indices) {
+            dst.copy_from_slice(self.row(i));
+        }
+        grew
     }
 
     /// Extracts the sub-matrix of the given columns (copying).

@@ -1,5 +1,6 @@
 //! Property-based tests for the tensor kernel.
 
+use occusense_tensor::kernels::{self, Parallelism, Scratch};
 use occusense_tensor::{linalg, vecops, Matrix};
 use proptest::prelude::*;
 
@@ -140,5 +141,146 @@ proptest! {
         let resid: Vec<f64> = b.iter().zip(&pred).map(|(y, p)| y - p).collect();
         let at_r = a.transpose().matvec(&resid);
         prop_assert!(vecops::norm(&at_r) < 1e-7);
+    }
+}
+
+/// Strategy: a multiplicable `(m×k, k×n)` pair whose shapes span every
+/// kernel path — empty (`m`, `k` or `n` zero), 1×1, tall, wide, below
+/// and above the packing threshold, and non-multiples of the block
+/// sizes.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..=40, 0usize..=20, 0usize..=70).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(-100.0f64..100.0, m * k)
+            .prop_map(move |data| Matrix::from_vec(m, k, data));
+        let b = prop::collection::vec(-100.0f64..100.0, k * n)
+            .prop_map(move |data| Matrix::from_vec(k, n, data));
+        (a, b)
+    })
+}
+
+proptest! {
+    // ---- kernel layer: tiled / fused / parallel vs the naive oracle ----
+
+    #[test]
+    fn tiled_matmul_matches_naive_reference_tightly((a, b) in matmul_pair()) {
+        // The register-tiled kernel accumulates every output element in
+        // ascending-k order with a single accumulator — the naive
+        // triple loop's operation order — but through fused
+        // multiply-adds, so the match is tight-tolerance (one rounding
+        // per step, bounded by the worst-case partial sum), not
+        // bitwise. The kernel itself is exactly reproducible: a repeat
+        // call must match bit-for-bit.
+        let got = a.matmul(&b);
+        let want = a.matmul_naive(&b);
+        let tol = 1e-12 * (1.0 + a.cols() as f64 * 100.0 * 100.0);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((x - y).abs() <= tol, "tiled {} vs naive {}", x, y);
+        }
+        prop_assert_eq!(a.matmul(&b), got);
+    }
+
+    #[test]
+    fn parallel_gemm_is_bitwise_deterministic((a, b) in matmul_pair()) {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut single = vec![0.0; m * n];
+        let mut scratch = Scratch::new();
+        kernels::gemm(m, k, n, a.as_slice(), b.as_slice(), &mut single, &mut scratch);
+        for threads in [1usize, 2, 4] {
+            let mut out = vec![1.0; m * n]; // poisoned: every element must be written
+            let mut scratch = Scratch::with_parallelism(Parallelism::Threads(threads));
+            kernels::gemm(m, k, n, a.as_slice(), b.as_slice(), &mut out, &mut scratch);
+            prop_assert_eq!(&out, &single, "thread count {} changed bits", threads);
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_bitwise((x, w) in matmul_pair()) {
+        let (m, k) = x.shape();
+        let n = w.cols();
+        let bias: Vec<f64> = (0..n).map(|j| j as f64 * 0.25 - 1.0).collect();
+        let act = |v: f64| v.max(0.0);
+        let mut z = vec![0.0; m * n];
+        let mut a = vec![0.0; m * n];
+        let mut scratch = Scratch::new();
+        kernels::gemm_bias_act(
+            m, k, n, x.as_slice(), w.as_slice(), &bias, &mut z, &mut a, act, &mut scratch,
+        );
+        // The fused pass must be bitwise identical to matmul followed
+        // by a broadcast bias add and activation.
+        let mut z_ref = x.matmul(&w);
+        for row in 0..m {
+            for (v, bv) in z_ref.row_mut(row).iter_mut().zip(&bias) {
+                *v += bv;
+            }
+        }
+        prop_assert_eq!(&z, z_ref.as_slice());
+        let a_ref: Vec<f64> = z_ref.as_slice().iter().map(|&v| act(v)).collect();
+        prop_assert_eq!(&a, &a_ref);
+    }
+
+    #[test]
+    fn gemm_tn_matches_materialised_transpose((a, b) in matmul_pair()) {
+        // x^T · δ without materialising x^T (Dense::backward's weight
+        // gradient): rank-1 FMA accumulation in ascending row order —
+        // the naive transpose product's summation order with one
+        // rounding per step, so tight tolerance plus exact
+        // reproducibility on a repeat call.
+        let got = a.matmul_tn(&a);
+        let want = a.transpose().matmul_naive(&a);
+        let tol = 1e-12 * (1.0 + a.rows() as f64 * 100.0 * 100.0);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((x - y).abs() <= tol, "tn {} vs naive {}", x, y);
+        }
+        prop_assert_eq!(a.matmul_tn(&a), got);
+        let _ = b;
+    }
+
+    #[test]
+    fn gemm_nt_matches_materialised_transpose((a, b) in matmul_pair()) {
+        // δ · W^T without the caller materialising W^T
+        // (Dense::backward's input gradient): the kernel transposes B
+        // into its reusable scratch and runs the rank-1 FMA
+        // micro-kernel, so the comparison against the naive product is
+        // tight-tolerance (FMA rounds once per step), not bitwise.
+        // Determinism of the nt path itself is still exact: a repeat
+        // call must match bitwise.
+        let bt = b.transpose();
+        let got = a.matmul_nt(&bt);
+        let want = a.matmul(&b);
+        let tol = 1e-12 * (1.0 + a.cols() as f64 * 100.0 * 100.0);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((x - y).abs() <= tol, "nt {} vs naive {}", x, y);
+        }
+        prop_assert_eq!(a.matmul_nt(&bt), got);
+    }
+
+    #[test]
+    fn matvec_matches_single_column_matmul(m in matrix_strategy(12)) {
+        let v: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        // matvec runs on the unrolled dot kernel (different summation
+        // order from the naive-order matmul), so tolerance here —
+        // but matvec_into must be bitwise equal to matvec.
+        let got = m.matvec(&v);
+        let want = m.matmul(&Matrix::col_vector(&v)).col(0);
+        let tol = 1e-12 * (1.0 + m.cols() as f64);
+        for (x, y) in got.iter().zip(&want) {
+            prop_assert!((x - y).abs() <= tol, "matvec {} vs matmul {}", x, y);
+        }
+        let mut out = Vec::new();
+        m.matvec_into(&v, &mut out);
+        prop_assert_eq!(out, got);
+    }
+
+    #[test]
+    fn batch_size_never_changes_a_row((a, b) in matmul_pair()) {
+        // Scoring a row alone (the serve per-record path) is bitwise
+        // identical to scoring it inside any batch — every output
+        // element is a pure function of its own A-row and B-column,
+        // the contract the serving runtime relies on.
+        prop_assume!(a.rows() > 0);
+        let full = a.matmul(&b);
+        let row = Matrix::row_vector(a.row(a.rows() / 2));
+        prop_assert_eq!(row.matmul(&b).as_slice(), full.row(a.rows() / 2));
     }
 }
