@@ -265,6 +265,7 @@ impl OccupancyDetector {
     /// same records, and (element for element) to
     /// [`predict_record`](Self::predict_record) — batching and
     /// parallelism never change a score.
+    // lint:no_alloc
     pub fn predict_proba_slice_into(
         &self,
         records: &[CsiRecord],
@@ -279,14 +280,17 @@ impl OccupancyDetector {
             FittedModel::Mlp(m) => m.predict_proba_into(&ws.x, &mut ws.mlp_ws, out),
             FittedModel::LogReg(m) => {
                 out.clear();
+                // lint:allow(alloc, reason = "baseline model path: LogReg scoring is not the serve hot path and returns a fresh Vec internally anyway")
                 out.extend(m.predict_proba(&ws.x));
             }
             FittedModel::Forest(m) => {
                 out.clear();
+                // lint:allow(alloc, reason = "baseline model path: random-forest scoring is not the serve hot path and returns a fresh Vec internally anyway")
                 out.extend(m.predict(&ws.x));
             }
         }
     }
+    // lint:end_no_alloc
 
     /// Binary occupancy predictions for every record.
     pub fn predict(&self, dataset: &Dataset) -> Vec<u8> {

@@ -1,0 +1,139 @@
+//! Rule scopes and the crate layering — the single place that encodes
+//! *where* each contract applies.
+//!
+//! Scopes are path predicates over workspace-root-relative paths
+//! (forward slashes). An entry ending in `/` matches as a directory
+//! prefix; anything else matches the exact file. `exclude` entries win
+//! over `include` entries.
+//!
+//! # Adding a crate
+//!
+//! New workspace crates must be given a layer in [`LAYERS`] — the
+//! layering rule fails on manifests whose package it does not know,
+//! which is deliberate: an unplaced crate has an unchecked dependency
+//! direction. Pick the smallest layer strictly above everything the
+//! crate depends on (dev-dependencies included).
+
+/// A set of include/exclude path patterns.
+pub struct Scope {
+    include: &'static [&'static str],
+    exclude: &'static [&'static str],
+}
+
+impl Scope {
+    pub const fn new(include: &'static [&'static str], exclude: &'static [&'static str]) -> Self {
+        Self { include, exclude }
+    }
+
+    /// Whether `rel` (root-relative, forward slashes) is in scope.
+    pub fn contains(&self, rel: &str) -> bool {
+        let matches = |pat: &str| {
+            if let Some(dir) = pat.strip_suffix('/') {
+                rel.starts_with(dir) && rel.as_bytes().get(dir.len()) == Some(&b'/')
+            } else {
+                rel == pat
+            }
+        };
+        self.include.iter().any(|p| matches(p)) && !self.exclude.iter().any(|p| matches(p))
+    }
+}
+
+/// Panic-freedom scope: the serve library hot path (driver binaries
+/// excluded — a CLI may abort on misuse) and the tensor micro-kernels.
+/// `#[cfg(test)]` modules are always exempt.
+pub const PANIC_SCOPE: Scope = Scope::new(
+    &["crates/serve/src/", "crates/tensor/src/kernels.rs"],
+    &["crates/serve/src/bin/"],
+);
+
+/// Slice-indexing scope — same surface as [`PANIC_SCOPE`]: an
+/// out-of-bounds index is a panic with worse diagnostics.
+pub const INDEX_SCOPE: Scope = PANIC_SCOPE;
+
+/// Determinism scope: every numeric path that feeds the paper's
+/// reproduction or the bitwise-reproducibility contracts. Driver
+/// binaries are excluded (flag parsing over a `HashMap` cannot change
+/// a score); serve and bench are excluded because wall-clock timing is
+/// their job — scores stay deterministic because everything they call
+/// lives inside this scope.
+pub const DETERMINISM_SCOPE: Scope = Scope::new(
+    &[
+        "crates/tensor/src/",
+        "crates/nn/src/",
+        "crates/stats/src/",
+        "crates/channel/src/",
+        "crates/dataset/src/",
+        "crates/baselines/src/",
+        "crates/sim/src/",
+        "crates/core/src/",
+    ],
+    &["crates/core/src/bin/"],
+);
+
+/// Paths the file walker skips entirely. The fixture corpus contains
+/// *deliberate* violations the self-tests assert on.
+pub const WALK_EXCLUDE: &[&str] = &["crates/lint/tests/fixtures/", "target/"];
+
+/// The dependency layering, lowest (most fundamental) first. Every
+/// manifest dependency edge must point to a **strictly lower** layer:
+/// `tensor → nn → core → serve` with no back- or lateral edges.
+pub const LAYERS: &[(&str, u32)] = &[
+    // Offline shims and the linter itself: depend on nothing in-tree.
+    ("occusense-rand", 0),
+    ("occusense-criterion", 0),
+    ("occusense-lint", 0),
+    // proptest-shim sits above rand-shim (seeded case generation).
+    ("occusense-proptest", 1),
+    // The numeric substrate.
+    ("occusense-tensor", 2),
+    // Domain crates over tensor.
+    ("occusense-stats", 3),
+    ("occusense-channel", 3),
+    ("occusense-dataset", 3),
+    ("occusense-nn", 3),
+    ("occusense-baselines", 3),
+    // The simulator composes channel + dataset.
+    ("occusense-sim", 4),
+    // The paper pipeline composes everything below.
+    ("occusense-core", 5),
+    // The serving runtime sits on core.
+    ("occusense-serve", 6),
+    // Harnesses see the whole stack.
+    ("occusense-bench", 7),
+    ("occusense-integration", 7),
+];
+
+/// Layer of `package`, if known.
+pub fn layer_of(package: &str) -> Option<u32> {
+    LAYERS
+        .iter()
+        .find(|(name, _)| *name == package)
+        .map(|&(_, layer)| layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_scopes_match_prefixes_not_substrings() {
+        assert!(PANIC_SCOPE.contains("crates/serve/src/worker.rs"));
+        assert!(PANIC_SCOPE.contains("crates/tensor/src/kernels.rs"));
+        assert!(!PANIC_SCOPE.contains("crates/serve/src/bin/serve_sim.rs"));
+        assert!(!PANIC_SCOPE.contains("crates/serve/srcx/worker.rs"));
+        assert!(!PANIC_SCOPE.contains("crates/tensor/src/lib.rs"));
+    }
+
+    #[test]
+    fn layers_are_known_for_every_workspace_crate() {
+        for name in [
+            "occusense-tensor",
+            "occusense-nn",
+            "occusense-core",
+            "occusense-serve",
+        ] {
+            assert!(layer_of(name).is_some(), "{name}");
+        }
+        assert!(layer_of("left-pad").is_none());
+    }
+}

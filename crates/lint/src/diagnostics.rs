@@ -1,0 +1,127 @@
+//! Diagnostic types, rule identities, and the text / JSON renderers.
+
+use std::fmt;
+
+/// Every rule the analyzer can fire, grouped into the four contract
+/// families of DESIGN.md §9. The family decides the process exit bit,
+/// so CI logs show *which* contract broke from the exit code alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in a panic-free scope.
+    Panic,
+    /// Slice/array indexing (`x[i]`, `&x[a..b]`) in a panic-free scope.
+    Index,
+    /// Nondeterminism source (`HashMap`, `Instant::now`, …) in a
+    /// numeric path.
+    Determinism,
+    /// Allocating call inside a `// lint:no_alloc` region.
+    Alloc,
+    /// Missing `#![deny(unsafe_code)]` crate-root attribute, or an
+    /// `unsafe` token anywhere.
+    Unsafe,
+    /// A manifest dependency edge that points up (or sideways) in the
+    /// crate layering.
+    Layering,
+    /// Malformed/unknown `lint:` directive, missing reason, unmatched
+    /// region marker.
+    Directive,
+}
+
+/// Exit-code bits per rule family (OR-ed together; 0 = clean).
+pub const EXIT_PANIC: i32 = 1;
+pub const EXIT_DETERMINISM: i32 = 2;
+pub const EXIT_ALLOC: i32 = 4;
+pub const EXIT_LAYERING: i32 = 8;
+pub const EXIT_DIRECTIVE: i32 = 16;
+
+impl Rule {
+    /// The kebab-free name used in diagnostics and `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::Determinism => "determinism",
+            Rule::Alloc => "alloc",
+            Rule::Unsafe => "unsafe",
+            Rule::Layering => "layering",
+            Rule::Directive => "directive",
+        }
+    }
+
+    /// The family bit this rule contributes to the process exit code.
+    pub fn exit_bit(self) -> i32 {
+        match self {
+            Rule::Panic | Rule::Index => EXIT_PANIC,
+            Rule::Determinism => EXIT_DETERMINISM,
+            Rule::Alloc => EXIT_ALLOC,
+            Rule::Unsafe | Rule::Layering => EXIT_LAYERING,
+            Rule::Directive => EXIT_DIRECTIVE,
+        }
+    }
+
+    /// Rules an inline `lint:allow` may waive. `unsafe`/`layering` are
+    /// structural contracts with no escape hatch, and `directive`
+    /// violations are errors in the escape hatch itself.
+    pub fn allowable(name: &str) -> bool {
+        matches!(name, "panic" | "index" | "determinism" | "alloc")
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violation at a source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Workspace-root-relative path with forward slashes.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: u32, col: u32, rule: Rule, message: impl Into<String>) -> Self {
+        Self {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

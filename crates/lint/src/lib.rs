@@ -1,0 +1,168 @@
+//! # occusense-lint
+//!
+//! The workspace's own static analyzer: a dependency-free source and
+//! manifest checker that turns the contracts PRs 1–3 established —
+//! bitwise-deterministic kernels, panic-supervised serve workers,
+//! allocation-free steady-state hot paths, `tensor → nn → core →
+//! serve` layering — into rules a CI gate can fail on. One stray
+//! `unwrap()`, `HashMap` iteration or `Instant::now()` in a numeric
+//! path silently breaks the reproducibility the paper's five
+//! temporally-disjoint folds depend on; this crate makes that a
+//! build-breaking diagnostic instead.
+//!
+//! The analyzer has **no dependencies** (not even the in-tree shims):
+//! it carries its own lightweight Rust tokenizer
+//! ([`tokenizer`] — string/char/raw-string/comment aware, no `syn`;
+//! the build environment is offline), so rules can never be fooled by
+//! `unwrap(` inside a string literal or a doc comment.
+//!
+//! ## Rule families
+//!
+//! | family | rules | scope |
+//! |---|---|---|
+//! | panic-freedom | `panic`, `index` | serve hot path, `tensor::kernels` |
+//! | determinism | `determinism` | every numeric crate's `src` |
+//! | allocation | `alloc` | `// lint:no_alloc` regions |
+//! | unsafe/layering | `unsafe`, `layering` | crate roots + manifests |
+//! | the hatch itself | `directive` | everywhere |
+//!
+//! Waivers are inline and **must carry a reason**:
+//! `lint:allow(<rule>, reason = "...")` (see [`directives`]). The
+//! `unsafe` and `layering` rules have no waiver. DESIGN.md §9 holds
+//! the full rule table and the how-to-add-a-rule walkthrough.
+//!
+//! ## Exit codes
+//!
+//! The binary exits with the OR of the offended families' bits —
+//! panic `1`, determinism `2`, alloc `4`, unsafe/layering `8`,
+//! directive `16` — so a CI log identifies the broken contract from
+//! the code alone. `0` is a clean tree.
+
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod directives;
+pub mod manifest;
+pub mod rules;
+pub mod tokenizer;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diagnostics::{json_escape, Diagnostic};
+
+/// Result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All surviving violations, sorted by (file, line, col).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of Rust sources scanned.
+    pub sources_scanned: usize,
+    /// Number of manifests checked.
+    pub manifests_checked: usize,
+}
+
+impl LintReport {
+    /// OR of the offended rule families' exit bits; `0` when clean.
+    pub fn exit_code(&self) -> i32 {
+        self.diagnostics
+            .iter()
+            .fold(0, |code, d| code | d.rule.exit_bit())
+    }
+
+    /// Human-readable rustc-style rendering, one line per violation
+    /// plus a summary trailer.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "occusense-lint: {} violation(s) across {} source file(s) and {} manifest(s)\n",
+            self.diagnostics.len(),
+            self.sources_scanned,
+            self.manifests_checked
+        ));
+        out
+    }
+
+    /// Machine-readable report (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+                 \"message\": \"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                d.col,
+                d.rule,
+                json_escape(&d.message)
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"sources_scanned\": {},\n  \"manifests_checked\": {},\n  \
+             \"exit_code\": {}\n}}\n",
+            self.sources_scanned,
+            self.manifests_checked,
+            self.exit_code()
+        ));
+        out
+    }
+}
+
+/// Lints the workspace rooted at `root`: every in-scope Rust source
+/// through the source rules, every crate manifest through the layering
+/// rule.
+pub fn run(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+
+    let aliases = match fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(ws) => manifest::workspace_aliases(&ws),
+        Err(_) => Default::default(),
+    };
+
+    for path in walk::crate_manifests(root)? {
+        let rel = walk::rel_path(root, &path);
+        let contents = fs::read_to_string(&path)?;
+        report
+            .diagnostics
+            .extend(manifest::check_manifest(&rel, &contents, &aliases));
+        report.manifests_checked += 1;
+    }
+
+    for path in walk::rust_sources(root)? {
+        let rel = walk::rel_path(root, &path);
+        let src = fs::read_to_string(&path)?;
+        report.diagnostics.extend(rules::analyze_source(&rel, &src));
+        report.sources_scanned += 1;
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,74 @@
+//! `occusense-lint` — the CLI entry point.
+//!
+//! ```text
+//! cargo run -p occusense-lint             # lint the workspace, rustc-style output
+//! cargo run -p occusense-lint -- --json   # machine-readable report on stdout
+//! cargo run -p occusense-lint -- --root <dir>
+//! ```
+//!
+//! Exit code: OR of the offended rule families' bits (panic `1`,
+//! determinism `2`, alloc `4`, unsafe/layering `8`, directive `16`);
+//! `0` on a clean tree, `64` on usage errors.
+
+#![deny(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use occusense_lint::{find_workspace_root, run};
+
+const USAGE: &str = "usage: occusense-lint [--json] [--root <workspace-dir>]";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(64);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(64);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("occusense-lint: no workspace root found (try --root)");
+            return ExitCode::from(64);
+        }
+    };
+
+    match run(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            ExitCode::from(report.exit_code().clamp(0, 255) as u8)
+        }
+        Err(err) => {
+            eprintln!("occusense-lint: io error: {err}");
+            ExitCode::from(64)
+        }
+    }
+}

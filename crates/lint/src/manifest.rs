@@ -1,0 +1,220 @@
+//! Manifest parsing and the layering rule.
+//!
+//! A tiny single-purpose TOML subset reader (section headers +
+//! one-line `key = value` entries — exactly the shape of this
+//! workspace's manifests), feeding the layering check: every
+//! dependency edge in every `crates/*/Cargo.toml` must point to a
+//! crate on a **strictly lower** layer of [`crate::config::LAYERS`].
+//! Dev- and build-dependencies are held to the same standard — a
+//! test-only back-edge still creates a build cycle hazard and an
+//! architecture leak.
+//!
+//! Alias renames (`rand = { path = "crates/rand-shim", package =
+//! "occusense-rand" }`) are resolved through the root manifest's
+//! `[workspace.dependencies]` table, so rules always reason about real
+//! package names.
+
+use std::collections::BTreeMap;
+
+use crate::config::layer_of;
+use crate::diagnostics::{Diagnostic, Rule};
+
+/// One `key = value` entry with its line number.
+#[derive(Debug)]
+struct Entry {
+    key: String,
+    value: String,
+    line: u32,
+}
+
+/// Sections of a manifest: section name → entries.
+fn sections(contents: &str) -> BTreeMap<String, Vec<Entry>> {
+    let mut out: BTreeMap<String, Vec<Entry>> = BTreeMap::new();
+    let mut current = String::new();
+    for (idx, raw) in contents.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            current = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            out.entry(current.clone()).or_default();
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            out.entry(current.clone()).or_default().push(Entry {
+                key: key.trim().trim_matches('"').to_string(),
+                value: value.trim().to_string(),
+                line: idx as u32 + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Dependency-alias → package-name map from the root manifest's
+/// `[workspace.dependencies]` (identity for entries without a
+/// `package =` rename).
+pub fn workspace_aliases(root_manifest: &str) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    if let Some(entries) = sections(root_manifest).get("workspace.dependencies") {
+        for e in entries {
+            let package = e
+                .value
+                .split_once("package")
+                .and_then(|(_, tail)| tail.split('"').nth(1))
+                .unwrap_or(&e.key)
+                .to_string();
+            map.insert(e.key.clone(), package);
+        }
+    }
+    map
+}
+
+/// Package name declared in a crate manifest's `[package]` section.
+pub fn package_name(manifest: &str) -> Option<String> {
+    sections(manifest)
+        .get("package")?
+        .iter()
+        .find(|e| e.key == "name")
+        .map(|e| e.value.trim_matches('"').to_string())
+}
+
+/// Layering + `publish` hygiene over one crate manifest.
+///
+/// `aliases` comes from [`workspace_aliases`]; dependency keys are
+/// resolved through it (dotted keys like `rand.workspace` resolve on
+/// the part before the first dot).
+pub fn check_manifest(
+    rel: &str,
+    manifest: &str,
+    aliases: &BTreeMap<String, String>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let secs = sections(manifest);
+    let Some(package) = package_name(manifest) else {
+        diags.push(Diagnostic::new(
+            rel,
+            1,
+            1,
+            Rule::Layering,
+            "manifest has no [package] name",
+        ));
+        return diags;
+    };
+    let Some(layer) = layer_of(&package) else {
+        diags.push(Diagnostic::new(
+            rel,
+            1,
+            1,
+            Rule::Layering,
+            format!("crate `{package}` has no layer assignment; add it to config::LAYERS"),
+        ));
+        return diags;
+    };
+
+    for section in ["dependencies", "dev-dependencies", "build-dependencies"] {
+        let Some(entries) = secs.get(section) else {
+            continue;
+        };
+        for e in entries {
+            let alias = e.key.split('.').next().unwrap_or(&e.key);
+            let dep = aliases.get(alias).cloned().unwrap_or_else(|| {
+                // In-line renames: `x = { ..., package = "y" }`.
+                e.value
+                    .split_once("package")
+                    .and_then(|(_, tail)| tail.split('"').nth(1))
+                    .unwrap_or(alias)
+                    .to_string()
+            });
+            // Only police the in-tree graph; a genuinely external
+            // dependency (none exist today — the tree is offline)
+            // would surface as an unknown crate below only if it
+            // collides with the occusense- prefix.
+            if !dep.starts_with("occusense-") {
+                continue;
+            }
+            match layer_of(&dep) {
+                None => diags.push(Diagnostic::new(
+                    rel,
+                    e.line,
+                    1,
+                    Rule::Layering,
+                    format!("dependency `{dep}` has no layer assignment; add it to config::LAYERS"),
+                )),
+                Some(dep_layer) if dep_layer >= layer => diags.push(Diagnostic::new(
+                    rel,
+                    e.line,
+                    1,
+                    Rule::Layering,
+                    format!(
+                        "layering violation: `{package}` (layer {layer}) must not depend on \
+                         `{dep}` (layer {dep_layer}); edges point strictly down the \
+                         tensor → nn → core → serve stack"
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALIASES_TOML: &str = r#"
+[workspace.dependencies]
+occusense-tensor = { path = "crates/tensor" }
+occusense-serve = { path = "crates/serve" }
+occusense-bench = { path = "crates/bench" }
+rand = { path = "crates/rand-shim", package = "occusense-rand" }
+"#;
+
+    #[test]
+    fn aliases_resolve_renames() {
+        let aliases = workspace_aliases(ALIASES_TOML);
+        assert_eq!(
+            aliases.get("rand").map(String::as_str),
+            Some("occusense-rand")
+        );
+        assert_eq!(
+            aliases.get("occusense-tensor").map(String::as_str),
+            Some("occusense-tensor")
+        );
+    }
+
+    #[test]
+    fn downward_edges_pass_upward_edges_fail() {
+        let aliases = workspace_aliases(ALIASES_TOML);
+        let ok = r#"
+[package]
+name = "occusense-serve"
+
+[dependencies]
+occusense-tensor.workspace = true
+rand.workspace = true
+"#;
+        assert!(check_manifest("crates/serve/Cargo.toml", ok, &aliases).is_empty());
+
+        let bad = r#"
+[package]
+name = "occusense-tensor"
+
+[dependencies]
+occusense-serve.workspace = true
+"#;
+        let diags = check_manifest("crates/tensor/Cargo.toml", bad, &aliases);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("layering violation"));
+    }
+
+    #[test]
+    fn unknown_crates_must_be_placed() {
+        let aliases = workspace_aliases(ALIASES_TOML);
+        let unknown = "[package]\nname = \"occusense-mystery\"\n";
+        let diags = check_manifest("crates/mystery/Cargo.toml", unknown, &aliases);
+        assert!(diags[0].message.contains("no layer assignment"));
+    }
+}

@@ -1,0 +1,388 @@
+//! A lightweight Rust tokenizer: the lexical substrate every source
+//! rule runs on.
+//!
+//! The analyzer must never mistake `unwrap(` inside a string literal or
+//! a comment for a real call site, so rules do not grep raw text — they
+//! walk this token stream, in which strings, char literals, lifetimes
+//! and (nested) comments are single opaque tokens. The lexer is *not* a
+//! full Rust grammar (no `syn` — the build environment is offline); it
+//! recognises exactly the lexical classes the rules need:
+//!
+//! * line comments (kept, with text — lint directives live there),
+//! * block comments (kept, nestable),
+//! * string literals: plain, byte (`b"…"`), raw (`r#"…"#`, any hash
+//!   count), raw byte (`br#"…"#`),
+//! * char and byte-char literals vs lifetimes (`'a'` vs `'a`),
+//! * raw identifiers (`r#match`),
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Every token carries a 1-based `line`/`col` so diagnostics point at
+//! the exact source position.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, stored
+    /// without the `r#` prefix).
+    Ident,
+    /// Lifetime such as `'a` (text includes the quote).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavour (text includes delimiters).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment, possibly nested.
+    BlockComment,
+    /// A single punctuation character (text is that character).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for `Punct` tokens equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for `Ident` tokens equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Unterminated literals and comments end at EOF
+/// rather than erroring — the linter reports on what it can see.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+
+    while let Some(c) = lx.peek(0) {
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        let kind = match c {
+            '/' if lx.peek(1) == Some('/') => {
+                lx.take_while(&mut text, |c| c != '\n');
+                TokenKind::LineComment
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lex_block_comment(&mut lx, &mut text);
+                TokenKind::BlockComment
+            }
+            '"' => {
+                lex_string(&mut lx, &mut text);
+                TokenKind::Str
+            }
+            'b' if lx.peek(1) == Some('"') => {
+                text.push('b');
+                lx.bump();
+                lex_string(&mut lx, &mut text);
+                TokenKind::Str
+            }
+            'b' if lx.peek(1) == Some('\'') => {
+                text.push('b');
+                lx.bump();
+                lex_char(&mut lx, &mut text);
+                TokenKind::Char
+            }
+            'r' | 'b' if raw_string_hashes(&lx, c).is_some() => {
+                let hashes = raw_string_hashes(&lx, c).unwrap_or(0);
+                lex_raw_string(&mut lx, &mut text, hashes);
+                TokenKind::Str
+            }
+            'r' if lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) => {
+                lx.bump();
+                lx.bump();
+                lx.take_while(&mut text, is_ident_continue);
+                TokenKind::Ident
+            }
+            '\'' => {
+                if lx.peek(1) == Some('\\')
+                    || (lx.peek(1).is_some_and(|c| c != '\'') && lx.peek(2) == Some('\''))
+                {
+                    lex_char(&mut lx, &mut text);
+                    TokenKind::Char
+                } else {
+                    text.push('\'');
+                    lx.bump();
+                    lx.take_while(&mut text, is_ident_continue);
+                    TokenKind::Lifetime
+                }
+            }
+            c if is_ident_start(c) => {
+                lx.take_while(&mut text, is_ident_continue);
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut lx, &mut text);
+                TokenKind::Number
+            }
+            c => {
+                text.push(c);
+                lx.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// If the lexer sits on a raw-string opener (`r"`, `r#…#"`, `br"`,
+/// `br#…#"`), returns the hash count; `None` otherwise.
+fn raw_string_hashes(lx: &Lexer, first: char) -> Option<usize> {
+    let mut j = 1;
+    if first == 'b' {
+        if lx.peek(1) != Some('r') {
+            return None;
+        }
+        j = 2;
+    }
+    let mut hashes = 0;
+    while lx.peek(j) == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    (lx.peek(j) == Some('"')).then_some(hashes)
+}
+
+fn lex_block_comment(lx: &mut Lexer, text: &mut String) {
+    let mut depth = 0usize;
+    while let Some(c) = lx.peek(0) {
+        if c == '/' && lx.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            lx.bump();
+            lx.bump();
+        } else if c == '*' && lx.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            lx.bump();
+            lx.bump();
+            if depth == 0 {
+                return;
+            }
+        } else {
+            text.push(c);
+            lx.bump();
+        }
+    }
+}
+
+fn lex_string(lx: &mut Lexer, text: &mut String) {
+    text.push('"');
+    lx.bump(); // opening quote
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = lx.bump() {
+                text.push(esc);
+            }
+        } else if c == '"' {
+            return;
+        }
+    }
+}
+
+fn lex_raw_string(lx: &mut Lexer, text: &mut String, hashes: usize) {
+    // Consume the full opener: optional `b`, `r`, hashes, quote.
+    while let Some(c) = lx.peek(0) {
+        text.push(c);
+        lx.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '"' {
+            let mut matched = 0;
+            while matched < hashes && lx.peek(0) == Some('#') {
+                text.push('#');
+                lx.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                return;
+            }
+        }
+    }
+}
+
+fn lex_char(lx: &mut Lexer, text: &mut String) {
+    text.push('\'');
+    lx.bump(); // opening quote
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = lx.bump() {
+                text.push(esc);
+            }
+        } else if c == '\'' {
+            return;
+        }
+    }
+}
+
+fn lex_number(lx: &mut Lexer, text: &mut String) {
+    while let Some(c) = lx.peek(0) {
+        // Digits/idents, a decimal point followed by a digit (so `1..`
+        // and `1.method()` stop at the dot), or an exponent sign.
+        let continues = is_ident_continue(c)
+            || (c == '.' && lx.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            || ((c == '+' || c == '-') && text.ends_with(['e', 'E']));
+        if continues {
+            text.push(c);
+            lx.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_string_and_comment_is_not_an_ident() {
+        let src = r#"
+            let msg = "please call unwrap() later"; // never unwrap() here
+            /* unwrap( in a block comment */
+            value.unwrap();
+        "#;
+        let idents: Vec<String> = tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == "unwrap")
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents.len(), 1, "only the real call site is an ident");
+    }
+
+    #[test]
+    fn raw_strings_are_single_tokens() {
+        let toks = kinds(r###"let x = r#"has "quotes" and unwrap("#;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap(")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* outer /* inner */ still outer */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "ident".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let toks = kinds(r#"let s = "with \" escaped"; next"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "next"));
+    }
+}

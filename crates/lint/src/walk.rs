@@ -1,0 +1,90 @@
+//! Deterministic file discovery: every `.rs` file under `crates/*/src`
+//! and `crates/*/tests`, the workspace-level `tests/` and `examples/`
+//! trees, and every `Cargo.toml` — sorted by path so diagnostics (and
+//! the `--json` report) are byte-stable across runs and machines.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::WALK_EXCLUDE;
+
+/// Root-relative path with forward slashes (the form every scope
+/// pattern and diagnostic uses).
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn excluded(rel: &str) -> bool {
+    WALK_EXCLUDE.iter().any(|p| match p.strip_suffix('/') {
+        Some(dir) => rel.starts_with(dir) && rel.as_bytes().get(dir.len()) == Some(&b'/'),
+        None => rel == *p,
+    })
+}
+
+fn collect(root: &Path, dir: &Path, ext: &str, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if excluded(&rel_path(root, &path)) {
+            continue;
+        }
+        if path.is_dir() {
+            collect(root, &path, ext, out)?;
+        } else if path.extension().is_some_and(|e| e == ext) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn crate_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(crates)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                dirs.push(path);
+            }
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Every Rust source file in scope, sorted.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in crate_dirs(root)? {
+        collect(root, &dir.join("src"), "rs", &mut files)?;
+        collect(root, &dir.join("tests"), "rs", &mut files)?;
+    }
+    collect(root, &root.join("tests"), "rs", &mut files)?;
+    collect(root, &root.join("examples"), "rs", &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+/// Every crate manifest (excluding the workspace root's), sorted.
+pub fn crate_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in crate_dirs(root)? {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            files.push(manifest);
+        }
+    }
+    let tests_manifest = root.join("tests/Cargo.toml");
+    if tests_manifest.is_file() {
+        files.push(tests_manifest);
+    }
+    files.sort();
+    Ok(files)
+}

@@ -1,0 +1,27 @@
+//! Fixture twin: the same shapes kept allocation-free inside the
+//! region — and the rule staying silent on allocations *outside* any
+//! declared region.
+
+pub fn hot_path(input: &[f64], out: &mut [f64]) -> f64 {
+    // lint:no_alloc
+    let mut acc = 0.0;
+    for (o, &x) in out.iter_mut().zip(input) {
+        *o = x * 2.0;
+        acc += x;
+    }
+    // lint:end_no_alloc
+    acc
+}
+
+pub fn cold_path(input: &[f64]) -> Vec<f64> {
+    // Outside a region: allocation is fine (setup/teardown code).
+    input.iter().map(|x| x * 2.0).collect()
+}
+
+pub fn waived(out: &mut Vec<f64>) {
+    // lint:no_alloc
+    out.clear();
+    // lint:allow(alloc, reason = "fixture: one-time growth into a reusable buffer")
+    out.push(1.0);
+    // lint:end_no_alloc
+}

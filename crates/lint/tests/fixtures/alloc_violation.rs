@@ -1,0 +1,14 @@
+//! Fixture: allocating constructs inside a declared `no_alloc` region.
+
+pub fn hot_path(input: &[f64], out: &mut Vec<f64>) -> String {
+    // lint:no_alloc
+    let mut v = Vec::new();
+    v.push(1.0);
+    out.extend(input.iter().copied());
+    let owned = input.to_vec();
+    let s = format!("{}", owned.len());
+    let b = vec![0u8; 4];
+    // lint:end_no_alloc
+    let _ = b;
+    s
+}

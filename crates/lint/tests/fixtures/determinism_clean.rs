@@ -1,0 +1,26 @@
+//! Fixture twin: the deterministic equivalents — ordered containers,
+//! no clocks, fixed iteration order.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn ordered_iteration() -> f64 {
+    let m: BTreeMap<u32, f64> = BTreeMap::new();
+    m.values().sum()
+}
+
+pub fn ordered_set() -> usize {
+    let s: BTreeSet<u32> = BTreeSet::new();
+    s.len()
+}
+
+// Mentioning HashMap or Instant::now() in a comment is not a use.
+pub fn documented() -> &'static str {
+    "a string saying HashMap and SystemTime is not a use either"
+}
+
+pub fn waived() -> usize {
+    // lint:allow(determinism, reason = "fixture: exercising the waiver path")
+    let s: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    s.len()
+}

@@ -1,0 +1,29 @@
+//! Fixture: every nondeterminism source the `determinism` rule bans
+//! from numeric paths.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn random_iteration_order() -> f64 {
+    let m: HashMap<u32, f64> = HashMap::new();
+    m.values().sum()
+}
+
+pub fn random_set_order() -> usize {
+    let s: HashSet<u32> = HashSet::new();
+    s.len()
+}
+
+pub fn wall_clock_in_math() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn epoch_in_math() -> bool {
+    SystemTime::now().elapsed().is_ok()
+}
+
+pub fn thread_count_dependent() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,0 +1,23 @@
+//! Fixture twin: well-formed directives of every kind, plus the
+//! grammar quoted in doc comments (which the parser must skip).
+
+//! A doc comment may say lint:allow(panic) without a reason — rustdoc
+//! prose is never parsed as a directive.
+
+/// Same for item docs: lint:frobnicate is fine here.
+pub fn single_line(x: Option<u32>) -> u32 {
+    // lint:allow(panic, reason = "fixture: waiver on the next line")
+    x.unwrap()
+}
+
+// lint:allow-region(panic, reason = "fixture: a region waiver")
+pub fn region_a(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+// lint:end-region(panic)
+
+pub fn regions(out: &mut [f64]) {
+    // lint:no_alloc
+    out.fill(0.0);
+    // lint:end_no_alloc
+}

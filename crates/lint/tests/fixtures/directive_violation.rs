@@ -1,0 +1,23 @@
+//! Fixture: every way to get the escape hatch itself wrong.
+
+// lint:allow(panic)
+pub fn missing_reason() {}
+
+// lint:allow(panic, reason = "")
+pub fn empty_reason() {}
+
+// lint:allow(frobnicate, reason = "no such rule")
+pub fn unknown_rule() {}
+
+// lint:allow(unsafe, reason = "unsafe has no waiver")
+pub fn unwaivable_rule() {}
+
+// lint:frobnicate
+pub fn unknown_directive() {}
+
+// lint:end-region(panic)
+pub fn unmatched_end() {}
+
+pub fn unclosed_region() {
+    // lint:no_alloc
+}

@@ -1,0 +1,30 @@
+//! Fixture twin: in-range access without the indexing operator, plus
+//! the bracket forms the `index` rule must NOT confuse with indexing:
+//! array literals/types, attributes, and slice patterns.
+
+pub fn checked(v: &[f64], i: usize) -> f64 {
+    v.get(i).copied().unwrap_or(0.0)
+}
+
+pub fn iterated(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+
+pub fn array_literal() -> [u8; 4] {
+    [1, 2, 3, 4]
+}
+
+#[derive(Clone, Copy)]
+pub struct Tagged;
+
+pub fn slice_pattern(v: &[u8]) -> u8 {
+    match v {
+        [first, ..] => *first,
+        [] => 0,
+    }
+}
+
+pub fn waived(v: &[f64]) -> f64 {
+    // lint:allow(index, reason = "fixture: bounds proven by the caller")
+    v[0]
+}

@@ -1,0 +1,13 @@
+//! Fixture: slice/array indexing forms the `index` rule must catch.
+
+pub fn direct(v: &[f64], i: usize) -> f64 {
+    v[i]
+}
+
+pub fn chained(rows: &[Vec<f64>]) -> f64 {
+    rows[0][1]
+}
+
+pub fn through_call(v: Vec<f64>) -> f64 {
+    v.as_slice()[2]
+}

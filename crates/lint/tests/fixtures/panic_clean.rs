@@ -1,0 +1,40 @@
+//! Fixture twin: the same shapes, panic-free — plus the decoys the
+//! tokenizer must see through: `unwrap(` inside strings, chars and
+//! comments, and idents that merely *contain* the method names.
+
+pub fn handled(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn propagated(x: Option<u32>) -> Option<u32> {
+    let y = x?;
+    Some(y + 1)
+}
+
+// A comment saying unwrap() or expect() or panic!() is not a call.
+pub fn decoys() -> String {
+    let s = "call .unwrap() then .expect(\"x\") then panic!(now)";
+    let raw = r#"more .unwrap( and panic!( inside a raw string"#;
+    /* block comment: .unwrap() .expect("y") unreachable!() */
+    format!("{s}{raw}")
+}
+
+pub fn lookalike_idents() {
+    fn unwrap_all() {}
+    fn expect_many() {}
+    unwrap_all();
+    expect_many();
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    // lint:allow(panic, reason = "fixture: exercising the waiver path")
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: every panic-family construct the `panic` rule must catch.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn panic_site() {
+    panic!("boom");
+}
+
+pub fn unreachable_site() {
+    unreachable!();
+}
+
+pub fn todo_site() {
+    todo!()
+}

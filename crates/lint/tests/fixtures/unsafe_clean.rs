@@ -1,0 +1,10 @@
+//! Fixture twin: the deny attribute present, no unsafe anywhere —
+//! and the word in prose staying invisible to the rule.
+
+#![deny(unsafe_code)]
+
+// A comment about unsafe code is not unsafe code.
+pub fn read_first(v: &[u8]) -> u8 {
+    let msg = "the string unsafe is not the keyword";
+    v.first().copied().unwrap_or(msg.len() as u8)
+}

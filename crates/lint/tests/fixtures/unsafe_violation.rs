@@ -1,0 +1,6 @@
+//! Fixture: a crate root with no `#![deny(unsafe_code)]` and an
+//! `unsafe` block in the body — both arms of the `unsafe` rule.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,31 @@
+//! The gate itself: linting the real workspace tree must come back
+//! clean. This is the in-test mirror of the CI job, so a PR that
+//! introduces a violation fails `cargo test` locally before it ever
+//! reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels under the workspace root");
+    let report = occusense_lint::run(root).expect("walk the workspace");
+    assert!(
+        report.sources_scanned > 100,
+        "suspiciously few sources scanned ({}) — walk broken?",
+        report.sources_scanned
+    );
+    assert!(
+        report.manifests_checked >= 10,
+        "suspiciously few manifests checked ({})",
+        report.manifests_checked
+    );
+    assert_eq!(
+        report.exit_code(),
+        0,
+        "workspace has lint violations:\n{}",
+        report.render_text()
+    );
+}

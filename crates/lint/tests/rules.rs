@@ -1,0 +1,216 @@
+//! Fixture-corpus tests: every rule family must fire on its seeded
+//! violation fixture and stay silent on the clean twin.
+//!
+//! Fixtures live under `tests/fixtures/` — a directory the repo walk
+//! explicitly excludes ([`occusense_lint::config::WALK_EXCLUDE`]), so
+//! the corpus never trips the gate on the real tree. Each fixture is
+//! analyzed under a *pretended* in-scope path (rule scopes match on
+//! root-relative paths, not file contents), which also pins the scope
+//! table itself: a fixture scored under a serve path must behave
+//! differently from one scored under an out-of-scope path.
+
+use occusense_lint::diagnostics::{Diagnostic, Rule};
+use occusense_lint::manifest;
+use occusense_lint::rules::analyze_source;
+
+const SERVE_PATH: &str = "crates/serve/src/fixture.rs";
+const SERVE_ROOT: &str = "crates/serve/src/lib.rs";
+const NUMERIC_PATH: &str = "crates/nn/src/fixture.rs";
+const NO_SCOPE_PATH: &str = "crates/lint/src/fixture.rs";
+
+fn count(diags: &[Diagnostic], rule: Rule) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+// ---------------------------------------------------------------- panic
+
+#[test]
+fn panic_rule_fires_on_every_seeded_site() {
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/panic_violation.rs"));
+    // unwrap, expect, panic!, unreachable!, todo!
+    assert_eq!(count(&diags, Rule::Panic), 5, "{diags:?}");
+}
+
+#[test]
+fn panic_rule_is_silent_on_the_clean_twin() {
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/panic_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_rule_respects_scope() {
+    // The same violations under an out-of-scope path are not panic
+    // violations (the file has no directives, so nothing else fires).
+    let diags = analyze_source(NO_SCOPE_PATH, include_str!("fixtures/panic_violation.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- index
+
+#[test]
+fn index_rule_fires_on_every_seeded_site() {
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/index_violation.rs"));
+    // v[i], rows[0], [1] chained, as_slice()[2]
+    assert_eq!(count(&diags, Rule::Index), 4, "{diags:?}");
+}
+
+#[test]
+fn index_rule_is_silent_on_the_clean_twin() {
+    // Array literals, types, attributes and slice patterns all use `[`
+    // without being indexing.
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/index_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------- determinism
+
+#[test]
+fn determinism_rule_fires_on_every_seeded_source() {
+    let diags = analyze_source(
+        NUMERIC_PATH,
+        include_str!("fixtures/determinism_violation.rs"),
+    );
+    // HashMap and HashSet appear in use + annotation + constructor
+    // positions; clocks and thread-count once each.
+    assert!(count(&diags, Rule::Determinism) >= 5, "{diags:?}");
+    for needle in [
+        "HashMap",
+        "HashSet",
+        "Instant",
+        "SystemTime",
+        "available_parallelism",
+    ] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no diagnostic mentions {needle}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_rule_is_silent_on_the_clean_twin() {
+    let diags = analyze_source(NUMERIC_PATH, include_str!("fixtures/determinism_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn determinism_rule_respects_scope() {
+    // serve is allowed wall clocks and hash maps (it is not a numeric
+    // path); the same source under the serve path raises nothing.
+    let diags = analyze_source(
+        SERVE_PATH,
+        include_str!("fixtures/determinism_violation.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- alloc
+
+#[test]
+fn alloc_rule_fires_inside_declared_regions() {
+    let diags = analyze_source(NUMERIC_PATH, include_str!("fixtures/alloc_violation.rs"));
+    // Vec::new, push, extend, to_vec, format!, vec!
+    assert_eq!(count(&diags, Rule::Alloc), 6, "{diags:?}");
+}
+
+#[test]
+fn alloc_rule_is_silent_on_the_clean_twin() {
+    // Allocation outside a region (cold paths) is legal; inside, the
+    // waived one-time growth is excused.
+    let diags = analyze_source(NUMERIC_PATH, include_str!("fixtures/alloc_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --------------------------------------------------------------- unsafe
+
+#[test]
+fn unsafe_rule_fires_on_block_and_missing_deny() {
+    let diags = analyze_source(SERVE_ROOT, include_str!("fixtures/unsafe_violation.rs"));
+    assert_eq!(count(&diags, Rule::Unsafe), 2, "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("crate root")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unsafe_rule_is_silent_on_the_clean_twin() {
+    let diags = analyze_source(SERVE_ROOT, include_str!("fixtures/unsafe_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn missing_deny_only_applies_to_crate_roots() {
+    // A non-root file without the attribute is fine (the attribute is
+    // crate-level; inner files cannot carry it).
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/unsafe_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------------ directive
+
+#[test]
+fn directive_rule_fires_on_every_malformed_hatch() {
+    let diags = analyze_source(
+        NO_SCOPE_PATH,
+        include_str!("fixtures/directive_violation.rs"),
+    );
+    // missing reason, empty reason, unknown rule, unwaivable rule,
+    // unknown directive, unmatched end-region, unclosed no_alloc
+    assert_eq!(count(&diags, Rule::Directive), 7, "{diags:?}");
+}
+
+#[test]
+fn directive_rule_is_silent_on_well_formed_hatches() {
+    // Includes the grammar quoted inside doc comments, which must
+    // never parse as directives — and live waivers that suppress real
+    // violations under the panic scope.
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/directive_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------------- layering
+
+#[test]
+fn layering_rule_fires_on_a_back_edge() {
+    let diags = manifest::check_manifest(
+        "crates/tensor/Cargo.toml",
+        include_str!("fixtures/layering_violation.toml"),
+        &Default::default(),
+    );
+    assert_eq!(count(&diags, Rule::Layering), 1, "{diags:?}");
+    assert!(diags[0].message.contains("occusense-serve"), "{diags:?}");
+}
+
+#[test]
+fn layering_rule_is_silent_on_downward_edges() {
+    let diags = manifest::check_manifest(
+        "crates/serve/Cargo.toml",
+        include_str!("fixtures/layering_clean.toml"),
+        &Default::default(),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ------------------------------------------------------------ exit bits
+
+#[test]
+fn exit_code_is_the_or_of_offended_families() {
+    let mut report = occusense_lint::LintReport::default();
+    assert_eq!(report.exit_code(), 0);
+    report.diagnostics.extend(analyze_source(
+        SERVE_PATH,
+        include_str!("fixtures/panic_violation.rs"),
+    ));
+    assert_eq!(report.exit_code(), 1);
+    report.diagnostics.extend(analyze_source(
+        NUMERIC_PATH,
+        include_str!("fixtures/determinism_violation.rs"),
+    ));
+    assert_eq!(report.exit_code(), 1 | 2);
+    report.diagnostics.extend(analyze_source(
+        NO_SCOPE_PATH,
+        include_str!("fixtures/directive_violation.rs"),
+    ));
+    assert_eq!(report.exit_code(), 1 | 2 | 16);
+}

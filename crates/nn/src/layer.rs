@@ -77,6 +77,7 @@ impl Dense {
     /// # Panics
     ///
     /// Panics if `x.cols() != in_dim`.
+    // lint:no_alloc
     pub fn forward_into(&self, x: &Matrix, z: &mut Matrix, a: &mut Matrix, scratch: &mut Scratch) {
         assert_eq!(
             x.cols(),
@@ -105,6 +106,7 @@ impl Dense {
             scratch,
         );
     }
+    // lint:end_no_alloc
 
     /// Backward pass.
     ///
@@ -134,6 +136,7 @@ impl Dense {
     /// provided, receives `∂L/∂x` — pass `None` for the first layer of
     /// a network during training, where nothing consumes it and the
     /// `δ · W^T` product can be skipped outright.
+    // lint:no_alloc
     #[allow(clippy::too_many_arguments)]
     pub fn backward_into(
         &self,
@@ -168,6 +171,7 @@ impl Dense {
             delta.matmul_nt_into(&self.weights, gi, scratch);
         }
     }
+    // lint:end_no_alloc
 }
 
 #[cfg(test)]

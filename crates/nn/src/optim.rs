@@ -7,9 +7,14 @@
 //!
 //! An optimiser updates flat parameter slices keyed by a `slot` id, so
 //! weights and biases of every layer share one implementation; state
-//! (momentum, moment estimates) is allocated lazily per slot.
+//! (momentum, moment estimates) is allocated lazily per slot, in a
+//! `BTreeMap` — slots are only ever looked up by key today, but a
+//! `HashMap` here would be a determinism hazard one refactor away
+//! (any future iteration would visit slots in per-process random
+//! order), which is exactly what `occusense-lint`'s determinism rule
+//! bans from numeric paths.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A stateful first-order optimiser.
 pub trait Optimizer {
@@ -34,7 +39,7 @@ pub struct Sgd {
     pub learning_rate: f64,
     /// Momentum coefficient (0 disables momentum).
     pub momentum: f64,
-    velocity: HashMap<usize, Vec<f64>>,
+    velocity: BTreeMap<usize, Vec<f64>>,
 }
 
 impl Sgd {
@@ -43,7 +48,7 @@ impl Sgd {
         Self {
             learning_rate,
             momentum: 0.0,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 
@@ -52,7 +57,7 @@ impl Sgd {
         Self {
             learning_rate,
             momentum,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 }
@@ -96,7 +101,7 @@ pub struct AdamW {
     pub beta2: f64,
     /// Numerical-stability epsilon.
     pub epsilon: f64,
-    state: HashMap<usize, AdamSlot>,
+    state: BTreeMap<usize, AdamSlot>,
 }
 
 #[derive(Debug, Clone)]
@@ -115,7 +120,7 @@ impl AdamW {
             beta1: 0.9,
             beta2: 0.999,
             epsilon: 1e-8,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 

@@ -50,6 +50,8 @@
 //!
 //! [`ServeReport::unaccounted_records`]: runtime::ServeReport::unaccounted_records
 
+#![deny(unsafe_code)]
+
 pub mod batcher;
 pub mod metrics;
 pub mod model;

@@ -81,6 +81,7 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, value: u64) {
+        // lint:allow(index, reason = "bucket_of clamps to BUCKETS - 1, so the index is always in range")
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // Saturate instead of wrapping: a long run of large samples
@@ -180,18 +181,21 @@ impl MetricsRegistry {
 
     /// Returns (creating on first use) the counter named `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        // lint:allow(panic, reason = "poison propagation: a panic mid-registration means torn family maps; fail loud like queue.rs")
         let mut f = self.families.lock().expect("metrics poisoned");
         Arc::clone(f.counters.entry(name.to_string()).or_default())
     }
 
     /// Returns (creating on first use) the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        // lint:allow(panic, reason = "poison propagation: a panic mid-registration means torn family maps; fail loud like queue.rs")
         let mut f = self.families.lock().expect("metrics poisoned");
         Arc::clone(f.gauges.entry(name.to_string()).or_default())
     }
 
     /// Returns (creating on first use) the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        // lint:allow(panic, reason = "poison propagation: a panic mid-registration means torn family maps; fail loud like queue.rs")
         let mut f = self.families.lock().expect("metrics poisoned");
         Arc::clone(f.histograms.entry(name.to_string()).or_default())
     }
@@ -199,6 +203,7 @@ impl MetricsRegistry {
     /// Renders every metric as one aligned text line per metric,
     /// sorted by kind then name — the runtime's `/metrics` equivalent.
     pub fn render(&self) -> String {
+        // lint:allow(panic, reason = "poison propagation: a panic mid-registration means torn family maps; fail loud like queue.rs")
         let f = self.families.lock().expect("metrics poisoned");
         let mut out = String::new();
         for (name, c) in &f.counters {

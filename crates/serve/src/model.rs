@@ -43,6 +43,7 @@ impl ModelHandle {
     /// The currently published snapshot (cheap: one `Arc` clone under a
     /// read lock).
     pub fn current(&self) -> Arc<ModelSnapshot> {
+        // lint:allow(panic, reason = "poison propagation: the write side only swaps an Arc, but a poisoned slot still signals a publisher panic worth surfacing")
         Arc::clone(&self.slot.read().expect("model slot poisoned"))
     }
 
@@ -55,6 +56,7 @@ impl ModelHandle {
     pub fn publish(&self, detector: OccupancyDetector) -> u64 {
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let snapshot = Arc::new(ModelSnapshot { version, detector });
+        // lint:allow(panic, reason = "poison propagation: the write side only swaps an Arc, but a poisoned slot still signals a publisher panic worth surfacing")
         *self.slot.write().expect("model slot poisoned") = snapshot;
         version
     }

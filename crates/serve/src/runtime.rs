@@ -388,12 +388,14 @@ impl ServeRuntime {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{shard}"))
                     .spawn(move || worker::run(ctx))
+                    // lint:allow(panic, reason = "startup-only: thread spawn failure is unrecoverable resource exhaustion, before any record is accepted")
                     .expect("spawn worker"),
             );
         }
 
         let trainer = online.map(|(online_cfg, online)| {
             let ctx = TrainerContext {
+                // lint:allow(panic, reason = "startup-only invariant: trainer_queue is Some exactly when online is Some, established a few lines above")
                 queue: Arc::clone(trainer_queue.as_ref().expect("trainer queue")),
                 model: Arc::clone(&model),
                 online,
@@ -412,6 +414,7 @@ impl ServeRuntime {
             std::thread::Builder::new()
                 .name("serve-trainer".into())
                 .spawn(move || trainer::run(ctx))
+                // lint:allow(panic, reason = "startup-only: thread spawn failure is unrecoverable resource exhaustion, before any record is accepted")
                 .expect("spawn trainer")
         });
 
@@ -440,6 +443,7 @@ impl ServeRuntime {
         SensorClient {
             sensor_id: Arc::from(sensor_id),
             shard,
+            // lint:allow(index, reason = "shard is shard_for(sensor_id) % shards.len(), in range by construction")
             queue: Arc::clone(&self.shards[shard]),
             seq: 0,
         }
@@ -527,6 +531,7 @@ impl ServeRuntime {
         let uncontained = self
             .uncontained_panics
             .lock()
+            // lint:allow(panic, reason = "poison propagation: shutdown-path bookkeeping; a poisoned join log means the report is already untrustworthy")
             .expect("join log poisoned")
             .clone();
         let faults = FaultReport {
@@ -619,6 +624,7 @@ impl ServeRuntime {
     fn record_uncontained(&self, message: String) {
         self.uncontained_panics
             .lock()
+            // lint:allow(panic, reason = "poison propagation: shutdown-path bookkeeping; a poisoned join log means the report is already untrustworthy")
             .expect("join log poisoned")
             .push(message);
     }

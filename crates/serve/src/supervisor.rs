@@ -118,6 +118,7 @@ impl DeadLetterBuffer {
     }
 
     fn push(&self, letter: DeadLetter) {
+        // lint:allow(panic, reason = "poison propagation: the dead-letter buffer is itself fault-tolerance state; serving it torn would hide lost records")
         let mut entries = self.entries.lock().expect("dead-letter poisoned");
         if entries.len() >= self.capacity {
             entries.pop_front();
@@ -136,12 +137,14 @@ impl DeadLetterBuffer {
     }
 
     pub(crate) fn depth(&self) -> usize {
+        // lint:allow(panic, reason = "poison propagation: the dead-letter buffer is itself fault-tolerance state; serving it torn would hide lost records")
         self.entries.lock().expect("dead-letter poisoned").len()
     }
 
     pub(crate) fn snapshot(&self) -> Vec<DeadLetter> {
         self.entries
             .lock()
+            // lint:allow(panic, reason = "poison propagation: the dead-letter buffer is itself fault-tolerance state; serving it torn would hide lost records")
             .expect("dead-letter poisoned")
             .iter()
             .cloned()
@@ -179,6 +182,7 @@ impl SupervisorState {
     /// Records a supervised panic and returns the shard's new count.
     pub(crate) fn record_shard_panic(&self, shard: usize, message: &str) -> u64 {
         self.log_panic(format!("shard {shard}: {message}"));
+        // lint:allow(index, reason = "shard < shard count by construction: the supervisor allocates one counter per worker shard at startup")
         self.shard_restarts[shard].fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -191,6 +195,7 @@ impl SupervisorState {
     }
 
     pub(crate) fn log_panic(&self, message: String) {
+        // lint:allow(panic, reason = "poison propagation: the panic log is only written by supervisors; a poisoned log means supervision itself is broken")
         let mut panics = self.panics.lock().expect("panic log poisoned");
         if panics.len() < PANIC_LOG_CAP {
             panics.push(message);
@@ -229,6 +234,7 @@ impl SupervisorState {
     }
 
     pub(crate) fn panic_log(&self) -> Vec<String> {
+        // lint:allow(panic, reason = "poison propagation: the panic log is only written by supervisors; a poisoned log means supervision itself is broken")
         self.panics.lock().expect("panic log poisoned").clone()
     }
 }

@@ -90,6 +90,7 @@ fn train_loop(ctx: &mut TrainerContext) {
     let mut published_at_update = 0u64;
     while let Some(labelled) = ctx.queue.pop() {
         if ctx.panic_on_trigger && is_trainer_panic_trigger(&labelled.record) {
+            // lint:allow(panic, reason = "fault injection: this panic IS the feature under test; it exercises the supervisor's restart path")
             panic!("fault injection: scripted trainer panic trigger");
         }
         ctx.online.observe(&labelled.record, labelled.label);

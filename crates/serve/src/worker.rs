@@ -221,10 +221,13 @@ fn flush(
 
     let snapshot = ctx.model.current();
     let infer_start = Instant::now();
+    // lint:no_alloc
     {
         let guard = in_flight.borrow();
+        // lint:allow(panic, reason = "invariant: the batch was parked into in_flight two statements ago and nothing can take it in between")
         let batch = guard.as_deref().expect("in-flight batch just parked");
         if ctx.panic_on_trigger && batch.iter().any(|j| is_worker_panic_trigger(&j.record)) {
+            // lint:allow(panic, reason = "fault injection: this panic IS the feature under test; it exercises the supervisor's restart path")
             panic!("fault injection: scripted worker panic trigger");
         }
         // One batched forward through the worker's reusable buffers:
@@ -237,15 +240,18 @@ fn flush(
             ws,
         } = &mut *buffers.borrow_mut();
         records.clear();
+        // lint:allow(alloc, reason = "extend into a cleared reusable buffer: capacity is retained across flushes, so steady state does not allocate")
         records.extend(batch.iter().map(|job| job.record));
         snapshot
             .detector
             .predict_proba_slice_into(records, ws, probas);
     }
+    // lint:end_no_alloc
     // The forward pass succeeded: the batch is no longer at risk.
     let batch = in_flight
         .borrow_mut()
         .take()
+        // lint:allow(panic, reason = "invariant: the batch was parked into in_flight above and the forward pass cannot consume it")
         .expect("in-flight batch still parked");
 
     ctx.metrics

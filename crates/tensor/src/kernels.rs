@@ -150,6 +150,7 @@ impl Scratch {
 
     /// Borrows a `len`-sized pack buffer, growing (and counting the
     /// growth) only when the current capacity is insufficient.
+    // lint:allow-region(index, reason = "hot GEMM/GEMV kernels: every index is governed by the dimension asserts at each kernel's entry, and get()/checked forms defeat the autovectoriser this file exists for")
     fn pack_space(&mut self, len: usize) -> &mut [f64] {
         if len > self.packed.capacity() {
             self.reallocs += 1;
@@ -158,6 +159,11 @@ impl Scratch {
         &mut self.packed[..len]
     }
 }
+
+// Everything below (the kernels proper, down to the tests) must stay
+// allocation-free: scratch growth is only legal inside
+// Scratch::pack_space above, where it is counted by `reallocs`.
+// lint:no_alloc
 
 /// Scalar lanes per unrolled dot-product step. Sixteen positional
 /// accumulators auto-vectorise into four independent 4-lane SIMD
@@ -246,9 +252,11 @@ fn micro_panel(steps: usize, panel: &[f64], rhs: &[f64], rss: usize, j0: usize) 
     for s in 0..steps {
         let rv: &[f64; JT] = rhs[s * rss + j0..s * rss + j0 + JT]
             .try_into()
+            // lint:allow(panic, reason = "infallible: the slice is exactly JT long by construction; try_into is a free fixed-width reborrow")
             .expect("micro_panel: tile");
         let avs: &[f64; IT] = panel[s * IT..s * IT + IT]
             .try_into()
+            // lint:allow(panic, reason = "infallible: the slice is exactly IT long by construction; try_into is a free fixed-width reborrow")
             .expect("micro_panel: panel");
         for (r, acc_row) in acc.iter_mut().enumerate() {
             let av = avs[r];
@@ -278,6 +286,7 @@ fn micro_panel_edge(
         let rv = &rhs[s * rss + j0..s * rss + j0 + jw];
         let avs: &[f64; IT] = panel[s * IT..s * IT + IT]
             .try_into()
+            // lint:allow(panic, reason = "infallible: the slice is exactly IT long by construction; try_into is a free fixed-width reborrow")
             .expect("micro_panel_edge: panel");
         for (r, acc_row) in acc.iter_mut().enumerate() {
             let av = avs[r];
@@ -298,6 +307,7 @@ fn micro_panel_edge(
 fn micro_row(arow: &[f64], rhs: &[f64], rss: usize, j0: usize) -> [f64; JW] {
     let mut acc = [0.0f64; JW];
     for (&av, brow) in arow.iter().zip(rhs.chunks_exact(rss)) {
+        // lint:allow(panic, reason = "infallible: the slice is exactly JW long by construction; try_into is a free fixed-width reborrow")
         let rv: &[f64; JW] = brow[j0..j0 + JW].try_into().expect("micro_row: tile");
         for l in 0..JW {
             acc[l] = av.mul_add(rv[l], acc[l]);
@@ -663,6 +673,9 @@ pub fn gemv(m: usize, k: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
         *o = dot_unrolled(arow, v);
     }
 }
+
+// lint:end_no_alloc
+// lint:end-region(index)
 
 #[cfg(test)]
 mod tests {
