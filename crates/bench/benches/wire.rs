@@ -1,0 +1,165 @@
+//! Wire-layer benchmarks: codec encode/decode cost per frame, and
+//! end-to-end gateway round trips (record in → prediction out) over
+//! both the in-process loopback and TCP-localhost — which isolates
+//! what the protocol costs (codec + checksum + framing) from what the
+//! kernel's socket path costs on top.
+//!
+//! With `OCCUSENSE_BENCH_JSON=BENCH_wire.json cargo bench --bench
+//! wire` the measurement run writes the committed baseline, median
+//! and p99 per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::CsiRecord;
+use occusense_serve::{BackpressurePolicy, BatchConfig, ServeConfig};
+use occusense_wire::{
+    connect, decode_frame, loopback, tcp_connect, tcp_listen, BatchFrame, ClientEvent, Encoder,
+    Frame, Gateway, GatewayConfig, LoopbackConfig, RecordFrame, TcpConfig, WireReceiver,
+    WireSender, DEFAULT_MAX_PAYLOAD,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sample_record() -> CsiRecord {
+    simulate(&ScenarioConfig::quick(1.0, 42))
+        .records()
+        .first()
+        .copied()
+        .expect("one record")
+}
+
+fn train_detector() -> OccupancyDetector {
+    let ds = simulate(&ScenarioConfig::quick(1200.0, 99));
+    OccupancyDetector::train(
+        &ds,
+        &DetectorConfig {
+            model: ModelKind::Mlp,
+            mlp_epochs: 2,
+            max_train_samples: Some(2_000),
+            ..DetectorConfig::default()
+        },
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let record = sample_record();
+    let single = Frame::Record(RecordFrame {
+        seq: 7,
+        label: Some(1),
+        record,
+    });
+    let batch = Frame::Batch(BatchFrame {
+        first_seq: 0,
+        records: vec![(record, Some(1)); 64],
+    });
+    let mut group = c.benchmark_group("wire_codec");
+    let mut encoder = Encoder::default();
+    group.bench_function("encode_record", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            encoder.encode_into(black_box(&single), &mut out);
+            black_box(out.len())
+        });
+    });
+    group.bench_function("encode_batch64", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            encoder.encode_into(black_box(&batch), &mut out);
+            black_box(out.len())
+        });
+    });
+    let single_bytes = Encoder::default().encode(&single);
+    let batch_bytes = Encoder::default().encode(&batch);
+    group.bench_function("decode_record", |b| {
+        b.iter(|| decode_frame(black_box(&single_bytes), DEFAULT_MAX_PAYLOAD).expect("decode"));
+    });
+    group.bench_function("decode_batch64", |b| {
+        b.iter(|| decode_frame(black_box(&batch_bytes), DEFAULT_MAX_PAYLOAD).expect("decode"));
+    });
+    group.finish();
+}
+
+/// One wire round trip: send a record, block until its prediction
+/// comes back. The gateway and connection persist across iterations,
+/// so this measures steady-state per-record latency, not setup.
+fn round_trip(tx: &mut WireSender, rx: &mut WireReceiver, record: CsiRecord) -> u64 {
+    let seq = tx.send(record, None).expect("send");
+    loop {
+        match rx.recv().expect("recv") {
+            ClientEvent::Prediction(p) => {
+                assert_eq!(p.seq, seq);
+                return p.proba.to_bits();
+            }
+            ClientEvent::TimedOut => continue,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}
+
+/// Latency-biased serve config: 1-record micro-batches, no deadline
+/// slack, online training off.
+fn latency_config() -> ServeConfig {
+    ServeConfig {
+        n_shards: 1,
+        queue_capacity: 64,
+        policy: BackpressurePolicy::Block,
+        batch: BatchConfig {
+            max_batch: 1,
+            max_delay: Duration::from_micros(100),
+        },
+        online: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn bench_loopback_round_trip(c: &mut Criterion) {
+    let record = sample_record();
+    let (acceptor, connector) = loopback(LoopbackConfig::default());
+    let gateway = Gateway::start(
+        train_detector(),
+        latency_config(),
+        GatewayConfig::default(),
+        Box::new(acceptor),
+    )
+    .expect("gateway");
+    let conn = connector.connect().expect("connect");
+    let (mut tx, mut rx) =
+        connect(conn, "bench-loopback", Duration::from_secs(5)).expect("handshake");
+    c.bench_function("wire_round_trip/loopback", |b| {
+        b.iter(|| black_box(round_trip(&mut tx, &mut rx, black_box(record))));
+    });
+    drop((tx, rx));
+    let report = gateway.shutdown();
+    assert_eq!(report.unaccounted_records(), 0);
+}
+
+fn bench_tcp_round_trip(c: &mut Criterion) {
+    let record = sample_record();
+    let (acceptor, addr) = tcp_listen("127.0.0.1:0", TcpConfig::default()).expect("listen");
+    let gateway = Gateway::start(
+        train_detector(),
+        latency_config(),
+        GatewayConfig::default(),
+        Box::new(acceptor),
+    )
+    .expect("gateway");
+    let conn = tcp_connect(&addr.to_string(), TcpConfig::default()).expect("connect");
+    let (mut tx, mut rx) = connect(conn, "bench-tcp", Duration::from_secs(5)).expect("handshake");
+    c.bench_function("wire_round_trip/tcp_localhost", |b| {
+        b.iter(|| black_box(round_trip(&mut tx, &mut rx, black_box(record))));
+    });
+    drop((tx, rx));
+    let report = gateway.shutdown();
+    assert_eq!(report.unaccounted_records(), 0);
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_loopback_round_trip,
+    bench_tcp_round_trip
+);
+criterion_main!(benches);

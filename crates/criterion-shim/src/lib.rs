@@ -19,9 +19,12 @@
 //!
 //! When the environment variable `OCCUSENSE_BENCH_JSON` names a file,
 //! measurement runs additionally write every result there as a JSON
-//! document (`{"results": [{"name": …, "ns_per_iter": …}, …]}`),
-//! rewritten after each benchmark so a partial run still leaves a
-//! valid file. This is how `BENCH_kernels.json` baselines are produced.
+//! document (`{"results": [{"name": …, "ns_per_iter": …,
+//! "p99_ns_per_iter": …}, …]}`), rewritten after each benchmark so a
+//! partial run still leaves a valid file. This is how the
+//! `BENCH_*.json` baselines are produced; `ns_per_iter` is the median
+//! sample, `p99_ns_per_iter` the 99th-percentile sample (tail
+//! latency).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,12 +35,12 @@ use std::time::{Duration, Instant};
 /// Results accumulated for the optional JSON sink, process-wide (one
 /// bench binary may run several `criterion_group!`s, each with its own
 /// [`Criterion`]).
-static JSON_RESULTS: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+static JSON_RESULTS: Mutex<Vec<(String, u64, u64)>> = Mutex::new(Vec::new());
 
 /// Appends one measurement to the JSON sink (when enabled) and
 /// rewrites the whole document, so the file is complete and valid
 /// after every benchmark.
-fn record_json(name: &str, ns: u64) {
+fn record_json(name: &str, ns: u64, p99: u64) {
     let Ok(path) = std::env::var("OCCUSENSE_BENCH_JSON") else {
         return;
     };
@@ -45,9 +48,9 @@ fn record_json(name: &str, ns: u64) {
         return;
     }
     let mut results = JSON_RESULTS.lock().expect("bench json results poisoned");
-    results.push((name.to_string(), ns));
+    results.push((name.to_string(), ns, p99));
     let mut doc = String::from("{\n  \"results\": [\n");
-    for (i, (n, v)) in results.iter().enumerate() {
+    for (i, (n, v, p)) in results.iter().enumerate() {
         let escaped: String = n
             .chars()
             .flat_map(|c| match c {
@@ -56,7 +59,7 @@ fn record_json(name: &str, ns: u64) {
             })
             .collect();
         doc.push_str(&format!(
-            "    {{\"name\": \"{escaped}\", \"ns_per_iter\": {v}}}{}\n",
+            "    {{\"name\": \"{escaped}\", \"ns_per_iter\": {v}, \"p99_ns_per_iter\": {p}}}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -128,9 +131,15 @@ impl Criterion {
         f(&mut bencher);
         if self.test_mode {
             println!("test {name} ... ok");
-        } else if let Some(ns) = bencher.median_ns() {
-            println!("{name:<50} {:>14} ns/iter", format_thousands(ns));
-            record_json(name, ns);
+        } else if let (Some(ns), Some(p99)) =
+            (bencher.percentile_ns(0.50), bencher.percentile_ns(0.99))
+        {
+            println!(
+                "{name:<50} {:>14} ns/iter (p99 {})",
+                format_thousands(ns),
+                format_thousands(p99)
+            );
+            record_json(name, ns, p99);
         }
     }
 }
@@ -204,13 +213,18 @@ impl Bencher {
         }
     }
 
-    fn median_ns(&self) -> Option<u64> {
+    /// The `q`-quantile (nearest-rank) of the recorded samples, in
+    /// nanoseconds per iteration. Note the samples are per-batch means,
+    /// so this is the tail across timed batches, not across raw
+    /// iterations.
+    fn percentile_ns(&self, q: f64) -> Option<u64> {
         if self.samples.is_empty() {
             return None;
         }
         let mut s = self.samples.clone();
         s.sort_by(|a, b| a.total_cmp(b));
-        Some(s[s.len() / 2] as u64)
+        let rank = ((s.len() as f64 * q) as usize).min(s.len() - 1);
+        Some(s[rank] as u64)
     }
 }
 

@@ -38,12 +38,18 @@ impl Scope {
     }
 }
 
-/// Panic-freedom scope: the serve library hot path (driver binaries
-/// excluded — a CLI may abort on misuse) and the tensor micro-kernels.
-/// `#[cfg(test)]` modules are always exempt.
+/// Panic-freedom scope: the serve library hot path, the wire
+/// codec/transport/gateway (a malformed network frame must become a
+/// typed error or a NACK, never an abort), and the tensor
+/// micro-kernels. Driver binaries are excluded — a CLI may abort on
+/// misuse. `#[cfg(test)]` modules are always exempt.
 pub const PANIC_SCOPE: Scope = Scope::new(
-    &["crates/serve/src/", "crates/tensor/src/kernels.rs"],
-    &["crates/serve/src/bin/"],
+    &[
+        "crates/serve/src/",
+        "crates/wire/src/",
+        "crates/tensor/src/kernels.rs",
+    ],
+    &["crates/serve/src/bin/", "crates/wire/src/bin/"],
 );
 
 /// Slice-indexing scope — same surface as [`PANIC_SCOPE`]: an
@@ -98,9 +104,11 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("occusense-core", 5),
     // The serving runtime sits on core.
     ("occusense-serve", 6),
-    // Harnesses see the whole stack.
-    ("occusense-bench", 7),
-    ("occusense-integration", 7),
+    // The wire protocol + gateway feed records into serve.
+    ("occusense-wire", 7),
+    // Harnesses see the whole stack, wire included.
+    ("occusense-bench", 8),
+    ("occusense-integration", 8),
 ];
 
 /// Layer of `package`, if known.
@@ -118,8 +126,10 @@ mod tests {
     #[test]
     fn directory_scopes_match_prefixes_not_substrings() {
         assert!(PANIC_SCOPE.contains("crates/serve/src/worker.rs"));
+        assert!(PANIC_SCOPE.contains("crates/wire/src/codec.rs"));
         assert!(PANIC_SCOPE.contains("crates/tensor/src/kernels.rs"));
         assert!(!PANIC_SCOPE.contains("crates/serve/src/bin/serve_sim.rs"));
+        assert!(!PANIC_SCOPE.contains("crates/wire/src/bin/wire_storm.rs"));
         assert!(!PANIC_SCOPE.contains("crates/serve/srcx/worker.rs"));
         assert!(!PANIC_SCOPE.contains("crates/tensor/src/lib.rs"));
     }
@@ -131,9 +141,23 @@ mod tests {
             "occusense-nn",
             "occusense-core",
             "occusense-serve",
+            "occusense-wire",
         ] {
             assert!(layer_of(name).is_some(), "{name}");
         }
         assert!(layer_of("left-pad").is_none());
+    }
+
+    #[test]
+    fn wire_sits_between_serve_and_the_harnesses() {
+        let serve = layer_of("occusense-serve").unwrap();
+        let wire = layer_of("occusense-wire").unwrap();
+        let bench = layer_of("occusense-bench").unwrap();
+        let integration = layer_of("occusense-integration").unwrap();
+        assert!(serve < wire, "serve must never depend on wire");
+        assert!(
+            wire < bench && wire < integration,
+            "harnesses may bench/test wire"
+        );
     }
 }

@@ -192,6 +192,27 @@ fn layering_rule_is_silent_on_downward_edges() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+#[test]
+fn layering_rule_fires_when_serve_reaches_into_wire() {
+    let diags = manifest::check_manifest(
+        "crates/serve/Cargo.toml",
+        include_str!("fixtures/layering_wire_violation.toml"),
+        &Default::default(),
+    );
+    assert_eq!(count(&diags, Rule::Layering), 1, "{diags:?}");
+    assert!(diags[0].message.contains("occusense-wire"), "{diags:?}");
+}
+
+#[test]
+fn layering_rule_is_silent_on_the_wire_crates_real_edges() {
+    let diags = manifest::check_manifest(
+        "crates/wire/Cargo.toml",
+        include_str!("fixtures/layering_wire_clean.toml"),
+        &Default::default(),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // ------------------------------------------------------------ exit bits
 
 #[test]

@@ -38,7 +38,22 @@ const USAGE: &str = "serve_sim — replay simulated office sensors through the s
                       with kinds nan | spike | drop | panic | trainer-panic,
                       e.g. \"nan@50x5,drop@100x20,panic@300\"
   --checkpoint-dir D  write crash-safe model checkpoints into D
-  -h, --help          print this help";
+  -h, --help          print this help
+
+networked serving (the occusense-wire gateway; layered above serve, so
+it ships as its own driver):
+
+  cargo run --release -p occusense-wire --bin wire_storm -- \\
+      --sensors 8 --records 5000 --transport loopback --verify
+
+  wire_storm replays the same simulated fleets over the binary wire
+  protocol instead of in-process calls. Its gateway flags mirror the
+  ones above (--shards, --batch, --delay-ms, --policy, --capacity) and
+  add --transport loopback|tcp, --addr HOST:PORT, --records N,
+  --wire-batch N, --outbound-policy P (slow-client handling for the
+  prediction stream), --seed S and --verify (bitwise comparison of
+  every wire prediction against direct in-process scoring). See
+  `wire_storm --help`.";
 
 struct Args {
     sensors: usize,

@@ -68,8 +68,8 @@ pub use model::{ModelHandle, ModelSnapshot};
 pub use queue::{BackpressurePolicy, BoundedQueue, PopResult, PushError, QueueCounters};
 pub use routing::shard_for;
 pub use runtime::{
-    OnlineTrainingConfig, SensorClient, ServeConfig, ServeError, ServeReport, ServeRuntime,
-    SubmitError,
+    wire_stats, OnlineTrainingConfig, SensorClient, ServeConfig, ServeError, ServeReport,
+    ServeRuntime, SubmitError, WireCounters,
 };
 pub use supervisor::{CheckpointConfig, DeadLetter, FaultReport, SupervisorConfig};
 pub use trainer::LabelledRecord;

@@ -163,22 +163,112 @@ impl SensorClient {
         self.submit_inner(record, Some(label))
     }
 
-    fn submit_inner(&mut self, record: CsiRecord, label: Option<u8>) -> Result<(), SubmitError> {
+    /// Submits a record under a caller-assigned sequence number,
+    /// leaving this handle's own counter untouched.
+    ///
+    /// This is the ingestion path of the `occusense-wire` gateway: a
+    /// network client numbers its records at the sensor, and those
+    /// numbers must survive rejections verbatim — a NACKed record and
+    /// the prediction of its successor carry *consecutive client*
+    /// sequence numbers, which the per-handle counter (which only
+    /// advances on accepted records) could not provide.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit_sequenced(
+        &mut self,
+        seq: u64,
+        record: CsiRecord,
+        label: Option<u8>,
+    ) -> Result<(), SubmitError> {
         let job = Job {
             sensor_id: Arc::clone(&self.sensor_id),
-            seq: self.seq,
+            seq,
             record,
             label,
             enqueued_at: Instant::now(),
         };
         match self.queue.push(job) {
-            Ok(()) => {
-                self.seq += 1;
-                Ok(())
-            }
+            Ok(()) => Ok(()),
             Err(PushError::Rejected(_)) => Err(SubmitError::Rejected),
             Err(PushError::Closed(_)) => Err(SubmitError::Shutdown),
         }
+    }
+
+    fn submit_inner(&mut self, record: CsiRecord, label: Option<u8>) -> Result<(), SubmitError> {
+        let seq = self.seq;
+        self.submit_sequenced(seq, record, label).inspect(|()| {
+            self.seq += 1;
+        })
+    }
+}
+
+/// Metric names the `occusense-wire` gateway increments on the shared
+/// [`MetricsRegistry`]; [`ServeRuntime::shutdown`] mirrors them into
+/// [`ServeReport::wire`] and the transport fields of
+/// [`FaultReport`], which is how transport-level losses enter the
+/// accounting identity without `occusense-serve` depending on the
+/// (higher-layer) wire crate.
+pub mod wire_stats {
+    /// Connections the gateway accepted (post-handshake).
+    pub const CONNECTIONS: &str = "wire.connections";
+    /// Frames received from clients (any type, post-decode).
+    pub const FRAMES_RECEIVED: &str = "wire.frames_received";
+    /// Records decoded out of `Record` + `Batch` frames.
+    pub const RECORDS_DECODED: &str = "wire.records_decoded";
+    /// Decoded records accepted into a shard queue.
+    pub const RECORDS_INGESTED: &str = "wire.records_ingested";
+    /// Decoded records refused by `RejectNewest` (NACK `queue-full`).
+    pub const RECORDS_REJECTED: &str = "wire.records_rejected";
+    /// Decoded records shed because the runtime was shutting down or
+    /// the shard failed closed (NACK `shutdown`).
+    pub const RECORDS_SHED: &str = "wire.records_shed";
+    /// Frames that failed to decode (the connection closes after one).
+    pub const MALFORMED_FRAMES: &str = "wire.malformed_frames";
+    /// Predictions routed towards a connected client's outbound queue.
+    pub const PREDICTIONS_ROUTED: &str = "wire.predictions_routed";
+    /// Predictions actually written to a client connection.
+    pub const PREDICTIONS_SENT: &str = "wire.predictions_sent";
+    /// Predictions whose sensor had no live connection (client gone).
+    pub const PREDICTIONS_UNROUTED: &str = "wire.predictions_unrouted";
+    /// Handshake deadlines missed plus sends abandoned at the write
+    /// timeout (mirrored into `FaultReport::transport_timeouts`).
+    pub const TRANSPORT_TIMEOUTS: &str = "wire.transport_timeouts";
+}
+
+/// Transport-boundary counters of one run, all zero unless an
+/// `occusense-wire` gateway fed the runtime. The wire identity checked
+/// by [`ServeReport::unaccounted_records`]:
+/// `records_decoded = records_ingested + records_rejected + records_shed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireCounters {
+    /// Connections accepted (post-handshake).
+    pub connections: u64,
+    /// Frames received from clients.
+    pub frames_received: u64,
+    /// Records decoded out of record/batch frames.
+    pub records_decoded: u64,
+    /// Records accepted into shard queues.
+    pub records_ingested: u64,
+    /// Records refused under `RejectNewest` (NACKed back).
+    pub records_rejected: u64,
+    /// Records shed at shutdown / on failed shards (NACKed back).
+    pub records_shed: u64,
+    /// Frames that failed to decode.
+    pub malformed_frames: u64,
+    /// Predictions routed towards connected clients.
+    pub predictions_routed: u64,
+    /// Predictions delivered to clients.
+    pub predictions_sent: u64,
+    /// Predictions that found no live connection.
+    pub predictions_unrouted: u64,
+}
+
+impl WireCounters {
+    /// Whether any wire traffic touched this run.
+    pub fn any_traffic(&self) -> bool {
+        self.connections > 0 || self.frames_received > 0 || self.records_decoded > 0
     }
 }
 
@@ -207,6 +297,8 @@ pub struct ServeReport {
     pub model_publishes: u64,
     /// The fault-tolerance outcome: restarts, quarantine, checkpoints.
     pub faults: FaultReport,
+    /// Transport-boundary counters (all zero for in-process runs).
+    pub wire: WireCounters,
     /// The rendered metrics registry at shutdown.
     pub metrics_text: String,
 }
@@ -219,12 +311,25 @@ impl ServeReport {
     /// runtime *lost* records — the failure mode this PR exists to
     /// make impossible, so tests and the `serve_sim --faults` smoke
     /// assert on it.
+    ///
+    /// When an `occusense-wire` gateway fed the run, the identity
+    /// extends across the transport boundary: every record *decoded*
+    /// off the wire must be ingested, NACKed back (`RejectNewest`
+    /// rejection) or shed at shutdown —
+    /// `decoded = ingested + rejected + shed` — so a record cannot
+    /// vanish between the socket and a shard queue either. Both
+    /// residues are summed; in-process runs contribute zero wire
+    /// residue.
     pub fn unaccounted_records(&self) -> i64 {
         let pushed: u64 = self.shard_queues.iter().map(|q| q.pushed).sum();
         let dropped: u64 = self.shard_queues.iter().map(|q| q.dropped).sum();
         let depth: u64 = self.shard_queues.iter().map(|q| q.depth).sum();
-        pushed as i64
-            - (self.records_served + self.faults.poisoned_records + dropped + depth) as i64
+        let queue_residue = pushed as i64
+            - (self.records_served + self.faults.poisoned_records + dropped + depth) as i64;
+        let w = &self.wire;
+        let wire_residue = w.records_decoded as i64
+            - (w.records_ingested + w.records_rejected + w.records_shed) as i64;
+        queue_residue + wire_residue
     }
 }
 
@@ -281,6 +386,28 @@ impl fmt::Display for ServeReport {
                 f,
                 "checkpoints: {} written, {} failed",
                 fr.checkpoints_written, fr.checkpoint_failures
+            )?;
+        }
+        if self.wire.any_traffic() {
+            let w = &self.wire;
+            writeln!(
+                f,
+                "wire: {} connections · {} frames · {} records decoded ({} ingested, {} nacked, {} shed, {} malformed frames)",
+                w.connections,
+                w.frames_received,
+                w.records_decoded,
+                w.records_ingested,
+                w.records_rejected,
+                w.records_shed,
+                w.malformed_frames
+            )?;
+            writeln!(
+                f,
+                "wire: {} predictions routed, {} delivered, {} unrouted · {} transport timeouts",
+                w.predictions_routed,
+                w.predictions_sent,
+                w.predictions_unrouted,
+                fr.transport_timeouts
             )?;
         }
         writeln!(f, "unaccounted records: {}", self.unaccounted_records())?;
@@ -549,6 +676,20 @@ impl ServeRuntime {
             uncontained_panics: uncontained.len() as u64,
             checkpoints_written: self.metrics.counter("serve.checkpoints").get(),
             checkpoint_failures: self.metrics.counter("serve.checkpoint_failures").get(),
+            transport_rejections: self.metrics.counter(wire_stats::RECORDS_REJECTED).get(),
+            transport_timeouts: self.metrics.counter(wire_stats::TRANSPORT_TIMEOUTS).get(),
+        };
+        let wire = WireCounters {
+            connections: self.metrics.counter(wire_stats::CONNECTIONS).get(),
+            frames_received: self.metrics.counter(wire_stats::FRAMES_RECEIVED).get(),
+            records_decoded: self.metrics.counter(wire_stats::RECORDS_DECODED).get(),
+            records_ingested: self.metrics.counter(wire_stats::RECORDS_INGESTED).get(),
+            records_rejected: self.metrics.counter(wire_stats::RECORDS_REJECTED).get(),
+            records_shed: self.metrics.counter(wire_stats::RECORDS_SHED).get(),
+            malformed_frames: self.metrics.counter(wire_stats::MALFORMED_FRAMES).get(),
+            predictions_routed: self.metrics.counter(wire_stats::PREDICTIONS_ROUTED).get(),
+            predictions_sent: self.metrics.counter(wire_stats::PREDICTIONS_SENT).get(),
+            predictions_unrouted: self.metrics.counter(wire_stats::PREDICTIONS_UNROUTED).get(),
         };
         ServeReport {
             elapsed,
@@ -562,6 +703,7 @@ impl ServeRuntime {
             model_version: self.model.version(),
             model_publishes: self.metrics.counter("trainer.publishes").get(),
             faults,
+            wire,
             metrics_text: self.metrics_snapshot(),
         }
     }

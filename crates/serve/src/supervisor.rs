@@ -271,6 +271,14 @@ pub struct FaultReport {
     /// Checkpoint attempts that failed (I/O error or a non-finite
     /// model refused by `save_detector_atomic`).
     pub checkpoint_failures: u64,
+    /// Records refused at the transport boundary (`RejectNewest`
+    /// shard queues surfaced to wire clients as NACK frames). Always 0
+    /// for in-process runs; filled by the `occusense-wire` gateway via
+    /// [`wire_stats`](crate::runtime::wire_stats).
+    pub transport_rejections: u64,
+    /// Transport-level timeouts that cost traffic: handshakes that
+    /// never completed and sends abandoned at the write timeout.
+    pub transport_timeouts: u64,
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -67,6 +67,20 @@ impl RecordStream {
     }
 }
 
+/// The canonical per-sensor replay source for fleet drivers
+/// (`serve_sim`, `occusense-wire`'s `wire_storm`): sensor `index` of a
+/// fleet seeded with `base_seed` replays
+/// `ScenarioConfig::quick(duration_s, base_seed + index)`.
+///
+/// Every driver deriving its streams through this one function
+/// guarantees that an over-the-wire replay and a direct in-process
+/// replay of "the same fleet" really do score the same records — the
+/// precondition for `wire_storm --verify`'s bitwise comparison.
+pub fn fleet_stream(duration_s: f64, base_seed: u64, index: u64) -> RecordStream {
+    let cfg = crate::scenario::ScenarioConfig::quick(duration_s, base_seed.wrapping_add(index));
+    OfficeSimulator::new(cfg).stream()
+}
+
 impl Iterator for RecordStream {
     type Item = CsiRecord;
 

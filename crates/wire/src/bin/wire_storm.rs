@@ -1,0 +1,566 @@
+//! Multi-sensor wire load generator: replays simulated office sensor
+//! fleets through the `occusense-wire` gateway over loopback or TCP
+//! and (with `--verify`) proves the delivered predictions bitwise
+//! identical to direct in-process scoring.
+//!
+//! ```text
+//! cargo run --release -p occusense-wire --bin wire_storm -- \
+//!     --sensors 8 --records 5000 --transport loopback --verify
+//! ```
+//!
+//! The verification contract: the gateway runs with online training
+//! disabled (model version pinned at 1) and lossless `Block` policies
+//! by default, every sensor's records come from the shared
+//! `occusense_sim::fleet_stream` replay source, and every prediction
+//! that comes back over the wire must satisfy
+//! `proba.to_bits() == detector.predict_record(record).1.to_bits()`.
+//! Any mismatch, any unaccounted record, or any lost prediction exits
+//! non-zero — the same verdict discipline as `serve_sim --faults`.
+
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_dataset::CsiRecord;
+use occusense_serve::{BackpressurePolicy, BatchConfig, ServeConfig, ServeReport};
+use occusense_sim::{fleet_stream, simulate, ScenarioConfig};
+use occusense_wire::{
+    connect, loopback, tcp_connect, tcp_listen, ClientEvent, Connection, Gateway, GatewayConfig,
+    LoopbackConfig, LoopbackConnector, TcpConfig,
+};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "wire_storm — multi-sensor load generator for the occusense wire gateway
+
+  --sensors N           concurrent wire clients (default 8)
+  --records N           records replayed per sensor (default 5000)
+  --transport T         loopback | tcp (default loopback)
+  --addr A              tcp listen address (default 127.0.0.1:0 = OS port)
+  --shards N            worker shards (default 4)
+  --batch N             micro-batch size trigger (default 32)
+  --delay-ms N          micro-batch deadline trigger, ms (default 2)
+  --wire-batch N        records per Batch frame; 1 = single Record
+                        frames (default 16)
+  --policy P            ingress backpressure: block | drop-oldest |
+                        reject-newest (default block)
+  --outbound-policy P   per-connection prediction queue policy
+                        (default block)
+  --capacity N          per-shard ingress queue capacity (default 1024)
+  --seed S              fleet base seed; sensor i replays
+                        fleet_stream(duration, seed, i) (default 100)
+  --verify              bitwise-compare every delivered prediction
+                        against direct in-process scoring and exit 1 on
+                        any mismatch, lost prediction or accounting
+                        residue
+  -h, --help            print this help";
+
+#[derive(Clone)]
+struct Args {
+    sensors: usize,
+    records: usize,
+    transport: Transport,
+    addr: String,
+    shards: usize,
+    max_batch: usize,
+    max_delay_ms: u64,
+    wire_batch: usize,
+    policy: BackpressurePolicy,
+    outbound_policy: BackpressurePolicy,
+    capacity: usize,
+    seed: u64,
+    verify: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    Loopback,
+    Tcp,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            sensors: 8,
+            records: 5000,
+            transport: Transport::Loopback,
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            max_batch: 32,
+            max_delay_ms: 2,
+            wire_batch: 16,
+            policy: BackpressurePolicy::Block,
+            outbound_policy: BackpressurePolicy::Block,
+            capacity: 1024,
+            seed: 100,
+            verify: false,
+        }
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad value {raw:?} for {what}: {e}"))
+}
+
+fn parse_policy(raw: &str, what: &str) -> Result<BackpressurePolicy, String> {
+    BackpressurePolicy::parse(raw)
+        .ok_or_else(|| format!("unknown {what} {raw:?} (block | drop-oldest | reject-newest)"))
+}
+
+/// Parses the command line. `Err` carries a user-facing message — the
+/// caller prints it with the usage text and exits 2 (the PR 2 CLI
+/// convention shared with `serve_sim`); malformed flags never panic.
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv;
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        if flag == "--verify" {
+            args.verify = true;
+            continue;
+        }
+        const KNOWN: &[&str] = &[
+            "--sensors",
+            "--records",
+            "--transport",
+            "--addr",
+            "--shards",
+            "--batch",
+            "--delay-ms",
+            "--wire-batch",
+            "--policy",
+            "--outbound-policy",
+            "--capacity",
+            "--seed",
+        ];
+        if !KNOWN.contains(&flag.as_str()) {
+            return Err(format!("unknown flag {flag:?}"));
+        }
+        let raw = it
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--sensors" => args.sensors = parse_value(&raw, "--sensors")?,
+            "--records" => args.records = parse_value(&raw, "--records")?,
+            "--transport" => {
+                args.transport = match raw.as_str() {
+                    "loopback" => Transport::Loopback,
+                    "tcp" => Transport::Tcp,
+                    _ => return Err(format!("unknown transport {raw:?} (loopback | tcp)")),
+                };
+            }
+            "--addr" => args.addr = raw,
+            "--shards" => args.shards = parse_value(&raw, "--shards")?,
+            "--batch" => args.max_batch = parse_value(&raw, "--batch")?,
+            "--delay-ms" => args.max_delay_ms = parse_value(&raw, "--delay-ms")?,
+            "--wire-batch" => args.wire_batch = parse_value(&raw, "--wire-batch")?,
+            "--policy" => args.policy = parse_policy(&raw, "--policy")?,
+            "--outbound-policy" => args.outbound_policy = parse_policy(&raw, "--outbound-policy")?,
+            "--capacity" => args.capacity = parse_value(&raw, "--capacity")?,
+            "--seed" => args.seed = parse_value(&raw, "--seed")?,
+            _ => unreachable!("flag was vetted against KNOWN"),
+        }
+    }
+    if args.sensors == 0 {
+        return Err("--sensors must be >= 1".into());
+    }
+    if args.records == 0 {
+        return Err("--records must be >= 1".into());
+    }
+    if args.wire_batch == 0 {
+        return Err("--wire-batch must be >= 1".into());
+    }
+    Ok(args)
+}
+
+/// What one sensor thread brings home.
+struct SensorOutcome {
+    index: usize,
+    shard: u32,
+    records: Vec<CsiRecord>,
+    sent: u64,
+    predictions: Vec<occusense_wire::PredictionFrame>,
+    nacks: u64,
+    errors: Vec<String>,
+}
+
+fn run_sensor(
+    index: usize,
+    conn: Box<dyn Connection>,
+    records: Vec<CsiRecord>,
+    wire_batch: usize,
+) -> SensorOutcome {
+    let mut outcome = SensorOutcome {
+        index,
+        shard: 0,
+        records,
+        sent: 0,
+        predictions: Vec::new(),
+        nacks: 0,
+        errors: Vec::new(),
+    };
+    let (mut tx, mut rx) = match connect(conn, &format!("sensor-{index}"), Duration::from_secs(10))
+    {
+        Ok(split) => split,
+        Err(e) => {
+            outcome.errors.push(format!("handshake: {e}"));
+            return outcome;
+        }
+    };
+    outcome.shard = rx.shard();
+
+    // Receiver thread: drain until the gateway's Goodbye (or a stall).
+    let reader = std::thread::spawn(move || {
+        let mut predictions = Vec::new();
+        let mut nacks = 0u64;
+        let mut errors = Vec::new();
+        let stall_limit = Duration::from_secs(15);
+        let mut last_event = Instant::now();
+        loop {
+            match rx.recv() {
+                Ok(ClientEvent::Prediction(p)) => {
+                    predictions.push(p);
+                    last_event = Instant::now();
+                }
+                Ok(ClientEvent::Nack(_)) => {
+                    nacks += 1;
+                    last_event = Instant::now();
+                }
+                Ok(ClientEvent::Goodbye(_)) | Ok(ClientEvent::Closed) => break,
+                Ok(ClientEvent::TimedOut) => {
+                    if last_event.elapsed() > stall_limit {
+                        errors.push("receiver stalled past the 15 s limit".to_string());
+                        break;
+                    }
+                }
+                Err(e) => {
+                    errors.push(format!("receive: {e}"));
+                    break;
+                }
+            }
+        }
+        (predictions, nacks, errors)
+    });
+
+    // Sender: labelled on even sequence numbers (exercises both label
+    // encodings), batched per --wire-batch.
+    let labelled: Vec<(CsiRecord, Option<u8>)> = outcome
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (*r, (i % 2 == 0).then(|| r.occupancy())))
+        .collect();
+    let mut send_failed = false;
+    if wire_batch <= 1 {
+        for (record, label) in &labelled {
+            if let Err(e) = tx.send(*record, *label) {
+                outcome.errors.push(format!("send: {e}"));
+                send_failed = true;
+                break;
+            }
+        }
+    } else {
+        for chunk in labelled.chunks(wire_batch) {
+            if let Err(e) = tx.send_batch(chunk) {
+                outcome.errors.push(format!("send batch: {e}"));
+                send_failed = true;
+                break;
+            }
+        }
+    }
+    if !send_failed {
+        match tx.finish() {
+            Ok(sent) => outcome.sent = sent,
+            Err(e) => outcome.errors.push(format!("goodbye: {e}")),
+        }
+    }
+
+    match reader.join() {
+        Ok((predictions, nacks, errors)) => {
+            outcome.predictions = predictions;
+            outcome.nacks = nacks;
+            outcome.errors.extend(errors);
+        }
+        Err(_) => outcome.errors.push("receiver thread panicked".to_string()),
+    }
+    outcome
+}
+
+/// The `--verify` verdict: bitwise agreement with in-process scoring
+/// plus exact accounting, per sensor and globally.
+fn verify(
+    outcomes: &[SensorOutcome],
+    detector: &OccupancyDetector,
+    report: &ServeReport,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut delivered_total = 0u64;
+    for o in outcomes {
+        delivered_total += o.predictions.len() as u64;
+        if o.sent != o.records.len() as u64 {
+            failures.push(format!(
+                "sensor-{}: sent {} of {} records",
+                o.index,
+                o.sent,
+                o.records.len()
+            ));
+        }
+        let resolved = o.predictions.len() as u64 + o.nacks;
+        if resolved != o.sent {
+            failures.push(format!(
+                "sensor-{}: {} records sent but only {} resolved ({} predictions + {} NACKs)",
+                o.index,
+                o.sent,
+                resolved,
+                o.predictions.len(),
+                o.nacks
+            ));
+        }
+        let mut mismatches = 0usize;
+        for p in &o.predictions {
+            let Some(record) = o.records.get(p.seq as usize) else {
+                failures.push(format!(
+                    "sensor-{}: prediction for unknown seq {}",
+                    o.index, p.seq
+                ));
+                continue;
+            };
+            let (occupied, proba) = detector.predict_record(record);
+            if p.occupied != occupied || p.proba.to_bits() != proba.to_bits() {
+                mismatches += 1;
+                if mismatches <= 3 {
+                    failures.push(format!(
+                        "sensor-{} seq {}: wire ({}, {:#018x}) != direct ({}, {:#018x})",
+                        o.index,
+                        p.seq,
+                        p.occupied,
+                        p.proba.to_bits(),
+                        occupied,
+                        proba.to_bits()
+                    ));
+                }
+            }
+            if p.model_version != 1 {
+                failures.push(format!(
+                    "sensor-{} seq {}: scored by model v{} (hot swap while pinned?)",
+                    o.index, p.seq, p.model_version
+                ));
+            }
+        }
+        if mismatches > 3 {
+            failures.push(format!(
+                "sensor-{}: {} bitwise mismatches total",
+                o.index, mismatches
+            ));
+        }
+    }
+    let unaccounted = report.unaccounted_records();
+    if unaccounted != 0 {
+        failures.push(format!("{unaccounted} records unaccounted for"));
+    }
+    if report.wire.predictions_sent != delivered_total {
+        failures.push(format!(
+            "gateway sent {} predictions but clients received {}",
+            report.wire.predictions_sent, delivered_total
+        ));
+    }
+    failures
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("wire_storm: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Offline bootstrap, same recipe as serve_sim; online training is
+    // *disabled* so the serving model stays pinned at v1 — the
+    // precondition for comparing wire predictions bitwise against an
+    // identical local detector.
+    eprintln!("training bootstrap detector…");
+    let train = simulate(&ScenarioConfig::quick(1200.0, 7));
+    let detector = OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            model: ModelKind::Mlp,
+            mlp_epochs: 4,
+            seed: 7,
+            ..DetectorConfig::default()
+        },
+    );
+    let direct = detector.clone();
+
+    let serve = ServeConfig {
+        n_shards: args.shards,
+        queue_capacity: args.capacity,
+        policy: args.policy,
+        batch: BatchConfig {
+            max_batch: args.max_batch,
+            max_delay: Duration::from_millis(args.max_delay_ms),
+        },
+        online: None,
+        ..ServeConfig::default()
+    };
+    let gateway_cfg = GatewayConfig {
+        outbound_policy: args.outbound_policy,
+        ..GatewayConfig::default()
+    };
+
+    // Replay sources are collected up front so the verify pass can
+    // rescore the exact same records locally.
+    let rate = ScenarioConfig::quick(1.0, 0).sample_rate_hz;
+    let duration_s = args.records as f64 / rate + 1.0;
+    let fleets: Vec<Vec<CsiRecord>> = (0..args.sensors)
+        .map(|i| {
+            fleet_stream(duration_s, args.seed, i as u64)
+                .take(args.records)
+                .collect()
+        })
+        .collect();
+
+    let started = Instant::now();
+    let (gateway, connectors) = match args.transport {
+        Transport::Loopback => {
+            let (acceptor, connector) = loopback(LoopbackConfig::default());
+            let gateway = Gateway::start(detector, serve, gateway_cfg, Box::new(acceptor))
+                .unwrap_or_else(|e| {
+                    eprintln!("wire_storm: {e}");
+                    std::process::exit(2);
+                });
+            (gateway, Connectors::Loopback(connector))
+        }
+        Transport::Tcp => {
+            let (acceptor, local) =
+                tcp_listen(&args.addr, TcpConfig::default()).unwrap_or_else(|e| {
+                    eprintln!("wire_storm: cannot listen on {}: {e}", args.addr);
+                    std::process::exit(2);
+                });
+            eprintln!("listening on {local}");
+            let gateway = Gateway::start(detector, serve, gateway_cfg, Box::new(acceptor))
+                .unwrap_or_else(|e| {
+                    eprintln!("wire_storm: {e}");
+                    std::process::exit(2);
+                });
+            (gateway, Connectors::Tcp(local.to_string()))
+        }
+    };
+
+    eprintln!(
+        "storming: {} sensors × {} records over {} → {} shards (ingress {:?}, outbound {:?}, wire batch {})",
+        args.sensors,
+        args.records,
+        match args.transport {
+            Transport::Loopback => "loopback",
+            Transport::Tcp => "tcp",
+        },
+        args.shards,
+        args.policy,
+        args.outbound_policy,
+        args.wire_batch
+    );
+
+    let sensors: Vec<_> = fleets
+        .into_iter()
+        .enumerate()
+        .map(|(i, records)| {
+            let connectors = connectors.clone();
+            let wire_batch = args.wire_batch;
+            std::thread::Builder::new()
+                .name(format!("storm-{i}"))
+                .spawn(move || {
+                    let conn = match connectors.connect() {
+                        Ok(conn) => conn,
+                        Err(e) => {
+                            return SensorOutcome {
+                                index: i,
+                                shard: 0,
+                                records,
+                                sent: 0,
+                                predictions: Vec::new(),
+                                nacks: 0,
+                                errors: vec![format!("connect: {e}")],
+                            }
+                        }
+                    };
+                    run_sensor(i, conn, records, wire_batch)
+                })
+                .expect("spawn sensor thread")
+        })
+        .collect();
+
+    let outcomes: Vec<SensorOutcome> = sensors
+        .into_iter()
+        .map(|h| h.join().expect("sensor thread panicked"))
+        .collect();
+    let report = gateway.shutdown();
+    let wall = started.elapsed();
+
+    let sent_total: u64 = outcomes.iter().map(|o| o.sent).sum();
+    let delivered_total: usize = outcomes.iter().map(|o| o.predictions.len()).sum();
+    let nacks_total: u64 = outcomes.iter().map(|o| o.nacks).sum();
+    for o in &outcomes {
+        eprintln!(
+            "sensor-{}: shard {}, sent {}, predictions {}, nacks {}{}",
+            o.index,
+            o.shard,
+            o.sent,
+            o.predictions.len(),
+            o.nacks,
+            if o.errors.is_empty() {
+                String::new()
+            } else {
+                format!(", errors: {}", o.errors.join("; "))
+            }
+        );
+    }
+
+    println!("\n=== wire_storm report ===");
+    print!("{report}");
+    println!(
+        "wire wall time {wall:.2?} · {:.0} records/s end-to-end · {delivered_total} predictions delivered to clients · {nacks_total} NACKs",
+        sent_total as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!("\n=== metrics ===\n{}", report.metrics_text);
+
+    let mut failures: Vec<String> = outcomes
+        .iter()
+        .flat_map(|o| o.errors.iter().map(|e| format!("sensor-{}: {e}", o.index)))
+        .collect();
+    if args.verify {
+        failures.extend(verify(&outcomes, &direct, &report));
+        if failures.is_empty() {
+            println!(
+                "verify verdict: PASS ({} sensors, {} records, bitwise identical to in-process scoring, 0 unaccounted)",
+                args.sensors, sent_total
+            );
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("wire_storm verdict: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Per-transport connection factory, cloneable into sensor threads.
+#[derive(Clone)]
+enum Connectors {
+    Loopback(LoopbackConnector),
+    Tcp(String),
+}
+
+impl Connectors {
+    fn connect(&self) -> Result<Box<dyn Connection>, occusense_wire::TransportError> {
+        match self {
+            Connectors::Loopback(c) => c.connect(),
+            Connectors::Tcp(addr) => tcp_connect(addr, TcpConfig::default()),
+        }
+    }
+}

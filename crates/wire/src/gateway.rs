@@ -1,0 +1,577 @@
+//! The gateway: N concurrent sensor connections feeding one
+//! [`ServeRuntime`], predictions streaming back.
+//!
+//! # Threading model (DESIGN.md §10 has the diagram)
+//!
+//! * one **accept loop** pulls connections off the [`Acceptor`] and
+//!   spawns a reader thread per connection;
+//! * each **connection reader** performs the `Hello → HelloAck`
+//!   handshake, then decodes `Record`/`Batch` frames and submits them
+//!   through a [`SensorClient`] under the *client's* sequence numbers
+//!   ([`SensorClient::submit_sequenced`]), so NACKs and predictions
+//!   correlate at the sensor;
+//! * each connection also owns a **writer thread** draining a bounded
+//!   per-connection outbound queue — the slow-client boundary: the
+//!   queue's [`BackpressurePolicy`] decides whether a sensor that
+//!   stops reading stalls the router (`Block`), loses its oldest
+//!   predictions (`DropOldest`) or its newest (`RejectNewest`);
+//! * one **router** thread receives every [`Prediction`] from the
+//!   runtime and pushes it to the owning sensor's outbound queue.
+//!
+//! # Accounting
+//!
+//! The gateway increments the [`wire_stats`] counters on the runtime's
+//! own [`MetricsRegistry`](occusense_serve::MetricsRegistry);
+//! [`ServeRuntime::shutdown`] mirrors them into
+//! [`ServeReport::wire`](occusense_serve::ServeReport) and
+//! `FaultReport::{transport_rejections, transport_timeouts}`, and
+//! `ServeReport::unaccounted_records()` extends the serve identity
+//! across the wire: `decoded = ingested + rejected + shed`. A record
+//! that made it off the socket cannot vanish — it is scored, NACKed
+//! back, or counted as shed.
+
+use crate::codec::{
+    Frame, Goodbye, HelloAck, NackFrame, NackReason, PredictionFrame, RecordFrame, PROTOCOL_VERSION,
+};
+use crate::transport::{Accepted, Acceptor, Connection, FrameSink, FrameSource, RecvOutcome};
+use crate::WireError;
+use occusense_core::detector::OccupancyDetector;
+use occusense_serve::{
+    wire_stats, BackpressurePolicy, BoundedQueue, Counter, Prediction, SensorClient, ServeConfig,
+    ServeReport, ServeRuntime, SubmitError,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway tuning knobs (transport-level knobs — timeouts, frame-size
+/// ceilings — live on the transport configs instead).
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// How long a fresh connection may take to present its `Hello`
+    /// before it is dropped (counted as a transport timeout).
+    pub handshake_timeout: Duration,
+    /// Capacity of each connection's outbound prediction queue.
+    pub outbound_capacity: usize,
+    /// Slow-client policy of the outbound queues. `DropOldest` (the
+    /// default) keeps one stalled sensor from head-of-line blocking
+    /// the router; `Block` is lossless and right for cooperative
+    /// clients that always drain (e.g. `wire_storm --verify`).
+    pub outbound_policy: BackpressurePolicy,
+    /// After a client's `Goodbye`, how long the reader waits without
+    /// *progress* (new predictions delivered or shed) before giving up
+    /// on draining the remaining in-flight predictions.
+    pub drain_grace: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            handshake_timeout: Duration::from_secs(5),
+            outbound_capacity: 1024,
+            outbound_policy: BackpressurePolicy::DropOldest,
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Outbound queues of the live connections, keyed by sensor id. The
+/// router resolves each prediction through this map; a reader
+/// registers its queue after the handshake and deregisters it before
+/// closing.
+type Registry = Arc<Mutex<BTreeMap<String, Arc<BoundedQueue<Frame>>>>>;
+
+/// `wire_stats` counter handles shared by every gateway thread.
+#[derive(Clone)]
+struct GatewayCounters {
+    connections: Arc<Counter>,
+    frames_received: Arc<Counter>,
+    records_decoded: Arc<Counter>,
+    records_ingested: Arc<Counter>,
+    records_rejected: Arc<Counter>,
+    records_shed: Arc<Counter>,
+    malformed_frames: Arc<Counter>,
+    predictions_routed: Arc<Counter>,
+    predictions_sent: Arc<Counter>,
+    predictions_unrouted: Arc<Counter>,
+    transport_timeouts: Arc<Counter>,
+}
+
+impl GatewayCounters {
+    fn new(runtime: &ServeRuntime) -> Self {
+        let m = runtime.metrics();
+        Self {
+            connections: m.counter(wire_stats::CONNECTIONS),
+            frames_received: m.counter(wire_stats::FRAMES_RECEIVED),
+            records_decoded: m.counter(wire_stats::RECORDS_DECODED),
+            records_ingested: m.counter(wire_stats::RECORDS_INGESTED),
+            records_rejected: m.counter(wire_stats::RECORDS_REJECTED),
+            records_shed: m.counter(wire_stats::RECORDS_SHED),
+            malformed_frames: m.counter(wire_stats::MALFORMED_FRAMES),
+            predictions_routed: m.counter(wire_stats::PREDICTIONS_ROUTED),
+            predictions_sent: m.counter(wire_stats::PREDICTIONS_SENT),
+            predictions_unrouted: m.counter(wire_stats::PREDICTIONS_UNROUTED),
+            transport_timeouts: m.counter(wire_stats::TRANSPORT_TIMEOUTS),
+        }
+    }
+}
+
+/// The running gateway. [`shutdown`](Self::shutdown) drains
+/// everything and returns the runtime's [`ServeReport`], whose
+/// [`wire`](occusense_serve::ServeReport) section carries the
+/// transport counters.
+pub struct Gateway {
+    stop: Arc<AtomicBool>,
+    runtime: Option<Arc<ServeRuntime>>,
+    accept: Option<JoinHandle<()>>,
+    router: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Gateway {
+    /// Boots a [`ServeRuntime`] around `detector` and starts accepting
+    /// sensor connections from `acceptor`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Serve`] when the runtime refuses its
+    /// configuration.
+    pub fn start(
+        detector: OccupancyDetector,
+        serve: ServeConfig,
+        config: GatewayConfig,
+        acceptor: Box<dyn Acceptor>,
+    ) -> Result<Self, WireError> {
+        let (runtime, predictions) =
+            ServeRuntime::start(detector, serve).map_err(WireError::Serve)?;
+        let runtime = Arc::new(runtime);
+        let counters = GatewayCounters::new(&runtime);
+        let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+
+        let router = {
+            let registry = Arc::clone(&registry);
+            let counters = counters.clone();
+            std::thread::Builder::new()
+                .name("wire-router".into())
+                .spawn(move || route_predictions(predictions, registry, counters))
+                // lint:allow(panic, reason = "startup-only: thread spawn failure is unrecoverable resource exhaustion, before any connection is accepted")
+                .expect("spawn router")
+        };
+
+        let accept = {
+            let ctx = ConnContext {
+                runtime: Arc::clone(&runtime),
+                registry,
+                config,
+                counters,
+                stop: Arc::clone(&stop),
+            };
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("wire-accept".into())
+                .spawn(move || accept_loop(acceptor, ctx, conns))
+                // lint:allow(panic, reason = "startup-only: thread spawn failure is unrecoverable resource exhaustion, before any connection is accepted")
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            stop,
+            runtime: Some(runtime),
+            accept: Some(accept),
+            router: Some(router),
+            conns,
+        })
+    }
+
+    /// A direct in-process ingestion handle on the underlying runtime
+    /// (used by drivers that mix wire and local traffic).
+    pub fn local_client(&self, sensor_id: &str) -> Option<SensorClient> {
+        self.runtime.as_ref().map(|rt| rt.client(sensor_id))
+    }
+
+    /// Live model version of the underlying runtime.
+    pub fn model_version(&self) -> u64 {
+        self.runtime.as_ref().map_or(0, |rt| rt.model_version())
+    }
+
+    /// Stops accepting, drains every connection and the runtime, and
+    /// returns the final report (wire counters included).
+    pub fn shutdown(mut self) -> ServeReport {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            // A panicking accept loop already stopped accepting; the
+            // runtime report below still accounts every record.
+            let _ = h.join();
+        }
+        let handles = {
+            let mut guard = self
+                .conns
+                .lock()
+                // lint:allow(panic, reason = "poison propagation: a poisoned handle list means a reader thread panicked mid-push; joining the rest would miss it anyway")
+                .expect("connection list poisoned");
+            std::mem::take(&mut *guard)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let runtime = self
+            .runtime
+            .take()
+            .and_then(|rt| Arc::try_unwrap(rt).ok())
+            // lint:allow(panic, reason = "invariant: the accept loop and every reader joined above, so this is the last Arc; failure means a leaked thread and no truthful report exists")
+            .expect("gateway runtime still shared after joining all threads");
+        let report = runtime.shutdown();
+        if let Some(h) = self.router.take() {
+            // The prediction channel closed when the workers exited,
+            // so the router has already run to completion.
+            let _ = h.join();
+        }
+        report
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = {
+            let mut guard = match self.conns.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            std::mem::take(&mut *guard)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        // Dropping the runtime Arc joins the serve threads (its Drop),
+        // which closes the prediction channel and ends the router.
+        self.runtime.take();
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything a connection reader needs, cloned per connection.
+struct ConnContext {
+    runtime: Arc<ServeRuntime>,
+    registry: Registry,
+    config: GatewayConfig,
+    counters: GatewayCounters,
+    stop: Arc<AtomicBool>,
+}
+
+impl ConnContext {
+    fn fork(&self) -> Self {
+        Self {
+            runtime: Arc::clone(&self.runtime),
+            registry: Arc::clone(&self.registry),
+            config: self.config,
+            counters: self.counters.clone(),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+}
+
+fn accept_loop(
+    mut acceptor: Box<dyn Acceptor>,
+    ctx: ConnContext,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id: u64 = 0;
+    while !ctx.stop.load(Ordering::Relaxed) {
+        match acceptor.accept() {
+            Ok(Accepted::Connection(conn)) => {
+                let id = next_id;
+                next_id += 1;
+                let child = ctx.fork();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("wire-conn-{id}"))
+                    .spawn(move || serve_connection(child, conn));
+                if let Ok(handle) = spawned {
+                    if let Ok(mut guard) = conns.lock() {
+                        guard.push(handle);
+                    }
+                }
+            }
+            Ok(Accepted::TimedOut) => continue,
+            Ok(Accepted::Closed) => break,
+            Err(_) => break,
+        }
+    }
+}
+
+fn route_predictions(
+    predictions: mpsc::Receiver<Prediction>,
+    registry: Registry,
+    counters: GatewayCounters,
+) {
+    while let Ok(p) = predictions.recv() {
+        let queue = registry
+            .lock()
+            // lint:allow(panic, reason = "poison propagation: a poisoned registry means a reader panicked mid-(de)registration; routing against it would misdeliver")
+            .expect("connection registry poisoned")
+            .get(p.sensor_id.as_ref())
+            .cloned();
+        let Some(queue) = queue else {
+            counters.predictions_unrouted.inc();
+            continue;
+        };
+        counters.predictions_routed.inc();
+        let frame = Frame::Prediction(PredictionFrame {
+            seq: p.seq,
+            timestamp_s: p.timestamp_s,
+            occupied: p.occupied,
+            proba: p.proba,
+            model_version: p.model_version,
+            latency_ns: p.latency.as_nanos() as u64,
+        });
+        // A full `RejectNewest` queue or a closed (disconnecting)
+        // queue loses the frame; `predictions_routed − predictions_sent`
+        // makes the loss visible in the report.
+        let _ = queue.push(frame);
+    }
+}
+
+/// Waits for the client's `Hello` within the handshake deadline.
+fn await_hello(
+    source: &mut Box<dyn FrameSource>,
+    deadline: Instant,
+    stop: &AtomicBool,
+) -> Option<crate::codec::Hello> {
+    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        match source.recv() {
+            Ok(RecvOutcome::Frame(Frame::Hello(h))) => return Some(h),
+            Ok(RecvOutcome::Frame(_)) => return None,
+            Ok(RecvOutcome::TimedOut) => continue,
+            Ok(RecvOutcome::Closed) | Err(_) => return None,
+        }
+    }
+    None
+}
+
+fn serve_connection(ctx: ConnContext, conn: Box<dyn Connection>) {
+    let (mut sink, mut source) = conn.split();
+    let deadline = Instant::now() + ctx.config.handshake_timeout;
+    let Some(hello) = await_hello(&mut source, deadline, &ctx.stop) else {
+        ctx.counters.transport_timeouts.inc();
+        return;
+    };
+    ctx.counters.frames_received.inc();
+    if hello.protocol != PROTOCOL_VERSION {
+        let _ = sink.send(&Frame::Nack(NackFrame {
+            seq: 0,
+            reason: NackReason::Unsupported,
+        }));
+        return;
+    }
+    ctx.counters.connections.inc();
+
+    let mut client = ctx.runtime.client(&hello.sensor_id);
+    let shard = client.shard() as u32;
+
+    // The writer half: a bounded outbound queue whose policy is the
+    // slow-client contract, drained by a dedicated thread.
+    let outbound = Arc::new(BoundedQueue::new(
+        ctx.config.outbound_capacity.max(1),
+        ctx.config.outbound_policy,
+    ));
+    register(&ctx.registry, &hello.sensor_id, &outbound);
+    let delivered = Arc::new(AtomicU64::new(0));
+    let writer_dead = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let outbound = Arc::clone(&outbound);
+        let delivered = Arc::clone(&delivered);
+        let writer_dead = Arc::clone(&writer_dead);
+        let counters = ctx.counters.clone();
+        std::thread::Builder::new()
+            .name("wire-writer".into())
+            .spawn(move || write_loop(sink, outbound, delivered, writer_dead, counters))
+    };
+    let Ok(writer) = writer else {
+        deregister(&ctx.registry, &hello.sensor_id, &outbound);
+        return;
+    };
+    let _ = outbound.push(Frame::HelloAck(HelloAck {
+        protocol: PROTOCOL_VERSION,
+        shard,
+    }));
+
+    // Ingress: decode records, submit under the client's own sequence
+    // numbers, NACK refusals.
+    let mut ingested: u64 = 0;
+    let mut orderly = false;
+    loop {
+        if writer_dead.load(Ordering::Relaxed) {
+            break;
+        }
+        match source.recv() {
+            Ok(RecvOutcome::Frame(frame)) => {
+                ctx.counters.frames_received.inc();
+                match frame {
+                    Frame::Record(r) => {
+                        ingest(&ctx, &mut client, &outbound, r, &mut ingested);
+                    }
+                    Frame::Batch(b) => {
+                        for (i, (record, label)) in b.records.into_iter().enumerate() {
+                            let r = RecordFrame {
+                                seq: b.first_seq.wrapping_add(i as u64),
+                                label,
+                                record,
+                            };
+                            ingest(&ctx, &mut client, &outbound, r, &mut ingested);
+                        }
+                    }
+                    Frame::Goodbye(_) => {
+                        orderly = true;
+                        break;
+                    }
+                    // Hello twice, or server-role frames from a client:
+                    // protocol violation, refuse and close.
+                    _ => {
+                        let _ = outbound.push(Frame::Nack(NackFrame {
+                            seq: 0,
+                            reason: NackReason::Unsupported,
+                        }));
+                        break;
+                    }
+                }
+            }
+            Ok(RecvOutcome::TimedOut) => {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Ok(RecvOutcome::Closed) => break,
+            Err(e) => {
+                if matches!(e, crate::transport::TransportError::Decode(_)) {
+                    ctx.counters.malformed_frames.inc();
+                    let _ = outbound.push(Frame::Nack(NackFrame {
+                        seq: 0,
+                        reason: NackReason::Malformed,
+                    }));
+                }
+                break;
+            }
+        }
+    }
+
+    // Drain: after an orderly Goodbye, wait for the in-flight
+    // predictions to resolve (delivered, or shed by the outbound
+    // policy) before answering with our own Goodbye. Progress-based
+    // grace, so a quarantined record (which never produces a
+    // prediction) cannot hang the connection forever.
+    if orderly {
+        let resolved = |delivered: &AtomicU64, outbound: &BoundedQueue<Frame>| {
+            let c = outbound.counters();
+            delivered.load(Ordering::Relaxed) + c.dropped + c.rejected
+        };
+        let mut last = resolved(&delivered, &outbound);
+        let mut last_progress = Instant::now();
+        while last < ingested && !writer_dead.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(2));
+            let now = resolved(&delivered, &outbound);
+            if now != last {
+                last = now;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() > ctx.config.drain_grace {
+                break;
+            }
+        }
+        let _ = outbound.push(Frame::Goodbye(Goodbye {
+            count: delivered.load(Ordering::Relaxed),
+        }));
+    }
+
+    deregister(&ctx.registry, &hello.sensor_id, &outbound);
+    outbound.close();
+    let _ = writer.join();
+}
+
+/// Submits one decoded record; refusals go back as NACKs and into the
+/// rejected/shed counters, keeping `decoded = ingested + rejected +
+/// shed` exact.
+fn ingest(
+    ctx: &ConnContext,
+    client: &mut SensorClient,
+    outbound: &Arc<BoundedQueue<Frame>>,
+    r: RecordFrame,
+    ingested: &mut u64,
+) {
+    ctx.counters.records_decoded.inc();
+    match client.submit_sequenced(r.seq, r.record, r.label) {
+        Ok(()) => {
+            *ingested += 1;
+            ctx.counters.records_ingested.inc();
+        }
+        Err(SubmitError::Rejected) => {
+            ctx.counters.records_rejected.inc();
+            let _ = outbound.push(Frame::Nack(NackFrame {
+                seq: r.seq,
+                reason: NackReason::QueueFull,
+            }));
+        }
+        Err(SubmitError::Shutdown) => {
+            ctx.counters.records_shed.inc();
+            let _ = outbound.push(Frame::Nack(NackFrame {
+                seq: r.seq,
+                reason: NackReason::Shutdown,
+            }));
+        }
+    }
+}
+
+fn write_loop(
+    mut sink: Box<dyn FrameSink>,
+    outbound: Arc<BoundedQueue<Frame>>,
+    delivered: Arc<AtomicU64>,
+    writer_dead: Arc<AtomicBool>,
+    counters: GatewayCounters,
+) {
+    while let Some(frame) = outbound.pop() {
+        let is_prediction = matches!(frame, Frame::Prediction(_));
+        match sink.send(&frame) {
+            Ok(()) => {
+                if is_prediction {
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                    counters.predictions_sent.inc();
+                }
+            }
+            Err(e) => {
+                if matches!(e, crate::transport::TransportError::SendTimeout) {
+                    counters.transport_timeouts.inc();
+                }
+                writer_dead.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+fn register(registry: &Registry, sensor_id: &str, queue: &Arc<BoundedQueue<Frame>>) {
+    registry
+        .lock()
+        // lint:allow(panic, reason = "poison propagation: a poisoned registry cannot route safely; the panic surfaces through the reader thread join")
+        .expect("connection registry poisoned")
+        .insert(sensor_id.to_string(), Arc::clone(queue));
+}
+
+/// Removes this connection's registry entry — only if it still points
+/// at *our* queue. A reconnect under the same sensor id replaces the
+/// entry; the stale reader must not tear down its successor's route.
+fn deregister(registry: &Registry, sensor_id: &str, queue: &Arc<BoundedQueue<Frame>>) {
+    let mut guard = registry
+        .lock()
+        // lint:allow(panic, reason = "poison propagation: a poisoned registry cannot route safely; the panic surfaces through the reader thread join")
+        .expect("connection registry poisoned");
+    if guard.get(sensor_id).is_some_and(|q| Arc::ptr_eq(q, queue)) {
+        guard.remove(sensor_id);
+    }
+}

@@ -1,0 +1,214 @@
+//! # occusense-wire — binary CSI wire protocol and network gateway
+//!
+//! The transport boundary the paper's deployment story implies: many
+//! cheap sensor nodes (Nexmon sniffers on Raspberry Pis) streaming
+//! 64-subcarrier CSI frames to one detector service. Until this crate,
+//! every record entered [`occusense_serve::ServeRuntime`] through an
+//! in-process call; now records travel as versioned, checksummed
+//! little-endian frames over a real connection:
+//!
+//! ```text
+//!  sensor node                     gateway ──────────────────────────┐
+//!  WireSender ──Record/Batch──▶ conn reader ──submit_sequenced──▶    │
+//!                                   │ (NACK on rejection)       Serve│
+//!  WireReceiver ◀─Prediction── conn writer ◀── router ◀─predictions──┘
+//!                 ◀─Nack──        (bounded outbound queue,    Runtime
+//!                                  slow-client policy)
+//! ```
+//!
+//! * [`codec`] — the payload byte layout: bit-exact `f64`s (via
+//!   [`f64::to_bits`]), canonical encodings, typed [`DecodeError`]s,
+//!   no panicking paths (enforced by occusense-lint).
+//! * [`frame`] — the envelope: magic, version, length prefix,
+//!   FNV-1a-64 checksum over frame type + payload.
+//! * [`transport`] — [`Connection`]/[`Acceptor`] over an in-process
+//!   loopback (deterministic tests/benches) or std-only TCP with
+//!   read/write timeouts and max-frame-size limits.
+//! * [`gateway`] — N concurrent sensor connections feeding one
+//!   `ServeRuntime`; backpressure surfaces to clients as NACK frames,
+//!   and every transport-level loss lands in
+//!   `ServeReport::unaccounted_records()`'s extended identity.
+//! * [`client`] — the sensor-side library (`connect` → split
+//!   sender/receiver).
+//!
+//! The `wire_storm` binary replays simulated sensor fleets over either
+//! transport and self-verifies the delivered predictions bitwise
+//! against direct in-process scoring.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod codec;
+pub mod frame;
+pub mod gateway;
+pub mod transport;
+
+pub use client::{connect, ClientEvent, WireReceiver, WireSender};
+pub use codec::{
+    BatchFrame, DecodeError, Frame, Goodbye, Hello, HelloAck, NackFrame, NackReason,
+    PredictionFrame, RecordFrame, MAX_BATCH_RECORDS, MAX_SENSOR_ID_BYTES, PROTOCOL_VERSION,
+    RECORD_BYTES,
+};
+pub use frame::{
+    checksum_of, decode_frame, decode_header, fnv1a, Encoder, FrameHeader, DEFAULT_MAX_PAYLOAD,
+    HEADER_BYTES, MAGIC,
+};
+pub use gateway::{Gateway, GatewayConfig};
+pub use transport::{
+    loopback, tcp_connect, tcp_listen, Accepted, Acceptor, Connection, FrameSink, FrameSource,
+    LoopbackAcceptor, LoopbackConfig, LoopbackConnector, RecvOutcome, TcpAcceptor, TcpConfig,
+    TcpConn, TransportError,
+};
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a wire-level operation failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying serving runtime refused its configuration.
+    Serve(occusense_serve::ServeError),
+    /// The connection failed (I/O, decode, disconnect, send timeout).
+    Transport(TransportError),
+    /// The gateway refused the handshake with this NACK reason.
+    Refused(NackReason),
+    /// No `HelloAck` within the handshake deadline.
+    HandshakeTimeout,
+    /// The peer sent a frame its role never sends.
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Serve(e) => write!(f, "wire: {e}"),
+            WireError::Transport(e) => write!(f, "wire: {e}"),
+            WireError::Refused(reason) => write!(f, "wire: handshake refused ({reason})"),
+            WireError::HandshakeTimeout => write!(f, "wire: handshake timed out"),
+            WireError::Protocol(msg) => write!(f, "wire protocol violation: {msg}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+    use occusense_serve::{BackpressurePolicy, ServeConfig};
+    use occusense_sim::{fleet_stream, simulate, ScenarioConfig};
+    use std::time::Duration;
+
+    fn bootstrap_detector() -> OccupancyDetector {
+        let train = simulate(&ScenarioConfig::quick(300.0, 7));
+        OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 2,
+                seed: 7,
+                ..DetectorConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn one_sensor_end_to_end_over_loopback() {
+        let detector = bootstrap_detector();
+        let direct = detector.clone();
+        let (acceptor, connector) = loopback(LoopbackConfig::default());
+        let gateway = Gateway::start(
+            detector,
+            ServeConfig {
+                online: None,
+                policy: BackpressurePolicy::Block,
+                ..ServeConfig::default()
+            },
+            GatewayConfig {
+                outbound_policy: BackpressurePolicy::Block,
+                ..GatewayConfig::default()
+            },
+            Box::new(acceptor),
+        )
+        .unwrap();
+
+        let conn = connector.connect().unwrap();
+        let (mut tx, mut rx) = connect(conn, "sensor-a", Duration::from_secs(5)).unwrap();
+        let records: Vec<_> = fleet_stream(25.0, 100, 0).collect();
+        for r in &records {
+            tx.send(*r, None).unwrap();
+        }
+        let sent = tx.finish().unwrap();
+        assert_eq!(sent as usize, records.len());
+
+        let mut preds = Vec::new();
+        loop {
+            match rx.recv().unwrap() {
+                ClientEvent::Prediction(p) => preds.push(p),
+                ClientEvent::Goodbye(delivered) => {
+                    assert_eq!(delivered as usize, preds.len());
+                    break;
+                }
+                ClientEvent::TimedOut => continue,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        drop(rx);
+        let report = gateway.shutdown();
+
+        assert_eq!(preds.len(), records.len());
+        preds.sort_by_key(|p| p.seq);
+        for (i, p) in preds.iter().enumerate() {
+            assert_eq!(p.seq, i as u64);
+            let (occupied, proba) = direct.predict_record(&records[i]);
+            assert_eq!(p.occupied, occupied);
+            assert_eq!(p.proba.to_bits(), proba.to_bits(), "record {i}");
+        }
+        assert_eq!(report.unaccounted_records(), 0);
+        assert_eq!(report.wire.records_decoded, records.len() as u64);
+        assert_eq!(report.wire.records_ingested, records.len() as u64);
+        assert_eq!(report.wire.predictions_sent, records.len() as u64);
+    }
+
+    #[test]
+    fn protocol_mismatch_is_refused_with_a_nack() {
+        let detector = bootstrap_detector();
+        let (acceptor, connector) = loopback(LoopbackConfig::default());
+        let gateway = Gateway::start(
+            detector,
+            ServeConfig {
+                online: None,
+                ..ServeConfig::default()
+            },
+            GatewayConfig::default(),
+            Box::new(acceptor),
+        )
+        .unwrap();
+        let conn = connector.connect().unwrap();
+        let (mut sink, mut source) = conn.split();
+        sink.send(&Frame::Hello(Hello {
+            protocol: 99,
+            sensor_id: "bad".into(),
+        }))
+        .unwrap();
+        let refusal = loop {
+            match source.recv().unwrap() {
+                RecvOutcome::Frame(f) => break f,
+                RecvOutcome::TimedOut => continue,
+                RecvOutcome::Closed => panic!("closed without a NACK"),
+            }
+        };
+        assert_eq!(
+            refusal,
+            Frame::Nack(NackFrame {
+                seq: 0,
+                reason: NackReason::Unsupported,
+            })
+        );
+        let report = gateway.shutdown();
+        assert_eq!(report.wire.connections, 0);
+        assert_eq!(report.unaccounted_records(), 0);
+    }
+}

@@ -1,0 +1,725 @@
+//! Transport abstraction: how framed bytes move between a sensor and
+//! the gateway.
+//!
+//! Two implementations share the [`Connection`] / [`Acceptor`] traits:
+//!
+//! * **loopback** — in-process channels of encoded byte vectors. The
+//!   full codec + envelope runs on both ends (so checksums and framing
+//!   are exercised), but delivery is deterministic and allocation-cheap
+//!   — the right substrate for tests and the committed benchmark
+//!   baseline.
+//! * **TCP** — a std-only `TcpStream` transport with per-connection
+//!   read/write timeouts, a max-frame-size limit enforced *before*
+//!   buffering the payload, and an incremental reader that preserves
+//!   partial frames across read timeouts (a slow sensor on a congested
+//!   link resumes mid-frame, it does not desynchronise).
+//!
+//! Both sides of a connection are split into an independently owned
+//! [`FrameSink`] and [`FrameSource`], so a client can run its sender
+//! and receiver on separate threads without locks — mirroring how the
+//! gateway itself pairs a reader thread with a writer thread per
+//! connection.
+
+use crate::codec::{DecodeError, Frame};
+use crate::frame::{decode_frame, decode_header, Encoder, DEFAULT_MAX_PAYLOAD, HEADER_BYTES};
+use std::error::Error;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Why a transport operation failed. Transport errors are fatal for
+/// their connection: a failed send may have written a partial frame,
+/// and a failed decode means the byte stream is desynchronised — the
+/// only safe continuation is to close.
+#[derive(Debug)]
+pub enum TransportError {
+    /// An OS-level I/O failure.
+    Io {
+        /// What the transport was doing.
+        context: &'static str,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// The peer's bytes failed to frame or decode.
+    Decode(DecodeError),
+    /// The peer went away mid-conversation (EOF inside a frame, or a
+    /// closed in-process channel).
+    Disconnected {
+        /// Where the disconnect surfaced.
+        context: &'static str,
+    },
+    /// A send could not complete within the connection's write
+    /// timeout. The frame may be partially written; the connection
+    /// must be closed.
+    SendTimeout,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io { context, error } => {
+                write!(f, "transport i/o ({context}): {error}")
+            }
+            TransportError::Decode(e) => write!(f, "transport decode: {e}"),
+            TransportError::Disconnected { context } => {
+                write!(f, "peer disconnected ({context})")
+            }
+            TransportError::SendTimeout => write!(f, "send timed out; connection unusable"),
+        }
+    }
+}
+
+impl Error for TransportError {}
+
+impl From<DecodeError> for TransportError {
+    fn from(e: DecodeError) -> Self {
+        TransportError::Decode(e)
+    }
+}
+
+/// What a bounded-wait receive produced.
+// Inline for the same reason as `Frame`: no per-record allocation on
+// the receive path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// One complete, checksum-verified frame.
+    Frame(Frame),
+    /// Nothing arrived within the read timeout; the connection is
+    /// still healthy — poll again.
+    TimedOut,
+    /// The peer closed the connection cleanly (EOF between frames).
+    Closed,
+}
+
+/// The sending half of a connection.
+pub trait FrameSink: Send {
+    /// Encodes and transmits one frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TransportError`]; all of them are fatal for the
+    /// connection (see the type's docs).
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError>;
+}
+
+/// The receiving half of a connection.
+pub trait FrameSource: Send {
+    /// Waits up to the connection's read timeout for the next frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Decode`] when the byte stream is corrupt
+    /// (fatal — the stream cannot be resynchronised), I/O errors
+    /// otherwise. A timeout is *not* an error: it comes back as
+    /// [`RecvOutcome::TimedOut`].
+    fn recv(&mut self) -> Result<RecvOutcome, TransportError>;
+}
+
+/// One established sensor↔gateway connection, not yet split.
+pub trait Connection: Send {
+    /// Splits the connection into independently owned halves.
+    fn split(self: Box<Self>) -> (Box<dyn FrameSink>, Box<dyn FrameSource>);
+
+    /// A human-readable peer description (diagnostics only).
+    fn peer(&self) -> String;
+}
+
+/// What one bounded-wait accept produced.
+pub enum Accepted {
+    /// A new connection.
+    Connection(Box<dyn Connection>),
+    /// No connection arrived within the accept timeout; poll again.
+    TimedOut,
+    /// The connector side is gone; no further connections can arrive.
+    Closed,
+}
+
+/// The listening side of a transport, handed to the gateway.
+pub trait Acceptor: Send {
+    /// Waits up to the transport's accept timeout for one connection.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TransportError`] on the listener itself (not on an
+    /// individual connection).
+    fn accept(&mut self) -> Result<Accepted, TransportError>;
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+/// Loopback tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopbackConfig {
+    /// How long a `recv` waits before reporting `TimedOut`.
+    pub recv_timeout: Duration,
+    /// How long an `accept` waits before reporting `TimedOut`.
+    pub accept_timeout: Duration,
+    /// Per-frame payload ceiling (same meaning as on TCP).
+    pub max_payload: usize,
+}
+
+impl Default for LoopbackConfig {
+    fn default() -> Self {
+        Self {
+            recv_timeout: Duration::from_millis(50),
+            accept_timeout: Duration::from_millis(50),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// Creates an in-process transport: the [`LoopbackAcceptor`] goes to
+/// the gateway, the cloneable [`LoopbackConnector`] to any number of
+/// client threads.
+pub fn loopback(config: LoopbackConfig) -> (LoopbackAcceptor, LoopbackConnector) {
+    let (tx, rx) = mpsc::channel();
+    (
+        LoopbackAcceptor { rx, config },
+        LoopbackConnector { tx, config },
+    )
+}
+
+/// One direction of a loopback connection: encoded frames as byte
+/// vectors over an in-process channel.
+struct LoopbackConn {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+    config: LoopbackConfig,
+    peer: &'static str,
+}
+
+impl Connection for LoopbackConn {
+    fn split(self: Box<Self>) -> (Box<dyn FrameSink>, Box<dyn FrameSource>) {
+        (
+            Box::new(LoopbackSink {
+                tx: self.tx,
+                encoder: Encoder::new(),
+            }),
+            Box::new(LoopbackSource {
+                rx: self.rx,
+                config: self.config,
+            }),
+        )
+    }
+
+    fn peer(&self) -> String {
+        self.peer.to_string()
+    }
+}
+
+struct LoopbackSink {
+    tx: mpsc::Sender<Vec<u8>>,
+    encoder: Encoder,
+}
+
+impl FrameSink for LoopbackSink {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        let bytes = self.encoder.encode(frame);
+        self.tx
+            .send(bytes)
+            .map_err(|_| TransportError::Disconnected {
+                context: "loopback send",
+            })
+    }
+}
+
+struct LoopbackSource {
+    rx: mpsc::Receiver<Vec<u8>>,
+    config: LoopbackConfig,
+}
+
+impl FrameSource for LoopbackSource {
+    fn recv(&mut self) -> Result<RecvOutcome, TransportError> {
+        match self.rx.recv_timeout(self.config.recv_timeout) {
+            Ok(bytes) => {
+                let (frame, consumed) = decode_frame(&bytes, self.config.max_payload)?;
+                if consumed != bytes.len() {
+                    return Err(DecodeError::TrailingBytes {
+                        extra: bytes.len().saturating_sub(consumed),
+                    }
+                    .into());
+                }
+                Ok(RecvOutcome::Frame(frame))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(RecvOutcome::TimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(RecvOutcome::Closed),
+        }
+    }
+}
+
+/// The gateway's end of a loopback transport.
+pub struct LoopbackAcceptor {
+    rx: mpsc::Receiver<LoopbackConn>,
+    config: LoopbackConfig,
+}
+
+impl Acceptor for LoopbackAcceptor {
+    fn accept(&mut self) -> Result<Accepted, TransportError> {
+        match self.rx.recv_timeout(self.config.accept_timeout) {
+            Ok(conn) => Ok(Accepted::Connection(Box::new(conn))),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(Accepted::TimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Accepted::Closed),
+        }
+    }
+}
+
+/// The client-side factory of a loopback transport. Cloneable: hand a
+/// copy to every simulated sensor thread.
+#[derive(Clone)]
+pub struct LoopbackConnector {
+    tx: mpsc::Sender<LoopbackConn>,
+    config: LoopbackConfig,
+}
+
+impl LoopbackConnector {
+    /// Establishes one connection to the acceptor.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when the acceptor is gone.
+    pub fn connect(&self) -> Result<Box<dyn Connection>, TransportError> {
+        let (c2s_tx, c2s_rx) = mpsc::channel();
+        let (s2c_tx, s2c_rx) = mpsc::channel();
+        let server = LoopbackConn {
+            tx: s2c_tx,
+            rx: c2s_rx,
+            config: self.config,
+            peer: "loopback-client",
+        };
+        let client = LoopbackConn {
+            tx: c2s_tx,
+            rx: s2c_rx,
+            config: self.config,
+            peer: "loopback-gateway",
+        };
+        self.tx
+            .send(server)
+            .map_err(|_| TransportError::Disconnected {
+                context: "loopback connect",
+            })?;
+        Ok(Box::new(client))
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// TCP tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Socket read timeout; bounds how long `recv` blocks and how
+    /// stale a shutdown check can get.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a sensor that stops reading for this long
+    /// gets its connection dropped (the slow-client policy decides
+    /// what happened to its predictions *before* this last resort).
+    pub write_timeout: Duration,
+    /// Per-frame payload ceiling, enforced from the header before any
+    /// payload bytes are buffered.
+    pub max_payload: usize,
+    /// Disable Nagle's algorithm (on by default: single-record frames
+    /// are latency-sensitive).
+    pub nodelay: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(2),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            nodelay: true,
+        }
+    }
+}
+
+fn io_err(context: &'static str) -> impl FnOnce(std::io::Error) -> TransportError {
+    move |error| TransportError::Io { context, error }
+}
+
+/// Binds a listener and returns the acceptor plus the actual local
+/// address (useful with a `:0` ephemeral port).
+///
+/// # Errors
+///
+/// Any I/O failure while binding or configuring the listener.
+pub fn tcp_listen(
+    addr: &str,
+    config: TcpConfig,
+) -> Result<(TcpAcceptor, SocketAddr), TransportError> {
+    let listener = TcpListener::bind(addr).map_err(io_err("bind"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(io_err("listener nonblocking"))?;
+    let local = listener.local_addr().map_err(io_err("local addr"))?;
+    Ok((
+        TcpAcceptor {
+            listener,
+            config,
+            poll: Duration::from_millis(10),
+        },
+        local,
+    ))
+}
+
+/// Connects to a gateway listener.
+///
+/// # Errors
+///
+/// Any I/O failure while connecting or configuring the socket.
+pub fn tcp_connect(addr: &str, config: TcpConfig) -> Result<Box<dyn Connection>, TransportError> {
+    let stream = TcpStream::connect(addr).map_err(io_err("connect"))?;
+    Ok(Box::new(TcpConn::from_stream(stream, config)?))
+}
+
+/// The gateway's end of a TCP transport. The listener runs
+/// non-blocking with a short sleep poll, so `accept` observes gateway
+/// shutdown within one poll interval.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    config: TcpConfig,
+    poll: Duration,
+}
+
+impl Acceptor for TcpAcceptor {
+    fn accept(&mut self) -> Result<Accepted, TransportError> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => Ok(Accepted::Connection(Box::new(TcpConn::from_stream(
+                stream,
+                self.config,
+            )?))),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(self.poll);
+                Ok(Accepted::TimedOut)
+            }
+            Err(error) => Err(TransportError::Io {
+                context: "accept",
+                error,
+            }),
+        }
+    }
+}
+
+/// One TCP connection, holding two clones of the socket so the halves
+/// split without locks.
+pub struct TcpConn {
+    read: TcpStream,
+    write: TcpStream,
+    peer: String,
+    config: TcpConfig,
+}
+
+impl TcpConn {
+    fn from_stream(stream: TcpStream, config: TcpConfig) -> Result<Self, TransportError> {
+        stream
+            .set_nodelay(config.nodelay)
+            .map_err(io_err("nodelay"))?;
+        // A zero Duration means "no timeout" to the socket API — clamp
+        // so the configured bound is always a real bound.
+        let read_to = config.read_timeout.max(Duration::from_millis(1));
+        let write_to = config.write_timeout.max(Duration::from_millis(1));
+        stream
+            .set_read_timeout(Some(read_to))
+            .map_err(io_err("read timeout"))?;
+        stream
+            .set_write_timeout(Some(write_to))
+            .map_err(io_err("write timeout"))?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp-unknown".to_string());
+        let write = stream.try_clone().map_err(io_err("clone stream"))?;
+        Ok(Self {
+            read: stream,
+            write,
+            peer,
+            config,
+        })
+    }
+}
+
+impl Connection for TcpConn {
+    fn split(self: Box<Self>) -> (Box<dyn FrameSink>, Box<dyn FrameSource>) {
+        (
+            Box::new(TcpSink {
+                stream: self.write,
+                encoder: Encoder::new(),
+                buf: Vec::new(),
+            }),
+            Box::new(TcpSource {
+                stream: self.read,
+                buf: Vec::new(),
+                filled: 0,
+                payload_len: None,
+                max_payload: self.config.max_payload,
+            }),
+        )
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+struct TcpSink {
+    stream: TcpStream,
+    encoder: Encoder,
+    buf: Vec<u8>,
+}
+
+impl FrameSink for TcpSink {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.buf.clear();
+        self.encoder.encode_into(frame, &mut self.buf);
+        self.stream
+            .write_all(&self.buf)
+            .map_err(|error| match error.kind() {
+                ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::SendTimeout,
+                ErrorKind::BrokenPipe
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted => TransportError::Disconnected {
+                    context: "tcp send",
+                },
+                _ => TransportError::Io {
+                    context: "tcp send",
+                    error,
+                },
+            })
+    }
+}
+
+/// Incremental frame reader: reads the 20-byte header, learns the
+/// payload length (refusing oversize frames before buffering them),
+/// then reads exactly the payload. `filled` persists across timeouts,
+/// so a frame split across many socket reads reassembles correctly.
+struct TcpSource {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    filled: usize,
+    payload_len: Option<usize>,
+    max_payload: usize,
+}
+
+impl FrameSource for TcpSource {
+    fn recv(&mut self) -> Result<RecvOutcome, TransportError> {
+        loop {
+            let target = match self.payload_len {
+                None => HEADER_BYTES,
+                Some(len) => HEADER_BYTES + len,
+            };
+            if self.filled < target {
+                if self.buf.len() < target {
+                    self.buf.resize(target, 0);
+                }
+                let Some(dst) = self.buf.get_mut(self.filled..target) else {
+                    // filled < target ≤ buf.len() by the resize above.
+                    return Err(TransportError::Disconnected {
+                        context: "tcp reader state",
+                    });
+                };
+                match self.stream.read(dst) {
+                    Ok(0) => {
+                        return if self.filled == 0 {
+                            Ok(RecvOutcome::Closed)
+                        } else {
+                            Err(TransportError::Disconnected {
+                                context: "eof inside a frame",
+                            })
+                        };
+                    }
+                    Ok(n) => {
+                        self.filled += n;
+                        continue;
+                    }
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        return Ok(RecvOutcome::TimedOut);
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(error) => {
+                        return Err(TransportError::Io {
+                            context: "tcp recv",
+                            error,
+                        });
+                    }
+                }
+            }
+            if self.payload_len.is_none() {
+                let header = decode_header(&self.buf)?;
+                if header.payload_len > self.max_payload {
+                    return Err(DecodeError::Oversize {
+                        len: header.payload_len,
+                        max: self.max_payload,
+                    }
+                    .into());
+                }
+                self.payload_len = Some(header.payload_len);
+                continue;
+            }
+            // Header + payload complete: decode, verify, reset.
+            let frame_bytes = self.buf.get(..target).ok_or(TransportError::Disconnected {
+                context: "tcp reader state",
+            })?;
+            let (frame, _consumed) = decode_frame(frame_bytes, self.max_payload)?;
+            self.filled = 0;
+            self.payload_len = None;
+            return Ok(RecvOutcome::Frame(frame));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Goodbye, Hello, PredictionFrame, PROTOCOL_VERSION};
+
+    fn recv_frame(source: &mut Box<dyn FrameSource>) -> Frame {
+        for _ in 0..200 {
+            match source.recv().unwrap() {
+                RecvOutcome::Frame(f) => return f,
+                RecvOutcome::TimedOut => continue,
+                RecvOutcome::Closed => panic!("peer closed early"),
+            }
+        }
+        panic!("no frame within the polling budget");
+    }
+
+    #[test]
+    fn loopback_round_trips_frames_both_ways() {
+        let (mut acceptor, connector) = loopback(LoopbackConfig::default());
+        let client = connector.connect().unwrap();
+        let Accepted::Connection(server) = acceptor.accept().unwrap() else {
+            panic!("no connection");
+        };
+        let (mut ctx, mut crx) = client.split();
+        let (mut stx, mut srx) = server.split();
+
+        let hello = Frame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            sensor_id: "s0".into(),
+        });
+        ctx.send(&hello).unwrap();
+        assert_eq!(recv_frame(&mut srx), hello);
+
+        let pred = Frame::Prediction(PredictionFrame {
+            seq: 1,
+            timestamp_s: 0.5,
+            occupied: 1,
+            proba: 0.75,
+            model_version: 1,
+            latency_ns: 10,
+        });
+        stx.send(&pred).unwrap();
+        assert_eq!(recv_frame(&mut crx), pred);
+    }
+
+    #[test]
+    fn loopback_reports_closed_when_the_peer_drops() {
+        let (mut acceptor, connector) = loopback(LoopbackConfig::default());
+        let client = connector.connect().unwrap();
+        let Accepted::Connection(server) = acceptor.accept().unwrap() else {
+            panic!("no connection");
+        };
+        drop(server);
+        let (_tx, mut rx) = client.split();
+        assert!(matches!(rx.recv().unwrap(), RecvOutcome::Closed));
+    }
+
+    #[test]
+    fn tcp_round_trips_over_localhost() {
+        let (mut acceptor, addr) = tcp_listen("127.0.0.1:0", TcpConfig::default()).unwrap();
+        let client = tcp_connect(&addr.to_string(), TcpConfig::default()).unwrap();
+        let server = loop {
+            match acceptor.accept().unwrap() {
+                Accepted::Connection(c) => break c,
+                Accepted::TimedOut => continue,
+                Accepted::Closed => panic!("listener closed"),
+            }
+        };
+        let (mut ctx, crx) = client.split();
+        let (_stx, mut srx) = server.split();
+        let goodbye = Frame::Goodbye(Goodbye { count: 9 });
+        ctx.send(&goodbye).unwrap();
+        assert_eq!(recv_frame(&mut srx), goodbye);
+        // Both halves hold a clone of the socket; FIN goes out only
+        // when the last one drops.
+        drop(ctx);
+        drop(crx);
+        for attempt in 0..100 {
+            match srx.recv().unwrap() {
+                RecvOutcome::Closed => return,
+                RecvOutcome::TimedOut => continue,
+                RecvOutcome::Frame(f) => panic!("unexpected frame {f:?} on attempt {attempt}"),
+            }
+        }
+        panic!("never observed Closed after the peer dropped");
+    }
+
+    #[test]
+    fn tcp_reassembles_frames_split_across_writes() {
+        let (mut acceptor, addr) = tcp_listen("127.0.0.1:0", TcpConfig::default()).unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let server = loop {
+            match acceptor.accept().unwrap() {
+                Accepted::Connection(c) => break c,
+                Accepted::TimedOut => continue,
+                Accepted::Closed => panic!("listener closed"),
+            }
+        };
+        let (_stx, mut srx) = server.split();
+        let frame = Frame::Goodbye(Goodbye { count: 777 });
+        let bytes = Encoder::new().encode(&frame);
+        // Dribble the frame one byte at a time across the socket.
+        for b in &bytes {
+            raw.write_all(std::slice::from_ref(b)).unwrap();
+            raw.flush().unwrap();
+        }
+        assert_eq!(recv_frame(&mut srx), frame);
+    }
+
+    #[test]
+    fn tcp_refuses_oversize_frames_from_the_header() {
+        let (mut acceptor, addr) = tcp_listen(
+            "127.0.0.1:0",
+            TcpConfig {
+                max_payload: 16,
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let server = loop {
+            match acceptor.accept().unwrap() {
+                Accepted::Connection(c) => break c,
+                Accepted::TimedOut => continue,
+                Accepted::Closed => panic!("listener closed"),
+            }
+        };
+        let (_stx, mut srx) = server.split();
+        // Header declaring a 1 MiB payload; only the header is sent.
+        let mut header = Vec::new();
+        header.extend_from_slice(&crate::frame::MAGIC);
+        header.push(PROTOCOL_VERSION);
+        header.push(7);
+        header.extend_from_slice(&0u16.to_le_bytes());
+        header.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        raw.write_all(&header).unwrap();
+        let err = loop {
+            match srx.recv() {
+                Ok(RecvOutcome::TimedOut) => continue,
+                Ok(other) => panic!("expected oversize refusal, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(
+            err,
+            TransportError::Decode(DecodeError::Oversize { max: 16, .. })
+        ));
+    }
+}
