@@ -21,23 +21,24 @@ fn main() {
     );
 
     println!("Extension E14 — occupant counting (classes 0,1,2,3,4+)\n");
-    rule(70);
+    rule(82);
     println!(
-        "{:<6} {:>14} {:>12} {:>18}",
-        "Fold", "exact-count acc", "count MAE", "occupancy acc"
+        "{:<6} {:>14} {:>12} {:>18} {:>10}",
+        "Fold", "exact-count acc", "count MAE", "occupancy acc", "macro-F1"
     );
-    rule(70);
+    rule(82);
     for (i, fold) in tests.iter().enumerate() {
         let scores = counter.evaluate(fold);
         println!(
-            "{:<6} {:>13}% {:>12.3} {:>17}%",
+            "{:<6} {:>13}% {:>12.3} {:>17}% {:>10.3}",
             i + 1,
             pct(scores.confusion.accuracy()),
             scores.count_mae,
-            pct(scores.occupancy_accuracy)
+            pct(scores.occupancy_accuracy),
+            scores.confusion.macro_f1()
         );
     }
-    rule(70);
+    rule(82);
     // Pooled confusion across test folds.
     let mut pooled = occusense_core::Dataset::new();
     for fold in &tests {
@@ -46,9 +47,17 @@ fn main() {
     let scores = counter.evaluate(&pooled);
     println!("pooled test folds:\n{}", scores.confusion);
     println!(
-        "pooled count MAE {:.3}, occupancy accuracy {}%",
+        "pooled count MAE {:.3}, occupancy accuracy {}%, macro-F1 {:.3}",
         scores.count_mae,
-        pct(scores.occupancy_accuracy)
+        pct(scores.occupancy_accuracy),
+        scores.confusion.macro_f1()
     );
+    let per_class: Vec<String> = (0..5)
+        .map(|c| match scores.confusion.f1(c) {
+            Some(f1) => format!("{c}:{f1:.3}"),
+            None => format!("{c}:–"),
+        })
+        .collect();
+    println!("pooled per-class F1 ({})", per_class.join(", "));
     println!("\n(extension beyond the paper; its refs [3,12] report counting on other datasets)");
 }

@@ -1,0 +1,156 @@
+//! E20 (extension) — temporal sequence modeling in the multi-room
+//! office: the per-frame MLP counter against the GRU sequence model
+//! on held-out multi-room runs.
+//!
+//! Per-frame snapshots are ambiguous in the three-room layout — a
+//! body near a doorway raises the monitored room's CSI variance
+//! whether or not it is inside — so the GRU's temporal context is
+//! expected to win on the derived presence label. The table feeds
+//! EXPERIMENTS.md; the presence macro-F1 column is the acceptance
+//! metric of the temporal subsystem.
+
+use occusense_bench::{pct, rule, Cli};
+use occusense_core::counting::{
+    CountingConfig, OccupancyCounter, MAX_COUNT_CLASS, N_COUNT_CLASSES,
+};
+use occusense_core::sim::{simulate, ScenarioConfig};
+use occusense_core::stats::metrics::MultiConfusion;
+use occusense_core::temporal::{TemporalConfig, TemporalDetector};
+use occusense_core::Dataset;
+
+/// Seconds of multi-room simulation used for training.
+const TRAIN_S: f64 = 3600.0;
+/// Seconds per held-out evaluation run.
+const TEST_S: f64 = 1800.0;
+/// Number of held-out runs (distinct seeds).
+const TEST_RUNS: u64 = 3;
+
+/// Count-class truths and predictions for one or more runs. Pooling
+/// happens at the label level: datasets from distinct runs cannot be
+/// concatenated (timestamps restart at zero, and a pooled stream
+/// would wrongly carry GRU state across run boundaries).
+#[derive(Default)]
+struct Labels {
+    truth: Vec<usize>,
+    pred: Vec<usize>,
+}
+
+impl Labels {
+    fn extend(&mut self, ds: &Dataset, pred: &[usize]) {
+        self.truth.extend(
+            ds.records()
+                .iter()
+                .map(|r| (r.occupancy() as usize).min(MAX_COUNT_CLASS)),
+        );
+        self.pred.extend_from_slice(pred);
+    }
+
+    fn count_mae(&self) -> f64 {
+        let total: f64 = self
+            .truth
+            .iter()
+            .zip(&self.pred)
+            .map(|(&t, &p)| (t as f64 - p as f64).abs())
+            .sum();
+        total / self.truth.len().max(1) as f64
+    }
+
+    fn occupancy_accuracy(&self) -> f64 {
+        let hits = self
+            .truth
+            .iter()
+            .zip(&self.pred)
+            .filter(|&(&t, &p)| (t > 0) == (p > 0))
+            .count();
+        hits as f64 / self.truth.len().max(1) as f64
+    }
+
+    fn presence_macro_f1(&self) -> f64 {
+        let truth: Vec<usize> = self.truth.iter().map(|&t| usize::from(t > 0)).collect();
+        let pred: Vec<usize> = self.pred.iter().map(|&p| usize::from(p > 0)).collect();
+        MultiConfusion::from_labels(2, &truth, &pred).macro_f1()
+    }
+
+    fn print_row(&self, name: &str) {
+        let confusion = MultiConfusion::from_labels(N_COUNT_CLASSES, &self.truth, &self.pred);
+        println!(
+            "{:<22} {:>13}% {:>10.3} {:>13}% {:>15.3} {:>13.3}",
+            name,
+            pct(confusion.accuracy()),
+            self.count_mae(),
+            pct(self.occupancy_accuracy()),
+            confusion.macro_f1(),
+            self.presence_macro_f1(),
+        );
+    }
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    eprintln!(
+        "simulating multi-room office: {TRAIN_S:.0} s train + {TEST_RUNS} × {TEST_S:.0} s test, seed {}…",
+        cli.seed
+    );
+    let train = simulate(&ScenarioConfig::multiroom(TRAIN_S, cli.seed));
+    let tests: Vec<Dataset> = (0..TEST_RUNS)
+        .map(|i| simulate(&ScenarioConfig::multiroom(TEST_S, cli.seed + 100 + i)))
+        .collect();
+    eprintln!(
+        "…done ({} train records, {} test records)",
+        train.len(),
+        tests.iter().map(Dataset::len).sum::<usize>()
+    );
+
+    let mlp = OccupancyCounter::train(
+        &train,
+        &CountingConfig {
+            seed: cli.seed,
+            max_train_samples: Some(cli.train_cap),
+            epochs: cli.epochs,
+            ..CountingConfig::default()
+        },
+    );
+    let gru = TemporalDetector::train(
+        &train,
+        &TemporalConfig {
+            seed: cli.seed,
+            epochs: cli.epochs,
+            ..TemporalConfig::default()
+        },
+    );
+
+    println!("Extension E20 — per-frame MLP vs GRU in the multi-room office\n");
+    let width = 94;
+    rule(width);
+    println!(
+        "{:<22} {:>14} {:>10} {:>14} {:>15} {:>13}",
+        "Model", "exact-count acc", "count MAE", "occupancy acc", "count macro-F1", "presence F1"
+    );
+    rule(width);
+    let mut mlp_pooled = Labels::default();
+    let mut gru_pooled = Labels::default();
+    for (i, test) in tests.iter().enumerate() {
+        println!("run {} ({} records)", i + 1, test.len());
+        let mut mlp_run = Labels::default();
+        mlp_run.extend(test, &mlp.predict(test));
+        let mut gru_run = Labels::default();
+        gru_run.extend(test, &gru.predict(test));
+        mlp_run.print_row("  per-frame MLP");
+        gru_run.print_row("  GRU sequence");
+        mlp_pooled.extend(test, &mlp_run.pred);
+        gru_pooled.extend(test, &gru_run.pred);
+    }
+    rule(width);
+    println!(
+        "pooled over {TEST_RUNS} held-out runs ({} records)",
+        mlp_pooled.truth.len()
+    );
+    mlp_pooled.print_row("  per-frame MLP");
+    gru_pooled.print_row("  GRU sequence");
+    rule(width);
+    println!(
+        "\npresence macro-F1 delta (GRU − MLP): {:+.3}",
+        gru_pooled.presence_macro_f1() - mlp_pooled.presence_macro_f1()
+    );
+    println!("(extension beyond the paper: multi-room layouts are its stated future work)");
+}

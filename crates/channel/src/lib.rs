@@ -71,4 +71,4 @@ pub mod receiver;
 pub mod scene;
 
 pub use complex::Complex;
-pub use scene::{Body, Scatterer, Scene};
+pub use scene::{Body, Partition, Scatterer, Scene};

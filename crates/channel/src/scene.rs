@@ -74,6 +74,56 @@ impl Body {
     }
 }
 
+/// An internal partition wall splitting the office into rooms: a
+/// vertical plane at a fixed `x` spanning the full depth and height,
+/// with a doorway gap in `y`. Rays crossing the plane outside the
+/// doorway are attenuated by the wall's amplitude `transmission`; rays
+/// through the doorway pass freely. This is the device-free multi-room
+/// geometry of Shen et al.: the radios sit in one room, and occupants
+/// in adjacent rooms reach them only through walls or doorways.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partition {
+    /// Plane position along the room width, metres.
+    pub x: f64,
+    /// Doorway span `(y_lo, y_hi)` in metres — the gap in the wall.
+    pub door_y: (f64, f64),
+    /// Amplitude transmission coefficient of the wall itself
+    /// (plasterboard at 2.4 GHz passes roughly a third of the field).
+    pub transmission: f64,
+}
+
+impl Partition {
+    /// A plasterboard office partition at `x` with a 1 m doorway next
+    /// to the north wall (matching the corridor door at y ≈ 5.5).
+    pub fn office(x: f64) -> Self {
+        Self {
+            x,
+            door_y: (4.8, 5.8),
+            transmission: 0.35,
+        }
+    }
+
+    /// Amplitude factor applied to a straight propagation leg from `a`
+    /// to `b`: `1.0` when the leg stays on one side of the plane or
+    /// crosses through the doorway, `transmission` when it punches
+    /// through the wall.
+    pub fn leg_factor(&self, a: Point3, b: Point3) -> f64 {
+        let da = a.x - self.x;
+        let db = b.x - self.x;
+        if da * db >= 0.0 {
+            // Same side (or touching the plane): no crossing.
+            return 1.0;
+        }
+        let t = da / (da - db);
+        let y = a.y + t * (b.y - a.y);
+        if y >= self.door_y.0 && y <= self.door_y.1 {
+            1.0
+        } else {
+            self.transmission
+        }
+    }
+}
+
 /// The materials assigned to the six room surfaces.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SurfaceMaterials {
@@ -150,6 +200,10 @@ pub struct Scene {
     /// default; 2 adds the 30 double-bounce wall paths — a fidelity knob
     /// whose cost/benefit the `simulation_throughput` bench measures).
     pub max_reflection_order: u8,
+    /// Internal partition walls (empty = the paper's single open
+    /// office). Each propagation leg crossing a partition outside its
+    /// doorway is attenuated by the wall transmission.
+    pub partitions: Vec<Partition>,
 }
 
 impl Scene {
@@ -171,7 +225,40 @@ impl Scene {
             humidity_pct: 40.0,
             radiator_wall_boost_c: 0.0,
             max_reflection_order: 1,
+            partitions: Vec::new(),
         }
+    }
+
+    /// The multi-room office: the default scene split into `n_rooms`
+    /// equal-width rooms by plasterboard partitions, each with a
+    /// doorway near the north wall. The radios stay at their paper
+    /// positions (x = 5 and x = 7), so with three rooms both sit in the
+    /// middle room — occupants elsewhere are seen only through walls
+    /// and doorways, exactly the unconstrained multi-room setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rooms < 2` (use [`Scene::office_default`]).
+    pub fn office_multiroom(n_rooms: usize) -> Self {
+        assert!(n_rooms >= 2, "office_multiroom: need at least two rooms");
+        let mut scene = Self::office_default();
+        let room_w = scene.room.width / n_rooms as f64;
+        scene.partitions = (1..n_rooms)
+            .map(|i| Partition::office(i as f64 * room_w))
+            .collect();
+        scene
+    }
+
+    /// Index of the room containing width-coordinate `x` (0-based,
+    /// west to east). With no partitions everything is room 0.
+    pub fn room_of(&self, x: f64) -> usize {
+        self.partitions.iter().filter(|p| x >= p.x).count()
+    }
+
+    /// Amplitude factor accumulated over every partition crossed by the
+    /// straight leg `a → b`.
+    fn partition_factor(&self, a: Point3, b: Point3) -> f64 {
+        self.partitions.iter().map(|p| p.leg_factor(a, b)).product()
     }
 
     /// Enumerates the propagation paths of the current snapshot:
@@ -182,8 +269,9 @@ impl Scene {
         let lambda = self.config.wavelength_m(self.config.n_subcarriers / 2);
         let mut paths = Vec::with_capacity(7 + self.scatterers.len() + self.bodies.len());
 
-        // Line of sight with shadowing from every body.
-        let mut los_shadow = 1.0;
+        // Line of sight with shadowing from every body and attenuation
+        // from any partition wall between the radios.
+        let mut los_shadow = self.partition_factor(self.tx, self.rx);
         for b in &self.bodies {
             los_shadow *= shadowing_factor(b.position, b.radius, self.tx, self.rx, lambda);
         }
@@ -207,6 +295,8 @@ impl Scene {
                     shadow *= shadowing_factor(b.position, b.radius, self.tx, tp, lambda);
                     shadow *= shadowing_factor(b.position, b.radius, tp, self.rx, lambda);
                 }
+                shadow *= self.partition_factor(self.tx, tp);
+                shadow *= self.partition_factor(tp, self.rx);
             }
             paths.push(Path::reflection(
                 &self.room, self.tx, self.rx, s, gamma, shadow,
@@ -242,15 +332,25 @@ impl Scene {
             }
         }
 
-        // Furniture scatter paths.
+        // Furniture scatter paths, with both legs (tx → object → rx)
+        // attenuated by any partitions they cross.
         for sc in &self.scatterers {
             let sigma = sc.effective_sigma(self.temperature_c, self.humidity_pct);
-            paths.push(Path::scatter(self.tx, self.rx, sc.position, sigma));
+            let mut p = Path::scatter(self.tx, self.rx, sc.position, sigma);
+            p.amplitude *= self.partition_factor(self.tx, sc.position);
+            p.amplitude *= self.partition_factor(sc.position, self.rx);
+            paths.push(p);
         }
 
-        // Body scatter paths.
+        // Body scatter paths. An occupant in an adjacent room reaches
+        // the radios through two wall crossings (or the doorway), so
+        // their signature survives but strongly attenuated — the
+        // through-wall sensing regime.
         for b in &self.bodies {
-            paths.push(Path::scatter(self.tx, self.rx, b.position, b.sigma));
+            let mut p = Path::scatter(self.tx, self.rx, b.position, b.sigma);
+            p.amplitude *= self.partition_factor(self.tx, b.position);
+            p.amplitude *= self.partition_factor(b.position, self.rx);
+            paths.push(p);
         }
 
         paths
@@ -508,6 +608,99 @@ mod tests {
             assert!(p.length_m >= 2.0, "double bounce too short: {}", p.length_m);
         }
         assert!(max_first_order_len > 0.0);
+    }
+
+    #[test]
+    fn partition_leg_factor_geometry() {
+        let p = Partition::office(4.0);
+        // Same side: untouched.
+        assert_eq!(
+            p.leg_factor(Point3::new(1.0, 1.0, 1.0), Point3::new(3.0, 5.0, 1.0)),
+            1.0
+        );
+        // Crossing through the wall: attenuated.
+        assert_eq!(
+            p.leg_factor(Point3::new(3.0, 1.0, 1.0), Point3::new(5.0, 1.0, 1.0)),
+            p.transmission
+        );
+        // Crossing through the doorway (y ≈ 5.3 at the plane): free.
+        assert_eq!(
+            p.leg_factor(Point3::new(3.0, 5.3, 1.0), Point3::new(5.0, 5.3, 1.0)),
+            1.0
+        );
+        // Symmetric in direction.
+        assert_eq!(
+            p.leg_factor(Point3::new(5.0, 1.0, 1.0), Point3::new(3.0, 1.0, 1.0)),
+            p.transmission
+        );
+    }
+
+    #[test]
+    fn multiroom_rooms_and_radio_placement() {
+        let s = Scene::office_multiroom(3);
+        assert_eq!(s.partitions.len(), 2);
+        assert_eq!(s.room_of(1.0), 0);
+        assert_eq!(s.room_of(5.0), 1);
+        assert_eq!(s.room_of(11.0), 2);
+        // Both radios in the middle room, LoS unattenuated.
+        assert_eq!(s.room_of(s.tx.x), 1);
+        assert_eq!(s.room_of(s.rx.x), 1);
+        let open = Scene::office_default();
+        let los_open = open.paths()[0].amplitude;
+        let los_multi = s.paths()[0].amplitude;
+        assert_eq!(los_open, los_multi);
+    }
+
+    #[test]
+    fn adjacent_room_body_is_attenuated_but_visible() {
+        let spot = Point3::new(2.0, 2.0, 0.0); // room 0, away from the door
+        let mut open = Scene::office_default();
+        open.bodies.push(Body::standing(spot));
+        let mut multi = Scene::office_multiroom(3);
+        multi.bodies.push(Body::standing(spot));
+        let empty_multi = Scene::office_multiroom(3);
+        let body_scatter_open = open.paths().last().copied().unwrap().amplitude;
+        let body_scatter_multi = multi.paths().last().copied().unwrap().amplitude;
+        // The wall attenuates the through-wall scatter leg…
+        assert!(
+            body_scatter_multi < body_scatter_open,
+            "{body_scatter_multi} vs {body_scatter_open}"
+        );
+        // …but the occupant still perturbs the CSI.
+        let delta: f64 = empty_multi
+            .amplitudes()
+            .iter()
+            .zip(&multi.amplitudes())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(delta > 1e-5, "adjacent-room body invisible: {delta}");
+    }
+
+    #[test]
+    fn monitored_room_body_dominates_adjacent_room_body() {
+        // The detector's physical basis: same posture, but inside the
+        // radios' room the perturbation is much larger.
+        let empty = Scene::office_multiroom(3);
+        let mut inside = Scene::office_multiroom(3);
+        inside
+            .bodies
+            .push(Body::standing(Point3::new(6.0, 3.0, 0.0)));
+        let mut adjacent = Scene::office_multiroom(3);
+        adjacent
+            .bodies
+            .push(Body::standing(Point3::new(2.0, 3.0, 0.0)));
+        let base = empty.amplitudes();
+        let d_in: f64 = base
+            .iter()
+            .zip(&inside.amplitudes())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let d_adj: f64 = base
+            .iter()
+            .zip(&adjacent.amplitudes())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d_in > d_adj, "in-room {d_in} vs adjacent {d_adj}");
     }
 
     #[test]

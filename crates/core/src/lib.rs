@@ -13,6 +13,9 @@
 //!   from CSI with OLS or the neural network (§V-D / Table V).
 //! * [`explain`] — [`Explanation`]: Grad-CAM feature importance over the
 //!   66 input features (§V-C / Figure 3).
+//! * [`temporal`] — [`TemporalDetector`]: a GRU encoder over sliding
+//!   CSI windows with a softmax count/presence head, the sequence-model
+//!   counterpart of the per-frame counter (multi-room scenarios).
 //! * [`sampling`] — stratified training-set subsampling (the simulator
 //!   generates hundreds of thousands of rows; models train on a seeded
 //!   stratified subsample, documented in EXPERIMENTS.md).
@@ -56,12 +59,14 @@ pub mod online;
 pub mod persist;
 pub mod regressor;
 pub mod sampling;
+pub mod temporal;
 
 pub use activity::{ActivityConfig, ActivityRecognizer};
 pub use counting::{CountingConfig, OccupancyCounter};
 pub use detector::{DetectorConfig, ModelKind, OccupancyDetector};
 pub use explain::Explanation;
 pub use regressor::{EnvRegressor, RegressorKind};
+pub use temporal::{TemporalConfig, TemporalDetector, TemporalWorkspace};
 
 // Re-export the substrate crates under one roof for downstream users.
 pub use occusense_baselines as baselines;

@@ -25,6 +25,7 @@
 //! checkpoint.
 
 use crate::detector::OccupancyDetector;
+use crate::temporal::TemporalDetector;
 use occusense_dataset::{FeatureView, Standardizer};
 use occusense_nn::serialize as nn_serialize;
 use std::error::Error;
@@ -192,6 +193,8 @@ pub const CHECKPOINT_EXT: &str = "ckpt";
 
 const CHECKPOINT_PREFIX: &str = "detector-v";
 
+const TEMPORAL_CHECKPOINT_PREFIX: &str = "temporal-v";
+
 /// FNV-1a 64-bit over `bytes` — the same cheap, dependency-free hash
 /// the serving runtime uses for shard routing.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -249,6 +252,12 @@ pub fn save_detector_checked<W: Write>(mut w: W, detector: &OccupancyDetector) -
 pub fn load_detector_checked<R: Read>(mut r: R) -> Result<OccupancyDetector, LoadDetectorError> {
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;
+    load_detector(verify_checksum(&bytes)?)
+}
+
+/// Validates the checksum footer of a checked payload and returns the
+/// payload bytes in front of it.
+fn verify_checksum(bytes: &[u8]) -> Result<&[u8], LoadDetectorError> {
     let without_trailing_newline = match bytes.last() {
         Some(b'\n') => &bytes[..bytes.len() - 1],
         _ => return Err(LoadDetectorError::Parse("missing checksum footer".into())),
@@ -273,7 +282,7 @@ pub fn load_detector_checked<R: Read>(mut r: R) -> Result<OccupancyDetector, Loa
              (corrupt checkpoint)"
         )));
     }
-    load_detector(payload)
+    Ok(payload)
 }
 
 /// Crash-safe save: refuses non-finite detectors, writes the checked
@@ -292,12 +301,20 @@ pub fn save_detector_atomic(path: &Path, detector: &OccupancyDetector) -> io::Re
             "detector has non-finite parameters; refusing to checkpoint",
         ));
     }
+    let mut checked = Vec::new();
+    save_detector_checked(&mut checked, detector)?;
+    atomic_write(path, &checked)
+}
+
+/// Writes `bytes` to `<path>.tmp`, fsyncs, atomically renames onto
+/// `path` and fsyncs the directory.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     {
         let mut file = fs::File::create(&tmp)?;
-        save_detector_checked(&mut file, detector)?;
+        file.write_all(bytes)?;
         file.sync_all()?;
     }
     fs::rename(&tmp, path)?;
@@ -324,6 +341,10 @@ pub fn checkpoint_path(dir: &Path, version: u64) -> PathBuf {
 /// Propagates directory-read failures; files that do not match the
 /// checkpoint naming scheme are ignored.
 pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_checkpoints_with(dir, CHECKPOINT_PREFIX)
+}
+
+fn list_checkpoints_with(dir: &Path, prefix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut found = Vec::new();
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
@@ -331,7 +352,7 @@ pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
             continue;
         };
         let Some(version) = name
-            .strip_prefix(CHECKPOINT_PREFIX)
+            .strip_prefix(prefix)
             .and_then(|rest| rest.strip_suffix(&format!(".{CHECKPOINT_EXT}")))
             .and_then(|v| v.parse::<u64>().ok())
         else {
@@ -372,6 +393,215 @@ pub fn load_latest(dir: &Path) -> io::Result<Option<(u64, PathBuf, OccupancyDete
 /// best-effort (a checkpoint that vanished concurrently is not fatal).
 pub fn prune_checkpoints(dir: &Path, keep: usize) -> io::Result<usize> {
     let checkpoints = list_checkpoints(dir)?;
+    let excess = checkpoints.len().saturating_sub(keep.max(1));
+    let mut removed = 0;
+    for (_, path) in &checkpoints[..excess] {
+        if fs::remove_file(path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+// ---------------------------------------------------------------------
+// Temporal (GRU) detector persistence — same framing as the per-frame
+// detector, with the GRU payload in front of the head MLP:
+//
+// ```text
+// occusense-temporal v1
+// features <CSI|Env|C+E|Time>
+// window <frames>
+// means <d floats>
+// stds <d floats>
+// <embedded occusense-gru v1 payload>
+// <embedded occusense-mlp v1 payload>
+// ```
+// ---------------------------------------------------------------------
+
+/// Saves a temporal detector.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_temporal<W: Write>(mut w: W, detector: &TemporalDetector) -> io::Result<()> {
+    writeln!(w, "occusense-temporal v1")?;
+    writeln!(w, "features {}", detector.features().name())?;
+    writeln!(w, "window {}", detector.window())?;
+    let standardizer = detector.standardizer();
+    write_floats(&mut w, "means", standardizer.means())?;
+    write_floats(&mut w, "stds", standardizer.stds())?;
+    nn_serialize::save_gru(&mut w, detector.gru())?;
+    nn_serialize::save(w, detector.head())
+}
+
+/// Loads a temporal detector saved by [`save_temporal`].
+///
+/// # Errors
+///
+/// Returns [`LoadDetectorError`] on I/O failure or malformed content.
+pub fn load_temporal<R: Read>(r: R) -> Result<TemporalDetector, LoadDetectorError> {
+    let mut reader = BufReader::new(r);
+    let mut line = String::new();
+    let mut next_line = |reader: &mut BufReader<R>| -> Result<String, LoadDetectorError> {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(LoadDetectorError::Parse("unexpected end of file".into()));
+        }
+        Ok(line.trim_end().to_owned())
+    };
+
+    let header = next_line(&mut reader)?;
+    if header != "occusense-temporal v1" {
+        return Err(LoadDetectorError::Parse(format!("bad header '{header}'")));
+    }
+    let features_line = next_line(&mut reader)?;
+    let features = match features_line.strip_prefix("features ") {
+        Some("CSI") => FeatureView::Csi,
+        Some("Env") => FeatureView::Env,
+        Some("C+E") => FeatureView::CsiEnv,
+        Some("Time") => FeatureView::TimeOnly,
+        _ => {
+            return Err(LoadDetectorError::Parse(format!(
+                "bad features line '{features_line}'"
+            )))
+        }
+    };
+    let window_line = next_line(&mut reader)?;
+    let window: usize = window_line
+        .strip_prefix("window ")
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w > 0)
+        .ok_or_else(|| LoadDetectorError::Parse(format!("bad window line '{window_line}'")))?;
+    let means = parse_floats(&next_line(&mut reader)?, "means")?;
+    let stds = parse_floats(&next_line(&mut reader)?, "stds")?;
+    if means.iter().chain(&stds).any(|v| !v.is_finite()) {
+        return Err(LoadDetectorError::Parse(
+            "non-finite standardizer value (corrupt checkpoint?)".into(),
+        ));
+    }
+    if means.len() != features.dimension() || stds.len() != features.dimension() {
+        return Err(LoadDetectorError::Parse(format!(
+            "standardizer dimension {} does not match feature view {}",
+            means.len(),
+            features.dimension()
+        )));
+    }
+    let standardizer = Standardizer::from_parts(means, stds);
+    let gru = nn_serialize::load_gru_from(&mut reader).map_err(LoadDetectorError::Model)?;
+    if gru.in_dim() != features.dimension() {
+        return Err(LoadDetectorError::Parse(format!(
+            "GRU input dimension {} does not match feature view {}",
+            gru.in_dim(),
+            features.dimension()
+        )));
+    }
+    let head = nn_serialize::load(reader).map_err(LoadDetectorError::Model)?;
+    if head.input_dim() != gru.hidden_dim() {
+        return Err(LoadDetectorError::Parse(format!(
+            "head input dimension {} does not match GRU hidden width {}",
+            head.input_dim(),
+            gru.hidden_dim()
+        )));
+    }
+    Ok(TemporalDetector::from_parts(
+        features,
+        window,
+        standardizer,
+        gru,
+        head,
+    ))
+}
+
+/// Saves a temporal detector followed by the checksum footer.
+///
+/// # Errors
+///
+/// Same as [`save_temporal`].
+pub fn save_temporal_checked<W: Write>(mut w: W, detector: &TemporalDetector) -> io::Result<()> {
+    let mut payload = Vec::new();
+    save_temporal(&mut payload, detector)?;
+    let sum = fnv1a(&payload);
+    w.write_all(&payload)?;
+    writeln!(w, "{CHECKSUM_TAG} {sum:016x}")
+}
+
+/// Loads a temporal detector saved by [`save_temporal_checked`],
+/// verifying the checksum footer first.
+///
+/// # Errors
+///
+/// Same classes as [`load_detector_checked`].
+pub fn load_temporal_checked<R: Read>(mut r: R) -> Result<TemporalDetector, LoadDetectorError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    load_temporal(verify_checksum(&bytes)?)
+}
+
+/// Crash-safe temporal checkpoint: refuses non-finite detectors, then
+/// checked-write + fsync + atomic rename, exactly like
+/// [`save_detector_atomic`].
+///
+/// # Errors
+///
+/// `io::ErrorKind::InvalidData` for non-finite detectors; otherwise the
+/// underlying I/O error.
+pub fn save_temporal_atomic(path: &Path, detector: &TemporalDetector) -> io::Result<()> {
+    if !detector.is_finite() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "temporal detector has non-finite parameters; refusing to checkpoint",
+        ));
+    }
+    let mut checked = Vec::new();
+    save_temporal_checked(&mut checked, detector)?;
+    atomic_write(path, &checked)
+}
+
+/// The canonical path of the temporal checkpoint holding model
+/// `version` inside `dir`.
+pub fn temporal_checkpoint_path(dir: &Path, version: u64) -> PathBuf {
+    dir.join(format!(
+        "{TEMPORAL_CHECKPOINT_PREFIX}{version:09}.{CHECKPOINT_EXT}"
+    ))
+}
+
+/// Lists the temporal checkpoints in `dir`, sorted ascending by
+/// version. Detector (`detector-v*`) checkpoints are ignored, so both
+/// families can share a directory.
+///
+/// # Errors
+///
+/// Same as [`list_checkpoints`].
+pub fn list_temporal_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_checkpoints_with(dir, TEMPORAL_CHECKPOINT_PREFIX)
+}
+
+/// Recovery path for temporal models: newest valid checkpoint in
+/// `dir`, skipping corrupt files.
+///
+/// # Errors
+///
+/// Same as [`load_latest`].
+pub fn load_latest_temporal(dir: &Path) -> io::Result<Option<(u64, PathBuf, TemporalDetector)>> {
+    for (version, path) in list_temporal_checkpoints(dir)?.into_iter().rev() {
+        let Ok(file) = fs::File::open(&path) else {
+            continue;
+        };
+        if let Ok(detector) = load_temporal_checked(file) {
+            return Ok(Some((version, path, detector)));
+        }
+    }
+    Ok(None)
+}
+
+/// Removes the oldest temporal checkpoints in `dir`, keeping the
+/// `keep` newest; returns how many were deleted.
+///
+/// # Errors
+///
+/// Same as [`prune_checkpoints`].
+pub fn prune_temporal_checkpoints(dir: &Path, keep: usize) -> io::Result<usize> {
+    let checkpoints = list_temporal_checkpoints(dir)?;
     let excess = checkpoints.len().saturating_sub(keep.max(1));
     let mut removed = 0;
     for (_, path) in &checkpoints[..excess] {
@@ -563,6 +793,117 @@ mod tests {
     fn empty_dir_has_no_latest_checkpoint() {
         let dir = temp_checkpoint_dir("empty");
         assert!(load_latest(&dir).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn trained_temporal() -> (TemporalDetector, occusense_dataset::Dataset) {
+        let ds = simulate(&ScenarioConfig::quick(900.0, 83));
+        let det = TemporalDetector::train(
+            &ds,
+            &crate::temporal::TemporalConfig {
+                window: 8,
+                stride: 4,
+                hidden: 8,
+                epochs: 1,
+                ..crate::temporal::TemporalConfig::default()
+            },
+        );
+        (det, ds)
+    }
+
+    #[test]
+    fn temporal_round_trip_is_bitwise() {
+        let (det, ds) = trained_temporal();
+        let mut buf = Vec::new();
+        save_temporal(&mut buf, &det).unwrap();
+        let loaded = load_temporal(&buf[..]).unwrap();
+        assert_eq!(loaded, det);
+        let a: Vec<u64> = det
+            .score_stream(&ds.records()[..64])
+            .iter()
+            .map(|(_, p)| p.to_bits())
+            .collect();
+        let b: Vec<u64> = loaded
+            .score_stream(&ds.records()[..64])
+            .iter()
+            .map(|(_, p)| p.to_bits())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn temporal_checked_round_trip_and_corruption() {
+        let (det, _) = trained_temporal();
+        let mut buf = Vec::new();
+        save_temporal_checked(&mut buf, &det).unwrap();
+        assert_eq!(load_temporal_checked(&buf[..]).unwrap(), det);
+        for pos in [7usize, buf.len() / 2, buf.len() - 3] {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x04;
+            assert!(
+                load_temporal_checked(&corrupt[..]).is_err(),
+                "bit flip at {pos} not caught"
+            );
+        }
+        assert!(load_temporal_checked(&buf[..buf.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn temporal_load_rejects_mismatched_dims() {
+        let (det, _) = trained_temporal();
+        let mut buf = Vec::new();
+        save_temporal(&mut buf, &det).unwrap();
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("features CSI", "features Env");
+        let err = load_temporal(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("dimension"));
+        assert!(load_temporal(&b"nope\n"[..])
+            .unwrap_err()
+            .to_string()
+            .contains("bad header"));
+    }
+
+    #[test]
+    fn temporal_checkpoints_coexist_with_detector_checkpoints() {
+        let (frame, _) = trained(ModelKind::Mlp);
+        let (temporal, ds) = trained_temporal();
+        let dir = temp_checkpoint_dir("temporal");
+        save_detector_atomic(&checkpoint_path(&dir, 1), &frame).unwrap();
+        for version in 1..=3u64 {
+            save_temporal_atomic(&temporal_checkpoint_path(&dir, version), &temporal).unwrap();
+        }
+        // Families list independently.
+        assert_eq!(
+            list_checkpoints(&dir)
+                .unwrap()
+                .iter()
+                .map(|(v, _)| *v)
+                .collect::<Vec<_>>(),
+            [1]
+        );
+        assert_eq!(
+            list_temporal_checkpoints(&dir)
+                .unwrap()
+                .iter()
+                .map(|(v, _)| *v)
+                .collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        // Corrupt the newest temporal checkpoint: recovery falls back to v2.
+        let newest = temporal_checkpoint_path(&dir, 3);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&newest, &bytes).unwrap();
+        let (version, path, loaded) = load_latest_temporal(&dir).unwrap().expect("a checkpoint");
+        assert_eq!(version, 2);
+        assert_eq!(path, temporal_checkpoint_path(&dir, 2));
+        assert_eq!(loaded.predict(&ds), temporal.predict(&ds));
+        assert_eq!(prune_temporal_checkpoints(&dir, 1).unwrap(), 2);
+        assert_eq!(list_temporal_checkpoints(&dir).unwrap().len(), 1);
+        // Pruning temporal checkpoints never touches detector ones.
+        assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,580 @@
+//! Temporal occupancy modeling: a GRU encoder over sliding CSI windows
+//! with a softmax count/presence head — the sequence-model counterpart
+//! of the per-frame [`crate::counting::OccupancyCounter`].
+//!
+//! Per-frame models score each CSI snapshot in isolation; in a
+//! multi-room office (partitions, doorways, through-wall scatter) a
+//! single frame is often ambiguous. The temporal detector instead
+//! carries a hidden state across frames: training runs truncated BPTT
+//! over fixed-length windows (hidden state reset at each window start),
+//! deployment streams record-by-record from a zero state — the same
+//! stateful path the serving runtime batches across sensors.
+//!
+//! Determinism contracts (inherited from the GEMM kernels, see
+//! `occusense_tensor::kernels`): scores are bitwise identical across
+//! thread counts, across batch compositions (a sensor scored inside any
+//! batch equals the same sensor scored alone) and across chunk splits
+//! of a sequence.
+
+use crate::counting::{CountingScores, OccupancyCounter, N_COUNT_CLASSES};
+use occusense_dataset::{CsiRecord, Dataset, FeatureView, Standardizer};
+use occusense_nn::loss::{Loss, SoftmaxCrossEntropy};
+use occusense_nn::optim::{AdamW, Optimizer};
+use occusense_nn::{Gru, GruWorkspace, Mlp, MlpWorkspace};
+use occusense_stats::metrics::MultiConfusion;
+use occusense_tensor::kernels::Parallelism;
+use occusense_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Optimiser slot base for the GRU parameters (head layers use slots
+/// `0..2·layers`, far below this).
+const GRU_SLOT_BASE: usize = 32;
+
+/// Hyper-parameters of the temporal detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalConfig {
+    /// Feature subset.
+    pub features: FeatureView,
+    /// Master seed.
+    pub seed: u64,
+    /// Truncated-BPTT window length, frames.
+    pub window: usize,
+    /// Stride between training-window starts, frames.
+    pub stride: usize,
+    /// GRU hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Windows per mini-batch.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Decoupled weight decay.
+    pub weight_decay: f64,
+    /// Cap on the number of training windows (evenly thinned when
+    /// exceeded; `None` = use every window).
+    pub max_train_windows: Option<usize>,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        Self {
+            features: FeatureView::Csi,
+            seed: 0,
+            window: 16,
+            stride: 2,
+            hidden: 24,
+            epochs: 8,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            weight_decay: 1e-4,
+            max_train_windows: Some(20_000),
+        }
+    }
+}
+
+/// Reusable buffers for stateful temporal scoring — the serve worker's
+/// hot path. Holds the design matrix, the GRU step caches and the head
+/// forward workspace, so a steady stream of batched timesteps scores
+/// without heap allocations (assert via [`TemporalWorkspace::reallocs`]).
+#[derive(Debug, Clone, Default)]
+pub struct TemporalWorkspace {
+    x: Matrix,
+    h_next: Matrix,
+    gru_ws: GruWorkspace,
+    head_ws: MlpWorkspace,
+}
+
+impl TemporalWorkspace {
+    /// An empty workspace running the kernels single-threaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty workspace with the given kernel parallelism; scores do
+    /// not depend on this setting (bitwise).
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        Self {
+            gru_ws: GruWorkspace::with_parallelism(parallelism),
+            head_ws: MlpWorkspace::with_parallelism(parallelism),
+            ..Self::default()
+        }
+    }
+
+    /// Number of buffer-growth events since creation; flat across
+    /// steps ⇒ steady-state scoring is allocation-free.
+    pub fn reallocs(&self) -> u64 {
+        self.gru_ws.reallocs() + self.head_ws.reallocs()
+    }
+}
+
+/// A trained temporal (GRU) occupancy/count detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalDetector {
+    features: FeatureView,
+    window: usize,
+    standardizer: Standardizer,
+    gru: Gru,
+    head: Mlp,
+}
+
+impl TemporalDetector {
+    /// Trains the detector with truncated BPTT over sliding windows
+    /// (ground truth comes from each record's `occupant_count`, class
+    /// label taken at the window's last frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is shorter than one window.
+    pub fn train(train: &Dataset, config: &TemporalConfig) -> Self {
+        assert!(
+            train.len() >= config.window && config.window > 0,
+            "temporal: training set shorter than one window"
+        );
+        let d = config.features.dimension();
+        let x_raw = config.features.design_matrix(train);
+        let standardizer = Standardizer::fit(&x_raw);
+        let x = standardizer.transform(&x_raw);
+        let labels: Vec<usize> = train
+            .iter()
+            .map(|r| OccupancyCounter::count_class(r.occupant_count))
+            .collect();
+
+        let mut starts: Vec<usize> = (0..=train.len() - config.window)
+            .step_by(config.stride.max(1))
+            .collect();
+        if let Some(max) = config.max_train_windows {
+            if starts.len() > max.max(1) {
+                // Evenly thin the window set, keeping coverage of the
+                // whole scenario.
+                let keep = max.max(1);
+                starts = (0..keep).map(|i| starts[i * starts.len() / keep]).collect();
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7e6d_9042_u64);
+        let mut gru = Gru::new(d, config.hidden, &mut rng);
+        let mut head = Mlp::new(&[config.hidden, N_COUNT_CLASSES], config.seed);
+        let mut optim = AdamW::new(config.learning_rate, config.weight_decay);
+        let mut ws = GruWorkspace::new();
+        let loss = SoftmaxCrossEntropy;
+
+        for _ in 0..config.epochs {
+            // Fisher–Yates shuffle of the window starts.
+            for i in (1..starts.len()).rev() {
+                starts.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in starts.chunks(config.batch_size.max(1)) {
+                let b = chunk.len();
+                let xs: Vec<Matrix> = (0..config.window)
+                    .map(|t| Matrix::from_fn(b, d, |r, c| x[(chunk[r] + t, c)]))
+                    .collect();
+                let h0 = Matrix::zeros(b, config.hidden);
+                gru.forward_seq(&xs, &h0, &mut ws);
+
+                let pass = head.forward(ws.h_last());
+                let end_labels: Vec<usize> = chunk
+                    .iter()
+                    .map(|&s| labels[s + config.window - 1])
+                    .collect();
+                let y = SoftmaxCrossEntropy::one_hot(&end_labels, N_COUNT_CLASSES);
+                let grad_out = loss.grad(pass.output(), &y);
+                let (head_grads, dh_last) = head.backward(&pass, &grad_out);
+                gru.backward_seq(&xs, &dh_last, &mut ws);
+
+                for (li, (gw, gb)) in head_grads.iter().enumerate() {
+                    let layer = &mut head.layers_mut()[li];
+                    optim.update(2 * li, layer.weights.as_mut_slice(), gw.as_slice());
+                    optim.update(2 * li + 1, &mut layer.bias, gb);
+                }
+                optim.update(
+                    GRU_SLOT_BASE,
+                    gru.w_z.as_mut_slice(),
+                    ws.grad_w_z().as_slice(),
+                );
+                optim.update(
+                    GRU_SLOT_BASE + 1,
+                    gru.w_r.as_mut_slice(),
+                    ws.grad_w_r().as_slice(),
+                );
+                optim.update(
+                    GRU_SLOT_BASE + 2,
+                    gru.w_n.as_mut_slice(),
+                    ws.grad_w_n().as_slice(),
+                );
+                optim.update(
+                    GRU_SLOT_BASE + 3,
+                    gru.u_z.as_mut_slice(),
+                    ws.grad_u_z().as_slice(),
+                );
+                optim.update(
+                    GRU_SLOT_BASE + 4,
+                    gru.u_r.as_mut_slice(),
+                    ws.grad_u_r().as_slice(),
+                );
+                optim.update(
+                    GRU_SLOT_BASE + 5,
+                    gru.u_n.as_mut_slice(),
+                    ws.grad_u_n().as_slice(),
+                );
+                optim.update(GRU_SLOT_BASE + 6, &mut gru.b_z, ws.grad_b_z());
+                optim.update(GRU_SLOT_BASE + 7, &mut gru.b_r, ws.grad_b_r());
+                optim.update(GRU_SLOT_BASE + 8, &mut gru.b_n, ws.grad_b_n());
+            }
+        }
+
+        Self {
+            features: config.features,
+            window: config.window,
+            standardizer,
+            gru,
+            head,
+        }
+    }
+
+    /// Reassembles a detector from persisted parts (see
+    /// [`crate::persist`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GRU and head dimensions do not line up.
+    pub fn from_parts(
+        features: FeatureView,
+        window: usize,
+        standardizer: Standardizer,
+        gru: Gru,
+        head: Mlp,
+    ) -> Self {
+        assert_eq!(gru.in_dim(), features.dimension(), "GRU input dimension");
+        assert_eq!(gru.hidden_dim(), head.input_dim(), "head input dimension");
+        Self {
+            features,
+            window,
+            standardizer,
+            gru,
+            head,
+        }
+    }
+
+    /// The feature view the detector was trained with.
+    pub fn features(&self) -> FeatureView {
+        self.features
+    }
+
+    /// The truncated-BPTT window length the detector was trained with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The train-time standardizer (needed for persistence).
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// The GRU encoder.
+    pub fn gru(&self) -> &Gru {
+        &self.gru
+    }
+
+    /// The count head.
+    pub fn head(&self) -> &Mlp {
+        &self.head
+    }
+
+    /// GRU hidden width — the per-sensor state size the serving runtime
+    /// keeps between timesteps.
+    pub fn hidden_dim(&self) -> usize {
+        self.gru.hidden_dim()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn n_parameters(&self) -> usize {
+        self.gru.n_parameters() + self.head.n_parameters()
+    }
+
+    /// Whether every parameter is finite.
+    pub fn is_finite(&self) -> bool {
+        self.gru.is_finite()
+            && self.head.layers().iter().all(|layer| {
+                layer.bias.iter().all(|v| v.is_finite())
+                    && layer.weights.as_slice().iter().all(|v| v.is_finite())
+            })
+    }
+
+    /// A fresh zero hidden state for `rows` concurrent streams.
+    pub fn zero_state(&self, rows: usize) -> Matrix {
+        Matrix::zeros(rows, self.hidden_dim())
+    }
+
+    /// Advances `rows` concurrent sensor streams by one timestep:
+    /// `records[i]` is the current frame of stream `i`, `h` (rows ×
+    /// hidden) its carried state, updated in place. Writes each
+    /// stream's presence probability (1 − P(count = 0)) into `out`.
+    ///
+    /// Row independence of the kernels makes this bitwise identical to
+    /// stepping each stream alone — batching across sensors never
+    /// changes a score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong shape.
+    pub fn step_batch_into(
+        &self,
+        records: &[CsiRecord],
+        h: &mut Matrix,
+        ws: &mut TemporalWorkspace,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            h.shape(),
+            (records.len(), self.hidden_dim()),
+            "temporal state shape"
+        );
+        if self.features.design_matrix_rows_into(records, &mut ws.x) {
+            ws.gru_ws.scratch_mut().note_grow();
+        }
+        self.standardizer.transform_inplace(&mut ws.x);
+        self.gru.step(&ws.x, h, &mut ws.h_next, &mut ws.gru_ws);
+        std::mem::swap(h, &mut ws.h_next);
+        self.head.forward_ws(h, &mut ws.head_ws);
+        presence_probas_into(ws.head_ws.output(), out);
+    }
+
+    /// Streams a record sequence from a zero state and returns each
+    /// frame's `(count_class, presence_probability)` — the deployment
+    /// scoring path (and the reference the serve verifier replays
+    /// against).
+    pub fn score_stream(&self, records: &[CsiRecord]) -> Vec<(usize, f64)> {
+        let mut h = self.zero_state(1);
+        let mut ws = TemporalWorkspace::new();
+        let mut probas = Vec::with_capacity(1);
+        let mut out = Vec::with_capacity(records.len());
+        for r in records {
+            self.step_batch_into(std::slice::from_ref(r), &mut h, &mut ws, &mut probas);
+            let class = argmax_row(self.head_logits_row(&ws));
+            out.push((class, probas[0]));
+        }
+        out
+    }
+
+    /// The head logits of the most recent step (row view of the head
+    /// workspace output).
+    fn head_logits_row<'a>(&self, ws: &'a TemporalWorkspace) -> &'a [f64] {
+        ws.head_ws.output().row(0)
+    }
+
+    /// Predicted count class per record, streaming from a zero state.
+    pub fn predict(&self, dataset: &Dataset) -> Vec<usize> {
+        self.score_stream(dataset.records())
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Evaluates against the dataset's head-count ground truth, in the
+    /// same [`CountingScores`] frame as the per-frame counter.
+    pub fn evaluate(&self, dataset: &Dataset) -> CountingScores {
+        let pred = self.predict(dataset);
+        let truth: Vec<usize> = dataset
+            .iter()
+            .map(|r| OccupancyCounter::count_class(r.occupant_count))
+            .collect();
+        let confusion = MultiConfusion::from_labels(N_COUNT_CLASSES, &truth, &pred);
+        let count_mae = truth
+            .iter()
+            .zip(&pred)
+            .map(|(&t, &p)| (t as f64 - p as f64).abs())
+            .sum::<f64>()
+            / truth.len().max(1) as f64;
+        let occ_correct = truth
+            .iter()
+            .zip(&pred)
+            .filter(|(&t, &p)| (t > 0) == (p > 0))
+            .count();
+        CountingScores {
+            confusion,
+            count_mae,
+            occupancy_accuracy: occ_correct as f64 / truth.len().max(1) as f64,
+        }
+    }
+}
+
+/// Writes each row's presence probability (1 − softmax(logits)[0]) into
+/// `out` (cleared first).
+fn presence_probas_into(logits: &Matrix, out: &mut Vec<f64>) {
+    out.clear();
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = row.iter().map(|v| (v - max).exp()).sum();
+        let p0 = (row[0] - max).exp() / sum.max(f64::MIN_POSITIVE);
+        out.push(1.0 - p0);
+    }
+}
+
+/// Index of the largest element of a row.
+fn argmax_row(row: &[f64]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occusense_sim::{simulate, ScenarioConfig};
+
+    fn small_config() -> TemporalConfig {
+        TemporalConfig {
+            window: 12,
+            stride: 4,
+            hidden: 16,
+            epochs: 4,
+            ..TemporalConfig::default()
+        }
+    }
+
+    fn split() -> (Dataset, Dataset) {
+        let ds = simulate(&ScenarioConfig::quick(2400.0, 71));
+        let split = (ds.len() * 9) / 10;
+        (
+            ds.records()[..split].iter().copied().collect(),
+            ds.records()[split..].iter().copied().collect(),
+        )
+    }
+
+    #[test]
+    fn temporal_learns_the_quick_scenario() {
+        let (train, test) = split();
+        let det = TemporalDetector::train(&train, &small_config());
+        let in_sample = det.evaluate(&train);
+        assert!(
+            in_sample.confusion.accuracy() > 0.7,
+            "{}",
+            in_sample.confusion
+        );
+        let scores = det.evaluate(&test);
+        assert!(scores.count_mae < 1.0, "count MAE {}", scores.count_mae);
+        assert!(scores.occupancy_accuracy > 0.8);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (train, test) = split();
+        let cfg = TemporalConfig {
+            epochs: 1,
+            ..small_config()
+        };
+        let a = TemporalDetector::train(&train, &cfg);
+        let b = TemporalDetector::train(&train, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.score_stream(test.records()),
+            b.score_stream(test.records())
+        );
+    }
+
+    #[test]
+    fn batched_steps_equal_solo_streams_bitwise() {
+        // The serve contract: three interleaved sensor streams stepped
+        // as one batch score bitwise identically to each stream scored
+        // alone.
+        let (train, test) = split();
+        let cfg = TemporalConfig {
+            epochs: 1,
+            ..small_config()
+        };
+        let det = TemporalDetector::train(&train, &cfg);
+        let streams: Vec<Vec<_>> = (0..3)
+            .map(|k| {
+                test.records()
+                    .iter()
+                    .skip(k)
+                    .step_by(3)
+                    .copied()
+                    .take(40)
+                    .collect()
+            })
+            .collect();
+        let solo: Vec<Vec<(usize, f64)>> = streams.iter().map(|s| det.score_stream(s)).collect();
+
+        let mut h = det.zero_state(3);
+        let mut ws = TemporalWorkspace::new();
+        let mut probas = Vec::new();
+        for t in 0..40 {
+            let frame: Vec<_> = streams.iter().map(|s| s[t]).collect();
+            det.step_batch_into(&frame, &mut h, &mut ws, &mut probas);
+            for (k, solo_k) in solo.iter().enumerate() {
+                assert_eq!(
+                    probas[k].to_bits(),
+                    solo_k[t].1.to_bits(),
+                    "sensor {k} t={t}: batched != solo"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_bitwise_invisible() {
+        let (train, test) = split();
+        let cfg = TemporalConfig {
+            epochs: 1,
+            ..small_config()
+        };
+        let det = TemporalDetector::train(&train, &cfg);
+        let run = |par: Parallelism| {
+            let mut h = det.zero_state(8);
+            let mut ws = TemporalWorkspace::with_parallelism(par);
+            let mut probas = Vec::new();
+            let mut all = Vec::new();
+            for chunk in test.records().chunks_exact(8).take(10) {
+                det.step_batch_into(chunk, &mut h, &mut ws, &mut probas);
+                all.extend(probas.iter().map(|p| p.to_bits()));
+            }
+            all
+        };
+        assert_eq!(run(Parallelism::Single), run(Parallelism::Threads(4)));
+    }
+
+    #[test]
+    fn steady_state_stepping_does_not_reallocate() {
+        let (train, test) = split();
+        let cfg = TemporalConfig {
+            epochs: 1,
+            ..small_config()
+        };
+        let det = TemporalDetector::train(&train, &cfg);
+        let mut h = det.zero_state(16);
+        let mut ws = TemporalWorkspace::new();
+        let mut probas = Vec::with_capacity(16);
+        // Warm up.
+        for chunk in test.records().chunks_exact(16).take(3) {
+            det.step_batch_into(chunk, &mut h, &mut ws, &mut probas);
+        }
+        let warm = ws.reallocs();
+        for chunk in test.records().chunks_exact(16).take(20) {
+            det.step_batch_into(chunk, &mut h, &mut ws, &mut probas);
+        }
+        assert_eq!(ws.reallocs(), warm, "steady-state stepping grew a buffer");
+    }
+
+    #[test]
+    fn presence_proba_is_consistent_with_class() {
+        let (train, test) = split();
+        let det = TemporalDetector::train(&train, &small_config());
+        for (class, proba) in det.score_stream(&test.records()[..200]) {
+            assert!((0.0..=1.0).contains(&proba));
+            // An argmax of 0 with presence > ~0.8 (or the reverse)
+            // would mean the head and the proba disagree wildly.
+            if proba < 0.2 {
+                assert_eq!(class, 0);
+            }
+            if proba > 0.8 {
+                assert_ne!(class, 0);
+            }
+        }
+    }
+}

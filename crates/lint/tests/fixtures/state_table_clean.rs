@@ -1,0 +1,32 @@
+//! Clean twin of `state_table_violation.rs`: the same per-sensor
+//! state table keyed by `BTreeMap`, whose iteration order is a pure
+//! function of the sensor ids — reproducible batch assembly, no
+//! hasher seed in sight.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+pub struct SensorState {
+    pub h: Vec<f64>,
+    pub model_version: u64,
+}
+
+pub struct StateTable {
+    shards: Vec<Mutex<BTreeMap<String, SensorState>>>,
+}
+
+impl StateTable {
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            shards: (0..n_shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+        }
+    }
+
+    pub fn active_sensors(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|m| m.lock().ok())
+            .map(|g| g.len())
+            .sum()
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: a per-sensor state table keyed by `HashMap`. Iteration
+//! order then depends on the per-process hasher seed, so temporal
+//! batch assembly (and the sensor census) stops being a pure function
+//! of the sensor ids — exactly what the exact-file determinism entry
+//! for `crates/serve/src/state.rs` exists to forbid.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct SensorState {
+    pub h: Vec<f64>,
+    pub model_version: u64,
+}
+
+pub struct StateTable {
+    shards: Vec<Mutex<HashMap<String, SensorState>>>,
+}
+
+impl StateTable {
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            shards: (0..n_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    pub fn active_sensors(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|m| m.lock().ok())
+            .map(|g| g.len())
+            .sum()
+    }
+}

@@ -17,6 +17,7 @@ const SERVE_PATH: &str = "crates/serve/src/fixture.rs";
 const SERVE_ROOT: &str = "crates/serve/src/lib.rs";
 const NUMERIC_PATH: &str = "crates/nn/src/fixture.rs";
 const NO_SCOPE_PATH: &str = "crates/lint/src/fixture.rs";
+const STATE_TABLE_PATH: &str = "crates/serve/src/state.rs";
 
 fn count(diags: &[Diagnostic], rule: Rule) -> usize {
     diags.iter().filter(|d| d.rule == rule).count()
@@ -100,6 +101,43 @@ fn determinism_rule_respects_scope() {
     let diags = analyze_source(
         SERVE_PATH,
         include_str!("fixtures/determinism_violation.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn determinism_rule_fires_on_a_hashmap_state_table() {
+    // The one serve file inside the determinism scope, by exact path:
+    // a hasher-keyed state table makes temporal batch assembly depend
+    // on the per-process seed. `HashMap` appears in use, annotation
+    // and constructor position.
+    let diags = analyze_source(
+        STATE_TABLE_PATH,
+        include_str!("fixtures/state_table_violation.rs"),
+    );
+    assert_eq!(count(&diags, Rule::Determinism), 3, "{diags:?}");
+    assert!(
+        diags.iter().all(|d| d.message.contains("HashMap")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn determinism_rule_is_silent_on_the_btreemap_state_table() {
+    let diags = analyze_source(
+        STATE_TABLE_PATH,
+        include_str!("fixtures/state_table_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn the_state_table_entry_does_not_leak_onto_other_serve_files() {
+    // The same HashMap table under any *other* serve path is legal —
+    // the exact-file entry must not widen into a directory scope.
+    let diags = analyze_source(
+        SERVE_PATH,
+        include_str!("fixtures/state_table_violation.rs"),
     );
     assert!(diags.is_empty(), "{diags:?}");
 }

@@ -11,6 +11,8 @@ pub enum Activation {
     Relu,
     /// Logistic sigmoid `1/(1+e^{-x})`.
     Sigmoid,
+    /// Hyperbolic tangent — the GRU candidate-state nonlinearity.
+    Tanh,
     /// Identity (used on the output layer; the loss applies the sigmoid).
     Identity,
 }
@@ -21,6 +23,7 @@ impl Activation {
         match self {
             Activation::Relu => z.map(|x| x.max(0.0)),
             Activation::Sigmoid => z.map(sigmoid),
+            Activation::Tanh => z.map(f64::tanh),
             Activation::Identity => z.clone(),
         }
     }
@@ -32,6 +35,10 @@ impl Activation {
             Activation::Sigmoid => z.map(|x| {
                 let s = sigmoid(x);
                 s * (1.0 - s)
+            }),
+            Activation::Tanh => z.map(|x| {
+                let t = x.tanh();
+                1.0 - t * t
             }),
             Activation::Identity => Matrix::ones(z.rows(), z.cols()),
         }
@@ -45,6 +52,7 @@ impl Activation {
         match self {
             Activation::Relu => |x| x.max(0.0),
             Activation::Sigmoid => sigmoid,
+            Activation::Tanh => f64::tanh,
             Activation::Identity => |x| x,
         }
     }
@@ -59,6 +67,10 @@ impl Activation {
                 let s = sigmoid(x);
                 s * (1.0 - s)
             },
+            Activation::Tanh => |x| {
+                let t = x.tanh();
+                1.0 - t * t
+            },
             Activation::Identity => |_| 1.0,
         }
     }
@@ -68,6 +80,7 @@ impl Activation {
         match self {
             Activation::Relu => "relu",
             Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
             Activation::Identity => "identity",
         }
     }
@@ -77,6 +90,7 @@ impl Activation {
         match name {
             "relu" => Some(Activation::Relu),
             "sigmoid" => Some(Activation::Sigmoid),
+            "tanh" => Some(Activation::Tanh),
             "identity" => Some(Activation::Identity),
             _ => None,
         }
@@ -116,7 +130,12 @@ mod tests {
     #[test]
     fn derivative_matches_finite_differences() {
         let eps = 1e-6;
-        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
             for x in [-2.0, -0.5, 0.3, 1.7] {
                 let z = Matrix::from_rows(&[&[x]]);
                 let zp = Matrix::from_rows(&[&[x + eps]]);
@@ -132,10 +151,27 @@ mod tests {
     }
 
     #[test]
+    fn tanh_is_odd_and_bounded() {
+        let z = Matrix::from_rows(&[&[-100.0, -0.5, 0.0, 0.5, 100.0]]);
+        let a = Activation::Tanh.apply(&z);
+        assert!((a[(0, 0)] + 1.0).abs() < 1e-12);
+        assert!((a[(0, 1)] + a[(0, 3)]).abs() < 1e-15);
+        assert_eq!(a[(0, 2)], 0.0);
+        assert!((a[(0, 4)] - 1.0).abs() < 1e-12);
+        let d = Activation::Tanh.derivative(&z);
+        assert!((d[(0, 2)] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
     fn names_round_trip() {
-        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
             assert_eq!(Activation::from_name(act.name()), Some(act));
         }
-        assert_eq!(Activation::from_name("tanh"), None);
+        assert_eq!(Activation::from_name("swish"), None);
     }
 }

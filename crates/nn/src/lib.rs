@@ -5,8 +5,11 @@
 //! thin (see the reproduction notes in DESIGN.md), everything the paper's
 //! model needs is implemented here directly:
 //!
-//! * [`activation`] — ReLU, sigmoid and identity activations.
+//! * [`activation`] — ReLU, sigmoid, tanh and identity activations.
 //! * [`layer`] — fully connected layers with explicit forward/backward.
+//! * [`gru`] — a gated recurrent unit with hand-derived BPTT gradients
+//!   for temporal CSI-window modeling, sharing the same bitwise
+//!   determinism and zero-allocation contracts as the dense path.
 //! * [`mlp`] — the multilayer perceptron, including the paper's
 //!   `input → 128 → 256 → 128 → 1` architecture (§IV-B).
 //! * [`loss`] — binary cross-entropy with logits (Eq. 4) and mean squared
@@ -56,6 +59,7 @@
 
 pub mod activation;
 pub mod gradcam;
+pub mod gru;
 pub mod layer;
 pub mod loss;
 pub mod mlp;
@@ -66,5 +70,6 @@ pub mod train;
 pub mod workspace;
 
 pub use activation::Activation;
+pub use gru::{Gru, GruWorkspace};
 pub use mlp::Mlp;
 pub use workspace::MlpWorkspace;

@@ -12,6 +12,7 @@
 //! ```
 
 use crate::activation::Activation;
+use crate::gru::Gru;
 use crate::layer::Dense;
 use crate::mlp::Mlp;
 use occusense_tensor::Matrix;
@@ -192,9 +193,115 @@ fn parse_floats(
     Ok(values)
 }
 
+/// Saves a GRU layer. Same conventions as [`save`]: line-oriented,
+/// `{:e}` floats, biases first then the six weight matrices in the
+/// fixed order `W_z W_r W_n U_z U_r U_n`, one row per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_gru<W: Write>(mut w: W, gru: &Gru) -> io::Result<()> {
+    writeln!(w, "occusense-gru v1")?;
+    writeln!(w, "dims {} {}", gru.in_dim(), gru.hidden_dim())?;
+    write_floats(&mut w, &gru.b_z)?;
+    write_floats(&mut w, &gru.b_r)?;
+    write_floats(&mut w, &gru.b_n)?;
+    for m in [&gru.w_z, &gru.w_r, &gru.w_n, &gru.u_z, &gru.u_r, &gru.u_n] {
+        for r in 0..m.rows() {
+            write_floats(&mut w, m.row(r))?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a GRU saved by [`save_gru`]. Rejects non-finite values,
+/// truncated files and dimension mismatches like [`load`] does.
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] for I/O failures or malformed content.
+pub fn load_gru<R: Read>(r: R) -> Result<Gru, LoadModelError> {
+    load_gru_from(BufReader::new(r))
+}
+
+/// [`load_gru`] over an existing buffered reader, consuming exactly the
+/// GRU payload and nothing past it. Use this when the GRU is embedded
+/// in a larger stream (e.g. a temporal-detector checkpoint) and another
+/// payload follows: wrapping the stream in a second `BufReader` would
+/// read ahead and swallow the follower's bytes.
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] for I/O failures or malformed content.
+pub fn load_gru_from<R: BufRead>(reader: R) -> Result<Gru, LoadModelError> {
+    let mut lines = reader.lines();
+    let mut next_line = |what: &str| -> Result<String, LoadModelError> {
+        lines
+            .next()
+            .ok_or_else(|| {
+                LoadModelError::Parse(format!("unexpected end of file, expected {what}"))
+            })?
+            .map_err(LoadModelError::from)
+    };
+
+    let magic = next_line("header")?;
+    if magic.trim() != "occusense-gru v1" {
+        return Err(LoadModelError::Parse(format!("bad gru header '{magic}'")));
+    }
+    let dims_line = next_line("dims")?;
+    let dims: Vec<&str> = dims_line.split_whitespace().collect();
+    if dims.len() != 3 || dims[0] != "dims" {
+        return Err(LoadModelError::Parse(format!(
+            "bad dims line '{dims_line}'"
+        )));
+    }
+    let in_dim: usize = dims[1]
+        .parse()
+        .map_err(|e| LoadModelError::Parse(format!("bad in_dim: {e}")))?;
+    let hidden: usize = dims[2]
+        .parse()
+        .map_err(|e| LoadModelError::Parse(format!("bad hidden dim: {e}")))?;
+    if in_dim == 0 || hidden == 0 {
+        return Err(LoadModelError::Parse(format!(
+            "gru dims must be positive, got {in_dim}x{hidden}"
+        )));
+    }
+
+    let b_z = parse_floats(&next_line("b_z")?, hidden, 0, "b_z")?;
+    let b_r = parse_floats(&next_line("b_r")?, hidden, 0, "b_r")?;
+    let b_n = parse_floats(&next_line("b_n")?, hidden, 0, "b_n")?;
+    let mut read_matrix = |rows: usize, what: &'static str| -> Result<Matrix, LoadModelError> {
+        let mut m = Matrix::zeros(rows, hidden);
+        for r in 0..rows {
+            let row = parse_floats(&next_line(what)?, hidden, 0, what)?;
+            m.row_mut(r).copy_from_slice(&row);
+        }
+        Ok(m)
+    };
+    let w_z = read_matrix(in_dim, "w_z")?;
+    let w_r = read_matrix(in_dim, "w_r")?;
+    let w_n = read_matrix(in_dim, "w_n")?;
+    let u_z = read_matrix(hidden, "u_z")?;
+    let u_r = read_matrix(hidden, "u_r")?;
+    let u_n = read_matrix(hidden, "u_n")?;
+    Ok(Gru {
+        w_z,
+        w_r,
+        w_n,
+        u_z,
+        u_r,
+        u_n,
+        b_z,
+        b_r,
+        b_n,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn round_trip_preserves_model_exactly() {
@@ -254,5 +361,54 @@ mod tests {
         let text = "occusense-mlp v1\nlayers 1\nlayer 1 1 swish\n0.0\n1.0\n";
         let err = load(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("unknown activation"));
+    }
+
+    #[test]
+    fn gru_round_trip_preserves_model_exactly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let gru = Gru::new(5, 8, &mut rng);
+        let mut buf = Vec::new();
+        save_gru(&mut buf, &gru).unwrap();
+        let back = load_gru(&buf[..]).unwrap();
+        assert_eq!(back, gru);
+    }
+
+    #[test]
+    fn gru_round_trip_preserves_states_bitwise() {
+        use crate::gru::GruWorkspace;
+        let mut rng = StdRng::seed_from_u64(10);
+        let gru = Gru::new(4, 6, &mut rng);
+        let mut buf = Vec::new();
+        save_gru(&mut buf, &gru).unwrap();
+        let back = load_gru(&buf[..]).unwrap();
+        let xs: Vec<Matrix> = (0..5)
+            .map(|t| Matrix::from_fn(3, 4, |r, c| (((t * 3 + r) * 4 + c) as f64 * 0.31).sin()))
+            .collect();
+        let h0 = Matrix::zeros(3, 6);
+        let run = |g: &Gru| {
+            let mut ws = GruWorkspace::new();
+            g.forward_seq(&xs, &h0, &mut ws);
+            ws.h_last().clone()
+        };
+        assert_eq!(run(&gru), run(&back));
+    }
+
+    #[test]
+    fn gru_load_rejects_bad_header_and_truncation() {
+        let err = load_gru(&b"not a gru\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad gru header"));
+        let mut rng = StdRng::seed_from_u64(11);
+        let gru = Gru::new(2, 3, &mut rng);
+        let mut buf = Vec::new();
+        save_gru(&mut buf, &gru).unwrap();
+        let err = load_gru(&buf[..buf.len() / 2]).unwrap_err();
+        assert!(matches!(err, LoadModelError::Parse(_)));
+    }
+
+    #[test]
+    fn gru_load_rejects_non_finite_values() {
+        let text = "occusense-gru v1\ndims 1 1\nNaN\n0.0\n0.0\n1.0\n1.0\n1.0\n1.0\n1.0\n1.0\n";
+        let err = load_gru(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
     }
 }

@@ -1,11 +1,15 @@
 //! Property-based tests for the neural-network crate.
 
 use occusense_nn::activation::Activation;
+use occusense_nn::gru::{Gru, GruWorkspace};
 use occusense_nn::loss::{BceWithLogits, Loss, Mse};
 use occusense_nn::mlp::Mlp;
 use occusense_nn::serialize;
+use occusense_tensor::kernels::Parallelism;
 use occusense_tensor::Matrix;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn small_architecture() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..12, 2..5)
@@ -90,6 +94,117 @@ proptest! {
         // Derivative is 0/1.
         let d = Activation::Relu.derivative(&x);
         prop_assert!(d.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn gru_backward_matches_finite_differences(seed in 0u64..20, t_len in 1usize..4) {
+        // Central differences on one sampled entry per parameter tensor
+        // (the exhaustive sweep lives in the unit tests; here the shapes
+        // and seeds vary instead).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gru = Gru::new(3, 4, &mut rng);
+        let xs: Vec<Matrix> = (0..t_len)
+            .map(|t| Matrix::from_fn(2, 3, |r, c| (((t * 2 + r) * 3 + c) as f64 * 0.47).sin()))
+            .collect();
+        let h0 = Matrix::zeros(2, 4);
+        let mut ws = GruWorkspace::new();
+        gru.forward_seq(&xs, &h0, &mut ws);
+        gru.backward_seq(&xs, &Matrix::ones(2, 4), &mut ws);
+        let sum_h = |g: &Gru| {
+            let mut w = GruWorkspace::new();
+            g.forward_seq(&xs, &h0, &mut w);
+            w.h_last().sum()
+        };
+        let eps = 1e-6;
+        #[allow(clippy::type_complexity)]
+        let probes: [(fn(&mut Gru) -> &mut Matrix, f64); 6] = [
+            (|g| &mut g.w_z, ws.grad_w_z()[(1, 2)]),
+            (|g| &mut g.w_r, ws.grad_w_r()[(1, 2)]),
+            (|g| &mut g.w_n, ws.grad_w_n()[(1, 2)]),
+            (|g| &mut g.u_z, ws.grad_u_z()[(2, 3)]),
+            (|g| &mut g.u_r, ws.grad_u_r()[(2, 3)]),
+            (|g| &mut g.u_n, ws.grad_u_n()[(2, 3)]),
+        ];
+        for (i, (field, analytic)) in probes.into_iter().enumerate() {
+            let (r, c) = if i < 3 { (1, 2) } else { (2, 3) };
+            let mut gp = gru.clone();
+            field(&mut gp)[(r, c)] += eps;
+            let mut gm = gru.clone();
+            field(&mut gm)[(r, c)] -= eps;
+            let numeric = (sum_h(&gp) - sum_h(&gm)) / (2.0 * eps);
+            prop_assert!((numeric - analytic).abs() < 1e-5, "tensor {}: {} vs {}", i, numeric, analytic);
+        }
+        #[allow(clippy::type_complexity)]
+        let bias_probes: [(fn(&mut Gru) -> &mut Vec<f64>, f64); 3] = [
+            (|g| &mut g.b_z, ws.grad_b_z()[1]),
+            (|g| &mut g.b_r, ws.grad_b_r()[1]),
+            (|g| &mut g.b_n, ws.grad_b_n()[1]),
+        ];
+        for (i, (field, analytic)) in bias_probes.into_iter().enumerate() {
+            let mut gp = gru.clone();
+            field(&mut gp)[1] += eps;
+            let mut gm = gru.clone();
+            field(&mut gm)[1] -= eps;
+            let numeric = (sum_h(&gp) - sum_h(&gm)) / (2.0 * eps);
+            prop_assert!((numeric - analytic).abs() < 1e-5, "bias {}: {} vs {}", i, numeric, analytic);
+        }
+    }
+
+    #[test]
+    fn gru_thread_count_is_bitwise_invisible(seed in 0u64..30, threads in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gru = Gru::new(8, 12, &mut rng);
+        let xs: Vec<Matrix> = (0..4)
+            .map(|t| Matrix::from_fn(24, 8, |r, c| (((t * 24 + r) * 8 + c) as f64 * 0.13).cos()))
+            .collect();
+        let h0 = Matrix::zeros(24, 12);
+        let run = |par: Parallelism| {
+            let mut ws = GruWorkspace::with_parallelism(par);
+            gru.forward_seq(&xs, &h0, &mut ws);
+            gru.backward_seq(&xs, &Matrix::ones(24, 12), &mut ws);
+            (ws.h_last().clone(), ws.grad_w_n().clone(), ws.grad_u_z().clone())
+        };
+        prop_assert_eq!(run(Parallelism::Single), run(Parallelism::Threads(threads)));
+    }
+
+    #[test]
+    fn gru_chunked_scoring_is_bitwise_equal(seed in 0u64..30, t_len in 2usize..9, split_frac in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gru = Gru::new(5, 7, &mut rng);
+        let xs: Vec<Matrix> = (0..t_len)
+            .map(|t| Matrix::from_fn(3, 5, |r, c| (((t * 3 + r) * 5 + c) as f64 * 0.23).sin()))
+            .collect();
+        let h0 = Matrix::zeros(3, 7);
+        let mut ws = GruWorkspace::new();
+        gru.forward_seq(&xs, &h0, &mut ws);
+        let one_shot = ws.h_last().clone();
+        // Feed in two chunks with carried state.
+        let split = 1 + ((split_frac * (t_len - 1) as f64) as usize).min(t_len - 1);
+        let mut ws2 = GruWorkspace::new();
+        gru.forward_seq(&xs[..split], &h0, &mut ws2);
+        let carried = ws2.h_last().clone();
+        if split < t_len {
+            gru.forward_seq(&xs[split..], &carried, &mut ws2);
+        }
+        prop_assert_eq!(ws2.h_last(), &one_shot);
+        // And one timestep at a time through the stateful step path.
+        let mut h = h0.clone();
+        let mut h_next = Matrix::default();
+        for x in &xs {
+            gru.step(x, &h, &mut h_next, &mut ws2);
+            std::mem::swap(&mut h, &mut h_next);
+        }
+        prop_assert_eq!(&h, &one_shot);
+    }
+
+    #[test]
+    fn gru_serialization_round_trip(seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gru = Gru::new(6, 9, &mut rng);
+        let mut buf = Vec::new();
+        serialize::save_gru(&mut buf, &gru).unwrap();
+        let back = serialize::load_gru(&buf[..]).unwrap();
+        prop_assert_eq!(back, gru);
     }
 
     #[test]

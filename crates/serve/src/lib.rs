@@ -27,6 +27,14 @@
 //! * **Hot swap** — a trainer thread learns continually from labelled
 //!   records and publishes versioned snapshots workers pick up between
 //!   batches ([`model`]).
+//! * **Stateful sequence scoring** — a runtime booted with
+//!   [`ServeRuntime::start_temporal`] serves the GRU sequence model:
+//!   each sensor's hidden row is carried between micro-batches in a
+//!   per-shard [`state`] table, the current timestep of all sensors in
+//!   a batch advances in *one* batched GRU step (bitwise identical to
+//!   solo stepping, by row independence of the kernels), states
+//!   zero-reset on hot swap and are evicted on disconnect — all under
+//!   the same accounting identity.
 //! * **Observability** — counters, gauges and log-bucketed latency
 //!   histograms with p50/p95/p99, rendered as plain text ([`metrics`]).
 //! * **Fault tolerance** — workers and the trainer run under panic
@@ -58,19 +66,21 @@ pub mod model;
 pub mod queue;
 pub mod routing;
 pub mod runtime;
+pub mod state;
 pub mod supervisor;
 pub mod trainer;
 pub mod worker;
 
 pub use batcher::{BatchConfig, MicroBatcher};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use model::{ModelHandle, ModelSnapshot};
+pub use model::{ModelHandle, ModelSnapshot, ServedModel};
 pub use queue::{BackpressurePolicy, BoundedQueue, PopResult, PushError, QueueCounters};
 pub use routing::shard_for;
 pub use runtime::{
     wire_stats, OnlineTrainingConfig, SensorClient, ServeConfig, ServeError, ServeReport,
     ServeRuntime, SubmitError, WireCounters,
 };
+pub use state::{SensorState, StateTable};
 pub use supervisor::{CheckpointConfig, DeadLetter, FaultReport, SupervisorConfig};
 pub use trainer::LabelledRecord;
 pub use worker::Prediction;

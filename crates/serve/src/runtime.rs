@@ -7,9 +7,10 @@
 
 use crate::batcher::BatchConfig;
 use crate::metrics::MetricsRegistry;
-use crate::model::ModelHandle;
+use crate::model::{ModelHandle, ServedModel};
 use crate::queue::{BackpressurePolicy, BoundedQueue, PushError, QueueCounters};
 use crate::routing::shard_for;
+use crate::state::StateTable;
 use crate::supervisor::{
     panic_message, CheckpointConfig, FaultReport, SupervisorConfig, SupervisorState,
 };
@@ -18,6 +19,7 @@ use crate::worker::{self, Job, Prediction, WorkerContext, WorkerMetrics};
 use occusense_core::detector::OccupancyDetector;
 use occusense_core::online::{OnlineConfig, OnlineDetector};
 use occusense_core::persist;
+use occusense_core::temporal::TemporalDetector;
 use occusense_core::tensor::Parallelism;
 use occusense_dataset::CsiRecord;
 use std::error::Error;
@@ -96,6 +98,11 @@ pub enum ServeError {
     /// MLP-backed (only the MLP supports the paper's continual-
     /// training path).
     OnlineRequiresMlp,
+    /// Online training was requested for a temporal (GRU) model; the
+    /// continual trainer only supports the per-frame path, so temporal
+    /// runtimes must start with `online: None` and swap via
+    /// [`ServeRuntime::publish_temporal`].
+    OnlineUnsupportedForTemporal,
     /// The checkpoint directory could not be created.
     CheckpointDir(String),
 }
@@ -106,6 +113,12 @@ impl fmt::Display for ServeError {
             ServeError::ZeroShards => write!(f, "serve: n_shards must be positive"),
             ServeError::OnlineRequiresMlp => {
                 write!(f, "serve: online training requires an MLP-backed detector")
+            }
+            ServeError::OnlineUnsupportedForTemporal => {
+                write!(
+                    f,
+                    "serve: online training is not supported for temporal models; start with online: None"
+                )
             }
             ServeError::CheckpointDir(e) => {
                 write!(f, "serve: cannot create checkpoint directory: {e}")
@@ -429,6 +442,7 @@ pub struct ServeRuntime {
     trainer_queue: Option<Arc<BoundedQueue<LabelledRecord>>>,
     trainer: Option<JoinHandle<()>>,
     model: Arc<ModelHandle>,
+    states: Option<Arc<StateTable>>,
     metrics: Arc<MetricsRegistry>,
     supervision: Arc<SupervisorState>,
     checkpoint: Option<CheckpointConfig>,
@@ -452,27 +466,66 @@ impl ServeRuntime {
         detector: OccupancyDetector,
         config: ServeConfig,
     ) -> Result<(Self, mpsc::Receiver<Prediction>), ServeError> {
+        Self::boot(ServedModel::Frame(detector), config)
+    }
+
+    /// Boots the runtime around a temporal (GRU) sequence model:
+    /// workers keep one hidden row per sensor in a shared
+    /// [`StateTable`] and score each micro-batch as batched GRU steps.
+    /// Swap models with [`publish_temporal`](Self::publish_temporal),
+    /// drop a disconnected sensor's state with
+    /// [`evict_sensor`](Self::evict_sensor).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ZeroShards`] for an empty topology and
+    /// [`ServeError::OnlineUnsupportedForTemporal`] when `config`
+    /// enables the (frame-only) continual trainer.
+    pub fn start_temporal(
+        detector: TemporalDetector,
+        config: ServeConfig,
+    ) -> Result<(Self, mpsc::Receiver<Prediction>), ServeError> {
+        if config.online.is_some() {
+            return Err(ServeError::OnlineUnsupportedForTemporal);
+        }
+        Self::boot(ServedModel::Temporal(detector), config)
+    }
+
+    fn boot(
+        boot_model: ServedModel,
+        config: ServeConfig,
+    ) -> Result<(Self, mpsc::Receiver<Prediction>), ServeError> {
         if config.n_shards == 0 {
             return Err(ServeError::ZeroShards);
         }
         // Validate the whole configuration before spawning anything,
         // so a refused start never leaks threads.
-        let online = match config.online {
-            Some(online_cfg) => Some((
+        let online = match (config.online, &boot_model) {
+            (Some(online_cfg), ServedModel::Frame(detector)) => Some((
                 online_cfg,
-                OnlineDetector::from_detector(&detector, online_cfg.online)
+                OnlineDetector::from_detector(detector, online_cfg.online)
                     .ok_or(ServeError::OnlineRequiresMlp)?,
             )),
-            None => None,
+            (Some(_), ServedModel::Temporal(_)) => {
+                return Err(ServeError::OnlineUnsupportedForTemporal)
+            }
+            (None, _) => None,
         };
         if let Some(ckpt) = &config.checkpoint {
             std::fs::create_dir_all(&ckpt.dir)
                 .map_err(|e| ServeError::CheckpointDir(e.to_string()))?;
         }
+        let states = match &boot_model {
+            ServedModel::Temporal(_) => Some(Arc::new(StateTable::new(config.n_shards))),
+            ServedModel::Frame(_) => None,
+        };
 
         let metrics = Arc::new(MetricsRegistry::new());
         let supervision = Arc::new(SupervisorState::new(config.n_shards, &config.supervisor));
-        let model = Arc::new(ModelHandle::new(detector));
+        let model = Arc::new(match boot_model {
+            ServedModel::Frame(d) => ModelHandle::new(d),
+            ServedModel::Temporal(t) => ModelHandle::new_temporal(t),
+        });
         let (out_tx, out_rx) = mpsc::channel();
 
         let trainer_queue = config.online.map(|online_cfg| {
@@ -488,6 +541,7 @@ impl ServeRuntime {
             deadline_flushes: metrics.counter("serve.deadline_flushes"),
             restarts: metrics.counter("serve.restarts"),
             poisoned: metrics.counter("serve.poisoned_records"),
+            state_resets: metrics.counter("serve.state_resets"),
             latency_ns: metrics.histogram("serve.latency_ns"),
             batch_size: metrics.histogram("serve.batch_size"),
             inference_ns: metrics.histogram("serve.inference_ns"),
@@ -510,6 +564,7 @@ impl ServeRuntime {
                 max_restarts: config.supervisor.max_restarts_per_shard,
                 panic_on_trigger: config.supervisor.panic_on_trigger,
                 parallelism: config.parallelism,
+                states: states.clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -552,6 +607,7 @@ impl ServeRuntime {
                 trainer_queue,
                 trainer,
                 model,
+                states,
                 metrics,
                 supervision,
                 checkpoint: config.checkpoint,
@@ -586,10 +642,53 @@ impl ServeRuntime {
         self.model.version()
     }
 
-    /// A clone of the currently serving detector — what a checkpoint
-    /// written this instant would contain.
-    pub fn current_detector(&self) -> OccupancyDetector {
-        self.model.current().detector.clone()
+    /// A clone of the currently serving frame detector — what a
+    /// checkpoint written this instant would contain. `None` on a
+    /// temporal runtime.
+    pub fn current_detector(&self) -> Option<OccupancyDetector> {
+        self.model.current().frame().cloned()
+    }
+
+    /// A clone of the currently serving temporal detector; `None` on a
+    /// frame runtime.
+    pub fn current_temporal(&self) -> Option<TemporalDetector> {
+        self.model.current().temporal().cloned()
+    }
+
+    /// Hot-swaps the serving temporal model and returns the new
+    /// version. Every sensor's hidden state is zero-reset the first
+    /// time its shard scores against the new snapshot (counted in the
+    /// `serve.state_resets` metric) — old activations are meaningless
+    /// under new weights, so each sensor's sequence restarts cleanly.
+    ///
+    /// Only meaningful on a runtime booted with
+    /// [`start_temporal`](Self::start_temporal); on a frame runtime
+    /// the workers quarantine rather than score against the mismatched
+    /// snapshot.
+    pub fn publish_temporal(&self, detector: TemporalDetector) -> u64 {
+        self.model.publish_temporal(detector)
+    }
+
+    /// Drops `sensor_id`'s carried hidden state (the disconnect path —
+    /// the wire gateway calls this when a sensor's last connection
+    /// closes). Returns whether a state existed; always `false` on a
+    /// frame runtime. A sensor that reappears after eviction restarts
+    /// from a zero state, exactly like a brand-new sensor.
+    pub fn evict_sensor(&self, sensor_id: &str) -> bool {
+        let Some(states) = &self.states else {
+            return false;
+        };
+        let evicted = states.evict(shard_for(sensor_id, self.shards.len()), sensor_id);
+        if evicted {
+            self.metrics.counter("serve.state_evictions").inc();
+        }
+        evicted
+    }
+
+    /// Number of sensors currently holding temporal hidden state
+    /// (always 0 on a frame runtime).
+    pub fn active_sensor_states(&self) -> usize {
+        self.states.as_ref().map_or(0, |s| s.active_sensors())
     }
 
     /// Live counters of every shard queue, in shard order.
@@ -643,6 +742,11 @@ impl ServeRuntime {
         self.metrics
             .gauge("model.version")
             .set(self.model.version() as i64);
+        if let Some(states) = &self.states {
+            self.metrics
+                .gauge("serve.active_sensor_states")
+                .set(states.active_sensors() as i64);
+        }
         self.metrics.render()
     }
 
@@ -743,14 +847,27 @@ impl ServeRuntime {
         }
         // 3. Final on-shutdown checkpoint of whatever is serving now —
         //    after the trainer's last publish, so a restarted runtime
-        //    resumes from exactly this model.
+        //    resumes from exactly this model. Frame and temporal
+        //    snapshots use distinct checkpoint families
+        //    (`detector-v*` / `temporal-v*`), both checksummed and
+        //    written atomically.
         if let Some(cfg) = &self.checkpoint {
             let snapshot = self.model.current();
-            let path = persist::checkpoint_path(&cfg.dir, snapshot.version);
-            match persist::save_detector_atomic(&path, &snapshot.detector) {
-                Ok(()) => {
+            let outcome = match &snapshot.model {
+                ServedModel::Frame(detector) => persist::save_detector_atomic(
+                    &persist::checkpoint_path(&cfg.dir, snapshot.version),
+                    detector,
+                )
+                .map(|()| persist::prune_checkpoints(&cfg.dir, cfg.keep)),
+                ServedModel::Temporal(temporal) => persist::save_temporal_atomic(
+                    &persist::temporal_checkpoint_path(&cfg.dir, snapshot.version),
+                    temporal,
+                )
+                .map(|()| persist::prune_temporal_checkpoints(&cfg.dir, cfg.keep)),
+            };
+            match outcome {
+                Ok(_pruned) => {
                     self.metrics.counter("serve.checkpoints").inc();
-                    let _ = persist::prune_checkpoints(&cfg.dir, cfg.keep);
                 }
                 Err(e) => {
                     self.metrics.counter("serve.checkpoint_failures").inc();
@@ -775,5 +892,240 @@ impl ServeRuntime {
 impl Drop for ServeRuntime {
     fn drop(&mut self) {
         self.stop_threads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occusense_core::detector::{DetectorConfig, ModelKind};
+    use occusense_core::temporal::{TemporalConfig, TemporalDetector};
+    use occusense_sim::{simulate, ScenarioConfig};
+    use std::collections::BTreeMap;
+
+    fn tiny_temporal(seed: u64) -> (TemporalDetector, occusense_dataset::Dataset) {
+        let ds = simulate(&ScenarioConfig::quick(600.0, seed));
+        let temporal = TemporalDetector::train(
+            &ds,
+            &TemporalConfig {
+                window: 8,
+                stride: 4,
+                hidden: 8,
+                epochs: 1,
+                seed,
+                ..TemporalConfig::default()
+            },
+        );
+        (temporal, ds)
+    }
+
+    fn temporal_config() -> ServeConfig {
+        ServeConfig {
+            n_shards: 2,
+            policy: BackpressurePolicy::Block,
+            online: None,
+            batch: BatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(1),
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    fn recv_n(rx: &mpsc::Receiver<Prediction>, n: usize) -> Vec<Prediction> {
+        (0..n)
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(20))
+                    .expect("prediction within the deadline")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn temporal_serving_matches_solo_streams_bitwise() {
+        let (temporal, ds) = tiny_temporal(31);
+        let per = 60usize;
+        let streams: Vec<&[CsiRecord]> = (0..3)
+            .map(|i| &ds.records()[i * per..(i + 1) * per])
+            .collect();
+        let (rt, rx) = ServeRuntime::start_temporal(temporal.clone(), temporal_config()).unwrap();
+        let mut clients: Vec<SensorClient> =
+            (0..3).map(|i| rt.client(&format!("sensor-{i}"))).collect();
+        // Interleave the three sensors record-by-record so flushes mix
+        // them into shared batches — the invariant under test is that
+        // this multiplexing is bitwise invisible.
+        for r in 0..per {
+            for (client, stream) in clients.iter_mut().zip(&streams) {
+                client.submit(stream[r]).unwrap();
+            }
+        }
+        let report = rt.shutdown();
+        assert_eq!(report.unaccounted_records(), 0);
+        assert_eq!(report.records_served, (3 * per) as u64);
+        let mut by_sensor: BTreeMap<String, Vec<Prediction>> = BTreeMap::new();
+        for p in rx.iter() {
+            by_sensor
+                .entry(p.sensor_id.to_string())
+                .or_default()
+                .push(p);
+        }
+        for (i, stream) in streams.iter().enumerate() {
+            let mut got = by_sensor.remove(&format!("sensor-{i}")).unwrap();
+            got.sort_by_key(|p| p.seq);
+            let expected = temporal.score_stream(stream);
+            assert_eq!(got.len(), expected.len());
+            for (p, (_, solo)) in got.iter().zip(&expected) {
+                assert_eq!(
+                    p.proba.to_bits(),
+                    solo.to_bits(),
+                    "sensor {i} seq {}: batched != solo",
+                    p.seq
+                );
+                assert_eq!(p.model_version, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_swap_zero_resets_state_and_stamps_versions() {
+        let (t1, ds) = tiny_temporal(41);
+        let (t2, _) = tiny_temporal(43);
+        let records = &ds.records()[..100];
+        let (rt, rx) = ServeRuntime::start_temporal(t1.clone(), temporal_config()).unwrap();
+        let mut client = rt.client("sensor-a");
+        for r in &records[..50] {
+            client.submit(*r).unwrap();
+        }
+        let mut got = recv_n(&rx, 50);
+        assert_eq!(rt.metrics().counter("serve.state_resets").get(), 0);
+        assert_eq!(rt.publish_temporal(t2.clone()), 2);
+        for r in &records[50..] {
+            client.submit(*r).unwrap();
+        }
+        got.extend(recv_n(&rx, 50));
+        assert_eq!(
+            rt.metrics().counter("serve.state_resets").get(),
+            1,
+            "exactly one zero reset at the first post-swap flush"
+        );
+        let report = rt.shutdown();
+        assert_eq!(report.unaccounted_records(), 0);
+        got.sort_by_key(|p| p.seq);
+        // Before the swap: v1 from a zero state. After: v2 from a
+        // fresh zero state — the old hidden row must not leak through.
+        let before = t1.score_stream(&records[..50]);
+        let after = t2.score_stream(&records[50..]);
+        for (p, (_, solo)) in got.iter().take(50).zip(&before) {
+            assert_eq!(p.model_version, 1);
+            assert_eq!(p.proba.to_bits(), solo.to_bits(), "pre-swap seq {}", p.seq);
+        }
+        for (p, (_, solo)) in got.iter().skip(50).zip(&after) {
+            assert_eq!(p.model_version, 2);
+            assert_eq!(p.proba.to_bits(), solo.to_bits(), "post-swap seq {}", p.seq);
+        }
+    }
+
+    #[test]
+    fn evicting_a_sensor_restarts_its_stream_from_zero() {
+        let (temporal, ds) = tiny_temporal(37);
+        let records = &ds.records()[..120];
+        let (rt, rx) = ServeRuntime::start_temporal(temporal.clone(), temporal_config()).unwrap();
+        let mut client = rt.client("sensor-a");
+        for r in &records[..60] {
+            client.submit(*r).unwrap();
+        }
+        let mut got = recv_n(&rx, 60);
+        assert_eq!(rt.active_sensor_states(), 1);
+        assert!(rt.evict_sensor("sensor-a"));
+        assert!(!rt.evict_sensor("sensor-a"), "second evict finds nothing");
+        assert_eq!(rt.active_sensor_states(), 0);
+        assert_eq!(rt.metrics().counter("serve.state_evictions").get(), 1);
+        for r in &records[60..] {
+            client.submit(*r).unwrap();
+        }
+        got.extend(recv_n(&rx, 60));
+        let report = rt.shutdown();
+        assert_eq!(report.unaccounted_records(), 0);
+        got.sort_by_key(|p| p.seq);
+        let first = temporal.score_stream(&records[..60]);
+        let second = temporal.score_stream(&records[60..]);
+        for (p, (_, solo)) in got.iter().take(60).zip(&first) {
+            assert_eq!(p.proba.to_bits(), solo.to_bits(), "pre-evict seq {}", p.seq);
+        }
+        for (p, (_, solo)) in got.iter().skip(60).zip(&second) {
+            assert_eq!(
+                p.proba.to_bits(),
+                solo.to_bits(),
+                "post-evict seq {} must restart from zero state",
+                p.seq
+            );
+        }
+    }
+
+    #[test]
+    fn start_temporal_refuses_online_training() {
+        let (temporal, _) = tiny_temporal(29);
+        match ServeRuntime::start_temporal(temporal, ServeConfig::default()) {
+            Err(ServeError::OnlineUnsupportedForTemporal) => {}
+            Ok(_) => panic!("online training must be refused for temporal models"),
+            Err(other) => panic!("wrong refusal: {other}"),
+        }
+    }
+
+    #[test]
+    fn temporal_publish_on_frame_runtime_quarantines_cleanly() {
+        let ds = simulate(&ScenarioConfig::quick(400.0, 11));
+        let frame = OccupancyDetector::train(
+            &ds,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let (temporal, _) = tiny_temporal(13);
+        let config = ServeConfig {
+            online: None,
+            ..temporal_config()
+        };
+        let (rt, _rx) = ServeRuntime::start(frame, config).unwrap();
+        rt.publish_temporal(temporal);
+        let mut client = rt.client("sensor-a");
+        for r in &ds.records()[..10] {
+            client.submit(*r).unwrap();
+        }
+        let report = rt.shutdown();
+        // A frame runtime has no state table: the mismatched batches
+        // are quarantined, never scored — and still fully accounted.
+        assert_eq!(report.records_served, 0);
+        assert_eq!(report.faults.poisoned_records, 10);
+        assert_eq!(report.unaccounted_records(), 0);
+    }
+
+    #[test]
+    fn temporal_shutdown_checkpoint_resumes_bitwise() {
+        let (temporal, ds) = tiny_temporal(47);
+        let dir = std::env::temp_dir().join(format!(
+            "occusense-serve-temporal-ckpt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            ..temporal_config()
+        };
+        let (rt, _rx) = ServeRuntime::start_temporal(temporal.clone(), config).unwrap();
+        let mut client = rt.client("sensor-a");
+        for r in &ds.records()[..20] {
+            client.submit(*r).unwrap();
+        }
+        let report = rt.shutdown();
+        assert_eq!(report.faults.checkpoints_written, 1);
+        let (version, _path, loaded) = persist::load_latest_temporal(&dir)
+            .unwrap()
+            .expect("a temporal checkpoint");
+        assert_eq!(version, 1);
+        assert_eq!(loaded, temporal);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

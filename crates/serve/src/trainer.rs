@@ -70,11 +70,15 @@ pub(crate) fn run(mut ctx: TrainerContext) {
                 if restarts > ctx.max_restarts {
                     return;
                 }
-                // Fall back to the last good snapshot. Published models
-                // are always MLP-backed, so the rebuild cannot fail;
-                // the guard keeps a logic error from looping forever.
+                // Fall back to the last good snapshot. The trainer only
+                // runs on frame runtimes and publishes MLP-backed
+                // models, so the rebuild cannot fail; the guard keeps a
+                // logic error from looping forever.
                 let snapshot = ctx.model.current();
-                match OnlineDetector::from_detector(&snapshot.detector, ctx.online_config) {
+                match snapshot
+                    .frame()
+                    .and_then(|d| OnlineDetector::from_detector(d, ctx.online_config))
+                {
                     Some(online) => ctx.online = online,
                     None => return,
                 }

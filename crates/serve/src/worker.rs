@@ -16,15 +16,18 @@
 
 use crate::batcher::{BatchConfig, MicroBatcher};
 use crate::metrics::{Counter, Histogram};
-use crate::model::ModelHandle;
+use crate::model::{ModelHandle, ServedModel};
 use crate::queue::{BoundedQueue, PopResult};
+use crate::state::{SensorState, StateTable};
 use crate::supervisor::{is_scorable, panic_message, SupervisorState};
 use crate::trainer::LabelledRecord;
 use occusense_core::detector::ScoreWorkspace;
-use occusense_core::tensor::Parallelism;
+use occusense_core::temporal::{TemporalDetector, TemporalWorkspace};
+use occusense_core::tensor::{Matrix, Parallelism};
 use occusense_dataset::CsiRecord;
 use occusense_sim::stream::is_worker_panic_trigger;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -67,6 +70,7 @@ pub(crate) struct WorkerMetrics {
     pub deadline_flushes: Arc<Counter>,
     pub restarts: Arc<Counter>,
     pub poisoned: Arc<Counter>,
+    pub state_resets: Arc<Counter>,
     pub latency_ns: Arc<Histogram>,
     pub batch_size: Arc<Histogram>,
     pub inference_ns: Arc<Histogram>,
@@ -85,6 +89,9 @@ pub(crate) struct WorkerContext {
     pub max_restarts: u64,
     pub panic_on_trigger: bool,
     pub parallelism: Parallelism,
+    /// `Some` when the runtime serves a temporal model: this shard's
+    /// per-sensor hidden rows live in here.
+    pub states: Option<Arc<StateTable>>,
 }
 
 /// Per-worker reusable scoring buffers: the record gather, the design
@@ -95,6 +102,22 @@ struct ScoreBuffers {
     records: Vec<CsiRecord>,
     probas: Vec<f64>,
     ws: ScoreWorkspace,
+    temporal: Option<TemporalBuffers>,
+}
+
+/// Reusable scratch of the temporal (stateful GRU) scoring path: the
+/// per-round record gather, batch-position map, hidden-row matrix and
+/// the GRU/head workspaces all keep their capacity across flushes.
+struct TemporalBuffers {
+    ws: TemporalWorkspace,
+    /// Hidden rows of the sensors active in the current round.
+    h: Matrix,
+    /// Current-round records, one per active sensor.
+    records: Vec<CsiRecord>,
+    /// `positions[r]` = index into the flush batch of round-row `r`.
+    positions: Vec<usize>,
+    /// Presence probabilities of the current round's rows.
+    step_probas: Vec<f64>,
 }
 
 impl WorkerContext {
@@ -119,6 +142,13 @@ pub(crate) fn run(ctx: WorkerContext) {
         records: Vec::new(),
         probas: Vec::new(),
         ws: ScoreWorkspace::with_parallelism(ctx.parallelism),
+        temporal: ctx.states.as_ref().map(|_| TemporalBuffers {
+            ws: TemporalWorkspace::with_parallelism(ctx.parallelism),
+            h: Matrix::zeros(0, 0),
+            records: Vec::new(),
+            positions: Vec::new(),
+            step_probas: Vec::new(),
+        }),
     });
     loop {
         match catch_unwind(AssertUnwindSafe(|| {
@@ -221,32 +251,49 @@ fn flush(
 
     let snapshot = ctx.model.current();
     let infer_start = Instant::now();
-    // lint:no_alloc
-    {
-        let guard = in_flight.borrow();
-        // lint:allow(panic, reason = "invariant: the batch was parked into in_flight two statements ago and nothing can take it in between")
-        let batch = guard.as_deref().expect("in-flight batch just parked");
-        if ctx.panic_on_trigger && batch.iter().any(|j| is_worker_panic_trigger(&j.record)) {
-            // lint:allow(panic, reason = "fault injection: this panic IS the feature under test; it exercises the supervisor's restart path")
-            panic!("fault injection: scripted worker panic trigger");
+    match &snapshot.model {
+        ServedModel::Frame(detector) => {
+            // lint:no_alloc
+            {
+                let guard = in_flight.borrow();
+                // lint:allow(panic, reason = "invariant: the batch was parked into in_flight two statements ago and nothing can take it in between")
+                let batch = guard.as_deref().expect("in-flight batch just parked");
+                if ctx.panic_on_trigger && batch.iter().any(|j| is_worker_panic_trigger(&j.record))
+                {
+                    // lint:allow(panic, reason = "fault injection: this panic IS the feature under test; it exercises the supervisor's restart path")
+                    panic!("fault injection: scripted worker panic trigger");
+                }
+                // One batched forward through the worker's reusable
+                // buffers: records are scored in arrival order (each
+                // output row depends only on its own input row, so
+                // ordering cannot change scores) and steady-state
+                // flushes allocate nothing.
+                let ScoreBuffers {
+                    records,
+                    probas,
+                    ws,
+                    ..
+                } = &mut *buffers.borrow_mut();
+                records.clear();
+                // lint:allow(alloc, reason = "extend into a cleared reusable buffer: capacity is retained across flushes, so steady state does not allocate")
+                records.extend(batch.iter().map(|job| job.record));
+                detector.predict_proba_slice_into(records, ws, probas);
+            }
+            // lint:end_no_alloc
         }
-        // One batched forward through the worker's reusable buffers:
-        // records are scored in arrival order (each output row depends
-        // only on its own input row, so ordering cannot change scores)
-        // and steady-state flushes allocate nothing.
-        let ScoreBuffers {
-            records,
-            probas,
-            ws,
-        } = &mut *buffers.borrow_mut();
-        records.clear();
-        // lint:allow(alloc, reason = "extend into a cleared reusable buffer: capacity is retained across flushes, so steady state does not allocate")
-        records.extend(batch.iter().map(|job| job.record));
-        snapshot
-            .detector
-            .predict_proba_slice_into(records, ws, probas);
+        ServedModel::Temporal(temporal) => {
+            if !score_temporal(ctx, temporal, snapshot.version, in_flight, buffers) {
+                // A temporal snapshot reached a worker without a state
+                // table — a frame-mode runtime was handed a temporal
+                // publish. Quarantining keeps the accounting identity
+                // exact rather than scoring with fabricated state.
+                if let Some(batch) = in_flight.borrow_mut().take() {
+                    ctx.quarantine(batch, "temporal snapshot on a runtime without sensor state");
+                }
+                return;
+            }
+        }
     }
-    // lint:end_no_alloc
     // The forward pass succeeded: the batch is no longer at risk.
     let batch = in_flight
         .borrow_mut()
@@ -289,4 +336,123 @@ fn flush(
             latency,
         });
     }
+}
+
+/// Stateful sequence scoring of one micro-batch: records are grouped
+/// per sensor (arrival order preserved within a sensor) and replayed
+/// in *rounds* — round `r` takes each active sensor's `r`-th record,
+/// gathers those sensors' hidden rows out of the shard's state table,
+/// advances them all with **one** batched GRU step, and scatters the
+/// updated rows back. Row independence of the kernels makes the
+/// batched step bitwise identical to stepping each sensor alone, so
+/// multiplexing sensors into shared batches never changes a score.
+///
+/// State lifecycle per the [`StateTable`] docs: first sight of a
+/// sensor creates a zero row; a snapshot version (or hidden width)
+/// mismatch zero-resets it — counted in `state_resets`, and visible to
+/// replay verifiers through each prediction's `model_version`.
+///
+/// Fills `buffers.probas` aligned with the parked batch (position
+/// `i` = job `i`'s presence probability), so the caller's fan-out is
+/// shared with the frame path. Returns `false` when the worker has no
+/// state table (frame-mode runtime handed a temporal snapshot).
+fn score_temporal(
+    ctx: &WorkerContext,
+    temporal: &TemporalDetector,
+    version: u64,
+    in_flight: &RefCell<Option<Vec<Job>>>,
+    buffers: &RefCell<ScoreBuffers>,
+) -> bool {
+    let Some(table) = &ctx.states else {
+        return false;
+    };
+    let guard = in_flight.borrow();
+    // lint:allow(panic, reason = "invariant: the batch was parked into in_flight by the caller immediately before this call")
+    let batch = guard.as_deref().expect("in-flight batch just parked");
+    let ScoreBuffers {
+        probas,
+        temporal: bufs,
+        ..
+    } = &mut *buffers.borrow_mut();
+    let Some(bufs) = bufs else {
+        return false;
+    };
+    let hidden = temporal.hidden_dim();
+    probas.clear();
+    probas.resize(batch.len(), 0.0);
+
+    // Per-sensor batch positions, arrival order preserved within each
+    // sensor (the queue is FIFO, so this is ascending client seq).
+    let mut groups: BTreeMap<&Arc<str>, Vec<usize>> = BTreeMap::new();
+    for (pos, job) in batch.iter().enumerate() {
+        groups.entry(&job.sensor_id).or_default().push(pos);
+    }
+
+    // One state-lock hold per flush. `lock_shard` only returns `None`
+    // for an out-of-range shard index, which `ctx.shard` never is.
+    let Some((mut states, wiped)) = table.lock_shard(ctx.shard) else {
+        return false;
+    };
+    if wiped > 0 {
+        // A predecessor panicked mid-flush; the shard map was cleared
+        // and every sensor on it restarts from zeros.
+        ctx.metrics.state_resets.add(wiped as u64);
+    }
+    for sensor in groups.keys() {
+        let state = states
+            .entry(Arc::clone(sensor))
+            .or_insert_with(|| SensorState {
+                h: vec![0.0; hidden],
+                model_version: version,
+            });
+        if state.model_version != version || state.h.len() != hidden {
+            // Hot swap: hidden activations of the old weights mean
+            // nothing under the new ones — restart the sequence.
+            state.h.clear();
+            state.h.resize(hidden, 0.0);
+            state.model_version = version;
+            ctx.metrics.state_resets.inc();
+        }
+    }
+
+    let rounds = groups.values().map(Vec::len).max().unwrap_or(0);
+    for round in 0..rounds {
+        bufs.records.clear();
+        bufs.positions.clear();
+        for positions in groups.values() {
+            if let Some(&pos) = positions.get(round) {
+                if let Some(job) = batch.get(pos) {
+                    bufs.records.push(job.record);
+                    bufs.positions.push(pos);
+                }
+            }
+        }
+        bufs.h.ensure_shape(bufs.records.len(), hidden);
+        for (r, &pos) in bufs.positions.iter().enumerate() {
+            if let Some(state) = batch
+                .get(pos)
+                .and_then(|job| states.get(job.sensor_id.as_ref()))
+            {
+                bufs.h.row_mut(r).copy_from_slice(&state.h);
+            }
+        }
+        temporal.step_batch_into(
+            &bufs.records,
+            &mut bufs.h,
+            &mut bufs.ws,
+            &mut bufs.step_probas,
+        );
+        for (r, &pos) in bufs.positions.iter().enumerate() {
+            if let Some(state) = batch
+                .get(pos)
+                .and_then(|job| states.get_mut(job.sensor_id.as_ref()))
+            {
+                state.h.copy_from_slice(bufs.h.row(r));
+            }
+            if let (Some(slot), Some(&p)) = (probas.get_mut(pos), bufs.step_probas.get(r)) {
+                *slot = p;
+            }
+        }
+    }
+    true
 }

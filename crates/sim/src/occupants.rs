@@ -2,9 +2,17 @@
 //! what — expressed as channel-model bodies.
 
 use crate::mobility::{Activity, MobilityConfig, SubjectMobility};
-use crate::schedule::Schedule;
+use crate::schedule::{RoomSchedule, Schedule};
 use occusense_channel::scene::Body;
 use rand::Rng;
+
+/// Office width in metres — matches the channel scene's room box and
+/// the partition planes of [`occusense_channel::Scene::office_multiroom`].
+pub const OFFICE_WIDTH_M: f64 = 12.0;
+
+/// Y-coordinate subjects use when crossing a partition doorway (the
+/// doorway gap in the channel model spans y ∈ (4.8, 5.8)).
+const DOORWAY_Y: f64 = 5.3;
 
 /// Room-level activity class, the label set of the paper's §VI future
 /// work ("an ML model that simultaneously performs occupancy detection
@@ -70,12 +78,70 @@ pub const DESKS: [(f64, f64); 6] = [
     (11.0, 2.7),
 ];
 
+/// Room-partitioned context of a multi-room office: the per-subject
+/// room schedule plus one room-clipped mobility config per room.
+#[derive(Debug, Clone)]
+struct RoomContext {
+    schedule: RoomSchedule,
+    configs: Vec<MobilityConfig>,
+}
+
+/// West/east extent of a room in the partitioned office.
+fn room_span(room: usize, n_rooms: usize) -> (f64, f64) {
+    let w = OFFICE_WIDTH_M / n_rooms as f64;
+    (w * room as f64, w * (room + 1) as f64)
+}
+
+/// A desk inside `room` for subject `subject`: one of the default desks
+/// whose x-coordinate falls inside the room, or the room centre when
+/// the layout puts no desk there.
+fn desk_in_room(room: usize, n_rooms: usize, subject: usize) -> (f64, f64) {
+    let (lo, hi) = room_span(room, n_rooms);
+    let in_room: Vec<(f64, f64)> = DESKS
+        .iter()
+        .copied()
+        .filter(|d| d.0 >= lo && d.0 < hi)
+        .collect();
+    if in_room.is_empty() {
+        ((lo + hi) / 2.0, 1.5 + (subject % 3) as f64)
+    } else {
+        in_room[subject % in_room.len()]
+    }
+}
+
+/// Where a subject appears when entering `room`: the office door for
+/// the westmost room from outside, otherwise the doorway of the
+/// partition wall being crossed (west wall when coming from the west or
+/// from outside, east wall when coming from the east).
+fn entry_into(room: usize, from: Option<usize>, n_rooms: usize) -> (f64, f64) {
+    let (lo, hi) = room_span(room, n_rooms);
+    match from {
+        None if room == 0 => DOOR_XY,
+        Some(f) if f > room => (hi - 0.4, DOORWAY_Y),
+        _ => (lo + 0.4, DOORWAY_Y),
+    }
+}
+
+/// The base mobility config with its roam bounds clipped to one room
+/// (with the same 0.4 m wall margin the office default uses).
+fn room_mobility(base: &MobilityConfig, room: usize, n_rooms: usize) -> MobilityConfig {
+    let (lo, hi) = room_span(room, n_rooms);
+    let mut cfg = *base;
+    cfg.roam_x = (
+        f64::max(lo + 0.4, base.roam_x.0),
+        f64::min(hi - 0.4, base.roam_x.1),
+    );
+    cfg
+}
+
 /// Tracks the mobility state of every currently present subject.
 #[derive(Debug, Clone)]
 pub struct OccupantModel {
     schedule: Schedule,
     mobility_config: MobilityConfig,
     states: Vec<Option<SubjectMobility>>,
+    current_rooms: Vec<Option<usize>>,
+    rooms: Option<RoomContext>,
 }
 
 impl OccupantModel {
@@ -86,11 +152,37 @@ impl OccupantModel {
             schedule,
             mobility_config,
             states: vec![None; n],
+            current_rooms: vec![None; n],
+            rooms: None,
+        }
+    }
+
+    /// Creates the model for a multi-room office: subjects follow the
+    /// [`RoomSchedule`], roam only within their current room, and cross
+    /// partition doorways when the schedule moves them.
+    pub fn multiroom(rooms: RoomSchedule, mobility_config: MobilityConfig) -> Self {
+        let n = rooms.subjects.len();
+        let configs = (0..rooms.n_rooms)
+            .map(|r| room_mobility(&mobility_config, r, rooms.n_rooms))
+            .collect();
+        Self {
+            schedule: rooms.presence_schedule(),
+            mobility_config,
+            states: vec![None; n],
+            current_rooms: vec![None; n],
+            rooms: Some(RoomContext {
+                schedule: rooms,
+                configs,
+            }),
         }
     }
 
     /// Advances all subjects to time `t` (entering / leaving / moving).
     pub fn step(&mut self, t: f64, dt_s: f64, rng: &mut impl Rng) {
+        if self.rooms.is_some() {
+            self.step_rooms(t, dt_s, rng);
+            return;
+        }
         let presence = self.schedule.presence(t);
         for (i, (state, &present)) in self.states.iter_mut().zip(&presence).enumerate() {
             match (state.as_mut(), present) {
@@ -103,6 +195,60 @@ impl OccupantModel {
                 (None, false) => {}
             }
         }
+    }
+
+    /// The multi-room step: spawn at the right doorway on entry, walk
+    /// to a desk in the scheduled room, re-route through the partition
+    /// doorway on a room change.
+    fn step_rooms(&mut self, t: f64, dt_s: f64, rng: &mut impl Rng) {
+        let Self {
+            states,
+            current_rooms,
+            rooms,
+            ..
+        } = self;
+        let Some(ctx) = rooms.as_ref() else {
+            return;
+        };
+        let n_rooms = ctx.schedule.n_rooms;
+        for i in 0..states.len() {
+            let target = ctx.schedule.room_of(i, t);
+            match (current_rooms[i], target) {
+                (Some(cur), Some(r)) if cur == r => {
+                    if let Some(m) = states[i].as_mut() {
+                        m.step(&ctx.configs[r], dt_s, rng);
+                    }
+                }
+                (from, Some(r)) => {
+                    let entry = entry_into(r, from, n_rooms);
+                    states[i] = Some(SubjectMobility::entering(
+                        entry,
+                        desk_in_room(r, n_rooms, i),
+                    ));
+                    current_rooms[i] = Some(r);
+                }
+                (Some(_), None) => {
+                    states[i] = None;
+                    current_rooms[i] = None;
+                }
+                (None, None) => {}
+            }
+        }
+    }
+
+    /// Head count of every room, from actual body positions (a subject
+    /// mid-transfer counts for the room their body is physically in).
+    /// `None` for single-room models.
+    pub fn room_counts(&self) -> Option<Vec<usize>> {
+        let ctx = self.rooms.as_ref()?;
+        let n = ctx.schedule.n_rooms;
+        let w = OFFICE_WIDTH_M / n as f64;
+        let mut counts = vec![0usize; n];
+        for m in self.states.iter().flatten() {
+            let r = ((m.position.0 / w).floor() as usize).min(n - 1);
+            counts[r] += 1;
+        }
+        Some(counts)
     }
 
     /// Number of subjects currently in the room.
@@ -203,6 +349,86 @@ mod tests {
             assert!((0.0..12.0).contains(&x) && (0.0..6.0).contains(&y));
             for &(x2, y2) in &DESKS[i + 1..] {
                 assert!((x - x2).abs() + (y - y2).abs() > 0.5, "desks too close");
+            }
+        }
+    }
+
+    #[test]
+    fn multiroom_subjects_stay_in_their_scheduled_room() {
+        use crate::schedule::{RoomSchedule, RoomStay};
+        let rooms = RoomSchedule {
+            subjects: vec![
+                vec![
+                    RoomStay {
+                        enter_s: 0.0,
+                        leave_s: 300.0,
+                        room: 0,
+                    },
+                    RoomStay {
+                        enter_s: 300.0,
+                        leave_s: 600.0,
+                        room: 2,
+                    },
+                ],
+                vec![RoomStay {
+                    enter_s: 100.0,
+                    leave_s: 600.0,
+                    room: 1,
+                }],
+            ],
+            n_rooms: 3,
+        };
+        let mut model = OccupantModel::multiroom(rooms, MobilityConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        // Walk well past the transfer walk time (doorway to desk < 8 m).
+        for step in 0..1200 {
+            let t = step as f64 * 0.5;
+            model.step(t, 0.5, &mut rng);
+            let counts = model.room_counts().expect("multiroom model");
+            if (30.0..280.0).contains(&t) {
+                assert_eq!(counts[0], 1, "t={t}: subject 0 should be in room 0");
+            }
+            if (150.0..580.0).contains(&t) {
+                assert_eq!(counts[1], 1, "t={t}: subject 1 should be in room 1");
+            }
+            if (340.0..580.0).contains(&t) {
+                assert_eq!(counts[2], 1, "t={t}: subject 0 should be in room 2");
+            }
+        }
+        model.step(620.0, 0.5, &mut rng);
+        assert_eq!(model.count(), 0);
+    }
+
+    #[test]
+    fn multiroom_positions_respect_room_bounds_when_settled() {
+        use crate::schedule::{RoomSchedule, RoomStay};
+        let rooms = RoomSchedule {
+            subjects: vec![vec![RoomStay {
+                enter_s: 0.0,
+                leave_s: 10_000.0,
+                room: 2,
+            }]],
+            n_rooms: 3,
+        };
+        let mut model = OccupantModel::multiroom(rooms, MobilityConfig::default());
+        let mut rng = StdRng::seed_from_u64(8);
+        for step in 0..10_000 {
+            model.step(step as f64, 1.0, &mut rng);
+            if step > 30 {
+                let counts = model.room_counts().expect("multiroom model");
+                assert_eq!(counts, vec![0, 0, 1], "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn desks_in_each_room_fall_inside_that_room() {
+        for room in 0..3 {
+            let (lo, hi) = super::room_span(room, 3);
+            for subject in 0..6 {
+                let (x, y) = super::desk_in_room(room, 3, subject);
+                assert!((lo..hi).contains(&x), "room {room} desk x={x}");
+                assert!((0.0..6.0).contains(&y));
             }
         }
     }

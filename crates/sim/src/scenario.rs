@@ -3,10 +3,35 @@
 use crate::clock::WallClock;
 use crate::environment::EnvironmentConfig;
 use crate::mobility::MobilityConfig;
-use crate::schedule::{PresenceInterval, Schedule, SubjectSchedule};
+use crate::schedule::{PresenceInterval, RoomSchedule, Schedule, SubjectSchedule};
 use crate::sensor::SensorConfig;
 use occusense_channel::receiver::Receiver;
 use occusense_dataset::folds::turetta_folds;
+
+/// Multi-room extension of a scenario: the office is split into
+/// `n_rooms` by partitions (see
+/// [`occusense_channel::Scene::office_multiroom`]) and the record
+/// labels count only the `monitored_room` — the room holding the
+/// radios. Occupants elsewhere perturb the channel through walls and
+/// doorways without counting towards the label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiroomConfig {
+    /// Number of equal-width rooms (≥ 2).
+    pub n_rooms: usize,
+    /// Index of the room whose head count labels the records.
+    pub monitored_room: usize,
+}
+
+impl MultiroomConfig {
+    /// The default multi-room office: three rooms, radios (and labels)
+    /// in the middle one.
+    pub fn three_rooms() -> Self {
+        Self {
+            n_rooms: 3,
+            monitored_room: 1,
+        }
+    }
+}
 
 /// Full configuration of a simulated collection campaign.
 #[derive(Debug, Clone)]
@@ -40,6 +65,9 @@ pub struct ScenarioConfig {
     /// Explicit schedule override; when `None` the `turetta2022`
     /// generator is used.
     pub schedule_override: Option<Schedule>,
+    /// Multi-room extension; `None` runs the paper's single open
+    /// office.
+    pub multiroom: Option<MultiroomConfig>,
 }
 
 impl ScenarioConfig {
@@ -69,6 +97,7 @@ impl ScenarioConfig {
                 (clock.at(3, 15.5), clock.at(3, 15.67)),
             ],
             schedule_override: None,
+            multiroom: None,
         }
     }
 
@@ -108,15 +137,54 @@ impl ScenarioConfig {
             layout_change_s: None,
             window_events: Vec::new(),
             schedule_override: Some(schedule),
+            multiroom: None,
         }
     }
 
-    /// The schedule this scenario will run (the override, or the
+    /// The multi-room scenario: `duration_s` seconds in a three-room
+    /// office with four subjects moving between rooms, radios and
+    /// labels in the middle room. This is the training/evaluation
+    /// scenario of the temporal (GRU) models — per-frame snapshots are
+    /// ambiguous when a body is near a doorway, so temporal context
+    /// pays off.
+    pub fn multiroom(duration_s: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            sample_rate_hz: 2.0,
+            duration_s,
+            n_subjects: 4,
+            clock: WallClock {
+                start_offset_s: 9.0 * 3600.0,
+            },
+            env: EnvironmentConfig::office_winter(),
+            sensor: SensorConfig::thingy52(),
+            mobility: MobilityConfig::office_default(),
+            receiver: Receiver::new(),
+            layout_change_s: None,
+            window_events: Vec::new(),
+            schedule_override: None,
+            multiroom: Some(MultiroomConfig::three_rooms()),
+        }
+    }
+
+    /// The schedule this scenario will run (the override, the room
+    /// schedule's presence projection for multi-room scenarios, or the
     /// generated `turetta2022` schedule).
     pub fn schedule(&self) -> Schedule {
+        if let Some(rooms) = self.room_schedule() {
+            return rooms.presence_schedule();
+        }
         self.schedule_override
             .clone()
             .unwrap_or_else(|| Schedule::turetta2022(self.n_subjects, self.seed))
+    }
+
+    /// The per-room schedule of a multi-room scenario (`None` for the
+    /// single open office).
+    pub fn room_schedule(&self) -> Option<RoomSchedule> {
+        self.multiroom.map(|mc| {
+            RoomSchedule::multiroom(self.n_subjects, mc.n_rooms, self.duration_s, self.seed)
+        })
     }
 
     /// Number of samples the scenario will produce.
@@ -176,5 +244,24 @@ mod tests {
         assert!(cfg.schedule_override.is_some());
         let s = cfg.schedule();
         assert_eq!(s.subjects.len(), 2);
+    }
+
+    #[test]
+    fn multiroom_preset_has_room_schedule() {
+        let cfg = ScenarioConfig::multiroom(1800.0, 5);
+        let mc = cfg.multiroom.expect("multiroom set");
+        assert_eq!(mc.n_rooms, 3);
+        assert_eq!(mc.monitored_room, 1);
+        let rooms = cfg.room_schedule().expect("room schedule");
+        assert_eq!(rooms.n_rooms, 3);
+        assert_eq!(rooms.subjects.len(), 4);
+        // The presence projection is what schedule() returns.
+        assert_eq!(cfg.schedule(), rooms.presence_schedule());
+    }
+
+    #[test]
+    fn single_room_presets_have_no_room_schedule() {
+        assert!(ScenarioConfig::quick(100.0, 1).room_schedule().is_none());
+        assert!(ScenarioConfig::turetta2022(1).room_schedule().is_none());
     }
 }

@@ -151,6 +151,151 @@ impl Schedule {
     }
 }
 
+/// A half-open interval `[enter_s, leave_s)` during which a subject
+/// occupies one specific room of a multi-room office.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoomStay {
+    /// Time the subject enters the room, scenario seconds.
+    pub enter_s: f64,
+    /// Time the subject leaves the room, scenario seconds.
+    pub leave_s: f64,
+    /// Room index, 0-based west to east.
+    pub room: usize,
+}
+
+impl RoomStay {
+    /// Whether the stay covers time `t`.
+    pub fn contains(&self, t: f64) -> bool {
+        (self.enter_s..self.leave_s).contains(&t)
+    }
+}
+
+/// Per-subject room occupancy over a multi-room scenario: each subject
+/// is a sorted sequence of non-overlapping [`RoomStay`]s; gaps mean the
+/// subject is out of the office entirely.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoomSchedule {
+    /// One stay sequence per subject, sorted by `enter_s`.
+    pub subjects: Vec<Vec<RoomStay>>,
+    /// Number of rooms in the office.
+    pub n_rooms: usize,
+}
+
+impl RoomSchedule {
+    /// The room subject `subject` is in at time `t`, or `None` when the
+    /// subject is out of the office.
+    pub fn room_of(&self, subject: usize, t: f64) -> Option<usize> {
+        self.subjects
+            .get(subject)?
+            .iter()
+            .find(|s| s.contains(t))
+            .map(|s| s.room)
+    }
+
+    /// Head count of every room at time `t`.
+    pub fn room_counts(&self, t: f64) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_rooms];
+        for subject in 0..self.subjects.len() {
+            if let Some(r) = self.room_of(subject, t) {
+                counts[r.min(self.n_rooms.saturating_sub(1))] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Head count of one room at time `t`.
+    pub fn count_in(&self, room: usize, t: f64) -> usize {
+        (0..self.subjects.len())
+            .filter(|&s| self.room_of(s, t) == Some(room))
+            .count()
+    }
+
+    /// Projects the room schedule onto a plain presence [`Schedule`]
+    /// (in-the-office regardless of room), merging back-to-back stays.
+    pub fn presence_schedule(&self) -> Schedule {
+        let subjects = self
+            .subjects
+            .iter()
+            .map(|stays| {
+                let mut intervals: Vec<PresenceInterval> = Vec::new();
+                for s in stays {
+                    match intervals.last_mut() {
+                        Some(last) if (s.enter_s - last.leave_s).abs() < 1e-9 => {
+                            last.leave_s = s.leave_s;
+                        }
+                        _ => intervals.push(PresenceInterval {
+                            enter_s: s.enter_s,
+                            leave_s: s.leave_s,
+                        }),
+                    }
+                }
+                SubjectSchedule { intervals }
+            })
+            .collect();
+        Schedule { subjects }
+    }
+
+    /// Generates the `multiroom` scenario schedule: `n_subjects`
+    /// subjects over `duration_s` seconds in an `n_rooms` office.
+    /// Arrivals are staggered (the office starts empty), every subject
+    /// changes rooms at least once, and even-indexed subjects start in
+    /// the middle (monitored) room so its head count sweeps through
+    /// zero, one and several occupants — the label diversity the
+    /// temporal models train on.
+    pub fn multiroom(
+        n_subjects: usize,
+        n_rooms: usize,
+        duration_s: f64,
+        seed: u64,
+    ) -> RoomSchedule {
+        assert!(n_rooms >= 2, "multiroom schedule needs at least two rooms");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6d75_6c74_1200_u64);
+        let mut subjects = Vec::with_capacity(n_subjects);
+
+        for subject in 0..n_subjects {
+            let mut stays: Vec<RoomStay> = Vec::new();
+            // Staggered arrivals: subject k enters after roughly
+            // k/n of the first half, leaves near the end.
+            let enter = duration_s
+                * (0.06
+                    + 0.4 * subject as f64 / n_subjects.max(1) as f64
+                    + rng.gen_range(0.0..0.06));
+            let leave = duration_s * rng.gen_range(0.9..0.98);
+            if leave > enter {
+                let n_stays = 2 + rng.gen_range(0..3);
+                let span = (leave - enter) / n_stays as f64;
+                let mut t = enter;
+                let mut room = if subject % 2 == 0 {
+                    n_rooms / 2
+                } else {
+                    rng.gen_range(0..n_rooms)
+                };
+                for s in 0..n_stays {
+                    let end = if s + 1 == n_stays {
+                        leave
+                    } else {
+                        f64::min(t + span * rng.gen_range(0.6..1.4), leave)
+                    };
+                    stays.push(RoomStay {
+                        enter_s: t,
+                        leave_s: end,
+                        room,
+                    });
+                    t = end;
+                    if t >= leave {
+                        break;
+                    }
+                    // Move to a different room for the next stay.
+                    room = (room + 1 + rng.gen_range(0..n_rooms - 1)) % n_rooms;
+                }
+            }
+            subjects.push(stays);
+        }
+
+        RoomSchedule { subjects, n_rooms }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +427,72 @@ mod tests {
             let flags = s.presence(t);
             assert_eq!(flags.iter().filter(|&&b| b).count(), s.count(t));
         }
+    }
+
+    #[test]
+    fn room_schedule_stays_are_sorted_disjoint_and_in_range() {
+        let rs = RoomSchedule::multiroom(4, 3, 3600.0, 11);
+        assert_eq!(rs.subjects.len(), 4);
+        for stays in &rs.subjects {
+            assert!(!stays.is_empty(), "subject never shows up");
+            for w in stays.windows(2) {
+                assert!(w[0].leave_s <= w[1].enter_s + 1e-9);
+            }
+            for s in stays {
+                assert!(s.leave_s > s.enter_s);
+                assert!(s.room < 3);
+                assert!(s.enter_s >= 0.0 && s.leave_s <= 3600.0);
+            }
+        }
+    }
+
+    #[test]
+    fn room_schedule_every_subject_changes_rooms() {
+        let rs = RoomSchedule::multiroom(4, 3, 3600.0, 11);
+        for stays in &rs.subjects {
+            let first = stays[0].room;
+            assert!(
+                stays.iter().any(|s| s.room != first),
+                "subject never moved rooms"
+            );
+        }
+    }
+
+    #[test]
+    fn room_schedule_monitored_room_sweeps_head_counts() {
+        // Room 1 (the radios' room) must see empty, single and
+        // multi-occupancy periods — the temporal label diversity.
+        let rs = RoomSchedule::multiroom(4, 3, 3600.0, 11);
+        let mut seen = [false; 3];
+        let mut t = 0.0;
+        while t < 3600.0 {
+            seen[rs.count_in(1, t).min(2)] = true;
+            t += 10.0;
+        }
+        assert!(seen[0], "monitored room never empty");
+        assert!(seen[1], "monitored room never single-occupied");
+        assert!(seen[2], "monitored room never multi-occupied");
+    }
+
+    #[test]
+    fn room_counts_sum_to_presence_count() {
+        let rs = RoomSchedule::multiroom(5, 3, 3600.0, 3);
+        let presence = rs.presence_schedule();
+        for t in [0.0, 500.0, 1200.0, 2000.0, 3000.0, 3599.0] {
+            let total: usize = rs.room_counts(t).iter().sum();
+            assert_eq!(total, presence.count(t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn room_schedule_deterministic_per_seed() {
+        assert_eq!(
+            RoomSchedule::multiroom(4, 3, 1800.0, 9),
+            RoomSchedule::multiroom(4, 3, 1800.0, 9)
+        );
+        assert_ne!(
+            RoomSchedule::multiroom(4, 3, 1800.0, 9),
+            RoomSchedule::multiroom(4, 3, 1800.0, 10)
+        );
     }
 }

@@ -28,8 +28,16 @@ pub struct OfficeSimulator {
 impl OfficeSimulator {
     /// Builds the simulator for a scenario.
     pub fn new(config: ScenarioConfig) -> Self {
-        let schedule = config.schedule();
-        let occupants = OccupantModel::new(schedule, config.mobility);
+        let (scene, occupants) = match (config.multiroom, config.room_schedule()) {
+            (Some(mc), Some(rooms)) => (
+                Scene::office_multiroom(mc.n_rooms),
+                OccupantModel::multiroom(rooms, config.mobility),
+            ),
+            _ => (
+                Scene::office_default(),
+                OccupantModel::new(config.schedule(), config.mobility),
+            ),
+        };
         let env = EnvironmentState::initial();
         let sensor = EnvSensor::new(
             config.sensor,
@@ -38,7 +46,7 @@ impl OfficeSimulator {
         );
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
-            scene: Scene::office_default(),
+            scene,
             occupants,
             env,
             sensor,
@@ -64,9 +72,13 @@ impl OfficeSimulator {
         let dt = 1.0 / self.config.sample_rate_hz;
         let hour = self.config.clock.hour_of_day(self.t);
 
-        // 1. People move / enter / leave.
+        // 1. People move / enter / leave. In a multi-room office only
+        //    the monitored room's head count labels the record.
         self.occupants.step(self.t, dt, &mut self.rng);
-        let count = self.occupants.count();
+        let count = match (self.config.multiroom, self.occupants.room_counts()) {
+            (Some(mc), Some(rooms)) => rooms.get(mc.monitored_room).copied().unwrap_or(0),
+            _ => self.occupants.count(),
+        };
 
         // 2. Environment dynamics.
         self.env.window_open = self.config.window_open(self.t);
@@ -137,6 +149,32 @@ impl OfficeSimulator {
     pub fn run_annotated(self) -> (Dataset, Vec<ActivityClass>) {
         self.stream().annotated().unzip()
     }
+
+    /// Advances one sampling interval and additionally reports the
+    /// per-room head counts (actual body positions, so a subject
+    /// mid-transfer counts for the room they are physically in). For
+    /// single-room scenarios the vector holds the total count.
+    pub fn step_multiroom(&mut self) -> (CsiRecord, Vec<u8>) {
+        let record = self.step();
+        let rooms = self
+            .occupants
+            .room_counts()
+            .unwrap_or_else(|| vec![self.occupants.count()]);
+        (record, rooms.iter().map(|&c| c as u8).collect())
+    }
+
+    /// Runs the whole scenario with per-sample per-room ground truth.
+    pub fn run_multiroom(mut self) -> (Dataset, Vec<Vec<u8>>) {
+        let n = self.config.n_samples();
+        let mut records = Vec::with_capacity(n);
+        let mut rooms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (r, c) = self.step_multiroom();
+            records.push(r);
+            rooms.push(c);
+        }
+        (Dataset::from_records(records), rooms)
+    }
 }
 
 /// Simulates a scenario end-to-end.
@@ -163,6 +201,17 @@ pub fn simulate(config: &ScenarioConfig) -> Dataset {
 /// dominant activity (walking > standing > seated > empty).
 pub fn simulate_annotated(config: &ScenarioConfig) -> (Dataset, Vec<ActivityClass>) {
     OfficeSimulator::new(config.clone()).run_annotated()
+}
+
+/// Simulates a scenario with per-sample per-room head counts.
+///
+/// The CSI records are identical to [`simulate`] with the same
+/// configuration; the second return value gives each room's ground
+/// truth (a single-element vector for single-room scenarios). In a
+/// multi-room scenario the record's own `occupant_count` is the
+/// monitored room's entry of this vector.
+pub fn simulate_multiroom(config: &ScenarioConfig) -> (Dataset, Vec<Vec<u8>>) {
+    OfficeSimulator::new(config.clone()).run_multiroom()
 }
 
 #[cfg(test)]
@@ -296,6 +345,53 @@ mod tests {
         assert!(seen[ActivityClass::Empty.label()]);
         assert!(seen[ActivityClass::Seated.label()]);
         assert!(seen[ActivityClass::Walking.label()], "nobody ever walked");
+    }
+
+    #[test]
+    fn multiroom_labels_count_only_the_monitored_room() {
+        let cfg = ScenarioConfig::multiroom(1800.0, 7);
+        let (ds, rooms) = simulate_multiroom(&cfg);
+        assert_eq!(ds.len(), rooms.len());
+        let monitored = cfg.multiroom.expect("multiroom").monitored_room;
+        let mut diverged = 0usize;
+        for (r, c) in ds.iter().zip(&rooms) {
+            assert_eq!(c.len(), 3);
+            assert_eq!(r.occupant_count, c[monitored], "label != monitored room");
+            let total: u8 = c.iter().sum();
+            if total != c[monitored] {
+                diverged += 1;
+            }
+        }
+        // Off-monitored occupancy actually happens (the whole point).
+        assert!(
+            diverged > 100,
+            "only {diverged} samples with occupants elsewhere"
+        );
+        // And the monitored room sees empty, single and multi occupancy.
+        let mut seen = [false; 3];
+        for c in &rooms {
+            seen[(c[monitored] as usize).min(2)] = true;
+        }
+        assert!(seen[0] && seen[1] && seen[2], "label diversity: {seen:?}");
+    }
+
+    #[test]
+    fn multiroom_simulation_is_deterministic_per_seed() {
+        let cfg = ScenarioConfig::multiroom(600.0, 21);
+        let (a, ra) = simulate_multiroom(&cfg);
+        let (b, rb) = simulate_multiroom(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        // And the plain path produces identical records.
+        assert_eq!(a, simulate(&cfg));
+    }
+
+    #[test]
+    fn multiroom_scene_has_partitions() {
+        let sim = OfficeSimulator::new(ScenarioConfig::multiroom(60.0, 1));
+        assert_eq!(sim.scene().partitions.len(), 2);
+        let single = OfficeSimulator::new(ScenarioConfig::quick(60.0, 1));
+        assert!(single.scene().partitions.is_empty());
     }
 
     #[test]

@@ -225,6 +225,28 @@ impl MultiConfusion {
             recalls.iter().sum::<f64>() / recalls.len() as f64
         }
     }
+
+    /// F1 score of class `c`: harmonic mean of precision and recall.
+    /// `None` if the class neither appears in truth nor was predicted
+    /// (both ingredients undefined); a class seen on only one side gets
+    /// `Some(0.0)` because the other ingredient is an implicit zero.
+    pub fn f1(&self, c: usize) -> Option<f64> {
+        match (self.precision(c), self.recall(c)) {
+            (None, None) => None,
+            (Some(p), Some(r)) if p + r > 0.0 => Some(2.0 * p * r / (p + r)),
+            _ => Some(0.0),
+        }
+    }
+
+    /// Unweighted mean of the defined per-class F1 scores (macro F1).
+    pub fn macro_f1(&self) -> f64 {
+        let f1s: Vec<f64> = (0..self.n_classes).filter_map(|c| self.f1(c)).collect();
+        if f1s.is_empty() {
+            0.0
+        } else {
+            f1s.iter().sum::<f64>() / f1s.len() as f64
+        }
+    }
 }
 
 impl fmt::Display for MultiConfusion {
@@ -475,6 +497,29 @@ mod tests {
         assert!(cm.precision(1).is_none());
         // Macro recall averages only the defined ones: 1.0 and 0.0.
         approx(cm.macro_recall(), 0.5);
+    }
+
+    #[test]
+    fn multi_confusion_f1_matches_hand_computation() {
+        let cm = MultiConfusion::from_labels(3, &[0, 0, 1, 2, 2, 2], &[0, 1, 1, 2, 2, 0]);
+        // Class 0: precision 1/2, recall 1/2 → f1 = 1/2.
+        approx(cm.f1(0).unwrap(), 0.5);
+        // Class 1: precision 1/2, recall 1 → f1 = 2/3.
+        approx(cm.f1(1).unwrap(), 2.0 / 3.0);
+        // Class 2: precision 1, recall 2/3 → f1 = 4/5.
+        approx(cm.f1(2).unwrap(), 0.8);
+        approx(cm.macro_f1(), (0.5 + 2.0 / 3.0 + 0.8) / 3.0);
+    }
+
+    #[test]
+    fn multi_confusion_f1_undefined_and_zero_cases() {
+        // Class 2 absent on both sides → None; class 1 present in truth
+        // but never predicted → Some(0.0).
+        let cm = MultiConfusion::from_labels(3, &[0, 0, 1], &[0, 0, 0]);
+        assert!(cm.f1(2).is_none());
+        approx(cm.f1(1).unwrap(), 0.0);
+        // Perfect class 0 (f1 = 2·(2/3)·1/(2/3+1) = 0.8) averaged with 0.
+        approx(cm.macro_f1(), (0.8 + 0.0) / 2.0);
     }
 
     #[test]

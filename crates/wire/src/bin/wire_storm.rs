@@ -16,15 +16,29 @@
 //! `proba.to_bits() == detector.predict_record(record).1.to_bits()`.
 //! Any mismatch, any unaccounted record, or any lost prediction exits
 //! non-zero — the same verdict discipline as `serve_sim --faults`.
+//!
+//! `--temporal` boots the stateful GRU sequence runtime instead: each
+//! sensor's hidden state is carried between micro-batches on the
+//! server. The `--verify` replay then rescores every sensor's
+//! delivered stream with `score_stream` from a zero state — by row
+//! independence of the kernels the multiplexed server must match it
+//! bitwise. `--swap` hot-swaps a second temporal model mid-storm;
+//! every prediction carries the version that scored it, so the replay
+//! splits each sensor's stream at the version change and restarts the
+//! reference state from zeros exactly where the server did.
 
 use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_core::temporal::{TemporalConfig, TemporalDetector};
 use occusense_dataset::CsiRecord;
 use occusense_serve::{BackpressurePolicy, BatchConfig, ServeConfig, ServeReport};
 use occusense_sim::{fleet_stream, simulate, ScenarioConfig};
 use occusense_wire::{
     connect, loopback, tcp_connect, tcp_listen, ClientEvent, Connection, Gateway, GatewayConfig,
-    LoopbackConfig, LoopbackConnector, TcpConfig,
+    LoopbackConfig, LoopbackConnector, TcpConfig, WireError,
 };
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "wire_storm — multi-sensor load generator for the occusense wire gateway
@@ -45,6 +59,13 @@ const USAGE: &str = "wire_storm — multi-sensor load generator for the occusens
   --capacity N          per-shard ingress queue capacity (default 1024)
   --seed S              fleet base seed; sensor i replays
                         fleet_stream(duration, seed, i) (default 100)
+  --temporal            serve the stateful GRU sequence model instead
+                        of the per-frame MLP (per-sensor hidden state
+                        carried server-side)
+  --swap                hot-swap a second temporal model mid-storm,
+                        once ~25% of predictions are delivered
+                        (requires --temporal); state zero-resets are
+                        verified through per-prediction versions
   --verify              bitwise-compare every delivered prediction
                         against direct in-process scoring and exit 1 on
                         any mismatch, lost prediction or accounting
@@ -65,6 +86,8 @@ struct Args {
     outbound_policy: BackpressurePolicy,
     capacity: usize,
     seed: u64,
+    temporal: bool,
+    swap: bool,
     verify: bool,
 }
 
@@ -89,6 +112,8 @@ impl Default for Args {
             outbound_policy: BackpressurePolicy::Block,
             capacity: 1024,
             seed: 100,
+            temporal: false,
+            swap: false,
             verify: false,
         }
     }
@@ -120,6 +145,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
         if flag == "--verify" {
             args.verify = true;
+            continue;
+        }
+        if flag == "--temporal" {
+            args.temporal = true;
+            continue;
+        }
+        if flag == "--swap" {
+            args.swap = true;
             continue;
         }
         const KNOWN: &[&str] = &[
@@ -173,6 +206,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     if args.wire_batch == 0 {
         return Err("--wire-batch must be >= 1".into());
     }
+    if args.swap && !args.temporal {
+        return Err("--swap requires --temporal".into());
+    }
     Ok(args)
 }
 
@@ -192,6 +228,7 @@ fn run_sensor(
     conn: Box<dyn Connection>,
     records: Vec<CsiRecord>,
     wire_batch: usize,
+    progress: Arc<AtomicU64>,
 ) -> SensorOutcome {
     let mut outcome = SensorOutcome {
         index,
@@ -223,6 +260,7 @@ fn run_sensor(
             match rx.recv() {
                 Ok(ClientEvent::Prediction(p)) => {
                     predictions.push(p);
+                    progress.fetch_add(1, Ordering::Relaxed);
                     last_event = Instant::now();
                 }
                 Ok(ClientEvent::Nack(_)) => {
@@ -289,13 +327,18 @@ fn run_sensor(
     outcome
 }
 
+/// The in-process reference the `--verify` replay scores against.
+enum VerifyTarget {
+    /// Stateless per-frame MLP, version pinned at 1.
+    Frame(OccupancyDetector),
+    /// Stateful GRU sequence models, keyed by published version —
+    /// more than one entry after a `--swap`.
+    Temporal(BTreeMap<u64, TemporalDetector>),
+}
+
 /// The `--verify` verdict: bitwise agreement with in-process scoring
 /// plus exact accounting, per sensor and globally.
-fn verify(
-    outcomes: &[SensorOutcome],
-    detector: &OccupancyDetector,
-    report: &ServeReport,
-) -> Vec<String> {
+fn verify(outcomes: &[SensorOutcome], target: &VerifyTarget, report: &ServeReport) -> Vec<String> {
     let mut failures = Vec::new();
     let mut delivered_total = 0u64;
     for o in outcomes {
@@ -319,42 +362,9 @@ fn verify(
                 o.nacks
             ));
         }
-        let mut mismatches = 0usize;
-        for p in &o.predictions {
-            let Some(record) = o.records.get(p.seq as usize) else {
-                failures.push(format!(
-                    "sensor-{}: prediction for unknown seq {}",
-                    o.index, p.seq
-                ));
-                continue;
-            };
-            let (occupied, proba) = detector.predict_record(record);
-            if p.occupied != occupied || p.proba.to_bits() != proba.to_bits() {
-                mismatches += 1;
-                if mismatches <= 3 {
-                    failures.push(format!(
-                        "sensor-{} seq {}: wire ({}, {:#018x}) != direct ({}, {:#018x})",
-                        o.index,
-                        p.seq,
-                        p.occupied,
-                        p.proba.to_bits(),
-                        occupied,
-                        proba.to_bits()
-                    ));
-                }
-            }
-            if p.model_version != 1 {
-                failures.push(format!(
-                    "sensor-{} seq {}: scored by model v{} (hot swap while pinned?)",
-                    o.index, p.seq, p.model_version
-                ));
-            }
-        }
-        if mismatches > 3 {
-            failures.push(format!(
-                "sensor-{}: {} bitwise mismatches total",
-                o.index, mismatches
-            ));
+        match target {
+            VerifyTarget::Frame(detector) => verify_frame_sensor(o, detector, &mut failures),
+            VerifyTarget::Temporal(models) => verify_temporal_sensor(o, models, &mut failures),
         }
     }
     let unaccounted = report.unaccounted_records();
@@ -370,6 +380,132 @@ fn verify(
     failures
 }
 
+/// Frame-mode replay: every prediction independently rescorable, and
+/// the model version must stay pinned at 1 (online training disabled).
+fn verify_frame_sensor(
+    o: &SensorOutcome,
+    detector: &OccupancyDetector,
+    failures: &mut Vec<String>,
+) {
+    let mut mismatches = 0usize;
+    for p in &o.predictions {
+        let Some(record) = o.records.get(p.seq as usize) else {
+            failures.push(format!(
+                "sensor-{}: prediction for unknown seq {}",
+                o.index, p.seq
+            ));
+            continue;
+        };
+        let (occupied, proba) = detector.predict_record(record);
+        if p.occupied != occupied || p.proba.to_bits() != proba.to_bits() {
+            mismatches += 1;
+            if mismatches <= 3 {
+                failures.push(format!(
+                    "sensor-{} seq {}: wire ({}, {:#018x}) != direct ({}, {:#018x})",
+                    o.index,
+                    p.seq,
+                    p.occupied,
+                    p.proba.to_bits(),
+                    occupied,
+                    proba.to_bits()
+                ));
+            }
+        }
+        if p.model_version != 1 {
+            failures.push(format!(
+                "sensor-{} seq {}: scored by model v{} (hot swap while pinned?)",
+                o.index, p.seq, p.model_version
+            ));
+        }
+    }
+    if mismatches > 3 {
+        failures.push(format!(
+            "sensor-{}: {} bitwise mismatches total",
+            o.index, mismatches
+        ));
+    }
+}
+
+/// Temporal-mode replay. The server scored this sensor's records in
+/// seq order, carrying hidden state and zero-resetting it at every
+/// model swap — so the reference is `score_stream` (zero state) over
+/// each maximal run of predictions scored by the same version. Only
+/// scored records ever advanced the server's state (a NACKed record
+/// never reached a worker), so replaying exactly the delivered
+/// predictions reconstructs the state trajectory.
+fn verify_temporal_sensor(
+    o: &SensorOutcome,
+    models: &BTreeMap<u64, TemporalDetector>,
+    failures: &mut Vec<String>,
+) {
+    let mut preds: Vec<&occusense_wire::PredictionFrame> = o.predictions.iter().collect();
+    preds.sort_by_key(|p| p.seq);
+    let mut mismatches = 0usize;
+    let mut last_version = 0u64;
+    let mut i = 0usize;
+    while i < preds.len() {
+        let Some(first) = preds.get(i) else { break };
+        let version = first.model_version;
+        if version < last_version {
+            failures.push(format!(
+                "sensor-{} seq {}: version went backwards (v{last_version} → v{version})",
+                o.index, first.seq
+            ));
+            break;
+        }
+        last_version = version;
+        let mut j = i;
+        while preds.get(j).is_some_and(|p| p.model_version == version) {
+            j += 1;
+        }
+        let run = &preds[i..j];
+        i = j;
+        let Some(model) = models.get(&version) else {
+            failures.push(format!(
+                "sensor-{}: predictions scored by unknown model v{version}",
+                o.index
+            ));
+            continue;
+        };
+        let mut records = Vec::with_capacity(run.len());
+        for p in run {
+            match o.records.get(p.seq as usize) {
+                Some(r) => records.push(*r),
+                None => failures.push(format!(
+                    "sensor-{}: prediction for unknown seq {}",
+                    o.index, p.seq
+                )),
+            }
+        }
+        if records.len() != run.len() {
+            continue;
+        }
+        let solo = model.score_stream(&records);
+        for (p, (_, proba)) in run.iter().zip(&solo) {
+            if p.proba.to_bits() != proba.to_bits() || p.occupied != u8::from(*proba > 0.5) {
+                mismatches += 1;
+                if mismatches <= 3 {
+                    failures.push(format!(
+                        "sensor-{} seq {} (v{version}): wire ({}, {:#018x}) != replay ({}, {:#018x})",
+                        o.index,
+                        p.seq,
+                        p.occupied,
+                        p.proba.to_bits(),
+                        u8::from(*proba > 0.5),
+                        proba.to_bits()
+                    ));
+                }
+            }
+        }
+    }
+    if mismatches > 3 {
+        failures.push(format!(
+            "sensor-{}: {} bitwise mismatches total",
+            o.index, mismatches
+        ));
+    }
+}
+
 fn main() {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
@@ -380,21 +516,49 @@ fn main() {
     };
 
     // Offline bootstrap, same recipe as serve_sim; online training is
-    // *disabled* so the serving model stays pinned at v1 — the
-    // precondition for comparing wire predictions bitwise against an
-    // identical local detector.
-    eprintln!("training bootstrap detector…");
+    // *disabled* so the serving model only changes version at an
+    // explicit --swap — the precondition for replaying wire
+    // predictions bitwise against identical local models.
     let train = simulate(&ScenarioConfig::quick(1200.0, 7));
-    let detector = OccupancyDetector::train(
-        &train,
-        &DetectorConfig {
-            model: ModelKind::Mlp,
-            mlp_epochs: 4,
-            seed: 7,
-            ..DetectorConfig::default()
-        },
-    );
-    let direct = detector.clone();
+    let temporal_recipe = |seed| TemporalConfig {
+        window: 8,
+        stride: 2,
+        hidden: 12,
+        epochs: 2,
+        seed,
+        ..TemporalConfig::default()
+    };
+    let (boot_model, swap_model, mut target) = if args.temporal {
+        eprintln!("training bootstrap temporal (GRU) model…");
+        let boot = TemporalDetector::train(&train, &temporal_recipe(7));
+        let swap = args.swap.then(|| {
+            eprintln!("training swap temporal model…");
+            TemporalDetector::train(&train, &temporal_recipe(23))
+        });
+        let mut published = BTreeMap::new();
+        published.insert(1, boot.clone());
+        (
+            BootModel::Temporal(boot),
+            swap,
+            VerifyTarget::Temporal(published),
+        )
+    } else {
+        eprintln!("training bootstrap detector…");
+        let detector = OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 4,
+                seed: 7,
+                ..DetectorConfig::default()
+            },
+        );
+        (
+            BootModel::Frame(detector.clone()),
+            None,
+            VerifyTarget::Frame(detector),
+        )
+    };
 
     let serve = ServeConfig {
         n_shards: args.shards,
@@ -425,34 +589,31 @@ fn main() {
         .collect();
 
     let started = Instant::now();
-    let (gateway, connectors) = match args.transport {
-        Transport::Loopback => {
-            let (acceptor, connector) = loopback(LoopbackConfig::default());
-            let gateway = Gateway::start(detector, serve, gateway_cfg, Box::new(acceptor))
-                .unwrap_or_else(|e| {
-                    eprintln!("wire_storm: {e}");
-                    std::process::exit(2);
-                });
-            (gateway, Connectors::Loopback(connector))
-        }
-        Transport::Tcp => {
-            let (acceptor, local) =
-                tcp_listen(&args.addr, TcpConfig::default()).unwrap_or_else(|e| {
-                    eprintln!("wire_storm: cannot listen on {}: {e}", args.addr);
-                    std::process::exit(2);
-                });
-            eprintln!("listening on {local}");
-            let gateway = Gateway::start(detector, serve, gateway_cfg, Box::new(acceptor))
-                .unwrap_or_else(|e| {
-                    eprintln!("wire_storm: {e}");
-                    std::process::exit(2);
-                });
-            (gateway, Connectors::Tcp(local.to_string()))
-        }
-    };
+    let (acceptor, connectors): (Box<dyn occusense_wire::Acceptor>, Connectors) =
+        match args.transport {
+            Transport::Loopback => {
+                let (acceptor, connector) = loopback(LoopbackConfig::default());
+                (Box::new(acceptor), Connectors::Loopback(connector))
+            }
+            Transport::Tcp => {
+                let (acceptor, local) = tcp_listen(&args.addr, TcpConfig::default())
+                    .unwrap_or_else(|e| {
+                        eprintln!("wire_storm: cannot listen on {}: {e}", args.addr);
+                        std::process::exit(2);
+                    });
+                eprintln!("listening on {local}");
+                (Box::new(acceptor), Connectors::Tcp(local.to_string()))
+            }
+        };
+    let gateway = boot_model
+        .start(serve, gateway_cfg, acceptor)
+        .unwrap_or_else(|e| {
+            eprintln!("wire_storm: {e}");
+            std::process::exit(2);
+        });
 
     eprintln!(
-        "storming: {} sensors × {} records over {} → {} shards (ingress {:?}, outbound {:?}, wire batch {})",
+        "storming: {} sensors × {} records over {} → {} shards ({} model, ingress {:?}, outbound {:?}, wire batch {})",
         args.sensors,
         args.records,
         match args.transport {
@@ -460,17 +621,20 @@ fn main() {
             Transport::Tcp => "tcp",
         },
         args.shards,
+        if args.temporal { "temporal" } else { "frame" },
         args.policy,
         args.outbound_policy,
         args.wire_batch
     );
 
+    let progress = Arc::new(AtomicU64::new(0));
     let sensors: Vec<_> = fleets
         .into_iter()
         .enumerate()
         .map(|(i, records)| {
             let connectors = connectors.clone();
             let wire_batch = args.wire_batch;
+            let progress = Arc::clone(&progress);
             std::thread::Builder::new()
                 .name(format!("storm-{i}"))
                 .spawn(move || {
@@ -488,11 +652,33 @@ fn main() {
                             }
                         }
                     };
-                    run_sensor(i, conn, records, wire_batch)
+                    run_sensor(i, conn, records, wire_batch, progress)
                 })
                 .expect("spawn sensor thread")
         })
         .collect();
+
+    // The mid-storm hot swap: published once ~25% of the predictions
+    // have been delivered, so it reliably lands mid-stream regardless
+    // of machine speed. Replay correctness does not depend on *when*
+    // the swap lands — every prediction carries the version that
+    // scored it, and the verifier splits each sensor's stream there.
+    if let Some(next) = swap_model {
+        let total = (args.sensors * args.records) as u64;
+        let trigger = (total / 4).max(1);
+        let wait_deadline = Instant::now() + Duration::from_secs(120);
+        while progress.load(Ordering::Relaxed) < trigger && Instant::now() < wait_deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let version = gateway.publish_temporal(next.clone());
+        if let VerifyTarget::Temporal(published) = &mut target {
+            published.insert(version, next);
+        }
+        eprintln!(
+            "hot-swapped temporal model → v{version} (after {} of {total} predictions)",
+            progress.load(Ordering::Relaxed)
+        );
+    }
 
     let outcomes: Vec<SensorOutcome> = sensors
         .into_iter()
@@ -532,12 +718,33 @@ fn main() {
         .iter()
         .flat_map(|o| o.errors.iter().map(|e| format!("sensor-{}: {e}", o.index)))
         .collect();
+    if args.temporal {
+        let mut by_version: BTreeMap<u64, u64> = BTreeMap::new();
+        for o in &outcomes {
+            for p in &o.predictions {
+                *by_version.entry(p.model_version).or_default() += 1;
+            }
+        }
+        let summary: Vec<String> = by_version
+            .iter()
+            .map(|(v, n)| format!("v{v}×{n}"))
+            .collect();
+        eprintln!("predictions by model version: {}", summary.join(", "));
+        if args.swap && args.verify && by_version.len() < 2 {
+            failures.push(
+                "--swap landed after every record was scored; raise --records or lower --swap-after-ms"
+                    .to_string(),
+            );
+        }
+    }
     if args.verify {
-        failures.extend(verify(&outcomes, &direct, &report));
+        failures.extend(verify(&outcomes, &target, &report));
         if failures.is_empty() {
             println!(
-                "verify verdict: PASS ({} sensors, {} records, bitwise identical to in-process scoring, 0 unaccounted)",
-                args.sensors, sent_total
+                "verify verdict: PASS ({} sensors, {} records, {} scoring bitwise identical to in-process replay, 0 unaccounted)",
+                args.sensors,
+                sent_total,
+                if args.temporal { "stateful temporal" } else { "frame" }
             );
         }
     }
@@ -546,6 +753,28 @@ fn main() {
             eprintln!("wire_storm verdict: FAIL — {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Which model family boots the gateway's serving runtime. One
+/// instance exists per run, so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum BootModel {
+    Frame(OccupancyDetector),
+    Temporal(TemporalDetector),
+}
+
+impl BootModel {
+    fn start(
+        self,
+        serve: ServeConfig,
+        config: GatewayConfig,
+        acceptor: Box<dyn occusense_wire::Acceptor>,
+    ) -> Result<Gateway, WireError> {
+        match self {
+            BootModel::Frame(d) => Gateway::start(d, serve, config, acceptor),
+            BootModel::Temporal(t) => Gateway::start_temporal(t, serve, config, acceptor),
+        }
     }
 }
 

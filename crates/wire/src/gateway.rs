@@ -36,6 +36,7 @@ use crate::codec::{
 use crate::transport::{Accepted, Acceptor, Connection, FrameSink, FrameSource, RecvOutcome};
 use crate::WireError;
 use occusense_core::detector::OccupancyDetector;
+use occusense_core::temporal::TemporalDetector;
 use occusense_serve::{
     wire_stats, BackpressurePolicy, BoundedQueue, Counter, Prediction, SensorClient, ServeConfig,
     ServeReport, ServeRuntime, SubmitError,
@@ -146,6 +147,43 @@ impl Gateway {
     ) -> Result<Self, WireError> {
         let (runtime, predictions) =
             ServeRuntime::start(detector, serve).map_err(WireError::Serve)?;
+        Ok(Self::boot(runtime, predictions, config, acceptor))
+    }
+
+    /// Boots a *stateful temporal* [`ServeRuntime`] around the GRU
+    /// sequence `detector` and starts accepting sensor connections.
+    ///
+    /// Each connected sensor's hidden state is carried between
+    /// micro-batches; when a sensor's last connection closes, its
+    /// state is evicted, so a later reconnect restarts the sequence
+    /// from zeros. A reconnect that *replaces* a live connection under
+    /// the same sensor id keeps the state (the stale reader's
+    /// deregistration is a no-op by the ptr-eq rule).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Serve`] when the runtime refuses its configuration
+    /// (e.g. online training requested — unsupported for temporal
+    /// models).
+    pub fn start_temporal(
+        detector: TemporalDetector,
+        serve: ServeConfig,
+        config: GatewayConfig,
+        acceptor: Box<dyn Acceptor>,
+    ) -> Result<Self, WireError> {
+        let (runtime, predictions) =
+            ServeRuntime::start_temporal(detector, serve).map_err(WireError::Serve)?;
+        Ok(Self::boot(runtime, predictions, config, acceptor))
+    }
+
+    /// The transport topology shared by both boot modes: router +
+    /// accept loop around an already-started runtime.
+    fn boot(
+        runtime: ServeRuntime,
+        predictions: mpsc::Receiver<Prediction>,
+        config: GatewayConfig,
+        acceptor: Box<dyn Acceptor>,
+    ) -> Self {
         let runtime = Arc::new(runtime);
         let counters = GatewayCounters::new(&runtime);
         let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
@@ -178,13 +216,13 @@ impl Gateway {
                 .expect("spawn acceptor")
         };
 
-        Ok(Self {
+        Self {
             stop,
             runtime: Some(runtime),
             accept: Some(accept),
             router: Some(router),
             conns,
-        })
+        }
     }
 
     /// A direct in-process ingestion handle on the underlying runtime
@@ -196,6 +234,25 @@ impl Gateway {
     /// Live model version of the underlying runtime.
     pub fn model_version(&self) -> u64 {
         self.runtime.as_ref().map_or(0, |rt| rt.model_version())
+    }
+
+    /// Hot-swaps the serving temporal model on a runtime booted with
+    /// [`Gateway::start_temporal`]; every sensor's carried state is
+    /// zero-reset at its first post-swap batch. Returns the new
+    /// version. On a frame-mode runtime the workers quarantine rather
+    /// than mis-score (see `occusense_serve`).
+    pub fn publish_temporal(&self, detector: TemporalDetector) -> u64 {
+        self.runtime
+            .as_ref()
+            .map_or(0, |rt| rt.publish_temporal(detector))
+    }
+
+    /// Number of sensors currently holding temporal sequence state
+    /// (always 0 on a frame-mode runtime).
+    pub fn active_sensor_states(&self) -> usize {
+        self.runtime
+            .as_ref()
+            .map_or(0, |rt| rt.active_sensor_states())
     }
 
     /// Stops accepting, drains every connection and the runtime, and
@@ -396,7 +453,9 @@ fn serve_connection(ctx: ConnContext, conn: Box<dyn Connection>) {
             .spawn(move || write_loop(sink, outbound, delivered, writer_dead, counters))
     };
     let Ok(writer) = writer else {
-        deregister(&ctx.registry, &hello.sensor_id, &outbound);
+        if deregister(&ctx.registry, &hello.sensor_id, &outbound) {
+            ctx.runtime.evict_sensor(&hello.sensor_id);
+        }
         return;
     };
     let _ = outbound.push(Frame::HelloAck(HelloAck {
@@ -490,7 +549,12 @@ fn serve_connection(ctx: ConnContext, conn: Box<dyn Connection>) {
         }));
     }
 
-    deregister(&ctx.registry, &hello.sensor_id, &outbound);
+    if deregister(&ctx.registry, &hello.sensor_id, &outbound) {
+        // This was the sensor's last live route: drop its carried
+        // sequence state so a reconnect restarts from zeros. A no-op
+        // on frame-mode runtimes (no state table).
+        ctx.runtime.evict_sensor(&hello.sensor_id);
+    }
     outbound.close();
     let _ = writer.join();
 }
@@ -566,12 +630,17 @@ fn register(registry: &Registry, sensor_id: &str, queue: &Arc<BoundedQueue<Frame
 /// Removes this connection's registry entry — only if it still points
 /// at *our* queue. A reconnect under the same sensor id replaces the
 /// entry; the stale reader must not tear down its successor's route.
-fn deregister(registry: &Registry, sensor_id: &str, queue: &Arc<BoundedQueue<Frame>>) {
+/// Returns whether the entry was removed — `true` means this was the
+/// sensor's last live route, which is the eviction signal for its
+/// temporal sequence state.
+fn deregister(registry: &Registry, sensor_id: &str, queue: &Arc<BoundedQueue<Frame>>) -> bool {
     let mut guard = registry
         .lock()
         // lint:allow(panic, reason = "poison propagation: a poisoned registry cannot route safely; the panic surfaces through the reader thread join")
         .expect("connection registry poisoned");
     if guard.get(sensor_id).is_some_and(|q| Arc::ptr_eq(q, queue)) {
         guard.remove(sensor_id);
+        return true;
     }
+    false
 }

@@ -173,6 +173,92 @@ mod tests {
     }
 
     #[test]
+    fn temporal_sensor_scores_bitwise_and_evicts_state_on_disconnect() {
+        use occusense_core::temporal::{TemporalConfig, TemporalDetector};
+        use std::time::Instant;
+
+        let train = simulate(&ScenarioConfig::quick(600.0, 9));
+        let temporal = TemporalDetector::train(
+            &train,
+            &TemporalConfig {
+                window: 8,
+                stride: 4,
+                hidden: 8,
+                epochs: 1,
+                seed: 9,
+                ..TemporalConfig::default()
+            },
+        );
+        let direct = temporal.clone();
+        let (acceptor, connector) = loopback(LoopbackConfig::default());
+        let gateway = Gateway::start_temporal(
+            temporal,
+            ServeConfig {
+                online: None,
+                policy: BackpressurePolicy::Block,
+                ..ServeConfig::default()
+            },
+            GatewayConfig {
+                outbound_policy: BackpressurePolicy::Block,
+                ..GatewayConfig::default()
+            },
+            Box::new(acceptor),
+        )
+        .unwrap();
+
+        let conn = connector.connect().unwrap();
+        let (mut tx, mut rx) = connect(conn, "sensor-a", Duration::from_secs(5)).unwrap();
+        let records: Vec<_> = fleet_stream(25.0, 100, 0).collect();
+        for r in &records {
+            tx.send(*r, None).unwrap();
+        }
+        let sent = tx.finish().unwrap();
+        assert_eq!(sent as usize, records.len());
+
+        let mut preds = Vec::new();
+        loop {
+            match rx.recv().unwrap() {
+                ClientEvent::Prediction(p) => preds.push(p),
+                ClientEvent::Goodbye(delivered) => {
+                    assert_eq!(delivered as usize, preds.len());
+                    break;
+                }
+                ClientEvent::TimedOut => continue,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        drop(rx);
+
+        // The reader thread deregisters and evicts asynchronously
+        // after answering the Goodbye; give it a bounded moment.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while gateway.active_sensor_states() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            gateway.active_sensor_states(),
+            0,
+            "disconnect must evict the sensor's sequence state"
+        );
+        let report = gateway.shutdown();
+
+        // Wire-delivered sequence scores are bitwise the zero-state
+        // replay of the same stream.
+        assert_eq!(preds.len(), records.len());
+        preds.sort_by_key(|p| p.seq);
+        let solo = direct.score_stream(&records);
+        for (i, (p, (_, proba))) in preds.iter().zip(&solo).enumerate() {
+            assert_eq!(p.seq, i as u64);
+            assert_eq!(p.model_version, 1);
+            assert_eq!(p.proba.to_bits(), proba.to_bits(), "record {i}");
+            assert_eq!(p.occupied, u8::from(*proba > 0.5), "record {i}");
+        }
+        assert_eq!(report.unaccounted_records(), 0);
+        assert_eq!(report.wire.records_ingested, records.len() as u64);
+        assert_eq!(report.wire.predictions_sent, records.len() as u64);
+    }
+
+    #[test]
     fn protocol_mismatch_is_refused_with_a_nack() {
         let detector = bootstrap_detector();
         let (acceptor, connector) = loopback(LoopbackConfig::default());
