@@ -14,9 +14,9 @@ use occusense_core::sim::{simulate, ScenarioConfig};
 use occusense_core::CsiRecord;
 use occusense_serve::{BackpressurePolicy, BatchConfig, ServeConfig};
 use occusense_wire::{
-    connect, decode_frame, loopback, tcp_connect, tcp_listen, BatchFrame, ClientEvent, Encoder,
-    Frame, Gateway, GatewayConfig, LoopbackConfig, RecordFrame, TcpConfig, WireReceiver,
-    WireSender, DEFAULT_MAX_PAYLOAD,
+    connect, decode_frame, loopback, tcp_connect, tcp_listen, BatchFrame, BatchView, ClientEvent,
+    Encoder, Frame, Gateway, GatewayConfig, LoopbackConfig, RecordFrame, TcpConfig, WireReceiver,
+    WireSender, DEFAULT_MAX_PAYLOAD, HEADER_BYTES,
 };
 use std::hint::black_box;
 use std::time::Duration;
@@ -59,7 +59,9 @@ fn bench_codec(c: &mut Criterion) {
         let mut out = Vec::new();
         b.iter(|| {
             out.clear();
-            encoder.encode_into(black_box(&single), &mut out);
+            encoder
+                .encode_into(black_box(&single), &mut out)
+                .expect("encode");
             black_box(out.len())
         });
     });
@@ -67,17 +69,32 @@ fn bench_codec(c: &mut Criterion) {
         let mut out = Vec::new();
         b.iter(|| {
             out.clear();
-            encoder.encode_into(black_box(&batch), &mut out);
+            encoder
+                .encode_into(black_box(&batch), &mut out)
+                .expect("encode");
             black_box(out.len())
         });
     });
-    let single_bytes = Encoder::default().encode(&single);
-    let batch_bytes = Encoder::default().encode(&batch);
+    let single_bytes = Encoder::default().encode(&single).expect("encode");
+    let batch_bytes = Encoder::default().encode(&batch).expect("encode");
     group.bench_function("decode_record", |b| {
         b.iter(|| decode_frame(black_box(&single_bytes), DEFAULT_MAX_PAYLOAD).expect("decode"));
     });
     group.bench_function("decode_batch64", |b| {
         b.iter(|| decode_frame(black_box(&batch_bytes), DEFAULT_MAX_PAYLOAD).expect("decode"));
+    });
+    // The owning decode above clones 64 records into a fresh Vec; the
+    // reactor's zero-copy path only validates and borrows.
+    let batch_payload = &batch_bytes[HEADER_BYTES..];
+    group.bench_function("decode_batch64_view", |b| {
+        b.iter(|| {
+            let view = BatchView::parse(black_box(batch_payload)).expect("parse");
+            let mut acc = 0u64;
+            for (seq, record, _label) in view.records() {
+                acc = acc.wrapping_add(seq) ^ record.timestamp_s.to_bits();
+            }
+            black_box(acc)
+        });
     });
     group.finish();
 }

@@ -131,6 +131,12 @@ mod tests {
     fn directory_scopes_match_prefixes_not_substrings() {
         assert!(PANIC_SCOPE.contains("crates/serve/src/worker.rs"));
         assert!(PANIC_SCOPE.contains("crates/wire/src/codec.rs"));
+        // The readiness reactor sits on the network boundary: its
+        // in-place frame parsing and write-ring arithmetic must stay
+        // panic- and index-free like the codec beneath it.
+        assert!(PANIC_SCOPE.contains("crates/wire/src/reactor.rs"));
+        assert!(INDEX_SCOPE.contains("crates/wire/src/reactor.rs"));
+        assert!(PANIC_SCOPE.contains("crates/wire/src/gateway.rs"));
         assert!(PANIC_SCOPE.contains("crates/tensor/src/kernels.rs"));
         assert!(!PANIC_SCOPE.contains("crates/serve/src/bin/serve_sim.rs"));
         assert!(!PANIC_SCOPE.contains("crates/wire/src/bin/wire_storm.rs"));

@@ -74,7 +74,9 @@ pub mod worker;
 pub use batcher::{BatchConfig, MicroBatcher};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use model::{ModelHandle, ModelSnapshot, ServedModel};
-pub use queue::{BackpressurePolicy, BoundedQueue, PopResult, PushError, QueueCounters};
+pub use queue::{
+    BackpressurePolicy, BoundedQueue, PopResult, PushError, QueueCounters, TryPushError,
+};
 pub use routing::shard_for;
 pub use runtime::{
     wire_stats, OnlineTrainingConfig, SensorClient, ServeConfig, ServeError, ServeReport,

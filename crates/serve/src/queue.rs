@@ -78,6 +78,32 @@ impl<T> PushError<T> {
     }
 }
 
+/// Why a [`try_push`](BoundedQueue::try_push) did not enqueue its
+/// item. Distinct from [`PushError`] because a non-parking push has an
+/// outcome a blocking push never reports: `Full` under
+/// [`BackpressurePolicy::Block`], where `push` would have waited.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue was full under [`BackpressurePolicy::Block`]; a
+    /// blocking `push` would have parked. Nothing was counted — the
+    /// caller decides whether to retry, stash, or drop.
+    Full(T),
+    /// The queue was full under [`BackpressurePolicy::RejectNewest`];
+    /// the rejection was counted.
+    Rejected(T),
+    /// The queue was closed.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recovers the item that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(item) | Self::Rejected(item) | Self::Closed(item) => item,
+        }
+    }
+}
+
 /// Outcome of a deadline-bounded pop.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PopResult<T> {
@@ -257,6 +283,66 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking dequeue: `Item` when something was buffered,
+    /// `TimedOut` when the queue is momentarily empty but still open
+    /// (the readiness reactor's "would block"), `Closed` once the
+    /// queue is both closed and drained. Never parks the caller.
+    pub fn try_pop(&self) -> PopResult<T> {
+        // lint:allow(panic, reason = "poison propagation: see module doc — a poisoned queue must panic into the supervisor, not serve corrupted state")
+        let mut state = self.state.lock().expect("queue poisoned");
+        if let Some(item) = state.items.pop_front() {
+            self.popped.fetch_add(1, Ordering::Relaxed);
+            drop(state);
+            self.not_full.notify_one();
+            return PopResult::Item(item);
+        }
+        if state.closed {
+            PopResult::Closed
+        } else {
+            PopResult::TimedOut
+        }
+    }
+
+    /// Non-parking enqueue: applies the same policy as
+    /// [`push`](Self::push) except that a full queue under
+    /// [`BackpressurePolicy::Block`] comes back as
+    /// [`TryPushError::Full`] instead of parking the caller. This is
+    /// the producer face for single-threaded event loops that are also
+    /// the queue's consumer — a blocking push there would deadlock.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] (Block policy, queue full — uncounted),
+    /// [`TryPushError::Rejected`] (RejectNewest, counted), or
+    /// [`TryPushError::Closed`]. All return the item.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        // lint:allow(panic, reason = "poison propagation: see module doc — a poisoned queue must panic into the supervisor, not serve corrupted state")
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        while state.items.len() >= self.capacity {
+            match self.policy {
+                BackpressurePolicy::Block => return Err(TryPushError::Full(item)),
+                BackpressurePolicy::DropOldest => {
+                    state.items.pop_front();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                BackpressurePolicy::RejectNewest => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(TryPushError::Rejected(item));
+                }
+            }
+        }
+        state.items.push_back(item);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.high_watermark
+            .fetch_max(state.items.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Closes the queue: future pushes fail, consumers drain the
     /// remaining items and then observe end-of-stream.
     pub fn close(&self) {
@@ -377,6 +463,50 @@ mod tests {
         assert_eq!(q.push('b'), Err(PushError::Closed('b')));
         assert_eq!(q.pop(), Some('a'));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(4, BackpressurePolicy::Block);
+        assert_eq!(q.try_pop(), PopResult::TimedOut);
+        q.push(5).unwrap();
+        assert_eq!(q.try_pop(), PopResult::Item(5));
+        assert_eq!(q.try_pop(), PopResult::TimedOut);
+        q.push(6).unwrap();
+        q.close();
+        // Closed queues still drain what they hold before signalling.
+        assert_eq!(q.try_pop(), PopResult::Item(6));
+        assert_eq!(q.try_pop(), PopResult::Closed);
+    }
+
+    #[test]
+    fn try_push_reports_full_instead_of_parking() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(2, BackpressurePolicy::Block);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        // A blocking push would park here; try_push must not.
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        // Full is uncounted: the item is the caller's to retry.
+        assert_eq!(q.counters().rejected, 0);
+        assert_eq!(q.counters().dropped, 0);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.close();
+        assert_eq!(q.try_push(4), Err(TryPushError::Closed(4)));
+    }
+
+    #[test]
+    fn try_push_applies_the_lossy_policies() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1, BackpressurePolicy::DropOldest);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.counters().dropped, 1);
+        assert_eq!(q.pop(), Some(2));
+
+        let q: BoundedQueue<u8> = BoundedQueue::new(1, BackpressurePolicy::RejectNewest);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(TryPushError::Rejected(2)));
+        assert_eq!(q.counters().rejected, 1);
     }
 
     #[test]

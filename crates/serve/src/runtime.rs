@@ -248,6 +248,13 @@ pub mod wire_stats {
     /// Handshake deadlines missed plus sends abandoned at the write
     /// timeout (mirrored into `FaultReport::transport_timeouts`).
     pub const TRANSPORT_TIMEOUTS: &str = "wire.transport_timeouts";
+    /// Connections whose handler panicked and was contained (the
+    /// connection fails closed; the gateway keeps serving). Mirrored
+    /// into `FaultReport::connection_panics`.
+    pub const CONNECTION_PANICS: &str = "wire.connection_panics";
+    /// Gateway locks recovered from poisoning (a panicking holder left
+    /// the lock; the state was still consistent and service continued).
+    pub const LOCK_RECOVERIES: &str = "wire.lock_recoveries";
 }
 
 /// Transport-boundary counters of one run, all zero unless an
@@ -276,6 +283,12 @@ pub struct WireCounters {
     pub predictions_sent: u64,
     /// Predictions that found no live connection.
     pub predictions_unrouted: u64,
+    /// Connection handlers that panicked and were contained (their
+    /// in-flight records were re-counted as shed so the wire identity
+    /// still closes).
+    pub connection_panics: u64,
+    /// Gateway locks recovered after a poisoning panic.
+    pub lock_recoveries: u64,
 }
 
 impl WireCounters {
@@ -422,6 +435,13 @@ impl fmt::Display for ServeReport {
                 w.predictions_unrouted,
                 fr.transport_timeouts
             )?;
+            if w.connection_panics > 0 || w.lock_recoveries > 0 {
+                writeln!(
+                    f,
+                    "wire: {} connection panics contained · {} lock recoveries",
+                    w.connection_panics, w.lock_recoveries
+                )?;
+            }
         }
         writeln!(f, "unaccounted records: {}", self.unaccounted_records())?;
         Ok(())
@@ -782,6 +802,7 @@ impl ServeRuntime {
             checkpoint_failures: self.metrics.counter("serve.checkpoint_failures").get(),
             transport_rejections: self.metrics.counter(wire_stats::RECORDS_REJECTED).get(),
             transport_timeouts: self.metrics.counter(wire_stats::TRANSPORT_TIMEOUTS).get(),
+            connection_panics: self.metrics.counter(wire_stats::CONNECTION_PANICS).get(),
         };
         let wire = WireCounters {
             connections: self.metrics.counter(wire_stats::CONNECTIONS).get(),
@@ -794,6 +815,8 @@ impl ServeRuntime {
             predictions_routed: self.metrics.counter(wire_stats::PREDICTIONS_ROUTED).get(),
             predictions_sent: self.metrics.counter(wire_stats::PREDICTIONS_SENT).get(),
             predictions_unrouted: self.metrics.counter(wire_stats::PREDICTIONS_UNROUTED).get(),
+            connection_panics: self.metrics.counter(wire_stats::CONNECTION_PANICS).get(),
+            lock_recoveries: self.metrics.counter(wire_stats::LOCK_RECOVERIES).get(),
         };
         ServeReport {
             elapsed,

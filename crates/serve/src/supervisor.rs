@@ -279,6 +279,11 @@ pub struct FaultReport {
     /// Transport-level timeouts that cost traffic: handshakes that
     /// never completed and sends abandoned at the write timeout.
     pub transport_timeouts: u64,
+    /// Connection handlers that panicked and were contained by the
+    /// gateway: the connection fails closed, its in-flight records are
+    /// re-counted as shed, and the rest of the fleet keeps serving.
+    /// Always 0 for in-process runs.
+    pub connection_panics: u64,
 }
 
 /// Best-effort extraction of a panic payload's message.

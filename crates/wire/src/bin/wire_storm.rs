@@ -33,8 +33,8 @@ use occusense_dataset::CsiRecord;
 use occusense_serve::{BackpressurePolicy, BatchConfig, ServeConfig, ServeReport};
 use occusense_sim::{fleet_stream, simulate, ScenarioConfig};
 use occusense_wire::{
-    connect, loopback, tcp_connect, tcp_listen, ClientEvent, Connection, Gateway, GatewayConfig,
-    LoopbackConfig, LoopbackConnector, TcpConfig, WireError,
+    connect, loopback, tcp_connect, tcp_listen, ClientEvent, Connection, Encoder, Frame,
+    FrameBuffer, Gateway, GatewayConfig, LoopbackConfig, LoopbackConnector, TcpConfig, WireError,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +59,15 @@ const USAGE: &str = "wire_storm — multi-sensor load generator for the occusens
   --capacity N          per-shard ingress queue capacity (default 1024)
   --seed S              fleet base seed; sensor i replays
                         fleet_stream(duration, seed, i) (default 100)
+  --mux                 drive every connection from a few non-blocking
+                        mux driver threads (FrameBuffer clients over
+                        the PollConn face) instead of two OS threads
+                        per sensor — the 10k-connection mode; also
+                        collects per-record round-trip latency
+  --drivers N           mux driver threads (default 1; needs --mux)
+  --reactors N          gateway reactor threads (default 1)
+  --json PATH           write a machine-readable soak summary (wall
+                        time, throughput, RTT percentiles, counters)
   --temporal            serve the stateful GRU sequence model instead
                         of the per-frame MLP (per-sensor hidden state
                         carried server-side)
@@ -86,6 +95,10 @@ struct Args {
     outbound_policy: BackpressurePolicy,
     capacity: usize,
     seed: u64,
+    mux: bool,
+    drivers: usize,
+    reactors: usize,
+    json: Option<String>,
     temporal: bool,
     swap: bool,
     verify: bool,
@@ -112,6 +125,10 @@ impl Default for Args {
             outbound_policy: BackpressurePolicy::Block,
             capacity: 1024,
             seed: 100,
+            mux: false,
+            drivers: 1,
+            reactors: 1,
+            json: None,
             temporal: false,
             swap: false,
             verify: false,
@@ -147,6 +164,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             args.verify = true;
             continue;
         }
+        if flag == "--mux" {
+            args.mux = true;
+            continue;
+        }
         if flag == "--temporal" {
             args.temporal = true;
             continue;
@@ -168,6 +189,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--outbound-policy",
             "--capacity",
             "--seed",
+            "--drivers",
+            "--reactors",
+            "--json",
         ];
         if !KNOWN.contains(&flag.as_str()) {
             return Err(format!("unknown flag {flag:?}"));
@@ -194,6 +218,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--outbound-policy" => args.outbound_policy = parse_policy(&raw, "--outbound-policy")?,
             "--capacity" => args.capacity = parse_value(&raw, "--capacity")?,
             "--seed" => args.seed = parse_value(&raw, "--seed")?,
+            "--drivers" => args.drivers = parse_value(&raw, "--drivers")?,
+            "--reactors" => args.reactors = parse_value(&raw, "--reactors")?,
+            "--json" => args.json = Some(raw),
             _ => unreachable!("flag was vetted against KNOWN"),
         }
     }
@@ -208,6 +235,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.swap && !args.temporal {
         return Err("--swap requires --temporal".into());
+    }
+    if args.drivers == 0 {
+        return Err("--drivers must be >= 1".into());
+    }
+    if args.reactors == 0 {
+        return Err("--reactors must be >= 1".into());
     }
     Ok(args)
 }
@@ -325,6 +358,323 @@ fn run_sensor(
         Err(_) => outcome.errors.push("receiver thread panicked".to_string()),
     }
     outcome
+}
+
+/// Client-side lifecycle of one multiplexed connection.
+enum MuxState {
+    /// `Hello` queued; waiting for the gateway's `HelloAck`.
+    AwaitAck,
+    /// Streaming `Record`/`Batch` frames.
+    Streaming,
+    /// `Goodbye` queued; collecting remaining predictions until the
+    /// gateway's own `Goodbye`.
+    Draining,
+}
+
+/// One non-blocking sensor connection inside a mux driver: the
+/// client-side mirror of the gateway's reactor connections, built on
+/// the same [`FrameBuffer`] parser over the [`PollConn`] face. A
+/// driver thread sweeps thousands of these — no per-sensor OS
+/// threads, which is what makes the 10k-connection soak runnable.
+struct MuxConn {
+    index: usize,
+    io: Box<dyn occusense_wire::PollConn>,
+    inbuf: FrameBuffer,
+    out: Vec<u8>,
+    out_pos: usize,
+    encoder: Encoder,
+    state: MuxState,
+    records: Vec<CsiRecord>,
+    next: usize,
+    shard: u32,
+    sent: u64,
+    predictions: Vec<occusense_wire::PredictionFrame>,
+    nacks: u64,
+    errors: Vec<String>,
+    /// Enqueue instant per seq — RTT is measured from the moment the
+    /// record entered the client's outbound buffer.
+    sent_at: Vec<Instant>,
+    /// Round-trip nanoseconds, one per delivered prediction.
+    rtts: Vec<u64>,
+    done: bool,
+}
+
+impl MuxConn {
+    fn new(index: usize, io: Box<dyn occusense_wire::PollConn>, records: Vec<CsiRecord>) -> Self {
+        let mut encoder = Encoder::default();
+        let out = encoder
+            .encode(&Frame::Hello(occusense_wire::Hello {
+                protocol: occusense_wire::PROTOCOL_VERSION,
+                sensor_id: format!("sensor-{index}"),
+            }))
+            .expect("short sensor ids always encode");
+        let expected = records.len();
+        Self {
+            index,
+            io,
+            inbuf: FrameBuffer::new(occusense_wire::DEFAULT_MAX_PAYLOAD),
+            out,
+            out_pos: 0,
+            encoder,
+            state: MuxState::AwaitAck,
+            records,
+            next: 0,
+            shard: 0,
+            sent: 0,
+            predictions: Vec::new(),
+            nacks: 0,
+            errors: Vec::new(),
+            sent_at: Vec::with_capacity(expected),
+            rtts: Vec::with_capacity(expected),
+            done: false,
+        }
+    }
+
+    fn fail(&mut self, message: String) {
+        self.errors.push(message);
+        self.done = true;
+    }
+
+    /// Queues the next chunk of records (or the `Goodbye`) once the
+    /// previous encoding has fully left the socket.
+    fn refill(&mut self, wire_batch: usize) {
+        if !self.out.is_empty() || !matches!(self.state, MuxState::Streaming) {
+            return;
+        }
+        let frame = if self.next < self.records.len() {
+            let chunk = if wire_batch <= 1 { 1 } else { wire_batch };
+            let end = (self.next + chunk).min(self.records.len());
+            let now = Instant::now();
+            for _ in self.next..end {
+                self.sent_at.push(now);
+            }
+            let frame = if wire_batch <= 1 {
+                let record = self.records[self.next];
+                Frame::Record(occusense_wire::RecordFrame {
+                    seq: self.next as u64,
+                    label: (self.next.is_multiple_of(2)).then(|| record.occupancy()),
+                    record,
+                })
+            } else {
+                let records: Vec<(CsiRecord, Option<u8>)> = self.records[self.next..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, r)| {
+                        (
+                            *r,
+                            ((self.next + k).is_multiple_of(2)).then(|| r.occupancy()),
+                        )
+                    })
+                    .collect();
+                Frame::Batch(occusense_wire::BatchFrame {
+                    first_seq: self.next as u64,
+                    records,
+                })
+            };
+            self.next = end;
+            frame
+        } else {
+            self.sent = self.next as u64;
+            self.state = MuxState::Draining;
+            Frame::Goodbye(occusense_wire::Goodbye {
+                count: self.next as u64,
+            })
+        };
+        match self.encoder.encode(&frame) {
+            Ok(bytes) => {
+                self.out = bytes;
+                self.out_pos = 0;
+            }
+            Err(e) => self.fail(format!("encode: {e}")),
+        }
+    }
+
+    /// Drains every complete frame currently buffered inbound.
+    fn parse(&mut self, progress: &AtomicU64) {
+        loop {
+            let (decoded, len) = match self.inbuf.peek() {
+                Ok(None) => break,
+                Err(e) => {
+                    self.fail(format!("decode: {e}"));
+                    break;
+                }
+                Ok(Some((header, payload))) => (
+                    occusense_wire::decode_payload(header.frame_type, payload),
+                    header.payload_len,
+                ),
+            };
+            let frame = match decoded {
+                Ok(frame) => frame,
+                Err(e) => {
+                    self.fail(format!("decode payload: {e}"));
+                    break;
+                }
+            };
+            self.inbuf.consume(len);
+            match frame {
+                Frame::HelloAck(ack) => {
+                    self.shard = ack.shard;
+                    self.state = MuxState::Streaming;
+                }
+                Frame::Prediction(p) => {
+                    if let Some(t) = self.sent_at.get(p.seq as usize) {
+                        self.rtts.push(t.elapsed().as_nanos() as u64);
+                    }
+                    self.predictions.push(p);
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
+                Frame::Nack(n) => {
+                    if matches!(self.state, MuxState::AwaitAck) {
+                        self.fail(format!("handshake refused: {}", n.reason));
+                        break;
+                    }
+                    self.nacks += 1;
+                }
+                Frame::Goodbye(_) => {
+                    self.done = true;
+                    break;
+                }
+                _ => {
+                    self.fail("server sent a client-role frame".to_string());
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One sweep: flush pending bytes, queue the next chunk, read and
+    /// parse whatever arrived. Returns whether anything moved.
+    fn pump(&mut self, wire_batch: usize, progress: &AtomicU64) -> bool {
+        let mut moved = false;
+        loop {
+            while self.out_pos < self.out.len() {
+                match self
+                    .io
+                    .poll_write(&[std::io::IoSlice::new(&self.out[self.out_pos..])])
+                {
+                    Ok(occusense_wire::PollWrite::Wrote(n)) => {
+                        self.out_pos += n;
+                        moved = true;
+                    }
+                    Ok(occusense_wire::PollWrite::WouldBlock) => break,
+                    Err(e) => {
+                        self.fail(format!("write: {e}"));
+                        return true;
+                    }
+                }
+            }
+            if self.out_pos < self.out.len() {
+                break;
+            }
+            self.out.clear();
+            self.out_pos = 0;
+            self.refill(wire_batch);
+            if self.done || self.out.is_empty() {
+                break;
+            }
+        }
+        loop {
+            if self.done {
+                return true;
+            }
+            let read = {
+                let spare = self.inbuf.spare_mut();
+                if spare.is_empty() {
+                    break;
+                }
+                self.io.poll_read(spare)
+            };
+            match read {
+                Ok(occusense_wire::PollRead::Data(n)) => {
+                    self.inbuf.commit(n);
+                    moved = true;
+                    self.parse(progress);
+                }
+                Ok(occusense_wire::PollRead::WouldBlock) => break,
+                Ok(occusense_wire::PollRead::Eof) => {
+                    self.fail("server closed before its Goodbye".to_string());
+                    return true;
+                }
+                Err(e) => {
+                    self.fail(format!("read: {e}"));
+                    return true;
+                }
+            }
+        }
+        moved
+    }
+
+    fn into_outcome(self) -> (SensorOutcome, Vec<u64>) {
+        (
+            SensorOutcome {
+                index: self.index,
+                shard: self.shard,
+                records: self.records,
+                sent: self.sent,
+                predictions: self.predictions,
+                nacks: self.nacks,
+                errors: self.errors,
+            },
+            self.rtts,
+        )
+    }
+}
+
+/// Sweeps a set of mux connections until every one has finished (or
+/// the whole driver stalls past the limit).
+fn run_mux_driver(
+    mut conns: Vec<MuxConn>,
+    wire_batch: usize,
+    progress: Arc<AtomicU64>,
+) -> Vec<MuxConn> {
+    let stall_limit = Duration::from_secs(30);
+    let mut last_progress = Instant::now();
+    let mut idle: u32 = 0;
+    loop {
+        let mut moved = false;
+        let mut open = 0usize;
+        for conn in conns.iter_mut() {
+            if conn.done {
+                continue;
+            }
+            open += 1;
+            if conn.pump(wire_batch, &progress) {
+                moved = true;
+            }
+        }
+        if open == 0 {
+            break;
+        }
+        if moved {
+            last_progress = Instant::now();
+            idle = 0;
+        } else {
+            if last_progress.elapsed() > stall_limit {
+                for conn in conns.iter_mut() {
+                    if !conn.done {
+                        conn.fail("mux driver stalled past the 30 s limit".to_string());
+                    }
+                }
+                break;
+            }
+            idle = idle.saturating_add(1);
+            if idle < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    conns
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The in-process reference the `--verify` replay scores against.
@@ -573,6 +923,12 @@ fn main() {
     };
     let gateway_cfg = GatewayConfig {
         outbound_policy: args.outbound_policy,
+        reactors: args.reactors,
+        // At storm scale every connection is opened before the mux
+        // drivers start flushing Hellos, so the handshake deadline has
+        // to cover the whole fleet's first sweep, not one socket.
+        handshake_timeout: Duration::from_secs(5)
+            .max(Duration::from_millis(args.sensors as u64 * 20)),
         ..GatewayConfig::default()
     };
 
@@ -628,35 +984,74 @@ fn main() {
     );
 
     let progress = Arc::new(AtomicU64::new(0));
-    let sensors: Vec<_> = fleets
-        .into_iter()
-        .enumerate()
-        .map(|(i, records)| {
-            let connectors = connectors.clone();
-            let wire_batch = args.wire_batch;
-            let progress = Arc::clone(&progress);
-            std::thread::Builder::new()
-                .name(format!("storm-{i}"))
-                .spawn(move || {
-                    let conn = match connectors.connect() {
-                        Ok(conn) => conn,
-                        Err(e) => {
-                            return SensorOutcome {
-                                index: i,
-                                shard: 0,
-                                records,
-                                sent: 0,
-                                predictions: Vec::new(),
-                                nacks: 0,
-                                errors: vec![format!("connect: {e}")],
-                            }
-                        }
-                    };
-                    run_sensor(i, conn, records, wire_batch, progress)
+    let mut failed: Vec<SensorOutcome> = Vec::new();
+    let running = if args.mux {
+        // Mux mode: every connection is flipped to its non-blocking
+        // face up front and swept by a few driver threads — no
+        // per-sensor OS threads, so 10k connections is just memory.
+        let drivers = args.drivers.min(args.sensors).max(1);
+        let mut driver_conns: Vec<Vec<MuxConn>> = (0..drivers).map(|_| Vec::new()).collect();
+        for (i, records) in fleets.into_iter().enumerate() {
+            match connectors.connect().and_then(|c| c.into_poll()) {
+                Ok(io) => driver_conns[i % drivers].push(MuxConn::new(i, io, records)),
+                Err(e) => failed.push(SensorOutcome {
+                    index: i,
+                    shard: 0,
+                    records,
+                    sent: 0,
+                    predictions: Vec::new(),
+                    nacks: 0,
+                    errors: vec![format!("connect: {e}")],
+                }),
+            }
+        }
+        Running::Drivers(
+            driver_conns
+                .into_iter()
+                .enumerate()
+                .map(|(d, conns)| {
+                    let wire_batch = args.wire_batch;
+                    let progress = Arc::clone(&progress);
+                    std::thread::Builder::new()
+                        .name(format!("mux-driver-{d}"))
+                        .spawn(move || run_mux_driver(conns, wire_batch, progress))
+                        .expect("spawn mux driver")
                 })
-                .expect("spawn sensor thread")
-        })
-        .collect();
+                .collect(),
+        )
+    } else {
+        Running::Threads(
+            fleets
+                .into_iter()
+                .enumerate()
+                .map(|(i, records)| {
+                    let connectors = connectors.clone();
+                    let wire_batch = args.wire_batch;
+                    let progress = Arc::clone(&progress);
+                    std::thread::Builder::new()
+                        .name(format!("storm-{i}"))
+                        .spawn(move || {
+                            let conn = match connectors.connect() {
+                                Ok(conn) => conn,
+                                Err(e) => {
+                                    return SensorOutcome {
+                                        index: i,
+                                        shard: 0,
+                                        records,
+                                        sent: 0,
+                                        predictions: Vec::new(),
+                                        nacks: 0,
+                                        errors: vec![format!("connect: {e}")],
+                                    }
+                                }
+                            };
+                            run_sensor(i, conn, records, wire_batch, progress)
+                        })
+                        .expect("spawn sensor thread")
+                })
+                .collect(),
+        )
+    };
 
     // The mid-storm hot swap: published once ~25% of the predictions
     // have been delivered, so it reliably lands mid-stream regardless
@@ -680,10 +1075,24 @@ fn main() {
         );
     }
 
-    let outcomes: Vec<SensorOutcome> = sensors
-        .into_iter()
-        .map(|h| h.join().expect("sensor thread panicked"))
-        .collect();
+    let mut rtts: Vec<u64> = Vec::new();
+    let mut outcomes: Vec<SensorOutcome> = match running {
+        Running::Threads(handles) => handles
+            .into_iter()
+            .map(|h| h.join().expect("sensor thread panicked"))
+            .collect(),
+        Running::Drivers(handles) => handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("mux driver panicked"))
+            .map(|conn| {
+                let (outcome, conn_rtts) = conn.into_outcome();
+                rtts.extend(conn_rtts);
+                outcome
+            })
+            .collect(),
+    };
+    outcomes.append(&mut failed);
+    outcomes.sort_by_key(|o| o.index);
     let report = gateway.shutdown();
     let wall = started.elapsed();
 
@@ -712,6 +1121,16 @@ fn main() {
         "wire wall time {wall:.2?} · {:.0} records/s end-to-end · {delivered_total} predictions delivered to clients · {nacks_total} NACKs",
         sent_total as f64 / wall.as_secs_f64().max(1e-9)
     );
+    rtts.sort_unstable();
+    if !rtts.is_empty() {
+        println!(
+            "round trip (enqueue → prediction): p50 {:.1} µs · p95 {:.1} µs · p99 {:.1} µs over {} samples",
+            percentile(&rtts, 50.0) as f64 / 1e3,
+            percentile(&rtts, 95.0) as f64 / 1e3,
+            percentile(&rtts, 99.0) as f64 / 1e3,
+            rtts.len()
+        );
+    }
     println!("\n=== metrics ===\n{}", report.metrics_text);
 
     let mut failures: Vec<String> = outcomes
@@ -748,12 +1167,84 @@ fn main() {
             );
         }
     }
+    if let Some(path) = &args.json {
+        let verdict = if !args.verify {
+            "off"
+        } else if failures.is_empty() {
+            "pass"
+        } else {
+            "fail"
+        };
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"sensors\": {},\n",
+                "  \"records_per_sensor\": {},\n",
+                "  \"transport\": \"{}\",\n",
+                "  \"mux\": {},\n",
+                "  \"drivers\": {},\n",
+                "  \"reactors\": {},\n",
+                "  \"wire_batch\": {},\n",
+                "  \"wall_s\": {:.3},\n",
+                "  \"records_per_s\": {:.0},\n",
+                "  \"decoded\": {},\n",
+                "  \"ingested\": {},\n",
+                "  \"rejected\": {},\n",
+                "  \"shed\": {},\n",
+                "  \"predictions_sent\": {},\n",
+                "  \"nacks\": {},\n",
+                "  \"connection_panics\": {},\n",
+                "  \"unaccounted\": {},\n",
+                "  \"rtt_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"samples\": {}}},\n",
+                "  \"verdict\": \"{}\"\n",
+                "}}\n"
+            ),
+            args.sensors,
+            args.records,
+            match args.transport {
+                Transport::Loopback => "loopback",
+                Transport::Tcp => "tcp",
+            },
+            args.mux,
+            args.drivers,
+            args.reactors,
+            args.wire_batch,
+            wall.as_secs_f64(),
+            report.wire.records_decoded as f64 / wall.as_secs_f64().max(1e-9),
+            report.wire.records_decoded,
+            report.wire.records_ingested,
+            report.wire.records_rejected,
+            report.wire.records_shed,
+            report.wire.predictions_sent,
+            nacks_total,
+            report.wire.connection_panics,
+            report.unaccounted_records(),
+            percentile(&rtts, 50.0) as f64 / 1e3,
+            percentile(&rtts, 95.0) as f64 / 1e3,
+            percentile(&rtts, 99.0) as f64 / 1e3,
+            rtts.len(),
+            verdict
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("soak summary written to {path}"),
+            Err(e) => eprintln!("wire_storm: cannot write {path}: {e}"),
+        }
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("wire_storm verdict: FAIL — {f}");
         }
         std::process::exit(1);
     }
+}
+
+/// In-flight sensor work, per traffic mode.
+enum Running {
+    /// Thread-per-sensor (the pre-reactor client path, still the
+    /// default): one blocking sender + one reader thread per sensor.
+    Threads(Vec<std::thread::JoinHandle<SensorOutcome>>),
+    /// Mux drivers, each sweeping many non-blocking connections.
+    Drivers(Vec<std::thread::JoinHandle<Vec<MuxConn>>>),
 }
 
 /// Which model family boots the gateway's serving runtime. One

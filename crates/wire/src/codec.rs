@@ -160,6 +160,48 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
+/// Why a frame refused to *encode*. Encoding is fallible only for the
+/// two dynamic bounds of the protocol; a conforming producer (the
+/// client library chunks batches at [`MAX_BATCH_RECORDS`]) never sees
+/// these. Before this error existed the encoder silently truncated the
+/// offending field — possibly mid-UTF-8-codepoint for a sensor id, and
+/// desynchronizing `first_seq` accounting for a batch — so the refusal
+/// is typed and loud instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A `Hello` sensor id longer than [`MAX_SENSOR_ID_BYTES`].
+    SensorIdTooLong {
+        /// The id's UTF-8 length in bytes.
+        len: usize,
+    },
+    /// A `Batch` holding more than [`MAX_BATCH_RECORDS`] records.
+    BatchTooLarge {
+        /// The batch's record count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::SensorIdTooLong { len } => {
+                write!(
+                    f,
+                    "refusing to encode a {len}-byte sensor id (limit {MAX_SENSOR_ID_BYTES})"
+                )
+            }
+            EncodeError::BatchTooLarge { count } => {
+                write!(
+                    f,
+                    "refusing to encode a {count}-record batch (limit {MAX_BATCH_RECORDS})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
 /// A client's opening frame: protocol version check + sensor identity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
@@ -388,21 +430,25 @@ fn put_record(out: &mut Vec<u8>, record: &CsiRecord) {
 }
 
 /// Appends the payload bytes of `frame` (body only, no envelope) to
-/// `out`. Encoding is total: every `Frame` value has exactly one byte
-/// representation.
+/// `out`. Within the protocol bounds encoding is total: every
+/// admissible `Frame` value has exactly one byte representation.
 ///
-/// Oversized dynamic fields (a sensor id beyond
-/// [`MAX_SENSOR_ID_BYTES`], a batch beyond [`MAX_BATCH_RECORDS`]) are
-/// truncated at the limit rather than panicking — the decode side
-/// enforces the same bounds, so a conforming encoder never hits this.
-pub fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+/// # Errors
+///
+/// [`EncodeError`] when a dynamic field exceeds its protocol bound (a
+/// sensor id beyond [`MAX_SENSOR_ID_BYTES`], a batch beyond
+/// [`MAX_BATCH_RECORDS`]). Bounds are checked *before* any byte is
+/// written, so `out` is untouched on error.
+pub fn encode_payload(frame: &Frame, out: &mut Vec<u8>) -> Result<(), EncodeError> {
     match frame {
         Frame::Hello(h) => {
-            out.push(h.protocol);
             let id = h.sensor_id.as_bytes();
-            let len = id.len().min(MAX_SENSOR_ID_BYTES);
-            put_u16(out, len as u16);
-            out.extend_from_slice(id.get(..len).unwrap_or_default());
+            if id.len() > MAX_SENSOR_ID_BYTES {
+                return Err(EncodeError::SensorIdTooLong { len: id.len() });
+            }
+            out.push(h.protocol);
+            put_u16(out, id.len() as u16);
+            out.extend_from_slice(id);
         }
         Frame::HelloAck(a) => {
             out.push(a.protocol);
@@ -414,10 +460,14 @@ pub fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_record(out, &r.record);
         }
         Frame::Batch(b) => {
+            if b.records.len() > MAX_BATCH_RECORDS {
+                return Err(EncodeError::BatchTooLarge {
+                    count: b.records.len(),
+                });
+            }
             put_u64(out, b.first_seq);
-            let count = b.records.len().min(MAX_BATCH_RECORDS);
-            put_u16(out, count as u16);
-            for (record, label) in b.records.iter().take(count) {
+            put_u16(out, b.records.len() as u16);
+            for (record, label) in &b.records {
                 put_label(out, *label);
                 put_record(out, record);
             }
@@ -438,6 +488,7 @@ pub fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_u64(out, g.count);
         }
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -538,6 +589,126 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Bytes one batched record occupies on the wire: label flag + label
+/// value + the record body.
+const BATCH_RECORD_STRIDE: usize = 2 + RECORD_BYTES;
+
+/// A *borrowed* view over a validated `Batch` payload: the records stay
+/// in the receive buffer and are decoded one at a time as the iterator
+/// walks them, so the gateway hot path never materialises the
+/// per-frame `Vec<(CsiRecord, Option<u8>)>` that [`BatchFrame`] carries.
+///
+/// [`BatchView::parse`] performs *all* validation up front (count
+/// bound, exact payload length, every label flag canonical), which is
+/// what lets [`BatchRecords`] iterate infallibly — an all-or-nothing
+/// contract identical to [`decode_payload`]'s: a malformed batch
+/// yields zero records, never a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchView<'a> {
+    first_seq: u64,
+    count: usize,
+    body: &'a [u8],
+}
+
+impl<'a> BatchView<'a> {
+    /// Validates a `Batch` payload (envelope already checked) and
+    /// returns a borrowed view over its records.
+    ///
+    /// # Errors
+    ///
+    /// The same [`DecodeError`] classes [`decode_payload`] reports for
+    /// frame type 4; never panics, whatever the input bytes.
+    pub fn parse(payload: &'a [u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let first_seq = r.u64()?;
+        let count = r.u16()? as usize;
+        if count > MAX_BATCH_RECORDS {
+            return Err(DecodeError::BatchTooLarge { count });
+        }
+        let body = r.take(count * BATCH_RECORD_STRIDE)?;
+        r.finish()?;
+        // Pre-validate every label pair so iteration cannot fail.
+        for i in 0..count {
+            let off = i * BATCH_RECORD_STRIDE;
+            let flag = body.get(off).copied().unwrap_or(0);
+            let value = body.get(off + 1).copied().unwrap_or(0);
+            match (flag, value) {
+                (0, 0) | (1, _) => {}
+                (found, _) => return Err(DecodeError::BadLabelFlag { found }),
+            }
+        }
+        Ok(Self {
+            first_seq,
+            count,
+            body,
+        })
+    }
+
+    /// Sequence number of the first record in the batch.
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the batch carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates `(seq, record, label)` straight out of the payload
+    /// bytes; `seq` is `first_seq + index` with wrapping arithmetic,
+    /// matching the gateway's per-record accounting.
+    pub fn records(&self) -> BatchRecords<'a> {
+        BatchRecords {
+            first_seq: self.first_seq,
+            body: self.body,
+            index: 0,
+            count: self.count,
+        }
+    }
+}
+
+/// Iterator over the records of a [`BatchView`]; see
+/// [`BatchView::records`].
+#[derive(Debug, Clone)]
+pub struct BatchRecords<'a> {
+    first_seq: u64,
+    body: &'a [u8],
+    index: usize,
+    count: usize,
+}
+
+impl Iterator for BatchRecords<'_> {
+    type Item = (u64, CsiRecord, Option<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.index == self.count {
+            return None;
+        }
+        let off = self.index * BATCH_RECORD_STRIDE;
+        let chunk = self.body.get(off..off + BATCH_RECORD_STRIDE)?;
+        let mut r = Reader::new(chunk);
+        // Both reads are infallible after `parse` validated the layout;
+        // the `ok()?` keeps the path typed and panic-free regardless.
+        let label = r.label().ok()?;
+        let record = r.record().ok()?;
+        let seq = self.first_seq.wrapping_add(self.index as u64);
+        self.index += 1;
+        Some((seq, record, label))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.count.saturating_sub(self.index);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for BatchRecords<'_> {}
+
 /// Decodes the payload of a frame whose envelope already validated
 /// (length, checksum). `frame_type` comes from the envelope header.
 ///
@@ -574,18 +745,15 @@ pub fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeErr
             Frame::Record(RecordFrame { seq, label, record })
         }
         4 => {
-            let first_seq = r.u64()?;
-            let count = r.u16()? as usize;
-            if count > MAX_BATCH_RECORDS {
-                return Err(DecodeError::BatchTooLarge { count });
-            }
-            let mut records = Vec::with_capacity(count);
-            for _ in 0..count {
-                let label = r.label()?;
-                let record = r.record()?;
-                records.push((record, label));
-            }
-            Frame::Batch(BatchFrame { first_seq, records })
+            // The borrowed view owns all batch validation (including
+            // the canonical-length check), so return straight from it.
+            let view = BatchView::parse(payload)?;
+            let mut records = Vec::with_capacity(view.len());
+            records.extend(view.records().map(|(_seq, record, label)| (record, label)));
+            return Ok(Frame::Batch(BatchFrame {
+                first_seq: view.first_seq(),
+                records,
+            }));
         }
         5 => {
             let seq = r.u64()?;
@@ -638,12 +806,12 @@ mod tests {
 
     fn round_trip(frame: Frame) {
         let mut bytes = Vec::new();
-        encode_payload(&frame, &mut bytes);
+        encode_payload(&frame, &mut bytes).unwrap();
         let back = decode_payload(frame.frame_type(), &bytes).unwrap();
         assert_eq!(back, frame);
         // Canonical: re-encoding the decoded frame reproduces the bytes.
         let mut again = Vec::new();
-        encode_payload(&back, &mut again);
+        encode_payload(&back, &mut again).unwrap();
         assert_eq!(again, bytes);
     }
 
@@ -700,7 +868,7 @@ mod tests {
             record,
         });
         let mut bytes = Vec::new();
-        encode_payload(&frame, &mut bytes);
+        encode_payload(&frame, &mut bytes).unwrap();
         let Frame::Record(back) = decode_payload(3, &bytes).unwrap() else {
             panic!("wrong frame type");
         };
@@ -720,7 +888,7 @@ mod tests {
             record: sample_record(7),
         });
         let mut bytes = Vec::new();
-        encode_payload(&frame, &mut bytes);
+        encode_payload(&frame, &mut bytes).unwrap();
         for cut in 0..bytes.len() {
             let err = decode_payload(3, &bytes[..cut]).unwrap_err();
             assert!(
@@ -734,7 +902,7 @@ mod tests {
     fn non_canonical_encodings_are_rejected() {
         // Trailing byte after a Goodbye.
         let mut bytes = Vec::new();
-        encode_payload(&Frame::Goodbye(Goodbye { count: 1 }), &mut bytes);
+        encode_payload(&Frame::Goodbye(Goodbye { count: 1 }), &mut bytes).unwrap();
         bytes.push(0);
         assert_eq!(
             decode_payload(7, &bytes),
@@ -750,7 +918,8 @@ mod tests {
                 record: sample_record(0),
             }),
             &mut bytes,
-        );
+        )
+        .unwrap();
         bytes[9] = 3; // label value byte while flag (offset 8) is 0
         assert_eq!(
             decode_payload(3, &bytes),
@@ -808,5 +977,102 @@ mod tests {
         let mut bytes = Vec::new();
         put_record(&mut bytes, &sample_record(0));
         assert_eq!(bytes.len(), RECORD_BYTES);
+    }
+
+    #[test]
+    fn oversize_fields_refuse_to_encode_and_leave_out_untouched() {
+        let hello = Frame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            sensor_id: "é".repeat(MAX_SENSOR_ID_BYTES), // 2 bytes per char
+        });
+        let mut out = vec![0xAA];
+        assert_eq!(
+            encode_payload(&hello, &mut out),
+            Err(EncodeError::SensorIdTooLong {
+                len: 2 * MAX_SENSOR_ID_BYTES
+            })
+        );
+        assert_eq!(
+            out,
+            vec![0xAA],
+            "failed encode must not write partial bytes"
+        );
+
+        let batch = Frame::Batch(BatchFrame {
+            first_seq: 7,
+            records: vec![(sample_record(0), None); MAX_BATCH_RECORDS + 1],
+        });
+        assert_eq!(
+            encode_payload(&batch, &mut out),
+            Err(EncodeError::BatchTooLarge {
+                count: MAX_BATCH_RECORDS + 1
+            })
+        );
+        assert_eq!(out, vec![0xAA]);
+    }
+
+    #[test]
+    fn encode_accepts_fields_exactly_at_the_bounds() {
+        round_trip(Frame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            sensor_id: "x".repeat(MAX_SENSOR_ID_BYTES),
+        }));
+        round_trip(Frame::Batch(BatchFrame {
+            first_seq: u64::MAX - 3,
+            records: vec![(sample_record(1), Some(2)); MAX_BATCH_RECORDS],
+        }));
+    }
+
+    #[test]
+    fn batch_view_matches_decode_payload_with_wrapping_seqs() {
+        let frame = Frame::Batch(BatchFrame {
+            first_seq: u64::MAX - 1,
+            records: (0..5)
+                .map(|i| (sample_record(i), (i % 2 == 0).then_some(i as u8)))
+                .collect(),
+        });
+        let mut bytes = Vec::new();
+        encode_payload(&frame, &mut bytes).unwrap();
+
+        let view = BatchView::parse(&bytes).unwrap();
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.first_seq(), u64::MAX - 1);
+        let Frame::Batch(owned) = decode_payload(4, &bytes).unwrap() else {
+            panic!("wrong frame type");
+        };
+        let mut expect_seq = u64::MAX - 1;
+        for ((seq, record, label), (owned_record, owned_label)) in
+            view.records().zip(owned.records.iter())
+        {
+            assert_eq!(seq, expect_seq);
+            assert_eq!(&record, owned_record);
+            assert_eq!(&label, owned_label);
+            expect_seq = expect_seq.wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn batch_view_is_all_or_nothing_on_malformed_input() {
+        let frame = Frame::Batch(BatchFrame {
+            first_seq: 0,
+            records: vec![(sample_record(0), None), (sample_record(1), None)],
+        });
+        let mut bytes = Vec::new();
+        encode_payload(&frame, &mut bytes).unwrap();
+
+        // Corrupt the *second* record's label flag: parse must refuse
+        // the whole batch, not yield the first record.
+        let off = 8 + 2 + BATCH_RECORD_STRIDE;
+        bytes[off] = 9;
+        assert_eq!(
+            BatchView::parse(&bytes),
+            Err(DecodeError::BadLabelFlag { found: 9 })
+        );
+
+        // Truncated body: typed error, no partial view.
+        assert!(matches!(
+            BatchView::parse(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 }

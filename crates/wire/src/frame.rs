@@ -21,7 +21,7 @@
 //! trusted lab/edge network, exactly like the Nexmon sensor links of
 //! the source paper.
 
-use crate::codec::{self, DecodeError, Frame, PROTOCOL_VERSION};
+use crate::codec::{self, DecodeError, EncodeError, Frame, PROTOCOL_VERSION};
 
 /// The four magic bytes opening every frame ("OCcusense Wire v1").
 pub const MAGIC: [u8; 4] = *b"OCW1";
@@ -135,9 +135,14 @@ impl Encoder {
 
     /// Appends the full wire image (header + payload) of `frame` to
     /// `out`.
-    pub fn encode_into(&mut self, frame: &Frame, out: &mut Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when a payload field exceeds its protocol bound;
+    /// `out` is untouched on error.
+    pub fn encode_into(&mut self, frame: &Frame, out: &mut Vec<u8>) -> Result<(), EncodeError> {
         self.payload.clear();
-        codec::encode_payload(frame, &mut self.payload);
+        codec::encode_payload(frame, &mut self.payload)?;
         let frame_type = frame.frame_type();
         out.extend_from_slice(&MAGIC);
         out.push(PROTOCOL_VERSION);
@@ -146,13 +151,18 @@ impl Encoder {
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&checksum_of(frame_type, &self.payload).to_le_bytes());
         out.extend_from_slice(&self.payload);
+        Ok(())
     }
 
     /// The full wire image of `frame` as a fresh vector.
-    pub fn encode(&mut self, frame: &Frame) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when a payload field exceeds its protocol bound.
+    pub fn encode(&mut self, frame: &Frame) -> Result<Vec<u8>, EncodeError> {
         let mut out = Vec::with_capacity(HEADER_BYTES + 64);
-        self.encode_into(frame, &mut out);
-        out
+        self.encode_into(frame, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -198,7 +208,9 @@ mod tests {
 
     #[test]
     fn header_layout_is_exactly_twenty_bytes() {
-        let bytes = Encoder::new().encode(&Frame::Goodbye(Goodbye { count: 3 }));
+        let bytes = Encoder::new()
+            .encode(&Frame::Goodbye(Goodbye { count: 3 }))
+            .unwrap();
         assert_eq!(bytes.len(), HEADER_BYTES + 8);
         let header = decode_header(&bytes).unwrap();
         assert_eq!(header.frame_type, 7);
@@ -211,7 +223,7 @@ mod tests {
             seq: 77,
             reason: NackReason::Shutdown,
         });
-        let bytes = Encoder::new().encode(&frame);
+        let bytes = Encoder::new().encode(&frame).unwrap();
         let (back, consumed) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(back, frame);
         assert_eq!(consumed, bytes.len());
@@ -220,7 +232,7 @@ mod tests {
     #[test]
     fn every_single_bit_flip_is_detected() {
         let frame = Frame::Goodbye(Goodbye { count: 123_456 });
-        let clean = Encoder::new().encode(&frame);
+        let clean = Encoder::new().encode(&frame).unwrap();
         for byte in 0..clean.len() {
             for bit in 0..8 {
                 let mut corrupt = clean.clone();
@@ -245,7 +257,7 @@ mod tests {
         // an otherwise consistent header: must fail the checksum, not
         // decode as a 9-byte-starved Nack.
         let frame = Frame::Goodbye(Goodbye { count: 0 });
-        let mut bytes = Encoder::new().encode(&frame);
+        let mut bytes = Encoder::new().encode(&frame).unwrap();
         bytes[5] = 6;
         assert!(matches!(
             decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
@@ -256,7 +268,7 @@ mod tests {
     #[test]
     fn oversize_and_truncation_are_typed() {
         let frame = Frame::Goodbye(Goodbye { count: 1 });
-        let bytes = Encoder::new().encode(&frame);
+        let bytes = Encoder::new().encode(&frame).unwrap();
         assert!(matches!(
             decode_frame(&bytes, 4),
             Err(DecodeError::Oversize { len: 8, max: 4 })

@@ -3,18 +3,27 @@
 //!
 //! # Threading model (DESIGN.md §10 has the diagram)
 //!
-//! * one **accept loop** pulls connections off the [`Acceptor`] and
-//!   spawns a reader thread per connection;
-//! * each **connection reader** performs the `Hello → HelloAck`
-//!   handshake, then decodes `Record`/`Batch` frames and submits them
-//!   through a [`SensorClient`] under the *client's* sequence numbers
+//! * one **accept loop** pulls connections off the [`Acceptor`], flips
+//!   each into its non-blocking [`PollConn`](crate::transport::PollConn)
+//!   face and hands it round-robin to a reactor;
+//! * a small pool of **reactor threads** ([`GatewayConfig::reactors`],
+//!   default 1) owns every connection outright: each sweep retries
+//!   stalled control frames, drains the outbound queue through a
+//!   per-connection write ring with vectored writes, then reads and
+//!   parses inbound bytes — `Record`/`Batch` records are decoded
+//!   *zero-copy* out of the receive buffer
+//!   ([`crate::codec::BatchView`]) and submitted through a
+//!   [`SensorClient`] under the *client's* sequence numbers
 //!   ([`SensorClient::submit_sequenced`]), so NACKs and predictions
-//!   correlate at the sensor;
-//! * each connection also owns a **writer thread** draining a bounded
-//!   per-connection outbound queue — the slow-client boundary: the
-//!   queue's [`BackpressurePolicy`] decides whether a sensor that
-//!   stops reading stalls the router (`Block`), loses its oldest
-//!   predictions (`DropOldest`) or its newest (`RejectNewest`);
+//!   correlate at the sensor. A panic inside one connection's handler
+//!   is contained to that connection (`wire.connection_panics`); its
+//!   in-flight records are re-counted as shed so the accounting
+//!   identity still closes;
+//! * the bounded per-connection outbound queue is still the
+//!   slow-client boundary: its [`BackpressurePolicy`] decides whether
+//!   a sensor that stops reading stalls the router (`Block`), loses
+//!   its oldest predictions (`DropOldest`) or its newest
+//!   (`RejectNewest`);
 //! * one **router** thread receives every [`Prediction`] from the
 //!   runtime and pushes it to the owning sensor's outbound queue.
 //!
@@ -24,28 +33,30 @@
 //! own [`MetricsRegistry`](occusense_serve::MetricsRegistry);
 //! [`ServeRuntime::shutdown`] mirrors them into
 //! [`ServeReport::wire`](occusense_serve::ServeReport) and
-//! `FaultReport::{transport_rejections, transport_timeouts}`, and
-//! `ServeReport::unaccounted_records()` extends the serve identity
-//! across the wire: `decoded = ingested + rejected + shed`. A record
-//! that made it off the socket cannot vanish — it is scored, NACKed
-//! back, or counted as shed.
+//! `FaultReport::{transport_rejections, transport_timeouts,
+//! connection_panics}`, and `ServeReport::unaccounted_records()`
+//! extends the serve identity across the wire:
+//! `decoded = ingested + rejected + shed`. A record that made it off
+//! the socket cannot vanish — it is scored, NACKed back, or counted
+//! as shed (including records stranded by a contained connection
+//! panic).
 
-use crate::codec::{
-    Frame, Goodbye, HelloAck, NackFrame, NackReason, PredictionFrame, RecordFrame, PROTOCOL_VERSION,
-};
-use crate::transport::{Accepted, Acceptor, Connection, FrameSink, FrameSource, RecvOutcome};
+use crate::codec::{Frame, PredictionFrame};
+use crate::frame::DEFAULT_MAX_PAYLOAD;
+use crate::reactor::{reactor_loop, Injector, ReactorCtx};
+use crate::transport::{Accepted, Acceptor};
 use crate::WireError;
 use occusense_core::detector::OccupancyDetector;
 use occusense_core::temporal::TemporalDetector;
 use occusense_serve::{
-    wire_stats, BackpressurePolicy, BoundedQueue, Counter, Prediction, SensorClient, ServeConfig,
-    ServeReport, ServeRuntime, SubmitError,
+    wire_stats, BackpressurePolicy, BoundedQueue, Counter, MetricsRegistry, Prediction,
+    SensorClient, ServeConfig, ServeReport, ServeRuntime,
 };
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Gateway tuning knobs (transport-level knobs — timeouts, frame-size
 /// ceilings — live on the transport configs instead).
@@ -59,12 +70,20 @@ pub struct GatewayConfig {
     /// Slow-client policy of the outbound queues. `DropOldest` (the
     /// default) keeps one stalled sensor from head-of-line blocking
     /// the router; `Block` is lossless and right for cooperative
-    /// clients that always drain (e.g. `wire_storm --verify`).
+    /// clients that always drain (e.g. `wire_storm --verify`) — the
+    /// reactor never parks on a full `Block` queue, it pauses that
+    /// connection's ingress instead.
     pub outbound_policy: BackpressurePolicy,
-    /// After a client's `Goodbye`, how long the reader waits without
-    /// *progress* (new predictions delivered or shed) before giving up
-    /// on draining the remaining in-flight predictions.
+    /// After a client's `Goodbye`, how long a connection may go
+    /// without *progress* (new predictions delivered or shed) before
+    /// the reactor gives up on draining its in-flight predictions.
     pub drain_grace: Duration,
+    /// Number of reactor threads connections are sharded across.
+    /// Values `< 1` are treated as 1.
+    pub reactors: usize,
+    /// Largest frame payload a connection's receive buffer will grow
+    /// to hold; oversize frames are refused as malformed.
+    pub max_payload: usize,
 }
 
 impl Default for GatewayConfig {
@@ -74,35 +93,38 @@ impl Default for GatewayConfig {
             outbound_capacity: 1024,
             outbound_policy: BackpressurePolicy::DropOldest,
             drain_grace: Duration::from_secs(2),
+            reactors: 1,
+            max_payload: DEFAULT_MAX_PAYLOAD,
         }
     }
 }
 
 /// Outbound queues of the live connections, keyed by sensor id. The
-/// router resolves each prediction through this map; a reader
-/// registers its queue after the handshake and deregisters it before
-/// closing.
-type Registry = Arc<Mutex<BTreeMap<String, Arc<BoundedQueue<Frame>>>>>;
+/// router resolves each prediction through this map; a reactor
+/// registers a connection's queue after its handshake and deregisters
+/// it before closing.
+pub(crate) type Registry = Arc<Mutex<BTreeMap<String, Arc<BoundedQueue<Frame>>>>>;
 
 /// `wire_stats` counter handles shared by every gateway thread.
 #[derive(Clone)]
-struct GatewayCounters {
-    connections: Arc<Counter>,
-    frames_received: Arc<Counter>,
-    records_decoded: Arc<Counter>,
-    records_ingested: Arc<Counter>,
-    records_rejected: Arc<Counter>,
-    records_shed: Arc<Counter>,
-    malformed_frames: Arc<Counter>,
-    predictions_routed: Arc<Counter>,
-    predictions_sent: Arc<Counter>,
-    predictions_unrouted: Arc<Counter>,
-    transport_timeouts: Arc<Counter>,
+pub(crate) struct GatewayCounters {
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) frames_received: Arc<Counter>,
+    pub(crate) records_decoded: Arc<Counter>,
+    pub(crate) records_ingested: Arc<Counter>,
+    pub(crate) records_rejected: Arc<Counter>,
+    pub(crate) records_shed: Arc<Counter>,
+    pub(crate) malformed_frames: Arc<Counter>,
+    pub(crate) predictions_routed: Arc<Counter>,
+    pub(crate) predictions_sent: Arc<Counter>,
+    pub(crate) predictions_unrouted: Arc<Counter>,
+    pub(crate) transport_timeouts: Arc<Counter>,
+    pub(crate) connection_panics: Arc<Counter>,
+    pub(crate) lock_recoveries: Arc<Counter>,
 }
 
 impl GatewayCounters {
-    fn new(runtime: &ServeRuntime) -> Self {
-        let m = runtime.metrics();
+    pub(crate) fn new(m: &MetricsRegistry) -> Self {
         Self {
             connections: m.counter(wire_stats::CONNECTIONS),
             frames_received: m.counter(wire_stats::FRAMES_RECEIVED),
@@ -115,6 +137,28 @@ impl GatewayCounters {
             predictions_sent: m.counter(wire_stats::PREDICTIONS_SENT),
             predictions_unrouted: m.counter(wire_stats::PREDICTIONS_UNROUTED),
             transport_timeouts: m.counter(wire_stats::TRANSPORT_TIMEOUTS),
+            connection_panics: m.counter(wire_stats::CONNECTION_PANICS),
+            lock_recoveries: m.counter(wire_stats::LOCK_RECOVERIES),
+        }
+    }
+}
+
+/// Locks the registry, *recovering* from poison instead of
+/// propagating it. A connection handler that panicked while holding
+/// the lock can only have left the map between two valid states (one
+/// `BTreeMap` insert/remove, both atomic from the reader's view), so
+/// continuing to route against it is safe — and strictly better than
+/// escalating one connection's panic into a gateway-wide crash.
+/// Recoveries are counted so the report shows the near-miss.
+pub(crate) fn lock_registry<'a>(
+    registry: &'a Registry,
+    counters: &GatewayCounters,
+) -> MutexGuard<'a, BTreeMap<String, Arc<BoundedQueue<Frame>>>> {
+    match registry.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            counters.lock_recoveries.inc();
+            poisoned.into_inner()
         }
     }
 }
@@ -128,7 +172,7 @@ pub struct Gateway {
     runtime: Option<Arc<ServeRuntime>>,
     accept: Option<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactors: Vec<JoinHandle<()>>,
 }
 
 impl Gateway {
@@ -157,7 +201,7 @@ impl Gateway {
     /// micro-batches; when a sensor's last connection closes, its
     /// state is evicted, so a later reconnect restarts the sequence
     /// from zeros. A reconnect that *replaces* a live connection under
-    /// the same sensor id keeps the state (the stale reader's
+    /// the same sensor id keeps the state (the stale connection's
     /// deregistration is a no-op by the ptr-eq rule).
     ///
     /// # Errors
@@ -177,7 +221,7 @@ impl Gateway {
     }
 
     /// The transport topology shared by both boot modes: router +
-    /// accept loop around an already-started runtime.
+    /// reactor pool + accept loop around an already-started runtime.
     fn boot(
         runtime: ServeRuntime,
         predictions: mpsc::Receiver<Prediction>,
@@ -185,10 +229,9 @@ impl Gateway {
         acceptor: Box<dyn Acceptor>,
     ) -> Self {
         let runtime = Arc::new(runtime);
-        let counters = GatewayCounters::new(&runtime);
+        let counters = GatewayCounters::new(runtime.metrics());
         let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
 
         let router = {
             let registry = Arc::clone(&registry);
@@ -200,18 +243,37 @@ impl Gateway {
                 .expect("spawn router")
         };
 
-        let accept = {
-            let ctx = ConnContext {
-                runtime: Arc::clone(&runtime),
-                registry,
-                config,
-                counters,
-                stop: Arc::clone(&stop),
+        let ctx = ReactorCtx {
+            runtime: Arc::clone(&runtime),
+            registry,
+            config,
+            counters,
+            stop: Arc::clone(&stop),
+        };
+        let pool = config.reactors.max(1);
+        let mut injectors = Vec::with_capacity(pool);
+        let mut reactors = Vec::with_capacity(pool);
+        for i in 0..pool {
+            let injector = Arc::new(Injector::new());
+            let handle = {
+                let injector = Arc::clone(&injector);
+                let ctx = ctx.clone();
+                std::thread::Builder::new()
+                    .name(format!("wire-reactor-{i}"))
+                    .spawn(move || reactor_loop(injector, ctx))
+                    // lint:allow(panic, reason = "startup-only: thread spawn failure is unrecoverable resource exhaustion, before any connection is accepted")
+                    .expect("spawn reactor")
             };
-            let conns = Arc::clone(&conns);
+            injectors.push(injector);
+            reactors.push(handle);
+        }
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let counters = ctx.counters.clone();
             std::thread::Builder::new()
                 .name("wire-accept".into())
-                .spawn(move || accept_loop(acceptor, ctx, conns))
+                .spawn(move || accept_loop(acceptor, stop, injectors, counters))
                 // lint:allow(panic, reason = "startup-only: thread spawn failure is unrecoverable resource exhaustion, before any connection is accepted")
                 .expect("spawn acceptor")
         };
@@ -221,7 +283,7 @@ impl Gateway {
             runtime: Some(runtime),
             accept: Some(accept),
             router: Some(router),
-            conns,
+            reactors,
         }
     }
 
@@ -264,22 +326,16 @@ impl Gateway {
             // runtime report below still accounts every record.
             let _ = h.join();
         }
-        let handles = {
-            let mut guard = self
-                .conns
-                .lock()
-                // lint:allow(panic, reason = "poison propagation: a poisoned handle list means a reader thread panicked mid-push; joining the rest would miss it anyway")
-                .expect("connection list poisoned");
-            std::mem::take(&mut *guard)
-        };
-        for h in handles {
+        // The reactors wind every connection down (bounded by
+        // `drain_grace` per phase) and then exit.
+        for h in self.reactors.drain(..) {
             let _ = h.join();
         }
         let runtime = self
             .runtime
             .take()
             .and_then(|rt| Arc::try_unwrap(rt).ok())
-            // lint:allow(panic, reason = "invariant: the accept loop and every reader joined above, so this is the last Arc; failure means a leaked thread and no truthful report exists")
+            // lint:allow(panic, reason = "invariant: the accept loop and every reactor joined above, so this is the last Arc; failure means a leaked thread and no truthful report exists")
             .expect("gateway runtime still shared after joining all threads");
         let report = runtime.shutdown();
         if let Some(h) = self.router.take() {
@@ -297,14 +353,7 @@ impl Drop for Gateway {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let handles = {
-            let mut guard = match self.conns.lock() {
-                Ok(g) => g,
-                Err(_) => return,
-            };
-            std::mem::take(&mut *guard)
-        };
-        for h in handles {
+        for h in self.reactors.drain(..) {
             let _ = h.join();
         }
         // Dropping the runtime Arc joins the serve threads (its Drop),
@@ -316,48 +365,26 @@ impl Drop for Gateway {
     }
 }
 
-/// Everything a connection reader needs, cloned per connection.
-struct ConnContext {
-    runtime: Arc<ServeRuntime>,
-    registry: Registry,
-    config: GatewayConfig,
-    counters: GatewayCounters,
-    stop: Arc<AtomicBool>,
-}
-
-impl ConnContext {
-    fn fork(&self) -> Self {
-        Self {
-            runtime: Arc::clone(&self.runtime),
-            registry: Arc::clone(&self.registry),
-            config: self.config,
-            counters: self.counters.clone(),
-            stop: Arc::clone(&self.stop),
-        }
-    }
-}
-
 fn accept_loop(
     mut acceptor: Box<dyn Acceptor>,
-    ctx: ConnContext,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stop: Arc<AtomicBool>,
+    injectors: Vec<Arc<Injector>>,
+    counters: GatewayCounters,
 ) {
-    let mut next_id: u64 = 0;
-    while !ctx.stop.load(Ordering::Relaxed) {
+    let mut next: usize = 0;
+    while !stop.load(Ordering::Relaxed) {
         match acceptor.accept() {
-            Ok(Accepted::Connection(conn)) => {
-                let id = next_id;
-                next_id += 1;
-                let child = ctx.fork();
-                let spawned = std::thread::Builder::new()
-                    .name(format!("wire-conn-{id}"))
-                    .spawn(move || serve_connection(child, conn));
-                if let Ok(handle) = spawned {
-                    if let Ok(mut guard) = conns.lock() {
-                        guard.push(handle);
+            Ok(Accepted::Connection(conn)) => match conn.into_poll() {
+                Ok(io) => {
+                    if let Some(injector) = injectors.get(next % injectors.len().max(1)) {
+                        injector.push(io);
                     }
+                    next = next.wrapping_add(1);
                 }
-            }
+                // The socket died between accept and non-blocking
+                // setup — same bucket as a pre-handshake drop.
+                Err(_) => counters.transport_timeouts.inc(),
+            },
             Ok(Accepted::TimedOut) => continue,
             Ok(Accepted::Closed) => break,
             Err(_) => break,
@@ -371,10 +398,7 @@ fn route_predictions(
     counters: GatewayCounters,
 ) {
     while let Ok(p) = predictions.recv() {
-        let queue = registry
-            .lock()
-            // lint:allow(panic, reason = "poison propagation: a poisoned registry means a reader panicked mid-(de)registration; routing against it would misdeliver")
-            .expect("connection registry poisoned")
+        let queue = lock_registry(&registry, &counters)
             .get(p.sensor_id.as_ref())
             .cloned();
         let Some(queue) = queue else {
@@ -397,250 +421,209 @@ fn route_predictions(
     }
 }
 
-/// Waits for the client's `Hello` within the handshake deadline.
-fn await_hello(
-    source: &mut Box<dyn FrameSource>,
-    deadline: Instant,
-    stop: &AtomicBool,
-) -> Option<crate::codec::Hello> {
-    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
-        match source.recv() {
-            Ok(RecvOutcome::Frame(Frame::Hello(h))) => return Some(h),
-            Ok(RecvOutcome::Frame(_)) => return None,
-            Ok(RecvOutcome::TimedOut) => continue,
-            Ok(RecvOutcome::Closed) | Err(_) => return None,
-        }
-    }
-    None
-}
-
-fn serve_connection(ctx: ConnContext, conn: Box<dyn Connection>) {
-    let (mut sink, mut source) = conn.split();
-    let deadline = Instant::now() + ctx.config.handshake_timeout;
-    let Some(hello) = await_hello(&mut source, deadline, &ctx.stop) else {
-        ctx.counters.transport_timeouts.inc();
-        return;
-    };
-    ctx.counters.frames_received.inc();
-    if hello.protocol != PROTOCOL_VERSION {
-        let _ = sink.send(&Frame::Nack(NackFrame {
-            seq: 0,
-            reason: NackReason::Unsupported,
-        }));
-        return;
-    }
-    ctx.counters.connections.inc();
-
-    let mut client = ctx.runtime.client(&hello.sensor_id);
-    let shard = client.shard() as u32;
-
-    // The writer half: a bounded outbound queue whose policy is the
-    // slow-client contract, drained by a dedicated thread.
-    let outbound = Arc::new(BoundedQueue::new(
-        ctx.config.outbound_capacity.max(1),
-        ctx.config.outbound_policy,
-    ));
-    register(&ctx.registry, &hello.sensor_id, &outbound);
-    let delivered = Arc::new(AtomicU64::new(0));
-    let writer_dead = Arc::new(AtomicBool::new(false));
-    let writer = {
-        let outbound = Arc::clone(&outbound);
-        let delivered = Arc::clone(&delivered);
-        let writer_dead = Arc::clone(&writer_dead);
-        let counters = ctx.counters.clone();
-        std::thread::Builder::new()
-            .name("wire-writer".into())
-            .spawn(move || write_loop(sink, outbound, delivered, writer_dead, counters))
-    };
-    let Ok(writer) = writer else {
-        if deregister(&ctx.registry, &hello.sensor_id, &outbound) {
-            ctx.runtime.evict_sensor(&hello.sensor_id);
-        }
-        return;
-    };
-    let _ = outbound.push(Frame::HelloAck(HelloAck {
-        protocol: PROTOCOL_VERSION,
-        shard,
-    }));
-
-    // Ingress: decode records, submit under the client's own sequence
-    // numbers, NACK refusals.
-    let mut ingested: u64 = 0;
-    let mut orderly = false;
-    loop {
-        if writer_dead.load(Ordering::Relaxed) {
-            break;
-        }
-        match source.recv() {
-            Ok(RecvOutcome::Frame(frame)) => {
-                ctx.counters.frames_received.inc();
-                match frame {
-                    Frame::Record(r) => {
-                        ingest(&ctx, &mut client, &outbound, r, &mut ingested);
-                    }
-                    Frame::Batch(b) => {
-                        for (i, (record, label)) in b.records.into_iter().enumerate() {
-                            let r = RecordFrame {
-                                seq: b.first_seq.wrapping_add(i as u64),
-                                label,
-                                record,
-                            };
-                            ingest(&ctx, &mut client, &outbound, r, &mut ingested);
-                        }
-                    }
-                    Frame::Goodbye(_) => {
-                        orderly = true;
-                        break;
-                    }
-                    // Hello twice, or server-role frames from a client:
-                    // protocol violation, refuse and close.
-                    _ => {
-                        let _ = outbound.push(Frame::Nack(NackFrame {
-                            seq: 0,
-                            reason: NackReason::Unsupported,
-                        }));
-                        break;
-                    }
-                }
-            }
-            Ok(RecvOutcome::TimedOut) => {
-                if ctx.stop.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            Ok(RecvOutcome::Closed) => break,
-            Err(e) => {
-                if matches!(e, crate::transport::TransportError::Decode(_)) {
-                    ctx.counters.malformed_frames.inc();
-                    let _ = outbound.push(Frame::Nack(NackFrame {
-                        seq: 0,
-                        reason: NackReason::Malformed,
-                    }));
-                }
-                break;
-            }
-        }
-    }
-
-    // Drain: after an orderly Goodbye, wait for the in-flight
-    // predictions to resolve (delivered, or shed by the outbound
-    // policy) before answering with our own Goodbye. Progress-based
-    // grace, so a quarantined record (which never produces a
-    // prediction) cannot hang the connection forever.
-    if orderly {
-        let resolved = |delivered: &AtomicU64, outbound: &BoundedQueue<Frame>| {
-            let c = outbound.counters();
-            delivered.load(Ordering::Relaxed) + c.dropped + c.rejected
-        };
-        let mut last = resolved(&delivered, &outbound);
-        let mut last_progress = Instant::now();
-        while last < ingested && !writer_dead.load(Ordering::Relaxed) {
-            std::thread::sleep(Duration::from_millis(2));
-            let now = resolved(&delivered, &outbound);
-            if now != last {
-                last = now;
-                last_progress = Instant::now();
-            } else if last_progress.elapsed() > ctx.config.drain_grace {
-                break;
-            }
-        }
-        let _ = outbound.push(Frame::Goodbye(Goodbye {
-            count: delivered.load(Ordering::Relaxed),
-        }));
-    }
-
-    if deregister(&ctx.registry, &hello.sensor_id, &outbound) {
-        // This was the sensor's last live route: drop its carried
-        // sequence state so a reconnect restarts from zeros. A no-op
-        // on frame-mode runtimes (no state table).
-        ctx.runtime.evict_sensor(&hello.sensor_id);
-    }
-    outbound.close();
-    let _ = writer.join();
-}
-
-/// Submits one decoded record; refusals go back as NACKs and into the
-/// rejected/shed counters, keeping `decoded = ingested + rejected +
-/// shed` exact.
-fn ingest(
-    ctx: &ConnContext,
-    client: &mut SensorClient,
-    outbound: &Arc<BoundedQueue<Frame>>,
-    r: RecordFrame,
-    ingested: &mut u64,
+pub(crate) fn register(
+    registry: &Registry,
+    sensor_id: &str,
+    queue: &Arc<BoundedQueue<Frame>>,
+    counters: &GatewayCounters,
 ) {
-    ctx.counters.records_decoded.inc();
-    match client.submit_sequenced(r.seq, r.record, r.label) {
-        Ok(()) => {
-            *ingested += 1;
-            ctx.counters.records_ingested.inc();
-        }
-        Err(SubmitError::Rejected) => {
-            ctx.counters.records_rejected.inc();
-            let _ = outbound.push(Frame::Nack(NackFrame {
-                seq: r.seq,
-                reason: NackReason::QueueFull,
-            }));
-        }
-        Err(SubmitError::Shutdown) => {
-            ctx.counters.records_shed.inc();
-            let _ = outbound.push(Frame::Nack(NackFrame {
-                seq: r.seq,
-                reason: NackReason::Shutdown,
-            }));
-        }
-    }
-}
-
-fn write_loop(
-    mut sink: Box<dyn FrameSink>,
-    outbound: Arc<BoundedQueue<Frame>>,
-    delivered: Arc<AtomicU64>,
-    writer_dead: Arc<AtomicBool>,
-    counters: GatewayCounters,
-) {
-    while let Some(frame) = outbound.pop() {
-        let is_prediction = matches!(frame, Frame::Prediction(_));
-        match sink.send(&frame) {
-            Ok(()) => {
-                if is_prediction {
-                    delivered.fetch_add(1, Ordering::Relaxed);
-                    counters.predictions_sent.inc();
-                }
-            }
-            Err(e) => {
-                if matches!(e, crate::transport::TransportError::SendTimeout) {
-                    counters.transport_timeouts.inc();
-                }
-                writer_dead.store(true, Ordering::Relaxed);
-                break;
-            }
-        }
-    }
-}
-
-fn register(registry: &Registry, sensor_id: &str, queue: &Arc<BoundedQueue<Frame>>) {
-    registry
-        .lock()
-        // lint:allow(panic, reason = "poison propagation: a poisoned registry cannot route safely; the panic surfaces through the reader thread join")
-        .expect("connection registry poisoned")
-        .insert(sensor_id.to_string(), Arc::clone(queue));
+    lock_registry(registry, counters).insert(sensor_id.to_string(), Arc::clone(queue));
 }
 
 /// Removes this connection's registry entry — only if it still points
 /// at *our* queue. A reconnect under the same sensor id replaces the
-/// entry; the stale reader must not tear down its successor's route.
-/// Returns whether the entry was removed — `true` means this was the
-/// sensor's last live route, which is the eviction signal for its
-/// temporal sequence state.
-fn deregister(registry: &Registry, sensor_id: &str, queue: &Arc<BoundedQueue<Frame>>) -> bool {
-    let mut guard = registry
-        .lock()
-        // lint:allow(panic, reason = "poison propagation: a poisoned registry cannot route safely; the panic surfaces through the reader thread join")
-        .expect("connection registry poisoned");
+/// entry; the stale connection must not tear down its successor's
+/// route. Returns whether the entry was removed — `true` means this
+/// was the sensor's last live route, which is the eviction signal for
+/// its temporal sequence state.
+pub(crate) fn deregister(
+    registry: &Registry,
+    sensor_id: &str,
+    queue: &Arc<BoundedQueue<Frame>>,
+    counters: &GatewayCounters,
+) -> bool {
+    let mut guard = lock_registry(registry, counters);
     if guard.get(sensor_id).is_some_and(|q| Arc::ptr_eq(q, queue)) {
         guard.remove(sensor_id);
         return true;
     }
     false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::connect;
+    use crate::transport::{
+        loopback, Connection, FrameSink, FrameSource, LoopbackConfig, PollConn, PollRead,
+        PollWrite, TransportError,
+    };
+    use crate::ClientEvent;
+    use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+    use occusense_core::sim::{simulate, ScenarioConfig};
+    use std::io::IoSlice;
+
+    fn quick_detector() -> OccupancyDetector {
+        let train = simulate(&ScenarioConfig::quick(200.0, 11));
+        OccupancyDetector::train(
+            &train,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 1,
+                seed: 11,
+                ..DetectorConfig::default()
+            },
+        )
+    }
+
+    /// A connection whose poll face panics on first read — the
+    /// injected fault for the containment regression test.
+    struct PanicConn;
+
+    struct PanicPoll;
+
+    impl PollConn for PanicPoll {
+        fn poll_read(&mut self, _buf: &mut [u8]) -> Result<PollRead, TransportError> {
+            panic!("injected connection panic");
+        }
+        fn poll_write(&mut self, _bufs: &[IoSlice<'_>]) -> Result<PollWrite, TransportError> {
+            Ok(PollWrite::WouldBlock)
+        }
+        fn peer(&self) -> String {
+            "panic-poll".into()
+        }
+    }
+
+    impl Connection for PanicConn {
+        fn split(self: Box<Self>) -> (Box<dyn FrameSink>, Box<dyn FrameSource>) {
+            unreachable!("the reactor gateway only uses the poll face")
+        }
+        fn into_poll(self: Box<Self>) -> Result<Box<dyn PollConn>, TransportError> {
+            Ok(Box::new(PanicPoll))
+        }
+        fn peer(&self) -> String {
+            "panic-conn".into()
+        }
+    }
+
+    /// Yields one poisoned connection, then delegates to the real
+    /// loopback acceptor.
+    struct PanicFirstAcceptor {
+        injected: bool,
+        inner: Box<dyn Acceptor>,
+    }
+
+    impl Acceptor for PanicFirstAcceptor {
+        fn accept(&mut self) -> Result<Accepted, TransportError> {
+            if !self.injected {
+                self.injected = true;
+                return Ok(Accepted::Connection(Box::new(PanicConn)));
+            }
+            self.inner.accept()
+        }
+    }
+
+    /// Regression (issue 7): a panicking connection handler used to
+    /// poison the shared registry lock and crash every other
+    /// connection's thread through `.expect("connection registry
+    /// poisoned")`. The reactor must contain the panic to the one
+    /// connection, keep serving its siblings, and still close the
+    /// accounting identity.
+    #[test]
+    fn one_panicking_connection_does_not_cascade() {
+        const RECORDS: usize = 40;
+        let detector = quick_detector();
+        let (acceptor, connector) = loopback(LoopbackConfig::default());
+        let gateway = Gateway::start(
+            detector,
+            occusense_serve::ServeConfig {
+                online: None,
+                ..occusense_serve::ServeConfig::default()
+            },
+            GatewayConfig {
+                outbound_policy: BackpressurePolicy::Block,
+                ..GatewayConfig::default()
+            },
+            Box::new(PanicFirstAcceptor {
+                injected: false,
+                inner: Box::new(acceptor),
+            }),
+        )
+        .expect("gateway");
+
+        // The healthy sensor connects *after* the poisoned connection
+        // is already inside the reactor.
+        let conn = connector.connect().expect("connect");
+        let (mut tx, mut rx) =
+            connect(conn, "survivor", Duration::from_secs(5)).expect("handshake");
+        let records: Vec<_> = simulate(&ScenarioConfig::quick(30.0, 3))
+            .records()
+            .iter()
+            .copied()
+            .take(RECORDS)
+            .collect();
+        assert_eq!(records.len(), RECORDS, "scenario must yield enough records");
+        for r in &records {
+            tx.send(*r, None).expect("send");
+        }
+        tx.finish().expect("finish");
+        let mut preds = 0;
+        loop {
+            match rx.recv().expect("receive") {
+                ClientEvent::Prediction(_) => preds += 1,
+                ClientEvent::Goodbye(_) | ClientEvent::Closed => break,
+                ClientEvent::TimedOut => continue,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        drop(rx);
+        let report = gateway.shutdown();
+
+        assert_eq!(preds, RECORDS, "the healthy sensor must be fully served");
+        assert_eq!(
+            report.wire.connection_panics, 1,
+            "the panic must be counted"
+        );
+        assert_eq!(report.faults.connection_panics, 1);
+        assert_eq!(
+            report.wire.connections, 1,
+            "the poisoned connection died before its handshake"
+        );
+        assert_eq!(report.unaccounted_records(), 0);
+    }
+
+    /// The registry lock itself recovers from poison: a thread that
+    /// panics while holding it must not take down registration,
+    /// deregistration or routing — and each recovery is counted.
+    #[test]
+    fn registry_lock_recovers_from_poison() {
+        let metrics = MetricsRegistry::new();
+        let counters = GatewayCounters::new(&metrics);
+        let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
+
+        let queue = Arc::new(BoundedQueue::<Frame>::new(4, BackpressurePolicy::Block));
+        register(&registry, "before", &queue, &counters);
+
+        // Poison the lock.
+        let poisoner = Arc::clone(&registry);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock");
+            panic!("poison the registry");
+        })
+        .join();
+        assert!(registry.is_poisoned(), "the lock must actually be poisoned");
+
+        // Every registry operation still works, against the pre-panic
+        // contents.
+        let queue2 = Arc::new(BoundedQueue::<Frame>::new(4, BackpressurePolicy::Block));
+        register(&registry, "after", &queue2, &counters);
+        assert!(lock_registry(&registry, &counters).contains_key("before"));
+        assert!(lock_registry(&registry, &counters).contains_key("after"));
+        assert!(deregister(&registry, "before", &queue, &counters));
+        assert!(
+            !deregister(&registry, "after", &queue, &counters),
+            "ptr-eq rule must still hold under a recovered lock"
+        );
+        assert!(counters.lock_recoveries.get() >= 4);
+    }
 }

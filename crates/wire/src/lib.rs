@@ -42,23 +42,26 @@ pub mod client;
 pub mod codec;
 pub mod frame;
 pub mod gateway;
+pub mod pipe;
+pub mod reactor;
 pub mod transport;
 
 pub use client::{connect, ClientEvent, WireReceiver, WireSender};
 pub use codec::{
-    BatchFrame, DecodeError, Frame, Goodbye, Hello, HelloAck, NackFrame, NackReason,
-    PredictionFrame, RecordFrame, MAX_BATCH_RECORDS, MAX_SENSOR_ID_BYTES, PROTOCOL_VERSION,
-    RECORD_BYTES,
+    decode_payload, BatchFrame, BatchRecords, BatchView, DecodeError, EncodeError, Frame, Goodbye,
+    Hello, HelloAck, NackFrame, NackReason, PredictionFrame, RecordFrame, MAX_BATCH_RECORDS,
+    MAX_SENSOR_ID_BYTES, PROTOCOL_VERSION, RECORD_BYTES,
 };
 pub use frame::{
     checksum_of, decode_frame, decode_header, fnv1a, Encoder, FrameHeader, DEFAULT_MAX_PAYLOAD,
     HEADER_BYTES, MAGIC,
 };
 pub use gateway::{Gateway, GatewayConfig};
+pub use reactor::FrameBuffer;
 pub use transport::{
     loopback, tcp_connect, tcp_listen, Accepted, Acceptor, Connection, FrameSink, FrameSource,
-    LoopbackAcceptor, LoopbackConfig, LoopbackConnector, RecvOutcome, TcpAcceptor, TcpConfig,
-    TcpConn, TransportError,
+    LoopbackAcceptor, LoopbackConfig, LoopbackConnector, PollConn, PollRead, PollWrite,
+    RecvOutcome, TcpAcceptor, TcpConfig, TcpConn, TransportError,
 };
 
 use std::error::Error;

@@ -1,0 +1,386 @@
+//! A bounded in-process byte pipe: the substrate under the loopback
+//! transport.
+//!
+//! The previous loopback moved whole encoded frames as `Vec<u8>`
+//! messages over an unbounded `mpsc` channel — one heap allocation per
+//! frame and no backpressure. This pipe is a fixed-capacity ring of raw
+//! bytes instead, which buys three things at once:
+//!
+//! * **zero per-frame allocation** — senders copy into the ring,
+//!   receivers copy out of it; the ring itself is allocated once;
+//! * **real backpressure** — a full ring blocks (or reports
+//!   would-block), so loopback soaks exercise the same flow-control
+//!   paths as TCP;
+//! * **a non-blocking edge** — [`PipeReader::try_read`] /
+//!   [`PipeWriter::try_write_vectored`] never park, which is what the
+//!   gateway's readiness reactor polls, while the blocking
+//!   [`std::io::Read`]/[`std::io::Write`] impls (with a configurable
+//!   timeout surfaced as [`std::io::ErrorKind::WouldBlock`]) serve the
+//!   client library's thread-per-half framing, mirroring a `TcpStream`
+//!   with socket timeouts closely enough that one generic framed
+//!   sink/source works over both.
+//!
+//! Close semantics mirror sockets: dropping the writer yields EOF at
+//! the reader once the ring drains; dropping the reader makes writes
+//! fail like `BrokenPipe`.
+
+use std::io::{self, IoSlice, Read, Write};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Default ring capacity: comfortably above the largest legal frame
+/// (a full 512-record batch is ~276 KiB) so no single frame can
+/// deadlock a pipe whose reader is keeping up.
+pub const DEFAULT_PIPE_CAPACITY: usize = 512 * 1024;
+
+struct State {
+    buf: Vec<u8>,
+    /// Index of the first unread byte.
+    head: usize,
+    /// Unread byte count (`<= buf.len()`).
+    len: usize,
+    writer_gone: bool,
+    reader_gone: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when bytes arrive or the writer goes away.
+    readable: Condvar,
+    /// Signalled when space frees up or the reader goes away.
+    writable: Condvar,
+}
+
+/// What a non-blocking read observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRead {
+    /// `n > 0` bytes were copied out.
+    Read(usize),
+    /// The ring is empty but the writer is still alive.
+    Empty,
+    /// The ring is empty and the writer is gone: end of stream.
+    Eof,
+}
+
+/// What a non-blocking write observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryWrite {
+    /// `n > 0` bytes were copied in (possibly fewer than offered).
+    Wrote(usize),
+    /// The ring is full; try again after the reader drains.
+    Full,
+    /// The reader is gone; every byte written now would be lost.
+    Closed,
+}
+
+/// Creates a bounded byte pipe. `capacity` is clamped to at least one
+/// byte; `timeout` bounds the *blocking* `Read`/`Write` impls (the
+/// `try_*` calls never wait).
+pub fn pipe(capacity: usize, timeout: Duration) -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: vec![0u8; capacity.max(1)],
+            head: 0,
+            len: 0,
+            writer_gone: false,
+            reader_gone: false,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (
+        PipeWriter {
+            shared: Arc::clone(&shared),
+            timeout,
+        },
+        PipeReader { shared, timeout },
+    )
+}
+
+// The pipe is an internal transport substrate with no user code inside
+// its critical sections; a poisoned mutex here only means a peer thread
+// died mid-copy, and the byte ring is still structurally valid (head /
+// len are updated before unlocking), so both ends recover the guard and
+// keep going rather than amplifying the crash.
+fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Copies as much of `bufs` as fits into the ring. Returns bytes
+/// copied.
+fn ring_write(state: &mut State, bufs: &[IoSlice<'_>]) -> usize {
+    let capacity = state.buf.len();
+    let mut wrote = 0usize;
+    for slice in bufs {
+        let mut src: &[u8] = slice;
+        while !src.is_empty() && state.len < capacity {
+            let tail = (state.head + state.len) % capacity;
+            // Contiguous writable run starting at `tail`: to the end of
+            // the ring, capped by the free space (which ends at `head`
+            // when the data has wrapped).
+            let free = capacity - state.len;
+            let contiguous = (capacity - tail).min(free);
+            let n = src.len().min(contiguous);
+            if n == 0 {
+                break;
+            }
+            // `n ≤ src.len()` by the `min` above, so the split cannot
+            // fall out of bounds.
+            let (chunk, rest) = src.split_at(n);
+            if let Some(dst) = state.buf.get_mut(tail..tail + n) {
+                dst.copy_from_slice(chunk);
+            }
+            state.len += n;
+            wrote += n;
+            src = rest;
+        }
+        if state.len == capacity {
+            break;
+        }
+    }
+    wrote
+}
+
+/// Copies up to `out.len()` bytes out of the ring. Returns bytes
+/// copied.
+fn ring_read(state: &mut State, out: &mut [u8]) -> usize {
+    let capacity = state.buf.len();
+    let mut read = 0usize;
+    while read < out.len() && state.len > 0 {
+        let contiguous = (capacity - state.head).min(state.len);
+        let n = contiguous.min(out.len() - read);
+        if n == 0 {
+            break;
+        }
+        if let (Some(dst), Some(src)) = (
+            out.get_mut(read..read + n),
+            state.buf.get(state.head..state.head + n),
+        ) {
+            dst.copy_from_slice(src);
+        }
+        state.head = (state.head + n) % capacity;
+        state.len -= n;
+        read += n;
+    }
+    read
+}
+
+/// The writing end of a [`pipe`].
+pub struct PipeWriter {
+    shared: Arc<Shared>,
+    timeout: Duration,
+}
+
+impl PipeWriter {
+    /// Non-blocking vectored write: copies as much of `bufs` as fits,
+    /// never parks.
+    pub fn try_write_vectored(&self, bufs: &[IoSlice<'_>]) -> TryWrite {
+        let mut state = lock(&self.shared);
+        if state.reader_gone {
+            return TryWrite::Closed;
+        }
+        let wrote = ring_write(&mut state, bufs);
+        drop(state);
+        if wrote > 0 {
+            self.shared.readable.notify_one();
+            TryWrite::Wrote(wrote)
+        } else {
+            TryWrite::Full
+        }
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let deadline = Instant::now() + self.timeout;
+        let mut state = lock(&self.shared);
+        loop {
+            if state.reader_gone {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "pipe reader dropped",
+                ));
+            }
+            let wrote = ring_write(&mut state, &[IoSlice::new(buf)]);
+            if wrote > 0 {
+                drop(state);
+                self.shared.readable.notify_one();
+                return Ok(wrote);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "pipe write timed out",
+                ));
+            }
+            let (guard, _timeout) = self
+                .shared
+                .writable
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared);
+        state.writer_gone = true;
+        drop(state);
+        self.shared.readable.notify_all();
+    }
+}
+
+/// The reading end of a [`pipe`].
+pub struct PipeReader {
+    shared: Arc<Shared>,
+    timeout: Duration,
+}
+
+impl PipeReader {
+    /// Adjusts how long the blocking [`Read`] impl waits before
+    /// reporting [`io::ErrorKind::WouldBlock`] (the pipe analogue of a
+    /// socket read timeout).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Non-blocking read: copies whatever is buffered, never parks.
+    pub fn try_read(&self, out: &mut [u8]) -> TryRead {
+        let mut state = lock(&self.shared);
+        let read = ring_read(&mut state, out);
+        let writer_gone = state.writer_gone;
+        let empty = state.len == 0;
+        drop(state);
+        if read > 0 {
+            self.shared.writable.notify_one();
+            TryRead::Read(read)
+        } else if writer_gone && empty {
+            TryRead::Eof
+        } else {
+            TryRead::Empty
+        }
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let deadline = Instant::now() + self.timeout;
+        let mut state = lock(&self.shared);
+        loop {
+            let read = ring_read(&mut state, out);
+            if read > 0 {
+                drop(state);
+                self.shared.writable.notify_one();
+                return Ok(read);
+            }
+            if state.writer_gone {
+                return Ok(0); // clean EOF
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "pipe read timed out",
+                ));
+            }
+            let (guard, _timeout) = self
+                .shared
+                .readable
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared);
+        state.reader_gone = true;
+        drop(state);
+        self.shared.writable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_across_the_ring_seam() {
+        let (mut w, mut r) = pipe(8, Duration::from_millis(200));
+        // Fill, drain partially, refill: forces head to wrap.
+        w.write_all(&[1, 2, 3, 4, 5, 6]).unwrap();
+        let mut out = [0u8; 4];
+        r.read_exact(&mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+        w.write_all(&[7, 8, 9, 10, 11, 12]).unwrap();
+        let mut rest = [0u8; 8];
+        r.read_exact(&mut rest).unwrap();
+        assert_eq!(rest, [5, 6, 7, 8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn blocking_write_waits_for_the_reader_and_times_out_when_full() {
+        let (mut w, r) = pipe(4, Duration::from_millis(50));
+        w.write_all(&[0; 4]).unwrap();
+        let err = w.write(&[1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let mut out = [0u8; 2];
+        assert_eq!(r.try_read(&mut out), TryRead::Read(2));
+        assert_eq!(w.write(&[1]).unwrap(), 1);
+    }
+
+    #[test]
+    fn nonblocking_calls_never_park_and_report_peer_loss() {
+        let (w, r) = pipe(4, Duration::from_millis(10));
+        let mut out = [0u8; 4];
+        assert_eq!(r.try_read(&mut out), TryRead::Empty);
+        assert_eq!(
+            w.try_write_vectored(&[IoSlice::new(&[1, 2])]),
+            TryWrite::Wrote(2)
+        );
+        assert_eq!(
+            w.try_write_vectored(&[IoSlice::new(&[3, 4]), IoSlice::new(&[5])]),
+            TryWrite::Wrote(2)
+        );
+        assert_eq!(w.try_write_vectored(&[IoSlice::new(&[6])]), TryWrite::Full);
+        assert_eq!(r.try_read(&mut out), TryRead::Read(4));
+        drop(w);
+        assert_eq!(r.try_read(&mut out), TryRead::Eof);
+    }
+
+    #[test]
+    fn dropping_the_reader_breaks_the_writer() {
+        let (mut w, r) = pipe(4, Duration::from_millis(10));
+        drop(r);
+        assert_eq!(w.write(&[1]).unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(
+            w.try_write_vectored(&[IoSlice::new(&[1])]),
+            TryWrite::Closed
+        );
+    }
+
+    #[test]
+    fn eof_only_after_the_ring_drains() {
+        let (mut w, mut r) = pipe(8, Duration::from_millis(10));
+        w.write_all(&[9, 9]).unwrap();
+        drop(w);
+        let mut out = [0u8; 8];
+        assert_eq!(r.read(&mut out).unwrap(), 2);
+        assert_eq!(r.read(&mut out).unwrap(), 0);
+    }
+}

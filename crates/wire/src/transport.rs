@@ -3,28 +3,32 @@
 //!
 //! Two implementations share the [`Connection`] / [`Acceptor`] traits:
 //!
-//! * **loopback** — in-process channels of encoded byte vectors. The
-//!   full codec + envelope runs on both ends (so checksums and framing
-//!   are exercised), but delivery is deterministic and allocation-cheap
-//!   — the right substrate for tests and the committed benchmark
-//!   baseline.
+//! * **loopback** — in-process bounded byte pipes (see
+//!   [`crate::pipe`]). The full codec + envelope runs on both ends (so
+//!   checksums, framing *and* partial-frame reassembly are exercised),
+//!   delivery is deterministic, the ring gives real backpressure, and
+//!   no per-frame allocation happens in the transport itself — the
+//!   right substrate for tests and the committed benchmark baseline.
 //! * **TCP** — a std-only `TcpStream` transport with per-connection
 //!   read/write timeouts, a max-frame-size limit enforced *before*
 //!   buffering the payload, and an incremental reader that preserves
 //!   partial frames across read timeouts (a slow sensor on a congested
 //!   link resumes mid-frame, it does not desynchronise).
 //!
-//! Both sides of a connection are split into an independently owned
-//! [`FrameSink`] and [`FrameSource`], so a client can run its sender
-//! and receiver on separate threads without locks — mirroring how the
-//! gateway itself pairs a reader thread with a writer thread per
-//! connection.
+//! Each connection offers two faces:
+//!
+//! * [`Connection::split`] — blocking, independently owned
+//!   [`FrameSink`] / [`FrameSource`] halves for client threads;
+//! * [`Connection::into_poll`] — a non-blocking [`PollConn`] for the
+//!   gateway's readiness reactor, exposing raw byte reads and vectored
+//!   writes that never park a thread.
 
-use crate::codec::{DecodeError, Frame};
+use crate::codec::{DecodeError, EncodeError, Frame};
 use crate::frame::{decode_frame, decode_header, Encoder, DEFAULT_MAX_PAYLOAD, HEADER_BYTES};
+use crate::pipe::{self, PipeReader, PipeWriter, TryRead, TryWrite};
 use std::error::Error;
 use std::fmt;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -44,6 +48,10 @@ pub enum TransportError {
     },
     /// The peer's bytes failed to frame or decode.
     Decode(DecodeError),
+    /// A frame refused to encode (a protocol bound was exceeded).
+    /// Nothing was written to the wire, but the caller was about to
+    /// violate its sequencing contract, so the connection should close.
+    Encode(EncodeError),
     /// The peer went away mid-conversation (EOF inside a frame, or a
     /// closed in-process channel).
     Disconnected {
@@ -63,6 +71,7 @@ impl fmt::Display for TransportError {
                 write!(f, "transport i/o ({context}): {error}")
             }
             TransportError::Decode(e) => write!(f, "transport decode: {e}"),
+            TransportError::Encode(e) => write!(f, "transport encode: {e}"),
             TransportError::Disconnected { context } => {
                 write!(f, "peer disconnected ({context})")
             }
@@ -76,6 +85,12 @@ impl Error for TransportError {}
 impl From<DecodeError> for TransportError {
     fn from(e: DecodeError) -> Self {
         TransportError::Decode(e)
+    }
+}
+
+impl From<EncodeError> for TransportError {
+    fn from(e: EncodeError) -> Self {
+        TransportError::Encode(e)
     }
 }
 
@@ -118,10 +133,64 @@ pub trait FrameSource: Send {
     fn recv(&mut self) -> Result<RecvOutcome, TransportError>;
 }
 
+/// What a non-blocking read observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollRead {
+    /// `n > 0` bytes landed in the caller's buffer.
+    Data(usize),
+    /// Nothing available right now; poll again later.
+    WouldBlock,
+    /// The peer closed its sending side (clean EOF).
+    Eof,
+}
+
+/// What a non-blocking vectored write observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollWrite {
+    /// `n > 0` bytes were accepted (possibly fewer than offered).
+    Wrote(usize),
+    /// The peer's buffer is full; retry after it drains.
+    WouldBlock,
+}
+
+/// The non-blocking face of a connection, driven by the gateway's
+/// readiness reactor: raw byte reads and vectored writes that never
+/// park the calling thread.
+pub trait PollConn: Send {
+    /// Reads whatever bytes are available into `buf` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Any fatal [`TransportError`]; a momentarily-empty peer is
+    /// [`PollRead::WouldBlock`], not an error.
+    fn poll_read(&mut self, buf: &mut [u8]) -> Result<PollRead, TransportError>;
+
+    /// Writes as much of `bufs` as the peer will take without
+    /// blocking. Partial writes are normal; the caller tracks its
+    /// offset.
+    ///
+    /// # Errors
+    ///
+    /// Any fatal [`TransportError`]; a momentarily-full peer is
+    /// [`PollWrite::WouldBlock`], not an error.
+    fn poll_write(&mut self, bufs: &[IoSlice<'_>]) -> Result<PollWrite, TransportError>;
+
+    /// A human-readable peer description (diagnostics only).
+    fn peer(&self) -> String;
+}
+
 /// One established sensor↔gateway connection, not yet split.
 pub trait Connection: Send {
-    /// Splits the connection into independently owned halves.
+    /// Splits the connection into independently owned blocking halves.
     fn split(self: Box<Self>) -> (Box<dyn FrameSink>, Box<dyn FrameSource>);
+
+    /// Converts the connection into its non-blocking [`PollConn`]
+    /// face for the readiness reactor.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure while reconfiguring the underlying socket.
+    fn into_poll(self: Box<Self>) -> Result<Box<dyn PollConn>, TransportError>;
 
     /// A human-readable peer description (diagnostics only).
     fn peer(&self) -> String;
@@ -149,6 +218,147 @@ pub trait Acceptor: Send {
 }
 
 // ---------------------------------------------------------------------
+// Generic framed halves over any blocking byte stream
+// ---------------------------------------------------------------------
+//
+// `TcpStream` (with socket timeouts) and the pipe halves (with their
+// built-in timeout) expose the same blocking `Read`/`Write` shape, so
+// one framed sink and one incremental framed source serve both
+// transports — the loopback no longer has a separate, weaker framing
+// path.
+
+fn map_write_err(error: std::io::Error, context: &'static str) -> TransportError {
+    match error.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::SendTimeout,
+        ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted => {
+            TransportError::Disconnected { context }
+        }
+        _ => TransportError::Io { context, error },
+    }
+}
+
+struct StreamSink<W: Write + Send> {
+    stream: W,
+    encoder: Encoder,
+    buf: Vec<u8>,
+    context: &'static str,
+}
+
+impl<W: Write + Send> StreamSink<W> {
+    fn new(stream: W, context: &'static str) -> Self {
+        Self {
+            stream,
+            encoder: Encoder::new(),
+            buf: Vec::new(),
+            context,
+        }
+    }
+}
+
+impl<W: Write + Send> FrameSink for StreamSink<W> {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.buf.clear();
+        self.encoder.encode_into(frame, &mut self.buf)?;
+        self.stream
+            .write_all(&self.buf)
+            .map_err(|e| map_write_err(e, self.context))
+    }
+}
+
+/// Incremental frame reader: reads the 20-byte header, learns the
+/// payload length (refusing oversize frames before buffering them),
+/// then reads exactly the payload. `filled` persists across timeouts,
+/// so a frame split across many reads reassembles correctly.
+struct StreamSource<R: Read + Send> {
+    stream: R,
+    buf: Vec<u8>,
+    filled: usize,
+    payload_len: Option<usize>,
+    max_payload: usize,
+    context: &'static str,
+}
+
+impl<R: Read + Send> StreamSource<R> {
+    fn new(stream: R, max_payload: usize, context: &'static str) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            filled: 0,
+            payload_len: None,
+            max_payload,
+            context,
+        }
+    }
+}
+
+impl<R: Read + Send> FrameSource for StreamSource<R> {
+    fn recv(&mut self) -> Result<RecvOutcome, TransportError> {
+        loop {
+            let target = match self.payload_len {
+                None => HEADER_BYTES,
+                Some(len) => HEADER_BYTES + len,
+            };
+            if self.filled < target {
+                if self.buf.len() < target {
+                    self.buf.resize(target, 0);
+                }
+                let Some(dst) = self.buf.get_mut(self.filled..target) else {
+                    // filled < target ≤ buf.len() by the resize above.
+                    return Err(TransportError::Disconnected {
+                        context: self.context,
+                    });
+                };
+                match self.stream.read(dst) {
+                    Ok(0) => {
+                        return if self.filled == 0 {
+                            Ok(RecvOutcome::Closed)
+                        } else {
+                            Err(TransportError::Disconnected {
+                                context: "eof inside a frame",
+                            })
+                        };
+                    }
+                    Ok(n) => {
+                        self.filled += n;
+                        continue;
+                    }
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        return Ok(RecvOutcome::TimedOut);
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(error) => {
+                        return Err(TransportError::Io {
+                            context: self.context,
+                            error,
+                        });
+                    }
+                }
+            }
+            if self.payload_len.is_none() {
+                let header = decode_header(&self.buf)?;
+                if header.payload_len > self.max_payload {
+                    return Err(DecodeError::Oversize {
+                        len: header.payload_len,
+                        max: self.max_payload,
+                    }
+                    .into());
+                }
+                self.payload_len = Some(header.payload_len);
+                continue;
+            }
+            // Header + payload complete: decode, verify, reset.
+            let frame_bytes = self.buf.get(..target).ok_or(TransportError::Disconnected {
+                context: self.context,
+            })?;
+            let (frame, _consumed) = decode_frame(frame_bytes, self.max_payload)?;
+            self.filled = 0;
+            self.payload_len = None;
+            return Ok(RecvOutcome::Frame(frame));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Loopback
 // ---------------------------------------------------------------------
 
@@ -157,18 +367,27 @@ pub trait Acceptor: Send {
 pub struct LoopbackConfig {
     /// How long a `recv` waits before reporting `TimedOut`.
     pub recv_timeout: Duration,
+    /// How long a blocking `send` waits for ring space before failing
+    /// with [`TransportError::SendTimeout`] — the loopback face of a
+    /// sensor that stopped reading.
+    pub send_timeout: Duration,
     /// How long an `accept` waits before reporting `TimedOut`.
     pub accept_timeout: Duration,
     /// Per-frame payload ceiling (same meaning as on TCP).
     pub max_payload: usize,
+    /// Byte capacity of each direction's ring buffer; bounds how far a
+    /// fast writer can run ahead of a slow reader.
+    pub pipe_capacity: usize,
 }
 
 impl Default for LoopbackConfig {
     fn default() -> Self {
         Self {
             recv_timeout: Duration::from_millis(50),
+            send_timeout: Duration::from_secs(2),
             accept_timeout: Duration::from_millis(50),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            pipe_capacity: pipe::DEFAULT_PIPE_CAPACITY,
         }
     }
 }
@@ -184,11 +403,11 @@ pub fn loopback(config: LoopbackConfig) -> (LoopbackAcceptor, LoopbackConnector)
     )
 }
 
-/// One direction of a loopback connection: encoded frames as byte
-/// vectors over an in-process channel.
+/// One side of a loopback connection: a byte-pipe reader paired with a
+/// byte-pipe writer, running the full framing stack on both ends.
 struct LoopbackConn {
-    tx: mpsc::Sender<Vec<u8>>,
-    rx: mpsc::Receiver<Vec<u8>>,
+    tx: PipeWriter,
+    rx: PipeReader,
     config: LoopbackConfig,
     peer: &'static str,
 }
@@ -196,15 +415,21 @@ struct LoopbackConn {
 impl Connection for LoopbackConn {
     fn split(self: Box<Self>) -> (Box<dyn FrameSink>, Box<dyn FrameSource>) {
         (
-            Box::new(LoopbackSink {
-                tx: self.tx,
-                encoder: Encoder::new(),
-            }),
-            Box::new(LoopbackSource {
-                rx: self.rx,
-                config: self.config,
-            }),
+            Box::new(StreamSink::new(self.tx, "loopback send")),
+            Box::new(StreamSource::new(
+                self.rx,
+                self.config.max_payload,
+                "loopback recv",
+            )),
         )
+    }
+
+    fn into_poll(self: Box<Self>) -> Result<Box<dyn PollConn>, TransportError> {
+        Ok(Box::new(PipePoll {
+            tx: self.tx,
+            rx: self.rx,
+            peer: self.peer,
+        }))
     }
 
     fn peer(&self) -> String {
@@ -212,43 +437,34 @@ impl Connection for LoopbackConn {
     }
 }
 
-struct LoopbackSink {
-    tx: mpsc::Sender<Vec<u8>>,
-    encoder: Encoder,
+/// Non-blocking face of a loopback connection.
+struct PipePoll {
+    tx: PipeWriter,
+    rx: PipeReader,
+    peer: &'static str,
 }
 
-impl FrameSink for LoopbackSink {
-    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        let bytes = self.encoder.encode(frame);
-        self.tx
-            .send(bytes)
-            .map_err(|_| TransportError::Disconnected {
-                context: "loopback send",
-            })
+impl PollConn for PipePoll {
+    fn poll_read(&mut self, buf: &mut [u8]) -> Result<PollRead, TransportError> {
+        Ok(match self.rx.try_read(buf) {
+            TryRead::Read(n) => PollRead::Data(n),
+            TryRead::Empty => PollRead::WouldBlock,
+            TryRead::Eof => PollRead::Eof,
+        })
     }
-}
 
-struct LoopbackSource {
-    rx: mpsc::Receiver<Vec<u8>>,
-    config: LoopbackConfig,
-}
-
-impl FrameSource for LoopbackSource {
-    fn recv(&mut self) -> Result<RecvOutcome, TransportError> {
-        match self.rx.recv_timeout(self.config.recv_timeout) {
-            Ok(bytes) => {
-                let (frame, consumed) = decode_frame(&bytes, self.config.max_payload)?;
-                if consumed != bytes.len() {
-                    return Err(DecodeError::TrailingBytes {
-                        extra: bytes.len().saturating_sub(consumed),
-                    }
-                    .into());
-                }
-                Ok(RecvOutcome::Frame(frame))
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => Ok(RecvOutcome::TimedOut),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(RecvOutcome::Closed),
+    fn poll_write(&mut self, bufs: &[IoSlice<'_>]) -> Result<PollWrite, TransportError> {
+        match self.tx.try_write_vectored(bufs) {
+            TryWrite::Wrote(n) => Ok(PollWrite::Wrote(n)),
+            TryWrite::Full => Ok(PollWrite::WouldBlock),
+            TryWrite::Closed => Err(TransportError::Disconnected {
+                context: "loopback poll write",
+            }),
         }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.to_string()
     }
 }
 
@@ -283,17 +499,24 @@ impl LoopbackConnector {
     ///
     /// [`TransportError::Disconnected`] when the acceptor is gone.
     pub fn connect(&self) -> Result<Box<dyn Connection>, TransportError> {
-        let (c2s_tx, c2s_rx) = mpsc::channel();
-        let (s2c_tx, s2c_rx) = mpsc::channel();
+        // Blocking reads on the client half use the recv timeout;
+        // blocking writes on either half use the send timeout. The
+        // gateway half is polled non-blocking, where timeouts are moot.
+        let (c2s_tx, c2s_rx) = pipe::pipe(self.config.pipe_capacity, self.config.send_timeout);
+        let (s2c_tx, s2c_rx) = pipe::pipe(self.config.pipe_capacity, self.config.send_timeout);
+        let mut client_rx = s2c_rx;
+        client_rx.set_timeout(self.config.recv_timeout);
+        let mut server_rx = c2s_rx;
+        server_rx.set_timeout(self.config.recv_timeout);
         let server = LoopbackConn {
             tx: s2c_tx,
-            rx: c2s_rx,
+            rx: server_rx,
             config: self.config,
             peer: "loopback-client",
         };
         let client = LoopbackConn {
             tx: c2s_tx,
-            rx: s2c_rx,
+            rx: client_rx,
             config: self.config,
             peer: "loopback-gateway",
         };
@@ -447,19 +670,26 @@ impl TcpConn {
 impl Connection for TcpConn {
     fn split(self: Box<Self>) -> (Box<dyn FrameSink>, Box<dyn FrameSource>) {
         (
-            Box::new(TcpSink {
-                stream: self.write,
-                encoder: Encoder::new(),
-                buf: Vec::new(),
-            }),
-            Box::new(TcpSource {
-                stream: self.read,
-                buf: Vec::new(),
-                filled: 0,
-                payload_len: None,
-                max_payload: self.config.max_payload,
-            }),
+            Box::new(StreamSink::new(self.write, "tcp send")),
+            Box::new(StreamSource::new(
+                self.read,
+                self.config.max_payload,
+                "tcp recv",
+            )),
         )
+    }
+
+    fn into_poll(self: Box<Self>) -> Result<Box<dyn PollConn>, TransportError> {
+        // One nonblocking socket serves both directions in the
+        // reactor; the write clone is dropped (same file description,
+        // so nonblocking applies to the socket as a whole).
+        self.read
+            .set_nonblocking(true)
+            .map_err(io_err("set nonblocking"))?;
+        Ok(Box::new(TcpPoll {
+            stream: self.read,
+            peer: self.peer,
+        }))
     }
 
     fn peer(&self) -> String {
@@ -467,109 +697,67 @@ impl Connection for TcpConn {
     }
 }
 
-struct TcpSink {
+/// Non-blocking face of a TCP connection.
+struct TcpPoll {
     stream: TcpStream,
-    encoder: Encoder,
-    buf: Vec<u8>,
+    peer: String,
 }
 
-impl FrameSink for TcpSink {
-    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        self.buf.clear();
-        self.encoder.encode_into(frame, &mut self.buf);
-        self.stream
-            .write_all(&self.buf)
-            .map_err(|error| match error.kind() {
-                ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::SendTimeout,
-                ErrorKind::BrokenPipe
-                | ErrorKind::ConnectionReset
-                | ErrorKind::ConnectionAborted => TransportError::Disconnected {
-                    context: "tcp send",
-                },
-                _ => TransportError::Io {
-                    context: "tcp send",
-                    error,
-                },
-            })
-    }
-}
-
-/// Incremental frame reader: reads the 20-byte header, learns the
-/// payload length (refusing oversize frames before buffering them),
-/// then reads exactly the payload. `filled` persists across timeouts,
-/// so a frame split across many socket reads reassembles correctly.
-struct TcpSource {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    filled: usize,
-    payload_len: Option<usize>,
-    max_payload: usize,
-}
-
-impl FrameSource for TcpSource {
-    fn recv(&mut self) -> Result<RecvOutcome, TransportError> {
-        loop {
-            let target = match self.payload_len {
-                None => HEADER_BYTES,
-                Some(len) => HEADER_BYTES + len,
-            };
-            if self.filled < target {
-                if self.buf.len() < target {
-                    self.buf.resize(target, 0);
-                }
-                let Some(dst) = self.buf.get_mut(self.filled..target) else {
-                    // filled < target ≤ buf.len() by the resize above.
-                    return Err(TransportError::Disconnected {
-                        context: "tcp reader state",
-                    });
-                };
-                match self.stream.read(dst) {
-                    Ok(0) => {
-                        return if self.filled == 0 {
-                            Ok(RecvOutcome::Closed)
-                        } else {
-                            Err(TransportError::Disconnected {
-                                context: "eof inside a frame",
-                            })
-                        };
-                    }
-                    Ok(n) => {
-                        self.filled += n;
-                        continue;
-                    }
-                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                        return Ok(RecvOutcome::TimedOut);
-                    }
-                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                    Err(error) => {
-                        return Err(TransportError::Io {
-                            context: "tcp recv",
-                            error,
-                        });
-                    }
-                }
+impl PollConn for TcpPoll {
+    fn poll_read(&mut self, buf: &mut [u8]) -> Result<PollRead, TransportError> {
+        match self.stream.read(buf) {
+            Ok(0) => Ok(PollRead::Eof),
+            Ok(n) => Ok(PollRead::Data(n)),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Ok(PollRead::WouldBlock)
             }
-            if self.payload_len.is_none() {
-                let header = decode_header(&self.buf)?;
-                if header.payload_len > self.max_payload {
-                    return Err(DecodeError::Oversize {
-                        len: header.payload_len,
-                        max: self.max_payload,
-                    }
-                    .into());
-                }
-                self.payload_len = Some(header.payload_len);
-                continue;
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(PollRead::WouldBlock),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+                ) =>
+            {
+                Err(TransportError::Disconnected {
+                    context: "tcp poll read",
+                })
             }
-            // Header + payload complete: decode, verify, reset.
-            let frame_bytes = self.buf.get(..target).ok_or(TransportError::Disconnected {
-                context: "tcp reader state",
-            })?;
-            let (frame, _consumed) = decode_frame(frame_bytes, self.max_payload)?;
-            self.filled = 0;
-            self.payload_len = None;
-            return Ok(RecvOutcome::Frame(frame));
+            Err(error) => Err(TransportError::Io {
+                context: "tcp poll read",
+                error,
+            }),
         }
+    }
+
+    fn poll_write(&mut self, bufs: &[IoSlice<'_>]) -> Result<PollWrite, TransportError> {
+        match self.stream.write_vectored(bufs) {
+            Ok(0) => Ok(PollWrite::WouldBlock),
+            Ok(n) => Ok(PollWrite::Wrote(n)),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Ok(PollWrite::WouldBlock)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(PollWrite::WouldBlock),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::BrokenPipe
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                ) =>
+            {
+                Err(TransportError::Disconnected {
+                    context: "tcp poll write",
+                })
+            }
+            Err(error) => Err(TransportError::Io {
+                context: "tcp poll write",
+                error,
+            }),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
     }
 }
 
@@ -631,6 +819,51 @@ mod tests {
     }
 
     #[test]
+    fn loopback_poll_face_moves_bytes_without_blocking() {
+        let (mut acceptor, connector) = loopback(LoopbackConfig::default());
+        let client = connector.connect().unwrap();
+        let Accepted::Connection(server) = acceptor.accept().unwrap() else {
+            panic!("no connection");
+        };
+        let mut poll = server.into_poll().unwrap();
+        let mut scratch = [0u8; 64];
+        assert_eq!(poll.poll_read(&mut scratch).unwrap(), PollRead::WouldBlock);
+
+        let (mut ctx, mut crx) = client.split();
+        let goodbye = Frame::Goodbye(Goodbye { count: 2 });
+        ctx.send(&goodbye).unwrap();
+        let mut collected = Vec::new();
+        loop {
+            match poll.poll_read(&mut scratch).unwrap() {
+                PollRead::Data(n) => collected.extend_from_slice(&scratch[..n]),
+                PollRead::WouldBlock => break,
+                PollRead::Eof => panic!("unexpected eof"),
+            }
+        }
+        let (frame, consumed) = decode_frame(&collected, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(frame, goodbye);
+        assert_eq!(consumed, collected.len());
+
+        // Vectored write split across two slices reassembles at the
+        // blocking client half.
+        let bytes = Encoder::new().encode(&goodbye).unwrap();
+        let (a, b) = bytes.split_at(7);
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let slices = if offset < a.len() {
+                vec![IoSlice::new(&a[offset..]), IoSlice::new(b)]
+            } else {
+                vec![IoSlice::new(&b[offset - a.len()..])]
+            };
+            match poll.poll_write(&slices).unwrap() {
+                PollWrite::Wrote(n) => offset += n,
+                PollWrite::WouldBlock => std::thread::yield_now(),
+            }
+        }
+        assert_eq!(recv_frame(&mut crx), goodbye);
+    }
+
+    #[test]
     fn tcp_round_trips_over_localhost() {
         let (mut acceptor, addr) = tcp_listen("127.0.0.1:0", TcpConfig::default()).unwrap();
         let client = tcp_connect(&addr.to_string(), TcpConfig::default()).unwrap();
@@ -673,7 +906,7 @@ mod tests {
         };
         let (_stx, mut srx) = server.split();
         let frame = Frame::Goodbye(Goodbye { count: 777 });
-        let bytes = Encoder::new().encode(&frame);
+        let bytes = Encoder::new().encode(&frame).unwrap();
         // Dribble the frame one byte at a time across the socket.
         for b in &bytes {
             raw.write_all(std::slice::from_ref(b)).unwrap();
@@ -721,5 +954,28 @@ mod tests {
             err,
             TransportError::Decode(DecodeError::Oversize { max: 16, .. })
         ));
+    }
+
+    #[test]
+    fn oversize_sends_are_refused_before_any_byte_moves() {
+        let (mut acceptor, connector) = loopback(LoopbackConfig::default());
+        let client = connector.connect().unwrap();
+        let Accepted::Connection(server) = acceptor.accept().unwrap() else {
+            panic!("no connection");
+        };
+        let (mut ctx, _crx) = client.split();
+        let oversize = Frame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            sensor_id: "x".repeat(crate::codec::MAX_SENSOR_ID_BYTES + 1),
+        });
+        assert!(matches!(
+            ctx.send(&oversize),
+            Err(TransportError::Encode(EncodeError::SensorIdTooLong { .. }))
+        ));
+        // The connection is still clean: a well-formed frame follows.
+        let (_stx, mut srx) = server.split();
+        let goodbye = Frame::Goodbye(Goodbye { count: 1 });
+        ctx.send(&goodbye).unwrap();
+        assert_eq!(recv_frame(&mut srx), goodbye);
     }
 }

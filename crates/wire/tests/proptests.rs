@@ -7,9 +7,9 @@
 
 use occusense_dataset::CsiRecord;
 use occusense_wire::{
-    decode_frame, BatchFrame, DecodeError, Encoder, Frame, Goodbye, Hello, HelloAck, NackFrame,
-    NackReason, PredictionFrame, RecordFrame, DEFAULT_MAX_PAYLOAD, HEADER_BYTES, MAX_BATCH_RECORDS,
-    PROTOCOL_VERSION,
+    decode_frame, BatchFrame, DecodeError, EncodeError, Encoder, Frame, Goodbye, Hello, HelloAck,
+    NackFrame, NackReason, PredictionFrame, RecordFrame, DEFAULT_MAX_PAYLOAD, HEADER_BYTES,
+    MAX_BATCH_RECORDS, MAX_SENSOR_ID_BYTES, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -30,7 +30,7 @@ fn record_from_bits(bits: &[u64], occupants: u8) -> CsiRecord {
 /// of encodings *is* bitwise equality of frames — including NaN
 /// payloads, which `f64::eq` would wrongly report as unequal.
 fn assert_roundtrip(frame: &Frame) {
-    let bytes = Encoder::default().encode(frame);
+    let bytes = Encoder::default().encode(frame).expect("encodable frame");
     let (decoded, consumed) =
         decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).expect("valid frame must decode");
     assert_eq!(
@@ -39,7 +39,9 @@ fn assert_roundtrip(frame: &Frame) {
         "decoder must consume the whole envelope"
     );
     assert_eq!(
-        Encoder::default().encode(&decoded),
+        Encoder::default()
+            .encode(&decoded)
+            .expect("encodable frame"),
         bytes,
         "re-encoding the decoded frame must reproduce the wire bytes"
     );
@@ -121,7 +123,7 @@ proptest! {
             label: Some(1),
             record: record_from_bits(&bits, 1),
         });
-        let bytes = Encoder::default().encode(&frame);
+        let bytes = Encoder::default().encode(&frame).expect("encode");
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         prop_assert!(cut < bytes.len());
         let err = decode_frame(&bytes[..cut], DEFAULT_MAX_PAYLOAD)
@@ -144,7 +146,7 @@ proptest! {
             label: None,
             record: record_from_bits(&bits, 2),
         });
-        let mut bytes = Encoder::default().encode(&frame);
+        let mut bytes = Encoder::default().encode(&frame).expect("encode");
         let index = ((bytes.len() as f64) * index_fraction) as usize;
         if let Some(byte) = bytes.get_mut(index) {
             *byte ^= flip;
@@ -179,9 +181,64 @@ proptest! {
         // A frame whose payload exceeds the negotiated cap must be
         // refused from the header alone with the typed Oversize error.
         let frame = Frame::Nack(NackFrame { seq, reason: NackReason::QueueFull });
-        let bytes = Encoder::default().encode(&frame);
+        let bytes = Encoder::default().encode(&frame).expect("encode");
         let err = decode_frame(&bytes, max_payload.min(8)).expect_err("cap below payload size");
         prop_assert!(matches!(err, DecodeError::Oversize { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn oversize_sensor_ids_are_refused_not_truncated(
+        extra in 1usize..256,
+        fill in 97u8..123,
+    ) {
+        // Before the fallible encoder this silently truncated the id
+        // at MAX_SENSOR_ID_BYTES — a Hello for sensor "office-<long>"
+        // would register and route as a *different* sensor.
+        let sensor_id = String::from_utf8(vec![fill; MAX_SENSOR_ID_BYTES + extra])
+            .expect("ascii fill");
+        let frame = Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id });
+        let err = Encoder::default()
+            .encode(&frame)
+            .expect_err("oversize id must refuse, not truncate");
+        prop_assert!(
+            matches!(err, EncodeError::SensorIdTooLong { len } if len == MAX_SENSOR_ID_BYTES + extra),
+            "{err:?}"
+        );
+        // The refusal happens before any byte is emitted.
+        let mut out = vec![0xAA; 4];
+        let err2 = Encoder::default().encode_into(&frame, &mut out).expect_err("same refusal");
+        prop_assert_eq!(err, err2);
+        prop_assert_eq!(&out, &vec![0xAA; 4], "output buffer must be untouched on error");
+    }
+
+    #[test]
+    fn boundary_sensor_ids_still_encode(len in 0usize..=MAX_SENSOR_ID_BYTES) {
+        let sensor_id = String::from_utf8(vec![b'x'; len]).expect("ascii fill");
+        let frame = Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id });
+        assert_roundtrip(&frame);
+    }
+
+    #[test]
+    fn oversize_batches_are_refused_not_silently_dropped(
+        extra in 1usize..32,
+        bits in prop::collection::vec(0u64..=u64::MAX, 67..68),
+    ) {
+        // Before the fallible encoder this silently *dropped* every
+        // record past MAX_BATCH_RECORDS: the sender believed them
+        // delivered, the accounting identity never saw them.
+        let record = record_from_bits(&bits, 1);
+        let count = MAX_BATCH_RECORDS + extra;
+        let frame = Frame::Batch(BatchFrame {
+            first_seq: 0,
+            records: vec![(record, None); count],
+        });
+        let err = Encoder::default()
+            .encode(&frame)
+            .expect_err("oversize batch must refuse, not drop records");
+        prop_assert!(
+            matches!(err, EncodeError::BatchTooLarge { count: c } if c == count),
+            "{err:?}"
+        );
     }
 
     #[test]

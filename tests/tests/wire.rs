@@ -237,3 +237,105 @@ fn tcp_gateway_round_trips_bitwise_over_localhost() {
     assert_eq!(report.wire.records_decoded, RECORDS as u64);
     assert_eq!(report.wire.predictions_sent, RECORDS as u64);
 }
+
+/// Reactor soak under slow-client backpressure: a tiny `Block`
+/// outbound queue and a reader that naps between events force the
+/// reactor through its ingress-pause path (it must never park on the
+/// queue it alone drains), while capacity-1 `RejectNewest` ingress
+/// guarantees a mixture of predictions and NACKs. Every submitted seq
+/// must resolve exactly once — as a prediction or a QueueFull NACK —
+/// and the extended accounting identity must close.
+#[test]
+fn slow_client_soak_resolves_every_seq_exactly_once() {
+    const SENSORS: usize = 3;
+    const RECORDS: usize = 150;
+    let detector = quick_detector();
+    let (acceptor, connector) = loopback(LoopbackConfig::default());
+    let gateway = Gateway::start(
+        detector,
+        pinned(
+            BackpressurePolicy::RejectNewest,
+            1,
+            BatchConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+            },
+        ),
+        GatewayConfig {
+            outbound_policy: BackpressurePolicy::Block,
+            outbound_capacity: 4,
+            reactors: 2,
+            ..GatewayConfig::default()
+        },
+        Box::new(acceptor),
+    )
+    .expect("gateway");
+
+    let handles: Vec<_> = (0..SENSORS)
+        .map(|i| {
+            let conn = connector.connect().expect("connect");
+            std::thread::spawn(move || {
+                let (mut tx, mut rx) =
+                    connect(conn, &format!("slow{i}"), Duration::from_secs(5)).expect("handshake");
+                let records: Vec<_> = fleet_stream(120.0, 40 + i as u64, i as u64)
+                    .take(RECORDS)
+                    .collect();
+                // Reader thread naps so the 4-deep Block outbound queue
+                // fills; the sender keeps pushing, so the gateway must
+                // pause this connection's ingress instead of stalling
+                // its whole reactor.
+                let reader = std::thread::spawn(move || {
+                    let mut pred_seqs = Vec::new();
+                    let mut nack_seqs = Vec::new();
+                    loop {
+                        match rx.recv().expect("receive") {
+                            ClientEvent::Prediction(p) => {
+                                pred_seqs.push(p.seq);
+                                if pred_seqs.len() % 8 == 0 {
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                            }
+                            ClientEvent::Nack(n) => {
+                                assert_eq!(n.reason, NackReason::QueueFull);
+                                nack_seqs.push(n.seq);
+                            }
+                            ClientEvent::Goodbye(_) | ClientEvent::Closed => break,
+                            ClientEvent::TimedOut => continue,
+                        }
+                    }
+                    (pred_seqs, nack_seqs)
+                });
+                for r in &records {
+                    tx.send(*r, None).expect("send");
+                }
+                let sent = tx.finish().expect("finish");
+                let (pred_seqs, nack_seqs) = reader.join().expect("reader");
+                (sent, pred_seqs, nack_seqs)
+            })
+        })
+        .collect();
+
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("sensor"))
+        .collect();
+    let report = gateway.shutdown();
+
+    for (sent, pred_seqs, nack_seqs) in outcomes {
+        assert_eq!(sent as usize, RECORDS);
+        let mut resolved: Vec<u64> = pred_seqs.iter().chain(nack_seqs.iter()).copied().collect();
+        resolved.sort_unstable();
+        assert_eq!(
+            resolved,
+            (0..RECORDS as u64).collect::<Vec<_>>(),
+            "every seq must resolve exactly once (prediction xor NACK)"
+        );
+    }
+    assert_eq!(report.wire.connections, SENSORS as u64);
+    assert_eq!(
+        report.wire.records_decoded,
+        (SENSORS * RECORDS) as u64,
+        "pause/resume must neither drop nor double-decode"
+    );
+    assert_eq!(report.unaccounted_records(), 0);
+}
