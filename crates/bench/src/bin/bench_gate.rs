@@ -1,0 +1,93 @@
+//! Training-throughput regression gate (CI): compares a fresh
+//! `BENCH_*.json` measurement run against a committed baseline.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance <fraction>]
+//! ```
+//!
+//! Exits non-zero when any fresh number is non-finite (NaN gate), a
+//! baseline benchmark is missing from the run, or a median regressed
+//! past the tolerance (default 0.20). Also reports the pooled-vs-spawn
+//! GRU-epoch speedup when both benches are present — the headline
+//! number of the persistent compute pool.
+
+use occusense_bench::gate::{compare, parse_results, speedup, BenchResult};
+use std::process::ExitCode;
+
+/// The pool's headline pair in `BENCH_train.json`.
+const POOLED: &str = "train/gru_epoch_pooled_t4";
+const SPAWN: &str = "train/gru_epoch_spawn_t4";
+
+fn load(path: &str) -> Result<Vec<BenchResult>, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_results(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.20;
+    let mut paths = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t.is_finite() && t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("bench_gate: --tolerance needs a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance <fraction>]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "{:<45} {:>14} {:>14} {:>8}",
+        "benchmark", "baseline ns", "current ns", "ratio"
+    );
+    for b in &baseline {
+        let (cur, ratio) = match occusense_bench::gate::find(&current, &b.name) {
+            Some(c) => (
+                format!("{:.0}", c.ns_per_iter),
+                format!("{:.2}x", c.ns_per_iter / b.ns_per_iter),
+            ),
+            None => ("missing".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:<45} {:>14.0} {:>14} {:>8}",
+            b.name, b.ns_per_iter, cur, ratio
+        );
+    }
+    if let Some(s) = speedup(&current, POOLED, SPAWN) {
+        println!("pooled vs spawn GRU-epoch throughput: {s:.2}x");
+    }
+
+    let failures = compare(&baseline, &current, tolerance);
+    if failures.is_empty() {
+        println!(
+            "bench_gate: PASS ({} benchmarks within {:.0}% of baseline)",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

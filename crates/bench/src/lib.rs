@@ -17,6 +17,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod gate;
+
 use occusense_core::experiments::ExperimentConfig;
 use occusense_core::sim::{simulate, ScenarioConfig};
 use occusense_core::Dataset;

@@ -66,7 +66,7 @@ pub use counting::{CountingConfig, OccupancyCounter};
 pub use detector::{DetectorConfig, ModelKind, OccupancyDetector};
 pub use explain::Explanation;
 pub use regressor::{EnvRegressor, RegressorKind};
-pub use temporal::{TemporalConfig, TemporalDetector, TemporalWorkspace};
+pub use temporal::{TemporalConfig, TemporalDetector, TemporalTrainWorkspace, TemporalWorkspace};
 
 // Re-export the substrate crates under one roof for downstream users.
 pub use occusense_baselines as baselines;

@@ -41,13 +41,16 @@ impl Scope {
 /// Panic-freedom scope: the serve library hot path, the wire
 /// codec/transport/gateway (a malformed network frame must become a
 /// typed error or a NACK, never an abort), and the tensor
-/// micro-kernels. Driver binaries are excluded — a CLI may abort on
+/// micro-kernels plus their persistent compute pool (a worker that
+/// panics mid-job would deadlock every caller parked on the pool's
+/// condvars). Driver binaries are excluded — a CLI may abort on
 /// misuse. `#[cfg(test)]` modules are always exempt.
 pub const PANIC_SCOPE: Scope = Scope::new(
     &[
         "crates/serve/src/",
         "crates/wire/src/",
         "crates/tensor/src/kernels.rs",
+        "crates/tensor/src/pool.rs",
     ],
     &["crates/serve/src/bin/", "crates/wire/src/bin/"],
 );
@@ -79,6 +82,15 @@ pub const DETERMINISM_SCOPE: Scope = Scope::new(
     ],
     &["crates/core/src/bin/"],
 );
+
+/// Raw-threading ban: files whose parallelism must route through the
+/// persistent compute pool (`crates/tensor/src/pool.rs`). A stray
+/// `thread::spawn`/`thread::scope` in the kernels would silently
+/// bypass the pool — per-call spawn/join overhead creeping back in is
+/// exactly the regression the pool PR removed, so the ban is
+/// structural (no `lint:allow` escape hatch). The pool module itself
+/// is excluded: it is the one place allowed to create worker threads.
+pub const SPAWN_SCOPE: Scope = Scope::new(&["crates/tensor/src/kernels.rs"], &[]);
 
 /// Paths the file walker skips entirely. The fixture corpus contains
 /// *deliberate* violations the self-tests assert on.
@@ -138,10 +150,25 @@ mod tests {
         assert!(INDEX_SCOPE.contains("crates/wire/src/reactor.rs"));
         assert!(PANIC_SCOPE.contains("crates/wire/src/gateway.rs"));
         assert!(PANIC_SCOPE.contains("crates/tensor/src/kernels.rs"));
+        // The compute pool: a panicking worker would strand every
+        // caller parked on the pool condvars, so panic- and index-
+        // freedom extend to it.
+        assert!(PANIC_SCOPE.contains("crates/tensor/src/pool.rs"));
+        assert!(INDEX_SCOPE.contains("crates/tensor/src/pool.rs"));
         assert!(!PANIC_SCOPE.contains("crates/serve/src/bin/serve_sim.rs"));
         assert!(!PANIC_SCOPE.contains("crates/wire/src/bin/wire_storm.rs"));
         assert!(!PANIC_SCOPE.contains("crates/serve/srcx/worker.rs"));
         assert!(!PANIC_SCOPE.contains("crates/tensor/src/lib.rs"));
+    }
+
+    #[test]
+    fn spawn_scope_bans_raw_threading_in_the_kernels_only() {
+        assert!(SPAWN_SCOPE.contains("crates/tensor/src/kernels.rs"));
+        // The pool is the one module allowed to create threads; the
+        // rest of the tensor crate never needed them.
+        assert!(!SPAWN_SCOPE.contains("crates/tensor/src/pool.rs"));
+        assert!(!SPAWN_SCOPE.contains("crates/tensor/src/matrix.rs"));
+        assert!(!SPAWN_SCOPE.contains("crates/nn/src/train.rs"));
     }
 
     #[test]

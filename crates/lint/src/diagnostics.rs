@@ -23,6 +23,9 @@ pub enum Rule {
     /// A manifest dependency edge that points up (or sideways) in the
     /// crate layering.
     Layering,
+    /// Raw `thread::spawn`/`thread::scope` in a file whose threading
+    /// must route through the persistent compute pool.
+    Spawn,
     /// Malformed/unknown `lint:` directive, missing reason, unmatched
     /// region marker.
     Directive,
@@ -45,6 +48,7 @@ impl Rule {
             Rule::Alloc => "alloc",
             Rule::Unsafe => "unsafe",
             Rule::Layering => "layering",
+            Rule::Spawn => "spawn",
             Rule::Directive => "directive",
         }
     }
@@ -55,14 +59,14 @@ impl Rule {
             Rule::Panic | Rule::Index => EXIT_PANIC,
             Rule::Determinism => EXIT_DETERMINISM,
             Rule::Alloc => EXIT_ALLOC,
-            Rule::Unsafe | Rule::Layering => EXIT_LAYERING,
+            Rule::Unsafe | Rule::Layering | Rule::Spawn => EXIT_LAYERING,
             Rule::Directive => EXIT_DIRECTIVE,
         }
     }
 
-    /// Rules an inline `lint:allow` may waive. `unsafe`/`layering` are
-    /// structural contracts with no escape hatch, and `directive`
-    /// violations are errors in the escape hatch itself.
+    /// Rules an inline `lint:allow` may waive. `unsafe`/`layering`/
+    /// `spawn` are structural contracts with no escape hatch, and
+    /// `directive` violations are errors in the escape hatch itself.
     pub fn allowable(name: &str) -> bool {
         matches!(name, "panic" | "index" | "determinism" | "alloc")
     }

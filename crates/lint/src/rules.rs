@@ -7,7 +7,7 @@
 //! functions are exempt from the behavioural rules (tests unwrap
 //! freely); the `unsafe` rule has no exemptions at all.
 
-use crate::config::{DETERMINISM_SCOPE, INDEX_SCOPE, PANIC_SCOPE};
+use crate::config::{DETERMINISM_SCOPE, INDEX_SCOPE, PANIC_SCOPE, SPAWN_SCOPE};
 use crate::diagnostics::{Diagnostic, Rule};
 use crate::directives;
 use crate::tokenizer::{tokenize, Token, TokenKind};
@@ -96,6 +96,9 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     }
     if DETERMINISM_SCOPE.contains(rel) {
         scan_determinism(rel, &code, &mut diags);
+    }
+    if SPAWN_SCOPE.contains(rel) {
+        scan_spawn(rel, &code, &mut diags);
     }
     if dir.has_no_alloc_regions() {
         scan_alloc(rel, &code, &dir, &mut diags);
@@ -259,6 +262,39 @@ fn scan_determinism(rel: &str, code: &[&Token], diags: &mut Vec<Diagnostic>) {
                 tok.col,
                 Rule::Determinism,
                 format!("`{name}` in a numeric path: {why}"),
+            ));
+        }
+    }
+}
+
+/// Thread-creation calls banned where parallelism must route through
+/// the persistent compute pool.
+const SPAWN_CALLS: &[&str] = &["spawn", "scope", "Builder"];
+
+fn scan_spawn(rel: &str, code: &[&Token], diags: &mut Vec<Diagnostic>) {
+    for (i, tok) in code.iter().enumerate() {
+        if !tok.is_ident("thread") {
+            continue;
+        }
+        let is_path_sep = code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        if !is_path_sep {
+            continue;
+        }
+        if let Some(what) = code
+            .get(i + 3)
+            .filter(|t| SPAWN_CALLS.contains(&t.text.as_str()))
+        {
+            diags.push(Diagnostic::new(
+                rel,
+                what.line,
+                what.col,
+                Rule::Spawn,
+                format!(
+                    "raw `thread::{}` bypasses the persistent compute pool; route row-block \
+                     work through `pool::run_gemm`/`pool::run_fused`",
+                    what.text
+                ),
             ));
         }
     }

@@ -1,0 +1,24 @@
+//! Fixture: every raw thread-creation path the `spawn` rule must
+//! catch inside the kernels — the exact calls the compute pool PR
+//! removed from the GEMM dispatch.
+
+use std::thread;
+
+pub fn scoped_spawn_site(work: &[f64]) -> f64 {
+    let mut total = 0.0;
+    thread::scope(|s| {
+        for chunk in work.chunks(4) {
+            s.spawn(move || chunk.iter().sum::<f64>());
+        }
+    });
+    total += 1.0;
+    total
+}
+
+pub fn detached_spawn_site() {
+    thread::spawn(|| 1 + 1);
+}
+
+pub fn builder_site() {
+    let _ = thread::Builder::new().name("rogue-worker".into());
+}

@@ -18,6 +18,8 @@ const SERVE_ROOT: &str = "crates/serve/src/lib.rs";
 const NUMERIC_PATH: &str = "crates/nn/src/fixture.rs";
 const NO_SCOPE_PATH: &str = "crates/lint/src/fixture.rs";
 const STATE_TABLE_PATH: &str = "crates/serve/src/state.rs";
+const KERNELS_PATH: &str = "crates/tensor/src/kernels.rs";
+const POOL_PATH: &str = "crates/tensor/src/pool.rs";
 
 fn count(diags: &[Diagnostic], rule: Rule) -> usize {
     diags.iter().filter(|d| d.rule == rule).count()
@@ -157,6 +159,52 @@ fn alloc_rule_is_silent_on_the_clean_twin() {
     // waived one-time growth is excused.
     let diags = analyze_source(NUMERIC_PATH, include_str!("fixtures/alloc_clean.rs"));
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- spawn
+
+#[test]
+fn spawn_rule_fires_on_every_raw_threading_site() {
+    let diags = analyze_source(KERNELS_PATH, include_str!("fixtures/spawn_violation.rs"));
+    // thread::scope, thread::spawn, thread::Builder
+    assert_eq!(count(&diags, Rule::Spawn), 3, "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .filter(|d| d.rule == Rule::Spawn)
+            .all(|d| d.message.contains("compute pool")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn spawn_rule_is_silent_on_the_clean_twin() {
+    let diags = analyze_source(KERNELS_PATH, include_str!("fixtures/spawn_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn spawn_rule_does_not_reach_the_pool_itself() {
+    // pool.rs is the one module allowed to create worker threads; the
+    // same sources under its path raise no spawn diagnostics (the pool
+    // is still under the panic/index scopes, which these fixtures do
+    // not trip).
+    let diags = analyze_source(POOL_PATH, include_str!("fixtures/spawn_violation.rs"));
+    assert_eq!(count(&diags, Rule::Spawn), 0, "{diags:?}");
+}
+
+#[test]
+fn spawn_rule_has_no_escape_hatch() {
+    // A lint:allow(spawn, ...) is itself a directive violation, and the
+    // spawn diagnostic still stands.
+    let src = "use std::thread;\n\
+               pub fn f() {\n\
+               // lint:allow(spawn, reason = \"testing the hatch\")\n\
+               thread::spawn(|| 1);\n\
+               }\n";
+    let diags = analyze_source(KERNELS_PATH, src);
+    assert_eq!(count(&diags, Rule::Spawn), 1, "{diags:?}");
+    assert_eq!(count(&diags, Rule::Directive), 1, "{diags:?}");
 }
 
 // --------------------------------------------------------------- unsafe

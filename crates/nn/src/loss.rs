@@ -16,8 +16,9 @@ pub trait Loss {
 
     /// Writes the gradient into `out` (reshaped as needed). The default
     /// delegates to [`Loss::grad`] and copies; the losses used on the
-    /// training hot path ([`BceWithLogits`], [`Mse`]) override it to be
-    /// allocation-free once `out` has capacity.
+    /// training hot paths ([`BceWithLogits`], [`Mse`],
+    /// [`SoftmaxCrossEntropy`]) override it to be allocation-free once
+    /// `out` has capacity.
     fn grad_into(&self, output: &Matrix, targets: &Matrix, out: &mut Matrix) {
         let g = self.grad(output, targets);
         out.ensure_shape(g.rows(), g.cols());
@@ -206,6 +207,32 @@ impl Loss for SoftmaxCrossEntropy {
         p.try_zip_map(targets, "softmax_ce_grad", |pi, yi| (pi - yi) / n)
             .expect("shapes checked")
     }
+
+    fn grad_into(&self, output: &Matrix, targets: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            output.shape(),
+            targets.shape(),
+            "softmax ce: shape mismatch"
+        );
+        let n = output.rows().max(1) as f64;
+        out.ensure_shape(output.rows(), output.cols());
+        for r in 0..output.rows() {
+            let logits = output.row(r);
+            let g = out.row_mut(r);
+            // Same max-subtraction softmax as `Self::softmax`, row by
+            // row into the output buffer, so the gradient is bitwise
+            // identical to the allocating `grad` path.
+            let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for (gi, &z) in g.iter_mut().zip(logits) {
+                *gi = (z - max).exp();
+                sum += *gi;
+            }
+            for (gi, &y) in g.iter_mut().zip(targets.row(r)) {
+                *gi = (*gi / sum.max(f64::MIN_POSITIVE) - y) / n;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +342,20 @@ mod tests {
     fn argmax_picks_largest() {
         let logits = Matrix::from_rows(&[&[0.1, 0.9, 0.2], &[5.0, -1.0, 3.0]]);
         assert_eq!(SoftmaxCrossEntropy::argmax(&logits), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_ce_grad_into_matches_grad_bitwise() {
+        let logits =
+            Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[100.0, 0.0, -100.0], &[0.0, 0.0, 0.0]]);
+        let targets = SoftmaxCrossEntropy::one_hot(&[2, 0, 1], 3);
+        let g = SoftmaxCrossEntropy.grad(&logits, &targets);
+        let mut out = Matrix::default();
+        SoftmaxCrossEntropy.grad_into(&logits, &targets, &mut out);
+        assert_eq!(out.shape(), g.shape());
+        for (a, b) in out.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

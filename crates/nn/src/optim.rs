@@ -66,9 +66,7 @@ impl Optimizer for Sgd {
     fn update(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
         assert_eq!(param.len(), grad.len(), "sgd: length mismatch");
         if self.momentum == 0.0 {
-            for (p, g) in param.iter_mut().zip(grad) {
-                *p -= self.learning_rate * g;
-            }
+            sgd_step(self.learning_rate, param, grad);
             return;
         }
         let v = self
@@ -76,10 +74,7 @@ impl Optimizer for Sgd {
             .entry(slot)
             .or_insert_with(|| vec![0.0; param.len()]);
         assert_eq!(v.len(), param.len(), "sgd: slot size changed");
-        for ((p, g), vi) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
-            *vi = self.momentum * *vi + g;
-            *p -= self.learning_rate * *vi;
-        }
+        sgd_momentum_step(self.learning_rate, self.momentum, param, grad, v);
     }
 
     fn reset(&mut self) {
@@ -133,6 +128,9 @@ impl AdamW {
 impl Optimizer for AdamW {
     fn update(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
         assert_eq!(param.len(), grad.len(), "adamw: length mismatch");
+        // Slot setup is the only place this path may allocate — and
+        // only on a slot's first update; every subsequent step runs
+        // entirely inside the allocation-free fused kernel below.
         let s = self.state.entry(slot).or_insert_with(|| AdamSlot {
             m: vec![0.0; param.len()],
             v: vec![0.0; param.len()],
@@ -142,22 +140,82 @@ impl Optimizer for AdamW {
         s.t += 1;
         let bc1 = 1.0 - self.beta1.powi(s.t as i32);
         let bc2 = 1.0 - self.beta2.powi(s.t as i32);
-        for i in 0..param.len() {
-            s.m[i] = self.beta1 * s.m[i] + (1.0 - self.beta1) * grad[i];
-            s.v[i] = self.beta2 * s.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
-            let m_hat = s.m[i] / bc1;
-            let v_hat = s.v[i] / bc2;
-            // Decoupled decay: applied directly to the parameter, not
-            // through the gradient (the defining feature of AdamW).
-            param[i] -= self.learning_rate
-                * (m_hat / (v_hat.sqrt() + self.epsilon) + self.weight_decay * param[i]);
-        }
+        adamw_fused_step(
+            self.learning_rate,
+            self.weight_decay,
+            self.beta1,
+            self.beta2,
+            self.epsilon,
+            bc1,
+            bc2,
+            param,
+            grad,
+            &mut s.m,
+            &mut s.v,
+        );
     }
 
     fn reset(&mut self) {
         self.state.clear();
     }
 }
+
+// The fused single-pass update kernels: one walk over the
+// parameter/gradient/moment slices per step, no temporaries, no bounds
+// checks (lockstep zips), and — per the region below — no heap
+// allocations. Each element's arithmetic is exactly the textbook
+// update in exactly the original operation order, so fusing is
+// invisible to the training trajectory (asserted bitwise in the
+// tests).
+// lint:no_alloc
+
+/// Plain SGD: `p -= lr · g`.
+fn sgd_step(lr: f64, param: &mut [f64], grad: &[f64]) {
+    for (p, g) in param.iter_mut().zip(grad) {
+        *p -= lr * g;
+    }
+}
+
+/// Momentum SGD: `v = μ·v + g; p -= lr·v`, one fused pass.
+fn sgd_momentum_step(lr: f64, momentum: f64, param: &mut [f64], grad: &[f64], v: &mut [f64]) {
+    for ((p, g), vi) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+        *vi = momentum * *vi + g;
+        *p -= lr * *vi;
+    }
+}
+
+/// AdamW: both moment updates, the bias corrections and the decoupled
+/// decay applied in a single fused pass over the four slices.
+#[allow(clippy::too_many_arguments)]
+fn adamw_fused_step(
+    lr: f64,
+    wd: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    bc1: f64,
+    bc2: f64,
+    param: &mut [f64],
+    grad: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+) {
+    let iter = param
+        .iter_mut()
+        .zip(grad)
+        .zip(m.iter_mut().zip(v.iter_mut()));
+    for ((p, &g), (mi, vi)) in iter {
+        *mi = beta1 * *mi + (1.0 - beta1) * g;
+        *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+        let m_hat = *mi / bc1;
+        let v_hat = *vi / bc2;
+        // Decoupled decay: applied directly to the parameter, not
+        // through the gradient (the defining feature of AdamW).
+        *p -= lr * (m_hat / (v_hat.sqrt() + epsilon) + wd * *p);
+    }
+}
+
+// lint:end_no_alloc
 
 #[cfg(test)]
 mod tests {
@@ -247,6 +305,45 @@ mod tests {
         o.update(0, &mut q, &[1.0]);
         // After reset, first update equals plain first update.
         assert!((q[0] + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_adamw_matches_scalar_reference_bitwise() {
+        // The fused single-pass kernel must reproduce the naive indexed
+        // reference (separate moment updates, then the parameter step)
+        // bit for bit: the fusion changed the walk, never the
+        // per-element arithmetic or its order.
+        let (lr, wd, b1, b2, eps): (f64, f64, f64, f64, f64) = (5e-3, 1e-4, 0.9, 0.999, 1e-8);
+        let mut o = AdamW::new(lr, wd);
+        let n = 37;
+        let mut p: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let mut p_ref = p.clone();
+        let mut m = vec![0.0f64; n];
+        let mut v = vec![0.0f64; n];
+        for t in 1..=25i32 {
+            let g: Vec<f64> = (0..n)
+                .map(|i| ((i as f64) * 0.3 + t as f64).cos())
+                .collect();
+            o.update(0, &mut p, &g);
+            let bc1 = 1.0 - b1.powi(t);
+            let bc2 = 1.0 - b2.powi(t);
+            for i in 0..n {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                p_ref[i] -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * p_ref[i]);
+            }
+            for i in 0..n {
+                assert_eq!(
+                    p[i].to_bits(),
+                    p_ref[i].to_bits(),
+                    "step {t} param {i}: fused {} vs reference {}",
+                    p[i],
+                    p_ref[i]
+                );
+            }
+        }
     }
 
     #[test]

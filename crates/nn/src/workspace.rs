@@ -31,8 +31,9 @@ pub struct MlpWorkspace {
     /// `deltas[i]` is `∂L/∂z` of layer `i` (pure scratch).
     deltas: Vec<Matrix>,
     /// `upstreams[i]` is `∂L/∂x` of layer `i`, consumed by layer `i-1`.
-    /// `upstreams[0]` is never produced during training (nothing reads
-    /// the input gradient there; use [`Mlp::backward`] for Grad-CAM).
+    /// `upstreams[0]` (the network-input gradient) is only produced by
+    /// [`Mlp::backward_ws_input_grad`]; plain [`Mlp::backward_ws`]
+    /// skips it.
     upstreams: Vec<Matrix>,
     grad_w: Vec<Matrix>,
     grad_b: Vec<Vec<f64>>,
@@ -99,6 +100,17 @@ impl MlpWorkspace {
         &self.grad_b
     }
 
+    /// The gradient with respect to the network input, from the last
+    /// [`Mlp::backward_ws_input_grad`] call (plain
+    /// [`Mlp::backward_ws`] does not produce it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backward pass has run yet.
+    pub fn grad_input(&self) -> &Matrix {
+        &self.upstreams[0]
+    }
+
     /// Sizes the per-layer buffer vectors (spine growth only happens on
     /// first use or when the network shape changes).
     fn prepare(&mut self, n_layers: usize) {
@@ -158,15 +170,34 @@ impl Mlp {
     /// land in [`MlpWorkspace::grad_w`]/[`MlpWorkspace::grad_b`].
     ///
     /// Unlike [`Mlp::backward`] this does **not** produce the gradient
-    /// with respect to the network input (training never consumes it;
-    /// Grad-CAM keeps using the convenience path), which also skips one
-    /// `δ · W^T` product per step.
+    /// with respect to the network input (MLP training never consumes
+    /// it), which also skips one `δ · W^T` product per step. Callers
+    /// that do need it — the GRU head, Grad-CAM through a workspace —
+    /// use [`Mlp::backward_ws_input_grad`].
     ///
     /// # Panics
     ///
     /// Panics if the workspace was not filled by a matching forward
     /// pass or `grad_output` has the wrong shape.
     pub fn backward_ws(&self, grad_output: &Matrix, ws: &mut MlpWorkspace) {
+        self.backward_ws_impl(grad_output, ws, false);
+    }
+
+    /// [`Mlp::backward_ws`] plus the gradient with respect to the
+    /// network input, retrievable via [`MlpWorkspace::grad_input`] —
+    /// bitwise identical to the input gradient [`Mlp::backward`]
+    /// returns. The temporal detector backpropagates this through the
+    /// GRU (`∂L/∂h_last`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace was not filled by a matching forward
+    /// pass or `grad_output` has the wrong shape.
+    pub fn backward_ws_input_grad(&self, grad_output: &Matrix, ws: &mut MlpWorkspace) {
+        self.backward_ws_impl(grad_output, ws, true);
+    }
+
+    fn backward_ws_impl(&self, grad_output: &Matrix, ws: &mut MlpWorkspace, input_grad: bool) {
         let n_layers = self.layers().len();
         assert_eq!(
             ws.preacts.len(),
@@ -187,7 +218,11 @@ impl Mlp {
                 &mut ws.deltas[i],
                 &mut ws.grad_w[i],
                 &mut ws.grad_b[i],
-                if i == 0 { None } else { Some(&mut head[i]) },
+                if i == 0 && !input_grad {
+                    None
+                } else {
+                    Some(&mut head[i])
+                },
                 &mut ws.scratch,
             );
         }
@@ -248,6 +283,25 @@ mod tests {
         let mut ws = MlpWorkspace::new();
         mlp.forward_ws(&x, &mut ws);
         mlp.backward_ws(&grad_out, &mut ws);
+        for (i, (gw, gb)) in grads.iter().enumerate() {
+            assert_eq!(&ws.grad_w()[i], gw, "layer {i} weights");
+            assert_eq!(&ws.grad_b()[i], gb, "layer {i} bias");
+        }
+    }
+
+    #[test]
+    fn backward_ws_input_grad_matches_convenience_backward() {
+        let mlp = Mlp::new(&[4, 12, 6, 1], 5);
+        let x = toy_input(9, 4);
+        let y = Matrix::from_fn(9, 1, |r, _| (r % 2) as f64);
+        let pass = mlp.forward(&x);
+        let grad_out = BceWithLogits.grad(pass.output(), &y);
+        let (grads, grad_x) = mlp.backward(&pass, &grad_out);
+
+        let mut ws = MlpWorkspace::new();
+        mlp.forward_ws(&x, &mut ws);
+        mlp.backward_ws_input_grad(&grad_out, &mut ws);
+        assert_eq!(ws.grad_input(), &grad_x, "input gradient");
         for (i, (gw, gb)) in grads.iter().enumerate() {
             assert_eq!(&ws.grad_w()[i], gw, "layer {i} weights");
             assert_eq!(&ws.grad_b()[i], gb, "layer {i} bias");

@@ -605,6 +605,7 @@ impl ServeRuntime {
                 publish_every_updates: online_cfg.publish_every_updates.max(1),
                 checkpoint: config.checkpoint.clone(),
                 observed: metrics.counter("trainer.observed"),
+                steady_reallocs: metrics.counter("trainer.steady_reallocs"),
                 publishes: metrics.counter("trainer.publishes"),
                 restarts: metrics.counter("trainer.restarts"),
                 checkpoints: metrics.counter("serve.checkpoints"),
@@ -1093,6 +1094,47 @@ mod tests {
             Ok(_) => panic!("online training must be refused for temporal models"),
             Err(other) => panic!("wrong refusal: {other}"),
         }
+    }
+
+    #[test]
+    fn continual_training_loop_is_allocation_free_after_warmup() {
+        // The trainer thread holds one warm OnlineDetector workspace
+        // for the whole run; once two gradient steps have sized it,
+        // the observe→train-batch loop must never grow a buffer again.
+        let ds = simulate(&ScenarioConfig::quick(1600.0, 47));
+        let frame = OccupancyDetector::train(
+            &ds,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let config = ServeConfig {
+            n_shards: 1,
+            ..ServeConfig::default()
+        };
+        let batch = OnlineTrainingConfig::default().online.batch_size;
+        let (rt, rx) = ServeRuntime::start(frame, config).unwrap();
+        let steady_reallocs = rt.metrics().counter("trainer.steady_reallocs");
+        let observed = rt.metrics().counter("trainer.observed");
+        let mut client = rt.client("sensor-a");
+        for r in ds.records().iter().take(8 * batch) {
+            client.submit_labelled(*r, r.occupancy()).unwrap();
+        }
+        let report = rt.shutdown();
+        drop(rx);
+        assert_eq!(report.unaccounted_records(), 0);
+        // Every labelled record reached the trainer (capacity 4096 >>
+        // what we submitted), so 8 full batches trained: warm-up (2
+        // updates) plus six steady-state gradient steps.
+        assert_eq!(observed.get(), (8 * batch) as u64);
+        assert!(report.model_publishes >= 3, "trainer barely ran");
+        assert_eq!(
+            steady_reallocs.get(),
+            0,
+            "continual training grew a buffer after warm-up"
+        );
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub(crate) struct TrainerContext {
     pub publish_every_updates: u64,
     pub checkpoint: Option<CheckpointConfig>,
     pub observed: Arc<Counter>,
+    /// Buffer-growth events in the learner's workspace *after* the
+    /// warm-up gradient steps — the continual-training loop holds one
+    /// warm workspace for the whole run, so this must stay zero.
+    pub steady_reallocs: Arc<Counter>,
     pub publishes: Arc<Counter>,
     pub restarts: Arc<Counter>,
     pub checkpoints: Arc<Counter>,
@@ -92,6 +96,10 @@ fn train_loop(ctx: &mut TrainerContext) {
     // The rebuilt learner restarts its update count at zero, so the
     // publish cadence is tracked per span.
     let mut published_at_update = 0u64;
+    // Realloc watermark, armed once two gradient steps have sized the
+    // warm workspace. Any growth past it is a steady-state allocation
+    // and counted — the metric the allocation-free contract asserts on.
+    let mut realloc_watermark: Option<u64> = None;
     while let Some(labelled) = ctx.queue.pop() {
         if ctx.panic_on_trigger && is_trainer_panic_trigger(&labelled.record) {
             // lint:allow(panic, reason = "fault injection: this panic IS the feature under test; it exercises the supervisor's restart path")
@@ -100,6 +108,17 @@ fn train_loop(ctx: &mut TrainerContext) {
         ctx.online.observe(&labelled.record, labelled.label);
         ctx.observed.inc();
         let updates = ctx.online.updates();
+        if updates >= 2 {
+            let reallocs = ctx.online.reallocs();
+            match realloc_watermark {
+                None => realloc_watermark = Some(reallocs),
+                Some(mark) if reallocs > mark => {
+                    ctx.steady_reallocs.add(reallocs - mark);
+                    realloc_watermark = Some(reallocs);
+                }
+                Some(_) => {}
+            }
+        }
         if updates >= published_at_update + ctx.publish_every_updates {
             publish(ctx);
             published_at_update = updates;

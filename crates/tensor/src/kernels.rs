@@ -34,8 +34,9 @@
 //!   function of its own row of `A` and column of `B`* with a fixed
 //!   summation order. Results are therefore bitwise identical across
 //!   batch sizes, tile shapes, fused/unfused paths, and any thread
-//!   count — the parallel kernels split output rows across scoped
-//!   threads without changing any summation order. Parallelism is a
+//!   count — the parallel kernels split output rows across threads
+//!   (the persistent [`pool`](crate::pool) or the legacy scoped-spawn
+//!   path) without changing any summation order. Parallelism is a
 //!   pure throughput knob, never a numerics knob.
 //! * **Scratch reuse.** All `*_into` entry points write into
 //!   caller-owned buffers and carry their policy/accounting in a
@@ -45,7 +46,7 @@
 //! [`Matrix`]: crate::Matrix
 //! [`Matrix::matmul_naive`]: crate::Matrix::matmul_naive
 
-use std::thread;
+use crate::pool;
 
 /// Output columns per register tile. With [`IT`] rows the `8 × 8` tile
 /// keeps 8 accumulator vectors + 1 `B`-row vector + 1 broadcast in
@@ -53,8 +54,10 @@ use std::thread;
 /// measured fastest on this generation of hardware; wider or taller
 /// tiles spill accumulators to the stack and collapse throughput.
 const JT: usize = 8;
-/// Output rows per register tile (see [`JT`]).
-const IT: usize = 8;
+/// Output rows per register tile (see [`JT`]) — also the packed-panel
+/// height, and therefore the alignment of every parallel row-block
+/// boundary (see [`pool`]).
+pub(crate) const IT: usize = 8;
 /// Column width of the single-row micro-kernel used for the final
 /// `rows mod IT` tail rows and for tiny batches (the `m = 1`
 /// per-record inference path): eight independent vector accumulators
@@ -79,9 +82,20 @@ pub enum Parallelism {
     /// Everything on the calling thread.
     #[default]
     Single,
-    /// Up to `n` worker threads per kernel call (scoped std threads,
-    /// spawned only when the matrix is large enough to amortise them).
+    /// Up to `n` threads per kernel call, served by the persistent
+    /// [`pool`] owned by the [`Scratch`] (the caller plus `n − 1`
+    /// long-lived workers, engaged only when the matrix is large
+    /// enough to amortise the dispatch). The budget is additionally
+    /// clamped to the machine's core count — the pool never
+    /// oversubscribes, and on a single core it degrades to the inline
+    /// kernel. Results are bitwise identical regardless.
     Threads(usize),
+    /// Up to `n` scoped threads spawned **and joined on every kernel
+    /// call** — the legacy pre-pool path. Kept as the benchmark
+    /// baseline and the oracle the pool's bitwise-identity tests
+    /// compare against; prefer [`Parallelism::Threads`] everywhere
+    /// else.
+    SpawnThreads(usize),
 }
 
 impl Parallelism {
@@ -89,7 +103,7 @@ impl Parallelism {
     pub fn threads(&self) -> usize {
         match self {
             Parallelism::Single => 1,
-            Parallelism::Threads(n) => (*n).max(1),
+            Parallelism::Threads(n) | Parallelism::SpawnThreads(n) => (*n).max(1),
         }
     }
 }
@@ -101,11 +115,48 @@ impl Parallelism {
 /// allocate nothing once the buffer has grown to the largest shape in
 /// play. [`Scratch::reallocs`] counts the growth events, which is what
 /// the zero-allocation steady-state tests assert on.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Scratch {
     packed: Vec<f64>,
     parallelism: Parallelism,
     reallocs: u64,
+    /// The persistent worker pool behind [`Parallelism::Threads`],
+    /// spawned lazily on the first parallel dispatch and dropped
+    /// (workers joined) when the policy changes.
+    pool: Option<pool::ComputePool>,
+    /// Machine core count the pooled policy's thread budget is clamped
+    /// to (probed once per process; see [`pool`] module docs). The
+    /// legacy [`Parallelism::SpawnThreads`] baseline is deliberately
+    /// *not* clamped — it reproduces the pre-pool behaviour exactly.
+    cores: usize,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self {
+            packed: Vec::new(),
+            parallelism: Parallelism::default(),
+            reallocs: 0,
+            pool: None,
+            cores: pool::machine_cores(),
+        }
+    }
+}
+
+impl Clone for Scratch {
+    /// Clones the policy and accounting but **not** the pool: worker
+    /// threads are owned, not shared, so each clone lazily spawns its
+    /// own on first parallel use (and a clone on a different policy
+    /// never steals the original's workers).
+    fn clone(&self) -> Self {
+        Self {
+            packed: self.packed.clone(),
+            parallelism: self.parallelism,
+            reallocs: self.reallocs,
+            pool: None,
+            cores: self.cores,
+        }
+    }
 }
 
 impl Scratch {
@@ -127,9 +178,31 @@ impl Scratch {
         self.parallelism
     }
 
-    /// Replaces the parallelism policy.
+    /// Replaces the parallelism policy. Changing the policy drops any
+    /// persistent pool (its workers shut down and join before this
+    /// returns); the next parallel dispatch under a `Threads` policy
+    /// lazily spawns a fresh, correctly-sized one.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        if parallelism != self.parallelism {
+            self.pool = None;
+        }
         self.parallelism = parallelism;
+    }
+
+    /// Number of live persistent pool workers, or `None` before the
+    /// first parallel dispatch (the pool is lazy) and after a policy
+    /// change (the pool is dropped). Test/diagnostic surface.
+    pub fn pool_workers(&self) -> Option<usize> {
+        self.pool.as_ref().map(pool::ComputePool::workers)
+    }
+
+    /// Overrides the probed machine core count. Test-only: lets the
+    /// pool-protocol tests engage a full pool on small CI machines and
+    /// the clamp tests simulate one. Scheduling-only, like the probe
+    /// itself — results are bitwise identical either way.
+    #[cfg(test)]
+    pub(crate) fn set_machine_cores(&mut self, cores: usize) {
+        self.cores = cores;
     }
 
     /// Number of times any tracked buffer had to grow. Constant across
@@ -382,72 +455,73 @@ fn rank1_tiles<F: FnMut(usize, usize, &[f64])>(
     }
 }
 
-/// Splits `out` into row blocks and runs `body(first_row, rows_chunk)`
-/// on each, across up to `threads` scoped threads. With one thread (or
-/// one block) everything runs inline on the caller. Block boundaries
-/// are aligned to [`IT`] rows so they coincide with the packed-panel
-/// boundaries of [`pack_panels`]; the split never affects numerics,
-/// only which thread computes which rows.
-fn for_row_blocks<F>(out: &mut [f64], n_rows: usize, row_len: usize, threads: usize, body: F)
-where
-    F: Fn(usize, &mut [f64]) + Sync,
-{
-    if n_rows == 0 || row_len == 0 {
-        return;
-    }
-    let threads = threads.min(n_rows);
-    if threads <= 1 {
-        body(0, out);
-        return;
-    }
-    let rows_per = n_rows.div_ceil(threads).next_multiple_of(IT);
-    thread::scope(|s| {
-        for (t, chunk) in out.chunks_mut(rows_per * row_len).enumerate() {
-            let body = &body;
-            s.spawn(move || body(t * rows_per, chunk));
-        }
-    });
-}
-
-/// Like [`for_row_blocks`] for two equally-shaped outputs that must be
-/// split identically (the fused forward's pre-activation + activation).
-fn for_row_blocks2<F>(
-    z: &mut [f64],
-    a: &mut [f64],
-    n_rows: usize,
+/// The single-output row-block body shared by every dispatch path
+/// (inline, persistent pool, scoped spawn): computes output rows
+/// `first_row..first_row + rows` of `out = packed · rhs` into `chunk`.
+/// `packed` is the **full** packed left operand (the block's panel is
+/// sliced out here — block boundaries are [`IT`]-aligned, so the slice
+/// always starts on a whole panel); `chunk` holds exactly the block.
+/// Pure `rank1_tiles` on bit-identical inputs ⇒ the same rows produce
+/// the same bits no matter which thread, or how many, computed them.
+pub(crate) fn gemm_rows(
+    steps: usize,
     row_len: usize,
-    threads: usize,
-    body: F,
-) where
-    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
-{
-    if n_rows == 0 || row_len == 0 {
-        return;
-    }
-    let threads = threads.min(n_rows);
-    if threads <= 1 {
-        body(0, z, a);
-        return;
-    }
-    let rows_per = n_rows.div_ceil(threads).next_multiple_of(IT);
-    thread::scope(|s| {
-        for (t, (zc, ac)) in z
-            .chunks_mut(rows_per * row_len)
-            .zip(a.chunks_mut(rows_per * row_len))
-            .enumerate()
-        {
-            let body = &body;
-            s.spawn(move || body(t * rows_per, zc, ac));
+    first_row: usize,
+    rows: usize,
+    packed: &[f64],
+    rhs: &[f64],
+    chunk: &mut [f64],
+) {
+    let panel = &packed[first_row * steps..(first_row + rows) * steps];
+    rank1_tiles(steps, rows, row_len, panel, rhs, row_len, |r, j0, vals| {
+        chunk[r * row_len + j0..r * row_len + j0 + vals.len()].copy_from_slice(vals);
+    });
+}
+
+/// Fused-forward sibling of [`gemm_rows`]: the same row block of the
+/// matmul term plus the bias broadcast and the activation, written to
+/// `zc`/`ac` in one pass.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fused_rows(
+    steps: usize,
+    row_len: usize,
+    first_row: usize,
+    rows: usize,
+    packed: &[f64],
+    rhs: &[f64],
+    bias: &[f64],
+    act: fn(f64) -> f64,
+    zc: &mut [f64],
+    ac: &mut [f64],
+) {
+    let panel = &packed[first_row * steps..(first_row + rows) * steps];
+    rank1_tiles(steps, rows, row_len, panel, rhs, row_len, |r, j0, vals| {
+        let zrow = &mut zc[r * row_len + j0..r * row_len + j0 + vals.len()];
+        let arow = &mut ac[r * row_len + j0..r * row_len + j0 + vals.len()];
+        for (l, &v) in vals.iter().enumerate() {
+            let vb = v + bias[j0 + l];
+            zrow[l] = vb;
+            arow[l] = act(vb);
         }
     });
 }
 
-/// Effective thread count for a kernel of `flops` multiply-adds.
-fn thread_budget(parallelism: Parallelism, flops: usize) -> usize {
+/// Effective thread count for a kernel of `flops` multiply-adds: 1
+/// below the dispatch threshold, otherwise the policy budget — which
+/// the pooled policy additionally clamps to the machine's `cores` (an
+/// oversubscribed pool would time-slice spinning workers against the
+/// caller; on one core it degrades to the inline kernel). The legacy
+/// [`Parallelism::SpawnThreads`] baseline keeps its historical,
+/// unclamped behaviour. Scheduling-only either way: the kernels are
+/// bitwise identical for every thread count.
+fn thread_budget(parallelism: Parallelism, cores: usize, flops: usize) -> usize {
     if flops < PAR_MIN_FLOPS {
         1
     } else {
-        parallelism.threads()
+        match parallelism {
+            Parallelism::Threads(_) => parallelism.threads().min(cores.max(1)),
+            Parallelism::Single | Parallelism::SpawnThreads(_) => parallelism.threads(),
+        }
     }
 }
 
@@ -481,17 +555,19 @@ pub fn gemm(
         out.fill(0.0);
         return;
     }
-    let threads = thread_budget(scratch.parallelism, m * k * n);
-    let packed = scratch.pack_space(m * k);
-    pack_panels(m, k, a, k, 1, packed);
-    let packed: &[f64] = packed;
-    for_row_blocks(out, m, n, threads, |first_row, chunk| {
-        let rows = chunk.len() / n;
-        let panel = &packed[first_row * k..(first_row + rows) * k];
-        rank1_tiles(k, rows, n, panel, b, n, |r, j0, vals| {
-            chunk[r * n + j0..r * n + j0 + vals.len()].copy_from_slice(vals);
-        });
-    });
+    let threads = thread_budget(scratch.parallelism, scratch.cores, m * k * n);
+    {
+        let packed = scratch.pack_space(m * k);
+        pack_panels(m, k, a, k, 1, packed);
+    }
+    let Scratch {
+        packed,
+        parallelism,
+        reallocs,
+        pool,
+        cores,
+    } = scratch;
+    *reallocs += pool::run_gemm(pool, *parallelism, threads, *cores, k, m, n, packed, b, out);
 }
 
 /// `out = A · B^T` without materialising the transpose: `a` is `m × k`,
@@ -527,26 +603,40 @@ pub fn gemm_nt(
         out.fill(0.0);
         return;
     }
-    let threads = thread_budget(scratch.parallelism, m * k * n);
-    let space = scratch.pack_space(m * k + k * n);
-    let (packed, bt) = space.split_at_mut(m * k);
-    pack_panels(m, k, a, k, 1, packed);
-    // Transpose `b` (n × k) into `bt` (k × n): sequential writes,
-    // strided reads. Data movement only — no arithmetic order changes.
-    for (s, btrow) in bt.chunks_exact_mut(n).enumerate() {
-        for (j, d) in btrow.iter_mut().enumerate() {
-            *d = b[j * k + s];
+    let threads = thread_budget(scratch.parallelism, scratch.cores, m * k * n);
+    {
+        let space = scratch.pack_space(m * k + k * n);
+        let (packed, bt) = space.split_at_mut(m * k);
+        pack_panels(m, k, a, k, 1, packed);
+        // Transpose `b` (n × k) into `bt` (k × n): sequential writes,
+        // strided reads. Data movement only — no arithmetic order
+        // changes.
+        for (s, btrow) in bt.chunks_exact_mut(n).enumerate() {
+            for (j, d) in btrow.iter_mut().enumerate() {
+                *d = b[j * k + s];
+            }
         }
     }
-    let packed: &[f64] = packed;
-    let bt: &[f64] = bt;
-    for_row_blocks(out, m, n, threads, |first_row, chunk| {
-        let rows = chunk.len() / n;
-        let panel = &packed[first_row * k..(first_row + rows) * k];
-        rank1_tiles(k, rows, n, panel, bt, n, |r, j0, vals| {
-            chunk[r * n + j0..r * n + j0 + vals.len()].copy_from_slice(vals);
-        });
-    });
+    let Scratch {
+        packed,
+        parallelism,
+        reallocs,
+        pool,
+        cores,
+    } = scratch;
+    let (packed_a, bt) = packed.split_at(m * k);
+    *reallocs += pool::run_gemm(
+        pool,
+        *parallelism,
+        threads,
+        *cores,
+        k,
+        m,
+        n,
+        packed_a,
+        bt,
+        out,
+    );
 }
 
 /// `out = A^T · B` without materialising the transpose: `a` is
@@ -579,17 +669,30 @@ pub fn gemm_tn(
         out.fill(0.0);
         return;
     }
-    let threads = thread_budget(scratch.parallelism, m * ca * cb);
-    let packed = scratch.pack_space(ca * m);
-    pack_panels(ca, m, a, 1, ca, packed);
-    let packed: &[f64] = packed;
-    for_row_blocks(out, ca, cb, threads, |first_row, chunk| {
-        let rows = chunk.len() / cb;
-        let panel = &packed[first_row * m..(first_row + rows) * m];
-        rank1_tiles(m, rows, cb, panel, b, cb, |r, j0, vals| {
-            chunk[r * cb + j0..r * cb + j0 + vals.len()].copy_from_slice(vals);
-        });
-    });
+    let threads = thread_budget(scratch.parallelism, scratch.cores, m * ca * cb);
+    {
+        let packed = scratch.pack_space(ca * m);
+        pack_panels(ca, m, a, 1, ca, packed);
+    }
+    let Scratch {
+        packed,
+        parallelism,
+        reallocs,
+        pool,
+        cores,
+    } = scratch;
+    *reallocs += pool::run_gemm(
+        pool,
+        *parallelism,
+        threads,
+        *cores,
+        m,
+        ca,
+        cb,
+        packed,
+        b,
+        out,
+    );
 }
 
 /// Fused dense forward: `z = x · W + bias` (bias broadcast over rows)
@@ -635,23 +738,33 @@ pub fn gemm_bias_act(
         }
         return;
     }
-    let threads = thread_budget(scratch.parallelism, m * k * n);
-    let packed = scratch.pack_space(m * k);
-    pack_panels(m, k, x, k, 1, packed);
-    let packed: &[f64] = packed;
-    for_row_blocks2(z, act_out, m, n, threads, |first_row, zc, ac| {
-        let rows = zc.len() / n;
-        let panel = &packed[first_row * k..(first_row + rows) * k];
-        rank1_tiles(k, rows, n, panel, w, n, |r, j0, vals| {
-            let zrow = &mut zc[r * n + j0..r * n + j0 + vals.len()];
-            let arow = &mut ac[r * n + j0..r * n + j0 + vals.len()];
-            for (l, &v) in vals.iter().enumerate() {
-                let vb = v + bias[j0 + l];
-                zrow[l] = vb;
-                arow[l] = act(vb);
-            }
-        });
-    });
+    let threads = thread_budget(scratch.parallelism, scratch.cores, m * k * n);
+    {
+        let packed = scratch.pack_space(m * k);
+        pack_panels(m, k, x, k, 1, packed);
+    }
+    let Scratch {
+        packed,
+        parallelism,
+        reallocs,
+        pool,
+        cores,
+    } = scratch;
+    *reallocs += pool::run_fused(
+        pool,
+        *parallelism,
+        threads,
+        *cores,
+        k,
+        m,
+        n,
+        packed,
+        w,
+        bias,
+        act,
+        z,
+        act_out,
+    );
 }
 
 /// Matrix–vector product through the unrolled dot kernel: `out[i] =
@@ -768,7 +881,8 @@ mod tests {
         };
         let single = run(Parallelism::Single);
         for t in [1, 2, 3, 4, 7] {
-            assert_eq!(single, run(Parallelism::Threads(t)), "{t} threads");
+            assert_eq!(single, run(Parallelism::Threads(t)), "{t} pooled");
+            assert_eq!(single, run(Parallelism::SpawnThreads(t)), "{t} spawned");
         }
     }
 

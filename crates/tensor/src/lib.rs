@@ -41,6 +41,7 @@ mod matrix;
 pub mod init;
 pub mod kernels;
 pub mod linalg;
+pub mod pool;
 pub mod vecops;
 
 pub use error::ShapeError;

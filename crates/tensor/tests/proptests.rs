@@ -195,6 +195,62 @@ proptest! {
     }
 
     #[test]
+    fn pooled_gemm_matches_inline_and_scoped_spawn_bitwise(
+        (a, b) in matmul_pair(),
+        threads in 1usize..=8,
+    ) {
+        // The persistent pool (Threads), the legacy spawn-per-call path
+        // (SpawnThreads) and the inline kernel must agree bit-for-bit
+        // on every shape and thread count — the pool's core contract.
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut inline = vec![0.0; m * n];
+        let mut scratch = Scratch::new();
+        kernels::gemm(m, k, n, a.as_slice(), b.as_slice(), &mut inline, &mut scratch);
+        let mut spawned = vec![1.0; m * n]; // poisoned: every element must be written
+        let mut scratch = Scratch::with_parallelism(Parallelism::SpawnThreads(threads));
+        kernels::gemm(m, k, n, a.as_slice(), b.as_slice(), &mut spawned, &mut scratch);
+        prop_assert_eq!(&spawned, &inline, "spawn path changed bits at {} threads", threads);
+        let mut pooled = vec![1.0; m * n];
+        let mut scratch = Scratch::with_parallelism(Parallelism::Threads(threads));
+        // Two rounds through the same pool: the second must reuse the
+        // warm workers and still reproduce the first exactly.
+        for round in 0..2 {
+            pooled.fill(1.0);
+            kernels::gemm(m, k, n, a.as_slice(), b.as_slice(), &mut pooled, &mut scratch);
+            prop_assert_eq!(
+                &pooled, &inline,
+                "pool changed bits at {} threads (round {})", threads, round
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_fused_forward_matches_inline_and_scoped_spawn_bitwise(
+        (x, w) in matmul_pair(),
+        threads in 1usize..=8,
+    ) {
+        let (m, k) = x.shape();
+        let n = w.cols();
+        let bias: Vec<f64> = (0..n).map(|j| (j as f64 * 0.125).cos()).collect();
+        let act = |v: f64| v.max(0.0);
+        let run = |par: Parallelism| {
+            let mut z = vec![1.0; m * n];
+            let mut a = vec![1.0; m * n];
+            let mut scratch = Scratch::with_parallelism(par);
+            kernels::gemm_bias_act(
+                m, k, n, x.as_slice(), w.as_slice(), &bias, &mut z, &mut a, act, &mut scratch,
+            );
+            (z, a)
+        };
+        let inline = run(Parallelism::Single);
+        let spawned = run(Parallelism::SpawnThreads(threads));
+        prop_assert_eq!(&spawned, &inline, "fused spawn path changed bits at {} threads", threads);
+        let pooled = run(Parallelism::Threads(threads));
+        prop_assert_eq!(&pooled, &inline, "fused pool changed bits at {} threads", threads);
+    }
+
+    #[test]
     fn fused_forward_matches_unfused_bitwise((x, w) in matmul_pair()) {
         let (m, k) = x.shape();
         let n = w.cols();
