@@ -92,6 +92,37 @@ pub const DETERMINISM_SCOPE: Scope = Scope::new(
 /// is excluded: it is the one place allowed to create worker threads.
 pub const SPAWN_SCOPE: Scope = Scope::new(&["crates/tensor/src/kernels.rs"], &[]);
 
+/// Concurrency-model scope: the files the cross-file pass (lock-order
+/// graph, condvar predicate discipline, atomic-ordering audit of
+/// DESIGN.md §13) reads as one program. Exactly the three hand-rolled
+/// concurrency subsystems — the condvar/epoch compute pool, the
+/// readiness reactor gateway, and the supervised serve pipeline — by
+/// explicit file list: lock identity is by field *name*, so widening
+/// this to unrelated modules would merge unrelated names into one
+/// graph.
+pub const CONCURRENCY_SCOPE: Scope = Scope::new(
+    &[
+        "crates/tensor/src/pool.rs",
+        "crates/wire/src/reactor.rs",
+        "crates/wire/src/gateway.rs",
+        "crates/serve/src/queue.rs",
+        "crates/serve/src/supervisor.rs",
+        "crates/serve/src/worker.rs",
+        "crates/serve/src/trainer.rs",
+        "crates/serve/src/runtime.rs",
+    ],
+    &[],
+);
+
+/// Result-swallow scope: the serve and wire hot paths, where a
+/// `let _ =` on a lock, join or send result silently converts a
+/// shutdown-ordering bug into a hang or a lost panic. Driver binaries
+/// are excluded (a CLI may discard its final flush).
+pub const SWALLOW_SCOPE: Scope = Scope::new(
+    &["crates/serve/src/", "crates/wire/src/"],
+    &["crates/serve/src/bin/", "crates/wire/src/bin/"],
+);
+
 /// Paths the file walker skips entirely. The fixture corpus contains
 /// *deliberate* violations the self-tests assert on.
 pub const WALK_EXCLUDE: &[&str] = &["crates/lint/tests/fixtures/", "target/"];
@@ -169,6 +200,36 @@ mod tests {
         assert!(!SPAWN_SCOPE.contains("crates/tensor/src/pool.rs"));
         assert!(!SPAWN_SCOPE.contains("crates/tensor/src/matrix.rs"));
         assert!(!SPAWN_SCOPE.contains("crates/nn/src/train.rs"));
+    }
+
+    #[test]
+    fn concurrency_scope_is_the_exact_file_list() {
+        for file in [
+            "crates/tensor/src/pool.rs",
+            "crates/wire/src/reactor.rs",
+            "crates/wire/src/gateway.rs",
+            "crates/serve/src/queue.rs",
+            "crates/serve/src/supervisor.rs",
+            "crates/serve/src/worker.rs",
+            "crates/serve/src/trainer.rs",
+            "crates/serve/src/runtime.rs",
+        ] {
+            assert!(CONCURRENCY_SCOPE.contains(file), "{file}");
+        }
+        // Exact files, not directories: other serve modules carry no
+        // locks and must not leak their field names into the graph.
+        assert!(!CONCURRENCY_SCOPE.contains("crates/serve/src/state.rs"));
+        assert!(!CONCURRENCY_SCOPE.contains("crates/tensor/src/kernels.rs"));
+        assert!(!CONCURRENCY_SCOPE.contains("crates/wire/src/bin/wire_storm.rs"));
+    }
+
+    #[test]
+    fn swallow_scope_covers_serve_and_wire_sources_not_bins() {
+        assert!(SWALLOW_SCOPE.contains("crates/serve/src/worker.rs"));
+        assert!(SWALLOW_SCOPE.contains("crates/wire/src/gateway.rs"));
+        assert!(!SWALLOW_SCOPE.contains("crates/serve/src/bin/serve_sim.rs"));
+        assert!(!SWALLOW_SCOPE.contains("crates/wire/src/bin/wire_storm.rs"));
+        assert!(!SWALLOW_SCOPE.contains("crates/tensor/src/pool.rs"));
     }
 
     #[test]

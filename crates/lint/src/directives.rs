@@ -95,6 +95,12 @@ pub fn parse(file: &str, tokens: &[Token]) -> Directives {
             ));
         };
         if directive == "no_alloc" {
+            if !open_no_alloc.is_empty() {
+                bad(
+                    &mut d,
+                    "lint:no_alloc opened inside an already-open no_alloc region".into(),
+                );
+            }
             open_no_alloc.push(tok.line);
         } else if directive == "end_no_alloc" {
             match open_no_alloc.pop() {
@@ -103,11 +109,25 @@ pub fn parse(file: &str, tokens: &[Token]) -> Directives {
             }
         } else if let Some(rest) = directive.strip_prefix("allow-region(") {
             match parse_allow_args(rest) {
-                Ok((rule, _reason)) => open_regions.push(AllowSpan {
-                    rule,
-                    start: tok.line,
-                    end: 0,
-                }),
+                Ok((rule, _reason)) => {
+                    // Nested same-rule regions are a hard error: the
+                    // inner end-region would silently close the outer
+                    // span early, shrinking a reviewed waiver.
+                    if open_regions.iter().any(|r| r.rule == rule) {
+                        bad(
+                            &mut d,
+                            format!(
+                                "lint:allow-region({rule}) nested inside an open \
+                                 allow-region({rule})"
+                            ),
+                        );
+                    }
+                    open_regions.push(AllowSpan {
+                        rule,
+                        start: tok.line,
+                        end: 0,
+                    });
+                }
                 Err(msg) => bad(&mut d, msg),
             }
         } else if let Some(rest) = directive.strip_prefix("end-region(") {
@@ -170,7 +190,8 @@ fn parse_allow_args(rest: &str) -> Result<(String, String), String> {
     let rule = rule.trim().to_string();
     if !Rule::allowable(&rule) {
         return Err(format!(
-            "`{rule}` is not an allowable rule (panic, index, determinism, alloc)"
+            "`{rule}` is not an allowable rule (panic, index, determinism, alloc, atomics, \
+             swallow)"
         ));
     }
     let tail = tail.trim();
@@ -246,6 +267,73 @@ mod tests {
 
         let unclosed = directives("// lint:no_alloc\nlet v = Vec::new();");
         assert_eq!(unclosed.diags.len(), 1);
+    }
+
+    #[test]
+    fn nested_same_rule_allow_regions_are_hard_errors() {
+        let d = directives(
+            "// lint:allow-region(index, reason = \"outer\")\n\
+             // lint:allow-region(index, reason = \"inner\")\n\
+             a[0];\n\
+             // lint:end-region(index)\n\
+             // lint:end-region(index)",
+        );
+        assert_eq!(d.diags.len(), 1, "{:?}", d.diags);
+        assert!(d.diags[0].message.contains("nested"), "{:?}", d.diags);
+    }
+
+    #[test]
+    fn overlapping_different_rule_regions_stay_legal() {
+        // The pool overlaps an allow-region(index) with a no_alloc
+        // region — different kinds, no nesting error.
+        let d = directives(
+            "// lint:allow-region(index, reason = \"tiled\")\n\
+             // lint:no_alloc\n\
+             a[0];\n\
+             // lint:end_no_alloc\n\
+             // lint:end-region(index)",
+        );
+        assert!(d.diags.is_empty(), "{:?}", d.diags);
+    }
+
+    #[test]
+    fn nested_no_alloc_regions_are_hard_errors() {
+        let d = directives(
+            "// lint:no_alloc\n// lint:no_alloc\nbody();\n\
+             // lint:end_no_alloc\n// lint:end_no_alloc",
+        );
+        assert_eq!(d.diags.len(), 1, "{:?}", d.diags);
+    }
+
+    #[test]
+    fn unterminated_region_at_eof_is_a_hard_error() {
+        let d = directives("// lint:allow-region(panic, reason = \"x\")\nx.unwrap();");
+        assert_eq!(d.diags.len(), 1, "{:?}", d.diags);
+        assert!(d.diags[0].message.contains("never closed"), "{:?}", d.diags);
+        // ...and the unterminated region waives nothing.
+        assert!(!d.allowed(Rule::Panic, 2));
+    }
+
+    #[test]
+    fn atomics_and_swallow_are_allowable_lock_order_and_condvar_are_not() {
+        assert!(directives("// lint:allow(atomics, reason = \"x\")")
+            .diags
+            .is_empty());
+        assert!(directives("// lint:allow(swallow, reason = \"x\")")
+            .diags
+            .is_empty());
+        assert_eq!(
+            directives("// lint:allow(lock-order, reason = \"x\")")
+                .diags
+                .len(),
+            1
+        );
+        assert_eq!(
+            directives("// lint:allow(condvar, reason = \"x\")")
+                .diags
+                .len(),
+            1
+        );
     }
 
     #[test]

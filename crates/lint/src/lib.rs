@@ -24,41 +24,56 @@
 //! | determinism | `determinism` | every numeric crate's `src` |
 //! | allocation | `alloc` | `// lint:no_alloc` regions |
 //! | unsafe/layering | `unsafe`, `layering` | crate roots + manifests |
+//! | concurrency | `lock-order`, `condvar`, `atomics`, `swallow` | the hand-rolled concurrency subsystems |
 //! | the hatch itself | `directive` | everywhere |
+//!
+//! The concurrency family is a **two-pass, cross-file** analysis
+//! ([`concurrency`], DESIGN.md §13): pass one builds a symbol table of
+//! lock/condvar/atomic fields over the whole
+//! [`config::CONCURRENCY_SCOPE`] file set, pass two walks each file's
+//! scope tree ([`model`]) tracking live guards, producing a global
+//! lock-order graph (`--graph-dot` exports it as Graphviz DOT).
 //!
 //! Waivers are inline and **must carry a reason**:
 //! `lint:allow(<rule>, reason = "...")` (see [`directives`]). The
-//! `unsafe` and `layering` rules have no waiver. DESIGN.md §9 holds
-//! the full rule table and the how-to-add-a-rule walkthrough.
+//! `unsafe`, `layering`, `spawn`, `lock-order` and `condvar` rules
+//! have no waiver. DESIGN.md §9 holds the full rule table and the
+//! how-to-add-a-rule walkthrough.
 //!
 //! ## Exit codes
 //!
 //! The binary exits with the OR of the offended families' bits —
 //! panic `1`, determinism `2`, alloc `4`, unsafe/layering `8`,
-//! directive `16` — so a CI log identifies the broken contract from
-//! the code alone. `0` is a clean tree.
+//! directive `16`, concurrency `32` — so a CI log identifies the
+//! broken contract from the code alone. `0` is a clean tree.
 
 #![deny(unsafe_code)]
 
+pub mod concurrency;
 pub mod config;
 pub mod diagnostics;
 pub mod directives;
 pub mod manifest;
+pub mod model;
 pub mod rules;
 pub mod tokenizer;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use diagnostics::{json_escape, Diagnostic};
+use diagnostics::{byte_offset, json_escape, Diagnostic};
 
 /// Result of linting a whole tree.
 #[derive(Debug, Default)]
 pub struct LintReport {
-    /// All surviving violations, sorted by (file, line, col).
+    /// All surviving violations, sorted by
+    /// (file, byte offset, line, col, rule) — see [`Self::normalize`].
     pub diagnostics: Vec<Diagnostic>,
+    /// The cross-file lock-order graph of the concurrency pass.
+    pub lock_graph: concurrency::LockGraph,
     /// Number of Rust sources scanned.
     pub sources_scanned: usize,
     /// Number of manifests checked.
@@ -90,6 +105,18 @@ impl LintReport {
         out
     }
 
+    /// Re-establishes the report's ordering invariant: diagnostics
+    /// sorted by (file, byte offset, line, col, rule). The byte offset
+    /// leads so the JSON artifact's order is stable under any future
+    /// change to how rules report columns; line/col follow as
+    /// tie-breakers for synthetic positions whose offset saturated.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.file, a.offset, a.line, a.col, a.rule)
+                .cmp(&(&b.file, b.offset, b.line, b.col, b.rule))
+        });
+    }
+
     /// Machine-readable report (the CI artifact).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"violations\": [");
@@ -98,9 +125,10 @@ impl LintReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
-                 \"message\": \"{}\"}}",
+                "\n    {{\"file\": \"{}\", \"offset\": {}, \"line\": {}, \"col\": {}, \
+                 \"rule\": \"{}\", \"message\": \"{}\"}}",
                 json_escape(&d.file),
+                d.offset,
                 d.line,
                 d.col,
                 d.rule,
@@ -123,6 +151,7 @@ impl LintReport {
 /// rule.
 pub fn run(root: &Path) -> io::Result<LintReport> {
     let mut report = LintReport::default();
+    let mut texts: BTreeMap<String, String> = BTreeMap::new();
 
     let aliases = match fs::read_to_string(root.join("Cargo.toml")) {
         Ok(ws) => manifest::workspace_aliases(&ws),
@@ -136,18 +165,35 @@ pub fn run(root: &Path) -> io::Result<LintReport> {
             .diagnostics
             .extend(manifest::check_manifest(&rel, &contents, &aliases));
         report.manifests_checked += 1;
+        texts.insert(rel, contents);
     }
 
+    // Pass one: the per-file rules, keeping every source so pass two
+    // can read the concurrency scope as one program.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in walk::rust_sources(root)? {
         let rel = walk::rel_path(root, &path);
         let src = fs::read_to_string(&path)?;
         report.diagnostics.extend(rules::analyze_source(&rel, &src));
         report.sources_scanned += 1;
+        sources.push((rel, src));
     }
 
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    // Pass two: the cross-file concurrency analysis.
+    let (conc_diags, lock_graph) = concurrency::analyze(&sources);
+    report.diagnostics.extend(conc_diags);
+    report.lock_graph = lock_graph;
+
+    // Fill in byte offsets from the retained texts, then sort.
+    for (rel, src) in sources {
+        texts.entry(rel).or_insert(src);
+    }
+    for d in &mut report.diagnostics {
+        if let Some(src) = texts.get(&d.file) {
+            d.offset = byte_offset(src, d.line, d.col);
+        }
+    }
+    report.normalize();
     Ok(report)
 }
 

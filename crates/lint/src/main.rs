@@ -3,26 +3,33 @@
 //! ```text
 //! cargo run -p occusense-lint             # lint the workspace, rustc-style output
 //! cargo run -p occusense-lint -- --json   # machine-readable report on stdout
+//! cargo run -p occusense-lint -- --graph-dot lock_order.dot
 //! cargo run -p occusense-lint -- --root <dir>
 //! ```
 //!
+//! `--graph-dot <path>` writes the cross-file lock-order graph as
+//! Graphviz DOT (cyclic edges drawn red) — CI uploads it as a build
+//! artifact.
+//!
 //! Exit code: OR of the offended rule families' bits (panic `1`,
-//! determinism `2`, alloc `4`, unsafe/layering `8`, directive `16`);
-//! `0` on a clean tree, `64` on usage errors.
+//! determinism `2`, alloc `4`, unsafe/layering `8`, directive `16`,
+//! concurrency `32`); `0` on a clean tree, `64` on usage errors.
 
 #![deny(unsafe_code)]
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use occusense_lint::{find_workspace_root, run};
 
-const USAGE: &str = "usage: occusense-lint [--json] [--root <workspace-dir>]";
+const USAGE: &str = "usage: occusense-lint [--json] [--graph-dot <path>] [--root <workspace-dir>]";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut graph_dot: Option<PathBuf> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,6 +38,13 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(64);
+                }
+            },
+            "--graph-dot" => match args.next() {
+                Some(path) => graph_dot = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--graph-dot needs a file path\n{USAGE}");
                     return ExitCode::from(64);
                 }
             },
@@ -59,6 +73,12 @@ fn main() -> ExitCode {
 
     match run(&root) {
         Ok(report) => {
+            if let Some(path) = graph_dot {
+                if let Err(err) = fs::write(&path, report.lock_graph.to_dot()) {
+                    eprintln!("occusense-lint: cannot write {}: {err}", path.display());
+                    return ExitCode::from(64);
+                }
+            }
             if json {
                 print!("{}", report.to_json());
             } else {

@@ -7,7 +7,7 @@
 //! functions are exempt from the behavioural rules (tests unwrap
 //! freely); the `unsafe` rule has no exemptions at all.
 
-use crate::config::{DETERMINISM_SCOPE, INDEX_SCOPE, PANIC_SCOPE, SPAWN_SCOPE};
+use crate::config::{DETERMINISM_SCOPE, INDEX_SCOPE, PANIC_SCOPE, SPAWN_SCOPE, SWALLOW_SCOPE};
 use crate::diagnostics::{Diagnostic, Rule};
 use crate::directives;
 use crate::tokenizer::{tokenize, Token, TokenKind};
@@ -100,6 +100,9 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     if SPAWN_SCOPE.contains(rel) {
         scan_spawn(rel, &code, &mut diags);
     }
+    if SWALLOW_SCOPE.contains(rel) {
+        scan_swallow(rel, &code, &mut diags);
+    }
     if dir.has_no_alloc_regions() {
         scan_alloc(rel, &code, &dir, &mut diags);
     }
@@ -117,8 +120,9 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Diagnostic> {
 
 /// Line spans (inclusive) covered by `#[cfg(test)]` items or `#[test]`
 /// functions — token-based, so braces in strings cannot derail the
-/// matcher.
-fn test_excluded_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+/// matcher. Shared with [`crate::concurrency`], whose rules exempt
+/// test code the same way.
+pub(crate) fn test_excluded_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
     let toks: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
     let mut spans = Vec::new();
     let mut i = 0;
@@ -336,6 +340,115 @@ fn scan_alloc(
                 format!("{what} inside a lint:no_alloc region"),
             ));
         }
+    }
+}
+
+/// `Result`-bearing calls whose discarded outcome hides a shutdown-
+/// ordering or backpressure bug on the serve/wire hot paths: a
+/// swallowed `join` loses a worker panic, a swallowed `push`/`send`
+/// loses a frame with no counter recording it.
+const SWALLOW_METHODS: &[&str] = &[
+    "lock", "read", "write", "join", "send", "try_send", "push", "try_push",
+];
+
+fn scan_swallow(rel: &str, code: &[&Token], diags: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < code.len() {
+        let tok = code[i];
+
+        // `let _ = <expr calling .m(...)>;` — scan the discarded
+        // expression (to its `;` at bracket depth 0, so closure bodies
+        // cannot end the statement early) for the first swallowed call.
+        if tok.is_ident("let")
+            && code.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            && code.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let mut j = i + 3;
+            let mut depth = 0usize;
+            let mut hit: Option<&Token> = None;
+            while j < code.len() {
+                let t = code[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                }
+                if hit.is_none()
+                    && t.kind == TokenKind::Ident
+                    && SWALLOW_METHODS.contains(&t.text.as_str())
+                    && code[j - 1].is_punct('.')
+                    && code.get(j + 1).is_some_and(|p| p.is_punct('('))
+                {
+                    hit = Some(t);
+                }
+                j += 1;
+            }
+            if let Some(t) = hit {
+                diags.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    t.col,
+                    Rule::Swallow,
+                    format!(
+                        "`let _ =` discards the `{}` result on a hot path; propagate the error \
+                         or count the failure in a metric",
+                        t.text
+                    ),
+                ));
+            }
+            i = j;
+            continue;
+        }
+
+        // `<expr>.m(...).ok();` with no binding — the trailing-`.ok()`
+        // discard idiom. A `let`-bound `.ok()` observes the outcome and
+        // stays legal.
+        if tok.is_ident("ok")
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            && code.get(i + 3).is_some_and(|t| t.is_punct(';'))
+        {
+            let mut s = i;
+            let mut steps = 0;
+            while s > 0 && steps < 64 {
+                let t = code[s - 1];
+                if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                    break;
+                }
+                s -= 1;
+                steps += 1;
+            }
+            let bound = code.get(s).is_some_and(|t| t.is_ident("let"));
+            let swallowed = (s.max(1)..i).find_map(|k| {
+                (code[k].kind == TokenKind::Ident
+                    && SWALLOW_METHODS.contains(&code[k].text.as_str())
+                    && code[k - 1].is_punct('.')
+                    && code.get(k + 1).is_some_and(|p| p.is_punct('(')))
+                .then(|| code[k].text.clone())
+            });
+            if !bound {
+                if let Some(m) = swallowed {
+                    diags.push(Diagnostic::new(
+                        rel,
+                        tok.line,
+                        tok.col,
+                        Rule::Swallow,
+                        format!(
+                            "`.ok()` discards the `{m}` error on a hot path; propagate the \
+                             error or count the failure in a metric"
+                        ),
+                    ));
+                }
+            }
+        }
+        i += 1;
     }
 }
 

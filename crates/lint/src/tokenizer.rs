@@ -50,6 +50,10 @@ pub struct Token {
     pub line: u32,
     /// 1-based source column (in characters) of the first character.
     pub col: u32,
+    /// 0-based byte offset of the token's first character — the
+    /// stable sort key diagnostics are ordered by (lines and columns
+    /// are for humans; offsets make CI artifact diffs byte-exact).
+    pub offset: u32,
 }
 
 impl Token {
@@ -74,6 +78,7 @@ struct Lexer {
     i: usize,
     line: u32,
     col: u32,
+    offset: u32,
 }
 
 impl Lexer {
@@ -84,6 +89,7 @@ impl Lexer {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.i).copied()?;
         self.i += 1;
+        self.offset += c.len_utf8() as u32;
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -121,6 +127,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
         i: 0,
         line: 1,
         col: 1,
+        offset: 0,
     };
     let mut tokens = Vec::new();
 
@@ -129,7 +136,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
             lx.bump();
             continue;
         }
-        let (line, col) = (lx.line, lx.col);
+        let (line, col, offset) = (lx.line, lx.col, lx.offset);
         let mut text = String::new();
         let kind = match c {
             '/' if lx.peek(1) == Some('/') => {
@@ -199,6 +206,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
             text,
             line,
             col,
+            offset,
         });
     }
     tokens
@@ -376,6 +384,18 @@ mod tests {
         let toks = tokenize("ab\n  cd");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn offsets_are_byte_offsets() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 5);
+        // Multi-byte characters advance the offset by their UTF-8
+        // width, not by one.
+        let toks = tokenize("\"é\" x");
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 5);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! DESIGN.md §9 ↔ code synchronisation: the documented rule table and
+//! the analyzer's actual rule roster must match *exactly* — same
+//! rules, same order, same exit bits. Adding a rule without its row
+//! (or documenting a rule the code no longer has, or changing a
+//! family's bit in only one place) is a test failure, not a silent
+//! documentation drift.
+
+use occusense_lint::diagnostics::Rule;
+
+const DESIGN: &str = include_str!("../../../DESIGN.md");
+
+/// Parses the §9 rule table: rows are `| \`name\` | … | bit |`.
+fn documented_rules() -> Vec<(String, i32)> {
+    let table = DESIGN
+        .find("### Rule table")
+        .map(|i| &DESIGN[i..])
+        .expect("DESIGN.md has a '### Rule table' heading in §9");
+    let mut rows = Vec::new();
+    let mut started = false;
+    for line in table.lines() {
+        if line.starts_with("| `") {
+            started = true;
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            // cells[0] and cells.last() are the empty fringes of the
+            // leading/trailing pipes.
+            let name = cells
+                .get(1)
+                .and_then(|c| c.strip_prefix('`'))
+                .and_then(|c| c.split('`').next())
+                .expect("rule cell wraps the name in backticks");
+            let bit = cells
+                .get(cells.len() - 2)
+                .expect("exit-bit cell")
+                .parse::<i32>()
+                .expect("exit-bit cell is an integer");
+            rows.push((name.to_string(), bit));
+        } else if started && !line.starts_with('|') {
+            break;
+        }
+    }
+    rows
+}
+
+#[test]
+fn design_rule_table_matches_the_rule_roster_exactly() {
+    let documented = documented_rules();
+    let actual: Vec<(String, i32)> = Rule::ALL
+        .iter()
+        .map(|r| (r.name().to_string(), r.exit_bit()))
+        .collect();
+    assert_eq!(
+        documented, actual,
+        "DESIGN.md §9 rule table is out of sync with diagnostics::Rule::ALL \
+         (same rules, same order, same exit bits required)"
+    );
+}
+
+#[test]
+fn every_documented_exit_bit_is_a_real_family_bit() {
+    use occusense_lint::diagnostics::{
+        EXIT_ALLOC, EXIT_CONCURRENCY, EXIT_DETERMINISM, EXIT_DIRECTIVE, EXIT_LAYERING, EXIT_PANIC,
+    };
+    let families = [
+        EXIT_PANIC,
+        EXIT_DETERMINISM,
+        EXIT_ALLOC,
+        EXIT_LAYERING,
+        EXIT_DIRECTIVE,
+        EXIT_CONCURRENCY,
+    ];
+    for (name, bit) in documented_rules() {
+        assert!(
+            families.contains(&bit),
+            "rule `{name}` documents exit bit {bit}, which is no family's bit"
+        );
+    }
+    // ...and every family bit is claimed by at least one rule.
+    for fam in families {
+        assert!(
+            Rule::ALL.iter().any(|r| r.exit_bit() == fam),
+            "family bit {fam} has no rule"
+        );
+    }
+}

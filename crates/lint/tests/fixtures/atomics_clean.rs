@@ -1,0 +1,33 @@
+//! Atomics fixture, clean twin: `hits` is Relaxed at every site (a
+//! pure counter needs no ordering), `epoch` pairs Release stores with
+//! Acquire loads, `stop` is SeqCst throughout, and the one deliberate
+//! Relaxed read of `epoch` carries a reviewed waiver.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Pool {
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    stop: AtomicBool,
+}
+
+pub fn publish(p: &Pool) {
+    p.epoch.store(1, Ordering::Release);
+    p.stop.store(true, Ordering::SeqCst);
+}
+
+pub fn observe(p: &Pool) -> u64 {
+    while !p.stop.load(Ordering::SeqCst) {
+        p.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    p.epoch.load(Ordering::Acquire)
+}
+
+pub fn tally(p: &Pool) -> u64 {
+    p.hits.load(Ordering::Relaxed)
+}
+
+pub fn gauge(p: &Pool) -> u64 {
+    // lint:allow(atomics, reason = "monotonic progress gauge; a stale read only under-reports and the next Acquire load catches up")
+    p.epoch.load(Ordering::Relaxed)
+}

@@ -1,0 +1,33 @@
+//! Atomics fixture, fire twin: `remaining` mixes an AcqRel
+//! read-modify-write with Relaxed loads (one of which gates a condvar
+//! wait loop — the lost-wakeup shape), and `stop` mixes SeqCst stores
+//! with a Relaxed load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+pub struct Pool {
+    remaining: AtomicU64,
+    stop: AtomicBool,
+    ctrl: Mutex<u64>,
+    work_done: Condvar,
+}
+
+pub fn finish(p: &Pool) {
+    p.remaining.fetch_sub(1, Ordering::AcqRel);
+    p.stop.store(true, Ordering::SeqCst);
+}
+
+pub fn spin(p: &Pool) -> bool {
+    while p.remaining.load(Ordering::Relaxed) != 0 {
+        std::hint::spin_loop();
+    }
+    p.stop.load(Ordering::Relaxed)
+}
+
+pub fn park(p: &Pool) {
+    let mut ctrl = p.ctrl.lock().unwrap();
+    while p.remaining.load(Ordering::Relaxed) != 0 {
+        ctrl = p.work_done.wait(ctrl).unwrap();
+    }
+}

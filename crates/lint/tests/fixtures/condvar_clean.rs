@@ -1,0 +1,48 @@
+//! Condvar fixture, clean twin: every wait is re-checked by an
+//! enclosing `while`/`loop` predicate (including one reached through a
+//! `match` arm), and `wait_while` carries its predicate inherently.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+pub struct Queue {
+    state: Mutex<State>,
+    not_empty: Condvar,
+}
+
+pub fn pop_while(q: &Queue) -> u64 {
+    let mut state = q.state.lock().unwrap();
+    while state.items == 0 {
+        state = q.not_empty.wait(state).unwrap();
+    }
+    state.items
+}
+
+pub fn pop_loop(q: &Queue) -> u64 {
+    let mut state = q.state.lock().unwrap();
+    loop {
+        if state.items > 0 {
+            return state.items;
+        }
+        state = q.not_empty.wait(state).unwrap();
+    }
+}
+
+pub fn pop_deadline(q: &Queue, budget: Duration) -> u64 {
+    let mut state = q.state.lock().unwrap();
+    while state.items == 0 {
+        state = match q.not_empty.wait_timeout(state, budget) {
+            Ok((s, _timed_out)) => s,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+    }
+    state.items
+}
+
+pub fn pop_predicated(q: &Queue) -> u64 {
+    let state = q
+        .not_empty
+        .wait_while(q.state.lock().unwrap(), |s| s.items == 0)
+        .unwrap();
+    state.items
+}

@@ -1,0 +1,36 @@
+//! Condvar fixture, fire twin: a bare wait, an `if`-guarded wait and
+//! an `if`-guarded `wait_timeout` — all three lose wakeups or act on a
+//! stale predicate. The inline `lint:allow` is inert: `condvar` has no
+//! escape hatch.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+pub struct Queue {
+    state: Mutex<State>,
+    not_empty: Condvar,
+}
+
+pub fn pop_bare(q: &Queue) -> u64 {
+    let mut state = q.state.lock().unwrap();
+    // lint:allow(condvar, reason = "not waivable; this changes nothing")
+    state = q.not_empty.wait(state).unwrap();
+    state.items
+}
+
+pub fn pop_if(q: &Queue) -> u64 {
+    let mut state = q.state.lock().unwrap();
+    if state.items == 0 {
+        state = q.not_empty.wait(state).unwrap();
+    }
+    state.items
+}
+
+pub fn pop_if_deadline(q: &Queue, budget: Duration) -> u64 {
+    let mut state = q.state.lock().unwrap();
+    if state.items == 0 {
+        let (s, _timed_out) = q.not_empty.wait_timeout(state, budget).unwrap();
+        state = s;
+    }
+    state.items
+}

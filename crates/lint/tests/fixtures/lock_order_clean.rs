@@ -1,0 +1,35 @@
+//! Lock-order fixture, clean twin: every path that holds both locks
+//! takes `ctrl` before `inputs`, so the graph is one acyclic edge.
+//! Block-scoped and explicitly dropped guards release before the next
+//! acquisition and contribute no edge at all.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    ctrl: Mutex<u64>,
+    inputs: Mutex<Vec<f32>>,
+}
+
+pub fn forward(s: &Shared) {
+    let mut ctrl = s.ctrl.lock().unwrap();
+    let mut inputs = s.inputs.lock().unwrap();
+    *ctrl += 1;
+    inputs.clear();
+}
+
+pub fn block_scoped(s: &Shared) {
+    {
+        let mut ctrl = s.ctrl.lock().unwrap();
+        *ctrl += 1;
+    }
+    let mut inputs = s.inputs.lock().unwrap();
+    inputs.push(0.0);
+}
+
+pub fn reversed_after_drop(s: &Shared) {
+    let inputs = s.inputs.lock().unwrap();
+    let staged = inputs.len();
+    drop(inputs);
+    let mut ctrl = s.ctrl.lock().unwrap();
+    *ctrl += staged as u64;
+}

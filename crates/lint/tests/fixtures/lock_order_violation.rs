@@ -1,0 +1,24 @@
+//! Lock-order fixture, fire twin: `forward` holds `ctrl` while taking
+//! `inputs`, `backward` holds `inputs` while taking `ctrl` — the
+//! two-function inversion whose interleaving deadlocks.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    ctrl: Mutex<u64>,
+    inputs: Mutex<Vec<f32>>,
+}
+
+pub fn forward(s: &Shared) {
+    let mut ctrl = s.ctrl.lock().unwrap();
+    let mut inputs = s.inputs.lock().unwrap();
+    *ctrl += 1;
+    inputs.clear();
+}
+
+pub fn backward(s: &Shared) {
+    let mut inputs = s.inputs.lock().unwrap();
+    let mut ctrl = s.ctrl.lock().unwrap();
+    inputs.push(*ctrl as f32);
+    *ctrl += 1;
+}

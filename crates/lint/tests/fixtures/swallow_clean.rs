@@ -1,0 +1,21 @@
+//! Swallow fixture, clean twin: every lock/join/send outcome is
+//! propagated, counted, or bound — and the one deliberate discard
+//! carries a reviewed waiver. `let _ =` on a non-swallow call stays
+//! legal.
+
+pub fn run(q: &Queue, h: JoinHandle, out: &Sender, panics: &Counter) -> Result<(), Error> {
+    if q.push(1u64).is_err() {
+        return Err(Error::Full);
+    }
+    if h.join().is_err() {
+        panics.inc();
+    }
+    let delivered = out.send(2u64).ok();
+    if delivered.is_none() {
+        return Err(Error::Gone);
+    }
+    // lint:allow(swallow, reason = "loss is counted by the routed-minus-sent identity in the report")
+    let _ = q.push(3u64);
+    let _ = recompute_watermark(q);
+    Ok(())
+}

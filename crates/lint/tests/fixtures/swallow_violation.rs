@@ -1,0 +1,9 @@
+//! Swallow fixture, fire twin: a discarded queue push, a discarded
+//! join (a lost worker panic), and a trailing-`.ok()` discard of a
+//! send result.
+
+pub fn run(q: &Queue, h: JoinHandle, out: &Sender) {
+    let _ = q.push(1u64);
+    let _ = h.join();
+    out.send(2u64).ok();
+}

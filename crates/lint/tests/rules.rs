@@ -9,6 +9,7 @@
 //! table itself: a fixture scored under a serve path must behave
 //! differently from one scored under an out-of-scope path.
 
+use occusense_lint::concurrency::{self, LockGraph};
 use occusense_lint::diagnostics::{Diagnostic, Rule};
 use occusense_lint::manifest;
 use occusense_lint::rules::analyze_source;
@@ -20,9 +21,20 @@ const NO_SCOPE_PATH: &str = "crates/lint/src/fixture.rs";
 const STATE_TABLE_PATH: &str = "crates/serve/src/state.rs";
 const KERNELS_PATH: &str = "crates/tensor/src/kernels.rs";
 const POOL_PATH: &str = "crates/tensor/src/pool.rs";
+const QUEUE_PATH: &str = "crates/serve/src/queue.rs";
 
 fn count(diags: &[Diagnostic], rule: Rule) -> usize {
     diags.iter().filter(|d| d.rule == rule).count()
+}
+
+/// Runs the cross-file concurrency pass on fixtures under pretended
+/// in-scope paths.
+fn conc(files: &[(&str, &str)]) -> (Vec<Diagnostic>, LockGraph) {
+    let files: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    concurrency::analyze(&files)
 }
 
 // ---------------------------------------------------------------- panic
@@ -299,7 +311,159 @@ fn layering_rule_is_silent_on_the_wire_crates_real_edges() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// ----------------------------------------------------------- lock-order
+
+#[test]
+fn lock_order_fires_on_the_two_function_inversion() {
+    let (diags, graph) = conc(&[(POOL_PATH, include_str!("fixtures/lock_order_violation.rs"))]);
+    assert_eq!(count(&diags, Rule::LockOrder), 1, "{diags:?}");
+    let msg = &diags[0].message;
+    // Both witness paths are in the one diagnostic: the forward leg
+    // and the inverted leg, each with its function.
+    for needle in ["ctrl", "inputs", "`forward`", "`backward`"] {
+        assert!(msg.contains(needle), "missing {needle} in: {msg}");
+    }
+    assert_eq!(graph.cycles().len(), 1, "{:?}", graph.cycles());
+}
+
+#[test]
+fn lock_order_is_silent_on_the_clean_twin() {
+    let (diags, graph) = conc(&[(POOL_PATH, include_str!("fixtures/lock_order_clean.rs"))]);
+    assert!(diags.is_empty(), "{diags:?}");
+    // The acyclic order is still recorded: one `ctrl -> inputs` edge
+    // (the block-scoped and dropped guards contribute none).
+    assert_eq!(graph.nodes, vec!["ctrl".to_string(), "inputs".to_string()]);
+    assert_eq!(graph.edges.len(), 1, "{:?}", graph.edges);
+    assert_eq!(
+        (graph.edges[0].from.as_str(), graph.edges[0].to.as_str()),
+        ("ctrl", "inputs")
+    );
+    assert!(graph.cycles().is_empty());
+}
+
+#[test]
+fn lock_order_fires_across_files() {
+    let pool = include_str!("fixtures/lock_order_cross_pool.rs");
+    let queue = include_str!("fixtures/lock_order_cross_queue.rs");
+    // Each half alone is clean...
+    let (alone, _) = conc(&[(POOL_PATH, pool)]);
+    assert!(alone.is_empty(), "{alone:?}");
+    let (alone, _) = conc(&[(QUEUE_PATH, queue)]);
+    assert!(alone.is_empty(), "{alone:?}");
+    // ...together they invert, and the diagnostic names both files.
+    let (diags, graph) = conc(&[(POOL_PATH, pool), (QUEUE_PATH, queue)]);
+    assert_eq!(count(&diags, Rule::LockOrder), 1, "{diags:?}");
+    let msg = &diags[0].message;
+    assert!(msg.contains("pool.rs"), "{msg}");
+    assert!(msg.contains("queue.rs"), "{msg}");
+    assert_eq!(graph.cycles().len(), 1);
+}
+
+#[test]
+fn lock_order_respects_scope() {
+    // The same inversion outside the concurrency scope is invisible —
+    // no diagnostics, no graph nodes.
+    let (diags, graph) = conc(&[(
+        NO_SCOPE_PATH,
+        include_str!("fixtures/lock_order_violation.rs"),
+    )]);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert!(graph.nodes.is_empty());
+}
+
+#[test]
+fn lock_graph_dot_export_marks_the_cycle() {
+    let (_, graph) = conc(&[(POOL_PATH, include_str!("fixtures/lock_order_violation.rs"))]);
+    let dot = graph.to_dot();
+    assert!(dot.starts_with("digraph lock_order {"), "{dot}");
+    assert!(dot.contains("\"ctrl\" -> \"inputs\""), "{dot}");
+    assert!(dot.contains("\"inputs\" -> \"ctrl\""), "{dot}");
+    assert!(dot.contains("color=red"), "{dot}");
+    // Determinism: two renders are byte-identical.
+    assert_eq!(dot, graph.to_dot());
+}
+
+// -------------------------------------------------------------- condvar
+
+#[test]
+fn condvar_fires_on_unlooped_waits_and_ignores_the_hatch() {
+    let (diags, _) = conc(&[(QUEUE_PATH, include_str!("fixtures/condvar_violation.rs"))]);
+    // Bare wait (its lint:allow is inert — condvar has no hatch),
+    // if-guarded wait, if-guarded wait_timeout.
+    assert_eq!(count(&diags, Rule::Condvar), 3, "{diags:?}");
+}
+
+#[test]
+fn condvar_is_silent_on_the_clean_twin() {
+    let (diags, _) = conc(&[(QUEUE_PATH, include_str!("fixtures/condvar_clean.rs"))]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// -------------------------------------------------------------- atomics
+
+#[test]
+fn atomics_fires_on_mixed_orderings_and_gated_waits() {
+    let (diags, _) = conc(&[(POOL_PATH, include_str!("fixtures/atomics_violation.rs"))]);
+    assert_eq!(count(&diags, Rule::Atomics), 3, "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("gates a condvar wait loop")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .filter(|d| d.message.contains("mixed orderings"))
+            .count()
+            == 2,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn atomics_is_silent_on_consistent_or_waived_sites() {
+    let (diags, _) = conc(&[(POOL_PATH, include_str!("fixtures/atomics_clean.rs"))]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// -------------------------------------------------------------- swallow
+
+#[test]
+fn swallow_fires_on_discarded_results() {
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/swallow_violation.rs"));
+    // let _ = push, let _ = join, trailing send(...).ok()
+    assert_eq!(count(&diags, Rule::Swallow), 3, "{diags:?}");
+}
+
+#[test]
+fn swallow_is_silent_on_handled_bound_or_waived_results() {
+    let diags = analyze_source(SERVE_PATH, include_str!("fixtures/swallow_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn swallow_respects_scope() {
+    // The tensor pool joins its own workers with its own accounting;
+    // the swallow rule is a serve/wire hot-path contract.
+    let diags = analyze_source(POOL_PATH, include_str!("fixtures/swallow_violation.rs"));
+    assert_eq!(count(&diags, Rule::Swallow), 0, "{diags:?}");
+}
+
 // ------------------------------------------------------------ exit bits
+
+#[test]
+fn concurrency_family_sets_exit_bit_32() {
+    let mut report = occusense_lint::LintReport::default();
+    report.diagnostics.extend(analyze_source(
+        SERVE_PATH,
+        include_str!("fixtures/swallow_violation.rs"),
+    ));
+    assert_eq!(report.exit_code(), 32);
+    let (diags, _) = conc(&[(POOL_PATH, include_str!("fixtures/lock_order_violation.rs"))]);
+    report.diagnostics.extend(diags);
+    assert_eq!(report.exit_code(), 32);
+}
 
 #[test]
 fn exit_code_is_the_or_of_offended_families() {
@@ -320,4 +484,47 @@ fn exit_code_is_the_or_of_offended_families() {
         include_str!("fixtures/directive_violation.rs"),
     ));
     assert_eq!(report.exit_code(), 1 | 2 | 16);
+}
+
+// --------------------------------------------------------- report order
+
+#[test]
+fn report_orders_by_path_then_offset_then_rule_and_json_is_stable() {
+    let mk = |file: &str, offset: u32, rule: Rule| {
+        let mut d = Diagnostic::new(file, 1, 1, rule, "x");
+        d.offset = offset;
+        d
+    };
+    let mut report = occusense_lint::LintReport::default();
+    // Deliberately shuffled input.
+    report.diagnostics = vec![
+        mk("b.rs", 10, Rule::Panic),
+        mk("a.rs", 20, Rule::Swallow),
+        mk("a.rs", 5, Rule::Atomics),
+        mk("a.rs", 5, Rule::Panic),
+    ];
+    report.normalize();
+    let order: Vec<(&str, u32, Rule)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.as_str(), d.offset, d.rule))
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            // Same file and offset: rule order breaks the tie.
+            ("a.rs", 5, Rule::Panic),
+            ("a.rs", 5, Rule::Atomics),
+            ("a.rs", 20, Rule::Swallow),
+            ("b.rs", 10, Rule::Panic),
+        ]
+    );
+    // The JSON artifact carries the offset and renders in that order,
+    // byte-identically across calls.
+    let json = report.to_json();
+    assert_eq!(json, report.to_json());
+    let first_a = json.find("\"offset\": 5").expect("offset field");
+    let then_a = json.find("\"offset\": 20").expect("offset field");
+    let then_b = json.find("\"file\": \"b.rs\"").expect("file field");
+    assert!(first_a < then_a && then_a < then_b, "{json}");
 }

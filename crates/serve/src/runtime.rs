@@ -255,6 +255,11 @@ pub mod wire_stats {
     /// Gateway locks recovered from poisoning (a panicking holder left
     /// the lock; the state was still consistent and service continued).
     pub const LOCK_RECOVERIES: &str = "wire.lock_recoveries";
+    /// Gateway threads (accept loop, reactors, router) whose join at
+    /// shutdown surfaced a panic. The panic was already contained —
+    /// the thread is gone either way — but a non-zero count means some
+    /// traffic window went unserved.
+    pub const THREAD_PANICS: &str = "wire.thread_panics";
 }
 
 /// Transport-boundary counters of one run, all zero unless an
@@ -289,6 +294,8 @@ pub struct WireCounters {
     pub connection_panics: u64,
     /// Gateway locks recovered after a poisoning panic.
     pub lock_recoveries: u64,
+    /// Gateway threads whose shutdown join surfaced a panic.
+    pub thread_panics: u64,
 }
 
 impl WireCounters {
@@ -435,11 +442,11 @@ impl fmt::Display for ServeReport {
                 w.predictions_unrouted,
                 fr.transport_timeouts
             )?;
-            if w.connection_panics > 0 || w.lock_recoveries > 0 {
+            if w.connection_panics > 0 || w.lock_recoveries > 0 || w.thread_panics > 0 {
                 writeln!(
                     f,
-                    "wire: {} connection panics contained · {} lock recoveries",
-                    w.connection_panics, w.lock_recoveries
+                    "wire: {} connection panics contained · {} lock recoveries · {} thread panics",
+                    w.connection_panics, w.lock_recoveries, w.thread_panics
                 )?;
             }
         }
@@ -818,6 +825,7 @@ impl ServeRuntime {
             predictions_unrouted: self.metrics.counter(wire_stats::PREDICTIONS_UNROUTED).get(),
             connection_panics: self.metrics.counter(wire_stats::CONNECTION_PANICS).get(),
             lock_recoveries: self.metrics.counter(wire_stats::LOCK_RECOVERIES).get(),
+            thread_panics: self.metrics.counter(wire_stats::THREAD_PANICS).get(),
         };
         ServeReport {
             elapsed,

@@ -319,6 +319,7 @@ fn flush(
         if let (Some(trainer), Some(label)) = (&ctx.trainer_queue, job.label) {
             // The trainer queue sheds (DropOldest) rather than ever
             // stalling the inference path; losses show in its counters.
+            // lint:allow(swallow, reason = "shedding is the contract: DropOldest records every loss in the trainer queue's dropped counter, which the report surfaces")
             let _ = trainer.push(LabelledRecord {
                 record: job.record,
                 label,
@@ -326,6 +327,7 @@ fn flush(
         }
         // A dropped receiver means the caller does not want
         // predictions; serving (and metrics) continue regardless.
+        // lint:allow(swallow, reason = "send fails only when the receiver is dropped, which is the caller opting out of predictions; records/latency metrics still account the work")
         let _ = ctx.out.send(Prediction {
             sensor_id: job.sensor_id,
             seq: job.seq,

@@ -121,6 +121,7 @@ pub(crate) struct GatewayCounters {
     pub(crate) transport_timeouts: Arc<Counter>,
     pub(crate) connection_panics: Arc<Counter>,
     pub(crate) lock_recoveries: Arc<Counter>,
+    pub(crate) thread_panics: Arc<Counter>,
 }
 
 impl GatewayCounters {
@@ -139,7 +140,18 @@ impl GatewayCounters {
             transport_timeouts: m.counter(wire_stats::TRANSPORT_TIMEOUTS),
             connection_panics: m.counter(wire_stats::CONNECTION_PANICS),
             lock_recoveries: m.counter(wire_stats::LOCK_RECOVERIES),
+            thread_panics: m.counter(wire_stats::THREAD_PANICS),
         }
+    }
+}
+
+/// Joins a gateway thread, *counting* a panic surfaced by the join
+/// instead of discarding it. The panic was already terminal for the
+/// thread — what must not vanish is the evidence, so it lands in
+/// `wire.thread_panics` and the shutdown report.
+fn join_counted(handle: JoinHandle<()>, thread_panics: &Counter) {
+    if handle.join().is_err() {
+        thread_panics.inc();
     }
 }
 
@@ -173,6 +185,7 @@ pub struct Gateway {
     accept: Option<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
     reactors: Vec<JoinHandle<()>>,
+    counters: GatewayCounters,
 }
 
 impl Gateway {
@@ -284,6 +297,7 @@ impl Gateway {
             accept: Some(accept),
             router: Some(router),
             reactors,
+            counters: ctx.counters,
         }
     }
 
@@ -324,12 +338,12 @@ impl Gateway {
         if let Some(h) = self.accept.take() {
             // A panicking accept loop already stopped accepting; the
             // runtime report below still accounts every record.
-            let _ = h.join();
+            join_counted(h, &self.counters.thread_panics);
         }
         // The reactors wind every connection down (bounded by
         // `drain_grace` per phase) and then exit.
         for h in self.reactors.drain(..) {
-            let _ = h.join();
+            join_counted(h, &self.counters.thread_panics);
         }
         let runtime = self
             .runtime
@@ -337,12 +351,16 @@ impl Gateway {
             .and_then(|rt| Arc::try_unwrap(rt).ok())
             // lint:allow(panic, reason = "invariant: the accept loop and every reactor joined above, so this is the last Arc; failure means a leaked thread and no truthful report exists")
             .expect("gateway runtime still shared after joining all threads");
-        let report = runtime.shutdown();
+        let mut report = runtime.shutdown();
         if let Some(h) = self.router.take() {
             // The prediction channel closed when the workers exited,
             // so the router has already run to completion.
-            let _ = h.join();
+            join_counted(h, &self.counters.thread_panics);
         }
+        // The router joined *after* the runtime mirrored the wire
+        // counters into the report; re-read so a router panic is not
+        // lost from the accounting.
+        report.wire.thread_panics = self.counters.thread_panics.get();
         report
     }
 }
@@ -351,16 +369,16 @@ impl Drop for Gateway {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
-            let _ = h.join();
+            join_counted(h, &self.counters.thread_panics);
         }
         for h in self.reactors.drain(..) {
-            let _ = h.join();
+            join_counted(h, &self.counters.thread_panics);
         }
         // Dropping the runtime Arc joins the serve threads (its Drop),
         // which closes the prediction channel and ends the router.
         self.runtime.take();
         if let Some(h) = self.router.take() {
-            let _ = h.join();
+            join_counted(h, &self.counters.thread_panics);
         }
     }
 }
@@ -372,7 +390,10 @@ fn accept_loop(
     counters: GatewayCounters,
 ) {
     let mut next: usize = 0;
-    while !stop.load(Ordering::Relaxed) {
+    // SeqCst to match the shutdown store: the flag is the only
+    // handshake between `shutdown()` and this loop, so its load must
+    // synchronise with the store rather than trail it arbitrarily.
+    while !stop.load(Ordering::SeqCst) {
         match acceptor.accept() {
             Ok(Accepted::Connection(conn)) => match conn.into_poll() {
                 Ok(io) => {
@@ -417,6 +438,7 @@ fn route_predictions(
         // A full `RejectNewest` queue or a closed (disconnecting)
         // queue loses the frame; `predictions_routed − predictions_sent`
         // makes the loss visible in the report.
+        // lint:allow(swallow, reason = "the loss is already counted: predictions_routed minus predictions_sent is exactly the frames this push dropped")
         let _ = queue.push(frame);
     }
 }
@@ -590,6 +612,33 @@ mod tests {
             "the poisoned connection died before its handshake"
         );
         assert_eq!(report.unaccounted_records(), 0);
+        assert_eq!(
+            report.wire.thread_panics, 0,
+            "a contained connection panic must not read as a gateway thread panic"
+        );
+    }
+
+    /// `join_counted` is the only way gateway threads are joined: a
+    /// panicking thread increments `wire.thread_panics` instead of the
+    /// old `let _ = handle.join()` silently discarding the evidence,
+    /// and a clean thread leaves the counter untouched.
+    #[test]
+    fn join_counted_counts_panics_and_only_panics() {
+        let metrics = MetricsRegistry::new();
+        let counters = GatewayCounters::new(&metrics);
+
+        join_counted(std::thread::spawn(|| {}), &counters.thread_panics);
+        assert_eq!(counters.thread_panics.get(), 0, "clean join must not count");
+
+        join_counted(
+            std::thread::spawn(|| panic!("injected thread panic")),
+            &counters.thread_panics,
+        );
+        assert_eq!(
+            counters.thread_panics.get(),
+            1,
+            "a panicking join must land in the counter"
+        );
     }
 
     /// The registry lock itself recovers from poison: a thread that

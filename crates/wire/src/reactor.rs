@@ -587,6 +587,7 @@ fn handshake(conn: &mut Conn, ctx: &ReactorCtx, hello: codec::Hello) {
     ));
     register(&ctx.registry, &hello.sensor_id, &queue, &ctx.counters);
     // Fresh queue with capacity ≥ 1: cannot be Full.
+    // lint:allow(swallow, reason = "infallible by construction: the queue was created two statements up with capacity max(1) and no other handle exists yet")
     let _ = queue.try_push(Frame::HelloAck(HelloAck {
         protocol: PROTOCOL_VERSION,
         shard,
