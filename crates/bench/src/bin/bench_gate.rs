@@ -1,15 +1,18 @@
-//! Training-throughput regression gate (CI): compares a fresh
-//! `BENCH_*.json` measurement run against a committed baseline.
+//! Bench regression gate (CI): compares fresh `BENCH_*.json`
+//! measurement runs against their committed baselines.
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--tolerance <fraction>]
+//! bench_gate <baseline.json> <current.json> [<baseline2> <current2> …]
+//!            [--tolerance <fraction>]
 //! ```
 //!
-//! Exits non-zero when any fresh number is non-finite (NaN gate), a
-//! baseline benchmark is missing from the run, or a median regressed
-//! past the tolerance (default 0.20). Also reports the pooled-vs-spawn
-//! GRU-epoch speedup when both benches are present — the headline
-//! number of the persistent compute pool.
+//! Paths come in `(baseline, current)` pairs so one invocation gates
+//! every suite CI measured — train, wire, temporal — under a single
+//! tolerance. Exits non-zero when any fresh number is non-finite (NaN
+//! gate), a baseline benchmark is missing from its run, or a median
+//! regressed past the tolerance (default 0.20). Also reports the
+//! pooled-vs-spawn GRU-epoch speedup when both benches are present —
+//! the headline number of the persistent compute pool.
 
 use occusense_bench::gate::{compare, parse_results, speedup, BenchResult};
 use std::process::ExitCode;
@@ -23,38 +26,13 @@ fn load(path: &str) -> Result<Vec<BenchResult>, String> {
     parse_results(&doc).map_err(|e| format!("{path}: {e}"))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut tolerance = 0.20;
-    let mut paths = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(t) if t.is_finite() && t >= 0.0 => tolerance = t,
-                _ => {
-                    eprintln!("bench_gate: --tolerance needs a non-negative number");
-                    return ExitCode::from(2);
-                }
-            },
-            _ => paths.push(arg),
-        }
-    }
-    let [baseline_path, current_path] = paths.as_slice() else {
-        eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance <fraction>]");
-        return ExitCode::from(2);
-    };
+/// Gates one `(baseline, current)` pair, printing the comparison
+/// table. Returns the pair's failure messages (empty = pass).
+fn gate_pair(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
 
-    let (baseline, current) = match (load(baseline_path), load(current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (b, c) => {
-            for err in [b.err(), c.err()].into_iter().flatten() {
-                eprintln!("bench_gate: {err}");
-            }
-            return ExitCode::from(2);
-        }
-    };
-
+    println!("=== {baseline_path} vs {current_path} ===");
     println!(
         "{:<45} {:>14} {:>14} {:>8}",
         "benchmark", "baseline ns", "current ns", "ratio"
@@ -75,12 +53,57 @@ fn main() -> ExitCode {
     if let Some(s) = speedup(&current, POOLED, SPAWN) {
         println!("pooled vs spawn GRU-epoch throughput: {s:.2}x");
     }
+    Ok(compare(&baseline, &current, tolerance)
+        .into_iter()
+        .map(|f| format!("{baseline_path}: {f}"))
+        .collect())
+}
 
-    let failures = compare(&baseline, &current, tolerance);
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.20;
+    let mut paths = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t.is_finite() && t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("bench_gate: --tolerance needs a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() || paths.len() % 2 != 0 {
+        eprintln!(
+            "usage: bench_gate <baseline.json> <current.json> \
+             [<baseline2> <current2> …] [--tolerance <fraction>]"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut total_benchmarks = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for pair in paths.chunks_exact(2) {
+        match gate_pair(&pair[0], &pair[1], tolerance) {
+            Ok(pair_failures) => {
+                total_benchmarks += load(&pair[0]).map_or(0, |b| b.len());
+                failures.extend(pair_failures);
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     if failures.is_empty() {
         println!(
-            "bench_gate: PASS ({} benchmarks within {:.0}% of baseline)",
-            baseline.len(),
+            "bench_gate: PASS ({} benchmarks across {} suites within {:.0}% of baseline)",
+            total_benchmarks,
+            paths.len() / 2,
             tolerance * 100.0
         );
         ExitCode::SUCCESS

@@ -1,0 +1,126 @@
+//! The workspace's single FNV-1a-64 implementation.
+//!
+//! Three subsystems hash with FNV-1a and must agree bit-for-bit with
+//! the data already in the world: shard routing keys sensor ids
+//! ([`occusense-serve`]'s `routing`), the OCW1 wire envelope checksums
+//! `frame_type ++ payload` ([`occusense-wire`]'s frame codec), and the
+//! checkpoint footer seals persisted models ([`crate::persist`]). Each
+//! used to carry its own private copy of the loop; this module is now
+//! the one definition all of them — plus the fleet controller's
+//! consistent-hash ring — call into.
+//!
+//! The parameters are the published 64-bit FNV-1a constants, so the
+//! outputs are pinned by external test vectors: changing either
+//! constant (or the xor-then-multiply order) is a breaking change that
+//! invalidates every existing checkpoint, OCW1 frame and shard
+//! assignment. The compatibility tests below fail loudly on any drift.
+//!
+//! [`occusense-serve`]: https://example.com/occusense
+//! [`occusense-wire`]: https://example.com/occusense
+
+/// The FNV-1a 64-bit offset basis: the hash state before any input.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a, 64-bit, over `bytes` — tiny, stable across platforms and
+/// runs, and dependency-free.
+///
+/// # Example
+///
+/// ```
+/// use occusense_core::hash::fnv1a64;
+///
+/// // Published FNV-1a test vector.
+/// assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+/// ```
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV_OFFSET_BASIS, bytes)
+}
+
+/// Streaming form: folds `bytes` into an existing hash `state`.
+///
+/// `fnv1a64_extend(FNV_OFFSET_BASIS, b)` equals [`fnv1a64`]`(b)`, and
+/// hashing a concatenation equals chaining two extends — which is how
+/// the wire checksum hashes the frame-type byte ahead of the payload
+/// without assembling a contiguous buffer.
+#[must_use]
+pub fn fnv1a64_extend(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn published_fnv1a_vectors_pin_the_function_for_all_time() {
+        // From the FNV reference vectors: any drift here invalidates
+        // every existing checkpoint footer, OCW1 frame checksum and
+        // shard assignment in the wild.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn extend_from_the_offset_basis_is_the_one_shot_hash() {
+        for input in [&b""[..], b"a", b"foobar", b"tenant-a/sensor-0"] {
+            assert_eq!(fnv1a64_extend(FNV_OFFSET_BASIS, input), fnv1a64(input));
+        }
+    }
+
+    /// The pre-dedup private copy, verbatim — the bitwise-compatibility
+    /// witness for checkpoints and frames written before the shared
+    /// function existed.
+    fn legacy_fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    proptest! {
+        #[test]
+        fn bitwise_compatible_with_the_legacy_private_copies(
+            bytes in prop::collection::vec(0u8..=u8::MAX, 0..256),
+        ) {
+            prop_assert_eq!(fnv1a64(&bytes), legacy_fnv1a(&bytes));
+        }
+
+        #[test]
+        fn hashing_a_concatenation_equals_chaining_extends(
+            a in prop::collection::vec(0u8..=u8::MAX, 0..64),
+            b in prop::collection::vec(0u8..=u8::MAX, 0..64),
+        ) {
+            let mut joined = a.clone();
+            joined.extend_from_slice(&b);
+            prop_assert_eq!(
+                fnv1a64(&joined),
+                fnv1a64_extend(fnv1a64(&a), &b)
+            );
+        }
+
+        #[test]
+        fn single_byte_perturbations_change_the_hash(
+            bytes in prop::collection::vec(0u8..=u8::MAX, 1..64),
+            at in 0usize..64,
+            flip in 1u8..=u8::MAX,
+        ) {
+            let mut mutated = bytes.clone();
+            let i = at % mutated.len();
+            mutated[i] ^= flip;
+            prop_assert_ne!(fnv1a64(&mutated), fnv1a64(&bytes));
+        }
+    }
+}

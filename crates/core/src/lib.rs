@@ -55,6 +55,7 @@ pub mod counting;
 pub mod detector;
 pub mod experiments;
 pub mod explain;
+pub mod hash;
 pub mod online;
 pub mod persist;
 pub mod regressor;

@@ -195,16 +195,10 @@ const CHECKPOINT_PREFIX: &str = "detector-v";
 
 const TEMPORAL_CHECKPOINT_PREFIX: &str = "temporal-v";
 
-/// FNV-1a 64-bit over `bytes` — the same cheap, dependency-free hash
-/// the serving runtime uses for shard routing.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// The checksum hash is the workspace-wide shared FNV-1a-64
+// (`crate::hash`); its pinned test vectors guarantee footers written by
+// the pre-dedup private copy still verify.
+use crate::hash::fnv1a64 as fnv1a;
 
 /// Whether every parameter of the detector is finite — a detector with
 /// NaN/inf weights or standardiser statistics would poison every
@@ -379,6 +373,61 @@ pub fn load_latest(dir: &Path) -> io::Result<Option<(u64, PathBuf, OccupancyDete
         };
         if let Ok(detector) = load_detector_checked(file) {
             return Ok(Some((version, path, detector)));
+        }
+    }
+    Ok(None)
+}
+
+/// Suffix appended to checkpoint files set aside by
+/// [`load_latest_compatible`]. A quarantined file no longer ends in
+/// `.ckpt`, so every listing and recovery walk ignores it — but the
+/// bytes stay on disk for a human to inspect, instead of being loaded
+/// (wrong) or deleted (unforensicable).
+pub const QUARANTINE_SUFFIX: &str = "quarantined";
+
+/// Renames a rejected checkpoint aside (best-effort — a file that
+/// vanished concurrently is already out of the recovery path).
+fn quarantine(path: &Path) -> Option<PathBuf> {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".");
+    target.push(QUARANTINE_SUFFIX);
+    let target = PathBuf::from(target);
+    fs::rename(path, &target).ok().map(|()| target)
+}
+
+/// Multi-tenant recovery path: loads the newest checkpoint in `dir`
+/// that verifies *and* satisfies `accept`, quarantining every newer
+/// file that fails either test (renamed with [`QUARANTINE_SUFFIX`],
+/// never deleted, never loaded).
+///
+/// A fleet tenant's lineage directory can end up polluted — another
+/// tenant's checkpoints copied in by a bad deploy, truncated files
+/// from a torn transfer, foreign bytes under a checkpoint name. Plain
+/// [`load_latest`] skips what fails its checksum, but a *different
+/// tenant's* checkpoint is internally valid and would load cleanly;
+/// the `accept` predicate (typically an architecture check against the
+/// tenant's `TenantSpec`) is what keeps cross-tenant weights out of a
+/// serving process. Older checkpoints behind the accepted one are left
+/// untouched.
+///
+/// # Errors
+///
+/// Propagates directory-read failures only; rejected checkpoints are
+/// quarantined, not fatal, and this function never panics on any file
+/// content.
+pub fn load_latest_compatible(
+    dir: &Path,
+    accept: impl Fn(&OccupancyDetector) -> bool,
+) -> io::Result<Option<(u64, PathBuf, OccupancyDetector)>> {
+    for (version, path) in list_checkpoints(dir)?.into_iter().rev() {
+        let Ok(file) = fs::File::open(&path) else {
+            continue;
+        };
+        match load_detector_checked(file) {
+            Ok(detector) if accept(&detector) => return Ok(Some((version, path, detector))),
+            Ok(_) | Err(_) => {
+                quarantine(&path);
+            }
         }
     }
     Ok(None)
@@ -748,6 +797,32 @@ mod tests {
         assert!(load_detector_checked(&b""[..]).is_err());
     }
 
+    #[test]
+    fn footers_written_by_the_pre_dedup_hash_still_verify() {
+        // The private FNV-1a copy this module carried before the shared
+        // `crate::hash` existed, verbatim: a checkpoint sealed by an
+        // old build must keep verifying forever.
+        fn legacy(bytes: &[u8]) -> u64 {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash
+        }
+        let (det, ds) = trained(ModelKind::Mlp);
+        let mut payload = Vec::new();
+        save_detector(&mut payload, &det).unwrap();
+        let mut checked = payload.clone();
+        writeln!(checked, "{CHECKSUM_TAG} {:016x}", legacy(&payload)).unwrap();
+        let loaded = load_detector_checked(&checked[..]).expect("legacy footer must verify");
+        assert_eq!(loaded.predict_proba(&ds), det.predict_proba(&ds));
+        // And the current writer produces byte-identical output.
+        let mut fresh = Vec::new();
+        save_detector_checked(&mut fresh, &det).unwrap();
+        assert_eq!(fresh, checked);
+    }
+
     fn temp_checkpoint_dir(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("occusense-persist-{tag}-{}", std::process::id()));
@@ -786,6 +861,76 @@ mod tests {
         assert!(fs::read_dir(&dir)
             .unwrap()
             .all(|e| e.unwrap().path().extension().unwrap() == CHECKPOINT_EXT));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn polluted_lineage_skips_and_quarantines_never_loads_cross_tenant() {
+        let (ours, ds) = trained(ModelKind::Mlp);
+        // A different tenant's model: internally valid (checksum and
+        // format both pass), but a different architecture — exactly the
+        // file plain `load_latest` would wrongly serve.
+        let foreign_ds = simulate(&ScenarioConfig::quick(900.0, 82));
+        let foreign = OccupancyDetector::train(
+            &foreign_ds,
+            &DetectorConfig {
+                model: ModelKind::Mlp,
+                mlp_epochs: 1,
+                features: occusense_dataset::FeatureView::CsiEnv,
+                ..DetectorConfig::default()
+            },
+        );
+        let dir = temp_checkpoint_dir("polluted");
+        save_detector_atomic(&checkpoint_path(&dir, 1), &ours).unwrap();
+        save_detector_atomic(&checkpoint_path(&dir, 2), &ours).unwrap();
+        save_detector_atomic(&checkpoint_path(&dir, 3), &foreign).unwrap();
+        let mut truncated = Vec::new();
+        save_detector_checked(&mut truncated, &ours).unwrap();
+        fs::write(checkpoint_path(&dir, 4), &truncated[..truncated.len() / 3]).unwrap();
+        fs::write(checkpoint_path(&dir, 5), b"not a checkpoint at all\n").unwrap();
+
+        let want = ours.features();
+        let accept = move |d: &OccupancyDetector| d.features() == want;
+        let (version, path, loaded) = load_latest_compatible(&dir, accept)
+            .unwrap()
+            .expect("v2 is the newest compatible checkpoint");
+        assert_eq!(version, 2);
+        assert_eq!(path, checkpoint_path(&dir, 2));
+        assert_eq!(loaded.predict_proba(&ds), ours.predict_proba(&ds));
+        // Everything newer than v2 is renamed aside (never deleted,
+        // never loaded); v1, behind the accepted checkpoint, is left
+        // untouched.
+        assert_eq!(
+            list_checkpoints(&dir)
+                .unwrap()
+                .iter()
+                .map(|(v, _)| *v)
+                .collect::<Vec<_>>(),
+            [1, 2]
+        );
+        for v in 3..=5u64 {
+            let mut q = checkpoint_path(&dir, v).into_os_string();
+            q.push(".");
+            q.push(QUARANTINE_SUFFIX);
+            assert!(
+                PathBuf::from(q).exists(),
+                "v{v} must be quarantined, not deleted"
+            );
+            assert!(!checkpoint_path(&dir, v).exists());
+        }
+        // Idempotent: the second recovery walks an already-clean dir.
+        let again = load_latest_compatible(&dir, accept).unwrap().unwrap();
+        assert_eq!(again.0, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fully_polluted_lineage_returns_none_without_panicking() {
+        let dir = temp_checkpoint_dir("all-foreign");
+        fs::write(checkpoint_path(&dir, 1), b"garbage").unwrap();
+        fs::write(checkpoint_path(&dir, 2), [0u8; 100]).unwrap();
+        assert!(load_latest_compatible(&dir, |_| true).unwrap().is_none());
+        assert!(list_checkpoints(&dir).unwrap().is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,287 @@
+//! Tenant registry: each tenant maps to a model architecture, a
+//! checkpoint lineage directory and an SLO budget.
+//!
+//! A [`TenantSpec`] is the control-plane unit the fleet controller
+//! distributes to every worker process: the worker boots one gateway
+//! per spec, labels its serving runtime with the tenant (so the wire
+//! handshake's tenant gate and the [`ServeReport`] roll-up both key on
+//! it), and recovers the tenant's model from the lineage directory via
+//! [`occusense_core::persist::load_latest_compatible`] — the
+//! architecture predicate keeps another tenant's weights out even when
+//! a bad deploy pollutes the directory.
+//!
+//! Tenant ids are restricted to `[a-z0-9-]`, 1..=64 bytes: the id
+//! travels in the wire `Hello` (bounded at
+//! [`occusense_wire::MAX_TENANT_ID_BYTES`]), in worker argv, and as a
+//! token in the worker's stdout protocol, so a charset that can never
+//! collide with any of those framings is enforced at registration.
+//!
+//! [`ServeReport`]: occusense_serve::ServeReport
+
+use occusense_core::detector::{DetectorConfig, ModelKind, OccupancyDetector};
+use occusense_dataset::FeatureView;
+use occusense_serve::BackpressurePolicy;
+use occusense_sim::{simulate, ScenarioConfig};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Longest tenant id the registry accepts — same bound the wire codec
+/// enforces on the `Hello` tenant field.
+pub const MAX_TENANT_LEN: usize = occusense_wire::MAX_TENANT_ID_BYTES;
+
+/// Per-tenant serving budget: admission, shedding and latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloBudget {
+    /// Most sensors the controller will place for this tenant at once;
+    /// placements past the cap are refused (admission-control shed).
+    pub max_sensors: usize,
+    /// Per-shard ingress queue capacity of the tenant's runtimes.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour: `RejectNewest` sheds overload back to the
+    /// sensor as a NACK (exactly-once resolution), `Block` is lossless.
+    pub policy: BackpressurePolicy,
+    /// End-to-end p99 latency budget the roll-up judges against.
+    pub p99_budget: Duration,
+}
+
+impl Default for SloBudget {
+    fn default() -> Self {
+        Self {
+            max_sensors: 64,
+            queue_capacity: 1024,
+            policy: BackpressurePolicy::Block,
+            p99_budget: Duration::from_millis(250),
+        }
+    }
+}
+
+/// One tenant's control-plane record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant id (`[a-z0-9-]`, 1..=64 bytes).
+    pub tenant: String,
+    /// Feature view of the tenant's model — the architecture predicate
+    /// checkpoint recovery enforces against polluted lineage.
+    pub features: FeatureView,
+    /// Training seed of the tenant's bootstrap model; with the fixed
+    /// [`bootstrap_detector`] recipe this pins the weights bitwise, so
+    /// a driver holding the same spec can verify wire predictions.
+    pub seed: u64,
+    /// Checkpoint lineage directory; `None` trains from scratch.
+    pub lineage: Option<PathBuf>,
+    /// Admission / shedding / latency budget.
+    pub slo: SloBudget,
+}
+
+impl TenantSpec {
+    /// A spec with the default SLO budget and no lineage.
+    pub fn new(tenant: &str, features: FeatureView, seed: u64) -> Self {
+        Self {
+            tenant: tenant.to_string(),
+            features,
+            seed,
+            lineage: None,
+            slo: SloBudget::default(),
+        }
+    }
+}
+
+/// Why a spec was refused at registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Empty id, id over [`MAX_TENANT_LEN`] bytes, or a byte outside
+    /// `[a-z0-9-]`.
+    BadTenantId {
+        /// The offending id, verbatim.
+        tenant: String,
+    },
+    /// The registry already holds a spec under this id.
+    Duplicate {
+        /// The already-registered id.
+        tenant: String,
+    },
+    /// `max_sensors` or `queue_capacity` of zero can never serve.
+    ZeroBudget {
+        /// The id whose budget was zero.
+        tenant: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadTenantId { tenant } => write!(
+                f,
+                "tenant id {tenant:?} is not 1..={MAX_TENANT_LEN} bytes of [a-z0-9-]"
+            ),
+            SpecError::Duplicate { tenant } => {
+                write!(f, "tenant {tenant:?} is already registered")
+            }
+            SpecError::ZeroBudget { tenant } => write!(
+                f,
+                "tenant {tenant:?} has a zero max_sensors or queue_capacity budget"
+            ),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// Whether `id` is a well-formed tenant id.
+pub fn valid_tenant_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_TENANT_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+/// The fleet's tenant table, ordered by id.
+#[derive(Debug, Clone, Default)]
+pub struct TenantRegistry {
+    specs: BTreeMap<String, TenantSpec>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `spec`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on a malformed id, duplicate id, or zero budget;
+    /// the registry is untouched on error.
+    pub fn register(&mut self, spec: TenantSpec) -> Result<(), SpecError> {
+        if !valid_tenant_id(&spec.tenant) {
+            return Err(SpecError::BadTenantId {
+                tenant: spec.tenant,
+            });
+        }
+        if spec.slo.max_sensors == 0 || spec.slo.queue_capacity == 0 {
+            return Err(SpecError::ZeroBudget {
+                tenant: spec.tenant,
+            });
+        }
+        if self.specs.contains_key(&spec.tenant) {
+            return Err(SpecError::Duplicate {
+                tenant: spec.tenant,
+            });
+        }
+        self.specs.insert(spec.tenant.clone(), spec);
+        Ok(())
+    }
+
+    /// The spec registered under `tenant`.
+    pub fn get(&self, tenant: &str) -> Option<&TenantSpec> {
+        self.specs.get(tenant)
+    }
+
+    /// All specs in id order.
+    pub fn specs(&self) -> impl Iterator<Item = &TenantSpec> {
+        self.specs.values()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// The kebab-case CLI spelling of a feature view, used in worker argv.
+pub fn feature_name(features: FeatureView) -> &'static str {
+    match features {
+        FeatureView::Csi => "csi",
+        FeatureView::Env => "env",
+        FeatureView::CsiEnv => "csi-env",
+        FeatureView::TimeOnly => "time",
+    }
+}
+
+/// Parses [`feature_name`]'s spelling back.
+pub fn parse_features(raw: &str) -> Option<FeatureView> {
+    match raw {
+        "csi" => Some(FeatureView::Csi),
+        "env" => Some(FeatureView::Env),
+        "csi-env" => Some(FeatureView::CsiEnv),
+        "time" => Some(FeatureView::TimeOnly),
+        _ => None,
+    }
+}
+
+/// The fixed bootstrap recipe shared by `fleet_worker` (fallback when
+/// a lineage directory holds no loadable checkpoint) and `fleet_storm`
+/// (the bitwise verification reference): training is deterministic, so
+/// any two processes calling this with the same `(seed, features)` get
+/// bitwise-identical weights.
+pub fn bootstrap_detector(seed: u64, features: FeatureView) -> OccupancyDetector {
+    let train = simulate(&ScenarioConfig::quick(600.0, seed));
+    OccupancyDetector::train(
+        &train,
+        &DetectorConfig {
+            model: ModelKind::Mlp,
+            features,
+            mlp_epochs: 2,
+            seed,
+            ..DetectorConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_validates_ids_budgets_and_duplicates() {
+        let mut reg = TenantRegistry::new();
+        reg.register(TenantSpec::new("acme-labs", FeatureView::Csi, 7))
+            .unwrap();
+        assert_eq!(
+            reg.register(TenantSpec::new("acme-labs", FeatureView::Env, 8)),
+            Err(SpecError::Duplicate {
+                tenant: "acme-labs".into()
+            })
+        );
+        for bad in ["", "Has-Upper", "spa ce", "uní-code", &"x".repeat(65)] {
+            assert_eq!(
+                reg.register(TenantSpec::new(bad, FeatureView::Csi, 0)),
+                Err(SpecError::BadTenantId { tenant: bad.into() }),
+                "{bad:?} must be refused"
+            );
+        }
+        let mut zero = TenantSpec::new("zero", FeatureView::Csi, 0);
+        zero.slo.queue_capacity = 0;
+        assert_eq!(
+            reg.register(zero),
+            Err(SpecError::ZeroBudget {
+                tenant: "zero".into()
+            })
+        );
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("acme-labs").is_some());
+    }
+
+    #[test]
+    fn feature_names_round_trip() {
+        for f in [
+            FeatureView::Csi,
+            FeatureView::Env,
+            FeatureView::CsiEnv,
+            FeatureView::TimeOnly,
+        ] {
+            assert_eq!(parse_features(feature_name(f)), Some(f));
+        }
+        assert_eq!(parse_features("bogus"), None);
+    }
+}

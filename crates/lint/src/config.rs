@@ -153,6 +153,9 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("occusense-serve", 6),
     // The wire protocol + gateway feed records into serve.
     ("occusense-wire", 7),
+    // The fleet controller orchestrates whole wire gateways as
+    // processes.
+    ("occusense-fleet", 8),
     // Harnesses see the whole stack, wire included.
     ("occusense-bench", 8),
     ("occusense-integration", 8),

@@ -64,6 +64,7 @@ pub mod batcher;
 pub mod metrics;
 pub mod model;
 pub mod queue;
+pub mod report;
 pub mod routing;
 pub mod runtime;
 pub mod state;
@@ -77,7 +78,8 @@ pub use model::{ModelHandle, ModelSnapshot, ServedModel};
 pub use queue::{
     BackpressurePolicy, BoundedQueue, PopResult, PushError, QueueCounters, TryPushError,
 };
-pub use routing::shard_for;
+pub use report::{ReportParseError, REPORT_WIRE_VERSION};
+pub use routing::{shard_for, try_shard_for, ZeroShardsError};
 pub use runtime::{
     wire_stats, OnlineTrainingConfig, SensorClient, ServeConfig, ServeError, ServeReport,
     ServeRuntime, SubmitError, WireCounters,

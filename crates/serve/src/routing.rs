@@ -5,22 +5,51 @@
 //! this pure hash. Routing by stable sensor id (rather than round-robin)
 //! keeps each sensor's records in order on a single shard, which
 //! preserves per-sensor timestamp monotonicity end to end.
+//!
+//! The hash is the workspace-wide shared FNV-1a-64
+//! ([`occusense_core::hash`]) — the same function that seals checkpoint
+//! footers, checksums OCW1 frames and keys the fleet controller's
+//! consistent-hash ring, so a sensor's placement is reproducible from
+//! any layer of the stack.
 
-/// FNV-1a, 64-bit — tiny, stable across platforms and runs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+use occusense_core::hash::fnv1a64;
+use std::error::Error;
+use std::fmt;
+
+/// Routing asked to place a sensor on a fleet of zero shards.
+///
+/// Shard counts historically were compile-time constants, but they now
+/// also arrive from fleet configuration at runtime — so the zero case
+/// is a typed error for config-validation paths ([`try_shard_for`])
+/// rather than an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroShardsError;
+
+impl fmt::Display for ZeroShardsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot route a sensor across zero shards")
     }
-    h
+}
+
+impl Error for ZeroShardsError {}
+
+/// The shard a sensor's records are routed to, or [`ZeroShardsError`]
+/// when `n_shards` is zero. Fleet configuration paths, whose shard
+/// counts come from runtime input, validate through this form.
+pub fn try_shard_for(sensor_id: &str, n_shards: usize) -> Result<usize, ZeroShardsError> {
+    if n_shards == 0 {
+        return Err(ZeroShardsError);
+    }
+    Ok((fnv1a64(sensor_id.as_bytes()) % n_shards as u64) as usize)
 }
 
 /// The shard a sensor's records are routed to.
 ///
-/// # Panics
-///
-/// Panics if `n_shards` is zero.
+/// Saturating policy for the degenerate case: with `n_shards == 0`
+/// there is no shard to name, so the result is `0` — callers that must
+/// distinguish that case use [`try_shard_for`]. (Serving runtimes
+/// reject zero-shard configurations up front via
+/// `ServeError::ZeroShards`, so on the hot path the two forms agree.)
 ///
 /// # Example
 ///
@@ -33,8 +62,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// assert_eq!(s, shard_for("room-3/esp32-a", 4));
 /// ```
 pub fn shard_for(sensor_id: &str, n_shards: usize) -> usize {
-    assert!(n_shards > 0, "shard_for: n_shards must be positive");
-    (fnv1a64(sensor_id.as_bytes()) % n_shards as u64) as usize
+    try_shard_for(sensor_id, n_shards).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -49,6 +77,7 @@ mod tests {
                 let s = shard_for(&id, n);
                 assert!(s < n);
                 assert_eq!(s, shard_for(&id, n));
+                assert_eq!(try_shard_for(&id, n), Ok(s));
             }
         }
     }
@@ -64,9 +93,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_shards_is_a_typed_error_not_a_panic() {
+        assert_eq!(try_shard_for("sensor-0", 0), Err(ZeroShardsError));
+        // The saturating form stays total.
+        assert_eq!(shard_for("sensor-0", 0), 0);
+        assert!(ZeroShardsError.to_string().contains("zero shards"));
+    }
+
+    #[test]
     fn known_fnv_vectors() {
         // Published FNV-1a test vectors pin the routing for all time:
         // renaming shards or changing the hash is a breaking change.
+        // (The shared implementation lives in `occusense_core::hash`;
+        // asserting the vectors *here* keeps the routing contract
+        // locally witnessed even if that module evolves.)
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);

@@ -54,6 +54,10 @@ impl Default for OnlineTrainingConfig {
 /// Runtime topology and policies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
+    /// The tenant this runtime serves. A fleet controller labels each
+    /// runtime with its tenant so reports roll up per tenant; the
+    /// empty string is the default (untenanted) namespace.
+    pub tenant: String,
     /// Worker shards (threads); sensors are hash-routed across them.
     pub n_shards: usize,
     /// Capacity of each shard's ingestion queue.
@@ -77,6 +81,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
+            tenant: String::new(),
             n_shards: 4,
             queue_capacity: 1024,
             policy: BackpressurePolicy::DropOldest,
@@ -306,8 +311,11 @@ impl WireCounters {
 }
 
 /// End-of-run summary (also carries the full metrics text).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeReport {
+    /// The tenant this runtime served ([`ServeConfig::tenant`]); the
+    /// fleet controller rolls reports up under this label.
+    pub tenant: String,
     /// Wall time from runtime start to shutdown completion.
     pub elapsed: Duration,
     /// Records scored across all shards.
@@ -368,6 +376,9 @@ impl ServeReport {
 
 impl fmt::Display for ServeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.tenant.is_empty() {
+            writeln!(f, "tenant: {}", self.tenant)?;
+        }
         writeln!(
             f,
             "served {} records in {:.2?} — {:.0} records/s",
@@ -473,6 +484,7 @@ pub struct ServeRuntime {
     metrics: Arc<MetricsRegistry>,
     supervision: Arc<SupervisorState>,
     checkpoint: Option<CheckpointConfig>,
+    tenant: String,
     uncontained_panics: Mutex<Vec<String>>,
     started_at: Instant,
     stopped: AtomicBool,
@@ -639,6 +651,7 @@ impl ServeRuntime {
                 metrics,
                 supervision,
                 checkpoint: config.checkpoint,
+                tenant: config.tenant,
                 uncontained_panics: Mutex::new(Vec::new()),
                 started_at: Instant::now(),
                 stopped: AtomicBool::new(false),
@@ -663,6 +676,12 @@ impl ServeRuntime {
     /// The live metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The tenant label this runtime was configured with
+    /// ([`ServeConfig::tenant`]; empty = the default namespace).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     /// The version of the currently serving model.
@@ -828,6 +847,7 @@ impl ServeRuntime {
             thread_panics: self.metrics.counter(wire_stats::THREAD_PANICS).get(),
         };
         ServeReport {
+            tenant: self.tenant.clone(),
             elapsed,
             records_served,
             throughput_rps: records_served as f64 / elapsed.as_secs_f64().max(1e-9),

@@ -83,7 +83,7 @@ impl CheckpointConfig {
 
 /// One quarantined record: what it was, where it was headed and why it
 /// never produced a prediction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeadLetter {
     /// Shard that quarantined the record.
     pub shard: usize,
@@ -240,7 +240,7 @@ impl SupervisorState {
 }
 
 /// Fault-tolerance section of the [`ServeReport`](crate::runtime::ServeReport).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultReport {
     /// Supervised panics per shard (a shard respawns after each panic
     /// up to `max_restarts_per_shard`, then fails closed).

@@ -406,6 +406,7 @@ impl MuxConn {
             .encode(&Frame::Hello(occusense_wire::Hello {
                 protocol: occusense_wire::PROTOCOL_VERSION,
                 sensor_id: format!("sensor-{index}"),
+                tenant: String::new(),
             }))
             .expect("short sensor ids always encode");
         let expected = records.len();

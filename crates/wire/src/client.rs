@@ -30,10 +30,28 @@ pub fn connect(
     sensor_id: &str,
     handshake_timeout: Duration,
 ) -> Result<(WireSender, WireReceiver), WireError> {
+    connect_tenant(conn, "", sensor_id, handshake_timeout)
+}
+
+/// [`connect`] with an explicit tenant claim in the `Hello`. A gateway
+/// serving a specific tenant refuses mismatched claims with an
+/// `Unsupported` NACK ([`WireError::Refused`]); the empty tenant is
+/// the default namespace, making this a strict superset of [`connect`].
+///
+/// # Errors
+///
+/// As [`connect`], plus [`WireError::Refused`] on a tenant mismatch.
+pub fn connect_tenant(
+    conn: Box<dyn Connection>,
+    tenant: &str,
+    sensor_id: &str,
+    handshake_timeout: Duration,
+) -> Result<(WireSender, WireReceiver), WireError> {
     let (mut sink, mut source) = conn.split();
     sink.send(&Frame::Hello(Hello {
         protocol: PROTOCOL_VERSION,
         sensor_id: sensor_id.to_string(),
+        tenant: tenant.to_string(),
     }))
     .map_err(WireError::Transport)?;
     let deadline = Instant::now() + handshake_timeout;

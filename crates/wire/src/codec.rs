@@ -33,6 +33,11 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// Longest admissible `Hello` sensor id, in UTF-8 bytes.
 pub const MAX_SENSOR_ID_BYTES: usize = 256;
 
+/// Longest admissible `Hello` tenant id, in UTF-8 bytes. Tenant ids
+/// are operator-chosen fleet labels, not sensor names, so the bound is
+/// deliberately tighter than [`MAX_SENSOR_ID_BYTES`].
+pub const MAX_TENANT_ID_BYTES: usize = 64;
+
 /// Most records one `Batch` frame may carry.
 pub const MAX_BATCH_RECORDS: usize = 512;
 
@@ -94,7 +99,12 @@ pub enum DecodeError {
         /// Declared id length.
         len: usize,
     },
-    /// A `Hello` sensor id that is not valid UTF-8.
+    /// A `Hello` tenant id longer than [`MAX_TENANT_ID_BYTES`].
+    TenantIdTooLong {
+        /// Declared tenant id length.
+        len: usize,
+    },
+    /// A `Hello` sensor or tenant id that is not valid UTF-8.
     BadUtf8,
     /// A `Batch` declaring more than [`MAX_BATCH_RECORDS`] records.
     BatchTooLarge {
@@ -143,7 +153,10 @@ impl fmt::Display for DecodeError {
             DecodeError::SensorIdTooLong { len } => {
                 write!(f, "sensor id of {len} bytes exceeds {MAX_SENSOR_ID_BYTES}")
             }
-            DecodeError::BadUtf8 => write!(f, "sensor id is not valid UTF-8"),
+            DecodeError::TenantIdTooLong { len } => {
+                write!(f, "tenant id of {len} bytes exceeds {MAX_TENANT_ID_BYTES}")
+            }
+            DecodeError::BadUtf8 => write!(f, "sensor or tenant id is not valid UTF-8"),
             DecodeError::BatchTooLarge { count } => {
                 write!(f, "batch of {count} records exceeds {MAX_BATCH_RECORDS}")
             }
@@ -174,6 +187,11 @@ pub enum EncodeError {
         /// The id's UTF-8 length in bytes.
         len: usize,
     },
+    /// A `Hello` tenant id longer than [`MAX_TENANT_ID_BYTES`].
+    TenantIdTooLong {
+        /// The tenant id's UTF-8 length in bytes.
+        len: usize,
+    },
     /// A `Batch` holding more than [`MAX_BATCH_RECORDS`] records.
     BatchTooLarge {
         /// The batch's record count.
@@ -190,6 +208,12 @@ impl fmt::Display for EncodeError {
                     "refusing to encode a {len}-byte sensor id (limit {MAX_SENSOR_ID_BYTES})"
                 )
             }
+            EncodeError::TenantIdTooLong { len } => {
+                write!(
+                    f,
+                    "refusing to encode a {len}-byte tenant id (limit {MAX_TENANT_ID_BYTES})"
+                )
+            }
             EncodeError::BatchTooLarge { count } => {
                 write!(
                     f,
@@ -202,7 +226,8 @@ impl fmt::Display for EncodeError {
 
 impl Error for EncodeError {}
 
-/// A client's opening frame: protocol version check + sensor identity.
+/// A client's opening frame: protocol version check + sensor identity
+/// + tenant claim.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
     /// The protocol version the client speaks.
@@ -210,6 +235,11 @@ pub struct Hello {
     /// Stable sensor identity; the gateway hash-routes on it, so the
     /// same id always lands on the same shard.
     pub sensor_id: String,
+    /// The tenant this sensor claims to belong to. A gateway serving a
+    /// specific tenant refuses mismatched claims at the handshake; the
+    /// empty string is the default (untenanted) namespace accepted by
+    /// gateways that enforce no tenant.
+    pub tenant: String,
 }
 
 /// The gateway's handshake answer.
@@ -446,9 +476,15 @@ pub fn encode_payload(frame: &Frame, out: &mut Vec<u8>) -> Result<(), EncodeErro
             if id.len() > MAX_SENSOR_ID_BYTES {
                 return Err(EncodeError::SensorIdTooLong { len: id.len() });
             }
+            let tenant = h.tenant.as_bytes();
+            if tenant.len() > MAX_TENANT_ID_BYTES {
+                return Err(EncodeError::TenantIdTooLong { len: tenant.len() });
+            }
             out.push(h.protocol);
             put_u16(out, id.len() as u16);
             out.extend_from_slice(id);
+            put_u16(out, tenant.len() as u16);
+            out.extend_from_slice(tenant);
         }
         Frame::HelloAck(a) => {
             out.push(a.protocol);
@@ -728,9 +764,18 @@ pub fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeErr
             let sensor_id = std::str::from_utf8(raw)
                 .map_err(|_| DecodeError::BadUtf8)?
                 .to_string();
+            let tenant_len = r.u16()? as usize;
+            if tenant_len > MAX_TENANT_ID_BYTES {
+                return Err(DecodeError::TenantIdTooLong { len: tenant_len });
+            }
+            let raw = r.take(tenant_len)?;
+            let tenant = std::str::from_utf8(raw)
+                .map_err(|_| DecodeError::BadUtf8)?
+                .to_string();
             Frame::Hello(Hello {
                 protocol,
                 sensor_id,
+                tenant,
             })
         }
         2 => {
@@ -820,6 +865,12 @@ mod tests {
         round_trip(Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             sensor_id: "node-7/room-b".into(),
+            tenant: "acme-labs".into(),
+        }));
+        round_trip(Frame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            sensor_id: "untenanted".into(),
+            tenant: String::new(),
         }));
         round_trip(Frame::HelloAck(HelloAck {
             protocol: PROTOCOL_VERSION,
@@ -956,6 +1007,26 @@ mod tests {
         bytes.extend_from_slice(&[0xff, 0xfe]);
         assert_eq!(decode_payload(1, &bytes), Err(DecodeError::BadUtf8));
 
+        // Tenant id beyond the cap.
+        let mut bytes = vec![PROTOCOL_VERSION];
+        put_u16(&mut bytes, 1);
+        bytes.push(b's');
+        put_u16(&mut bytes, (MAX_TENANT_ID_BYTES + 1) as u16);
+        assert_eq!(
+            decode_payload(1, &bytes),
+            Err(DecodeError::TenantIdTooLong {
+                len: MAX_TENANT_ID_BYTES + 1
+            })
+        );
+
+        // Invalid UTF-8 tenant.
+        let mut bytes = vec![PROTOCOL_VERSION];
+        put_u16(&mut bytes, 1);
+        bytes.push(b's');
+        put_u16(&mut bytes, 2);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(decode_payload(1, &bytes), Err(DecodeError::BadUtf8));
+
         // Unknown NACK reason.
         let mut bytes = Vec::new();
         put_u64(&mut bytes, 1);
@@ -984,6 +1055,7 @@ mod tests {
         let hello = Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             sensor_id: "é".repeat(MAX_SENSOR_ID_BYTES), // 2 bytes per char
+            tenant: String::new(),
         });
         let mut out = vec![0xAA];
         assert_eq!(
@@ -997,6 +1069,19 @@ mod tests {
             vec![0xAA],
             "failed encode must not write partial bytes"
         );
+
+        let hello = Frame::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+            sensor_id: "ok".into(),
+            tenant: "t".repeat(MAX_TENANT_ID_BYTES + 1),
+        });
+        assert_eq!(
+            encode_payload(&hello, &mut out),
+            Err(EncodeError::TenantIdTooLong {
+                len: MAX_TENANT_ID_BYTES + 1
+            })
+        );
+        assert_eq!(out, vec![0xAA]);
 
         let batch = Frame::Batch(BatchFrame {
             first_seq: 7,
@@ -1016,6 +1101,7 @@ mod tests {
         round_trip(Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             sensor_id: "x".repeat(MAX_SENSOR_ID_BYTES),
+            tenant: "t".repeat(MAX_TENANT_ID_BYTES),
         }));
         round_trip(Frame::Batch(BatchFrame {
             first_seq: u64::MAX - 3,

@@ -46,29 +46,18 @@ pub struct FrameHeader {
     pub checksum: u64,
 }
 
-/// FNV-1a 64-bit over `bytes` — the same construction the serving
-/// runtime uses for shard routing and the checkpoint footer, so the
-/// whole tree shares one hash discipline.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        hash ^= u64::from(*b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// FNV-1a 64-bit over `bytes` — the workspace-wide shared hash
+/// ([`occusense_core::hash`]), re-exported here so wire consumers keep
+/// their historical import path.
+pub use occusense_core::hash::fnv1a64 as fnv1a;
 
 /// The envelope checksum of a frame: FNV-1a seeded with the frame-type
-/// byte, then folded over the payload.
+/// byte, then folded over the payload — expressed as two streaming
+/// extends of the shared hash, so it stays bit-identical to hashing
+/// the concatenation `frame_type ++ payload`.
 pub fn checksum_of(frame_type: u8, payload: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    hash ^= u64::from(frame_type);
-    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    for b in payload {
-        hash ^= u64::from(*b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    use occusense_core::hash::{fnv1a64_extend, FNV_OFFSET_BASIS};
+    fnv1a64_extend(fnv1a64_extend(FNV_OFFSET_BASIS, &[frame_type]), payload)
 }
 
 /// Parses the fixed header at the start of `bytes`.
@@ -285,5 +274,31 @@ mod tests {
     fn fnv1a_matches_the_reference_vectors() {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn checksum_of_is_bitwise_compatible_with_the_legacy_loop() {
+        // The pre-dedup private implementation, verbatim: any frame
+        // checksummed before the shared hash existed must still
+        // validate, so the seeded construction is pinned against it.
+        fn legacy(frame_type: u8, payload: &[u8]) -> u64 {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            hash ^= u64::from(frame_type);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            for b in payload {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash
+        }
+        for frame_type in [1u8, 3, 6, 7, 0, 255] {
+            for payload in [&b""[..], b"x", b"record payload bytes", &[0u8; 64]] {
+                assert_eq!(
+                    checksum_of(frame_type, payload),
+                    legacy(frame_type, payload),
+                    "type {frame_type}, payload {payload:?}"
+                );
+            }
+        }
     }
 }

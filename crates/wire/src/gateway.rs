@@ -181,6 +181,8 @@ pub(crate) fn lock_registry<'a>(
 /// transport counters.
 pub struct Gateway {
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    registry: Registry,
     runtime: Option<Arc<ServeRuntime>>,
     accept: Option<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
@@ -245,6 +247,7 @@ impl Gateway {
         let counters = GatewayCounters::new(runtime.metrics());
         let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
 
         let router = {
             let registry = Arc::clone(&registry);
@@ -258,10 +261,11 @@ impl Gateway {
 
         let ctx = ReactorCtx {
             runtime: Arc::clone(&runtime),
-            registry,
+            registry: Arc::clone(&registry),
             config,
             counters,
             stop: Arc::clone(&stop),
+            draining: Arc::clone(&draining),
         };
         let pool = config.reactors.max(1);
         let mut injectors = Vec::with_capacity(pool);
@@ -293,12 +297,34 @@ impl Gateway {
 
         Self {
             stop,
+            draining,
+            registry,
             runtime: Some(runtime),
             accept: Some(accept),
             router: Some(router),
             reactors,
             counters: ctx.counters,
         }
+    }
+
+    /// Enters drain-and-handoff mode: live connections keep being
+    /// served to completion, but every *new* handshake is refused with
+    /// a `Shutdown` NACK (retryable — the sensor should reconnect to
+    /// another worker). Returns the sensor ids with a live route at
+    /// the moment of the snapshot, which is exactly the set a fleet
+    /// controller must re-route before calling
+    /// [`shutdown`](Self::shutdown) on this gateway. Idempotent.
+    pub fn drain(&self) -> Vec<String> {
+        self.draining.store(true, Ordering::SeqCst);
+        lock_registry(&self.registry, &self.counters)
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Whether [`drain`](Self::drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// A direct in-process ingestion handle on the underlying runtime
@@ -310,6 +336,14 @@ impl Gateway {
     /// Live model version of the underlying runtime.
     pub fn model_version(&self) -> u64 {
         self.runtime.as_ref().map_or(0, |rt| rt.model_version())
+    }
+
+    /// The tenant the underlying runtime serves (empty = untenanted);
+    /// handshakes claiming a different tenant are refused.
+    pub fn tenant(&self) -> String {
+        self.runtime
+            .as_ref()
+            .map_or_else(String::new, |rt| rt.tenant().to_string())
     }
 
     /// Hot-swaps the serving temporal model on a runtime booted with

@@ -46,11 +46,11 @@ pub mod pipe;
 pub mod reactor;
 pub mod transport;
 
-pub use client::{connect, ClientEvent, WireReceiver, WireSender};
+pub use client::{connect, connect_tenant, ClientEvent, WireReceiver, WireSender};
 pub use codec::{
     decode_payload, BatchFrame, BatchRecords, BatchView, DecodeError, EncodeError, Frame, Goodbye,
     Hello, HelloAck, NackFrame, NackReason, PredictionFrame, RecordFrame, MAX_BATCH_RECORDS,
-    MAX_SENSOR_ID_BYTES, PROTOCOL_VERSION, RECORD_BYTES,
+    MAX_SENSOR_ID_BYTES, MAX_TENANT_ID_BYTES, PROTOCOL_VERSION, RECORD_BYTES,
 };
 pub use frame::{
     checksum_of, decode_frame, decode_header, fnv1a, Encoder, FrameHeader, DEFAULT_MAX_PAYLOAD,
@@ -280,6 +280,7 @@ mod tests {
         sink.send(&Frame::Hello(Hello {
             protocol: 99,
             sensor_id: "bad".into(),
+            tenant: String::new(),
         }))
         .unwrap();
         let refusal = loop {
@@ -298,6 +299,136 @@ mod tests {
         );
         let report = gateway.shutdown();
         assert_eq!(report.wire.connections, 0);
+        assert_eq!(report.unaccounted_records(), 0);
+    }
+
+    #[test]
+    fn tenant_gate_refuses_mismatched_claims_and_admits_matching_ones() {
+        let detector = bootstrap_detector();
+        let (acceptor, connector) = loopback(LoopbackConfig::default());
+        let gateway = Gateway::start(
+            detector,
+            ServeConfig {
+                tenant: "acme".into(),
+                online: None,
+                policy: BackpressurePolicy::Block,
+                ..ServeConfig::default()
+            },
+            GatewayConfig {
+                outbound_policy: BackpressurePolicy::Block,
+                ..GatewayConfig::default()
+            },
+            Box::new(acceptor),
+        )
+        .unwrap();
+        assert_eq!(gateway.tenant(), "acme");
+
+        // Wrong tenant: refused before the connection is counted.
+        let conn = connector.connect().unwrap();
+        match connect_tenant(conn, "globex", "sensor-a", Duration::from_secs(5)) {
+            Err(WireError::Refused(NackReason::Unsupported)) => {}
+            Err(other) => panic!("mismatched tenant gave {other:?}"),
+            Ok(_) => panic!("mismatched tenant was admitted"),
+        }
+        // No tenant claim at all is a mismatch too.
+        let conn = connector.connect().unwrap();
+        match connect(conn, "sensor-a", Duration::from_secs(5)) {
+            Err(WireError::Refused(NackReason::Unsupported)) => {}
+            Err(other) => panic!("missing tenant gave {other:?}"),
+            Ok(_) => panic!("missing tenant was admitted"),
+        }
+
+        // The right tenant serves normally.
+        let conn = connector.connect().unwrap();
+        let (mut tx, mut rx) =
+            connect_tenant(conn, "acme", "sensor-a", Duration::from_secs(5)).unwrap();
+        let records: Vec<_> = fleet_stream(25.0, 20, 0).collect();
+        for r in &records {
+            tx.send(*r, None).unwrap();
+        }
+        assert_eq!(tx.finish().unwrap() as usize, records.len());
+        let mut preds = 0usize;
+        loop {
+            match rx.recv().unwrap() {
+                ClientEvent::Prediction(_) => preds += 1,
+                ClientEvent::Goodbye(delivered) => {
+                    assert_eq!(delivered as usize, preds);
+                    break;
+                }
+                ClientEvent::TimedOut => continue,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        drop(rx);
+
+        let report = gateway.shutdown();
+        assert_eq!(report.tenant, "acme");
+        assert_eq!(report.wire.connections, 1, "refusals are never counted");
+        assert_eq!(preds, records.len());
+        assert_eq!(report.unaccounted_records(), 0);
+    }
+
+    #[test]
+    fn drain_refuses_new_handshakes_but_keeps_live_connections_serving() {
+        let detector = bootstrap_detector();
+        let (acceptor, connector) = loopback(LoopbackConfig::default());
+        let gateway = Gateway::start(
+            detector,
+            ServeConfig {
+                online: None,
+                policy: BackpressurePolicy::Block,
+                ..ServeConfig::default()
+            },
+            GatewayConfig {
+                outbound_policy: BackpressurePolicy::Block,
+                ..GatewayConfig::default()
+            },
+            Box::new(acceptor),
+        )
+        .unwrap();
+
+        let conn = connector.connect().unwrap();
+        let (mut tx, mut rx) = connect(conn, "sensor-live", Duration::from_secs(5)).unwrap();
+        let records: Vec<_> = fleet_stream(25.0, 30, 0).collect();
+        for r in records.iter().take(10) {
+            tx.send(*r, None).unwrap();
+        }
+
+        // Drain mid-stream: the snapshot names the live sensor, and new
+        // handshakes are refused with a retryable Shutdown NACK.
+        assert!(!gateway.is_draining());
+        let live = gateway.drain();
+        assert!(gateway.is_draining());
+        assert_eq!(live, vec!["sensor-live".to_string()]);
+        let late = connector.connect().unwrap();
+        match connect(late, "sensor-late", Duration::from_secs(5)) {
+            Err(WireError::Refused(NackReason::Shutdown)) => {}
+            Err(other) => panic!("post-drain handshake gave {other:?}"),
+            Ok(_) => panic!("post-drain handshake was admitted"),
+        }
+
+        // The live connection still serves every remaining record.
+        for r in records.iter().skip(10) {
+            tx.send(*r, None).unwrap();
+        }
+        assert_eq!(tx.finish().unwrap() as usize, records.len());
+        let mut preds = 0usize;
+        loop {
+            match rx.recv().unwrap() {
+                ClientEvent::Prediction(_) => preds += 1,
+                ClientEvent::Goodbye(delivered) => {
+                    assert_eq!(delivered as usize, preds);
+                    break;
+                }
+                ClientEvent::TimedOut => continue,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        drop(rx);
+
+        let report = gateway.shutdown();
+        assert_eq!(preds, records.len());
+        assert_eq!(report.wire.connections, 1);
         assert_eq!(report.unaccounted_records(), 0);
     }
 }

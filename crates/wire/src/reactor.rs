@@ -311,6 +311,11 @@ pub(crate) struct ReactorCtx {
     pub(crate) config: GatewayConfig,
     pub(crate) counters: GatewayCounters,
     pub(crate) stop: Arc<AtomicBool>,
+    /// Drain-and-handoff mode: live connections keep serving, but new
+    /// handshakes are refused with a `Shutdown` NACK so a fleet
+    /// controller can re-route sensors before shutting this worker
+    /// down.
+    pub(crate) draining: Arc<AtomicBool>,
 }
 
 /// Hand-off point between the accept loop and one reactor thread.
@@ -565,8 +570,8 @@ enum Outcome {
     Pause(usize, Frame, bool),
 }
 
-/// Completes the handshake: version check, runtime client, outbound
-/// queue registration, `HelloAck`.
+/// Completes the handshake: version check, tenant gate, runtime
+/// client, outbound queue registration, `HelloAck`.
 fn handshake(conn: &mut Conn, ctx: &ReactorCtx, hello: codec::Hello) {
     ctx.counters.frames_received.inc();
     if hello.protocol != PROTOCOL_VERSION {
@@ -575,6 +580,28 @@ fn handshake(conn: &mut Conn, ctx: &ReactorCtx, hello: codec::Hello) {
         let _ = conn
             .out
             .push_frame(&mut conn.encoder, &nack(0, NackReason::Unsupported));
+        close_now(conn, ctx);
+        return;
+    }
+    // Tenant gate: a runtime labelled with a tenant serves only
+    // sensors claiming that tenant — a mis-routed sensor must never
+    // be scored by (or train) another tenant's model. The untenanted
+    // default namespace (empty label) enforces nothing.
+    let expected = ctx.runtime.tenant();
+    if !expected.is_empty() && hello.tenant != expected {
+        let _ = conn
+            .out
+            .push_frame(&mut conn.encoder, &nack(0, NackReason::Unsupported));
+        close_now(conn, ctx);
+        return;
+    }
+    // Drain-and-handoff: refuse *new* sensors while live ones finish,
+    // with the retryable `Shutdown` reason so the fleet controller
+    // re-routes them to a surviving worker.
+    if ctx.draining.load(Ordering::SeqCst) {
+        let _ = conn
+            .out
+            .push_frame(&mut conn.encoder, &nack(0, NackReason::Shutdown));
         close_now(conn, ctx);
         return;
     }
@@ -1011,6 +1038,7 @@ mod tests {
         let hello = Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             sensor_id: "buffer-test".into(),
+            tenant: String::new(),
         });
         let bytes = frame_bytes(&hello);
         let mut buf = FrameBuffer::new(1 << 16);
@@ -1112,6 +1140,7 @@ mod tests {
         let oversized = Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             sensor_id: "x".repeat(MAX_SENSOR_ID_BYTES_PLUS_ONE),
+            tenant: String::new(),
         });
         let mut ring = WriteRing::new(1024);
         // Returning true (consumed) keeps the pump from re-staging a

@@ -790,6 +790,7 @@ mod tests {
         let hello = Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             sensor_id: "s0".into(),
+            tenant: "t0".into(),
         });
         ctx.send(&hello).unwrap();
         assert_eq!(recv_frame(&mut srx), hello);
@@ -967,6 +968,7 @@ mod tests {
         let oversize = Frame::Hello(Hello {
             protocol: PROTOCOL_VERSION,
             sensor_id: "x".repeat(crate::codec::MAX_SENSOR_ID_BYTES + 1),
+            tenant: String::new(),
         });
         assert!(matches!(
             ctx.send(&oversize),

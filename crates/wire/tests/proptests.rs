@@ -85,16 +85,18 @@ proptest! {
     #[test]
     fn control_frames_round_trip(
         id_bytes in prop::collection::vec(97u8..123, 0..64),
+        tenant_bytes in prop::collection::vec(97u8..123, 0..64),
         shard in 0u32..=u32::MAX,
         seq in 0u64..=u64::MAX,
         numbers in prop::collection::vec(0u64..=u64::MAX, 4..5),
         reason_byte in 1u8..5,
     ) {
         let sensor_id = String::from_utf8(id_bytes).expect("ascii");
+        let tenant = String::from_utf8(tenant_bytes).expect("ascii");
         let reason = NackReason::from_byte(reason_byte).expect("1..=4 are all valid reasons");
         let n = |i: usize| numbers.get(i).copied().unwrap_or(0);
         let frames = [
-            Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id }),
+            Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id, tenant }),
             Frame::HelloAck(HelloAck { protocol: PROTOCOL_VERSION, shard }),
             Frame::Prediction(PredictionFrame {
                 seq,
@@ -196,7 +198,7 @@ proptest! {
         // would register and route as a *different* sensor.
         let sensor_id = String::from_utf8(vec![fill; MAX_SENSOR_ID_BYTES + extra])
             .expect("ascii fill");
-        let frame = Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id });
+        let frame = Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id, tenant: String::new() });
         let err = Encoder::default()
             .encode(&frame)
             .expect_err("oversize id must refuse, not truncate");
@@ -214,7 +216,7 @@ proptest! {
     #[test]
     fn boundary_sensor_ids_still_encode(len in 0usize..=MAX_SENSOR_ID_BYTES) {
         let sensor_id = String::from_utf8(vec![b'x'; len]).expect("ascii fill");
-        let frame = Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id });
+        let frame = Frame::Hello(Hello { protocol: PROTOCOL_VERSION, sensor_id, tenant: String::new() });
         assert_roundtrip(&frame);
     }
 
